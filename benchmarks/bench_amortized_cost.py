@@ -1,0 +1,80 @@
+"""E1 — amortized insertion cost (paper §3.1).
+
+Benchmarks uniform-random insertion on two parameterizations and asserts
+the measured node-touch cost stays below the closed-form bound while
+growing logarithmically.
+"""
+
+import random
+
+import pytest
+
+from repro.core import cost as cost_model
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+N_INSERTS = 4000
+
+
+def _uniform_growth(params: LTreeParams, n_inserts: int) -> Counters:
+    stats = Counters()
+    tree = LTree(params, stats)
+    leaves = list(tree.bulk_load(range(4)))
+    rng = random.Random(99)
+    for index in range(n_inserts):
+        position = rng.randrange(len(leaves))
+        leaf = tree.insert_after(leaves[position], index)
+        leaves.insert(position + 1, leaf)
+    bound = cost_model.amortized_insert_cost(params.f, params.s,
+                                             tree.n_leaves)
+    assert stats.amortized_cost() <= bound
+    return stats
+
+
+@pytest.mark.parametrize("f,s", [(4, 2), (16, 4)])
+def test_uniform_insert_cost(benchmark, f, s):
+    params = LTreeParams(f=f, s=s)
+    stats = benchmark.pedantic(
+        _uniform_growth, args=(params, N_INSERTS), rounds=3, iterations=1)
+    benchmark.extra_info["amortized_node_touches"] = round(
+        stats.amortized_cost(), 2)
+    benchmark.extra_info["bound"] = round(
+        cost_model.amortized_insert_cost(f, s, N_INSERTS + 4), 2)
+
+
+def test_append_only_cost(benchmark):
+    """Hotspot-free monotone growth: the cheapest insertion pattern."""
+    params = LTreeParams(f=16, s=4)
+
+    def run():
+        stats = Counters()
+        tree = LTree(params, stats)
+        tree.bulk_load([0])
+        for index in range(N_INSERTS):
+            tree.append(index)
+        assert stats.amortized_cost() <= cost_model.amortized_insert_cost(
+            params.f, params.s, N_INSERTS + 1)
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["amortized_node_touches"] = round(
+        stats.amortized_cost(), 2)
+
+
+def test_logarithmic_growth_shape(benchmark):
+    """Cost per insert grows ~linearly in log n (the O(log n) claim)."""
+    params = LTreeParams(f=8, s=2)
+
+    def run():
+        from repro.analysis.amortized import (growth_exponent,
+                                              measure_ltree_amortized)
+        rows = measure_ltree_amortized(params,
+                                       sizes=(256, 1024, 4096))
+        slope = growth_exponent(rows)
+        assert 0 < slope < 3 * params.f  # linear-in-log, modest constant
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["series"] = [
+        (size, round(measured, 2)) for size, measured, _ in rows]

@@ -1,0 +1,52 @@
+"""E6 — batch (subtree) insertion (paper §4.1).
+
+Benchmarks runs of different lengths inserting the same total number of
+leaves, asserting the §4.1 shape: larger batches pay less per leaf.
+"""
+
+import random
+
+import pytest
+
+from repro.core import cost as cost_model
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+PARAMS = LTreeParams(f=8, s=2)
+TOTAL = 4096
+
+
+def _run_batches(run_length: int) -> Counters:
+    stats = Counters()
+    tree = LTree(PARAMS, stats)
+    leaves = list(tree.bulk_load(range(2)))
+    rng = random.Random(7)
+    for _ in range(TOTAL // run_length):
+        position = rng.randrange(len(leaves))
+        new = tree.insert_run_after(leaves[position],
+                                    list(range(run_length)))
+        leaves[position + 1:position + 1] = new
+    bound = cost_model.batch_insert_cost(PARAMS.f, PARAMS.s,
+                                         tree.n_leaves, run_length)
+    assert stats.amortized_cost() <= bound
+    return stats
+
+
+@pytest.mark.parametrize("run_length", [1, 16, 64, 256])
+def test_batch_insert(benchmark, run_length):
+    stats = benchmark.pedantic(_run_batches, args=(run_length,),
+                               rounds=3, iterations=1)
+    benchmark.extra_info["cost_per_leaf"] = round(
+        stats.amortized_cost(), 2)
+
+
+def test_batch_beats_single(benchmark):
+    def run():
+        single = _run_batches(1).amortized_cost()
+        batched = _run_batches(256).amortized_cost()
+        assert batched < single
+        return single / batched
+
+    speedup = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["node_touch_speedup_k256"] = round(speedup, 2)

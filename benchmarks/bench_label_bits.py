@@ -1,0 +1,48 @@
+"""E2 — label size in bits (paper §3.1).
+
+Benchmarks bulk loading and verifies the measured maximum label width
+against the ``log2(base) * ceil(log_b n)`` formula, for the paper's base
+f+1 and the figure's base f-1.
+"""
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+
+SIZES = (1024, 8192)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("base_name,base", [("paper-f+1", 5),
+                                            ("figure-f-1", 3)])
+def test_bulk_load_and_bits(benchmark, size, base_name, base):
+    params = LTreeParams(f=4, s=2, label_base=base)
+
+    def run():
+        tree = LTree(params)
+        tree.bulk_load(range(size))
+        bits = tree.max_label().bit_length()
+        assert bits <= params.max_label_bits(size)
+        return bits
+
+    bits = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["measured_bits"] = bits
+    benchmark.extra_info["bound_bits"] = params.max_label_bits(size)
+
+
+def test_bits_after_hotspot_growth(benchmark):
+    """Labels stay O(log n) bits even under adversarial insertion."""
+    params = LTreeParams(f=8, s=2)
+
+    def run():
+        tree = LTree(params)
+        anchor = tree.bulk_load([0, 1])[0]
+        for index in range(4000):
+            anchor = tree.insert_after(anchor, index)
+        bits = tree.max_label().bit_length()
+        assert bits <= params.max_label_bits(tree.n_leaves)
+        return bits
+
+    bits = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["hotspot_bits"] = bits

@@ -1,0 +1,43 @@
+"""E10 — mixed insert/delete workloads; deletions are free (paper §2.3)."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.registry import make_scheme
+from repro.workloads import updates as W
+
+N_OPS = 3000
+
+
+@pytest.mark.parametrize("delete_fraction", [0.0, 0.3])
+def test_mixed_workload(benchmark, delete_fraction):
+    def run():
+        stats = Counters()
+        scheme = make_scheme("ltree", stats)
+        result = W.apply_workload(
+            scheme,
+            W.mixed_workload(N_OPS, seed=3,
+                             delete_fraction=delete_fraction,
+                             run_fraction=0.1))
+        return result
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["final_size"] = result.final_size
+    benchmark.extra_info["relabels_per_insert"] = round(
+        result.relabels_per_insert, 2)
+
+
+def test_delete_cost_is_zero(benchmark):
+    def run():
+        stats = Counters()
+        scheme = make_scheme("ltree", stats)
+        handles = list(scheme.bulk_load(range(N_OPS)))
+        stats.reset()
+        for handle in handles[::2]:
+            scheme.delete(handle)
+        assert stats.relabels == 0
+        assert stats.count_updates == 0
+        return stats.deletes
+
+    deletes = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["deletes_with_zero_relabels"] = deletes

@@ -1,0 +1,68 @@
+"""E8 — scheme comparison: L-Tree vs the baselines (paper §1/§5).
+
+Benchmarks every registered scheme on the uniform and hotspot workloads
+and asserts the paper's qualitative ordering inside the runs.
+"""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.registry import SCHEMES, make_scheme
+from repro.workloads import updates as W
+
+N_OPS = 2000
+
+WORKLOADS = {
+    "uniform": lambda: W.uniform_inserts(N_OPS, seed=42),
+    "hotspot": lambda: W.hotspot_inserts(N_OPS, seed=42),
+}
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_scheme_workload(benchmark, scheme_name, workload):
+    def run():
+        stats = Counters()
+        scheme = make_scheme(scheme_name, stats)
+        result = W.apply_workload(scheme, WORKLOADS[workload]())
+        return result
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["relabels_per_insert"] = round(
+        result.relabels_per_insert, 2)
+    benchmark.extra_info["label_bits"] = result.label_bits
+
+
+def test_paper_ordering_uniform(benchmark):
+    """naive pays Θ(n) relabels; the L-Tree pays O(log n)."""
+    def run():
+        outcomes = {}
+        for name in ("ltree", "naive"):
+            stats = Counters()
+            scheme = make_scheme(name, stats)
+            outcomes[name] = W.apply_workload(
+                scheme, W.uniform_inserts(N_OPS, seed=1))
+        assert outcomes["ltree"].relabels_per_insert < \
+            outcomes["naive"].relabels_per_insert / 10
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_paper_ordering_hotspot(benchmark):
+    """gap collapses under skew; the L-Tree does not; prefix explodes
+    in bits instead."""
+    def run():
+        outcomes = {}
+        for name in ("ltree", "gap", "prefix"):
+            stats = Counters()
+            scheme = make_scheme(name, stats)
+            outcomes[name] = W.apply_workload(
+                scheme, W.hotspot_inserts(N_OPS, seed=1))
+        assert outcomes["ltree"].relabels_per_insert < \
+            outcomes["gap"].relabels_per_insert / 3
+        assert outcomes["prefix"].label_bits > \
+            10 * outcomes["ltree"].label_bits
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

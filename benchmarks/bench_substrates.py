@@ -1,0 +1,76 @@
+"""Substrate ablations: counted B-tree and the XML pipeline.
+
+Not tied to one paper figure; these quantify the building blocks the
+headline experiments stand on (DESIGN.md system inventory).
+"""
+
+import random
+
+import pytest
+
+from repro.storage.btree import CountedBTree
+from repro.xml.generator import xmark_like
+from repro.xml.parser import parse, tokenize
+from repro.xml.serializer import serialize
+
+N_KEYS = 10_000
+
+
+@pytest.fixture(scope="module")
+def loaded_btree():
+    tree = CountedBTree(order=32)
+    tree.bulk_load((key, key) for key in range(N_KEYS))
+    return tree
+
+
+def test_btree_random_inserts(benchmark):
+    keys = list(range(N_KEYS))
+    random.Random(1).shuffle(keys)
+
+    def run():
+        tree = CountedBTree(order=32)
+        for key in keys:
+            tree.insert(key, key)
+        return len(tree)
+
+    count = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert count == N_KEYS
+
+
+def test_btree_bulk_load(benchmark):
+    pairs = [(key, key) for key in range(N_KEYS)]
+
+    def run():
+        tree = CountedBTree(order=32)
+        tree.bulk_load(pairs)
+        return tree
+
+    tree = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(tree) == N_KEYS
+
+
+def test_btree_rank(benchmark, loaded_btree):
+    rank = benchmark(loaded_btree.rank, N_KEYS // 2)
+    assert rank == N_KEYS // 2
+
+
+def test_btree_range_count(benchmark, loaded_btree):
+    count = benchmark(loaded_btree.count_range, 1000, 9000)
+    assert count == 8000
+
+
+def test_xml_parse(benchmark, xmark_medium):
+    text = serialize(xmark_medium)
+    document = benchmark(parse, text)
+    assert document.root.tag == "site"
+
+
+def test_xml_tokenize(benchmark, xmark_medium):
+    text = serialize(xmark_medium)
+    tokens = benchmark(lambda: list(tokenize(text)))
+    assert len(tokens) > 100
+
+
+def test_xml_serialize(benchmark, xmark_medium):
+    text = benchmark(serialize, xmark_medium)
+    assert text.startswith("<site>")

@@ -1,0 +1,49 @@
+"""E3/E4 — parameter tuning (paper §3.2).
+
+Benchmarks the optimizers and asserts the tuning invariants: the
+unconstrained optimum beats the measured grid, and constrained optima
+respect their bit budgets.
+"""
+
+import pytest
+
+from repro.core import cost as cost_model
+from repro.core import tuning
+
+N0 = 65536
+
+
+def test_minimize_update_cost(benchmark):
+    result = benchmark(tuning.minimize_update_cost, N0)
+    grid_best = min(cost for _, cost, _ in tuning.cost_grid(
+        N0, range(4, 40, 2), range(2, 8)))
+    assert result.predicted_cost <= grid_best * 1.05
+    benchmark.extra_info["optimal_params"] = result.params.describe()
+    benchmark.extra_info["predicted_cost"] = round(result.predicted_cost, 2)
+
+
+@pytest.mark.parametrize("budget", [24.0, 32.0, 48.0])
+def test_minimize_cost_given_bits(benchmark, budget):
+    result = benchmark(tuning.minimize_cost_given_bits, N0, budget)
+    assert result.predicted_bits <= budget + 1e-6
+    benchmark.extra_info["chosen"] = result.params.describe()
+    benchmark.extra_info["bits"] = round(result.predicted_bits, 1)
+
+
+def test_tighter_budget_costs_more(benchmark):
+    def run():
+        tight = tuning.minimize_cost_given_bits(N0, 24.0)
+        loose = tuning.minimize_cost_given_bits(N0, 64.0)
+        assert tight.predicted_cost >= loose.predicted_cost
+        return tight.predicted_cost - loose.predicted_cost
+
+    premium = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["cost_premium_for_24bits"] = round(premium, 2)
+
+
+def test_cost_grid_evaluation(benchmark):
+    rows = benchmark(tuning.cost_grid, 4096,
+                     tuple(range(4, 33, 2)), (2, 3, 4, 5, 6))
+    assert len(rows) > 20
+    best = min(rows, key=lambda row: row[1])
+    benchmark.extra_info["grid_best"] = best[0].describe()

@@ -1,0 +1,94 @@
+"""E7 — virtual vs materialized L-Tree (paper §4.2).
+
+Benchmarks the identical insertion sequence on both variants; correctness
+(identical labels) is asserted inside the run.
+"""
+
+import random
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.virtual import VirtualLTree
+
+PARAMS = LTreeParams(f=8, s=2)
+N_OPS = 1500
+
+
+def _drive_materialized() -> list[int]:
+    tree = LTree(PARAMS)
+    leaves = list(tree.bulk_load(range(4)))
+    rng = random.Random(5)
+    for index in range(N_OPS):
+        position = rng.randrange(len(leaves))
+        leaf = tree.insert_after(leaves[position], index)
+        leaves.insert(position + 1, leaf)
+    return tree.labels()
+
+
+def _drive_virtual() -> list[int]:
+    tree = VirtualLTree(PARAMS)
+    labels = tree.bulk_load(range(4))
+    rng = random.Random(5)
+    for index in range(N_OPS):
+        position = rng.randrange(len(labels))
+        tree.insert_after(labels[position], index)
+        labels = tree.labels()
+    return tree.labels()
+
+
+def test_materialized_inserts(benchmark):
+    labels = benchmark.pedantic(_drive_materialized, rounds=3,
+                                iterations=1)
+    benchmark.extra_info["final_max_label"] = labels[-1]
+
+
+def test_virtual_inserts(benchmark):
+    labels = benchmark.pedantic(_drive_virtual, rounds=3, iterations=1)
+    benchmark.extra_info["final_max_label"] = labels[-1]
+
+
+def test_equivalence_certified(benchmark):
+    def run():
+        materialized = _drive_materialized()
+        virtual = _drive_virtual()
+        assert materialized == virtual
+        return len(materialized)
+
+    count = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["labels_compared"] = count
+
+
+@pytest.mark.parametrize("run_length", [1, 64])
+def test_virtual_batch_insert(benchmark, run_length):
+    """§4.1 cost sharing on the virtual variant."""
+    def run():
+        from repro.core.stats import Counters
+        stats = Counters()
+        tree = VirtualLTree(PARAMS, stats)
+        tree.bulk_load(range(2))
+        anchor = 0
+        for _ in range(1024 // run_length):
+            new = tree.insert_run_after(anchor, list(range(run_length)))
+            anchor = new[-1]
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["cost_per_leaf"] = round(
+        stats.amortized_cost(), 2)
+
+
+def test_virtual_range_count(benchmark, labeled_small):
+    """The §4.2 primitive: O(log n) occupancy check via the B-tree."""
+    tree = VirtualLTree(PARAMS)
+    labels = tree.bulk_load(range(5000))
+    anchor = labels[2500]
+    step = PARAMS.child_step(2)
+
+    def probe():
+        low = tree.anc(anchor, 2)
+        return tree._entries.count_range(low, low + step)
+
+    count = benchmark(probe)
+    assert 0 < count <= PARAMS.l_max(2)

@@ -1,0 +1,64 @@
+"""Collaborative document editing: why the L-Tree beats the folklore.
+
+Run:  python examples/collaborative_editing.py
+
+Simulates two editing sessions over the same report document:
+
+* a *uniform* session touching random sections, and
+* a *hotspot* session hammering one section (the realistic case — an
+  author works in one place).
+
+Each session runs over four labeling schemes; the table shows relabelings
+per insert (work the database must redo) and label width (index key
+size).  The L-Tree is the only scheme that stays cheap on both axes for
+both sessions — the paper's headline claim (§1, §5).
+"""
+
+import random
+
+from repro.analysis.report import format_table
+from repro.core.stats import Counters
+from repro.labeling import LabeledDocument
+from repro.order import make_scheme
+from repro.xml import XMLElement, XMLTextNode, book_document
+
+SCHEMES = ("ltree", "naive", "gap", "prefix")
+EDITS = 400
+
+
+def run_session(scheme_name: str, hotspot: bool) -> tuple[float, int]:
+    document = book_document(chapters=4, sections_per_chapter=3, seed=1)
+    stats = Counters()
+    labeled = LabeledDocument(document, scheme=make_scheme(scheme_name,
+                                                           stats))
+    sections = list(document.find_all("section"))
+    rng = random.Random(7)
+    target = sections[0]
+    for edit in range(EDITS):
+        if not hotspot:
+            target = rng.choice(sections)
+        paragraph = XMLElement("para")
+        paragraph.append_child(XMLTextNode(f"edit {edit}"))
+        labeled.insert_subtree(target, len(target.children), paragraph)
+    labeled.validate()
+    relabels_per_insert = stats.relabels / max(1, stats.inserts)
+    return relabels_per_insert, labeled.scheme.label_bits()
+
+
+def main() -> None:
+    rows = []
+    for session, hotspot in (("uniform", False), ("hotspot", True)):
+        for name in SCHEMES:
+            relabels, bits = run_session(name, hotspot)
+            rows.append((session, name, round(relabels, 2), bits))
+    print("relabelings per inserted token / label width")
+    print(format_table(("session", "scheme", "relabels/insert", "bits"),
+                       rows))
+    print("\nreading the table: 'naive' redoes ~half the document per "
+          "edit; 'gap' collapses when edits cluster; 'prefix' never "
+          "relabels but its labels grow with every edit in the same "
+          "spot; the L-Tree stays logarithmic on both axes.")
+
+
+if __name__ == "__main__":
+    main()

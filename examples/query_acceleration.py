@@ -1,0 +1,63 @@
+"""Query acceleration: one containment join vs a join per level.
+
+Run:  python examples/query_acceleration.py
+
+Shreds an XMark-like auction document into the two relational layouts the
+paper contrasts (§1):
+
+* the **edge table** (id, parent_id, tag) — descendant queries need one
+  self-join per document level;
+* the **interval table** (id, tag, begin, end, level) with L-Tree labels —
+  any descendant query is exactly one structural self-join.
+
+Runs the same XPath queries through both plans (and DOM navigation as
+ground truth) and reports tuple reads — the paper's cost unit.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.stats import Counters
+from repro.labeling import LabeledDocument
+from repro.query import (evaluate_dom, evaluate_edge, evaluate_interval,
+                         parse_xpath)
+from repro.storage import EdgeTableStore, IntervalTableStore
+from repro.xml import xmark_like
+
+QUERIES = (
+    "/site//increase",
+    "//item/name",
+    "/site/regions//listitem",
+    "//open_auction/bidder/increase",
+)
+
+
+def main() -> None:
+    document = xmark_like(n_items=80, n_people=40, n_auctions=25, seed=11)
+    labeled = LabeledDocument(document)
+    edge_stats, interval_stats = Counters(), Counters()
+    edge = EdgeTableStore(document, edge_stats)
+    interval = IntervalTableStore(labeled, interval_stats)
+
+    rows = []
+    for text in QUERIES:
+        query = parse_xpath(text)
+        truth = evaluate_dom(document, query)
+        edge_stats.reset()
+        interval_stats.reset()
+        via_interval = evaluate_interval(interval, query)
+        via_edge = evaluate_edge(edge, query)
+        assert [id(e) for e in truth] == [id(e) for e in via_interval]
+        assert [id(e) for e in truth] == [id(e) for e in via_edge]
+        rows.append((text, len(truth), interval_stats.tuple_reads,
+                     edge_stats.tuple_reads, edge.last_join_count))
+
+    print(f"document: {document.count_elements()} elements")
+    print(format_table(
+        ("query", "results", "interval reads", "edge reads",
+         "edge self-joins"), rows))
+    print("\nevery query verified identical across all three "
+          "evaluators; the interval plan is one self-join regardless "
+          "of depth (the paper's §1 claim).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Tuning advisor: choose (f, s) for your workload (paper §3.2).
+
+Run:  python examples/tuning_advisor.py
+
+Given an expected document size and constraints, solves the paper's three
+optimization problems and then *verifies* the recommendation empirically
+by replaying a workload at the recommended and at naive parameters.
+"""
+
+from repro.analysis.report import format_table
+from repro.core import tuning
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.order.ltree_list import LTreeListLabeling
+from repro.workloads import apply_workload, uniform_inserts
+
+EXPECTED_SIZE = 100_000
+
+
+def measure(params: LTreeParams, n_ops: int = 5000) -> float:
+    stats = Counters()
+    scheme = LTreeListLabeling(params, stats=stats)
+    apply_workload(scheme, uniform_inserts(n_ops, seed=3))
+    return stats.amortized_cost()
+
+
+def main() -> None:
+    print(f"expected document size n0 = {EXPECTED_SIZE}\n")
+
+    unconstrained = tuning.minimize_update_cost(EXPECTED_SIZE)
+    print("1) minimize update cost:")
+    print(f"   {unconstrained.describe()}\n")
+
+    print("2) minimize update cost under a label budget:")
+    rows = []
+    for budget in (24, 32, 48):
+        result = tuning.minimize_cost_given_bits(EXPECTED_SIZE, budget)
+        rows.append((budget, result.params.describe(),
+                     round(result.predicted_cost, 1),
+                     round(result.predicted_bits, 1)))
+    print(format_table(("bit budget", "recommendation", "cost", "bits"),
+                       rows))
+
+    print("\n3) minimize overall cost across query/update mixes "
+          "(32-bit words):")
+    rows = []
+    for update_fraction in (0.1, 0.5, 0.9):
+        result = tuning.minimize_overall_cost(
+            EXPECTED_SIZE, update_fraction,
+            comparisons_per_query=100.0, word_bits=32)
+        rows.append((update_fraction, result.params.describe(),
+                     round(result.objective, 1)))
+    print(format_table(("update fraction", "recommendation", "objective"),
+                       rows))
+
+    print("\nempirical check (5000 uniform inserts, measured node "
+          "touches per insert):")
+    recommended = unconstrained.params
+    naive_choice = LTreeParams(f=4, s=2)
+    rows = [
+        ("recommended", recommended.describe(),
+         round(measure(recommended), 2)),
+        ("naive default", naive_choice.describe(),
+         round(measure(naive_choice), 2)),
+    ]
+    print(format_table(("choice", "params", "measured cost"), rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+the legacy (non-PEP-660) editable install path works in offline
+environments that lack the ``wheel`` package:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""Reproduction of Chen, Mihaila, Bordawekar & Padmanabhan,
+"L-Tree: a Dynamic Labeling Structure for Ordered XML Data" (EDBT 2004).
+
+Subpackages
+-----------
+``repro.core``
+    The L-Tree itself: materialized and virtual variants, cost model,
+    parameter tuning, operation accounting.
+``repro.order``
+    The abstract ordered-list labeling problem with baseline schemes
+    (sequential, gap, Bender/Dietz–Sleator, bit-string prefix labels).
+``repro.xml``
+    XML substrate built from scratch: tokenizer, parser, ordered DOM,
+    serializer, synthetic document generator.
+``repro.labeling``
+    (begin, end) region labeling of XML documents over any order scheme;
+    containment predicates that answer ancestor/descendant axes.
+``repro.storage``
+    Storage substrate: counted B+-tree, access accounting, a miniature
+    relational engine with edge-table and interval-table XML storage.
+``repro.query``
+    XPath-subset parsing and three interchangeable evaluators (DOM
+    navigation, label containment joins, edge-table self-joins).
+``repro.workloads``
+    Deterministic update/query/document workload generators.
+``repro.analysis``
+    Experiment harness regenerating every figure/claim of the paper.
+"""
+
+from repro.core import (DEFAULT_PARAMS, FIGURE2_PARAMS, Counters, LTree,
+                        LTreeNode, LTreeParams)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LTree",
+    "LTreeNode",
+    "LTreeParams",
+    "DEFAULT_PARAMS",
+    "FIGURE2_PARAMS",
+    "Counters",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Experiment harness: measurement functions, report rendering and the
+per-figure/claim experiment registry with its CLI
+(``python -m repro.analysis``)."""
+
+from repro.analysis.amortized import (growth_exponent, measure_batch_cost,
+                                      measure_label_bits,
+                                      measure_ltree_amortized,
+                                      measure_parameter_grid,
+                                      measure_scheme_comparison,
+                                      measure_virtual_vs_materialized)
+from repro.analysis.experiments import EXPERIMENTS, run
+from repro.analysis.report import ExperimentReport, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "run",
+    "ExperimentReport",
+    "format_table",
+    "measure_ltree_amortized",
+    "measure_label_bits",
+    "measure_batch_cost",
+    "measure_scheme_comparison",
+    "measure_parameter_grid",
+    "measure_virtual_vs_materialized",
+    "growth_exponent",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.analysis [ids...] [--markdown PATH]``"""
+
+import sys
+
+from repro.analysis.experiments import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Measurement harness: run workloads, collect the paper's cost metrics.
+
+All functions here return plain data (lists of tuples) consumed by the
+experiment registry and the pytest-benchmark suites.  Randomness is
+seeded; results are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable, Sequence
+
+from repro.core import cost as cost_model
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.order.registry import make_scheme
+from repro.workloads import updates as W
+
+
+def measure_ltree_amortized(
+        params: LTreeParams, sizes: Sequence[int],
+        workload: Callable[[int], Iterable[W.Operation]] =
+        W.uniform_inserts) -> list[tuple[int, float, float]]:
+    """(n, measured amortized cost, paper bound) for growing sizes.
+
+    The measured cost is ``(count_updates + relabels) / inserts`` — the
+    paper's §3.1 accounting — after inserting up to each target size.
+    """
+    rows = []
+    for size in sizes:
+        stats = Counters()
+        scheme = _ltree_scheme(params, stats)
+        W.apply_workload(scheme, workload(size - 2))
+        bound = cost_model.amortized_insert_cost(params.f, params.s, size)
+        rows.append((size, stats.amortized_cost(), bound))
+    return rows
+
+
+def measure_label_bits(params: LTreeParams, sizes: Sequence[int],
+                       workload: Callable[[int], Iterable[W.Operation]] =
+                       W.uniform_inserts) -> list[tuple[int, int, int]]:
+    """(n, measured max-label bits, paper bits bound) per size."""
+    rows = []
+    for size in sizes:
+        stats = Counters()
+        scheme = _ltree_scheme(params, stats)
+        W.apply_workload(scheme, workload(size - 2))
+        measured = scheme.label_bits()
+        bound = params.max_label_bits(size)
+        rows.append((size, measured, bound))
+    return rows
+
+
+def measure_batch_cost(params: LTreeParams, total_inserts: int,
+                       run_lengths: Sequence[int], seed: int = 0
+                       ) -> list[tuple[int, float, float]]:
+    """(k, measured amortized cost, §4.1 bound) for batch sizes ``k``.
+
+    Every run inserts the same total number of leaves so the final tree
+    sizes match; only the batch granularity changes.
+    """
+    rows = []
+    for run_length in run_lengths:
+        n_runs = max(1, total_inserts // run_length)
+        stats = Counters()
+        scheme = _ltree_scheme(params, stats)
+        W.apply_workload(
+            scheme, W.run_inserts(n_runs, run_length, seed=seed))
+        n_final = n_runs * run_length + 2
+        bound = cost_model.batch_insert_cost(params.f, params.s, n_final,
+                                             run_length)
+        rows.append((run_length, stats.amortized_cost(), bound))
+    return rows
+
+
+def measure_scheme_comparison(
+        scheme_names: Sequence[str], n_ops: int,
+        workloads: dict[str, Callable[[int], Iterable[W.Operation]]]
+        ) -> list[tuple[str, str, float, int]]:
+    """(workload, scheme, relabels/insert, label bits) cross product."""
+    rows = []
+    for workload_name, workload in workloads.items():
+        for name in scheme_names:
+            stats = Counters()
+            scheme = make_scheme(name, stats)
+            result = W.apply_workload(scheme, workload(n_ops))
+            rows.append((workload_name, name,
+                         result.relabels_per_insert, result.label_bits))
+    return rows
+
+
+def measure_parameter_grid(sizes_n: int, f_values: Sequence[int],
+                           s_values: Sequence[int], seed: int = 0
+                           ) -> list[tuple[int, int, float, float]]:
+    """(f, s, measured cost, predicted cost) over the integer grid.
+
+    Drives each valid parameter pair through the same uniform workload —
+    experiment E3's measured side.
+    """
+    rows = []
+    for f in f_values:
+        for s in s_values:
+            if s < 2 or f % s != 0 or f // s < 2:
+                continue
+            params = LTreeParams(f=f, s=s)
+            stats = Counters()
+            scheme = _ltree_scheme(params, stats)
+            W.apply_workload(scheme,
+                             W.uniform_inserts(sizes_n - 2, seed=seed))
+            predicted = cost_model.amortized_insert_cost(f, s, sizes_n)
+            rows.append((f, s, stats.amortized_cost(), predicted))
+    return rows
+
+
+def growth_exponent(rows: Sequence[tuple[int, float, float]]) -> float:
+    """Least-squares slope of measured cost against log2(n).
+
+    ~constant slope confirms the O(log n) shape: cost ≈ a·log2(n) + b.
+    Returns the slope ``a``.
+    """
+    xs = [math.log2(row[0]) for row in rows]
+    ys = [row[1] for row in rows]
+    n = len(rows)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    covariance = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    variance = sum((x - mean_x) ** 2 for x in xs)
+    if variance == 0.0:
+        return 0.0
+    return covariance / variance
+
+
+def _ltree_scheme(params: LTreeParams, stats: Counters):
+    from repro.order.ltree_list import LTreeListLabeling
+    return LTreeListLabeling(params, stats=stats)
+
+
+def measure_virtual_vs_materialized(params: LTreeParams, n_ops: int,
+                                    seed: int = 0
+                                    ) -> dict[str, dict[str, float]]:
+    """Identical op sequence on both variants; cost/storage comparison.
+
+    Both variants receive the same (document-order position, side)
+    insertion sequence, so their final label sequences are identical
+    (verified by tests); what differs is the work each does.  Handle
+    bookkeeping is kept outside the measured structures so the counters
+    reflect maintenance cost only.
+    """
+    import random
+
+    from repro.core.virtual import VirtualLTree
+
+    results: dict[str, dict[str, float]] = {}
+    for variant in ("materialized", "virtual"):
+        stats = Counters()
+        rng = random.Random(seed)
+        if variant == "materialized":
+            tree = LTree(params, stats)
+            leaves = list(tree.bulk_load(range(4)))
+            for count in range(n_ops):
+                index = rng.randrange(len(leaves))
+                if rng.random() < 0.5:
+                    leaf = tree.insert_after(leaves[index], count)
+                    leaves.insert(index + 1, leaf)
+                else:
+                    leaf = tree.insert_before(leaves[index], count)
+                    leaves.insert(index, leaf)
+            structure_nodes = sum(1 for _ in _iter_nodes(tree))
+            labels = tree.labels()
+        else:
+            vtree = VirtualLTree(params, stats)
+            vlabels = vtree.bulk_load(range(4))
+            for count in range(n_ops):
+                index = rng.randrange(len(vlabels))
+                if rng.random() < 0.5:
+                    vtree.insert_after(vlabels[index], count)
+                else:
+                    vtree.insert_before(vlabels[index], count)
+                # Refresh document-order labels; cancel the scan's access
+                # noise so counters reflect maintenance work only.
+                accesses_before = stats.node_accesses
+                vlabels = vtree.labels()
+                stats.node_accesses = accesses_before
+            structure_nodes = 0  # no materialized L-Tree nodes at all
+            labels = vtree.labels()
+        results[variant] = {
+            "relabels": float(stats.relabels),
+            "splits": float(stats.splits),
+            "node_accesses": float(stats.node_accesses),
+            "structure_nodes": float(structure_nodes),
+            "max_label": float(labels[-1]),
+        }
+    return results
+
+
+def _iter_nodes(tree: LTree):
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node.children is not None:
+            stack.extend(node.children)

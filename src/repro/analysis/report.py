@@ -1,0 +1,81 @@
+"""Experiment report model and table rendering.
+
+Every experiment in :mod:`repro.analysis.experiments` produces an
+:class:`ExperimentReport` — the paper's claim, the measured table, and a
+verdict — rendered as aligned ASCII for the console or as Markdown for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+
+@dataclasses.dataclass
+class ExperimentReport:
+    """One reproduced figure/claim: metadata plus the measured table."""
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    headers: Sequence[str]
+    rows: list[Sequence[Any]]
+    conclusion: str = ""
+
+    def to_text(self) -> str:
+        lines = [
+            f"[{self.experiment_id}] {self.title}",
+            f"paper: {self.paper_claim}",
+            "",
+            format_table(self.headers, self.rows),
+        ]
+        if self.conclusion:
+            lines += ["", f"measured: {self.conclusion}"]
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"### {self.experiment_id} — {self.title}",
+            "",
+            f"**Paper claim.** {self.paper_claim}",
+            "",
+            _markdown_table(self.headers, self.rows),
+        ]
+        if self.conclusion:
+            lines += ["", f"**Measured.** {self.conclusion}"]
+        return "\n".join(lines)
+
+
+def _stringify(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Aligned monospace table."""
+    text_rows = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        for position, cell in enumerate(row):
+            widths[position] = max(widths[position], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width)
+                         for cell, width in zip(cells, widths))
+    lines = [fmt(list(headers)), fmt(["-" * width for width in widths])]
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def _markdown_table(headers: Sequence[str],
+                    rows: Sequence[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(cell)
+                                       for cell in row) + " |")
+    return "\n".join(lines)

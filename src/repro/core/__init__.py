@@ -1,0 +1,35 @@
+"""Core L-Tree: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.params.LTreeParams` — validated (f, s, base) triple;
+* :class:`~repro.core.ltree.LTree` — materialized dynamic labeling tree;
+* :class:`~repro.core.virtual.VirtualLTree` — label-only variant (§4.2);
+* :mod:`~repro.core.cost` — the paper's closed-form cost model (§3.1/4.1);
+* :mod:`~repro.core.tuning` — parameter optimization (§3.2);
+* :class:`~repro.core.stats.Counters` — the node-touch cost accounting.
+"""
+
+from repro.core.ltree import LTree
+from repro.core.node import LTreeNode
+from repro.core.params import (DEFAULT_PARAMS, FIGURE2_PARAMS, LTreeParams,
+                               gather_digits, spread_digits)
+from repro.core.persistence import ltree_from_labels, restore, snapshot
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.core.virtual import VirtualLTree
+
+__all__ = [
+    "LTree",
+    "LTreeNode",
+    "LTreeParams",
+    "VirtualLTree",
+    "DEFAULT_PARAMS",
+    "FIGURE2_PARAMS",
+    "Counters",
+    "NULL_COUNTERS",
+    "spread_digits",
+    "gather_digits",
+    "snapshot",
+    "restore",
+    "ltree_from_labels",
+]

@@ -1,0 +1,162 @@
+"""Closed-form cost model of the L-Tree (paper Section 3.1 and 4.1).
+
+The paper derives two functions of the parameters ``(f, s)`` and the
+document size ``n``:
+
+* the amortized maintenance cost of a single insertion, in nodes touched::
+
+      cost(f, s, n) <= (1 + 2f/(s-1)) * log(n)/log(f/s) + f
+
+  (``h = log n / log b`` ancestor count updates, ``f`` right-sibling
+  relabels, and a ``2f/(s-1)`` split charge per ancestor level — a split of
+  a height-``h0`` node relabels at most ``2 s b^(h0+1)`` nodes, amortized
+  over the ``(s-1) b^h0`` insertions that filled it);
+
+* the number of bits needed per label::
+
+      bits(f, s, n) = log2(base) * ceil(log(n)/log(f/s)),   base = f + 1
+
+Section 4.1 refines the cost for batch insertions of ``k`` leaves::
+
+      cost(f, s, n, k) <= (h + f)/k + (2f/(s-1)) * (h - h0 + 1)
+
+with ``h0 = floor(log_b(k/(s-1)))`` the height whose split one batch of
+``k = (s-1) b^h0`` insertions pays for outright.
+
+These are *upper bounds*; benchmarks in ``benchmarks/`` verify that measured
+costs stay below them and follow the same growth shape (EXPERIMENTS.md E1,
+E2, E6).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.core.params import LTreeParams
+from repro.errors import ParameterError
+
+
+def _check_fs(f: float, s: float) -> None:
+    if s <= 1.0:
+        raise ParameterError(f"s must exceed 1, got {s}")
+    if f / s <= 1.0:
+        raise ParameterError(f"f/s must exceed 1, got {f}/{s}")
+
+
+def tree_height(f: float, s: float, n: float) -> float:
+    """Continuous tree height ``log(n) / log(f/s)`` (>= 1)."""
+    _check_fs(f, s)
+    if n <= 1:
+        return 1.0
+    return max(1.0, math.log(n) / math.log(f / s))
+
+
+def amortized_insert_cost(f: float, s: float, n: float) -> float:
+    """Paper §3.1 amortized bound ``(1 + 2f/(s-1)) * h + f``.
+
+    Continuous in (f, s) so the tuning module can optimize it.
+    """
+    _check_fs(f, s)
+    height = tree_height(f, s, n)
+    return (1.0 + 2.0 * f / (s - 1.0)) * height + f
+
+
+def label_bits(f: float, s: float, n: float,
+               base: float | None = None) -> float:
+    """Paper §3.1 label size ``log2(base) * ceil(log_b n)`` in bits.
+
+    ``base`` defaults to the paper's ``f + 1``.  Continuous relaxation:
+    ``ceil`` is dropped so the function is differentiable for tuning; the
+    exact integer variant is :func:`label_bits_exact`.
+    """
+    _check_fs(f, s)
+    if base is None:
+        base = f + 1.0
+    return math.log2(base) * tree_height(f, s, n)
+
+
+def label_bits_exact(params: LTreeParams, n: int) -> int:
+    """Exact bit count for integer parameters (uses the real heights)."""
+    return params.max_label_bits(n)
+
+
+def batch_insert_cost(f: float, s: float, n: float, k: float) -> float:
+    """Paper §4.1 amortized per-leaf cost of a batch of ``k`` insertions.
+
+    ``cost = (h + f)/k + (2f/(s-1)) * (h - h0 + 1)`` with
+    ``h0 = log_b(k/(s-1))`` clamped to ``[0, h]``.  For ``k = 1`` this
+    reduces to (slightly above) the single-insert bound.
+    """
+    _check_fs(f, s)
+    if k < 1:
+        raise ParameterError(f"batch size must be >= 1, got {k}")
+    height = tree_height(f, s, n)
+    arity = f / s
+    h0 = 0.0
+    if k > (s - 1.0):
+        h0 = math.log(k / (s - 1.0)) / math.log(arity)
+    h0 = min(h0, height)
+    split_charge = (2.0 * f / (s - 1.0)) * (height - h0 + 1.0)
+    return (height + f) / k + split_charge
+
+
+def query_comparison_cost(bits: float, word_bits: int = 64) -> float:
+    """Cost of one label comparison (paper §3.2, "Minimize Overall Cost").
+
+    Hardware comparison (cost 1) while the label fits a machine word;
+    software multi-word comparison proportional to ``bits/word`` above.
+    """
+    if bits <= word_bits:
+        return 1.0
+    return bits / word_bits
+
+
+def overall_cost(f: float, s: float, n: float, update_fraction: float,
+                 comparisons_per_query: float = 1.0,
+                 word_bits: int = 64) -> float:
+    """Weighted workload cost: §3.2's query+update objective.
+
+    ``update_fraction`` is the share of operations that are insertions; the
+    remainder are queries costing ``comparisons_per_query`` label
+    comparisons each.
+    """
+    if not 0.0 <= update_fraction <= 1.0:
+        raise ParameterError(
+            f"update_fraction must be within [0, 1], got {update_fraction}")
+    bits = label_bits(f, s, n)
+    query = (1.0 - update_fraction) * comparisons_per_query * \
+        query_comparison_cost(bits, word_bits)
+    update = update_fraction * amortized_insert_cost(f, s, n)
+    return query + update
+
+
+@dataclasses.dataclass(frozen=True)
+class CostBreakdown:
+    """Per-component amortized cost prediction for a parameter set."""
+
+    params: LTreeParams
+    n: int
+    height: float
+    count_update_term: float
+    sibling_relabel_term: float
+    split_charge_term: float
+
+    @property
+    def total(self) -> float:
+        return (self.count_update_term + self.sibling_relabel_term +
+                self.split_charge_term)
+
+
+def cost_breakdown(params: LTreeParams, n: int) -> CostBreakdown:
+    """Split the §3.1 bound into its three charges for reporting."""
+    f, s = float(params.f), float(params.s)
+    height = tree_height(f, s, n)
+    return CostBreakdown(
+        params=params,
+        n=n,
+        height=height,
+        count_update_term=height,
+        sibling_relabel_term=f,
+        split_charge_term=(2.0 * f / (s - 1.0)) * height,
+    )

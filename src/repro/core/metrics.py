@@ -1,0 +1,117 @@
+"""Shape and slack metrics of an L-Tree.
+
+The paper's conclusion claims the structure is *adaptive*: "in the areas
+with heavy insertion activity, the L-Tree adjusts itself by creating more
+slack between labels to better accommodate future insertions."  These
+metrics make that claim measurable (experiment E12):
+
+* :func:`gap_profile` — the label gaps between adjacent leaves;
+* :func:`local_slack` — mean gap inside a leaf-index window;
+* :func:`shape_summary` — node counts, fanout and occupancy statistics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+from typing import Iterator
+
+from repro.core.ltree import LTree
+from repro.core.node import LTreeNode
+
+
+def gap_profile(tree: LTree) -> list[int]:
+    """Gaps ``label[i+1] - label[i]`` over adjacent leaves (n-1 values).
+
+    A gap of 1 means no room for an insertion without relabeling; larger
+    gaps are the "slack" the paper's splits create.
+    """
+    labels = tree.labels()
+    return [second - first for first, second in zip(labels, labels[1:])]
+
+
+def local_slack(tree: LTree, center_index: int, window: int = 16) -> float:
+    """Mean label gap in a window of leaves around ``center_index``."""
+    labels = tree.labels()
+    if len(labels) < 2:
+        return 0.0
+    low = max(0, center_index - window)
+    high = min(len(labels) - 1, center_index + window)
+    gaps = [labels[i + 1] - labels[i] for i in range(low, high)]
+    if not gaps:
+        return 0.0
+    return sum(gaps) / len(gaps)
+
+
+@dataclasses.dataclass(frozen=True)
+class ShapeSummary:
+    """Aggregate structural statistics of one L-Tree."""
+
+    n_leaves: int
+    internal_nodes: int
+    height: int
+    mean_fanout: float
+    max_fanout: int
+    mean_occupancy: float  # leaf_count / l_max over internal nodes
+    max_occupancy: float
+    label_space_used: float  # max label / label space
+
+    def storage_overhead(self) -> float:
+        """Internal nodes per leaf — the cost §4.2's virtual tree avoids."""
+        if self.n_leaves == 0:
+            return 0.0
+        return self.internal_nodes / self.n_leaves
+
+
+def _internal_nodes(tree: LTree) -> Iterator[LTreeNode]:
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node.is_leaf:
+            continue
+        yield node
+        assert node.children is not None
+        stack.extend(node.children)
+
+
+def shape_summary(tree: LTree) -> ShapeSummary:
+    """Compute a :class:`ShapeSummary` for ``tree``."""
+    fanouts = []
+    occupancies = []
+    internal = 0
+    for node in _internal_nodes(tree):
+        internal += 1
+        assert node.children is not None
+        fanouts.append(len(node.children))
+        occupancies.append(
+            node.leaf_count / tree.params.l_max(node.height))
+    if not fanouts:
+        fanouts = [0]
+        occupancies = [0.0]
+    space = tree.label_space
+    return ShapeSummary(
+        n_leaves=tree.n_leaves,
+        internal_nodes=internal,
+        height=tree.height,
+        mean_fanout=statistics.fmean(fanouts),
+        max_fanout=max(fanouts),
+        mean_occupancy=statistics.fmean(occupancies),
+        max_occupancy=max(occupancies),
+        label_space_used=(tree.max_label() / space if space else 0.0),
+    )
+
+
+def capacity_headroom(tree: LTree, leaf: LTreeNode) -> int:
+    """Insertions the path above ``leaf`` can absorb before any split.
+
+    ``min over ancestors a of (l_max(a) - l(a))`` — the *capacity slack*
+    the paper's splits replenish exactly where insertion pressure is
+    (conclusion claim; experiment E12).  Always >= 1 at rest: the
+    maintenance algorithm never leaves a full ancestor in place.
+    """
+    headroom = None
+    for ancestor in leaf.ancestors():
+        slack = tree.params.l_max(ancestor.height) - ancestor.leaf_count
+        if headroom is None or slack < headroom:
+            headroom = slack
+    return headroom if headroom is not None else 0

@@ -1,0 +1,174 @@
+"""Nodes of the materialized L-Tree.
+
+A single class models both internal nodes and leaves: leaves are the nodes
+with ``height == 0``; they carry the document token (or any payload) and a
+deletion mark (paper §2.3: deletions only mark leaves, they never relabel).
+Internal nodes carry an ordered ``children`` list and the cached number of
+leaves below them (``leaf_count``), which drives the split criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+
+class LTreeNode:
+    """One node of an L-Tree.
+
+    Attributes
+    ----------
+    parent:
+        The parent node, or ``None`` for the root.
+    height:
+        Edges on the longest downward path; leaves have height 0 and all
+        leaves sit at the same depth (paper Prop. 2(3)).
+    num:
+        The label assigned by the labeling scheme (paper §2.1).  The root is
+        always 0; leaf ``num`` values are the public token labels.
+    children:
+        Ordered child list (internal nodes only; ``None`` for leaves).
+    leaf_count:
+        Number of leaves in this subtree (leaves count themselves as 1).
+        Marked-deleted leaves still count — the paper never reclaims their
+        label slots.
+    payload:
+        Arbitrary caller object attached to a leaf (e.g. an XML token).
+    deleted:
+        Deletion mark (leaves only).
+    """
+
+    __slots__ = ("parent", "height", "num", "children", "leaf_count",
+                 "payload", "deleted")
+
+    def __init__(self, height: int, payload: Any = None):
+        self.parent: Optional["LTreeNode"] = None
+        self.height = height
+        self.num = 0
+        self.children: Optional[list["LTreeNode"]] = (
+            None if height == 0 else [])
+        self.leaf_count = 1 if height == 0 else 0
+        self.payload = payload
+        self.deleted = False
+
+    # ------------------------------------------------------------------
+    # classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True for token-carrying leaves (height 0)."""
+        return self.height == 0
+
+    @property
+    def is_root(self) -> bool:
+        """True when the node has no parent."""
+        return self.parent is None
+
+    def child_index(self) -> int:
+        """Position of this node in its parent's child list.
+
+        O(f) — fanout is a small constant bounded by the parameters.
+        """
+        if self.parent is None:
+            raise ValueError("the root has no child index")
+        assert self.parent.children is not None
+        return self.parent.children.index(self)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def iter_leaves(self, include_deleted: bool = True
+                    ) -> Iterator["LTreeNode"]:
+        """Yield the leaves of this subtree in document order.
+
+        Iterative DFS so arbitrarily tall trees do not hit the recursion
+        limit.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                if include_deleted or not node.deleted:
+                    yield node
+            else:
+                assert node.children is not None
+                stack.extend(reversed(node.children))
+
+    def first_leaf(self) -> Optional["LTreeNode"]:
+        """Leftmost leaf of this subtree (``None`` for an empty subtree)."""
+        node = self
+        while not node.is_leaf:
+            assert node.children is not None
+            if not node.children:
+                return None
+            node = node.children[0]
+        return node
+
+    def last_leaf(self) -> Optional["LTreeNode"]:
+        """Rightmost leaf of this subtree (``None`` for an empty subtree)."""
+        node = self
+        while not node.is_leaf:
+            assert node.children is not None
+            if not node.children:
+                return None
+            node = node.children[-1]
+        return node
+
+    def next_leaf(self) -> Optional["LTreeNode"]:
+        """The leaf immediately after this leaf in document order.
+
+        O(height) walk: climb until a right sibling exists, then descend to
+        its leftmost leaf.  Returns ``None`` at the end of the document.
+        """
+        node: LTreeNode = self
+        while node.parent is not None:
+            siblings = node.parent.children
+            assert siblings is not None
+            index = siblings.index(node)
+            if index + 1 < len(siblings):
+                return siblings[index + 1].first_leaf()
+            node = node.parent
+        return None
+
+    def prev_leaf(self) -> Optional["LTreeNode"]:
+        """The leaf immediately before this leaf in document order."""
+        node: LTreeNode = self
+        while node.parent is not None:
+            siblings = node.parent.children
+            assert siblings is not None
+            index = siblings.index(node)
+            if index > 0:
+                return siblings[index - 1].last_leaf()
+            node = node.parent
+        return None
+
+    def ancestors(self) -> Iterator["LTreeNode"]:
+        """Yield parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def leaf_index(self) -> int:
+        """Global 0-based position of this leaf among all leaves.
+
+        Counts marked-deleted leaves (label slots are never reclaimed).
+        O(height * fanout).
+        """
+        if not self.is_leaf:
+            raise ValueError("leaf_index is defined for leaves only")
+        index = 0
+        node: LTreeNode = self
+        while node.parent is not None:
+            siblings = node.parent.children
+            assert siblings is not None
+            for sibling in siblings:
+                if sibling is node:
+                    break
+                index += sibling.leaf_count
+            node = node.parent
+        return index
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "leaf" if self.is_leaf else f"h{self.height}"
+        mark = "+del" if self.deleted else ""
+        return f"<LTreeNode {kind} num={self.num}{mark}>"

@@ -1,0 +1,200 @@
+"""L-Tree parameters and the derived structural quantities.
+
+The shape of an L-Tree is governed by two integers ``f`` and ``s``
+(paper §2.1):
+
+* ``b = f / s`` is the *arity* of bulk-loaded and split-produced subtrees
+  (complete ``b``-ary trees);
+* an internal node at height ``h`` splits once its leaf count reaches
+  ``l_max(h) = s * b**h``;
+* a split replaces one node with ``s`` complete ``b``-ary subtrees.
+
+Labels live in base ``label_base``: the ``i``-th child of a node numbered
+``num`` at height ``h_child`` is numbered ``num + i * label_base**h_child``.
+The paper's text uses ``label_base = f + 1`` while its own worked figure
+uses ``f - 1`` (see DESIGN.md §1.2); both are supported, ``f + 1`` being the
+default.  Any base ``>= max(f - 1, b + 1)`` is safe: at rest every node has
+at most ``f - 1`` children (a height-1 node splits the moment its leaf count
+reaches ``l_max = f``, and for higher nodes ``c <= (s*b^h - 1)/b^(h-1) < f``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class LTreeParams:
+    """Validated (f, s) parameter pair plus the label base.
+
+    Parameters
+    ----------
+    f:
+        Capacity parameter.  A height-1 node splits when it holds ``f``
+        leaves; maximal at-rest fanout is ``f - 1``.
+    s:
+        Split factor: a violating node is replaced by ``s`` complete
+        ``f/s``-ary subtrees.  Must satisfy ``s >= 2`` and ``s | f`` and
+        ``f/s >= 2``.
+    label_base:
+        Radix of the label arithmetic.  ``None`` (default) means the paper's
+        ``f + 1``.
+
+    Examples
+    --------
+    >>> p = LTreeParams(f=4, s=2)
+    >>> p.arity, p.base
+    (2, 5)
+    >>> p.l_max(1), p.l_max(2)
+    (4, 8)
+    >>> LTreeParams(f=4, s=2, label_base=3).base   # figure-2 compatible
+    3
+    """
+
+    f: int
+    s: int
+    label_base: int | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.f, int) or not isinstance(self.s, int):
+            raise ParameterError("f and s must be integers")
+        if self.s < 2:
+            raise ParameterError(f"s must be >= 2, got s={self.s}")
+        if self.f % self.s != 0:
+            raise ParameterError(
+                f"s must divide f so split subtrees are complete "
+                f"(f={self.f}, s={self.s})")
+        if self.f // self.s < 2:
+            raise ParameterError(
+                f"arity f/s must be >= 2, got {self.f}/{self.s}")
+        base = self.label_base
+        if base is None:
+            object.__setattr__(self, "label_base", self.f + 1)
+        else:
+            minimum = max(self.f - 1, self.f // self.s + 1)
+            if base < minimum:
+                raise ParameterError(
+                    f"label_base={base} is below the safe minimum {minimum} "
+                    f"for f={self.f}, s={self.s}")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """``b = f/s``: arity of complete bulk/split subtrees."""
+        return self.f // self.s
+
+    @property
+    def base(self) -> int:
+        """Label radix (``f + 1`` unless overridden)."""
+        assert self.label_base is not None
+        return self.label_base
+
+    def l_max(self, height: int) -> int:
+        """Leaf-count split threshold ``s * b**height`` (paper §2.3)."""
+        if height < 0:
+            raise ParameterError(f"height must be >= 0, got {height}")
+        return self.s * self.arity ** height
+
+    def l_min(self, height: int) -> int:
+        """Minimum leaves of a split-produced node: ``b**height``."""
+        if height < 0:
+            raise ParameterError(f"height must be >= 0, got {height}")
+        return self.arity ** height
+
+    def child_step(self, child_height: int) -> int:
+        """Label distance between adjacent child slots at ``child_height``."""
+        return self.base ** child_height
+
+    def height_for(self, n_leaves: int) -> int:
+        """Smallest ``h`` with ``b**h >= n_leaves`` (bulk-load height, §2.2).
+
+        The returned height is at least 1 so the tree always has an internal
+        root, even when empty.
+        """
+        if n_leaves <= self.arity:
+            return 1
+        height = math.ceil(math.log(n_leaves) / math.log(self.arity))
+        # Guard against floating-point log jitter around exact powers.
+        while self.arity ** height < n_leaves:
+            height += 1
+        while height > 1 and self.arity ** (height - 1) >= n_leaves:
+            height -= 1
+        return height
+
+    def label_space(self, height: int) -> int:
+        """Upper bound on labels in a tree of ``height``: ``base**height``."""
+        return self.base ** height
+
+    def max_label_bits(self, n_leaves: int) -> int:
+        """Paper §3.1 bits bound: ``ceil(log2(base) * ceil(log_b n))``."""
+        if n_leaves <= 1:
+            return max(1, math.ceil(math.log2(self.base)))
+        height = self.height_for(n_leaves)
+        return math.ceil(math.log2(self.label_space(height)))
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (f"LTreeParams(f={self.f}, s={self.s}, b={self.arity}, "
+                f"base={self.base})")
+
+
+#: Parameters of the paper's worked example, Figure 2: f=4, s=2, drawn in
+#: base 3 (see DESIGN.md §1.2 on the figure/text base discrepancy).
+FIGURE2_PARAMS = LTreeParams(f=4, s=2, label_base=3)
+
+#: A sensible general-purpose default: splits every 16 leaves at height 1,
+#: quaternary subtrees, paper-default base 17.
+DEFAULT_PARAMS = LTreeParams(f=16, s=4)
+
+
+def spread_digits(index: int, arity: int, base: int, height: int) -> int:
+    """Label offset of leaf ``index`` in a complete ``arity``-ary subtree.
+
+    Writing ``index`` in base ``arity`` as digits ``d_{height-1} ... d_0``,
+    the leaf's offset from the subtree root's number is
+    ``sum(d_i * base**i)`` — each digit is the child slot taken at that
+    level (paper §4.2, the "virtual L-Tree" observation).
+
+    >>> spread_digits(5, arity=2, base=3, height=3)   # 5 = 0b101 -> 9+0+1
+    10
+    """
+    if index < 0:
+        raise ParameterError(f"index must be >= 0, got {index}")
+    if index >= arity ** height:
+        raise ParameterError(
+            f"index {index} does not fit a complete {arity}-ary tree "
+            f"of height {height}")
+    offset = 0
+    power = 1
+    for _ in range(height):
+        offset += (index % arity) * power
+        index //= arity
+        power *= base
+    return offset
+
+
+def gather_digits(offset: int, arity: int, base: int, height: int) -> int:
+    """Inverse of :func:`spread_digits`: leaf index from its label offset.
+
+    Raises :class:`ParameterError` when ``offset`` is not a valid leaf
+    offset of a complete ``arity``-ary subtree (some digit >= arity).
+    """
+    index = 0
+    power = 1
+    for _ in range(height):
+        digit = offset % base
+        offset //= base
+        if digit >= arity:
+            raise ParameterError(
+                f"digit {digit} exceeds arity {arity}; offset is not from "
+                f"a complete subtree")
+        index += digit * power
+        power *= arity
+    if offset != 0:
+        raise ParameterError("offset has more digits than the given height")
+    return index

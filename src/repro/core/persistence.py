@@ -1,0 +1,151 @@
+"""Persistence: L-Trees to and from plain label lists.
+
+Paper §4.2's key observation — *"the base-(f+1) digits of num(v) provide
+an encoding of all the ancestors of v ... all the structural information
+of the L-Tree is implicit in the labels themselves"* — means a
+materialized L-Tree can be serialized as nothing but its (label, payload)
+pairs and rebuilt exactly:
+
+* :func:`snapshot` captures a tree as a JSON-able dict;
+* :func:`restore` / :func:`ltree_from_labels` rebuild the identical
+  structure by decoding each label's digit path — **not** by re-running
+  bulk load, so labels (and therefore any external references to them)
+  are preserved bit-for-bit.
+
+Round-trip identity is property-tested in
+``tests/core/test_persistence.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core.ltree import LTree
+from repro.core.node import LTreeNode
+from repro.core.params import LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import ParameterError
+
+#: snapshot format version (bump on layout changes)
+FORMAT_VERSION = 1
+
+
+def snapshot(tree: LTree) -> dict[str, Any]:
+    """Serialize ``tree`` to a JSON-able dict (payloads must be
+    JSON-able themselves for an actual JSON round trip)."""
+    entries = []
+    for leaf in tree.iter_leaves():
+        entries.append({
+            "num": leaf.num,
+            "payload": leaf.payload,
+            "deleted": leaf.deleted,
+        })
+    return {
+        "version": FORMAT_VERSION,
+        "f": tree.params.f,
+        "s": tree.params.s,
+        "label_base": tree.params.base,
+        "height": tree.height,
+        "entries": entries,
+    }
+
+
+def restore(data: dict[str, Any], stats: Counters = NULL_COUNTERS) -> LTree:
+    """Rebuild the exact tree captured by :func:`snapshot`."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported snapshot version {data.get('version')!r}")
+    params = LTreeParams(f=data["f"], s=data["s"],
+                         label_base=data["label_base"])
+    pairs = [(entry["num"], entry["payload"])
+             for entry in data["entries"]]
+    tree = ltree_from_labels(params, data["height"], pairs, stats=stats)
+    for entry, leaf in zip(data["entries"], tree.iter_leaves()):
+        leaf.deleted = entry["deleted"]
+    return tree
+
+
+def ltree_from_labels(params: LTreeParams, height: int,
+                      pairs: Sequence[tuple[int, Any]],
+                      stats: Counters = NULL_COUNTERS) -> LTree:
+    """Materialize the L-Tree whose leaves carry exactly ``pairs``.
+
+    ``pairs`` must be sorted by label; each label is decoded into its
+    digit path (child slot per level, most significant first) and the
+    path's nodes are created on demand.  Because labels arrive sorted,
+    construction is a single left-to-right sweep: at each level the next
+    slot is either the current rightmost child (descend) or a brand-new
+    sibling (extend).
+
+    Raises :class:`ParameterError` on unsorted labels, labels outside
+    the height's universe, or slot indices that no L-Tree could produce.
+    """
+    if height < 1:
+        raise ParameterError(f"height must be >= 1, got {height}")
+    tree = LTree(params, stats)
+    root = LTreeNode(height=height)
+    tree.root = root
+    previous = -1
+    for label, payload in pairs:
+        if label <= previous:
+            raise ParameterError(
+                f"labels must be strictly increasing "
+                f"({label} after {previous})")
+        if label >= params.label_space(height):
+            raise ParameterError(
+                f"label {label} outside the universe of height {height}")
+        previous = label
+        _attach(tree, root, label, payload)
+    _recount(root)
+    return tree
+
+
+def _attach(tree: LTree, root: LTreeNode, label: int, payload: Any) -> None:
+    """Create the digit path of ``label`` under ``root``.
+
+    Sorted labels sweep the tree left to right, so at every level the
+    slot is either the current rightmost child (descend) or the next
+    fresh slot (extend by one).  Anything else — a gap, a step backwards,
+    a slot beyond the base — cannot come from one L-Tree and is rejected.
+    """
+    node = root
+    offset = label
+    created = False
+    for level in range(root.height - 1, -1, -1):
+        step = tree.params.child_step(level)
+        slot, offset = divmod(offset, step)
+        if slot >= tree.params.base:
+            raise ParameterError(
+                f"label {label} uses child slot {slot} at height "
+                f"{level + 1}, beyond base {tree.params.base}")
+        assert node.children is not None
+        last = len(node.children) - 1
+        if slot < last:
+            raise ParameterError(
+                f"label {label} revisits an earlier subtree (slot {slot} "
+                f"after {last}); labels are not from one L-Tree")
+        if slot > last + 1:
+            raise ParameterError(
+                f"label {label} skips child slots {last + 1}..{slot - 1} "
+                f"at height {level + 1}; labels are not from one L-Tree")
+        if slot == last + 1:
+            child = LTreeNode(height=level)
+            child.parent = node
+            child.num = node.num + slot * step
+            node.children.append(child)
+            tree.stats.relabels += 1
+            created = True
+        node = node.children[slot]
+    if not created:
+        raise ParameterError(f"duplicate label {label}")
+    node.payload = payload
+
+
+def _recount(node: LTreeNode) -> int:
+    """Recompute cached leaf counts bottom-up; returns the subtree's."""
+    if node.is_leaf:
+        node.leaf_count = 1
+        return 1
+    assert node.children is not None
+    node.leaf_count = sum(_recount(child) for child in node.children)
+    return node.leaf_count

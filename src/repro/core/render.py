@@ -1,0 +1,71 @@
+"""ASCII rendering of L-Trees (debugging and documentation aid).
+
+Reproduces the style of the paper's Figure 2 "Label tree" drawings::
+
+    0 h2 l=8
+    ├── 0 h1 l=2
+    │   ├── 0 'A'
+    │   └── 1 'B'
+    └── 9 h1 l=2
+        ...
+
+Each line shows a node's number, its height (``h``), leaf count (``l``)
+for internal nodes, and the payload for leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.ltree import LTree
+from repro.core.node import LTreeNode
+
+
+def render(tree: LTree, max_leaves: int | None = None) -> str:
+    """Multi-line drawing of ``tree``; truncates past ``max_leaves``."""
+    kept: list[str] = []
+    leaf_count = 0
+    for line, is_leaf in _render_node(tree.root, prefix="", is_last=True,
+                                      is_root=True):
+        if is_leaf:
+            leaf_count += 1
+            if max_leaves is not None and leaf_count > max_leaves:
+                kept.append("… (truncated)")
+                break
+        kept.append(line)
+    return "\n".join(kept)
+
+
+def _describe(node: LTreeNode) -> str:
+    if node.is_leaf:
+        mark = " ✝" if node.deleted else ""
+        return f"{node.num} {node.payload!r}{mark}"
+    return f"{node.num} h{node.height} l={node.leaf_count}"
+
+
+def _render_node(node: LTreeNode, prefix: str, is_last: bool,
+                 is_root: bool = False) -> Iterator[tuple[str, bool]]:
+    if is_root:
+        yield _describe(node), node.is_leaf
+        child_prefix = ""
+    else:
+        connector = "└── " if is_last else "├── "
+        yield f"{prefix}{connector}{_describe(node)}", node.is_leaf
+        child_prefix = prefix + ("    " if is_last else "│   ")
+    if node.children:
+        for index, child in enumerate(node.children):
+            yield from _render_node(child, child_prefix,
+                                    index == len(node.children) - 1)
+
+
+def label_ruler(tree: LTree, width: int = 72) -> str:
+    """One-line density picture: ``#`` where labels sit, ``.`` where
+    slack is, over the current label universe."""
+    space = tree.label_space
+    if space <= 0 or tree.n_leaves == 0:
+        return "." * width
+    cells = ["."] * width
+    for label in tree.labels():
+        position = min(width - 1, label * width // space)
+        cells[position] = "#"
+    return "".join(cells)

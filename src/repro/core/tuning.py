@@ -1,0 +1,270 @@
+"""Parameter tuning (paper Section 3.2).
+
+The paper poses three optimization problems over the tree parameters
+``(f, s)`` for an expected document size ``n0``:
+
+1. **Minimize the update cost** — unconstrained minimum of
+   ``cost(f, s, n0)``;
+2. **Minimize the update cost for a given number of bits** — minimize
+   ``cost`` subject to ``bits(f, s, n0) <= beta`` (the paper forms a
+   Lagrangian; we solve the inequality-constrained program with SLSQP and
+   fall back to the boundary exactly as §3.2 prescribes: take the interior
+   optimum if feasible, else the equality-constrained boundary optimum);
+3. **Minimize the overall cost of queries and updates** — a workload mix
+   where query cost is 1 while labels fit a machine word and grows
+   proportionally beyond (``cost.query_comparison_cost``).
+
+The continuous optima are then refined over the integer lattice
+(``s >= 2``, ``s | f``, ``f/s >= 2``) because an L-Tree only accepts
+integer parameters; :func:`integer_neighborhood` performs that search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import math
+from typing import Callable, Iterable
+
+import numpy as np
+from scipy import optimize
+
+from repro.core import cost as cost_model
+from repro.core.params import LTreeParams
+from repro.errors import ParameterError
+
+#: Continuous-domain lower bounds: s > 1 and b = f/s > 1 with margins that
+#: keep the logarithms well-conditioned.
+_S_MIN = 2.0
+_B_MIN = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a tuning problem.
+
+    ``continuous`` is the real-valued optimizer solution ``(f, s)``;
+    ``params`` is the best feasible integer parameter set near it;
+    ``predicted_cost`` / ``predicted_bits`` evaluate the paper's formulas at
+    the integer solution.
+    """
+
+    continuous: tuple[float, float]
+    params: LTreeParams
+    predicted_cost: float
+    predicted_bits: float
+    objective: float
+
+    def describe(self) -> str:
+        f_cont, s_cont = self.continuous
+        return (f"continuous (f={f_cont:.2f}, s={s_cont:.2f}) -> integer "
+                f"{self.params.describe()}: cost={self.predicted_cost:.2f}, "
+                f"bits={self.predicted_bits:.1f}")
+
+
+def _as_variables(f: float, s: float) -> np.ndarray:
+    return np.array([f, s], dtype=float)
+
+
+def _clip(x: np.ndarray) -> tuple[float, float]:
+    s = max(float(x[1]), _S_MIN)
+    f = max(float(x[0]), s * _B_MIN)
+    return f, s
+
+
+def integer_neighborhood(f: float, s: float, radius: int = 4
+                         ) -> Iterable[LTreeParams]:
+    """Valid integer parameter sets near a continuous point.
+
+    Enumerates ``s`` around ``round(s)`` and arity ``b`` around
+    ``round(f/s)``, yielding each valid ``LTreeParams(f=b*s, s=s)``.
+    """
+    s_center = max(2, round(s))
+    b_center = max(2, round(f / s))
+    seen: set[tuple[int, int]] = set()
+    for s_int in range(max(2, s_center - radius), s_center + radius + 1):
+        for b_int in range(max(2, b_center - radius),
+                           b_center + radius + 1):
+            f_int = s_int * b_int
+            if (f_int, s_int) in seen:
+                continue
+            seen.add((f_int, s_int))
+            yield LTreeParams(f=f_int, s=s_int)
+
+
+def _refine(continuous: tuple[float, float],
+            objective: Callable[[LTreeParams], float],
+            feasible: Callable[[LTreeParams], bool],
+            n: int) -> TuningResult:
+    """Pick the best feasible integer lattice point near the optimum."""
+    best: LTreeParams | None = None
+    best_value = math.inf
+    for params in integer_neighborhood(*continuous):
+        if not feasible(params):
+            continue
+        value = objective(params)
+        if value < best_value:
+            best = params
+            best_value = value
+    if best is None:
+        raise ParameterError(
+            "no feasible integer parameters near the continuous optimum "
+            f"{continuous}; relax the constraint")
+    return TuningResult(
+        continuous=continuous,
+        params=best,
+        predicted_cost=cost_model.amortized_insert_cost(
+            best.f, best.s, n),
+        predicted_bits=cost_model.label_bits(best.f, best.s, n),
+        objective=best_value,
+    )
+
+
+def minimize_update_cost(n: int, start: tuple[float, float] = (8.0, 2.0)
+                         ) -> TuningResult:
+    """§3.2 problem 1: unconstrained minimum of the amortized insert cost.
+
+    Solves ``min cost(f, s, n)`` via Nelder–Mead (the objective is smooth
+    but its Hessian is ill-conditioned near the ``f/s -> 1`` boundary), then
+    refines over integers.
+    """
+    if n < 2:
+        raise ParameterError(f"n must be >= 2, got {n}")
+
+    def objective(x: np.ndarray) -> float:
+        f, s = _clip(x)
+        return cost_model.amortized_insert_cost(f, s, n)
+
+    result = optimize.minimize(objective, _as_variables(*start),
+                               method="Nelder-Mead",
+                               options={"xatol": 1e-6, "fatol": 1e-9,
+                                        "maxiter": 4000})
+    continuous = _clip(result.x)
+    return _refine(
+        continuous,
+        objective=lambda p: cost_model.amortized_insert_cost(p.f, p.s, n),
+        feasible=lambda p: True,
+        n=n,
+    )
+
+
+def minimize_cost_given_bits(n: int, max_bits: float,
+                             start: tuple[float, float] = (8.0, 2.0)
+                             ) -> TuningResult:
+    """§3.2 problem 2: minimize cost subject to ``bits <= max_bits``.
+
+    Follows the paper's recipe: first minimize unconstrained; if the
+    interior optimum satisfies the bit budget it wins, otherwise solve on
+    the boundary ``bits = max_bits`` (the Lagrange-multiplier condition),
+    here via SLSQP with an inequality constraint.
+    """
+    if max_bits <= 1:
+        raise ParameterError(f"max_bits must exceed 1, got {max_bits}")
+    unconstrained = minimize_update_cost(n, start)
+    if cost_model.label_bits(*unconstrained.continuous, n) <= max_bits:
+        feasible = _refine(
+            unconstrained.continuous,
+            objective=lambda p: cost_model.amortized_insert_cost(
+                p.f, p.s, n),
+            feasible=lambda p: cost_model.label_bits(p.f, p.s, n)
+            <= max_bits,
+            n=n,
+        )
+        return feasible
+
+    def objective(x: np.ndarray) -> float:
+        f, s = _clip(x)
+        return cost_model.amortized_insert_cost(f, s, n)
+
+    def bits_slack(x: np.ndarray) -> float:
+        f, s = _clip(x)
+        return max_bits - cost_model.label_bits(f, s, n)
+
+    result = optimize.minimize(
+        objective, _as_variables(*start), method="SLSQP",
+        constraints=[{"type": "ineq", "fun": bits_slack}],
+        bounds=[(2.0 * _B_MIN, None), (_S_MIN, None)],
+        options={"maxiter": 500, "ftol": 1e-10})
+    continuous = _clip(result.x)
+    return _refine(
+        continuous,
+        objective=lambda p: cost_model.amortized_insert_cost(p.f, p.s, n),
+        feasible=lambda p: cost_model.label_bits(p.f, p.s, n) <= max_bits,
+        n=n,
+    )
+
+
+def minimize_overall_cost(n: int, update_fraction: float,
+                          comparisons_per_query: float = 1.0,
+                          word_bits: int = 64,
+                          start: tuple[float, float] = (8.0, 2.0)
+                          ) -> TuningResult:
+    """§3.2 problem 3: minimize the mixed query/update workload cost."""
+
+    def objective(x: np.ndarray) -> float:
+        f, s = _clip(x)
+        return cost_model.overall_cost(f, s, n, update_fraction,
+                                       comparisons_per_query, word_bits)
+
+    result = optimize.minimize(objective, _as_variables(*start),
+                               method="Nelder-Mead",
+                               options={"xatol": 1e-6, "fatol": 1e-9,
+                                        "maxiter": 4000})
+    continuous = _clip(result.x)
+    return _refine(
+        continuous,
+        objective=lambda p: cost_model.overall_cost(
+            p.f, p.s, n, update_fraction, comparisons_per_query, word_bits),
+        feasible=lambda p: True,
+        n=n,
+    )
+
+
+def cost_grid(n: int, f_values: Iterable[int], s_values: Iterable[int]
+              ) -> list[tuple[LTreeParams, float, float]]:
+    """Evaluate (cost, bits) over an integer (f, s) grid.
+
+    Invalid combinations (``s`` does not divide ``f`` etc.) are skipped.
+    Used by EXPERIMENTS.md E3 to compare the predicted optimum against the
+    measured one.
+    """
+    rows = []
+    for f, s in itertools.product(f_values, s_values):
+        try:
+            params = LTreeParams(f=f, s=s)
+        except ParameterError:
+            continue
+        rows.append((
+            params,
+            cost_model.amortized_insert_cost(f, s, n),
+            cost_model.label_bits(f, s, n),
+        ))
+    return rows
+
+
+def lagrange_stationarity_residual(f: float, s: float, n: int,
+                                   max_bits: float) -> float:
+    """Residual of the §3.2 Lagrange conditions at a boundary point.
+
+    At a constrained optimum on ``bits = max_bits`` the gradients of cost
+    and bits must be anti-parallel: ``∇cost = -λ ∇bits`` with ``λ >= 0``.
+    Returns the norm of the component of ``∇cost`` orthogonal to ``∇bits``
+    (0 at a true stationary point) — used by tests to validate the SLSQP
+    solution against the paper's Lagrange formulation.
+    """
+    eps = 1e-5
+
+    def grad(fun: Callable[[float, float], float]) -> np.ndarray:
+        return np.array([
+            (fun(f + eps, s) - fun(f - eps, s)) / (2 * eps),
+            (fun(f, s + eps) - fun(f, s - eps)) / (2 * eps),
+        ])
+
+    g_cost = grad(lambda a, b: cost_model.amortized_insert_cost(a, b, n))
+    g_bits = grad(lambda a, b: cost_model.label_bits(a, b, n))
+    norm = np.linalg.norm(g_bits)
+    if norm == 0.0:
+        return float(np.linalg.norm(g_cost))
+    unit = g_bits / norm
+    parallel = float(np.dot(g_cost, unit)) * unit
+    return float(np.linalg.norm(g_cost - parallel))

@@ -1,0 +1,438 @@
+"""Virtual L-Tree (paper Section 4.2).
+
+The L-Tree never has to be materialized: a leaf label written in base
+``B`` spells out the child slot taken at every level, so the (virtual)
+ancestor of label ``x`` at height ``h`` is simply numbered
+``anc(x, h) = x - (x mod B**h)``.  Keeping the labels in a counted B-tree
+(:class:`repro.storage.btree.CountedBTree`) supports the two operations the
+maintenance algorithm needs, both in O(log n):
+
+* the split criterion of the virtual node at height ``h`` above label
+  ``x`` is ``count_range(anc(x,h), anc(x,h) + B**h) >= s * b**h``;
+* relabeling a split region rewrites the labels in one parent range —
+  the split node's leaves get fresh complete-subtree labels while every
+  right-sibling subtree shifts by the constant ``(s-1) * B**h`` (offsets
+  preserve internal structure).
+
+:class:`VirtualLTree` mirrors :class:`repro.core.ltree.LTree` operation for
+operation; for identical inputs both produce **identical label sequences**
+(verified by ``tests/core/test_virtual.py``), trading the materialized
+tree's storage for logarithmic range counting (the paper's stated
+tradeoff).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.core.params import LTreeParams, spread_digits
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import InvariantViolation, KeyNotFound
+from repro.storage.btree import CountedBTree
+
+
+class _Entry:
+    """Payload wrapper so deletions can tombstone without relabeling."""
+
+    __slots__ = ("payload", "deleted")
+
+    def __init__(self, payload: Any):
+        self.payload = payload
+        self.deleted = False
+
+
+class VirtualLTree:
+    """Label-only L-Tree over a counted B-tree (paper §4.2).
+
+    Supports the same single-insert maintenance as the materialized tree;
+    labels are the only persistent state.
+
+    Examples
+    --------
+    >>> from repro.core.params import FIGURE2_PARAMS
+    >>> tree = VirtualLTree(FIGURE2_PARAMS)
+    >>> tree.bulk_load("A B C /C /B D /D /A".split())
+    [0, 1, 3, 4, 9, 10, 12, 13]
+    """
+
+    def __init__(self, params: LTreeParams, stats: Counters = NULL_COUNTERS,
+                 btree_order: int = 32):
+        self.params = params
+        self.stats = stats
+        self._entries = CountedBTree(order=btree_order, stats=stats)
+        self._height = 1
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        """Height of the virtual tree."""
+        return self._height
+
+    @property
+    def n_leaves(self) -> int:
+        """Number of labels, including tombstoned ones."""
+        return len(self._entries)
+
+    @property
+    def label_space(self) -> int:
+        """Exclusive upper bound of the current label universe."""
+        return self.params.label_space(self._height)
+
+    def labels(self, include_deleted: bool = True) -> list[int]:
+        """Current label sequence in order."""
+        return [label for label, entry in self._entries.items()
+                if include_deleted or not entry.deleted]
+
+    def payload(self, label: int) -> Any:
+        """Payload stored under ``label``; raises KeyNotFound."""
+        return self._entries.get(label).payload
+
+    def items(self, include_deleted: bool = True
+              ) -> Iterator[tuple[int, Any]]:
+        """(label, payload) pairs in document order."""
+        for label, entry in self._entries.items():
+            if include_deleted or not entry.deleted:
+                yield label, entry.payload
+
+    def first_label(self) -> Optional[int]:
+        """Smallest label, or ``None`` when empty."""
+        try:
+            return self._entries.min_key()
+        except KeyNotFound:
+            return None
+
+    def last_label(self) -> Optional[int]:
+        """Largest label, or ``None`` when empty."""
+        try:
+            return self._entries.max_key()
+        except KeyNotFound:
+            return None
+
+    def anc(self, label: int, height: int) -> int:
+        """Number of the virtual ancestor of ``label`` at ``height``."""
+        return label - (label % self.params.child_step(height))
+
+    def label_at(self, index: int) -> int:
+        """The ``index``-th smallest label: O(log n) via B-tree counts."""
+        return self._entries.select(index)
+
+    def index_of(self, label: int) -> int:
+        """Document-order position of ``label``: O(log n) rank query."""
+        if label not in self._entries:
+            raise KeyNotFound(f"label {label} does not exist")
+        return self._entries.rank(label)
+
+    # ------------------------------------------------------------------
+    # bulk load (mirrors LTree.bulk_load)
+    # ------------------------------------------------------------------
+    def bulk_load(self, payloads: Iterable[Any]) -> list[int]:
+        """Load payloads into a fresh virtual tree; return their labels.
+
+        A left-complete ``b``-ary tree places leaf ``j`` along the path
+        spelled by ``j`` in base ``b``, so its label is
+        :func:`~repro.core.params.spread_digits`\\ ``(j)`` — no tree needed.
+        """
+        items = list(payloads)
+        self._height = self.params.height_for(len(items))
+        labels = [
+            spread_digits(index, self.params.arity, self.params.base,
+                          self._height)
+            for index in range(len(items))
+        ]
+        self._entries.bulk_load(
+            (label, _Entry(payload))
+            for label, payload in zip(labels, items))
+        self.stats.relabels += len(items)
+        return labels
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithm 1 run on virtual nodes)
+    # ------------------------------------------------------------------
+    def insert_after(self, anchor: int, payload: Any) -> int:
+        """Insert right after label ``anchor``; return the new label."""
+        return self._insert_adjacent(anchor, payload, before=False)
+
+    def insert_before(self, anchor: int, payload: Any) -> int:
+        """Insert right before label ``anchor``; return the new label."""
+        return self._insert_adjacent(anchor, payload, before=True)
+
+    def append(self, payload: Any) -> int:
+        """Insert at the end of the sequence."""
+        last = self.last_label()
+        if last is None:
+            return self._insert_into_empty(payload)
+        return self.insert_after(last, payload)
+
+    def prepend(self, payload: Any) -> int:
+        """Insert at the beginning of the sequence."""
+        first = self.first_label()
+        if first is None:
+            return self._insert_into_empty(payload)
+        return self.insert_before(first, payload)
+
+    def _insert_into_empty(self, payload: Any) -> int:
+        self._height = 1
+        self._entries.insert(0, _Entry(payload))
+        self.stats.count_updates += 1
+        self.stats.relabels += 1
+        self.stats.inserts += 1
+        return 0
+
+    def _insert_adjacent(self, anchor: int, payload: Any,
+                         before: bool) -> int:
+        if anchor not in self._entries:
+            raise KeyNotFound(f"anchor label {anchor} does not exist")
+        # Find the highest violating virtual ancestor: the node at height h
+        # containing the anchor holds count_range(...) leaves, +1 for the
+        # leaf about to arrive.
+        violator_height = 0
+        for height in range(1, self._height):
+            low = self.anc(anchor, height)
+            high = low + self.params.child_step(height)
+            occupancy = self._entries.count_range(low, high) + 1
+            self.stats.count_updates += 1
+            if occupancy >= self.params.l_max(height):
+                violator_height = height
+        root_occupancy = self.n_leaves + 1
+        self.stats.count_updates += 1
+        if root_occupancy >= self.params.l_max(self._height):
+            violator_height = self._height
+
+        if violator_height == 0:
+            label = self._relabel_parent_range(anchor, payload, before)
+        elif violator_height == self._height:
+            label = self._split_root(anchor, payload, before)
+        else:
+            label = self._split(anchor, payload, before, violator_height)
+        self.stats.inserts += 1
+        return label
+
+    def _relabel_parent_range(self, anchor: int, payload: Any,
+                              before: bool) -> int:
+        """No split: shift the anchor's right siblings up one slot.
+
+        Leaves below one height-1 virtual node always occupy consecutive
+        slots ``parent, parent+1, ...`` (every maintenance path labels them
+        consecutively), so the new leaf takes the anchor's slot (+1 when
+        inserting after) and everything to its right moves up by one.
+        """
+        parent = self.anc(anchor, 1)
+        step = self.params.child_step(1)
+        pairs = list(self._entries.iter_range(parent, parent + step))
+        index = next(i for i, (label, _) in enumerate(pairs)
+                     if label == anchor)
+        position = index if before else index + 1
+        moved = pairs[position:]
+        for label, _ in reversed(moved):
+            self._entries.delete(label)
+        new_entry = _Entry(payload)
+        new_label = parent + position
+        sequence = [(new_label, new_entry)] + [
+            (parent + position + 1 + offset, entry)
+            for offset, (_, entry) in enumerate(moved)
+        ]
+        for label, entry in sequence:
+            self._entries.insert(label, entry)
+            self.stats.relabels += 1
+        return new_label
+
+    def _split(self, anchor: int, payload: Any, before: bool,
+               height: int) -> int:
+        """Split the virtual node at ``height`` above the anchor.
+
+        Mirrors LTree._split + Relabel: the split node's leaves (including
+        the new one) are rewritten as ``s`` complete ``b``-ary subtrees in
+        slots ``slot_t .. slot_t + s - 1`` of the parent range; leaves of
+        right-sibling subtrees shift by the constant ``(s-1) * B**height``.
+        """
+        params = self.params
+        step = params.child_step(height)
+        node_low = self.anc(anchor, height)
+        parent_low = self.anc(anchor, height + 1)
+        parent_step = params.child_step(height + 1)
+        parent_high = parent_low + parent_step
+
+        node_pairs = list(self._entries.iter_range(node_low,
+                                                   node_low + step))
+        expected = params.l_max(height)
+        if len(node_pairs) + 1 != expected:
+            raise InvariantViolation(
+                f"virtual split with l={len(node_pairs) + 1}, "
+                f"expected {expected}")
+        index = next(i for i, (label, _) in enumerate(node_pairs)
+                     if label == anchor)
+        position = index if before else index + 1
+        entries = [entry for _, entry in node_pairs]
+        new_entry = _Entry(payload)
+        entries.insert(position, new_entry)
+
+        right_pairs = list(self._entries.iter_range(node_low + step,
+                                                    parent_high))
+        for label, _ in node_pairs:
+            self._entries.delete(label)
+        for label, _ in right_pairs:
+            self._entries.delete(label)
+
+        new_label: Optional[int] = None
+        chunk = params.l_min(height)  # b**height leaves per new subtree
+        for offset, entry in enumerate(entries):
+            subtree, within = divmod(offset, chunk)
+            label = (node_low + subtree * step +
+                     spread_digits(within, params.arity, params.base,
+                                   height))
+            self._entries.insert(label, entry)
+            self.stats.relabels += 1
+            if entry is new_entry:
+                new_label = label
+        shift = (params.s - 1) * step
+        for label, entry in right_pairs:
+            self._entries.insert(label + shift, entry)
+            self.stats.relabels += 1
+        self.stats.splits += 1
+        assert new_label is not None
+        return new_label
+
+    def _split_root(self, anchor: int, payload: Any, before: bool) -> int:
+        """Grow the virtual tree: rewrite all labels one level taller."""
+        params = self.params
+        pairs = list(self._entries.items())
+        index = next(i for i, (label, _) in enumerate(pairs)
+                     if label == anchor)
+        position = index if before else index + 1
+        entries = [entry for _, entry in pairs]
+        new_entry = _Entry(payload)
+        entries.insert(position, new_entry)
+        for label, _ in pairs:
+            self._entries.delete(label)
+
+        old_height = self._height
+        self._height = old_height + 1
+        top_step = params.child_step(old_height)
+        chunk = params.l_min(old_height)
+        new_label: Optional[int] = None
+        for offset, entry in enumerate(entries):
+            subtree, within = divmod(offset, chunk)
+            label = (subtree * top_step +
+                     spread_digits(within, params.arity, params.base,
+                                   old_height))
+            self._entries.insert(label, entry)
+            self.stats.relabels += 1
+            if entry is new_entry:
+                new_label = label
+        self.stats.splits += 1
+        assert new_label is not None
+        return new_label
+
+    # ------------------------------------------------------------------
+    # batch insertion (§4.1 applied to the virtual variant)
+    # ------------------------------------------------------------------
+    def insert_run_after(self, anchor: int,
+                         payloads: Sequence[Any]) -> list[int]:
+        """Insert a run of payloads right after label ``anchor``.
+
+        One maintenance pass for the whole run (the §4.1 cost sharing):
+        the lowest non-violating virtual ancestor that can absorb the
+        ``k`` new leaves is rebuilt in place as an even ``b``-ary forest
+        over its label range.  The resulting labels differ from what
+        ``k`` single inserts would produce (both are valid L-Trees); all
+        density invariants still hold (``validate()``-checked in tests).
+        """
+        if not payloads:
+            return []
+        if anchor not in self._entries:
+            raise KeyNotFound(f"anchor label {anchor} does not exist")
+        params = self.params
+        count = len(payloads)
+
+        # Highest violating virtual ancestor once the run lands.
+        highest_violator = 0
+        for height in range(1, self._height):
+            low = self.anc(anchor, height)
+            occupancy = self._entries.count_range(
+                low, low + params.child_step(height)) + count
+            self.stats.count_updates += 1
+            if occupancy >= params.l_max(height):
+                highest_violator = height
+        self.stats.count_updates += 1
+        if self.n_leaves + count >= params.l_max(self._height):
+            highest_violator = self._height
+
+        if highest_violator >= self._height:
+            # Root rebuild: grow the universe until the run fits.
+            self._height += 1
+            while self.n_leaves + count >= params.l_max(self._height):
+                self._height += 1
+            rebuild_height = self._height
+        else:
+            rebuild_height = highest_violator + 1
+
+        low = self.anc(anchor, rebuild_height)
+        step = params.child_step(rebuild_height)
+        pairs = list(self._entries.iter_range(low, low + step))
+        index = next(i for i, (label, _) in enumerate(pairs)
+                     if label == anchor)
+        entries = [entry for _, entry in pairs]
+        new_entries = [_Entry(payload) for payload in payloads]
+        entries[index + 1:index + 1] = new_entries
+        for label, _ in pairs:
+            self._entries.delete(label)
+
+        # Even b-ary forest over the node's child slots.
+        child_capacity = params.l_min(rebuild_height - 1) \
+            if rebuild_height > 1 else 1
+        slots = -(-len(entries) // child_capacity)  # ceil
+        slot_step = params.child_step(rebuild_height - 1)
+        new_labels: dict[int, int] = {}
+        start = 0
+        for slot in range(slots):
+            size = (len(entries) - start) // (slots - slot)
+            for offset in range(size):
+                entry = entries[start + offset]
+                label = (low + slot * slot_step +
+                         spread_digits(offset, params.arity, params.base,
+                                       rebuild_height - 1)
+                         if rebuild_height > 1 else low + slot)
+                self._entries.insert(label, entry)
+                self.stats.relabels += 1
+                new_labels[id(entry)] = label
+            start += size
+        self.stats.splits += 1
+        self.stats.inserts += count
+        return [new_labels[id(entry)] for entry in new_entries]
+
+    # ------------------------------------------------------------------
+    # deletion (paper §2.3: tombstone, never relabel)
+    # ------------------------------------------------------------------
+    def mark_deleted(self, label: int) -> None:
+        """Tombstone ``label``; its slot keeps counting toward density."""
+        self._entries.get(label).deleted = True
+        self.stats.deletes += 1
+
+    # ------------------------------------------------------------------
+    # validation (tests only)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check virtual-tree invariants via range counting."""
+        labels = self.labels()
+        if labels and labels[-1] >= self.label_space:
+            raise InvariantViolation(
+                f"label {labels[-1]} outside universe {self.label_space}")
+        for height in range(1, self._height):
+            step = self.params.child_step(height)
+            limit = self.params.l_max(height)
+            seen: set[int] = set()
+            for label in labels:
+                low = self.anc(label, height)
+                if low in seen:
+                    continue
+                seen.add(low)
+                count = self._entries.count_range(low, low + step)
+                if count >= limit:
+                    raise InvariantViolation(
+                        f"virtual node {low} at height {height} holds "
+                        f"{count} >= {limit} leaves")
+        if self.n_leaves >= self.params.l_max(self._height):
+            raise InvariantViolation("virtual root over its leaf limit")
+        self._entries.validate()

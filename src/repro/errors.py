@@ -1,0 +1,68 @@
+"""Exception hierarchy for the L-Tree reproduction library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Errors are grouped by subsystem: parameterization,
+structural invariants, XML processing, storage and query processing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An L-Tree parameter set (f, s, label base, ...) is invalid."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A structural invariant of a data structure was violated.
+
+    Raised only by explicit ``validate()`` calls (used heavily by tests);
+    production code paths never raise it.
+    """
+
+
+class LabelOverflow(ReproError, OverflowError):
+    """A labeling scheme ran out of label space.
+
+    Fixed-universe schemes (e.g. the gap scheme with a bounded universe)
+    raise this when no renumbering can create room for a new item.
+    """
+
+
+class XMLSyntaxError(ReproError, ValueError):
+    """The XML tokenizer/parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None,
+                 line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}, column {column}"
+        elif position is not None:
+            location = f" at offset {position}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class XPathSyntaxError(ReproError, ValueError):
+    """An XPath expression could not be parsed by the subset grammar."""
+
+
+class StorageError(ReproError):
+    """A storage-layer structure (B-tree, table) was misused."""
+
+
+class KeyNotFound(StorageError, KeyError):
+    """A key lookup in a storage structure found nothing."""
+
+
+class DuplicateKey(StorageError, ValueError):
+    """A unique-key structure was asked to insert an existing key."""
+
+
+class QueryError(ReproError):
+    """A query could not be planned or evaluated."""

@@ -1,0 +1,17 @@
+"""Region labeling of XML documents (paper §1–§2): (begin, end) label
+pairs over any order scheme, with containment predicates answering the
+ancestor/descendant axes from labels alone."""
+
+from repro.labeling.containment import (Region, document_order, is_ancestor,
+                                        is_parent)
+from repro.labeling.dewey import DeweyDocument
+from repro.labeling.scheme import LabeledDocument
+
+__all__ = [
+    "LabeledDocument",
+    "DeweyDocument",
+    "Region",
+    "is_ancestor",
+    "is_parent",
+    "document_order",
+]

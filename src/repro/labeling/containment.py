@@ -1,0 +1,87 @@
+"""Region algebra over (begin, end) labels (paper §1 and Figure 1).
+
+*"for any two nodes m and n, m is an ancestor of n if and only if the
+interval [begin(m), end(m)] includes the interval [begin(n), end(n)]"* —
+these predicates are that observation, plus the sibling relations the
+XPath axes need.  They operate on labels alone (no tree access), which is
+the whole point of the labeling scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Region:
+    """A labeled region: the (begin, end) pair of an element.
+
+    Orders by ``begin`` — i.e. by document order of the start tags.
+    Labels may be any mutually comparable values (ints for the L-Tree,
+    fractions for the prefix scheme).
+    """
+
+    begin: Any
+    end: Any
+
+    def __post_init__(self) -> None:
+        if not self.begin < self.end:
+            raise ValueError(
+                f"region begin {self.begin!r} must precede end "
+                f"{self.end!r}")
+
+    def contains(self, other: "Region") -> bool:
+        """True when this region's element is an ancestor of ``other``'s.
+
+        Strict: a region does not contain itself.
+        """
+        return self.begin < other.begin and other.end < self.end
+
+    def contained_in(self, other: "Region") -> bool:
+        """Inverse of :meth:`contains`."""
+        return other.contains(self)
+
+    def precedes(self, other: "Region") -> bool:
+        """Entirely before ``other`` (XPath ``preceding`` axis)."""
+        return self.end < other.begin
+
+    def follows(self, other: "Region") -> bool:
+        """Entirely after ``other`` (XPath ``following`` axis)."""
+        return other.end < self.begin
+
+    def overlaps(self, other: "Region") -> bool:
+        """Partial overlap — impossible for regions of one well-formed
+        document; exposed so tests can assert exactly that."""
+        if self.begin < other.begin:
+            return other.begin < self.end < other.end
+        return self.begin < other.end < self.end and \
+            other.begin < self.begin
+
+    def width(self) -> Any:
+        """``end - begin``: slack available inside the region."""
+        return self.end - self.begin
+
+
+def is_ancestor(ancestor: Region, descendant: Region) -> bool:
+    """Functional alias of :meth:`Region.contains`."""
+    return ancestor.contains(descendant)
+
+def document_order(first: Region, second: Region) -> int:
+    """-1/0/+1 by start-tag order (the order Prop. 1 preserves)."""
+    if first.begin < second.begin:
+        return -1
+    if first.begin > second.begin:
+        return 1
+    return 0
+
+
+def is_parent(parent: Region, child: Region, parent_level: int,
+              child_level: int) -> bool:
+    """Parent test: containment plus adjacent levels.
+
+    Region labels alone cannot distinguish parents from further ancestors;
+    systems of the paper's era store the node's *level* alongside the
+    region (Zhang et al.), which is what the interval table does.
+    """
+    return parent.contains(child) and child_level == parent_level + 1

@@ -1,0 +1,297 @@
+"""Region labeling of XML documents over any order scheme.
+
+This is the glue the paper describes in §2.1: every begin tag, end tag and
+text section of the document becomes one item of an ordered list; an
+element's label is the **pair** of its two tag labels; ancestor/descendant
+queries become interval containment over those pairs (Figure 1).
+
+:class:`LabeledDocument` owns an :class:`repro.xml.model.XMLDocument` and
+an :class:`repro.order.base.OrderedLabeling` (the L-Tree by default) and
+keeps the two consistent across subtree insertions and deletions:
+
+* insertions label the new tokens through the scheme — using its native
+  *batch* insertion, so an L-Tree pays the §4.1 shared cost;
+* deletions only unlabel (the L-Tree marks; no relabeling — §2.3);
+* every predicate (:meth:`is_ancestor`, :meth:`precedes`, ...) consults
+  labels only, never the tree structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.core.params import LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.labeling.containment import Region
+from repro.order.base import OrderedLabeling
+from repro.order.ltree_list import LTreeListLabeling
+from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
+                             XMLInstructionNode, XMLNode, XMLTextNode)
+
+#: token-kind markers used in scheme payloads
+BEGIN = "begin"
+END = "end"
+POINT = "point"  # text / comment / PI: a single list position
+
+
+class _Handles:
+    """Scheme handles attached to a node via ``node.extra``."""
+
+    __slots__ = ("begin", "end")
+
+    def __init__(self, begin: Any, end: Any = None):
+        self.begin = begin
+        self.end = end
+
+
+def _emit_tokens(node: XMLNode) -> Iterator[tuple[str, XMLNode]]:
+    """(kind, node) pairs of a subtree in document-list order."""
+    if isinstance(node, XMLElement):
+        yield (BEGIN, node)
+        for child in node.children:
+            yield from _emit_tokens(child)
+        yield (END, node)
+    else:
+        yield (POINT, node)
+
+
+class LabeledDocument:
+    """An XML document with maintained order-preserving labels.
+
+    Parameters
+    ----------
+    document:
+        The document to label.  A node may belong to at most one
+        ``LabeledDocument`` at a time (handles live on ``node.extra``).
+    scheme:
+        Any order-labeling scheme; defaults to an L-Tree with ``params``.
+    params:
+        L-Tree parameters for the default scheme.
+    stats:
+        Counter sink (shared with the default scheme).
+
+    Examples
+    --------
+    >>> from repro.xml import parse
+    >>> doc = parse("<book><chapter><title/></chapter><title/></book>")
+    >>> labeled = LabeledDocument(doc)
+    >>> chapter = next(doc.find_all("chapter"))
+    >>> all(labeled.is_ancestor(doc.root, t) for t in doc.find_all("title"))
+    True
+    >>> labeled.is_ancestor(chapter, doc.root)
+    False
+    """
+
+    def __init__(self, document: XMLDocument,
+                 scheme: Optional[OrderedLabeling] = None,
+                 params: Optional[LTreeParams] = None,
+                 stats: Counters = NULL_COUNTERS):
+        if scheme is None:
+            scheme = LTreeListLabeling(params or LTreeParams(f=16, s=4),
+                                       stats=stats)
+        elif params is not None:
+            raise ValueError("pass either a scheme or params, not both")
+        self.document = document
+        self.scheme = scheme
+        self.stats = stats
+        self._bulk_label()
+
+    def _bulk_label(self) -> None:
+        pairs = list(_emit_tokens(self.document.root))
+        handles = self.scheme.bulk_load(pairs)
+        self._attach(pairs, handles)
+
+    @staticmethod
+    def _attach(pairs: list[tuple[str, XMLNode]],
+                handles: list[Any]) -> None:
+        for (kind, node), handle in zip(pairs, handles):
+            if kind == BEGIN:
+                node.extra = _Handles(handle)
+            elif kind == END:
+                assert isinstance(node.extra, _Handles)
+                node.extra.end = handle
+            else:
+                node.extra = _Handles(handle)
+
+    # ------------------------------------------------------------------
+    # label access
+    # ------------------------------------------------------------------
+    def _handles(self, node: XMLNode) -> _Handles:
+        handles = node.extra
+        if not isinstance(handles, _Handles):
+            raise ValueError(f"{node!r} is not labeled by this document")
+        return handles
+
+    def begin_label(self, node: XMLNode) -> Any:
+        """Label of the node's begin tag (or of its single position)."""
+        return self.scheme.label(self._handles(node).begin)
+
+    def end_label(self, node: XMLNode) -> Any:
+        """Label of an element's end tag; point nodes reuse their label."""
+        handles = self._handles(node)
+        if handles.end is None:
+            return self.scheme.label(handles.begin)
+        return self.scheme.label(handles.end)
+
+    def region(self, element: XMLElement) -> Region:
+        """(begin, end) region of an element (paper Figure 1)."""
+        handles = self._handles(element)
+        if handles.end is None:
+            raise ValueError(f"{element!r} has no end tag (not an element)")
+        return Region(self.scheme.label(handles.begin),
+                      self.scheme.label(handles.end))
+
+    def labels_in_order(self) -> list[Any]:
+        """All current token labels in document order."""
+        return self.scheme.labels()
+
+    # ------------------------------------------------------------------
+    # label-only predicates (the queries labels exist for)
+    # ------------------------------------------------------------------
+    def is_ancestor(self, ancestor: XMLElement, node: XMLNode) -> bool:
+        """Interval containment: strict ancestor test, labels only."""
+        self.stats.comparisons += 2
+        begin = self.begin_label(node)
+        return self.begin_label(ancestor) < begin and \
+            self.end_label(node) < self.end_label(ancestor)
+
+    def precedes(self, first: XMLNode, second: XMLNode) -> bool:
+        """Document order of two nodes by their (begin) labels."""
+        self.stats.comparisons += 1
+        return self.begin_label(first) < self.begin_label(second)
+
+    def is_following(self, first: XMLNode, second: XMLNode) -> bool:
+        """XPath ``following``: starts after ``second`` entirely ends."""
+        self.stats.comparisons += 1
+        return self.begin_label(first) > self.end_label(second)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert_subtree(self, parent: XMLElement, index: int,
+                       subtree: XMLNode) -> XMLNode:
+        """Insert ``subtree`` as ``parent.children[index]`` and label it.
+
+        Labels arrive through one batch insertion (paper §4.1) anchored at
+        the token immediately preceding the insertion point: the parent's
+        begin tag for position 0, else the preceding sibling's last token.
+        """
+        if not 0 <= index <= len(parent.children):
+            raise IndexError(
+                f"index {index} out of range 0..{len(parent.children)}")
+        anchor = self._anchor_before(parent, index)
+        parent.insert_child(index, subtree)
+        pairs = list(_emit_tokens(subtree))
+        handles = self.scheme.insert_run_after(
+            anchor, pairs)
+        self._attach(pairs, handles)
+        return subtree
+
+    def append_subtree(self, parent: XMLElement,
+                       subtree: XMLNode) -> XMLNode:
+        """Insert ``subtree`` as the last child of ``parent``."""
+        return self.insert_subtree(parent, len(parent.children), subtree)
+
+    def insert_text(self, parent: XMLElement, index: int,
+                    content: str) -> XMLTextNode:
+        """Insert a text node at ``parent.children[index]``."""
+        node = XMLTextNode(content)
+        self.insert_subtree(parent, index, node)
+        return node
+
+    def _anchor_before(self, parent: XMLElement, index: int) -> Any:
+        if index == 0:
+            return self._handles(parent).begin
+        previous = parent.children[index - 1]
+        handles = self._handles(previous)
+        return handles.end if handles.end is not None else handles.begin
+
+    def move_subtree(self, node: XMLNode, new_parent: XMLElement,
+                     index: int) -> XMLNode:
+        """Relocate ``node`` under ``new_parent`` at child ``index``.
+
+        Implemented as unlabel + detach + relabeled reinsert, so the
+        subtree's DOM nodes survive but receive fresh labels (an order
+        labeling cannot move a region in place).  ``index`` addresses
+        ``new_parent.children`` *after* the detach — relevant when moving
+        within the same parent.  Moving a node under its own descendant
+        (or itself) is rejected.
+        """
+        if node is new_parent or (isinstance(node, XMLElement) and
+                                  node.is_ancestor_of(new_parent)):
+            raise ValueError("cannot move a node beneath itself")
+        self.delete_subtree(node)
+        return self.insert_subtree(new_parent, index, node)
+
+    def delete_subtree(self, node: XMLNode) -> None:
+        """Detach ``node`` from the document and unlabel its tokens.
+
+        Mark-only on the L-Tree — zero relabelings (paper §2.3).
+        """
+        if node.parent is None:
+            raise ValueError("cannot delete the document root")
+        for kind, member in _emit_tokens(node):
+            handles = self._handles(member)
+            if kind == BEGIN:
+                self.scheme.delete(handles.begin)
+            elif kind == END:
+                if handles.end is not None:
+                    self.scheme.delete(handles.end)
+            else:
+                self.scheme.delete(handles.begin)
+        for _, member in _emit_tokens(node):
+            member.extra = None
+        node.parent.remove_child(node)
+
+    def compact(self) -> int:
+        """Vacuum tombstoned label slots (L-Tree scheme only).
+
+        Rebuilds the underlying L-Tree without deleted slots and rewires
+        every node's handles, so the document stays fully queryable with
+        fresh (narrower) labels.  Returns the number of reclaimed slots.
+        """
+        if not isinstance(self.scheme, LTreeListLabeling):
+            raise TypeError(
+                "compact() requires an L-Tree-backed scheme, got "
+                f"{self.scheme.name!r}")
+        reclaimed = self.scheme.tree.tombstone_count()
+        mapping = self.scheme.tree.compact()
+        for kind, node in _emit_tokens(self.document.root):
+            handles = self._handles(node)
+            if kind == END:
+                assert handles.end is not None
+                handles.end = mapping[handles.end]
+            else:
+                handles.begin = mapping[handles.begin]
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # validation (tests)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check order preservation and containment consistency.
+
+        * token labels strictly increase in document order (Prop. 1);
+        * for every element, begin < end;
+        * label containment agrees with structural ancestorship for every
+          parent/child edge.
+        """
+        self.scheme.validate()
+        previous: Any = None
+        for kind, node in _emit_tokens(self.document.root):
+            handles = self._handles(node)
+            handle = handles.end if kind == END else handles.begin
+            label = self.scheme.label(handle)
+            if previous is not None and not previous < label:
+                raise AssertionError(
+                    f"labels out of document order: {previous!r} then "
+                    f"{label!r} at {node!r}")
+            previous = label
+        for element in self.document.iter_elements():
+            region = self.region(element)
+            for child in element.children:
+                if isinstance(child, XMLElement):
+                    if not region.contains(self.region(child)):
+                        raise AssertionError(
+                            f"containment broken: {element.tag} !> "
+                            f"{child.tag}")

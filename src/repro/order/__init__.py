@@ -1,0 +1,25 @@
+"""Ordered list labeling: the abstract problem behind XML label
+maintenance (paper §1/§5), with the L-Tree and four baseline schemes."""
+
+from repro.order.base import LinkedItem, LinkedListScheme, OrderedLabeling
+from repro.order.bender import BenderLabeling
+from repro.order.gap import GapLabeling
+from repro.order.ltree_list import LTreeListLabeling
+from repro.order.naive import NaiveLabeling
+from repro.order.prefix import PrefixLabeling
+from repro.order.registry import SCHEMES, make_scheme
+from repro.order.two_level import TwoLevelLabeling
+
+__all__ = [
+    "OrderedLabeling",
+    "LinkedListScheme",
+    "LinkedItem",
+    "NaiveLabeling",
+    "GapLabeling",
+    "BenderLabeling",
+    "PrefixLabeling",
+    "TwoLevelLabeling",
+    "LTreeListLabeling",
+    "SCHEMES",
+    "make_scheme",
+]

@@ -1,0 +1,115 @@
+"""Tag-range relabeling baseline (Dietz & Sleator / Bender et al.).
+
+The paper's related work (§5, refs [8, 9, 16]) credits the order-maintenance
+literature as its inspiration.  This module implements the classic
+*fixed-universe tag* algorithm in its simplified form (Bender, Cole,
+Demaine, Farach-Colton, Zito 2002): labels live in ``[0, 2^u)``; an
+insertion takes the midpoint of its neighbors' labels, and when no midpoint
+exists the smallest enclosing dyadic range whose density is below its
+threshold ``T^-(u-i)`` (range size ``2^i``, balance factor ``1 < T < 2``)
+is relabeled evenly.  When even the whole universe is too dense, ``u``
+grows and everything is relabeled.
+
+This gives O(log² n) amortized relabels with O(log n)-bit labels — the
+closest published competitor to the L-Tree's guarantees, and the natural
+head-to-head baseline for experiment E8.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import LinkedItem, LinkedListScheme
+
+
+class BenderLabeling(LinkedListScheme):
+    """Fixed-universe dyadic-range relabeling."""
+
+    name = "bender"
+
+    def __init__(self, threshold: float = 1.4, initial_bits: int = 16,
+                 stats: Counters = NULL_COUNTERS):
+        if not 1.0 < threshold < 2.0:
+            raise ValueError(
+                f"threshold must be in (1, 2), got {threshold}")
+        if initial_bits < 4:
+            raise ValueError(
+                f"initial_bits must be >= 4, got {initial_bits}")
+        super().__init__(stats)
+        self.threshold = threshold
+        self.universe_bits = initial_bits
+        #: dyadic-range relabel events (size, count) — reported by E8
+        self.relabel_events: list[tuple[int, int]] = []
+
+    @property
+    def universe(self) -> int:
+        """Exclusive upper bound of the label space, ``2^u``."""
+        return 1 << self.universe_bits
+
+    # ------------------------------------------------------------------
+    # labeling hooks
+    # ------------------------------------------------------------------
+    def _assign_bulk(self, items: list[LinkedItem]) -> None:
+        while self.universe < 2 * (len(items) + 1):
+            self.universe_bits += 1
+        self._spread_evenly(items, 0, self.universe)
+
+    def _assign_between(self, item: LinkedItem) -> None:
+        low = item.prev.label if item.prev is not None else -1
+        high = item.next.label if item.next is not None else self.universe
+        if high - low >= 2:
+            item.label = (low + high) // 2
+            self.stats.relabels += 1
+            return
+        self._overflow(item, position_tag=max(low, 0))
+
+    # ------------------------------------------------------------------
+    # overflow handling
+    # ------------------------------------------------------------------
+    def _overflow(self, item: LinkedItem, position_tag: int) -> None:
+        """Relabel the smallest under-threshold enclosing dyadic range."""
+        for exponent in range(1, self.universe_bits + 1):
+            size = 1 << exponent
+            start = position_tag - (position_tag % size)
+            members = self._collect_range(item, start, start + size)
+            density = len(members) / size
+            if density <= self.threshold ** (exponent - self.universe_bits):
+                self.relabel_events.append((size, len(members)))
+                self._spread_evenly(members, start, size)
+                return
+        # Even the full universe is too dense: grow it.
+        while self.universe < 2 * (self._count + 1):
+            self.universe_bits += 1
+        everything = self._collect_range(item, 0, self.universe)
+        self.relabel_events.append((self.universe, len(everything)))
+        self._spread_evenly(everything, 0, self.universe)
+
+    def _collect_range(self, item: LinkedItem, start: int, stop: int
+                       ) -> list[LinkedItem]:
+        """Items whose labels fall in ``[start, stop)`` plus ``item``.
+
+        List neighbors carry ordered labels, so the range is a contiguous
+        stretch of the linked list around ``item``.
+        """
+        members: list[LinkedItem] = []
+        cursor = item.prev
+        while cursor is not None and cursor.label >= start:
+            members.append(cursor)
+            cursor = cursor.prev
+        members.reverse()
+        members.append(item)
+        cursor = item.next
+        while cursor is not None and cursor.label < stop:
+            members.append(cursor)
+            cursor = cursor.next
+        return members
+
+    def _spread_evenly(self, items: list[LinkedItem], start: int,
+                       size: int) -> None:
+        """Distribute ``items`` over ``[start, start+size)`` evenly."""
+        count = len(items)
+        if count > size:
+            raise AssertionError(
+                f"cannot place {count} items in a range of {size}")
+        for index, member in enumerate(items):
+            member.label = start + (index * size) // count
+            self.stats.relabels += 1

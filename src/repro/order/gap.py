@@ -1,0 +1,72 @@
+"""Fixed-gap labeling — the folklore scheme the paper improves upon.
+
+Section 1: *"Alternatively, one can leave gaps in between successive labels
+to reduce the number of relabelings upon updates ...  It is not clear how
+to assign the gaps between labels such that we can find a good trade-off."*
+
+Labels start at multiples of a fixed ``gap``.  An insertion takes the
+midpoint of its neighbors' labels; when the midpoint does not exist (the
+local gap is exhausted) the **entire list** is renumbered back to multiples
+of ``gap`` — a Θ(n) event whose frequency depends on update locality, which
+is exactly the unpredictability the L-Tree's density control removes.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import LinkedItem, LinkedListScheme
+
+
+class GapLabeling(LinkedListScheme):
+    """Midpoint insertion over gapped integer labels, global renumber."""
+
+    name = "gap"
+
+    def __init__(self, gap: int = 32, stats: Counters = NULL_COUNTERS):
+        if gap < 2:
+            raise ValueError(f"gap must be >= 2, got {gap}")
+        super().__init__(stats)
+        self.gap = gap
+        #: number of Θ(n) global renumberings performed (reported by E8)
+        self.renumber_events = 0
+
+    def _assign_bulk(self, items: list[LinkedItem]) -> None:
+        for index, item in enumerate(items):
+            item.label = (index + 1) * self.gap
+            self.stats.relabels += 1
+
+    def _assign_between(self, item: LinkedItem) -> None:
+        if not self._try_midpoint(item):
+            self._renumber_all()
+            if not self._try_midpoint(item):
+                raise AssertionError(
+                    "midpoint must exist right after a global renumber")
+
+    def _try_midpoint(self, item: LinkedItem) -> bool:
+        """Label ``item`` between its neighbors; False when no room."""
+        low = item.prev.label if item.prev is not None else 0
+        if item.next is not None:
+            high = item.next.label
+        else:
+            high = low + 2 * self.gap
+        if high - low < 2:
+            return False
+        item.label = (low + high) // 2
+        self.stats.relabels += 1
+        return True
+
+    def _renumber_all(self) -> None:
+        """Θ(n) global renumbering to multiples of ``gap``.
+
+        The new item is not yet labeled, so it is skipped and labeled by
+        the midpoint retry that follows.
+        """
+        self.renumber_events += 1
+        index = 1
+        cursor = self._head
+        while cursor is not None:
+            if cursor.label is not None:
+                cursor.label = index * self.gap
+                self.stats.relabels += 1
+                index += 1
+            cursor = cursor.next

@@ -1,0 +1,86 @@
+"""L-Tree as an ordered list-labeling scheme.
+
+Adapts :class:`repro.core.ltree.LTree` to the
+:class:`repro.order.base.OrderedLabeling` interface so the paper's
+structure competes head-to-head with the baselines in experiment E8.
+Handles are the L-Tree leaves; labels are their (dynamic) ``num`` values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core.ltree import LTree
+from repro.core.node import LTreeNode
+from repro.core.params import DEFAULT_PARAMS, LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import OrderedLabeling
+
+
+class LTreeListLabeling(OrderedLabeling):
+    """Order maintenance backed by an L-Tree (the paper's contribution)."""
+
+    name = "ltree"
+
+    def __init__(self, params: LTreeParams = DEFAULT_PARAMS,
+                 stats: Counters = NULL_COUNTERS):
+        super().__init__(stats)
+        self.params = params
+        self.tree = LTree(params, stats)
+        self._live = 0
+
+    def bulk_load(self, payloads: Sequence[Any]) -> list[LTreeNode]:
+        leaves = self.tree.bulk_load(payloads)
+        self._live = len(leaves)
+        return leaves
+
+    def insert_after(self, handle: LTreeNode, payload: Any) -> LTreeNode:
+        self._live += 1
+        return self.tree.insert_after(handle, payload)
+
+    def insert_before(self, handle: LTreeNode, payload: Any) -> LTreeNode:
+        self._live += 1
+        return self.tree.insert_before(handle, payload)
+
+    def append(self, payload: Any) -> LTreeNode:
+        self._live += 1
+        return self.tree.append(payload)
+
+    def prepend(self, payload: Any) -> LTreeNode:
+        self._live += 1
+        return self.tree.prepend(payload)
+
+    def insert_run_after(self, handle: LTreeNode,
+                         payloads: Sequence[Any]) -> list[LTreeNode]:
+        """Native batch insertion (paper §4.1): one rebalance per run."""
+        leaves = self.tree.insert_run_after(handle, payloads)
+        self._live += len(leaves)
+        return leaves
+
+    def insert_run_before(self, handle: LTreeNode,
+                          payloads: Sequence[Any]) -> list[LTreeNode]:
+        """Native batch insertion before ``handle`` (paper §4.1)."""
+        leaves = self.tree.insert_run_before(handle, payloads)
+        self._live += len(leaves)
+        return leaves
+
+    def delete(self, handle: LTreeNode) -> None:
+        """Mark-only deletion (paper §2.3) — never relabels."""
+        if handle.deleted:
+            raise ValueError("handle refers to a deleted item")
+        self.tree.mark_deleted(handle)
+        self._live -= 1
+
+    def label(self, handle: LTreeNode) -> int:
+        if handle.deleted:
+            raise ValueError("handle refers to a deleted item")
+        return handle.num
+
+    def payload(self, handle: LTreeNode) -> Any:
+        return handle.payload
+
+    def handles(self) -> Iterator[LTreeNode]:
+        return self.tree.iter_leaves(include_deleted=False)
+
+    def __len__(self) -> int:
+        return self._live

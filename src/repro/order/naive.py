@@ -1,0 +1,41 @@
+"""Gap-free sequential labeling — the paper's strawman baseline.
+
+Section 1: *"Consider the labeling scheme in Figure 1 which assigns labels
+from the integer domain, in sequential order.  This leads to relabeling of
+half the nodes on average, even for a single node insertion."*
+
+Labels are consecutive integers.  Inserting an item assigns it the label of
+its successor and shifts every label to its right by one — Θ(n − position)
+relabels, the behaviour experiment E8 quantifies.  Query-side the scheme is
+optimal: labels are as small as they can possibly be (``log2 n`` bits).
+"""
+
+from __future__ import annotations
+
+from repro.order.base import LinkedItem, LinkedListScheme
+
+
+class NaiveLabeling(LinkedListScheme):
+    """Dense sequential integer labels with shift-on-insert."""
+
+    name = "naive"
+
+    def _assign_bulk(self, items: list[LinkedItem]) -> None:
+        for index, item in enumerate(items):
+            item.label = index
+            self.stats.relabels += 1
+
+    def _assign_between(self, item: LinkedItem) -> None:
+        if item.next is not None:
+            item.label = item.next.label
+        elif item.prev is not None:
+            item.label = item.prev.label + 1
+        else:
+            item.label = 0
+        self.stats.relabels += 1
+        # Shift everything to the right of the new item up by one.
+        cursor = item.next
+        while cursor is not None:
+            cursor.label += 1
+            self.stats.relabels += 1
+            cursor = cursor.next

@@ -1,0 +1,54 @@
+"""Relabel-free bit-string labels (Cohen, Kaplan & Milo direction).
+
+Paper §1 cites [5]: *"an order-preserving labeling scheme without any
+relabelings upon updates requires Ω(n) bits per label."*  This scheme makes
+that trade concrete: labels are dyadic rationals in (0, 1) — equivalently,
+finite binary strings — and an insertion takes the exact midpoint of its
+neighbors.  **No label ever changes**, so relabel cost is zero by
+construction; the price is label growth: one extra bit per insertion into
+the same gap, Θ(n) bits under hotspot insertion (experiment E8 measures
+both sides of the trade).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.order.base import LinkedItem, LinkedListScheme
+
+
+class PrefixLabeling(LinkedListScheme):
+    """Dyadic-fraction (bit-string) labels; zero relabelings ever."""
+
+    name = "prefix"
+
+    _ZERO = Fraction(0)
+    _ONE = Fraction(1)
+
+    def _assign_bulk(self, items: list[LinkedItem]) -> None:
+        """Balanced initial labels: ``i/2^L`` at the minimal depth L."""
+        count = len(items)
+        if count == 0:
+            return
+        depth = max(1, (count + 1).bit_length())
+        denominator = 1 << depth
+        for index, item in enumerate(items):
+            item.label = Fraction(index + 1, denominator)
+            self.stats.relabels += 1
+
+    def _assign_between(self, item: LinkedItem) -> None:
+        low = item.prev.label if item.prev is not None else self._ZERO
+        high = item.next.label if item.next is not None else self._ONE
+        item.label = (low + high) / 2
+        self.stats.relabels += 1  # the initial assignment only
+
+    def label_bits(self) -> int:
+        """Bits of the longest binary expansion among current labels.
+
+        A dyadic ``p/2^L`` in lowest terms is a length-``L`` bit string.
+        """
+        widest = 0
+        for handle in self.handles():
+            label: Fraction = handle.label
+            widest = max(widest, label.denominator.bit_length() - 1)
+        return widest

@@ -1,0 +1,49 @@
+"""Factory registry of order-labeling schemes (experiment E8 axis).
+
+Each factory takes only a ``stats`` keyword so benchmarks can instantiate
+every scheme uniformly; scheme-specific knobs are frozen to the defaults
+the experiments use (documented per entry).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.params import LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import OrderedLabeling
+from repro.order.bender import BenderLabeling
+from repro.order.gap import GapLabeling
+from repro.order.ltree_list import LTreeListLabeling
+from repro.order.naive import NaiveLabeling
+from repro.order.prefix import PrefixLabeling
+from repro.order.two_level import TwoLevelLabeling
+
+SchemeFactory = Callable[..., OrderedLabeling]
+
+#: name -> factory(stats=...) for every scheme compared in EXPERIMENTS.md.
+SCHEMES: dict[str, SchemeFactory] = {
+    # the paper's contribution, at two parameterizations
+    "ltree": lambda stats=NULL_COUNTERS: LTreeListLabeling(
+        LTreeParams(f=16, s=4), stats=stats),
+    "ltree-f4s2": lambda stats=NULL_COUNTERS: LTreeListLabeling(
+        LTreeParams(f=4, s=2), stats=stats),
+    # baselines
+    "naive": lambda stats=NULL_COUNTERS: NaiveLabeling(stats=stats),
+    "gap": lambda stats=NULL_COUNTERS: GapLabeling(gap=32, stats=stats),
+    "bender": lambda stats=NULL_COUNTERS: BenderLabeling(stats=stats),
+    "prefix": lambda stats=NULL_COUNTERS: PrefixLabeling(stats=stats),
+    "two-level": lambda stats=NULL_COUNTERS: TwoLevelLabeling(
+        capacity=32, stats=stats),
+}
+
+
+def make_scheme(name: str, stats: Counters = NULL_COUNTERS
+                ) -> OrderedLabeling:
+    """Instantiate a registered scheme by name."""
+    try:
+        factory = SCHEMES[name]
+    except KeyError:
+        known = ", ".join(sorted(SCHEMES))
+        raise KeyError(f"unknown scheme {name!r}; known: {known}") from None
+    return factory(stats=stats)

@@ -1,0 +1,228 @@
+"""Two-level indirection list labeling (Dietz & Sleator direction).
+
+Paper §5: *"The problem of order-preserving labeling of an ordered list
+... has been studied previously [8, 9, 16].  Our work has been inspired
+by these works."*  The classic trick of that literature is **indirection**:
+group the n items into Θ(n / B) sublists, give each *sublist* a label in
+a top-level ordered structure, and each item a *local* label inside its
+sublist.  An item's full label is the pair ``(sublist label, local
+label)`` compared lexicographically — crucially through a live reference,
+so renumbering one sublist label implicitly "relabels" all its members at
+the cost of **one** write.
+
+This implementation uses gap labels with global renumbering at both
+levels; with sublists capped at ``capacity``, top renumberings touch only
+n/capacity labels and local renumberings only ``capacity`` — the
+amortized write cost the L-Tree's tree-of-intervals generalizes to
+arbitrarily many levels.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Optional
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import LinkedItem, LinkedListScheme
+
+_TOP_GAP = 1 << 16
+_LOCAL_GAP = 1 << 8
+
+
+class _Sublist:
+    """One indirection bucket: a labeled, bounded run of items."""
+
+    __slots__ = ("label", "items", "prev", "next")
+
+    def __init__(self, label: int):
+        self.label = label
+        self.items: list[LinkedItem] = []
+        self.prev: Optional["_Sublist"] = None
+        self.next: Optional["_Sublist"] = None
+
+
+@functools.total_ordering
+class PairLabel:
+    """A live (sublist, local) label.
+
+    Comparisons read the sublist's *current* label, so a top-level
+    renumbering updates every member's effective label with one write.
+    """
+
+    __slots__ = ("sublist", "local")
+
+    def __init__(self, sublist: _Sublist, local: int):
+        self.sublist = sublist
+        self.local = local
+
+    def key(self) -> tuple[int, int]:
+        return (self.sublist.label, self.local)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PairLabel):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __lt__(self, other: "PairLabel") -> bool:
+        return self.key() < other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.sublist.label}, {self.local})"
+
+
+class TwoLevelLabeling(LinkedListScheme):
+    """Order maintenance with one level of indirection."""
+
+    name = "two-level"
+
+    def __init__(self, capacity: int = 32,
+                 stats: Counters = NULL_COUNTERS):
+        if capacity < 4:
+            raise ValueError(f"capacity must be >= 4, got {capacity}")
+        super().__init__(stats)
+        self.capacity = capacity
+        self._first_sublist: Optional[_Sublist] = None
+        #: top-level renumber events (cost n/capacity each) — reported
+        #: alongside E8
+        self.top_renumber_events = 0
+
+    # ------------------------------------------------------------------
+    # labeling hooks
+    # ------------------------------------------------------------------
+    def _assign_bulk(self, items: list[LinkedItem]) -> None:
+        self._first_sublist = None
+        previous: Optional[_Sublist] = None
+        fill = max(2, self.capacity // 2)
+        for start in range(0, len(items), fill):
+            sublist = _Sublist(label=0)
+            sublist.prev = previous
+            if previous is not None:
+                previous.next = sublist
+            else:
+                self._first_sublist = sublist
+            for offset, item in enumerate(items[start:start + fill]):
+                item.label = PairLabel(sublist, (offset + 1) * _LOCAL_GAP)
+                sublist.items.append(item)
+                self.stats.relabels += 1
+            previous = sublist
+        self._renumber_top()
+
+    def _assign_between(self, item: LinkedItem) -> None:
+        if self._first_sublist is None or not self._first_sublist.items:
+            sublist = _Sublist(label=_TOP_GAP)
+            self._first_sublist = sublist
+            sublist.items.append(item)
+            item.label = PairLabel(sublist, _LOCAL_GAP)
+            self.stats.relabels += 1
+            return
+        home, position = self._placement(item)
+        low = home.items[position - 1].label.local if position > 0 else 0
+        if position < len(home.items):
+            high = home.items[position].label.local
+        else:
+            high = low + 2 * _LOCAL_GAP
+        if high - low < 2:
+            self._rebalance_sublist(home)
+            self._assign_between(item)
+            return
+        item.label = PairLabel(home, (low + high) // 2)
+        home.items.insert(position, item)
+        self.stats.relabels += 1
+        if len(home.items) > self.capacity:
+            self._split_sublist(home)
+
+    def _placement(self, item: LinkedItem) -> tuple[_Sublist, int]:
+        """Home sublist and in-sublist position from linked neighbors.
+
+        Positions are indexes into ``sublist.items``, which retains
+        deleted items as tombstones (mark-only deletion, §2.3) — their
+        labels keep holding slots, exactly like L-Tree leaves.
+        """
+        if item.prev is not None:
+            label: PairLabel = item.prev.label
+            home = label.sublist
+            position = home.items.index(item.prev) + 1
+            return home, position
+        if item.next is not None:
+            label = item.next.label
+            home = label.sublist
+            position = home.items.index(item.next)
+            return home, position
+        # no live neighbors: every earlier item was deleted — append
+        # after the tombstones of the first sublist
+        assert self._first_sublist is not None
+        return self._first_sublist, len(self._first_sublist.items)
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def _rebalance_sublist(self, sublist: _Sublist) -> None:
+        """Re-spread local labels (cost = sublist size <= capacity)."""
+        for offset, member in enumerate(sublist.items):
+            member.label.local = (offset + 1) * _LOCAL_GAP
+            self.stats.relabels += 1
+
+    def _split_sublist(self, sublist: _Sublist) -> None:
+        """Halve an over-full sublist; give the new half a top label."""
+        half = len(sublist.items) // 2
+        moved = sublist.items[half:]
+        sublist.items = sublist.items[:half]
+        fresh = _Sublist(label=0)
+        fresh.items = moved
+        fresh.prev = sublist
+        fresh.next = sublist.next
+        if sublist.next is not None:
+            sublist.next.prev = fresh
+        sublist.next = fresh
+        for offset, member in enumerate(moved):
+            member.label.sublist = fresh
+            member.label.local = (offset + 1) * _LOCAL_GAP
+            self.stats.relabels += 1
+        low = sublist.label
+        high = fresh.next.label if fresh.next is not None \
+            else low + 2 * _TOP_GAP
+        if high - low < 2:
+            self._renumber_top()
+        else:
+            fresh.label = (low + high) // 2
+            self.stats.relabels += 1
+
+    def _renumber_top(self) -> None:
+        """Re-spread sublist labels (cost = number of sublists).
+
+        One write per *sublist* — the indirection payoff: members'
+        effective labels all change but no member is touched.
+        """
+        self.top_renumber_events += 1
+        current = self._first_sublist
+        label = _TOP_GAP
+        while current is not None:
+            current.label = label
+            self.stats.relabels += 1
+            label += _TOP_GAP
+            current = current.next
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def label_bits(self) -> int:
+        """Top bits + local bits of the widest live pair."""
+        widest = 0
+        for handle in self.handles():
+            label: PairLabel = handle.label
+            bits = label.sublist.label.bit_length() + \
+                label.local.bit_length()
+            widest = max(widest, bits)
+        return widest
+
+    def sublist_count(self) -> int:
+        """Number of indirection buckets currently alive."""
+        count = 0
+        current = self._first_sublist
+        while current is not None:
+            count += 1
+            current = current.next
+        return count

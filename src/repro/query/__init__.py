@@ -1,0 +1,19 @@
+"""Query substrate: XPath-subset parsing and the three evaluators
+experiment E9 compares (DOM navigation, interval-label structural joins,
+edge-table self-joins)."""
+
+from repro.query.engine import (evaluate_dom, evaluate_edge,
+                                evaluate_interval)
+from repro.query.xpath import (CHILD, DESCENDANT, Step, XPathQuery,
+                               parse_xpath)
+
+__all__ = [
+    "parse_xpath",
+    "XPathQuery",
+    "Step",
+    "CHILD",
+    "DESCENDANT",
+    "evaluate_dom",
+    "evaluate_interval",
+    "evaluate_edge",
+]

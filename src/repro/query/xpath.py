@@ -1,0 +1,128 @@
+"""XPath subset: the navigation queries the paper's labels accelerate.
+
+Grammar (absolute paths, the §1 examples like ``book//title``)::
+
+    query      :=  step+
+    step       :=  ('/' | '//') test predicate?
+    test       :=  NAME | '*'
+    predicate  :=  '[@' NAME '=' ('"' VALUE '"' | "'" VALUE "'") ']'
+
+``/`` is the child axis, ``//`` the descendant-or-self::node()/child
+shorthand (descendant axis on elements, as in the paper's usage).
+Attribute predicates filter the step's result set by an exact attribute
+match, e.g. ``//item[@id='item3']/name``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterator, Optional
+
+from repro.errors import XPathSyntaxError
+
+CHILD = "child"
+DESCENDANT = "descendant"
+
+_NAME_PATTERN = re.compile(r"[A-Za-z_][\w.:\-]*|\*")
+_PREDICATE_PATTERN = re.compile(
+    r"\[@([A-Za-z_][\w.:\-]*)=(?:'([^']*)'|\"([^\"]*)\")\]")
+
+
+@dataclasses.dataclass(frozen=True)
+class Step:
+    """One location step: axis, name test, optional attribute filter."""
+
+    axis: str
+    test: str
+    attribute: Optional[tuple[str, str]] = None
+
+    def __post_init__(self) -> None:
+        if self.axis not in (CHILD, DESCENDANT):
+            raise XPathSyntaxError(f"unknown axis {self.axis!r}")
+        if not _NAME_PATTERN.fullmatch(self.test):
+            raise XPathSyntaxError(f"invalid name test {self.test!r}")
+
+    def matches(self, tag: str) -> bool:
+        """Name test against an element tag (attribute filter excluded)."""
+        return self.test == "*" or self.test == tag
+
+    def matches_element(self, element) -> bool:
+        """Full step test: tag plus the attribute predicate, if any."""
+        if not self.matches(element.tag):
+            return False
+        if self.attribute is None:
+            return True
+        key, value = self.attribute
+        return element.attributes.get(key) == value
+
+    def __str__(self) -> str:
+        prefix = "/" if self.axis == CHILD else "//"
+        predicate = ""
+        if self.attribute is not None:
+            key, value = self.attribute
+            predicate = f"[@{key}='{value}']"
+        return f"{prefix}{self.test}{predicate}"
+
+
+@dataclasses.dataclass(frozen=True)
+class XPathQuery:
+    """A parsed absolute path expression."""
+
+    steps: tuple[Step, ...]
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise XPathSyntaxError("query must have at least one step")
+
+    def __str__(self) -> str:
+        return "".join(str(step) for step in self.steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self.steps)
+
+
+def parse_xpath(text: str) -> XPathQuery:
+    """Parse an absolute XPath-subset expression.
+
+    >>> str(parse_xpath("/book//title"))
+    '/book//title'
+    >>> [s.axis for s in parse_xpath("//item/name")]
+    ['descendant', 'child']
+    """
+    source = text.strip()
+    if not source.startswith("/"):
+        raise XPathSyntaxError(
+            f"only absolute paths are supported, got {text!r}")
+    steps: list[Step] = []
+    position = 0
+    while position < len(source):
+        if source.startswith("//", position):
+            axis = DESCENDANT
+            position += 2
+        elif source.startswith("/", position):
+            axis = CHILD
+            position += 1
+        else:
+            raise XPathSyntaxError(
+                f"expected '/' or '//' at offset {position} in {text!r}")
+        match = _NAME_PATTERN.match(source, position)
+        if match is None:
+            raise XPathSyntaxError(
+                f"expected a name test at offset {position} in {text!r}")
+        test = match.group()
+        position = match.end()
+        attribute = None
+        if position < len(source) and source[position] == "[":
+            predicate = _PREDICATE_PATTERN.match(source, position)
+            if predicate is None:
+                raise XPathSyntaxError(
+                    f"malformed predicate at offset {position} in "
+                    f"{text!r} (only [@name='value'] is supported)")
+            value = predicate.group(2)
+            if value is None:
+                value = predicate.group(3)
+            attribute = (predicate.group(1), value)
+            position = predicate.end()
+        steps.append(Step(axis, test, attribute))
+    return XPathQuery(tuple(steps))

@@ -1,0 +1,29 @@
+"""Storage substrate: counted B+-tree, page cost model, mini relational
+engine, and the two RDBMS shredding strategies the paper contrasts
+(edge table vs region-interval table)."""
+
+from repro.storage.btree import CountedBTree
+from repro.storage.edge_table import EDGE_COLUMNS, EdgeTableStore
+from repro.storage.interval_table import (INTERVAL_COLUMNS,
+                                          IntervalTableStore)
+from repro.storage.pager import IOReport, PageModel, estimate_io
+from repro.storage.relational import (HashIndex, SortedIndex, Table,
+                                      index_join, merge_interval_join,
+                                      nested_loop_join)
+
+__all__ = [
+    "CountedBTree",
+    "Table",
+    "HashIndex",
+    "SortedIndex",
+    "nested_loop_join",
+    "index_join",
+    "merge_interval_join",
+    "EdgeTableStore",
+    "EDGE_COLUMNS",
+    "IntervalTableStore",
+    "INTERVAL_COLUMNS",
+    "PageModel",
+    "IOReport",
+    "estimate_io",
+]

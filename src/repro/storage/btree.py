@@ -1,0 +1,553 @@
+"""Counted B+-tree with order statistics.
+
+Paper §4.2 ("Virtual L-Tree"): *"If the leaf labels are maintained in a
+B-tree whose internal nodes also maintain counts, such range queries can be
+executed efficiently (in logarithmic time)."*  This module provides exactly
+that structure, built from scratch:
+
+* classic B+-tree layout — values only in leaves, leaves chained for range
+  scans, separators in internal nodes;
+* every internal node caches the number of keys in its subtree, enabling
+  ``rank``, ``select`` and ``count_range`` in O(log n);
+* node touches are counted through :class:`repro.core.stats.Counters`
+  (``node_accesses``), since the paper measures cost in node accesses.
+
+The tree stores unique, mutually comparable keys.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Iterator, Optional
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import DuplicateKey, InvariantViolation, KeyNotFound
+
+_MIN_ORDER = 3
+
+
+class _Node:
+    """One B+-tree node; ``children is None`` marks a leaf."""
+
+    __slots__ = ("keys", "children", "values", "next", "size")
+
+    def __init__(self, leaf: bool):
+        self.keys: list[Any] = []
+        self.children: Optional[list["_Node"]] = None if leaf else []
+        self.values: Optional[list[Any]] = [] if leaf else None
+        self.next: Optional["_Node"] = None
+        self.size = 0  # keys stored in this subtree
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class CountedBTree:
+    """B+-tree over unique keys with O(log n) order statistics.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (>= 3).  A node splits when it
+        exceeds ``order`` keys and underflows below ``order // 2``.
+    stats:
+        Counter sink; every node visit increments ``node_accesses``.
+
+    Examples
+    --------
+    >>> tree = CountedBTree(order=4)
+    >>> for key in [5, 1, 9, 3, 7]:
+    ...     tree.insert(key, str(key))
+    >>> tree.rank(7), tree.select(0), tree.count_range(2, 8)
+    (3, 1, 3)
+    """
+
+    def __init__(self, order: int = 32, stats: Counters = NULL_COUNTERS):
+        if order < _MIN_ORDER:
+            raise ValueError(f"order must be >= {_MIN_ORDER}, got {order}")
+        self.order = order
+        self.stats = stats
+        self._root: _Node = _Node(leaf=True)
+
+    # ------------------------------------------------------------------
+    # size / lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._root.size
+
+    def __contains__(self, key: Any) -> bool:
+        try:
+            self.get(key)
+        except KeyNotFound:
+            return False
+        return True
+
+    def get(self, key: Any) -> Any:
+        """Value stored under ``key``; raises :class:`KeyNotFound`."""
+        node = self._root
+        while not node.is_leaf:
+            self.stats.node_accesses += 1
+            assert node.children is not None
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        self.stats.node_accesses += 1
+        assert node.values is not None
+        index = bisect.bisect_left(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        raise KeyNotFound(key)
+
+    def min_key(self) -> Any:
+        """Smallest key; raises :class:`KeyNotFound` on an empty tree."""
+        if self._root.size == 0:
+            raise KeyNotFound("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """Largest key; raises :class:`KeyNotFound` on an empty tree."""
+        if self._root.size == 0:
+            raise KeyNotFound("tree is empty")
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # ------------------------------------------------------------------
+    # order statistics (the §4.2 "counts")
+    # ------------------------------------------------------------------
+    def rank(self, key: Any) -> int:
+        """Number of stored keys strictly smaller than ``key``."""
+        node = self._root
+        count = 0
+        while not node.is_leaf:
+            self.stats.node_accesses += 1
+            assert node.children is not None
+            index = bisect.bisect_left(node.keys, key)
+            for child in node.children[:index]:
+                count += child.size
+            node = node.children[index]
+        self.stats.node_accesses += 1
+        return count + bisect.bisect_left(node.keys, key)
+
+    def select(self, index: int) -> Any:
+        """The ``index``-th smallest key (0-based)."""
+        if not 0 <= index < self._root.size:
+            raise IndexError(
+                f"select({index}) out of range 0..{self._root.size - 1}")
+        node = self._root
+        while not node.is_leaf:
+            self.stats.node_accesses += 1
+            assert node.children is not None
+            for child in node.children:
+                if index < child.size:
+                    node = child
+                    break
+                index -= child.size
+        self.stats.node_accesses += 1
+        return node.keys[index]
+
+    def count_range(self, low: Any, high: Any) -> int:
+        """Number of keys in the half-open interval ``[low, high)``.
+
+        Two rank computations: O(log n) — the §4.2 split-criterion check.
+        """
+        if high <= low:
+            return 0
+        return self.rank(high) - self.rank(low)
+
+    def predecessor(self, key: Any) -> Any:
+        """Largest stored key strictly smaller than ``key``."""
+        position = self.rank(key)
+        if position == 0:
+            raise KeyNotFound(f"no key below {key!r}")
+        return self.select(position - 1)
+
+    def successor(self, key: Any) -> Any:
+        """Smallest stored key strictly greater than ``key``."""
+        position = self.rank(key)
+        if position < len(self) and self.select(position) == key:
+            position += 1
+        if position >= len(self):
+            raise KeyNotFound(f"no key above {key!r}")
+        return self.select(position)
+
+    # ------------------------------------------------------------------
+    # iteration
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """All (key, value) pairs in key order (leaf chain walk)."""
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        current: Optional[_Node] = node
+        while current is not None:
+            self.stats.node_accesses += 1
+            assert current.values is not None
+            yield from zip(current.keys, current.values)
+            current = current.next
+
+    def keys(self) -> Iterator[Any]:
+        """All keys in order."""
+        return (key for key, _ in self.items())
+
+    def iter_range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key < high`` in key order."""
+        if high <= low:
+            return
+        node = self._root
+        while not node.is_leaf:
+            self.stats.node_accesses += 1
+            assert node.children is not None
+            node = node.children[bisect.bisect_right(node.keys, low)]
+        current: Optional[_Node] = node
+        start = bisect.bisect_left(node.keys, low)
+        while current is not None:
+            self.stats.node_accesses += 1
+            assert current.values is not None
+            for index in range(start, len(current.keys)):
+                if current.keys[index] >= high:
+                    return
+                yield current.keys[index], current.values[index]
+            start = 0
+            current = current.next
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any) -> None:
+        """Insert a new unique key; raises :class:`DuplicateKey`."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            separator, right = split
+            new_root = _Node(leaf=False)
+            assert new_root.children is not None
+            new_root.keys.append(separator)
+            new_root.children.extend([self._root, right])
+            new_root.size = self._root.size + right.size
+            self._root = new_root
+
+    def _insert(self, node: _Node, key: Any, value: Any
+                ) -> Optional[tuple[Any, _Node]]:
+        """Recursive insert; returns (separator, new right node) on split."""
+        self.stats.node_accesses += 1
+        if node.is_leaf:
+            assert node.values is not None
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                raise DuplicateKey(key)
+            node.keys.insert(index, key)
+            node.values.insert(index, value)
+            node.size += 1
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        assert node.children is not None
+        child_index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[child_index], key, value)
+        node.size += 1
+        if split is not None:
+            separator, right = split
+            node.keys.insert(child_index, separator)
+            node.children.insert(child_index + 1, right)
+            if len(node.keys) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        right = _Node(leaf=True)
+        assert node.values is not None and right.values is not None
+        right.keys = node.keys[middle:]
+        right.values = node.values[middle:]
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        right.next = node.next
+        node.next = right
+        node.size = len(node.keys)
+        right.size = len(right.keys)
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node) -> tuple[Any, _Node]:
+        middle = len(node.keys) // 2
+        separator = node.keys[middle]
+        right = _Node(leaf=False)
+        assert node.children is not None and right.children is not None
+        right.keys = node.keys[middle + 1:]
+        right.children = node.children[middle + 1:]
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        node.size = sum(child.size for child in node.children)
+        right.size = sum(child.size for child in right.children)
+        return separator, right
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: Any) -> Any:
+        """Remove ``key`` and return its value; raises KeyNotFound."""
+        value = self._delete(self._root, key)
+        root = self._root
+        if not root.is_leaf:
+            assert root.children is not None
+            if len(root.children) == 1:
+                self._root = root.children[0]
+        return value
+
+    def _delete(self, node: _Node, key: Any) -> Any:
+        self.stats.node_accesses += 1
+        if node.is_leaf:
+            assert node.values is not None
+            index = bisect.bisect_left(node.keys, key)
+            if index >= len(node.keys) or node.keys[index] != key:
+                raise KeyNotFound(key)
+            node.keys.pop(index)
+            value = node.values.pop(index)
+            node.size -= 1
+            return value
+        assert node.children is not None
+        child_index = bisect.bisect_right(node.keys, key)
+        child = node.children[child_index]
+        value = self._delete(child, key)
+        node.size -= 1
+        if self._underfull(child):
+            self._rebalance(node, child_index)
+        return value
+
+    def _underfull(self, node: _Node) -> bool:
+        minimum = self.order // 2
+        if node.is_leaf:
+            return len(node.keys) < minimum
+        assert node.children is not None
+        return len(node.children) < minimum
+
+    def _rebalance(self, parent: _Node, index: int) -> None:
+        """Fix an underfull child by borrowing from or merging a sibling."""
+        assert parent.children is not None
+        child = parent.children[index]
+        left = parent.children[index - 1] if index > 0 else None
+        right = (parent.children[index + 1]
+                 if index + 1 < len(parent.children) else None)
+        if left is not None and not self._would_underflow(left):
+            self._borrow_from_left(parent, index)
+        elif right is not None and not self._would_underflow(right):
+            self._borrow_from_right(parent, index)
+        elif left is not None:
+            self._merge(parent, index - 1)
+        elif right is not None:
+            self._merge(parent, index)
+        else:
+            # Root with a single child: handled by delete().
+            assert child is self._root or parent is self._root
+
+    def _would_underflow(self, node: _Node) -> bool:
+        minimum = self.order // 2
+        if node.is_leaf:
+            return len(node.keys) - 1 < minimum
+        assert node.children is not None
+        return len(node.children) - 1 < minimum
+
+    def _borrow_from_left(self, parent: _Node, index: int) -> None:
+        assert parent.children is not None
+        left = parent.children[index - 1]
+        child = parent.children[index]
+        self.stats.node_accesses += 2
+        if child.is_leaf:
+            assert left.values is not None and child.values is not None
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[index - 1] = child.keys[0]
+        else:
+            assert left.children is not None and child.children is not None
+            moved = left.children.pop()
+            child.children.insert(0, moved)
+            child.keys.insert(0, parent.keys[index - 1])
+            parent.keys[index - 1] = left.keys.pop()
+            left.size -= moved.size
+            child.size += moved.size
+            return
+        left.size -= 1
+        child.size += 1
+
+    def _borrow_from_right(self, parent: _Node, index: int) -> None:
+        assert parent.children is not None
+        child = parent.children[index]
+        right = parent.children[index + 1]
+        self.stats.node_accesses += 2
+        if child.is_leaf:
+            assert right.values is not None and child.values is not None
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[index] = right.keys[0]
+        else:
+            assert right.children is not None and child.children is not None
+            moved = right.children.pop(0)
+            child.children.append(moved)
+            child.keys.append(parent.keys[index])
+            parent.keys[index] = right.keys.pop(0)
+            right.size -= moved.size
+            child.size += moved.size
+            return
+        right.size -= 1
+        child.size += 1
+
+    def _merge(self, parent: _Node, index: int) -> None:
+        """Merge children ``index`` and ``index + 1`` of ``parent``."""
+        assert parent.children is not None
+        left = parent.children[index]
+        right = parent.children[index + 1]
+        self.stats.node_accesses += 2
+        if left.is_leaf:
+            assert left.values is not None and right.values is not None
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+        else:
+            assert left.children is not None and right.children is not None
+            left.keys.append(parent.keys[index])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        left.size += right.size
+        parent.keys.pop(index)
+        parent.children.pop(index + 1)
+
+    def delete_range(self, low: Any, high: Any) -> list[tuple[Any, Any]]:
+        """Remove every key in ``[low, high)``; return the removed pairs.
+
+        O(k log n) — used by the virtual L-Tree to clear a label range
+        before rewriting it.
+        """
+        victims = list(self.iter_range(low, high))
+        for key, _ in victims:
+            self.delete(key)
+        return victims
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Replace the contents with pre-sorted unique (key, value) pairs.
+
+        Builds leaves at ~2/3 fill then stacks internal levels — O(n).
+        """
+        pairs = list(items)
+        for (first, _), (second, _) in zip(pairs, pairs[1:]):
+            if first >= second:
+                raise ValueError(
+                    "bulk_load requires strictly increasing keys "
+                    f"({first!r} >= {second!r})")
+        self._root = _Node(leaf=True)
+        if not pairs:
+            return
+        leaves: list[_Node] = []
+        for start, stop in self._bulk_chunks(len(pairs)):
+            leaf = _Node(leaf=True)
+            assert leaf.values is not None
+            chunk = pairs[start:stop]
+            leaf.keys = [key for key, _ in chunk]
+            leaf.values = [value for _, value in chunk]
+            leaf.size = len(chunk)
+            if leaves:
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        level: list[_Node] = leaves
+        while len(level) > 1:
+            parents: list[_Node] = []
+            for start, stop in self._bulk_chunks(len(level)):
+                group = level[start:stop]
+                parent = _Node(leaf=False)
+                assert parent.children is not None
+                parent.children.extend(group)
+                parent.keys = [self._smallest_key(child)
+                               for child in group[1:]]
+                parent.size = sum(child.size for child in group)
+                parents.append(parent)
+            level = parents
+        self._root = level[0]
+
+    def _bulk_chunks(self, total: int) -> list[tuple[int, int]]:
+        """Split ``total`` entries into runs of ~2/3 fill, none underfull.
+
+        Every chunk has between ``order // 2`` and ``order`` entries —
+        except a lone chunk smaller than the minimum, which can only be
+        the root.  A short trailing remainder is merged with its
+        predecessor when the pair fits one node, or the pair is split
+        evenly otherwise (both halves then clear the minimum).
+        """
+        fill = max(2, (2 * self.order) // 3)
+        minimum = self.order // 2
+        bounds = list(range(0, total, fill)) + [total]
+        chunks = [(bounds[i], bounds[i + 1])
+                  for i in range(len(bounds) - 1)]
+        if len(chunks) > 1 and chunks[-1][1] - chunks[-1][0] < minimum:
+            (prev_start, _), (_, last_stop) = chunks[-2], chunks[-1]
+            combined = last_stop - prev_start
+            if combined <= self.order:
+                chunks[-2:] = [(prev_start, last_stop)]
+            else:
+                middle = prev_start + combined // 2
+                chunks[-2:] = [(prev_start, middle), (middle, last_stop)]
+        return chunks
+
+    @staticmethod
+    def _smallest_key(node: _Node) -> Any:
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[0]
+        return node.keys[0]
+
+    # ------------------------------------------------------------------
+    # validation (tests only)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check B+-tree invariants; raise :class:`InvariantViolation`."""
+        self._validate_node(self._root, None, None, is_root=True)
+        flat = [key for key, _ in self.items()]
+        for left, right in zip(flat, flat[1:]):
+            if left >= right:
+                raise InvariantViolation(
+                    f"leaf chain out of order: {left!r} >= {right!r}")
+        if len(flat) != self._root.size:
+            raise InvariantViolation(
+                f"root size {self._root.size} != actual {len(flat)}")
+
+    def _validate_node(self, node: _Node, low: Any, high: Any,
+                       is_root: bool) -> int:
+        if node.is_leaf:
+            assert node.values is not None
+            if len(node.keys) != len(node.values):
+                raise InvariantViolation("leaf keys/values length mismatch")
+            if not is_root and len(node.keys) < self.order // 2:
+                raise InvariantViolation(
+                    f"underfull leaf: {len(node.keys)} < {self.order // 2}")
+            for key in node.keys:
+                if low is not None and key < low:
+                    raise InvariantViolation(f"key {key!r} below {low!r}")
+                if high is not None and key >= high:
+                    raise InvariantViolation(f"key {key!r} >= {high!r}")
+            if node.size != len(node.keys):
+                raise InvariantViolation("leaf size cache wrong")
+            return len(node.keys)
+        assert node.children is not None
+        if len(node.keys) != len(node.children) - 1:
+            raise InvariantViolation("internal key/child count mismatch")
+        if not is_root and len(node.children) < self.order // 2:
+            raise InvariantViolation("underfull internal node")
+        if len(node.keys) > self.order:
+            raise InvariantViolation("overfull internal node")
+        total = 0
+        for index, child in enumerate(node.children):
+            child_low = node.keys[index - 1] if index > 0 else low
+            child_high = (node.keys[index]
+                          if index < len(node.keys) else high)
+            total += self._validate_node(child, child_low, child_high,
+                                         is_root=False)
+        if total != node.size:
+            raise InvariantViolation(
+                f"size cache {node.size} != subtree total {total}")
+        return total

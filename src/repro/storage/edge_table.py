@@ -1,0 +1,104 @@
+"""Edge-table XML storage (Florescu & Kossmann, paper §1 ref [11]).
+
+*"The edge table approach treated an XML document as a tree, and
+generated a tuple for every XML node with its parent node identifier in
+the relation.  To process queries with structural navigation, one
+self-join is needed to obtain each parent-child relationship ...  to
+answer descendant-axis '//' in XML query, many self-joins are needed."*
+
+This is the baseline storage experiment E9 measures against the label
+table: child steps cost one index join; descendant steps cost an
+iterative fix-point of index joins (one per tree level reached).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.storage.relational import HashIndex, Table
+from repro.xml.model import XMLDocument, XMLElement
+
+#: edge table columns: element id, parent element id (None for the root),
+#: tag, position among the parent's element children
+EDGE_COLUMNS = ("id", "parent_id", "tag", "position")
+
+
+class EdgeTableStore:
+    """An XML document shredded into an edge table with two indexes."""
+
+    def __init__(self, document: XMLDocument,
+                 stats: Counters = NULL_COUNTERS):
+        self.stats = stats
+        self.table = Table("edge", EDGE_COLUMNS, stats)
+        self._ids: dict[int, XMLElement] = {}
+        self._load(document)
+        self.parent_index = HashIndex(self.table, "parent_id")
+        self.tag_index = HashIndex(self.table, "tag")
+
+    def _load(self, document: XMLDocument) -> None:
+        next_id = 0
+        assigned: dict[XMLElement, int] = {}
+        for element in document.iter_elements():
+            element_id = next_id
+            next_id += 1
+            assigned[element] = element_id
+            self._ids[element_id] = element
+            parent = element.parent
+            parent_id = assigned[parent] if parent is not None else None
+            position = (parent.child_index(element)
+                        if parent is not None else 0)
+            self.table.insert((element_id, parent_id, element.tag,
+                               position))
+
+    def element(self, element_id: int) -> XMLElement:
+        """The DOM element carrying ``element_id``."""
+        return self._ids[element_id]
+
+    # ------------------------------------------------------------------
+    # navigation by joins
+    # ------------------------------------------------------------------
+    def ids_by_tag(self, tag: str) -> list[int]:
+        """Ids of all elements with ``tag`` (one index lookup)."""
+        return [row[0] for row in self.tag_index.lookup(tag)]
+
+    def root_ids(self) -> list[int]:
+        """Ids of parentless elements."""
+        return [row[0] for row in self.parent_index.lookup(None)]
+
+    def children_of(self, ids: list[int],
+                    tag: str | None = None) -> list[int]:
+        """Child step: ONE self-join via the parent index (§1)."""
+        result: list[int] = []
+        for element_id in ids:
+            for row in self.parent_index.lookup(element_id):
+                if tag is None or row[2] == tag:
+                    result.append(row[0])
+        return result
+
+    def descendants_of(self, ids: list[int],
+                       tag: str | None = None) -> list[int]:
+        """Descendant step: iterated self-joins until the frontier dies.
+
+        Each iteration is one more self-join — the cost the paper's
+        labeling scheme eliminates.  The per-level join count is recorded
+        in ``self.last_join_count`` for experiment E9.
+        """
+        result: list[int] = []
+        frontier = list(ids)
+        joins = 0
+        while frontier:
+            joins += 1
+            next_frontier: list[int] = []
+            for element_id in frontier:
+                for row in self.parent_index.lookup(element_id):
+                    next_frontier.append(row[0])
+                    if tag is None or row[2] == tag:
+                        result.append(row[0])
+            frontier = next_frontier
+        self.last_join_count = joins
+        return result
+
+    def iter_rows(self) -> Iterator[tuple]:
+        """Scan the underlying relation."""
+        return self.table.scan()

@@ -1,0 +1,175 @@
+"""Miniature relational engine.
+
+The paper motivates labels by their use inside an RDBMS: *"When XML data
+is stored in RDBMS, the ancestor-descendant queries can be processed by
+exactly one self-join with label comparisons as predicates"* (§1).  To
+measure that claim without a DBMS, this module provides just enough of a
+relational substrate: named tables of tuples, hash and ordered indexes,
+and the three join operators the experiments compare (nested-loop,
+index-nested-loop, and a sort-merge interval join).  Every tuple touch is
+counted through :class:`repro.core.stats.Counters`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import StorageError
+
+Row = tuple
+Predicate = Callable[[Row], bool]
+
+
+class Table:
+    """A named relation: fixed columns, append-only rows."""
+
+    def __init__(self, name: str, columns: Sequence[str],
+                 stats: Counters = NULL_COUNTERS):
+        if len(set(columns)) != len(columns):
+            raise StorageError(f"duplicate columns in {columns!r}")
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows: list[Row] = []
+        self.stats = stats
+        self._column_index = {column: position
+                              for position, column in enumerate(columns)}
+
+    def column_position(self, column: str) -> int:
+        """Position of ``column``; raises StorageError when absent."""
+        try:
+            return self._column_index[column]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {column!r}; "
+                f"columns: {self.columns}") from None
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append one row (arity-checked)."""
+        if len(row) != len(self.columns):
+            raise StorageError(
+                f"row arity {len(row)} != {len(self.columns)} "
+                f"for table {self.name!r}")
+        self.rows.append(tuple(row))
+        self.stats.tuple_writes += 1
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    def scan(self, predicate: Optional[Predicate] = None) -> Iterator[Row]:
+        """Full scan, counting every tuple read."""
+        for row in self.rows:
+            self.stats.tuple_reads += 1
+            if predicate is None or predicate(row):
+                yield row
+
+    def project(self, rows: Iterable[Row],
+                columns: Sequence[str]) -> Iterator[Row]:
+        """Column projection of an intermediate result (no I/O charge)."""
+        positions = [self.column_position(column) for column in columns]
+        for row in rows:
+            yield tuple(row[position] for position in positions)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class HashIndex:
+    """Equality index: column value -> list of rows."""
+
+    def __init__(self, table: Table, column: str):
+        self.table = table
+        self.column = column
+        position = table.column_position(column)
+        self._buckets: dict[Any, list[Row]] = {}
+        for row in table.rows:
+            self._buckets.setdefault(row[position], []).append(row)
+
+    def lookup(self, value: Any) -> list[Row]:
+        """Rows with ``column == value`` (each counted as one read)."""
+        rows = self._buckets.get(value, [])
+        self.table.stats.tuple_reads += len(rows)
+        return rows
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._buckets)
+
+
+class SortedIndex:
+    """Ordered index on one column supporting range lookups."""
+
+    def __init__(self, table: Table, column: str):
+        self.table = table
+        self.column = column
+        position = table.column_position(column)
+        decorated = sorted((row[position], row) for row in table.rows)
+        self._keys = [key for key, _ in decorated]
+        self._rows = [row for _, row in decorated]
+
+    def range(self, low: Any, high: Any) -> Iterator[Row]:
+        """Rows with ``low <= column < high`` in column order."""
+        start = bisect.bisect_left(self._keys, low)
+        stop = bisect.bisect_left(self._keys, high)
+        for position in range(start, stop):
+            self.table.stats.tuple_reads += 1
+            yield self._rows[position]
+
+    def all_rows(self) -> Iterator[Row]:
+        """All rows in column order."""
+        for row in self._rows:
+            self.table.stats.tuple_reads += 1
+            yield row
+
+
+def nested_loop_join(left: Iterable[Row], right_table: Table,
+                     predicate: Callable[[Row, Row], bool]
+                     ) -> Iterator[tuple[Row, Row]]:
+    """Textbook O(|L| * |R|) join; the baseline everything else beats."""
+    left_rows = list(left)
+    for right_row in right_table.scan():
+        for left_row in left_rows:
+            right_table.stats.comparisons += 1
+            if predicate(left_row, right_row):
+                yield left_row, right_row
+
+
+def index_join(left: Iterable[Row], key: Callable[[Row], Any],
+               index: HashIndex) -> Iterator[tuple[Row, Row]]:
+    """Index-nested-loop equi-join: probe ``index`` per left row."""
+    for left_row in left:
+        for right_row in index.lookup(key(left_row)):
+            yield left_row, right_row
+
+
+def merge_interval_join(ancestors: Sequence[tuple[Any, Any, Any]],
+                        descendants: Sequence[tuple[Any, Any, Any]],
+                        stats: Counters = NULL_COUNTERS
+                        ) -> Iterator[tuple[Any, Any]]:
+    """Stack-based structural join over (begin, end, payload) triples.
+
+    Both inputs must be sorted by ``begin``.  Emits
+    ``(ancestor_payload, descendant_payload)`` for every containment pair
+    in O(|A| + |D| + output) — the "exactly one self-join" plan of §1
+    (Al-Khalifa et al.'s stack-tree join).
+    """
+    stack: list[tuple[Any, Any, Any]] = []
+    a_position = 0
+    for d_begin, d_end, d_payload in descendants:
+        while a_position < len(ancestors) and \
+                ancestors[a_position][0] < d_begin:
+            candidate = ancestors[a_position]
+            a_position += 1
+            while stack and stack[-1][1] < candidate[0]:
+                stack.pop()
+            stack.append(candidate)
+            stats.tuple_reads += 1
+        while stack and stack[-1][1] < d_begin:
+            stack.pop()
+        stats.tuple_reads += 1
+        for a_begin, a_end, a_payload in stack:
+            stats.comparisons += 1
+            if a_begin < d_begin and d_end < a_end:
+                yield a_payload, d_payload

@@ -1,0 +1,38 @@
+"""Deterministic workload generators: update streams over abstract list
+positions, document corpora and edit streams, and query batteries."""
+
+from repro.workloads.documents import (apply_document_edits, edit_positions,
+                                       sized_corpus)
+from repro.workloads.queries import (random_element_pairs,
+                                     related_element_pairs, xpath_battery)
+from repro.workloads.updates import (DELETE, INSERT_AFTER, INSERT_BEFORE,
+                                     INSERT_RUN, Operation, WorkloadResult,
+                                     append_inserts, apply_workload,
+                                     hotspot_inserts, mixed_workload,
+                                     prepend_inserts, run_inserts,
+                                     sliding_window, uniform_inserts,
+                                     zipf_inserts)
+
+__all__ = [
+    "Operation",
+    "WorkloadResult",
+    "apply_workload",
+    "uniform_inserts",
+    "hotspot_inserts",
+    "append_inserts",
+    "prepend_inserts",
+    "zipf_inserts",
+    "run_inserts",
+    "mixed_workload",
+    "sliding_window",
+    "INSERT_AFTER",
+    "INSERT_BEFORE",
+    "INSERT_RUN",
+    "DELETE",
+    "sized_corpus",
+    "apply_document_edits",
+    "edit_positions",
+    "random_element_pairs",
+    "related_element_pairs",
+    "xpath_battery",
+]

@@ -1,0 +1,85 @@
+"""Document-level workloads: sized corpora and random DOM edit streams.
+
+These drive the XML-layer experiments (E9, E10): documents of controlled
+size/shape, plus deterministic streams of subtree insertions and deletions
+against a :class:`repro.labeling.scheme.LabeledDocument`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator
+
+from repro.labeling.scheme import LabeledDocument
+from repro.xml.generator import _sentence, xmark_like
+from repro.xml.model import XMLDocument, XMLElement, XMLTextNode
+
+
+def sized_corpus(sizes: tuple[int, ...] = (10, 50, 200, 500),
+                 seed: int = 0) -> dict[int, XMLDocument]:
+    """XMark-like documents keyed by item count (element count scales
+    roughly 8x the item count)."""
+    return {
+        size: xmark_like(n_items=size, n_people=size // 2,
+                         n_auctions=size // 3 + 1, seed=seed + size)
+        for size in sizes
+    }
+
+
+@dataclasses.dataclass(frozen=True)
+class DocumentEdit:
+    """One DOM edit: insert a generated subtree or delete an element."""
+
+    kind: str  # "insert" | "delete"
+    parent_tag: str | None = None
+    subtree_size: int = 1
+
+
+def _make_subtree(rng: random.Random, size: int, number: int) -> XMLElement:
+    """A fresh annotation subtree with ``size`` elements."""
+    root = XMLElement("annotation", [("id", f"edit{number}")])
+    current = root
+    for index in range(size - 1):
+        child = XMLElement(rng.choice(("note", "remark", "detail")))
+        if rng.random() < 0.5:
+            child.append_child(XMLTextNode(_sentence(rng, 2, 6)))
+        current.append_child(child)
+        if rng.random() < 0.5:
+            current = child
+    return root
+
+
+def apply_document_edits(labeled: LabeledDocument, n_edits: int,
+                         seed: int = 0, delete_fraction: float = 0.15,
+                         max_subtree: int = 8) -> int:
+    """Run ``n_edits`` random subtree insertions/deletions.
+
+    Insertion targets are random existing elements (locality-free);
+    deletions pick random non-root elements.  Returns the number of
+    elements in the final document.
+    """
+    rng = random.Random(seed)
+    document = labeled.document
+    for number in range(n_edits):
+        elements = [element for element in document.iter_elements()]
+        if rng.random() < delete_fraction and len(elements) > 2:
+            victims = [element for element in elements
+                       if element.parent is not None]
+            labeled.delete_subtree(rng.choice(victims))
+            continue
+        parent = rng.choice(elements)
+        subtree = _make_subtree(rng, rng.randint(1, max_subtree), number)
+        index = rng.randint(0, len(parent.children))
+        labeled.insert_subtree(parent, index, subtree)
+    return document.count_elements()
+
+
+def edit_positions(document: XMLDocument, n_edits: int,
+                   seed: int = 0) -> Iterator[tuple[XMLElement, int]]:
+    """A reusable stream of (parent, child-index) insertion points."""
+    rng = random.Random(seed)
+    elements = list(document.iter_elements())
+    for _ in range(n_edits):
+        parent = rng.choice(elements)
+        yield parent, rng.randint(0, len(parent.children))

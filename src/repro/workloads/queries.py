@@ -1,0 +1,82 @@
+"""Query workloads: random containment probes and XPath batteries.
+
+Used by the query-side experiments (E9) and the overall-cost tuning
+experiment (E5): deterministic sets of ancestor/descendant probe pairs and
+path expressions whose tag mix follows the document's actual tags.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.query.xpath import XPathQuery, parse_xpath
+from repro.xml.model import XMLDocument, XMLElement
+
+
+def random_element_pairs(document: XMLDocument, n_pairs: int,
+                         seed: int = 0
+                         ) -> Iterator[tuple[XMLElement, XMLElement]]:
+    """Random ordered element pairs for containment probing."""
+    rng = random.Random(seed)
+    elements = list(document.iter_elements())
+    if len(elements) < 2:
+        raise ValueError("document too small for pair sampling")
+    for _ in range(n_pairs):
+        first = rng.choice(elements)
+        second = rng.choice(elements)
+        yield first, second
+
+
+def related_element_pairs(document: XMLDocument, n_pairs: int,
+                          seed: int = 0
+                          ) -> Iterator[tuple[XMLElement, XMLElement]]:
+    """Pairs biased toward true ancestor/descendant relations.
+
+    Half the pairs are (ancestor, descendant); half are random — so both
+    outcomes of the containment test are exercised.
+    """
+    rng = random.Random(seed)
+    elements = list(document.iter_elements())
+    nested = [element for element in elements if element.parent is not None]
+    for index in range(n_pairs):
+        if index % 2 == 0 and nested:
+            descendant = rng.choice(nested)
+            ancestors = list(descendant.ancestors())
+            yield rng.choice(ancestors), descendant
+        else:
+            yield rng.choice(elements), rng.choice(elements)
+
+
+def xpath_battery(document: XMLDocument, n_queries: int,
+                  seed: int = 0, max_steps: int = 3
+                  ) -> list[XPathQuery]:
+    """XPath queries over tags that actually occur in the document.
+
+    Each query starts at the root tag or a descendant axis and chains
+    random child/descendant steps over observed parent->child tag edges,
+    so most queries are non-empty.
+    """
+    rng = random.Random(seed)
+    edges: dict[str, list[str]] = {}
+    for element in document.iter_elements():
+        for child in element.child_elements():
+            edges.setdefault(element.tag, []).append(child.tag)
+    tags = sorted(edges)
+    if not tags:
+        raise ValueError("document has no nested elements")
+    queries: list[XPathQuery] = []
+    for _ in range(n_queries):
+        tag = rng.choice(tags)
+        pieces = [f"//{tag}"]
+        current = tag
+        for _ in range(rng.randint(0, max_steps - 1)):
+            children = edges.get(current)
+            if not children:
+                break
+            nxt = rng.choice(children)
+            axis = "/" if rng.random() < 0.6 else "//"
+            pieces.append(f"{axis}{nxt}")
+            current = nxt
+        queries.append(parse_xpath("".join(pieces)))
+    return queries

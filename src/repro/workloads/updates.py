@@ -1,0 +1,232 @@
+"""Update workload generators for the ordered-labeling experiments.
+
+A workload is a deterministic stream of abstract operations over list
+*positions* (not handles), so the same stream can drive every scheme in
+the registry and the results stay comparable.  The runner
+(:func:`apply_workload`) resolves positions to live handles.
+
+Workload shapes (motivated by §1's "random updates will cause some areas
+... to become much more dense than others"):
+
+* :func:`uniform_inserts` — positions uniform over the current list;
+* :func:`hotspot_inserts` — every insert lands in one gap (document
+  editing at a cursor; the adversary for gap schemes);
+* :func:`append_inserts` / :func:`prepend_inserts` — monotone growth
+  (log-structured documents);
+* :func:`zipf_inserts` — skewed positions with tunable exponent;
+* :func:`mixed_workload` — inserts, deletes and subtree runs combined.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.stats import Counters
+from repro.order.base import OrderedLabeling
+
+INSERT_AFTER = "insert_after"
+INSERT_BEFORE = "insert_before"
+INSERT_RUN = "insert_run"
+DELETE = "delete"
+
+
+@dataclasses.dataclass(frozen=True)
+class Operation:
+    """One abstract update.
+
+    ``position`` indexes the current list (0-based); inserts interpret it
+    as the anchor item, deletes as the victim.  ``run_length`` > 1 turns an
+    insert into a batch (paper §4.1).
+    """
+
+    kind: str
+    position: int
+    payload: Any = None
+    run_length: int = 1
+
+
+def uniform_inserts(n_ops: int, seed: int = 0,
+                    initial_size: int = 2) -> Iterator[Operation]:
+    """Inserts at uniformly random positions."""
+    rng = random.Random(seed)
+    size = initial_size
+    for count in range(n_ops):
+        kind = INSERT_AFTER if rng.random() < 0.5 else INSERT_BEFORE
+        yield Operation(kind, rng.randrange(size), payload=count)
+        size += 1
+
+
+def hotspot_inserts(n_ops: int, seed: int = 0, initial_size: int = 2,
+                    hotspot_fraction: float = 0.5) -> Iterator[Operation]:
+    """All inserts chase one moving gap at a fixed relative position."""
+    rng = random.Random(seed)
+    size = initial_size
+    for count in range(n_ops):
+        position = min(size - 1, int(size * hotspot_fraction))
+        # Alternate before/after so the hotspot is a gap, not an append.
+        kind = INSERT_AFTER if rng.random() < 0.5 else INSERT_BEFORE
+        yield Operation(kind, position, payload=count)
+        size += 1
+
+
+def append_inserts(n_ops: int) -> Iterator[Operation]:
+    """Monotone growth at the tail."""
+    size = 1
+    for count in range(n_ops):
+        yield Operation(INSERT_AFTER, size - 1, payload=count)
+        size += 1
+
+
+def prepend_inserts(n_ops: int) -> Iterator[Operation]:
+    """Monotone growth at the head."""
+    for count in range(n_ops):
+        yield Operation(INSERT_BEFORE, 0, payload=count)
+
+
+def zipf_inserts(n_ops: int, seed: int = 0, exponent: float = 1.2,
+                 initial_size: int = 2) -> Iterator[Operation]:
+    """Zipf-skewed positions: low positions attract most inserts."""
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    rng = random.Random(seed)
+    size = initial_size
+    for count in range(n_ops):
+        # Inverse-CDF sample from a truncated zeta distribution.
+        rank = _zipf_sample(rng, size, exponent)
+        kind = INSERT_AFTER if rng.random() < 0.5 else INSERT_BEFORE
+        yield Operation(kind, rank, payload=count)
+        size += 1
+
+
+def _zipf_sample(rng: random.Random, size: int, exponent: float) -> int:
+    """Approximate Zipf sample in [0, size) via rejection."""
+    while True:
+        value = int(rng.paretovariate(exponent - 1.0)) - 1
+        if 0 <= value < size:
+            return value
+
+
+def run_inserts(n_ops: int, run_length: int, seed: int = 0,
+                initial_size: int = 2) -> Iterator[Operation]:
+    """Batch (subtree) inserts of fixed ``run_length`` (paper §4.1)."""
+    rng = random.Random(seed)
+    size = initial_size
+    for count in range(n_ops):
+        yield Operation(INSERT_RUN, rng.randrange(size), payload=count,
+                        run_length=run_length)
+        size += run_length
+
+
+def mixed_workload(n_ops: int, seed: int = 0, delete_fraction: float = 0.2,
+                   run_fraction: float = 0.1, max_run: int = 16,
+                   initial_size: int = 2) -> Iterator[Operation]:
+    """Inserts, deletes and batch runs interleaved (experiment E10).
+
+    ``initial_size`` must match the runner's ``initial_payloads`` length
+    (both default to 2).
+    """
+    if delete_fraction + run_fraction > 1.0:
+        raise ValueError("fractions must sum to at most 1")
+    rng = random.Random(seed)
+    size = initial_size
+    for count in range(n_ops):
+        roll = rng.random()
+        if roll < delete_fraction and size > 2:
+            yield Operation(DELETE, rng.randrange(size))
+            size -= 1
+        elif roll < delete_fraction + run_fraction:
+            length = rng.randint(2, max_run)
+            yield Operation(INSERT_RUN, rng.randrange(size),
+                            payload=count, run_length=length)
+            size += length
+        else:
+            kind = INSERT_AFTER if rng.random() < 0.5 else INSERT_BEFORE
+            yield Operation(kind, rng.randrange(size), payload=count)
+            size += 1
+
+
+def sliding_window(n_ops: int, window: int = 128,
+                   initial_size: int = 2) -> Iterator[Operation]:
+    """Append at the tail, delete from the head: a log/stream document.
+
+    Size grows to ``window`` and then stays there; every appended item
+    eventually gets deleted.  Exercises the tombstone-accumulation
+    behaviour the compaction extension addresses (experiment A2).
+    """
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window}")
+    size = initial_size
+    for count in range(n_ops):
+        if size >= window:
+            yield Operation(DELETE, 0)
+            size -= 1
+        yield Operation(INSERT_AFTER, size - 1, payload=count)
+        size += 1
+
+
+@dataclasses.dataclass
+class WorkloadResult:
+    """Outcome of driving one scheme through one workload."""
+
+    scheme_name: str
+    final_size: int
+    stats: Counters
+    label_bits: int
+
+    @property
+    def relabels_per_insert(self) -> float:
+        if self.stats.inserts == 0:
+            return 0.0
+        return self.stats.relabels / self.stats.inserts
+
+    @property
+    def amortized_cost(self) -> float:
+        return self.stats.amortized_cost()
+
+
+def apply_workload(scheme: OrderedLabeling,
+                   operations: Iterable[Operation],
+                   initial_payloads: Sequence[Any] = (0, 1),
+                   reset_stats_after_load: bool = True) -> WorkloadResult:
+    """Drive ``scheme`` through an operation stream.
+
+    Maintains the position -> handle mapping, so ``operations`` may come
+    from any generator above.  Bulk-load cost is excluded by default
+    (the paper charges bulk loading separately, §2.2).
+    """
+    handles = list(scheme.bulk_load(list(initial_payloads)))
+    if reset_stats_after_load:
+        scheme.stats.reset()
+    for operation in operations:
+        position = operation.position
+        if position >= len(handles):
+            raise IndexError(
+                f"workload position {position} out of range "
+                f"{len(handles)}")
+        if operation.kind == INSERT_AFTER:
+            handle = scheme.insert_after(handles[position],
+                                         operation.payload)
+            handles.insert(position + 1, handle)
+        elif operation.kind == INSERT_BEFORE:
+            handle = scheme.insert_before(handles[position],
+                                          operation.payload)
+            handles.insert(position, handle)
+        elif operation.kind == INSERT_RUN:
+            payloads = [(operation.payload, index)
+                        for index in range(operation.run_length)]
+            new_handles = scheme.insert_run_after(handles[position],
+                                                  payloads)
+            handles[position + 1:position + 1] = new_handles
+        elif operation.kind == DELETE:
+            scheme.delete(handles[position])
+            handles.pop(position)
+        else:
+            raise ValueError(f"unknown operation kind {operation.kind!r}")
+    return WorkloadResult(
+        scheme_name=scheme.name,
+        final_size=len(handles),
+        stats=scheme.stats.snapshot(),
+        label_bits=scheme.label_bits(),
+    )

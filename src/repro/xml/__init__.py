@@ -1,0 +1,38 @@
+"""XML substrate: tokenizer, parser, ordered DOM, serializer, generators.
+
+Built from scratch (no stdlib-XML reuse in the library itself) because the
+token list — begin tags, end tags, text sections — is the exact object the
+L-Tree labels (paper §2)."""
+
+from repro.xml.generator import (book_document, deep_document,
+                                 random_document, wide_document, xmark_like)
+from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
+                             XMLInstructionNode, XMLNode, XMLTextNode,
+                             build_document)
+from repro.xml.parser import parse, tokenize
+from repro.xml.serializer import pretty, serialize
+from repro.xml.tokens import Comment, EndTag, Instruction, StartTag, Text
+
+__all__ = [
+    "parse",
+    "tokenize",
+    "serialize",
+    "pretty",
+    "build_document",
+    "XMLDocument",
+    "XMLElement",
+    "XMLTextNode",
+    "XMLCommentNode",
+    "XMLInstructionNode",
+    "XMLNode",
+    "StartTag",
+    "EndTag",
+    "Text",
+    "Comment",
+    "Instruction",
+    "book_document",
+    "xmark_like",
+    "random_document",
+    "deep_document",
+    "wide_document",
+]

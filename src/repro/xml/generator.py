@@ -1,0 +1,252 @@
+"""Synthetic XML document generators.
+
+The paper names no benchmark corpus, so the experiments run on
+deterministic synthetic documents (DESIGN.md, substitutions):
+
+* :func:`book_document` — the book/chapter/title shape of the paper's
+  Figure 1 and introduction;
+* :func:`xmark_like` — an auction document modeled on the XMark benchmark
+  schema (sites, regions, items, people, open auctions), the standard XML
+  corpus of the paper's era;
+* :func:`random_document` — shape-controlled random trees (depth, fanout,
+  text density) for property tests;
+* :func:`deep_document` / :func:`wide_document` — degenerate shapes that
+  stress the depth and fanout axes of the query experiments.
+
+Every generator takes a seed (or an explicit ``random.Random``) and is
+fully deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Sequence
+
+from repro.xml.model import XMLDocument, XMLElement, XMLTextNode
+
+_WORDS = (
+    "ordered labeling scheme dynamic update query structural relabel "
+    "document element interval containment ancestor descendant amortized "
+    "logarithmic balanced subtree insertion density slack region auction "
+    "bidder seller gold silver category annotation shipping payment"
+).split()
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def _sentence(rng: random.Random, min_words: int = 2,
+              max_words: int = 8) -> str:
+    count = rng.randint(min_words, max_words)
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def _identifier(rng: random.Random, prefix: str) -> str:
+    suffix = "".join(rng.choice(string.ascii_lowercase) for _ in range(4))
+    return f"{prefix}{suffix}{rng.randint(0, 9999)}"
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 shape
+# ---------------------------------------------------------------------------
+def book_document(chapters: int = 3, sections_per_chapter: int = 4,
+                  seed: int | random.Random = 0) -> XMLDocument:
+    """A book like the paper's Figure 1: book/chapter/title (+sections).
+
+    ``book_document(1, 0)`` is exactly Figure 1's tree: a book with one
+    chapter holding a title, plus a book-level title.
+    """
+    rng = _rng(seed)
+    book = XMLElement("book")
+    for number in range(chapters):
+        chapter = XMLElement("chapter", [("number", str(number + 1))])
+        title = XMLElement("title")
+        title.append_child(XMLTextNode(_sentence(rng, 1, 4)))
+        chapter.append_child(title)
+        for _ in range(sections_per_chapter):
+            section = XMLElement("section")
+            heading = XMLElement("title")
+            heading.append_child(XMLTextNode(_sentence(rng, 1, 3)))
+            section.append_child(heading)
+            para = XMLElement("para")
+            para.append_child(XMLTextNode(_sentence(rng, 4, 10)))
+            section.append_child(para)
+            chapter.append_child(section)
+        book.append_child(chapter)
+    book_title = XMLElement("title")
+    book_title.append_child(XMLTextNode(_sentence(rng, 1, 4)))
+    book.append_child(book_title)
+    return XMLDocument(book)
+
+
+# ---------------------------------------------------------------------------
+# XMark-like auction data
+# ---------------------------------------------------------------------------
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+def _item(rng: random.Random, number: int) -> XMLElement:
+    item = XMLElement("item", [("id", f"item{number}")])
+    name = XMLElement("name")
+    name.append_child(XMLTextNode(_sentence(rng, 1, 3)))
+    item.append_child(name)
+    location = XMLElement("location")
+    location.append_child(XMLTextNode(rng.choice(_REGIONS)))
+    item.append_child(location)
+    quantity = XMLElement("quantity")
+    quantity.append_child(XMLTextNode(str(rng.randint(1, 10))))
+    item.append_child(quantity)
+    description = XMLElement("description")
+    parlist = XMLElement("parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = XMLElement("listitem")
+        listitem.append_child(XMLTextNode(_sentence(rng, 3, 9)))
+        parlist.append_child(listitem)
+    description.append_child(parlist)
+    item.append_child(description)
+    if rng.random() < 0.5:
+        payment = XMLElement("payment")
+        payment.append_child(XMLTextNode(
+            rng.choice(("Cash", "Creditcard", "Money order"))))
+        item.append_child(payment)
+    return item
+
+
+def _person(rng: random.Random, number: int) -> XMLElement:
+    person = XMLElement("person", [("id", f"person{number}")])
+    name = XMLElement("name")
+    name.append_child(XMLTextNode(_identifier(rng, "user-")))
+    person.append_child(name)
+    email = XMLElement("emailaddress")
+    email.append_child(XMLTextNode(
+        f"mailto:{_identifier(rng, '')}@example.org"))
+    person.append_child(email)
+    if rng.random() < 0.4:
+        address = XMLElement("address")
+        for part in ("street", "city", "country"):
+            field = XMLElement(part)
+            field.append_child(XMLTextNode(_sentence(rng, 1, 2)))
+            address.append_child(field)
+        person.append_child(address)
+    return person
+
+
+def _open_auction(rng: random.Random, number: int,
+                  n_items: int, n_people: int) -> XMLElement:
+    auction = XMLElement("open_auction", [("id", f"auction{number}")])
+    itemref = XMLElement(
+        "itemref", [("item", f"item{rng.randrange(max(1, n_items))}")])
+    auction.append_child(itemref)
+    for _ in range(rng.randint(0, 4)):
+        bidder = XMLElement("bidder")
+        personref = XMLElement(
+            "personref",
+            [("person", f"person{rng.randrange(max(1, n_people))}")])
+        bidder.append_child(personref)
+        increase = XMLElement("increase")
+        increase.append_child(XMLTextNode(f"{rng.randint(1, 50)}.00"))
+        bidder.append_child(increase)
+        auction.append_child(bidder)
+    current = XMLElement("current")
+    current.append_child(XMLTextNode(f"{rng.randint(10, 500)}.00"))
+    auction.append_child(current)
+    return auction
+
+
+def xmark_like(n_items: int = 50, n_people: int = 25,
+               n_auctions: int = 20,
+               seed: int | random.Random = 0) -> XMLDocument:
+    """An XMark-flavored auction site document.
+
+    Shape: ``site/regions/<region>/item...``, ``site/people/person...``,
+    ``site/open_auctions/open_auction...`` — the tag mix the XML query
+    literature of the paper's period benchmarks against.
+    """
+    rng = _rng(seed)
+    site = XMLElement("site")
+    regions = XMLElement("regions")
+    region_elements = {name: XMLElement(name) for name in _REGIONS}
+    for number in range(n_items):
+        region = rng.choice(_REGIONS)
+        region_elements[region].append_child(_item(rng, number))
+    for name in _REGIONS:
+        regions.append_child(region_elements[name])
+    site.append_child(regions)
+    people = XMLElement("people")
+    for number in range(n_people):
+        people.append_child(_person(rng, number))
+    site.append_child(people)
+    auctions = XMLElement("open_auctions")
+    for number in range(n_auctions):
+        auctions.append_child(
+            _open_auction(rng, number, n_items, n_people))
+    site.append_child(auctions)
+    return XMLDocument(site)
+
+
+# ---------------------------------------------------------------------------
+# shape-controlled random trees
+# ---------------------------------------------------------------------------
+def random_document(n_elements: int = 100, max_depth: int = 8,
+                    max_fanout: int = 6, text_probability: float = 0.4,
+                    tags: Sequence[str] = ("a", "b", "c", "d", "e"),
+                    seed: int | random.Random = 0) -> XMLDocument:
+    """A random ordered tree with ``n_elements`` elements.
+
+    Elements are added one at a time under a random existing element whose
+    depth allows it, biased toward recently created elements so the tree
+    is neither a path nor a star.
+    """
+    if n_elements < 1:
+        raise ValueError("n_elements must be >= 1")
+    rng = _rng(seed)
+    root = XMLElement(rng.choice(tags))
+    open_slots: list[XMLElement] = [root]
+    created = 1
+    while created < n_elements:
+        # Bias toward the most recent elements (locality of real edits).
+        index = min(len(open_slots) - 1,
+                    int(rng.betavariate(2.0, 1.0) * len(open_slots)))
+        parent = open_slots[index]
+        element = XMLElement(rng.choice(tags))
+        if rng.random() < text_probability:
+            element.append_child(XMLTextNode(_sentence(rng, 1, 5)))
+        parent.append_child(element)
+        created += 1
+        if element.depth() < max_depth:
+            open_slots.append(element)
+        saturated = (parent.depth() + 1 >= max_depth or
+                     sum(1 for _ in parent.child_elements()) >= max_fanout)
+        if saturated and len(open_slots) > 1 and parent in open_slots:
+            open_slots.remove(parent)
+    return XMLDocument(root)
+
+
+def deep_document(depth: int, tag: str = "level") -> XMLDocument:
+    """A single path of ``depth`` nested elements (query depth stress)."""
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    root = XMLElement(f"{tag}0")
+    current = root
+    for level in range(1, depth):
+        child = XMLElement(f"{tag}{level}")
+        current.append_child(child)
+        current = child
+    current.append_child(XMLTextNode("bottom"))
+    return XMLDocument(root)
+
+
+def wide_document(n_children: int, tag: str = "row") -> XMLDocument:
+    """One root with ``n_children`` flat children (fanout stress)."""
+    if n_children < 0:
+        raise ValueError("n_children must be >= 0")
+    root = XMLElement("table")
+    for number in range(n_children):
+        child = XMLElement(tag, [("n", str(number))])
+        child.append_child(XMLTextNode(str(number)))
+        root.append_child(child)
+    return XMLDocument(root)

@@ -1,0 +1,279 @@
+"""From-scratch XML tokenizer and document parser.
+
+Implements the subset of XML 1.0 the experiments need, with no third-party
+or stdlib-XML dependencies (the parser *is* one of the paper's assumed
+substrates):
+
+* elements with attributes (single- or double-quoted), self-closing tags;
+* character data with the five predefined entities plus decimal and
+  hexadecimal character references;
+* CDATA sections, comments, processing instructions;
+* an XML declaration and a (non-validating, skipped) DOCTYPE.
+
+The tokenizer is a single left-to-right scan producing
+:mod:`repro.xml.tokens` values; :func:`parse` feeds them to the tree
+builder in :mod:`repro.xml.model`.  Errors carry line/column positions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import XMLSyntaxError
+from repro.xml.tokens import Comment, EndTag, Instruction, StartTag, Text
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRAS = "_:"
+_NAME_EXTRAS = "_:.-"
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char in _NAME_START_EXTRAS
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in _NAME_EXTRAS
+
+
+class _Scanner:
+    """Cursor over the input with line/column tracking."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+
+    def eof(self) -> bool:
+        return self.position >= len(self.text)
+
+    def peek(self) -> str:
+        if self.eof():
+            return ""
+        return self.text[self.position]
+
+    def advance(self, count: int = 1) -> None:
+        self.position += count
+
+    def starts_with(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.position)
+
+    def find(self, needle: str) -> int:
+        return self.text.find(needle, self.position)
+
+    def location(self) -> tuple[int, int]:
+        """(line, column), both 1-based, of the current position."""
+        consumed = self.text[:self.position]
+        line = consumed.count("\n") + 1
+        column = self.position - consumed.rfind("\n")
+        return line, column
+
+    def error(self, message: str) -> XMLSyntaxError:
+        line, column = self.location()
+        return XMLSyntaxError(message, position=self.position,
+                              line=line, column=column)
+
+    def skip_whitespace(self) -> None:
+        while not self.eof() and self.peek() in " \t\r\n":
+            self.advance()
+
+    def read_name(self) -> str:
+        start = self.position
+        if self.eof() or not _is_name_start(self.peek()):
+            raise self.error("expected a name")
+        self.advance()
+        while not self.eof() and _is_name_char(self.peek()):
+            self.advance()
+        return self.text[start:self.position]
+
+
+def decode_entities(raw: str, scanner: _Scanner | None = None) -> str:
+    """Expand ``&name;``, ``&#dd;`` and ``&#xhh;`` references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    pieces: list[str] = []
+    index = 0
+    while index < len(raw):
+        amp = raw.find("&", index)
+        if amp < 0:
+            pieces.append(raw[index:])
+            break
+        pieces.append(raw[index:amp])
+        semi = raw.find(";", amp + 1)
+        if semi < 0:
+            message = "unterminated entity reference"
+            raise scanner.error(message) if scanner else XMLSyntaxError(
+                message)
+        entity = raw[amp + 1:semi]
+        pieces.append(_decode_entity(entity, scanner))
+        index = semi + 1
+    return "".join(pieces)
+
+
+def _decode_entity(entity: str, scanner: _Scanner | None) -> str:
+    if entity in _PREDEFINED_ENTITIES:
+        return _PREDEFINED_ENTITIES[entity]
+    if entity.startswith("#x") or entity.startswith("#X"):
+        try:
+            return chr(int(entity[2:], 16))
+        except ValueError:
+            pass
+    elif entity.startswith("#"):
+        try:
+            return chr(int(entity[1:]))
+        except ValueError:
+            pass
+    message = f"unknown entity &{entity};"
+    raise scanner.error(message) if scanner else XMLSyntaxError(message)
+
+
+def tokenize(text: str) -> Iterator[StartTag | EndTag | Text | Comment |
+                                    Instruction]:
+    """Scan ``text`` into the paper's begin/end/text token list.
+
+    Self-closing elements emit a ``StartTag`` immediately followed by the
+    matching ``EndTag`` — the element still occupies two label slots, as
+    the L-Tree labeling requires.
+    """
+    scanner = _Scanner(text)
+    while not scanner.eof():
+        if scanner.peek() != "<":
+            yield from _scan_text(scanner)
+            continue
+        if scanner.starts_with("<!--"):
+            yield _scan_comment(scanner)
+        elif scanner.starts_with("<![CDATA["):
+            yield _scan_cdata(scanner)
+        elif scanner.starts_with("<!DOCTYPE"):
+            _skip_doctype(scanner)
+        elif scanner.starts_with("<?"):
+            token = _scan_instruction(scanner)
+            if token is not None:
+                yield token
+        elif scanner.starts_with("</"):
+            yield _scan_end_tag(scanner)
+        else:
+            yield from _scan_start_tag(scanner)
+
+
+def _scan_text(scanner: _Scanner) -> Iterator[Text]:
+    start = scanner.position
+    next_tag = scanner.find("<")
+    if next_tag < 0:
+        next_tag = len(scanner.text)
+    raw = scanner.text[start:next_tag]
+    scanner.advance(next_tag - start)
+    content = decode_entities(raw, scanner)
+    if content:
+        yield Text(content)
+
+
+def _scan_comment(scanner: _Scanner) -> Comment:
+    scanner.advance(len("<!--"))
+    end = scanner.find("-->")
+    if end < 0:
+        raise scanner.error("unterminated comment")
+    content = scanner.text[scanner.position:end]
+    scanner.position = end + len("-->")
+    return Comment(content)
+
+
+def _scan_cdata(scanner: _Scanner) -> Text:
+    scanner.advance(len("<![CDATA["))
+    end = scanner.find("]]>")
+    if end < 0:
+        raise scanner.error("unterminated CDATA section")
+    content = scanner.text[scanner.position:end]
+    scanner.position = end + len("]]>")
+    return Text(content)
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE, balancing an optional internal subset."""
+    scanner.advance(len("<!DOCTYPE"))
+    depth = 0
+    while not scanner.eof():
+        char = scanner.peek()
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == ">" and depth == 0:
+            scanner.advance()
+            return
+        scanner.advance()
+    raise scanner.error("unterminated DOCTYPE")
+
+
+def _scan_instruction(scanner: _Scanner) -> Instruction | None:
+    scanner.advance(len("<?"))
+    target = scanner.read_name()
+    end = scanner.find("?>")
+    if end < 0:
+        raise scanner.error("unterminated processing instruction")
+    content = scanner.text[scanner.position:end].strip()
+    scanner.position = end + len("?>")
+    if target.lower() == "xml":
+        return None  # XML declaration: consumed, not part of the document
+    return Instruction(target, content)
+
+
+def _scan_end_tag(scanner: _Scanner) -> EndTag:
+    scanner.advance(len("</"))
+    name = scanner.read_name()
+    scanner.skip_whitespace()
+    if scanner.peek() != ">":
+        raise scanner.error(f"malformed end tag </{name}")
+    scanner.advance()
+    return EndTag(name)
+
+
+def _scan_start_tag(scanner: _Scanner) -> Iterator[StartTag | EndTag]:
+    scanner.advance(1)  # consume "<"
+    name = scanner.read_name()
+    attributes: list[tuple[str, str]] = []
+    seen: set[str] = set()
+    while True:
+        scanner.skip_whitespace()
+        if scanner.eof():
+            raise scanner.error(f"unterminated start tag <{name}")
+        char = scanner.peek()
+        if char == ">":
+            scanner.advance()
+            yield StartTag(name, tuple(attributes))
+            return
+        if scanner.starts_with("/>"):
+            scanner.advance(2)
+            yield StartTag(name, tuple(attributes))
+            yield EndTag(name)
+            return
+        key = scanner.read_name()
+        if key in seen:
+            raise scanner.error(f"duplicate attribute {key!r}")
+        seen.add(key)
+        scanner.skip_whitespace()
+        if scanner.peek() != "=":
+            raise scanner.error(f"attribute {key!r} lacks '='")
+        scanner.advance()
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in "'\"":
+            raise scanner.error(f"attribute {key!r} value is not quoted")
+        scanner.advance()
+        closing = scanner.find(quote)
+        if closing < 0:
+            raise scanner.error(f"unterminated value for {key!r}")
+        raw = scanner.text[scanner.position:closing]
+        scanner.position = closing + 1
+        attributes.append((key, decode_entities(raw, scanner)))
+
+
+def parse(text: str):
+    """Parse ``text`` into an :class:`repro.xml.model.XMLDocument`."""
+    from repro.xml.model import build_document
+    return build_document(tokenize(text))

@@ -1,0 +1,118 @@
+"""XML serializer: the inverse of :mod:`repro.xml.parser`.
+
+Escapes the five predefined entities, quotes attributes with double
+quotes, optionally pretty-prints, and round-trips with the parser
+(property-tested in ``tests/xml/test_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
+                             XMLInstructionNode, XMLNode, XMLTextNode)
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(raw: str) -> str:
+    """Escape character data for element content."""
+    for char, entity in _TEXT_ESCAPES.items():
+        raw = raw.replace(char, entity)
+    return raw
+
+
+def escape_attribute(raw: str) -> str:
+    """Escape an attribute value for a double-quoted literal."""
+    for char, entity in _ATTR_ESCAPES.items():
+        raw = raw.replace(char, entity)
+    return raw
+
+
+def serialize(item: Union[XMLDocument, XMLNode],
+              declaration: bool = False) -> str:
+    """Render a document or node subtree as XML text."""
+    pieces: list[str] = []
+    if declaration:
+        pieces.append('<?xml version="1.0" encoding="UTF-8"?>')
+    if isinstance(item, XMLDocument):
+        for node in item.prolog:
+            _render(node, pieces)
+        _render(item.root, pieces)
+        for node in item.epilog:
+            _render(node, pieces)
+    else:
+        _render(item, pieces)
+    return "".join(pieces)
+
+
+def _render(node: XMLNode, pieces: list[str]) -> None:
+    if isinstance(node, XMLElement):
+        attributes = "".join(
+            f' {key}="{escape_attribute(value)}"'
+            for key, value in node.attributes.items())
+        if node.children:
+            pieces.append(f"<{node.tag}{attributes}>")
+            for child in node.children:
+                _render(child, pieces)
+            pieces.append(f"</{node.tag}>")
+        else:
+            pieces.append(f"<{node.tag}{attributes}/>")
+    elif isinstance(node, XMLTextNode):
+        pieces.append(escape_text(node.content))
+    elif isinstance(node, XMLCommentNode):
+        pieces.append(f"<!--{node.content}-->")
+    elif isinstance(node, XMLInstructionNode):
+        body = f"{node.target} {node.content}" if node.content \
+            else node.target
+        pieces.append(f"<?{body}?>")
+    else:  # pragma: no cover - model is closed
+        raise TypeError(f"unknown node type {type(node)!r}")
+
+
+def pretty(item: Union[XMLDocument, XMLNode], indent: str = "  ") -> str:
+    """Indented rendering for human consumption.
+
+    Not guaranteed to round-trip (whitespace is added inside elements
+    that contain no text); use :func:`serialize` for lossless output.
+    """
+    pieces: list[str] = []
+    root = item.root if isinstance(item, XMLDocument) else item
+    _render_pretty(root, pieces, indent, 0)
+    return "\n".join(pieces)
+
+
+def _render_pretty(node: XMLNode, pieces: list[str], indent: str,
+                   level: int) -> None:
+    pad = indent * level
+    if isinstance(node, XMLElement):
+        attributes = "".join(
+            f' {key}="{escape_attribute(value)}"'
+            for key, value in node.attributes.items())
+        has_element_children = any(
+            isinstance(child, XMLElement) for child in node.children)
+        if not node.children:
+            pieces.append(f"{pad}<{node.tag}{attributes}/>")
+        elif has_element_children:
+            pieces.append(f"{pad}<{node.tag}{attributes}>")
+            for child in node.children:
+                _render_pretty(child, pieces, indent, level + 1)
+            pieces.append(f"{pad}</{node.tag}>")
+        else:
+            inline = "".join(
+                escape_text(child.content)
+                for child in node.children
+                if isinstance(child, XMLTextNode))
+            pieces.append(
+                f"{pad}<{node.tag}{attributes}>{inline}</{node.tag}>")
+    elif isinstance(node, XMLTextNode):
+        stripped = node.content.strip()
+        if stripped:
+            pieces.append(f"{pad}{escape_text(stripped)}")
+    elif isinstance(node, XMLCommentNode):
+        pieces.append(f"{pad}<!--{node.content}-->")
+    elif isinstance(node, XMLInstructionNode):
+        body = f"{node.target} {node.content}" if node.content \
+            else node.target
+        pieces.append(f"{pad}<?{body}?>")

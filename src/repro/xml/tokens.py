@@ -1,0 +1,64 @@
+"""XML token model.
+
+The paper views a document as *"a linear ordered list of begin tags, end
+tags, and text sections"* (§2) — the list the L-Tree labels.  These token
+classes are that list's elements; the tokenizer
+(:mod:`repro.xml.parser`) produces them and the labeling layer
+(:mod:`repro.labeling`) consumes them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """Base class of all document-list tokens."""
+
+    __slots__ = ()
+
+
+@dataclasses.dataclass(frozen=True)
+class StartTag(Token):
+    """``<name attr="value" ...>`` (self-closing tags also emit EndTag)."""
+
+    name: str
+    attributes: tuple[tuple[str, str], ...] = ()
+
+    def attribute(self, key: str, default: str | None = None
+                  ) -> str | None:
+        """Value of attribute ``key`` (first occurrence) or ``default``."""
+        for name, value in self.attributes:
+            if name == key:
+                return value
+        return default
+
+
+@dataclasses.dataclass(frozen=True)
+class EndTag(Token):
+    """``</name>``."""
+
+    name: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Text(Token):
+    """Character data (entity-decoded; CDATA sections arrive here too)."""
+
+    content: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Comment(Token):
+    """``<!-- ... -->``."""
+
+    content: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction(Token):
+    """Processing instruction ``<?target content?>``."""
+
+    target: str
+    content: str

@@ -1,0 +1,92 @@
+"""Measurement harness functions (small sizes for test speed)."""
+
+import pytest
+
+from repro.analysis import amortized as harness
+from repro.core.params import LTreeParams
+
+
+class TestAmortizedSeries:
+    def test_measured_below_bound(self):
+        rows = harness.measure_ltree_amortized(
+            LTreeParams(f=8, s=2), sizes=(128, 512))
+        for size, measured, bound in rows:
+            assert 0 < measured <= bound
+
+    def test_sizes_respected(self):
+        rows = harness.measure_ltree_amortized(
+            LTreeParams(f=8, s=2), sizes=(100, 300))
+        assert [row[0] for row in rows] == [100, 300]
+
+
+class TestBitsSeries:
+    def test_bits_below_bound(self):
+        rows = harness.measure_label_bits(
+            LTreeParams(f=4, s=2), sizes=(64, 256))
+        for _, measured, bound in rows:
+            assert measured <= bound
+
+
+class TestBatchSeries:
+    def test_costs_below_bounds(self):
+        rows = harness.measure_batch_cost(
+            LTreeParams(f=8, s=2), total_inserts=512,
+            run_lengths=(1, 16, 64))
+        for _, measured, bound in rows:
+            assert measured <= bound
+
+    def test_large_batches_cheaper(self):
+        rows = harness.measure_batch_cost(
+            LTreeParams(f=8, s=2), total_inserts=1024,
+            run_lengths=(1, 128))
+        assert rows[1][1] < rows[0][1]
+
+
+class TestSchemeComparison:
+    def test_rows_cover_product(self):
+        rows = harness.measure_scheme_comparison(
+            ("naive", "gap"), n_ops=200,
+            workloads={"uniform": lambda n: __import__(
+                "repro.workloads.updates",
+                fromlist=["uniform_inserts"]).uniform_inserts(n)})
+        assert len(rows) == 2
+        names = {row[1] for row in rows}
+        assert names == {"naive", "gap"}
+
+
+class TestParameterGrid:
+    def test_invalid_combos_skipped(self):
+        rows = harness.measure_parameter_grid(
+            256, f_values=(4, 5), s_values=(2,))
+        keys = {(f, s) for f, s, _, _ in rows}
+        assert (4, 2) in keys and (5, 2) not in keys
+
+    def test_measured_below_predicted(self):
+        rows = harness.measure_parameter_grid(
+            512, f_values=(8,), s_values=(2,))
+        (_, _, measured, predicted) = rows[0]
+        assert measured <= predicted
+
+
+class TestGrowthExponent:
+    def test_linear_in_log_detected(self):
+        rows = [(2 ** k, 3.0 * k + 1.0, 0.0) for k in range(5, 12)]
+        slope = harness.growth_exponent(rows)
+        assert slope == pytest.approx(3.0)
+
+    def test_flat_series(self):
+        rows = [(2 ** k, 7.0, 0.0) for k in range(5, 10)]
+        assert harness.growth_exponent(rows) == pytest.approx(0.0)
+
+
+class TestVirtualComparison:
+    def test_labels_identical_and_storage_free(self):
+        comparison = harness.measure_virtual_vs_materialized(
+            LTreeParams(f=8, s=2), n_ops=400)
+        materialized = comparison["materialized"]
+        virtual = comparison["virtual"]
+        assert materialized["max_label"] == virtual["max_label"]
+        assert materialized["splits"] == virtual["splits"]
+        assert virtual["structure_nodes"] == 0.0
+        assert materialized["structure_nodes"] > 0.0
+        assert virtual["node_accesses"] > 0.0

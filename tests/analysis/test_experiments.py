@@ -1,0 +1,56 @@
+"""Experiment registry: fast experiments run end-to-end; the registry is
+complete and consistent with DESIGN.md."""
+
+import pytest
+
+from repro.analysis.experiments import EXPERIMENTS, run
+from repro.analysis.report import ExperimentReport
+
+
+class TestRegistry:
+    def test_contains_every_designed_experiment(self):
+        expected = {"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7",
+                    "E8", "E9", "E10", "E11", "E12", "E13", "A1", "A2"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(SystemExit):
+            run(["E99"])
+
+    def test_case_insensitive(self):
+        (report,) = run(["f1"])
+        assert report.experiment_id == "F1"
+
+
+class TestFastExperiments:
+    """The cheap experiments run in-process and assert their own
+    conclusions; slow ones are exercised by the benchmark suite."""
+
+    def test_f1_exact(self):
+        (report,) = run(["F1"])
+        assert isinstance(report, ExperimentReport)
+        assert "match the figure exactly" in report.conclusion
+        assert ("book", 0, 7) in report.rows
+
+    def test_f2_exact(self):
+        (report,) = run(["F2"])
+        assert "exact label-for-label match" in report.conclusion
+
+    def test_e10_zero_relabels_on_delete(self):
+        (report,) = run(["E10"])
+        for row in report.rows:
+            assert row[2] == 0  # relabels during deletes
+
+    def test_a2_compaction_reclaims(self):
+        (report,) = run(["A2"])
+        before, after = report.rows
+        assert before[2] > 0       # tombstones existed
+        assert after[2] == 0       # all reclaimed
+        assert after[3] <= before[3]  # labels no wider
+
+    def test_reports_render(self):
+        for report in run(["F1", "F2"]):
+            text = report.to_text()
+            markdown = report.to_markdown()
+            assert report.experiment_id in text
+            assert report.experiment_id in markdown

@@ -1,0 +1,46 @@
+"""Report rendering."""
+
+from repro.analysis.report import ExperimentReport, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(("name", "n"), [("a", 1), ("long-name", 42)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_floats_rounded(self):
+        table = format_table(("x",), [(3.14159,)])
+        assert "3.14" in table
+        assert "3.14159" not in table
+
+
+class TestExperimentReport:
+    def _sample(self):
+        return ExperimentReport(
+            experiment_id="EX",
+            title="Example",
+            paper_claim="something holds",
+            headers=("a", "b"),
+            rows=[(1, 2.5), (3, 4.0)],
+            conclusion="it does",
+        )
+
+    def test_text_contains_all_parts(self):
+        text = self._sample().to_text()
+        assert "[EX] Example" in text
+        assert "something holds" in text
+        assert "it does" in text
+        assert "2.50" in text
+
+    def test_markdown_table_shape(self):
+        markdown = self._sample().to_markdown()
+        assert "### EX — Example" in markdown
+        assert "| a | b |" in markdown
+        assert "| 1 | 2.50 |" in markdown
+        assert "**Measured.** it does" in markdown
+
+    def test_no_conclusion_sections_omitted(self):
+        report = ExperimentReport("E0", "t", "c", ("h",), [(1,)])
+        assert "measured:" not in report.to_text()

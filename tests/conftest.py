@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+#: parameter sets exercised by most parameterized structure tests
+PARAM_SETS = [
+    LTreeParams(f=4, s=2),
+    LTreeParams(f=8, s=2),
+    LTreeParams(f=6, s=3),
+    LTreeParams(f=16, s=4),
+    LTreeParams(f=12, s=2),
+]
+
+PARAM_IDS = [f"f{p.f}s{p.s}" for p in PARAM_SETS]
+
+
+@pytest.fixture(params=PARAM_SETS, ids=PARAM_IDS)
+def params(request) -> LTreeParams:
+    """One L-Tree parameter set per test instantiation."""
+    return request.param
+
+
+@pytest.fixture()
+def stats() -> Counters:
+    """A fresh counter bundle."""
+    return Counters()

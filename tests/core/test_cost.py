@@ -1,0 +1,119 @@
+"""The closed-form cost model (paper §3.1 / §4.1)."""
+
+import math
+
+import pytest
+
+from repro.core import cost as cost_model
+from repro.core.params import LTreeParams
+from repro.errors import ParameterError
+
+
+class TestTreeHeight:
+    def test_matches_log(self):
+        assert cost_model.tree_height(4, 2, 1024) == pytest.approx(
+            math.log(1024) / math.log(2))
+
+    def test_minimum_one(self):
+        assert cost_model.tree_height(4, 2, 1) == 1.0
+        assert cost_model.tree_height(4, 2, 2) == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ParameterError):
+            cost_model.tree_height(2, 2, 100)  # f/s = 1
+        with pytest.raises(ParameterError):
+            cost_model.tree_height(4, 1, 100)  # s = 1
+
+
+class TestAmortizedCost:
+    def test_formula_value(self):
+        # (1 + 2*4/(2-1)) * log(256)/log(2) + 4 = 9*8 + 4 = 76
+        assert cost_model.amortized_insert_cost(4, 2, 256) == \
+            pytest.approx(76.0)
+
+    def test_grows_logarithmically(self):
+        costs = [cost_model.amortized_insert_cost(8, 2, n)
+                 for n in (2 ** 8, 2 ** 12, 2 ** 16)]
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        # equal increments per fixed factor of n: linear in log n
+        assert deltas[0] == pytest.approx(deltas[1], rel=1e-9)
+
+    def test_split_charge_decreases_with_s(self):
+        # larger s amortizes splits over more insertions
+        n = 1 << 16
+        charge_s2 = cost_model.cost_breakdown(
+            LTreeParams(f=8, s=2), n).split_charge_term
+        charge_s4 = cost_model.cost_breakdown(
+            LTreeParams(f=8, s=4), n).split_charge_term
+        # careful: s also changes the height via b = f/s
+        per_level_s2 = charge_s2 / cost_model.tree_height(8, 2, n)
+        per_level_s4 = charge_s4 / cost_model.tree_height(8, 4, n)
+        assert per_level_s4 < per_level_s2
+
+    def test_breakdown_sums_to_total(self):
+        params = LTreeParams(f=12, s=3)
+        breakdown = cost_model.cost_breakdown(params, 4096)
+        assert breakdown.total == pytest.approx(
+            cost_model.amortized_insert_cost(12, 3, 4096))
+
+
+class TestLabelBits:
+    def test_formula_value(self):
+        # log2(5) * log(256)/log(2) = 2.3219 * 8
+        assert cost_model.label_bits(4, 2, 256) == pytest.approx(
+            math.log2(5) * 8)
+
+    def test_base_override(self):
+        wide = cost_model.label_bits(4, 2, 256)
+        narrow = cost_model.label_bits(4, 2, 256, base=3)
+        assert narrow < wide
+
+    def test_exact_at_least_log_n(self):
+        # information-theoretic floor: n distinct labels need log2 n bits
+        params = LTreeParams(f=8, s=2)
+        for n in (16, 256, 65536):
+            assert cost_model.label_bits_exact(params, n) >= math.log2(n)
+
+
+class TestBatchCost:
+    def test_k1_close_to_single_bound(self):
+        single = cost_model.amortized_insert_cost(8, 2, 4096)
+        batch = cost_model.batch_insert_cost(8, 2, 4096, 1)
+        assert batch == pytest.approx(
+            single + 2 * 8 / 1, rel=0.2)  # the "+1" level in the formula
+
+    def test_decreasing_in_k(self):
+        costs = [cost_model.batch_insert_cost(8, 2, 4096, k)
+                 for k in (1, 4, 16, 64, 256)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_h0_clamped_to_height(self):
+        # a batch larger than the whole tree cannot go negative
+        value = cost_model.batch_insert_cost(4, 2, 64, 10 ** 9)
+        assert value > 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ParameterError):
+            cost_model.batch_insert_cost(4, 2, 64, 0)
+
+
+class TestQueryAndOverallCost:
+    def test_hardware_comparison_cost(self):
+        assert cost_model.query_comparison_cost(32) == 1.0
+        assert cost_model.query_comparison_cost(64) == 1.0
+
+    def test_software_comparison_cost(self):
+        assert cost_model.query_comparison_cost(128) == pytest.approx(2.0)
+
+    def test_overall_pure_query(self):
+        value = cost_model.overall_cost(8, 2, 1024, update_fraction=0.0)
+        assert value == pytest.approx(1.0)  # labels fit a word: cost 1
+
+    def test_overall_pure_update(self):
+        value = cost_model.overall_cost(8, 2, 1024, update_fraction=1.0)
+        assert value == pytest.approx(
+            cost_model.amortized_insert_cost(8, 2, 1024))
+
+    def test_overall_fraction_validation(self):
+        with pytest.raises(ParameterError):
+            cost_model.overall_cost(8, 2, 1024, update_fraction=1.5)

@@ -1,0 +1,89 @@
+"""Deletions are mark-only (paper §2.3) — experiment E10's unit level."""
+
+import random
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+
+class TestMarkDeleted:
+    def test_delete_never_relabels(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(50))
+        stats.reset()
+        for leaf in leaves[::3]:
+            tree.mark_deleted(leaf)
+        assert stats.relabels == 0
+        assert stats.splits == 0
+        assert stats.count_updates == 0
+
+    def test_delete_counts(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(10))
+        tree.mark_deleted(leaves[0])
+        tree.mark_deleted(leaves[5])
+        assert stats.deletes == 2
+
+    def test_deleted_excluded_from_live_iteration(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(10))
+        tree.mark_deleted(leaves[4])
+        live = [leaf.payload for leaf in
+                tree.iter_leaves(include_deleted=False)]
+        assert live == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+    def test_deleted_still_counted_structurally(self, params):
+        """Tombstones keep occupying label slots (density control)."""
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(10))
+        tree.mark_deleted(leaves[4])
+        assert tree.n_leaves == 10
+        tree.validate()
+
+    def test_delete_internal_rejected(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(8))
+        with pytest.raises(ValueError):
+            tree.mark_deleted(tree.root)
+
+    def test_insert_next_to_deleted_leaf_still_works(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(10))
+        tree.mark_deleted(leaves[4])
+        new = tree.insert_after(leaves[4], "next-to-tombstone")
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        assert new.num > leaves[4].num
+        tree.validate()
+
+
+class TestMixedWorkload:
+    def test_interleaved_inserts_and_deletes(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = list(tree.bulk_load(range(4)))
+        live = [True] * 4
+        rng = random.Random(17)
+        for index in range(1200):
+            if rng.random() < 0.3 and sum(live) > 2:
+                while True:
+                    victim = rng.randrange(len(leaves))
+                    if live[victim]:
+                        break
+                before = stats.relabels
+                tree.mark_deleted(leaves[victim])
+                live[victim] = False
+                assert stats.relabels == before
+            else:
+                position = rng.randrange(len(leaves))
+                leaf = tree.insert_after(leaves[position], index)
+                leaves.insert(position + 1, leaf)
+                live.insert(position + 1, True)
+        tree.validate()
+        assert sum(live) == sum(
+            1 for _ in tree.iter_leaves(include_deleted=False))

@@ -1,0 +1,173 @@
+"""Extensions beyond the paper's core algorithm: label lookup,
+compaction, violator-policy ablation, virtual order statistics."""
+
+import random
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.core.virtual import VirtualLTree
+from repro.errors import KeyNotFound
+
+
+class TestFindLeaf:
+    def test_finds_every_leaf(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(60))
+        for leaf in leaves:
+            assert tree.find_leaf(leaf.num) is leaf
+
+    def test_missing_labels(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(10))
+        present = set(tree.labels())
+        for candidate in range(tree.label_space):
+            if candidate not in present:
+                assert tree.find_leaf(candidate) is None
+
+    def test_negative_and_overflow(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(5))
+        assert tree.find_leaf(-1) is None
+        assert tree.find_leaf(tree.label_space + 100) is None
+
+    def test_after_heavy_updates(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(3)
+        for index in range(800):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+        for leaf in rng.sample(leaves, 50):
+            assert tree.find_leaf(leaf.num) is leaf
+
+    def test_cost_is_height(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(100))
+        stats.reset()
+        tree.find_leaf(leaves[50].num)
+        assert stats.node_accesses <= tree.height
+
+
+class TestCompaction:
+    def test_removes_tombstones(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(40))
+        for leaf in leaves[::2]:
+            tree.mark_deleted(leaf)
+        assert tree.tombstone_count() == 20
+        mapping = tree.compact()
+        assert tree.tombstone_count() == 0
+        assert tree.n_leaves == 20
+        tree.validate()
+        # surviving payloads in order, mapping points at live leaves
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            list(range(1, 40, 2))
+        for old, new in mapping.items():
+            assert old.payload == new.payload
+
+    def test_compact_shrinks_labels(self):
+        params = LTreeParams(f=4, s=2)
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(5)
+        live = list(leaves)
+        for index in range(2000):
+            if rng.random() < 0.5 and len(live) > 4:
+                tree.mark_deleted(live.pop(rng.randrange(len(live))))
+            else:
+                anchor = live[rng.randrange(len(live))]
+                live.append(tree.insert_after(anchor, index))
+        bits_before = tree.max_label().bit_length()
+        tree.compact()
+        assert tree.max_label().bit_length() <= bits_before
+        tree.validate()
+
+    def test_compact_with_new_params(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(30))
+        new_params = LTreeParams(f=8, s=2)
+        tree.compact(params=new_params)
+        assert tree.params is new_params
+        tree.validate()
+
+    def test_compact_empty(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        assert tree.compact() == {}
+        assert tree.n_leaves == 0
+
+
+class TestViolatorPolicyAblation:
+    def test_policy_validated(self):
+        with pytest.raises(ValueError):
+            LTree(LTreeParams(f=4, s=2), violator_policy="middle")
+
+    def test_lowest_policy_preserves_order(self):
+        params = LTreeParams(f=4, s=2)
+        tree = LTree(params, violator_policy="lowest")
+        leaves = list(tree.bulk_load(range(4)))
+        reference = list(range(4))
+        rng = random.Random(7)
+        for index in range(1500):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+            reference.insert(position + 1, index)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == reference
+        labels = tree.labels()
+        assert labels == sorted(labels)
+
+    def test_lowest_policy_splits_more(self):
+        params = LTreeParams(f=4, s=2)
+        outcomes = {}
+        for policy in ("highest", "lowest"):
+            stats = Counters()
+            tree = LTree(params, stats, violator_policy=policy)
+            leaves = list(tree.bulk_load(range(4)))
+            rng = random.Random(11)
+            for index in range(3000):
+                position = rng.randrange(len(leaves))
+                leaf = tree.insert_after(leaves[position], index)
+                leaves.insert(position + 1, leaf)
+            outcomes[policy] = stats.splits
+        assert outcomes["lowest"] >= outcomes["highest"]
+
+    def test_highest_is_default(self):
+        tree = LTree(LTreeParams(f=4, s=2))
+        assert tree.violator_policy == "highest"
+
+
+class TestVirtualOrderStatistics:
+    def test_label_at(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(range(50))
+        for index in (0, 10, 49):
+            assert tree.label_at(index) == labels[index]
+
+    def test_index_of(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(range(50))
+        for index in (0, 25, 49):
+            assert tree.index_of(labels[index]) == index
+
+    def test_index_of_missing(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(range(5))
+        with pytest.raises(KeyNotFound):
+            tree.index_of(10 ** 9)
+
+    def test_statistics_after_updates(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(range(5))
+        anchor = tree.label_at(2)
+        for index in range(200):
+            anchor = tree.insert_after(anchor, index)
+        labels = tree.labels()
+        for position in (0, len(labels) // 2, len(labels) - 1):
+            assert tree.label_at(position) == labels[position]
+            assert tree.index_of(labels[position]) == position

@@ -1,0 +1,119 @@
+"""Exact reproduction of the paper's Figure 2 worked example (F2).
+
+The paper walks one insertion sequence through an L-Tree with f=4, s=2
+(drawn in label base 3): bulk load of ``<A><B><C/></B><D/></A>``, a
+no-split insertion of ``D``'s begin tag, and a splitting insertion of its
+end tag.  Every intermediate label is checked against the figure.
+"""
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import FIGURE2_PARAMS
+from repro.core.stats import Counters
+
+TOKENS = "A B C /C /B D /D /A".split()
+
+
+@pytest.fixture()
+def loaded():
+    stats = Counters()
+    tree = LTree(FIGURE2_PARAMS, stats)
+    leaves = tree.bulk_load(TOKENS)
+    return tree, leaves, stats
+
+
+class TestFigure2a:
+    def test_bulk_load_labels(self, loaded):
+        tree, leaves, _ = loaded
+        assert [leaf.num for leaf in leaves] == [0, 1, 3, 4, 9, 10, 12, 13]
+
+    def test_bulk_load_height(self, loaded):
+        tree, _, _ = loaded
+        assert tree.height == 3  # complete binary tree over 8 leaves
+
+    def test_element_regions_match_figure(self, loaded):
+        # A(0,13) B(1,9) C(3,4) D(10,12)
+        _, leaves, _ = loaded
+        labels = {token: leaf.num for token, leaf in zip(TOKENS, leaves)}
+        assert (labels["A"], labels["/A"]) == (0, 13)
+        assert (labels["B"], labels["/B"]) == (1, 9)
+        assert (labels["C"], labels["/C"]) == (3, 4)
+        assert (labels["D"], labels["/D"]) == (10, 12)
+
+    def test_valid_after_load(self, loaded):
+        tree, _, _ = loaded
+        tree.validate()
+
+
+class TestFigure2cd:
+    def test_insert_d_no_split(self, loaded):
+        tree, leaves, stats = loaded
+        d_begin = tree.insert_before(leaves[2], "D")
+        assert tree.labels() == [0, 1, 3, 4, 5, 9, 10, 12, 13]
+        assert d_begin.num == 3
+        assert leaves[2].num == 4      # C shifted
+        assert leaves[3].num == 5      # /C shifted
+        assert stats.splits == 0
+        tree.validate()
+
+    def test_insert_d_end_splits_node_3(self, loaded):
+        tree, leaves, stats = loaded
+        d_begin = tree.insert_before(leaves[2], "D")
+        d_end = tree.insert_after(d_begin, "/D")
+        assert tree.labels() == [0, 1, 3, 4, 6, 7, 9, 10, 12, 13]
+        assert (d_begin.num, d_end.num) == (3, 4)
+        assert (leaves[2].num, leaves[3].num) == (6, 7)  # C, /C
+        assert stats.splits == 1
+        tree.validate()
+
+    def test_untouched_leaves_keep_labels(self, loaded):
+        tree, leaves, _ = loaded
+        d_begin = tree.insert_before(leaves[2], "D")
+        tree.insert_after(d_begin, "/D")
+        # A, B and everything right of the split keep their labels
+        assert leaves[0].num == 0      # A
+        assert leaves[1].num == 1      # B
+        assert leaves[4].num == 9      # /B
+        assert leaves[5].num == 10     # D (original)
+        assert leaves[7].num == 13     # /A
+
+    def test_split_is_of_height_one_node(self, loaded):
+        tree, leaves, _ = loaded
+        d_begin = tree.insert_before(leaves[2], "D")
+        tree.insert_after(d_begin, "/D")
+        # after the split, D and /D share a height-1 parent numbered 3;
+        # C and /C share one numbered 6
+        assert d_begin.parent.num == 3
+        assert d_begin.parent.height == 1
+        assert leaves[2].parent.num == 6
+
+    def test_cost_accounting_of_the_example(self, loaded):
+        tree, leaves, stats = loaded
+        stats.reset()
+        d_begin = tree.insert_before(leaves[2], "D")
+        tree.insert_after(d_begin, "/D")
+        assert stats.inserts == 2
+        # both inserts walk 3 ancestors
+        assert stats.count_updates == 6
+        assert stats.splits == 1
+
+
+class TestFigure2WithPaperBase:
+    """The same example under the text's base f+1=5 (labels differ from
+    the figure, structure and split behaviour must not)."""
+
+    def test_same_split_behaviour(self):
+        from repro.core.params import LTreeParams
+        stats = Counters()
+        tree = LTree(LTreeParams(f=4, s=2), stats)  # base 5
+        leaves = tree.bulk_load(TOKENS)
+        assert [leaf.num for leaf in leaves] == \
+            [0, 1, 5, 6, 25, 26, 30, 31]
+        d_begin = tree.insert_before(leaves[2], "D")
+        tree.insert_after(d_begin, "/D")
+        assert stats.splits == 1
+        tree.validate()
+        # order is preserved regardless of base
+        labels = tree.labels()
+        assert labels == sorted(labels)

@@ -1,0 +1,169 @@
+"""Structural propositions of the paper (Prop. 2 and Prop. 3)."""
+
+import random
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+
+def _grow_random(params, n_ops, seed=0):
+    stats = Counters()
+    tree = LTree(params, stats)
+    leaves = list(tree.bulk_load(range(4)))
+    rng = random.Random(seed)
+    per_insert_splits = []
+    for index in range(n_ops):
+        position = rng.randrange(len(leaves))
+        before = stats.splits
+        if rng.random() < 0.5:
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+        else:
+            leaf = tree.insert_before(leaves[position], index)
+            leaves.insert(position, leaf)
+        per_insert_splits.append(stats.splits - before)
+    return tree, stats, per_insert_splits
+
+
+class TestProposition2:
+    """(f/s)^h <= l(v) <= s(f/s)^h, f/s <= c(v) <= f, uniform depth."""
+
+    def test_leaf_count_upper_bound(self, params):
+        tree, _, _ = _grow_random(params, 1500)
+        def check(node):
+            if node.is_leaf:
+                return
+            assert node.leaf_count < params.l_max(node.height)
+            for child in node.children:
+                check(child)
+        check(tree.root)
+
+    def test_fanout_upper_bound(self, params):
+        tree, _, _ = _grow_random(params, 1500, seed=1)
+        def check(node):
+            if node.is_leaf:
+                return
+            assert len(node.children) <= params.f
+            for child in node.children:
+                check(child)
+        check(tree.root)
+
+    def test_at_rest_fanout_bounded_by_f_minus_1(self, params):
+        """Stronger than the paper: at rest c(v) <= f-1 (DESIGN.md §1.2),
+        which is what makes the figure's base f-1 labeling safe."""
+        tree, _, _ = _grow_random(params, 2000, seed=2)
+        def check(node):
+            if node.is_leaf:
+                return
+            assert len(node.children) <= params.f - 1, \
+                f"fanout {len(node.children)} at height {node.height}"
+            for child in node.children:
+                check(child)
+        check(tree.root)
+
+    def test_uniform_leaf_depth(self, params):
+        tree, _, _ = _grow_random(params, 1000, seed=3)
+        depths = set()
+        def walk(node, depth):
+            if node.is_leaf:
+                depths.add(depth)
+                return
+            for child in node.children:
+                walk(child, depth + 1)
+        walk(tree.root, 0)
+        assert len(depths) == 1
+        assert depths == {tree.root.height}
+
+    def test_split_children_meet_lower_bound(self):
+        """Nodes created by splits hold exactly (f/s)^h leaves."""
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(8))
+        anchor = leaves[3]
+        while stats.splits == 0:
+            anchor = tree.insert_after(anchor, "pad")
+        fresh = anchor.parent
+        assert fresh.leaf_count >= params.l_min(fresh.height)
+
+
+class TestProposition3:
+    """Cascade splitting is not possible."""
+
+    def test_at_most_one_split_per_insert(self, params):
+        _, _, per_insert = _grow_random(params, 2500, seed=4)
+        assert max(per_insert) <= 1
+
+    def test_hotspot_also_one_split_per_insert(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        anchor = tree.bulk_load(range(2))[0]
+        for index in range(2500):
+            before = stats.splits
+            anchor = tree.insert_after(anchor, index)
+            assert stats.splits - before <= 1
+
+    def test_split_does_not_change_ancestor_leaf_counts(self):
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(16))
+        anchor = leaves[5]
+        while stats.splits == 0:
+            root_count_before = tree.root.leaf_count
+            anchor = tree.insert_after(anchor, "pad")
+            assert tree.root.leaf_count == root_count_before + 1
+
+
+class TestProposition1:
+    """Label order == document order (checked continuously)."""
+
+    def test_labels_sorted_after_random_growth(self, params):
+        tree, _, _ = _grow_random(params, 2000, seed=6)
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+    def test_label_bound_holds(self, params):
+        tree, _, _ = _grow_random(params, 2000, seed=7)
+        assert tree.max_label() < params.label_space(tree.height)
+
+    def test_bits_bound_holds(self, params):
+        tree, _, _ = _grow_random(params, 2000, seed=8)
+        assert tree.max_label().bit_length() <= \
+            params.max_label_bits(tree.n_leaves)
+
+
+class TestValidateCatchesCorruption:
+    def test_detects_wrong_num(self, params):
+        import pytest
+        from repro.errors import InvariantViolation
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(8))
+        leaves[3].num += 1
+        with pytest.raises(InvariantViolation):
+            tree.validate()
+
+    def test_detects_wrong_leaf_count(self, params):
+        import pytest
+        from repro.errors import InvariantViolation
+        tree = LTree(params)
+        tree.bulk_load(range(8))
+        tree.root.leaf_count += 1
+        with pytest.raises(InvariantViolation):
+            tree.validate()
+
+    def test_detects_height_skew(self, params):
+        import pytest
+        from repro.core.node import LTreeNode
+        from repro.errors import InvariantViolation
+        tree = LTree(params)
+        tree.bulk_load(range(params.arity ** 2))
+        # graft a leaf directly under the root (wrong height)
+        stray = LTreeNode(height=0, payload="stray")
+        stray.parent = tree.root
+        tree.root.children.append(stray)
+        tree.root.leaf_count += 1
+        with pytest.raises(InvariantViolation):
+            tree.validate()

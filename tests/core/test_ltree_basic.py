@@ -1,0 +1,175 @@
+"""L-Tree construction, accessors and navigation."""
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+
+
+class TestBulkLoad:
+    def test_empty(self, params):
+        tree = LTree(params)
+        assert tree.bulk_load([]) == []
+        assert tree.n_leaves == 0
+        assert tree.first_leaf() is None
+        assert tree.last_leaf() is None
+        assert tree.max_label() == -1
+        tree.validate()
+
+    def test_single(self, params):
+        tree = LTree(params)
+        (leaf,) = tree.bulk_load(["only"])
+        assert leaf.num == 0
+        assert tree.n_leaves == 1
+        assert tree.height == 1
+        tree.validate()
+
+    @pytest.mark.parametrize("count", [2, 3, 7, 8, 9, 63, 64, 65, 100])
+    def test_sizes(self, params, count):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(count))
+        assert tree.n_leaves == count
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            list(range(count))
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        assert len(set(labels)) == count
+        tree.validate()
+
+    def test_height_is_minimal(self, params):
+        count = params.arity ** 3
+        tree = LTree(params)
+        tree.bulk_load(range(count))
+        assert tree.height == 3
+
+    def test_reload_replaces_content(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(10))
+        tree.bulk_load(["x", "y"])
+        assert [leaf.payload for leaf in tree.iter_leaves()] == ["x", "y"]
+
+    def test_labels_follow_spread_formula(self, params):
+        from repro.core.params import spread_digits
+        count = 3 * params.arity
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(count))
+        height = tree.height
+        for index, leaf in enumerate(leaves):
+            assert leaf.num == spread_digits(index, params.arity,
+                                             params.base, height)
+
+
+class TestAccessors:
+    def test_leaf_at(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(30))
+        for index in (0, 1, 15, 29):
+            assert tree.leaf_at(index) is leaves[index]
+
+    def test_leaf_at_out_of_range(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(5))
+        with pytest.raises(IndexError):
+            tree.leaf_at(5)
+        with pytest.raises(IndexError):
+            tree.leaf_at(-1)
+
+    def test_first_and_last(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(17))
+        assert tree.first_leaf() is leaves[0]
+        assert tree.last_leaf() is leaves[-1]
+
+    def test_label_space_covers_max_label(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(50))
+        assert tree.max_label() < tree.label_space
+
+
+class TestNeighborNavigation:
+    def test_next_prev_chain(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(25))
+        walked = []
+        leaf = tree.first_leaf()
+        while leaf is not None:
+            walked.append(leaf)
+            leaf = leaf.next_leaf()
+        assert walked == leaves
+        backward = []
+        leaf = tree.last_leaf()
+        while leaf is not None:
+            backward.append(leaf)
+            leaf = leaf.prev_leaf()
+        assert backward == list(reversed(leaves))
+
+    def test_leaf_index(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(40))
+        for index in (0, 7, 39):
+            assert leaves[index].leaf_index() == index
+
+    def test_leaf_index_rejects_internal(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(8))
+        with pytest.raises(ValueError):
+            tree.root.leaf_index()
+
+    def test_ancestors_end_at_root(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(20))
+        chain = list(leaves[5].ancestors())
+        assert chain[-1] is tree.root
+        heights = [node.height for node in chain]
+        assert heights == sorted(heights)
+
+
+class TestAppendPrepend:
+    def test_append_into_empty(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        leaf = tree.append("first")
+        assert leaf.num == 0
+        assert tree.n_leaves == 1
+        tree.validate()
+
+    def test_prepend_into_empty(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        leaf = tree.prepend("first")
+        assert leaf.num == 0
+        tree.validate()
+
+    def test_append_sequence(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        for value in range(200):
+            tree.append(value)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            list(range(200))
+        tree.validate()
+
+    def test_prepend_sequence(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        for value in range(200):
+            tree.prepend(value)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            list(reversed(range(200)))
+        tree.validate()
+
+
+class TestInsertErrors:
+    def test_anchor_must_be_leaf(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(8))
+        with pytest.raises(ValueError):
+            tree.insert_after(tree.root, "x")
+
+    def test_detached_anchor_rejected(self, params):
+        from repro.core.node import LTreeNode
+        tree = LTree(params)
+        tree.bulk_load(range(8))
+        stray = LTreeNode(height=0, payload="stray")
+        with pytest.raises(ValueError):
+            tree.insert_after(stray, "x")

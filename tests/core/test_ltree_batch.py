@@ -1,0 +1,157 @@
+"""Batch (run) insertion — paper §4.1."""
+
+import random
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+
+class TestRunBasics:
+    def test_empty_run_is_noop(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(4))
+        before = tree.labels()
+        assert tree.insert_run_after(leaves[0], []) == []
+        assert tree.labels() == before
+
+    def test_run_preserves_order(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(list("abcd"))
+        tree.insert_run_after(leaves[1], ["x", "y", "z"])
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            ["a", "b", "x", "y", "z", "c", "d"]
+        tree.validate()
+
+    def test_run_before(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(list("abcd"))
+        tree.insert_run_before(leaves[1], ["x", "y"])
+        assert [leaf.payload for leaf in tree.iter_leaves()] == \
+            ["a", "x", "y", "b", "c", "d"]
+        tree.validate()
+
+    def test_run_returns_leaves_in_order(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(3))
+        new = tree.insert_run_after(leaves[0], ["p", "q", "r"])
+        assert [leaf.payload for leaf in new] == ["p", "q", "r"]
+        labels = [leaf.num for leaf in new]
+        assert labels == sorted(labels)
+
+    @pytest.mark.parametrize("size", [1, 5, 17, 64, 200])
+    def test_large_runs_stay_valid(self, params, size):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(4))
+        tree.insert_run_after(leaves[1], [f"r{i}" for i in range(size)])
+        assert tree.n_leaves == 4 + size
+        tree.validate()
+
+    def test_run_into_empty_tree_via_append(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        first = tree.append("seed")
+        tree.insert_run_after(first, list(range(50)))
+        assert tree.n_leaves == 51
+        tree.validate()
+
+
+class TestRunRebalancing:
+    def test_oversized_run_splits_unevenly(self):
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(4))
+        # inject a run far larger than l_max of the parent
+        tree.insert_run_after(leaves[0], list(range(100)))
+        assert stats.splits >= 1
+        tree.validate()
+
+    def test_repeated_runs_random_positions(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(13)
+        reference = [leaf.payload for leaf in leaves]
+        for run in range(60):
+            position = rng.randrange(len(leaves))
+            payloads = [f"{run}.{i}" for i in range(rng.randint(1, 30))]
+            new = tree.insert_run_after(leaves[position], payloads)
+            leaves[position + 1:position + 1] = new
+            reference[position + 1:position + 1] = payloads
+        assert [leaf.payload for leaf in tree.iter_leaves()] == reference
+        tree.validate()
+
+    def test_runs_keep_density_upper_bounds(self, params):
+        """Upper density bounds (the §3.1-relevant ones) hold across
+        arbitrary batch histories; see LTree.validate on why the
+        occupancy *lower* bound is single-insert-only."""
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(29)
+        for run in range(40):
+            position = rng.randrange(len(leaves))
+            new = tree.insert_run_after(
+                leaves[position], list(range(rng.randint(1, 50))))
+            leaves[position + 1:position + 1] = new
+        tree.validate()
+
+    def test_giant_run_triggers_root_rebuild(self):
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(4))
+        tree.insert_run_after(leaves[0], list(range(1000)))
+        assert tree.n_leaves == 1004
+        assert tree.height >= 5
+        tree.validate()
+
+
+class TestBatchCostSharing:
+    def test_batch_cheaper_than_sequential(self):
+        """The §4.1 point: one run of k beats k single inserts."""
+        params = LTreeParams(f=8, s=2)
+        total = 2048
+        run_length = 64
+
+        sequential = Counters()
+        tree_seq = LTree(params, sequential)
+        leaves = tree_seq.bulk_load(range(2))
+        rng = random.Random(1)
+        anchors = list(leaves)
+        for index in range(total):
+            position = rng.randrange(len(anchors))
+            anchors.insert(position + 1,
+                           tree_seq.insert_after(anchors[position], index))
+
+        batched = Counters()
+        tree_run = LTree(params, batched)
+        leaves = tree_run.bulk_load(range(2))
+        rng = random.Random(1)
+        anchors = list(leaves)
+        for _ in range(total // run_length):
+            position = rng.randrange(len(anchors))
+            new = tree_run.insert_run_after(
+                anchors[position], list(range(run_length)))
+            anchors[position + 1:position + 1] = new
+
+        assert batched.amortized_cost() < sequential.amortized_cost()
+
+    def test_count_updates_shared_across_run(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(4))
+        stats.reset()
+        tree.insert_run_after(leaves[0], list(range(10)))
+        # one ancestor walk for the whole run, not one per leaf
+        assert stats.count_updates == tree.height or \
+            stats.count_updates <= 2 * tree.height
+
+    def test_batch_measured_cost_below_formula(self):
+        from repro.analysis.amortized import measure_batch_cost
+        params = LTreeParams(f=8, s=2)
+        rows = measure_batch_cost(params, total_inserts=1024,
+                                  run_lengths=(1, 8, 64))
+        for run_length, measured, bound in rows:
+            assert measured <= bound, (run_length, measured, bound)

@@ -1,0 +1,203 @@
+"""Single-insert maintenance: Algorithm 1 paths (relabel, split, root)."""
+
+import random
+
+import pytest
+
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+
+class TestRelabelOnlyPath:
+    """Insertions that stay under every l_max: only right siblings move."""
+
+    def test_insert_after_relabels_right_siblings(self):
+        params = LTreeParams(f=8, s=2)  # height-1 split at l=8
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(3))
+        stats.reset()
+        tree.insert_after(leaves[0], "new")
+        assert stats.splits == 0
+        # only the new leaf and leaves right of it under the same parent
+        # were written
+        assert stats.relabels == 3  # new + two shifted right siblings
+        tree.validate()
+
+    def test_insert_at_very_end_relabels_one(self):
+        params = LTreeParams(f=8, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(3))
+        stats.reset()
+        tree.insert_after(leaves[-1], "tail")
+        assert stats.relabels == 1  # nothing to its right
+        assert stats.splits == 0
+
+    def test_left_siblings_keep_labels(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(params.arity))
+        before = [leaf.num for leaf in leaves]
+        tree.insert_after(leaves[-1], "x")
+        assert [leaf.num for leaf in leaves] == before
+
+
+class TestSplitPath:
+    def test_split_triggers_at_exact_l_max(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        # fill one height-1 node to f-1 leaves, next insert must split
+        leaves = tree.bulk_load(range(params.arity ** 2))
+        anchor = leaves[0]
+        inserted = 0
+        while stats.splits == 0:
+            anchor = tree.insert_after(anchor, f"x{inserted}")
+            inserted += 1
+            assert inserted <= params.f, "split never happened"
+        tree.validate()
+
+    def test_split_restores_leaf_counts(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(params.arity ** 2))
+        anchor = leaves[0]
+        for index in range(3 * params.f):
+            anchor = tree.insert_after(anchor, index)
+        tree.validate()
+        # every internal node is strictly below its limit afterwards
+        def check(node):
+            if node.is_leaf:
+                return
+            assert node.leaf_count < params.l_max(node.height)
+            for child in node.children:
+                check(child)
+        check(tree.root)
+
+    def test_split_produces_complete_subtrees(self):
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(8))
+        anchor = leaves[2]
+        while stats.splits == 0:
+            anchor = tree.insert_after(anchor, "pad")
+        # after the first split, the two new height-1 nodes hold exactly
+        # b = 2 leaves each
+        parent = anchor.parent
+        assert parent.leaf_count == params.l_min(parent.height)
+
+    def test_order_preserved_across_splits(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        expected = [leaf.payload for leaf in leaves]
+        rng = random.Random(5)
+        for index in range(600):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], 1000 + index)
+            leaves.insert(position + 1, leaf)
+            expected.insert(position + 1, 1000 + index)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == expected
+        tree.validate()
+
+
+class TestRootSplit:
+    def test_root_split_grows_height(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        tree.bulk_load(range(2))
+        target = params.l_max(tree.height)
+        while tree.n_leaves < target:
+            tree.append(tree.n_leaves)
+        # the insert that reached l_max(root) split the root
+        assert tree.height >= 2
+        tree.validate()
+
+    def test_root_split_keeps_root_num_zero(self, params):
+        tree = LTree(params)
+        tree.bulk_load(range(2))
+        for index in range(params.l_max(2) + 5):
+            tree.append(index)
+        assert tree.root.num == 0
+        tree.validate()
+
+    def test_many_root_splits(self):
+        params = LTreeParams(f=4, s=2)
+        stats = Counters()
+        tree = LTree(params, stats)
+        tree.bulk_load(range(2))
+        for index in range(500):
+            tree.append(index)
+        assert tree.height >= 5
+        tree.validate()
+
+    def test_root_split_has_s_children(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        tree.bulk_load(range(2))
+        height_before = tree.height
+        while tree.height == height_before:
+            tree.append(tree.n_leaves)
+        # paper: "create a new root with the s top-level nodes as children"
+        assert len(tree.root.children) == params.s
+
+
+class TestInsertBeforeSymmetry:
+    def test_insert_before_first(self, params):
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(5))
+        new = tree.insert_before(leaves[0], "front")
+        assert tree.first_leaf() is new
+        assert new.num < leaves[0].num
+        tree.validate()
+
+    def test_alternating_before_after(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(["m"]))
+        rng = random.Random(11)
+        reference = ["m"]
+        for index in range(300):
+            position = rng.randrange(len(leaves))
+            if rng.random() < 0.5:
+                leaf = tree.insert_before(leaves[position], index)
+                leaves.insert(position, leaf)
+                reference.insert(position, index)
+            else:
+                leaf = tree.insert_after(leaves[position], index)
+                leaves.insert(position + 1, leaf)
+                reference.insert(position + 1, index)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == reference
+        tree.validate()
+
+
+class TestCostAccounting:
+    def test_count_updates_equals_height_per_insert(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(params.arity ** 2))
+        stats.reset()
+        tree.insert_after(leaves[0], "x")
+        assert stats.count_updates == tree.height
+
+    def test_inserts_counted(self, params):
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = tree.bulk_load(range(4))
+        stats.reset()
+        for index in range(10):
+            tree.insert_after(leaves[0], index)
+        assert stats.inserts == 10
+
+    def test_amortized_cost_under_paper_bound(self, params):
+        from repro.core import cost as cost_model
+        stats = Counters()
+        tree = LTree(params, stats)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(3)
+        for index in range(2000):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+        bound = cost_model.amortized_insert_cost(params.f, params.s,
+                                                 tree.n_leaves)
+        assert stats.amortized_cost() <= bound

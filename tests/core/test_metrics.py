@@ -1,0 +1,99 @@
+"""Tree shape and slack metrics."""
+
+import random
+
+from repro.core.ltree import LTree
+from repro.core.metrics import (capacity_headroom, gap_profile, local_slack,
+                                shape_summary)
+from repro.core.params import FIGURE2_PARAMS, LTreeParams
+
+
+class TestGapProfile:
+    def test_figure2_gaps(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load("A B C /C /B D /D /A".split())
+        # labels 0,1,3,4,9,10,12,13
+        assert gap_profile(tree) == [1, 2, 1, 5, 1, 2, 1]
+
+    def test_empty_and_single(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        assert gap_profile(tree) == []
+        tree.bulk_load(["only"])
+        assert gap_profile(tree) == []
+
+    def test_gaps_always_positive(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(2)
+        for index in range(500):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+        assert all(gap >= 1 for gap in gap_profile(tree))
+
+
+class TestLocalSlack:
+    def test_window_mean(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load("A B C /C /B D /D /A".split())
+        # window around index 0 with window=1: gap (0->1) only... window
+        # spans [max(0,-1), min(7,1)] -> gaps between leaves 0..1
+        assert local_slack(tree, 0, window=1) == 1.0
+
+    def test_tiny_tree(self, params):
+        tree = LTree(params)
+        tree.bulk_load(["x"])
+        assert local_slack(tree, 0) == 0.0
+
+
+class TestShapeSummary:
+    def test_complete_tree_shape(self):
+        params = LTreeParams(f=4, s=2)
+        tree = LTree(params)
+        tree.bulk_load(range(16))  # complete binary, height 4
+        summary = shape_summary(tree)
+        assert summary.n_leaves == 16
+        assert summary.height == 4
+        assert summary.mean_fanout == 2.0
+        assert summary.max_fanout == 2
+        assert 0.0 < summary.mean_occupancy <= 0.5
+        assert summary.storage_overhead() > 0.0
+
+    def test_empty_tree(self, params):
+        tree = LTree(params)
+        tree.bulk_load([])
+        summary = shape_summary(tree)
+        assert summary.n_leaves == 0
+        assert summary.label_space_used <= 0.0
+
+    def test_occupancy_below_one_at_rest(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        rng = random.Random(3)
+        for index in range(800):
+            position = rng.randrange(len(leaves))
+            leaf = tree.insert_after(leaves[position], index)
+            leaves.insert(position + 1, leaf)
+        summary = shape_summary(tree)
+        assert summary.max_occupancy < 1.0  # l < l_max everywhere
+        assert summary.max_fanout <= params.f
+
+
+class TestCapacityHeadroom:
+    def test_positive_at_rest(self, params):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(4)))
+        anchor = leaves[0]
+        for index in range(500):
+            anchor = tree.insert_after(anchor, index)
+            assert capacity_headroom(tree, anchor) >= 1
+
+    def test_headroom_shrinks_as_node_fills(self):
+        params = LTreeParams(f=8, s=2)
+        tree = LTree(params)
+        leaves = tree.bulk_load(range(4))
+        first = capacity_headroom(tree, leaves[0])
+        anchor = tree.insert_after(leaves[0], "x")
+        second = capacity_headroom(tree, anchor)
+        assert second <= first

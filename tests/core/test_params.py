@@ -1,0 +1,143 @@
+"""Parameter validation and the derived structural quantities."""
+
+import pytest
+
+from repro.core.params import (DEFAULT_PARAMS, FIGURE2_PARAMS, LTreeParams,
+                               gather_digits, spread_digits)
+from repro.errors import ParameterError
+
+
+class TestValidation:
+    def test_valid_basic(self):
+        params = LTreeParams(f=4, s=2)
+        assert params.arity == 2
+        assert params.base == 5  # paper default f + 1
+
+    def test_s_must_divide_f(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=5, s=2)
+
+    def test_s_minimum(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=4, s=1)
+
+    def test_arity_minimum(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=4, s=4)  # b = 1
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=4.0, s=2)  # type: ignore[arg-type]
+
+    def test_label_base_default_is_f_plus_one(self):
+        assert LTreeParams(f=16, s=4).base == 17
+
+    def test_label_base_override(self):
+        assert LTreeParams(f=4, s=2, label_base=3).base == 3
+
+    def test_label_base_below_minimum_rejected(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=8, s=2, label_base=3)
+
+    def test_figure2_params(self):
+        assert FIGURE2_PARAMS.f == 4
+        assert FIGURE2_PARAMS.s == 2
+        assert FIGURE2_PARAMS.base == 3
+
+    def test_default_params_valid(self):
+        assert DEFAULT_PARAMS.arity >= 2
+
+    def test_frozen(self):
+        params = LTreeParams(f=4, s=2)
+        with pytest.raises(Exception):
+            params.f = 8  # type: ignore[misc]
+
+
+class TestDerivedQuantities:
+    def test_l_max(self):
+        params = LTreeParams(f=4, s=2)
+        assert params.l_max(0) == 2
+        assert params.l_max(1) == 4
+        assert params.l_max(2) == 8
+        assert params.l_max(3) == 16
+
+    def test_l_min(self):
+        params = LTreeParams(f=6, s=3)
+        assert params.l_min(1) == 2
+        assert params.l_min(3) == 8
+
+    def test_l_max_negative_height(self):
+        with pytest.raises(ParameterError):
+            LTreeParams(f=4, s=2).l_max(-1)
+
+    def test_child_step(self):
+        params = LTreeParams(f=4, s=2, label_base=3)
+        assert params.child_step(0) == 1
+        assert params.child_step(1) == 3
+        assert params.child_step(2) == 9
+
+    def test_height_for_small(self):
+        params = LTreeParams(f=4, s=2)
+        assert params.height_for(0) == 1
+        assert params.height_for(1) == 1
+        assert params.height_for(2) == 1
+
+    def test_height_for_exact_powers(self):
+        params = LTreeParams(f=4, s=2)  # b = 2
+        assert params.height_for(4) == 2
+        assert params.height_for(8) == 3
+        assert params.height_for(9) == 4
+
+    def test_height_for_figure2(self):
+        # 8 tokens, b=2: complete binary tree of height 3 (paper §2.2)
+        assert FIGURE2_PARAMS.height_for(8) == 3
+
+    def test_label_space(self):
+        assert FIGURE2_PARAMS.label_space(3) == 27
+
+    def test_max_label_bits_monotone_in_n(self):
+        params = LTreeParams(f=8, s=2)
+        bits = [params.max_label_bits(n) for n in (2, 16, 256, 4096)]
+        assert bits == sorted(bits)
+
+    def test_max_label_bits_tiny(self):
+        assert LTreeParams(f=4, s=2).max_label_bits(1) >= 1
+
+
+class TestDigitSpreading:
+    def test_spread_known_values(self):
+        # leaf j in a complete binary tree of height 3, base 3:
+        # exactly the Figure 2(a) label sequence
+        labels = [spread_digits(j, arity=2, base=3, height=3)
+                  for j in range(8)]
+        assert labels == [0, 1, 3, 4, 9, 10, 12, 13]
+
+    def test_spread_base_default_style(self):
+        assert spread_digits(5, arity=2, base=5, height=3) == 26  # 101 -> 25+1
+
+    def test_spread_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            spread_digits(-1, arity=2, base=3, height=2)
+
+    def test_spread_rejects_overflow(self):
+        with pytest.raises(ParameterError):
+            spread_digits(8, arity=2, base=3, height=3)
+
+    def test_gather_inverts_spread(self):
+        for arity, base, height in [(2, 3, 4), (3, 7, 3), (4, 17, 2)]:
+            for index in range(arity ** height):
+                offset = spread_digits(index, arity, base, height)
+                assert gather_digits(offset, arity, base, height) == index
+
+    def test_gather_rejects_non_tree_offset(self):
+        # digit 2 >= arity 2 in base 3
+        with pytest.raises(ParameterError):
+            gather_digits(2, arity=2, base=3, height=1)
+
+    def test_gather_rejects_too_many_digits(self):
+        with pytest.raises(ParameterError):
+            gather_digits(27, arity=2, base=3, height=3)
+
+    def test_spread_strictly_increasing(self):
+        values = [spread_digits(j, 3, 10, 3) for j in range(27)]
+        assert values == sorted(set(values))

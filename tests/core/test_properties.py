@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis): the L-Tree against a list oracle."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import cost as cost_model
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+#: compact parameter pool for property tests (paper-default bases)
+_PARAMS = st.sampled_from([
+    LTreeParams(f=4, s=2),
+    LTreeParams(f=6, s=3),
+    LTreeParams(f=8, s=2),
+    LTreeParams(f=8, s=4),
+    LTreeParams(f=16, s=4),
+])
+
+#: an operation script: (position_seed, before?) pairs
+_SCRIPT = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10 ** 9), st.booleans()),
+    min_size=0, max_size=300)
+
+_SETTINGS = settings(max_examples=60, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def _run_script(params, initial, script):
+    """Drive an L-Tree and a plain list oracle through the same script."""
+    stats = Counters()
+    tree = LTree(params, stats)
+    leaves = list(tree.bulk_load(range(initial)))
+    stats.reset()  # the paper charges bulk loading separately (§2.2)
+    oracle = list(range(initial))
+    for step, (position_seed, before) in enumerate(script):
+        if not leaves:
+            leaf = tree.append(("append", step))
+            leaves.append(leaf)
+            oracle.append(("append", step))
+            continue
+        position = position_seed % len(leaves)
+        payload = ("ins", step)
+        if before:
+            leaf = tree.insert_before(leaves[position], payload)
+            leaves.insert(position, leaf)
+            oracle.insert(position, payload)
+        else:
+            leaf = tree.insert_after(leaves[position], payload)
+            leaves.insert(position + 1, leaf)
+            oracle.insert(position + 1, payload)
+    return tree, stats, oracle
+
+
+class TestAgainstOracle:
+    @given(params=_PARAMS, initial=st.integers(1, 20), script=_SCRIPT)
+    @_SETTINGS
+    def test_payload_order_matches_oracle(self, params, initial, script):
+        tree, _, oracle = _run_script(params, initial, script)
+        assert [leaf.payload for leaf in tree.iter_leaves()] == oracle
+
+    @given(params=_PARAMS, initial=st.integers(1, 20), script=_SCRIPT)
+    @_SETTINGS
+    def test_labels_strictly_increasing(self, params, initial, script):
+        tree, _, _ = _run_script(params, initial, script)
+        labels = tree.labels()
+        assert all(a < b for a, b in zip(labels, labels[1:]))
+
+    @given(params=_PARAMS, initial=st.integers(1, 20), script=_SCRIPT)
+    @_SETTINGS
+    def test_structure_invariants(self, params, initial, script):
+        tree, _, _ = _run_script(params, initial, script)
+        tree.validate()
+
+    @given(params=_PARAMS, initial=st.integers(2, 20), script=_SCRIPT)
+    @_SETTINGS
+    def test_amortized_cost_bound(self, params, initial, script):
+        tree, stats, _ = _run_script(params, initial, script)
+        if stats.inserts == 0:
+            return
+        bound = cost_model.amortized_insert_cost(
+            params.f, params.s, max(tree.n_leaves, 2))
+        assert stats.amortized_cost() <= bound
+
+    @given(params=_PARAMS, initial=st.integers(1, 20), script=_SCRIPT)
+    @_SETTINGS
+    def test_label_space_bound(self, params, initial, script):
+        tree, _, _ = _run_script(params, initial, script)
+        if tree.n_leaves:
+            assert tree.max_label() < params.label_space(tree.height)
+
+
+class TestBatchProperties:
+    @given(params=_PARAMS,
+           runs=st.lists(st.tuples(st.integers(0, 10 ** 9),
+                                   st.integers(1, 40)),
+                         min_size=1, max_size=40))
+    @_SETTINGS
+    def test_batch_inserts_match_oracle(self, params, runs):
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(3)))
+        oracle = list(range(3))
+        for run_number, (position_seed, length) in enumerate(runs):
+            position = position_seed % len(leaves)
+            payloads = [(run_number, index) for index in range(length)]
+            new = tree.insert_run_after(leaves[position], payloads)
+            leaves[position + 1:position + 1] = new
+            oracle[position + 1:position + 1] = payloads
+        assert [leaf.payload for leaf in tree.iter_leaves()] == oracle
+        tree.validate()
+
+    @given(params=_PARAMS,
+           runs=st.lists(st.tuples(st.integers(0, 10 ** 9),
+                                   st.integers(1, 40)),
+                         min_size=1, max_size=30))
+    @_SETTINGS
+    def test_batch_density_upper_bound(self, params, runs):
+        """Batch histories keep every density *upper* bound (l < l_max),
+        which is what §3.1's cost/bits analysis requires; the occupancy
+        lower bound is only guaranteed for single-insert histories (see
+        LTree.validate)."""
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(3)))
+        for run_number, (position_seed, length) in enumerate(runs):
+            position = position_seed % len(leaves)
+            new = tree.insert_run_after(
+                leaves[position],
+                [(run_number, index) for index in range(length)])
+            leaves[position + 1:position + 1] = new
+        tree.validate()
+
+    @given(params=_PARAMS, script=_SCRIPT)
+    @_SETTINGS
+    def test_single_insert_occupancy_lower_bound(self, params, script):
+        """Single-insert histories DO satisfy the occupancy lower bound
+        everywhere off the bulk-load spine."""
+        tree = LTree(params)
+        leaves = list(tree.bulk_load(range(3)))
+        for step, (position_seed, before) in enumerate(script):
+            position = position_seed % len(leaves)
+            if before:
+                leaf = tree.insert_before(leaves[position], step)
+                leaves.insert(position, leaf)
+            else:
+                leaf = tree.insert_after(leaves[position], step)
+                leaves.insert(position + 1, leaf)
+        tree.validate(check_occupancy=True)
+
+
+class TestDigitProperties:
+    @given(arity=st.integers(2, 6), extra=st.integers(0, 6),
+           height=st.integers(1, 5),
+           index_seed=st.integers(0, 10 ** 9))
+    @_SETTINGS
+    def test_spread_gather_roundtrip(self, arity, extra, height,
+                                     index_seed):
+        from repro.core.params import gather_digits, spread_digits
+        base = arity + 1 + extra
+        capacity = arity ** height
+        index = index_seed % capacity
+        offset = spread_digits(index, arity, base, height)
+        assert gather_digits(offset, arity, base, height) == index
+        assert 0 <= offset < base ** height
+
+    @given(arity=st.integers(2, 5), height=st.integers(1, 4))
+    @_SETTINGS
+    def test_spread_is_monotone(self, arity, height):
+        from repro.core.params import spread_digits
+        base = arity + 2
+        values = [spread_digits(index, arity, base, height)
+                  for index in range(arity ** height)]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)

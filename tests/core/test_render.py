@@ -1,0 +1,69 @@
+"""ASCII tree rendering."""
+
+from repro.core.ltree import LTree
+from repro.core.params import FIGURE2_PARAMS
+from repro.core.render import label_ruler, render
+
+
+class TestRender:
+    def test_figure2_drawing(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load("A B C /C /B D /D /A".split())
+        drawing = render(tree)
+        lines = drawing.splitlines()
+        assert lines[0] == "0 h3 l=8"
+        assert any("'A'" in line for line in lines)
+        assert any("9 h1 l=2" in line for line in lines)
+        # 8 leaves + 4 h1 + 2 h2 + root
+        assert len(lines) == 15
+
+    def test_every_label_appears(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load("A B C /C /B D /D /A".split())
+        drawing = render(tree)
+        for label in tree.labels():
+            assert f"{label} " in drawing
+
+    def test_deleted_marker(self):
+        tree = LTree(FIGURE2_PARAMS)
+        leaves = tree.bulk_load(list("abcd"))
+        tree.mark_deleted(leaves[1])
+        assert "✝" in render(tree)
+
+    def test_truncation(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load([f"t{i}" for i in range(64)])
+        drawing = render(tree, max_leaves=5)
+        assert "truncated" in drawing
+        assert drawing.count("'t") == 5  # exactly five leaves shown
+
+    def test_empty_tree(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load([])
+        assert render(tree).startswith("0 h1")
+
+
+class TestLabelRuler:
+    def test_width(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load(range(8))
+        ruler = label_ruler(tree, width=40)
+        assert len(ruler) == 40
+        assert "#" in ruler and "." in ruler
+
+    def test_empty(self):
+        tree = LTree(FIGURE2_PARAMS)
+        tree.bulk_load([])
+        assert set(label_ruler(tree, width=10)) == {"."}
+
+    def test_density_shifts_with_hotspot(self):
+        tree = LTree(FIGURE2_PARAMS)
+        leaves = tree.bulk_load(range(8))
+        anchor = leaves[0]
+        for index in range(100):
+            anchor = tree.insert_after(anchor, index)
+        ruler = label_ruler(tree, width=60)
+        # the left half (hotspot) must be denser than the right half
+        left = ruler[:30].count("#")
+        right = ruler[30:].count("#")
+        assert left >= right

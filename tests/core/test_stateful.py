@@ -1,0 +1,132 @@
+"""Stateful property testing: the L-Tree under arbitrary op interleavings.
+
+A hypothesis rule-based machine drives one L-Tree through insertions
+(single and batch), deletions, snapshot/restore round trips and
+compactions, holding four invariants after every step:
+
+* payload order matches a plain-list oracle;
+* labels strictly increase;
+* all structural invariants (``validate()``);
+* the cumulative cost bound of §3.1.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.core import cost as cost_model
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.persistence import restore, snapshot
+from repro.core.stats import Counters
+
+
+class LTreeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.counter = 0
+
+    @initialize(f_s=st.sampled_from([(4, 2), (8, 2), (6, 3), (16, 4)]),
+                initial=st.integers(1, 8))
+    def setup(self, f_s, initial):
+        f, s = f_s
+        self.params = LTreeParams(f=f, s=s)
+        self.stats = Counters()
+        self.tree = LTree(self.params, self.stats)
+        self.leaves = list(self.tree.bulk_load(range(initial)))
+        self.stats.reset()
+        self.oracle = list(range(initial))
+        self.live = [True] * initial
+
+    def _fresh(self):
+        self.counter += 1
+        return f"item{self.counter}"
+
+    @rule(position=st.integers(0, 10 ** 9), before=st.booleans())
+    def insert(self, position, before):
+        index = position % len(self.leaves)
+        payload = self._fresh()
+        if before:
+            leaf = self.tree.insert_before(self.leaves[index], payload)
+            self.leaves.insert(index, leaf)
+            self.oracle.insert(index, payload)
+            self.live.insert(index, True)
+        else:
+            leaf = self.tree.insert_after(self.leaves[index], payload)
+            self.leaves.insert(index + 1, leaf)
+            self.oracle.insert(index + 1, payload)
+            self.live.insert(index + 1, True)
+
+    @rule(position=st.integers(0, 10 ** 9), length=st.integers(1, 20))
+    def insert_run(self, position, length):
+        index = position % len(self.leaves)
+        payloads = [self._fresh() for _ in range(length)]
+        new = self.tree.insert_run_after(self.leaves[index], payloads)
+        self.leaves[index + 1:index + 1] = new
+        self.oracle[index + 1:index + 1] = payloads
+        self.live[index + 1:index + 1] = [True] * length
+
+    @rule(position=st.integers(0, 10 ** 9))
+    def delete(self, position):
+        candidates = [i for i, alive in enumerate(self.live) if alive]
+        if len(candidates) <= 1:
+            return
+        index = candidates[position % len(candidates)]
+        relabels_before = self.stats.relabels
+        self.tree.mark_deleted(self.leaves[index])
+        assert self.stats.relabels == relabels_before
+        self.live[index] = False
+
+    @rule()
+    def snapshot_roundtrip(self):
+        rebuilt = restore(snapshot(self.tree))
+        assert rebuilt.labels() == self.tree.labels()
+        assert rebuilt.tombstone_count() == self.tree.tombstone_count()
+
+    @rule()
+    def compact(self):
+        self.tree.compact()
+        self.oracle = [payload for payload, alive
+                       in zip(self.oracle, self.live) if alive]
+        self.leaves = list(self.tree.iter_leaves())
+        self.live = [True] * len(self.leaves)
+        self.stats.reset()  # compaction is a fresh bulk load (§2.2)
+
+    @invariant()
+    def payload_order_matches_oracle(self):
+        if not hasattr(self, "tree"):
+            return
+        payloads = [leaf.payload for leaf in self.tree.iter_leaves()]
+        assert payloads == self.oracle
+
+    @invariant()
+    def labels_strictly_increasing(self):
+        if not hasattr(self, "tree"):
+            return
+        labels = self.tree.labels()
+        assert all(a < b for a, b in zip(labels, labels[1:]))
+
+    @invariant()
+    def structure_valid(self):
+        if not hasattr(self, "tree"):
+            return
+        self.tree.validate()
+
+    @invariant()
+    def cost_bound_holds(self):
+        if not hasattr(self, "tree") or self.stats.inserts == 0:
+            return
+        bound = cost_model.batch_insert_cost(
+            self.params.f, self.params.s, max(self.tree.n_leaves, 2), 1)
+        assert self.stats.amortized_cost() <= max(
+            bound,
+            cost_model.amortized_insert_cost(
+                self.params.f, self.params.s,
+                max(self.tree.n_leaves, 2)))
+
+
+LTreeStatefulTest = LTreeMachine.TestCase
+LTreeStatefulTest.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

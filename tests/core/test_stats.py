@@ -1,0 +1,77 @@
+"""Counter bundle semantics."""
+
+import pytest
+
+from repro.core.stats import NULL_COUNTERS, Counters
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = Counters(relabels=3, inserts=1)
+        b = Counters(relabels=2, splits=4)
+        c = a + b
+        assert (c.relabels, c.splits, c.inserts) == (5, 4, 1)
+
+    def test_sub(self):
+        a = Counters(relabels=5, count_updates=7)
+        b = Counters(relabels=2, count_updates=3)
+        c = a - b
+        assert (c.relabels, c.count_updates) == (3, 4)
+
+    def test_add_wrong_type(self):
+        with pytest.raises(TypeError):
+            Counters() + 3  # type: ignore[operator]
+
+    def test_snapshot_is_independent(self):
+        a = Counters(relabels=1)
+        snap = a.snapshot()
+        a.relabels = 10
+        assert snap.relabels == 1
+
+    def test_reset(self):
+        a = Counters(relabels=5, splits=2, inserts=9)
+        a.reset()
+        assert a.relabels == a.splits == a.inserts == 0
+
+
+class TestDerivedMetrics:
+    def test_total_maintenance_cost(self):
+        a = Counters(count_updates=4, relabels=6)
+        assert a.total_maintenance_cost() == 10
+
+    def test_amortized_cost(self):
+        a = Counters(count_updates=4, relabels=6, inserts=5)
+        assert a.amortized_cost() == 2.0
+
+    def test_amortized_cost_no_inserts(self):
+        assert Counters(relabels=100).amortized_cost() == 0.0
+
+    def test_as_dict_roundtrip(self):
+        a = Counters(relabels=3)
+        payload = a.as_dict()
+        assert payload["relabels"] == 3
+        assert set(payload) >= {"count_updates", "splits", "inserts"}
+
+
+class TestWindow:
+    def test_window_captures_delta(self):
+        a = Counters(relabels=10)
+        with a.window() as delta:
+            a.relabels += 7
+            a.inserts += 2
+        assert delta.relabels == 7
+        assert delta.inserts == 2
+
+    def test_window_captures_on_exception(self):
+        a = Counters()
+        with pytest.raises(RuntimeError):
+            with a.window() as delta:
+                a.splits += 1
+                raise RuntimeError("boom")
+        assert delta.splits == 1
+
+
+class TestNullCounters:
+    def test_shared_instance_is_usable(self):
+        NULL_COUNTERS.relabels += 1  # harmless by design
+        assert isinstance(NULL_COUNTERS, Counters)

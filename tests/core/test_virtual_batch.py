@@ -1,0 +1,129 @@
+"""Batch insertion on the virtual L-Tree (§4.1 × §4.2)."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.core.virtual import VirtualLTree
+from repro.errors import KeyNotFound
+
+
+class TestBasics:
+    def test_empty_run(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(["a"])
+        assert tree.insert_run_after(0, []) == []
+
+    def test_order_preserved(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(["a", "b", "c"])
+        tree.insert_run_after(labels[0], ["x", "y"])
+        assert [payload for _, payload in tree.items()] == \
+            ["a", "x", "y", "b", "c"]
+        tree.validate()
+
+    def test_returned_labels_in_order(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(["a", "z"])
+        new = tree.insert_run_after(labels[0], list(range(10)))
+        assert new == sorted(new)
+        assert [tree.payload(label) for label in new] == list(range(10))
+
+    def test_unknown_anchor(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(["a"])
+        with pytest.raises(KeyNotFound):
+            tree.insert_run_after(999, ["x"])
+
+    @pytest.mark.parametrize("size", [1, 7, 33, 200])
+    def test_various_run_sizes_stay_valid(self, params, size):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(range(5))
+        tree.insert_run_after(labels[2], [f"r{i}" for i in range(size)])
+        assert tree.n_leaves == 5 + size
+        tree.validate()
+
+    def test_giant_run_grows_height(self, params):
+        tree = VirtualLTree(params)
+        labels = tree.bulk_load(range(4))
+        height_before = tree.height
+        tree.insert_run_after(labels[0], list(range(2000)))
+        assert tree.height > height_before
+        tree.validate()
+
+
+class TestCostSharing:
+    def test_one_maintenance_pass_per_run(self):
+        params = LTreeParams(f=8, s=2)
+        stats = Counters()
+        tree = VirtualLTree(params, stats)
+        labels = tree.bulk_load(range(64))
+        stats.reset()
+        tree.insert_run_after(labels[10], list(range(20)))
+        # count updates = one per height level, not per inserted leaf
+        assert stats.count_updates <= tree.height + 1
+
+    def test_batch_cheaper_than_singles(self):
+        params = LTreeParams(f=8, s=2)
+        total = 1024
+        run_length = 64
+
+        single = Counters()
+        tree_a = VirtualLTree(params, single)
+        tree_a.bulk_load(range(2))
+        anchor = 0
+        for index in range(total):
+            anchor = tree_a.insert_after(anchor, index)
+
+        batched = Counters()
+        tree_b = VirtualLTree(params, batched)
+        tree_b.bulk_load(range(2))
+        anchor = 0
+        for _ in range(total // run_length):
+            new = tree_b.insert_run_after(anchor, list(range(run_length)))
+            anchor = new[-1]
+        assert batched.amortized_cost() < single.amortized_cost()
+
+
+class TestRandomizedRuns:
+    @given(runs=st.lists(st.tuples(st.integers(0, 10 ** 9),
+                                   st.integers(1, 30)),
+                         min_size=1, max_size=25))
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_property_order_and_validity(self, runs):
+        params = LTreeParams(f=8, s=2)
+        tree = VirtualLTree(params)
+        tree.bulk_load(range(3))
+        oracle = list(range(3))
+        for run_number, (position_seed, length) in enumerate(runs):
+            labels = tree.labels()
+            position = position_seed % len(labels)
+            payloads = [(run_number, index) for index in range(length)]
+            tree.insert_run_after(labels[position], payloads)
+            oracle[position + 1:position + 1] = payloads
+        assert [payload for _, payload in tree.items()] == oracle
+        tree.validate()
+
+    def test_mixed_single_and_batch(self, params):
+        tree = VirtualLTree(params)
+        tree.bulk_load(range(4))
+        oracle = list(range(4))
+        rng = random.Random(9)
+        for step in range(60):
+            labels = tree.labels()
+            position = rng.randrange(len(labels))
+            if rng.random() < 0.5:
+                payloads = [f"{step}.{i}"
+                            for i in range(rng.randint(1, 12))]
+                tree.insert_run_after(labels[position], payloads)
+                oracle[position + 1:position + 1] = payloads
+            else:
+                tree.insert_after(labels[position], f"s{step}")
+                oracle.insert(position + 1, f"s{step}")
+        assert [payload for _, payload in tree.items()] == oracle
+        tree.validate()

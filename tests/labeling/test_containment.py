@@ -1,0 +1,88 @@
+"""Region algebra predicates."""
+
+import pytest
+
+from repro.labeling.containment import (Region, document_order, is_ancestor,
+                                        is_parent)
+
+
+class TestRegionBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Region(5, 5)
+        with pytest.raises(ValueError):
+            Region(6, 2)
+
+    def test_orders_by_begin(self):
+        assert Region(1, 10) < Region(2, 3)
+
+    def test_width(self):
+        assert Region(3, 9).width() == 6
+
+
+class TestContainment:
+    def test_contains(self):
+        assert Region(0, 10).contains(Region(2, 5))
+        assert not Region(2, 5).contains(Region(0, 10))
+
+    def test_contains_is_strict(self):
+        region = Region(1, 4)
+        assert not region.contains(region)
+
+    def test_shared_boundary_not_contained(self):
+        assert not Region(0, 10).contains(Region(0, 5))
+        assert not Region(0, 10).contains(Region(5, 10))
+
+    def test_contained_in(self):
+        assert Region(2, 5).contained_in(Region(0, 10))
+
+    def test_is_ancestor_alias(self):
+        assert is_ancestor(Region(0, 9), Region(1, 2))
+
+
+class TestSiblingRelations:
+    def test_precedes_follows(self):
+        left, right = Region(0, 3), Region(4, 8)
+        assert left.precedes(right)
+        assert right.follows(left)
+        assert not right.precedes(left)
+
+    def test_nested_neither_precedes_nor_follows(self):
+        outer, inner = Region(0, 9), Region(2, 4)
+        assert not outer.precedes(inner)
+        assert not outer.follows(inner)
+
+    def test_overlap_detection(self):
+        assert Region(0, 5).overlaps(Region(3, 8))
+        assert Region(3, 8).overlaps(Region(0, 5))
+        assert not Region(0, 9).overlaps(Region(2, 4))  # nesting
+        assert not Region(0, 2).overlaps(Region(5, 8))  # disjoint
+
+    def test_well_formed_documents_never_overlap(self):
+        """Regions from one document nest or are disjoint (tag balance)."""
+        from repro.labeling.scheme import LabeledDocument
+        from repro.xml.generator import random_document
+        document = random_document(80, seed=3)
+        labeled = LabeledDocument(document)
+        regions = [labeled.region(e) for e in document.iter_elements()]
+        for first in regions:
+            for second in regions:
+                assert not first.overlaps(second)
+
+
+class TestDocumentOrder:
+    def test_comparisons(self):
+        assert document_order(Region(0, 3), Region(5, 6)) == -1
+        assert document_order(Region(5, 6), Region(0, 3)) == 1
+        assert document_order(Region(0, 3), Region(0, 9)) == 0
+
+
+class TestParentPredicate:
+    def test_parent_requires_adjacent_levels(self):
+        grand = Region(0, 20)
+        child = Region(5, 10)
+        assert is_parent(grand, child, parent_level=0, child_level=1)
+        assert not is_parent(grand, child, parent_level=0, child_level=2)
+
+    def test_parent_requires_containment(self):
+        assert not is_parent(Region(0, 3), Region(5, 8), 0, 1)

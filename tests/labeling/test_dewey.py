@@ -1,0 +1,125 @@
+"""Dewey (path-based) labeling: the region-label alternative of E13."""
+
+import random
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.labeling.dewey import DeweyDocument
+from repro.xml.generator import xmark_like
+from repro.xml.model import XMLElement
+from repro.xml.parser import parse
+
+
+@pytest.fixture()
+def labeled():
+    document = parse("<r><a><x/><y/></a><b/></r>")
+    return document, DeweyDocument(document)
+
+
+class TestLabels:
+    def test_root_is_empty_path(self, labeled):
+        document, dewey = labeled
+        assert dewey.label(document.root) == ()
+
+    def test_paths_spell_positions(self, labeled):
+        document, dewey = labeled
+        a = next(document.find_all("a"))
+        y = next(document.find_all("y"))
+        b = next(document.find_all("b"))
+        assert dewey.label(a) == (0,)
+        assert dewey.label(y) == (0, 1)
+        assert dewey.label(b) == (1,)
+
+    def test_unlabeled_rejected(self, labeled):
+        _, dewey = labeled
+        with pytest.raises(ValueError):
+            dewey.label(XMLElement("stranger"))
+
+
+class TestPredicates:
+    def test_prefix_ancestor(self, labeled):
+        document, dewey = labeled
+        a = next(document.find_all("a"))
+        x = next(document.find_all("x"))
+        b = next(document.find_all("b"))
+        assert dewey.is_ancestor(document.root, x)
+        assert dewey.is_ancestor(a, x)
+        assert not dewey.is_ancestor(b, x)
+        assert not dewey.is_ancestor(x, x)  # strict
+
+    def test_matches_structure_randomly(self):
+        document = xmark_like(10, 5, 4, seed=3)
+        dewey = DeweyDocument(document)
+        elements = list(document.iter_elements())
+        rng = random.Random(4)
+        for _ in range(300):
+            first, second = rng.choice(elements), rng.choice(elements)
+            if first is second:
+                continue
+            assert dewey.is_ancestor(first, second) == \
+                first.is_ancestor_of(second)
+
+    def test_precedes_is_document_order(self):
+        document = xmark_like(6, 3, 2, seed=5)
+        dewey = DeweyDocument(document)
+        elements = list(document.iter_elements())
+        for i, first in enumerate(elements):
+            for second in elements[i + 1:]:
+                assert dewey.precedes(first, second)
+
+
+class TestUpdates:
+    def test_append_is_cheap(self, labeled):
+        document, dewey = labeled
+        stats = dewey.stats = Counters()
+        a = next(document.find_all("a"))
+        dewey.append_subtree(a, XMLElement("z"))
+        assert stats.relabels == 1  # only the new node
+        dewey.validate()
+
+    def test_prepend_renumbers_following_subtrees(self, labeled):
+        document, dewey = labeled
+        stats = dewey.stats = Counters()
+        a = next(document.find_all("a"))
+        dewey.insert_subtree(a, 0, XMLElement("front"))
+        # new node + x + y all relabeled
+        assert stats.relabels == 3
+        dewey.validate()
+
+    def test_delete_leaves_gaps_harmlessly(self, labeled):
+        document, dewey = labeled
+        a = next(document.find_all("a"))
+        x = next(document.find_all("x"))
+        y = next(document.find_all("y"))
+        dewey.delete_subtree(x)
+        assert dewey.label(y) == (0, 1)  # gap at ordinal 0 kept
+        dewey.validate()
+        assert dewey.is_ancestor(a, y)
+
+    def test_cannot_delete_root(self, labeled):
+        document, dewey = labeled
+        with pytest.raises(ValueError):
+            dewey.delete_subtree(document.root)
+
+    def test_random_edit_session_stays_valid(self):
+        document = xmark_like(8, 4, 3, seed=6)
+        dewey = DeweyDocument(document)
+        rng = random.Random(7)
+        for edit in range(80):
+            elements = list(document.iter_elements())
+            if rng.random() < 0.2:
+                victims = [e for e in elements if e.parent is not None]
+                dewey.delete_subtree(rng.choice(victims))
+            else:
+                parent = rng.choice(elements)
+                dewey.insert_subtree(
+                    parent, rng.randint(0, len(parent.children)),
+                    XMLElement(f"e{edit}"))
+        dewey.validate()
+
+    def test_label_bits_grow_with_depth(self):
+        from repro.xml.generator import deep_document
+        shallow = DeweyDocument(xmark_like(5, 2, 2, seed=8))
+        deep = DeweyDocument(deep_document(40))
+        assert deep.label_bits() > shallow.label_bits()

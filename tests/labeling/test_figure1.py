@@ -1,0 +1,64 @@
+"""Figure 1 of the paper, reproduced exactly (experiment F1)."""
+
+import pytest
+
+from repro.labeling.scheme import LabeledDocument
+from repro.order.registry import make_scheme
+from repro.xml.parser import parse
+
+SOURCE = "<book><chapter><title/></chapter><title/></book>"
+
+
+@pytest.fixture()
+def labeled():
+    document = parse(SOURCE)
+    return document, LabeledDocument(document,
+                                     scheme=make_scheme("naive"))
+
+
+class TestFigure1Labels:
+    def test_book_region(self, labeled):
+        document, ld = labeled
+        region = ld.region(document.root)
+        assert (region.begin, region.end) == (0, 7)
+
+    def test_chapter_region(self, labeled):
+        document, ld = labeled
+        chapter = next(document.find_all("chapter"))
+        region = ld.region(chapter)
+        assert (region.begin, region.end) == (1, 4)
+
+    def test_title_regions(self, labeled):
+        document, ld = labeled
+        regions = [ld.region(t) for t in document.find_all("title")]
+        assert [(r.begin, r.end) for r in regions] == [(2, 3), (5, 6)]
+
+
+class TestFigure1Query:
+    def test_book_title_by_containment(self, labeled):
+        """'book//title': containment test only, no navigation (§1)."""
+        document, ld = labeled
+        book_region = ld.region(document.root)
+        hits = [t for t in document.find_all("title")
+                if book_region.contains(ld.region(t))]
+        assert len(hits) == 2
+
+    def test_chapter_does_not_contain_second_title(self, labeled):
+        document, ld = labeled
+        chapter = next(document.find_all("chapter"))
+        titles = list(document.find_all("title"))
+        chapter_region = ld.region(chapter)
+        assert chapter_region.contains(ld.region(titles[0]))
+        assert not chapter_region.contains(ld.region(titles[1]))
+
+    def test_paper_interval_rule(self, labeled):
+        """m ancestor of n iff begin(m) < begin(n) and end(n) < end(m)."""
+        document, ld = labeled
+        elements = list(document.iter_elements())
+        for ancestor in elements:
+            for node in elements:
+                if ancestor is node:
+                    continue
+                by_label = ld.is_ancestor(ancestor, node)
+                by_structure = ancestor.is_ancestor_of(node)
+                assert by_label == by_structure

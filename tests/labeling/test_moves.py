@@ -1,0 +1,85 @@
+"""Subtree relocation on a labeled document."""
+
+import pytest
+
+from repro.labeling.scheme import LabeledDocument
+from repro.xml.parser import parse
+
+
+@pytest.fixture()
+def setup():
+    document = parse("<r><a><x/><y/></a><b/></r>")
+    return document, LabeledDocument(document)
+
+
+class TestMoveSubtree:
+    def test_move_across_parents(self, setup):
+        document, labeled = setup
+        x = next(document.find_all("x"))
+        b = next(document.find_all("b"))
+        labeled.move_subtree(x, b, 0)
+        assert x.parent is b
+        a = next(document.find_all("a"))
+        assert all(child.tag != "x"
+                   for child in a.child_elements())
+        labeled.validate()
+        assert labeled.is_ancestor(b, x)
+        assert not labeled.is_ancestor(a, x)
+
+    def test_move_within_parent(self, setup):
+        document, labeled = setup
+        a = next(document.find_all("a"))
+        y = next(document.find_all("y"))
+        labeled.move_subtree(y, a, 0)  # y before x
+        tags = [child.tag for child in a.child_elements()]
+        assert tags == ["y", "x"]
+        labeled.validate()
+
+    def test_move_keeps_subtree_intact(self, setup):
+        document, labeled = setup
+        a = next(document.find_all("a"))
+        b = next(document.find_all("b"))
+        children_before = list(a.children)
+        labeled.move_subtree(a, b, 0)
+        assert a.children == children_before
+        labeled.validate()
+        for child in a.child_elements():
+            assert labeled.is_ancestor(b, child)
+
+    def test_cannot_move_under_self(self, setup):
+        document, labeled = setup
+        a = next(document.find_all("a"))
+        with pytest.raises(ValueError):
+            labeled.move_subtree(a, a, 0)
+
+    def test_cannot_move_under_descendant(self, setup):
+        document, labeled = setup
+        a = next(document.find_all("a"))
+        x = next(document.find_all("x"))
+        with pytest.raises(ValueError):
+            labeled.move_subtree(a, x, 0)
+
+    def test_cannot_move_root(self, setup):
+        document, labeled = setup
+        b = next(document.find_all("b"))
+        with pytest.raises(ValueError):
+            labeled.move_subtree(document.root, b, 0)
+
+    def test_order_after_many_moves(self, setup):
+        import random
+        document, labeled = setup
+        rng = random.Random(5)
+        for _ in range(40):
+            elements = [e for e in document.iter_elements()
+                        if e.parent is not None]
+            node = rng.choice(elements)
+            candidates = [e for e in document.iter_elements()
+                          if e is not node and
+                          not node.is_ancestor_of(e)]
+            target = rng.choice(candidates)
+            # index addresses target.children AFTER the detach
+            slots = len(target.children)
+            if node.parent is target:
+                slots -= 1
+            labeled.move_subtree(node, target, rng.randint(0, slots))
+        labeled.validate()

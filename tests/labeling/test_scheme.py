@@ -1,0 +1,266 @@
+"""LabeledDocument: label maintenance across DOM edits."""
+
+import random
+
+import pytest
+
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.labeling.scheme import LabeledDocument
+from repro.order.registry import SCHEMES, make_scheme
+from repro.xml.generator import xmark_like
+from repro.xml.model import XMLElement, XMLTextNode
+from repro.xml.parser import parse
+
+
+@pytest.fixture()
+def small():
+    document = parse("<r><a>one</a><b><c/></b></r>")
+    return document, LabeledDocument(document)
+
+
+class TestBulkLabeling:
+    def test_labels_in_document_order(self, small):
+        _, labeled = small
+        labels = labeled.labels_in_order()
+        assert labels == sorted(labels)
+
+    def test_regions_nest_like_structure(self, small):
+        document, labeled = small
+        labeled.validate()
+
+    def test_begin_end_for_elements(self, small):
+        document, labeled = small
+        r = labeled.region(document.root)
+        b = labeled.region(next(document.find_all("b")))
+        assert r.contains(b)
+
+    def test_point_nodes_have_single_label(self, small):
+        document, labeled = small
+        text = next(node for node in document.iter_nodes()
+                    if isinstance(node, XMLTextNode))
+        assert labeled.begin_label(text) == labeled.end_label(text)
+
+    def test_region_rejects_text_nodes(self, small):
+        document, labeled = small
+        text = next(node for node in document.iter_nodes()
+                    if isinstance(node, XMLTextNode))
+        with pytest.raises(ValueError):
+            labeled.region(text)
+
+    def test_unlabeled_node_rejected(self, small):
+        _, labeled = small
+        stranger = XMLElement("stranger")
+        with pytest.raises(ValueError):
+            labeled.begin_label(stranger)
+
+    def test_scheme_and_params_mutually_exclusive(self):
+        document = parse("<a/>")
+        with pytest.raises(ValueError):
+            LabeledDocument(document, scheme=make_scheme("naive"),
+                            params=LTreeParams(f=4, s=2))
+
+
+class TestPredicates:
+    def test_is_ancestor_matches_structure(self):
+        document = xmark_like(15, 8, 5, seed=2)
+        labeled = LabeledDocument(document)
+        elements = list(document.iter_elements())
+        rng = random.Random(1)
+        for _ in range(400):
+            first, second = rng.choice(elements), rng.choice(elements)
+            if first is second:
+                continue
+            assert labeled.is_ancestor(first, second) == \
+                first.is_ancestor_of(second)
+
+    def test_precedes_matches_document_order(self, small):
+        document, labeled = small
+        nodes = list(document.iter_elements())
+        for i, first in enumerate(nodes):
+            for second in nodes[i + 1:]:
+                assert labeled.precedes(first, second)
+                assert not labeled.precedes(second, first)
+
+    def test_following_axis(self, small):
+        document, labeled = small
+        a = next(document.find_all("a"))
+        b = next(document.find_all("b"))
+        assert labeled.is_following(b, a)
+        assert not labeled.is_following(a, b)
+
+
+class TestSubtreeInsertion:
+    def test_insert_at_every_position(self):
+        for index in range(3):
+            document = parse("<r><a/><b/></r>")
+            labeled = LabeledDocument(document)
+            new = XMLElement("new")
+            labeled.insert_subtree(document.root, index, new)
+            tags = [e.tag for e in document.root.child_elements()]
+            expected = ["a", "b"]
+            expected.insert(index, "new")
+            assert tags == expected
+            labeled.validate()
+
+    def test_insert_nested_subtree(self, small):
+        document, labeled = small
+        subtree = XMLElement("outer")
+        inner = XMLElement("inner")
+        inner.append_child(XMLTextNode("payload"))
+        subtree.append_child(inner)
+        b = next(document.find_all("b"))
+        labeled.insert_subtree(b, 0, subtree)
+        labeled.validate()
+        assert labeled.is_ancestor(b, inner)
+        assert labeled.is_ancestor(subtree, inner)
+
+    def test_append_subtree(self, small):
+        document, labeled = small
+        labeled.append_subtree(document.root, XMLElement("tail"))
+        assert document.root.children[-1].tag == "tail"
+        labeled.validate()
+
+    def test_insert_text(self, small):
+        document, labeled = small
+        node = labeled.insert_text(document.root, 1, "hello")
+        assert document.root.children[1] is node
+        labeled.validate()
+
+    def test_index_out_of_range(self, small):
+        document, labeled = small
+        with pytest.raises(IndexError):
+            labeled.insert_subtree(document.root, 99, XMLElement("x"))
+
+    def test_batched_labels_for_subtree(self):
+        """The whole subtree arrives through one run insertion."""
+        stats = Counters()
+        document = parse("<r><a/></r>")
+        labeled = LabeledDocument(document, stats=stats)
+        stats.reset()
+        subtree = XMLElement("s")
+        for _ in range(5):
+            subtree.append_child(XMLElement("c"))
+        labeled.append_subtree(document.root, subtree)
+        # 12 tokens in one batch: one ancestor walk, not twelve
+        tree_height = labeled.scheme.tree.height
+        assert stats.count_updates <= 2 * tree_height
+
+
+class TestSubtreeDeletion:
+    def test_delete_detaches_and_unlabels(self, small):
+        document, labeled = small
+        b = next(document.find_all("b"))
+        labeled.delete_subtree(b)
+        assert b.parent is None
+        assert all(e.tag != "b" for e in document.iter_elements())
+        labeled.validate()
+
+    def test_delete_root_rejected(self, small):
+        document, labeled = small
+        with pytest.raises(ValueError):
+            labeled.delete_subtree(document.root)
+
+    def test_deleted_nodes_lose_labels(self, small):
+        document, labeled = small
+        b = next(document.find_all("b"))
+        labeled.delete_subtree(b)
+        with pytest.raises(ValueError):
+            labeled.begin_label(b)
+
+    def test_ltree_deletion_is_mark_only(self):
+        stats = Counters()
+        document = parse("<r><a/><b><c/><c/></b></r>")
+        labeled = LabeledDocument(document, stats=stats)
+        b = next(document.find_all("b"))
+        stats.reset()
+        labeled.delete_subtree(b)
+        assert stats.relabels == 0
+
+
+class TestDocumentCompaction:
+    def test_compact_rewires_handles(self):
+        document = parse("<r><a/><b><c/><c/></b><d/></r>")
+        labeled = LabeledDocument(document)
+        b = next(document.find_all("b"))
+        labeled.delete_subtree(b)
+        reclaimed = labeled.compact()
+        assert reclaimed == 6  # <b>, two <c/> pairs... b+2c = 3 elements
+        labeled.validate()
+        # predicates still correct after relabeling
+        a = next(document.find_all("a"))
+        d = next(document.find_all("d"))
+        assert labeled.precedes(a, d)
+        assert labeled.is_ancestor(document.root, d)
+
+    def test_compact_shrinks_tombstones_to_zero(self):
+        document = parse("<r><a/><b/><c/><d/><e/></r>")
+        labeled = LabeledDocument(document)
+        for tag in ("b", "d"):
+            labeled.delete_subtree(next(document.find_all(tag)))
+        assert labeled.scheme.tree.tombstone_count() == 4
+        labeled.compact()
+        assert labeled.scheme.tree.tombstone_count() == 0
+        labeled.validate()
+
+    def test_compact_requires_ltree_scheme(self):
+        document = parse("<r><a/></r>")
+        labeled = LabeledDocument(document, scheme=make_scheme("naive"))
+        with pytest.raises(TypeError):
+            labeled.compact()
+
+    def test_edits_after_compaction(self):
+        import random
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document)
+        rng = random.Random(9)
+        for round_number in range(3):
+            for edit in range(30):
+                elements = list(document.iter_elements())
+                parent = rng.choice(elements)
+                labeled.insert_subtree(
+                    parent, rng.randint(0, len(parent.children)),
+                    XMLElement(f"r{round_number}e{edit}"))
+            victims = []
+            for element in document.iter_elements():
+                if element.parent is None:
+                    continue
+                if any(chosen.is_ancestor_of(element) or chosen is element
+                       for chosen in victims):
+                    continue
+                victims.append(element)
+                if len(victims) == 5:
+                    break
+            for victim in victims:
+                labeled.delete_subtree(victim)
+            labeled.compact()
+            labeled.validate()
+
+
+class TestAcrossSchemes:
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_any_scheme_labels_consistently(self, name):
+        document = xmark_like(8, 4, 3, seed=5)
+        labeled = LabeledDocument(document, scheme=make_scheme(name))
+        labeled.validate()
+        elements = list(document.iter_elements())
+        rng = random.Random(2)
+        for _ in range(150):
+            first, second = rng.choice(elements), rng.choice(elements)
+            if first is second:
+                continue
+            assert labeled.is_ancestor(first, second) == \
+                first.is_ancestor_of(second)
+
+    @pytest.mark.parametrize("name", ["ltree", "gap", "bender"])
+    def test_edits_under_any_scheme(self, name):
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document, scheme=make_scheme(name))
+        rng = random.Random(4)
+        for edit in range(60):
+            elements = list(document.iter_elements())
+            parent = rng.choice(elements)
+            child = XMLElement(f"e{edit}")
+            labeled.insert_subtree(
+                parent, rng.randint(0, len(parent.children)), child)
+        labeled.validate()

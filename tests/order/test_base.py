@@ -1,0 +1,119 @@
+"""Linked-list scheme plumbing (via the naive scheme) and the shared
+OrderedLabeling behaviour."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.naive import NaiveLabeling
+
+
+class TestLinkedListMechanics:
+    def test_bulk_load_order(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(list("abc"))
+        assert scheme.payloads() == ["a", "b", "c"]
+
+    def test_insert_after_links(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("ac"))
+        scheme.insert_after(handles[0], "b")
+        assert scheme.payloads() == ["a", "b", "c"]
+
+    def test_insert_before_links(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("ac"))
+        scheme.insert_before(handles[1], "b")
+        assert scheme.payloads() == ["a", "b", "c"]
+
+    def test_append_prepend(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(["m"])
+        scheme.append("z")
+        scheme.prepend("a")
+        assert scheme.payloads() == ["a", "m", "z"]
+
+    def test_append_to_empty(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load([])
+        scheme.append("only")
+        assert scheme.payloads() == ["only"]
+
+    def test_delete_unlinks(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("abc"))
+        scheme.delete(handles[1])
+        assert scheme.payloads() == ["a", "c"]
+        assert len(scheme) == 2
+
+    def test_delete_head_and_tail(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("abc"))
+        scheme.delete(handles[0])
+        scheme.delete(handles[2])
+        assert scheme.payloads() == ["b"]
+
+    def test_dead_handle_rejected(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("ab"))
+        scheme.delete(handles[0])
+        with pytest.raises(ValueError):
+            scheme.insert_after(handles[0], "x")
+        with pytest.raises(ValueError):
+            scheme.label(handles[0])
+        with pytest.raises(ValueError):
+            scheme.delete(handles[0])
+
+
+class TestSharedBehaviour:
+    def test_compare(self):
+        stats = Counters()
+        scheme = NaiveLabeling(stats=stats)
+        handles = scheme.bulk_load(list("ab"))
+        assert scheme.compare(handles[0], handles[1]) == -1
+        assert scheme.compare(handles[1], handles[0]) == 1
+        assert scheme.compare(handles[0], handles[0]) == 0
+        assert stats.comparisons == 3
+
+    def test_labels_sorted(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(range(10))
+        scheme.insert_after(handles[3], "x")
+        labels = scheme.labels()
+        assert labels == sorted(labels)
+
+    def test_label_bits(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(range(9))
+        assert scheme.label_bits() == 4  # max label 8 -> 4 bits
+
+    def test_validate_passes(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(range(5))
+        scheme.validate()
+
+    def test_validate_detects_corruption(self):
+        from repro.errors import InvariantViolation
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(range(5))
+        handles[2].label = -7
+        with pytest.raises(InvariantViolation):
+            scheme.validate()
+
+    def test_default_run_insert_is_sequential(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(["a", "z"])
+        run = scheme.insert_run_after(handles[0], ["b", "c", "d"])
+        assert scheme.payloads() == ["a", "b", "c", "d", "z"]
+        assert [scheme.payload(handle) for handle in run] == \
+            ["b", "c", "d"]
+
+    def test_run_insert_before(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(["a", "z"])
+        scheme.insert_run_before(handles[1], ["x", "y"])
+        assert scheme.payloads() == ["a", "x", "y", "z"]
+
+    def test_empty_run(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(["a"])
+        assert scheme.insert_run_before(handles[0], []) == []

@@ -1,0 +1,105 @@
+"""Bender/Dietz–Sleator tag-range relabeling baseline."""
+
+import random
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.bender import BenderLabeling
+
+
+class TestConstruction:
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BenderLabeling(threshold=2.5)
+        with pytest.raises(ValueError):
+            BenderLabeling(threshold=1.0)
+
+    def test_initial_bits_validation(self):
+        with pytest.raises(ValueError):
+            BenderLabeling(initial_bits=2)
+
+    def test_bulk_spread(self):
+        scheme = BenderLabeling(initial_bits=8)
+        scheme.bulk_load(range(4))
+        labels = scheme.labels()
+        assert labels == sorted(labels)
+        assert all(0 <= label < scheme.universe for label in labels)
+
+    def test_bulk_grows_universe_when_needed(self):
+        scheme = BenderLabeling(initial_bits=4)
+        scheme.bulk_load(range(100))
+        assert scheme.universe >= 200
+        scheme.validate()
+
+
+class TestInsertion:
+    def test_midpoint_when_room(self):
+        scheme = BenderLabeling(initial_bits=10)
+        handles = scheme.bulk_load(["a", "b"])
+        scheme.insert_after(handles[0], "x")
+        low, mid, high = scheme.labels()
+        assert low < mid < high
+
+    def test_order_under_random_inserts(self):
+        scheme = BenderLabeling()
+        handles = list(scheme.bulk_load(range(4)))
+        reference = list(range(4))
+        rng = random.Random(21)
+        for index in range(800):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], 1000 + index)
+            handles.insert(position + 1, handle)
+            reference.insert(position + 1, 1000 + index)
+        assert scheme.payloads() == reference
+        scheme.validate()
+
+    def test_hotspot_relabels_ranges(self):
+        stats = Counters()
+        scheme = BenderLabeling(initial_bits=10, stats=stats)
+        handles = scheme.bulk_load(["a", "b"])
+        anchor = handles[0]
+        for index in range(500):
+            anchor = scheme.insert_after(anchor, index)
+        scheme.validate()
+        assert scheme.relabel_events, "hotspot must trigger range relabels"
+        # relabeled ranges respect their density thresholds
+        for size, count in scheme.relabel_events:
+            assert count <= size
+
+    def test_universe_growth_under_pressure(self):
+        scheme = BenderLabeling(initial_bits=4)
+        handles = list(scheme.bulk_load(["a"]))
+        anchor = handles[0]
+        for index in range(200):
+            anchor = scheme.insert_after(anchor, index)
+        assert scheme.universe_bits > 4
+        scheme.validate()
+
+    def test_labels_stay_in_universe(self):
+        scheme = BenderLabeling(initial_bits=6)
+        handles = list(scheme.bulk_load(range(3)))
+        rng = random.Random(2)
+        for index in range(400):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_before(handles[position], index)
+            handles.insert(position, handle)
+        assert all(0 <= label < scheme.universe
+                   for label in scheme.labels())
+
+
+class TestAmortizedShape:
+    def test_cheaper_than_naive_on_random(self):
+        from repro.order.naive import NaiveLabeling
+        results = {}
+        for factory in (BenderLabeling, NaiveLabeling):
+            stats = Counters()
+            scheme = factory(stats=stats)
+            handles = list(scheme.bulk_load(range(4)))
+            rng = random.Random(5)
+            for index in range(1500):
+                position = rng.randrange(len(handles))
+                handle = scheme.insert_after(handles[position], index)
+                handles.insert(position + 1, handle)
+            results[scheme.name] = stats.relabels / stats.inserts
+        assert results["bender"] < results["naive"] / 10

@@ -1,0 +1,79 @@
+"""Fixed-gap labeling: midpoint inserts, global renumber events."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.gap import GapLabeling
+
+
+class TestBasics:
+    def test_bulk_labels_are_gap_multiples(self):
+        scheme = GapLabeling(gap=10)
+        scheme.bulk_load(list("abc"))
+        assert scheme.labels() == [10, 20, 30]
+
+    def test_midpoint_insert(self):
+        scheme = GapLabeling(gap=10)
+        handles = scheme.bulk_load(list("ab"))
+        scheme.insert_after(handles[0], "x")
+        assert scheme.labels() == [10, 15, 20]
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            GapLabeling(gap=1)
+
+    def test_append_extends_with_gap(self):
+        scheme = GapLabeling(gap=8)
+        scheme.bulk_load(["a"])
+        scheme.append("b")
+        labels = scheme.labels()
+        assert labels[1] - labels[0] >= 4  # midpoint of a fresh 2*gap
+
+
+class TestRenumbering:
+    def test_hotspot_triggers_renumber(self):
+        stats = Counters()
+        scheme = GapLabeling(gap=16, stats=stats)
+        handles = scheme.bulk_load(["a", "b"])
+        anchor = handles[0]
+        for index in range(50):
+            anchor = scheme.insert_after(anchor, index)
+        assert scheme.renumber_events >= 1
+        scheme.validate()
+
+    def test_renumber_restores_gap_multiples(self):
+        scheme = GapLabeling(gap=4)
+        handles = scheme.bulk_load(["a", "b"])
+        anchor = handles[0]
+        # exhaust the local gap repeatedly
+        for index in range(40):
+            anchor = scheme.insert_after(anchor, index)
+        scheme.validate()
+        labels = scheme.labels()
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+
+    def test_order_correct_across_renumbers(self):
+        import random
+        scheme = GapLabeling(gap=4)
+        handles = list(scheme.bulk_load(range(4)))
+        reference = list(range(4))
+        rng = random.Random(8)
+        for index in range(500):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], 1000 + index)
+            handles.insert(position + 1, handle)
+            reference.insert(position + 1, 1000 + index)
+        assert scheme.payloads() == reference
+        scheme.validate()
+
+    def test_renumber_cost_counted(self):
+        stats = Counters()
+        scheme = GapLabeling(gap=4, stats=stats)
+        handles = scheme.bulk_load(list(range(64)))
+        stats.reset()
+        anchor = handles[10]
+        for index in range(20):
+            anchor = scheme.insert_after(anchor, index)
+        # at least one renumber of ~64+ items must be visible in stats
+        assert stats.relabels > 64

@@ -1,0 +1,57 @@
+"""Naive sequential labeling: exact relabel-cost behaviour (§1 strawman)."""
+
+from repro.core.stats import Counters
+from repro.order.naive import NaiveLabeling
+
+
+class TestLabels:
+    def test_bulk_labels_dense(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(list("abcd"))
+        assert scheme.labels() == [0, 1, 2, 3]
+
+    def test_insert_shifts_right_suffix(self):
+        scheme = NaiveLabeling()
+        handles = scheme.bulk_load(list("abcd"))
+        scheme.insert_after(handles[1], "x")
+        assert scheme.labels() == [0, 1, 2, 3, 4]
+        assert scheme.payloads() == ["a", "b", "x", "c", "d"]
+
+    def test_prepend_shifts_everything(self):
+        stats = Counters()
+        scheme = NaiveLabeling(stats=stats)
+        scheme.bulk_load(range(100))
+        stats.reset()
+        scheme.prepend("front")
+        # the new item plus all 100 shifted
+        assert stats.relabels == 101
+
+    def test_append_is_cheap(self):
+        stats = Counters()
+        scheme = NaiveLabeling(stats=stats)
+        scheme.bulk_load(range(100))
+        stats.reset()
+        scheme.append("tail")
+        assert stats.relabels == 1
+
+    def test_average_cost_is_linear(self):
+        """The paper's claim: ~n/2 relabels per random insert."""
+        import random
+        stats = Counters()
+        scheme = NaiveLabeling(stats=stats)
+        handles = list(scheme.bulk_load(range(200)))
+        stats.reset()
+        rng = random.Random(3)
+        inserts = 300
+        for index in range(inserts):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], index)
+            handles.insert(position + 1, handle)
+        average = stats.relabels / inserts
+        n_typical = 200 + inserts / 2
+        assert n_typical / 4 < average < n_typical  # ~n/2 expected
+
+    def test_minimal_bits(self):
+        scheme = NaiveLabeling()
+        scheme.bulk_load(range(1024))
+        assert scheme.label_bits() == 10  # labels 0..1023

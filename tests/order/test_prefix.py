@@ -1,0 +1,86 @@
+"""Relabel-free dyadic (bit-string) labels — the Ω(n)-bits trade."""
+
+import random
+from fractions import Fraction
+
+from repro.core.stats import Counters
+from repro.order.prefix import PrefixLabeling
+
+
+class TestZeroRelabeling:
+    def test_labels_never_change(self):
+        scheme = PrefixLabeling()
+        originals = list(scheme.bulk_load(range(8)))
+        snapshot = [handle.label for handle in originals]
+        handles = list(originals)
+        rng = random.Random(4)
+        for index in range(300):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], index)
+            handles.insert(position + 1, handle)
+        assert [handle.label for handle in originals] == snapshot
+        scheme.validate()
+
+    def test_one_relabel_per_insert_is_the_assignment(self):
+        stats = Counters()
+        scheme = PrefixLabeling(stats=stats)
+        handles = list(scheme.bulk_load(range(4)))
+        stats.reset()
+        rng = random.Random(6)
+        for index in range(200):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], index)
+            handles.insert(position + 1, handle)
+        assert stats.relabels == 200  # exactly the initial assignments
+
+    def test_existing_labels_stable_under_inserts(self):
+        scheme = PrefixLabeling()
+        handles = scheme.bulk_load(list("abcd"))
+        before = [handle.label for handle in handles]
+        anchor = handles[1]
+        for index in range(50):
+            anchor = scheme.insert_after(anchor, index)
+        after = [handle.label for handle in handles]
+        assert before == after
+
+
+class TestLabels:
+    def test_labels_are_dyadic_fractions_in_unit_interval(self):
+        scheme = PrefixLabeling()
+        handles = list(scheme.bulk_load(range(5)))
+        anchor = handles[0]
+        for index in range(30):
+            anchor = scheme.insert_after(anchor, index)
+        for label in scheme.labels():
+            assert isinstance(label, Fraction)
+            assert Fraction(0) < label < Fraction(1)
+            denominator = label.denominator
+            assert denominator & (denominator - 1) == 0  # power of two
+
+    def test_order_maintained(self):
+        scheme = PrefixLabeling()
+        handles = list(scheme.bulk_load(range(3)))
+        reference = list(range(3))
+        rng = random.Random(12)
+        for index in range(500):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_before(handles[position], 100 + index)
+            handles.insert(position, handle)
+            reference.insert(position, 100 + index)
+        assert scheme.payloads() == reference
+        scheme.validate()
+
+    def test_hotspot_bits_grow_linearly(self):
+        """The Cohen-Kaplan-Milo lower bound made visible."""
+        scheme = PrefixLabeling()
+        handles = scheme.bulk_load(["a", "b"])
+        anchor = handles[0]
+        inserts = 300
+        for index in range(inserts):
+            anchor = scheme.insert_after(anchor, index)
+        assert scheme.label_bits() >= inserts  # one bit per nested insert
+
+    def test_balanced_bulk_bits_logarithmic(self):
+        scheme = PrefixLabeling()
+        scheme.bulk_load(range(1024))
+        assert scheme.label_bits() <= 12

@@ -1,0 +1,91 @@
+"""Property tests: every registered scheme against a list oracle."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.stats import Counters
+from repro.order.registry import SCHEMES, make_scheme
+
+_SCRIPT = st.lists(
+    st.tuples(st.integers(0, 10 ** 9), st.booleans()),
+    min_size=0, max_size=120)
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestSchemeAgainstOracle:
+    @given(initial=st.integers(1, 10), script=_SCRIPT)
+    @_SETTINGS
+    def test_payload_order(self, name, initial, script):
+        scheme = make_scheme(name)
+        handles = list(scheme.bulk_load(range(initial)))
+        oracle = list(range(initial))
+        for step, (position_seed, before) in enumerate(script):
+            position = position_seed % len(handles)
+            payload = ("op", step)
+            if before:
+                handle = scheme.insert_before(handles[position], payload)
+                handles.insert(position, handle)
+                oracle.insert(position, payload)
+            else:
+                handle = scheme.insert_after(handles[position], payload)
+                handles.insert(position + 1, handle)
+                oracle.insert(position + 1, payload)
+        assert scheme.payloads() == oracle
+
+    @given(initial=st.integers(1, 10), script=_SCRIPT)
+    @_SETTINGS
+    def test_labels_strictly_increasing(self, name, initial, script):
+        scheme = make_scheme(name)
+        handles = list(scheme.bulk_load(range(initial)))
+        for step, (position_seed, before) in enumerate(script):
+            position = position_seed % len(handles)
+            if before:
+                handle = scheme.insert_before(handles[position], step)
+                handles.insert(position, handle)
+            else:
+                handle = scheme.insert_after(handles[position], step)
+                handles.insert(position + 1, handle)
+        scheme.validate()
+
+    @given(initial=st.integers(2, 10),
+           script=st.lists(st.tuples(st.integers(0, 10 ** 9),
+                                     st.sampled_from(["ins", "del"])),
+                           max_size=80))
+    @_SETTINGS
+    def test_with_deletions(self, name, initial, script):
+        scheme = make_scheme(name)
+        handles = list(scheme.bulk_load(range(initial)))
+        oracle = list(range(initial))
+        for step, (position_seed, kind) in enumerate(script):
+            if kind == "del" and len(handles) > 1:
+                position = position_seed % len(handles)
+                scheme.delete(handles.pop(position))
+                oracle.pop(position)
+            else:
+                position = position_seed % len(handles)
+                handle = scheme.insert_after(handles[position], step)
+                handles.insert(position + 1, handle)
+                oracle.insert(position + 1, step)
+        assert scheme.payloads() == oracle
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(KeyError):
+        make_scheme("no-such-scheme")
+
+
+def test_registry_instances_are_fresh():
+    first = make_scheme("gap")
+    second = make_scheme("gap")
+    assert first is not second
+
+
+def test_registry_threads_stats():
+    stats = Counters()
+    scheme = make_scheme("naive", stats)
+    scheme.bulk_load(range(3))
+    assert stats.relabels == 3

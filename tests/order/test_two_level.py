@@ -1,0 +1,120 @@
+"""Two-level indirection scheme (Dietz & Sleator direction, paper §5)."""
+
+import random
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.two_level import PairLabel, TwoLevelLabeling
+
+
+class TestConstruction:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TwoLevelLabeling(capacity=2)
+
+    def test_bulk_load_order(self):
+        scheme = TwoLevelLabeling()
+        scheme.bulk_load(list("abcdef"))
+        assert scheme.payloads() == list("abcdef")
+        scheme.validate()
+
+    def test_bulk_creates_multiple_sublists(self):
+        scheme = TwoLevelLabeling(capacity=8)
+        scheme.bulk_load(range(64))
+        assert scheme.sublist_count() >= 64 // 8
+
+
+class TestPairLabels:
+    def test_lexicographic_order(self):
+        scheme = TwoLevelLabeling(capacity=4)
+        handles = list(scheme.bulk_load(range(20)))
+        labels = [scheme.label(handle) for handle in handles]
+        assert all(a < b for a, b in zip(labels, labels[1:]))
+        assert all(isinstance(label, PairLabel) for label in labels)
+
+    def test_labels_are_live_references(self):
+        """Renumbering the top level changes members' effective labels
+        without touching the members — the indirection payoff."""
+        scheme = TwoLevelLabeling(capacity=4)
+        handles = list(scheme.bulk_load(range(8)))
+        label = scheme.label(handles[3])
+        key_before = label.key()
+        scheme._renumber_top()
+        assert scheme.label(handles[3]) is label  # same object
+        assert label.key()[0] != key_before[0] or \
+            label.key() == key_before  # top part may shift
+        scheme.validate()
+
+    def test_pair_label_comparisons(self):
+        scheme = TwoLevelLabeling()
+        a, b = scheme.bulk_load(["x", "y"])
+        assert scheme.label(a) < scheme.label(b)
+        assert scheme.label(a) == scheme.label(a)
+        assert hash(scheme.label(a)) != hash(scheme.label(b))
+
+
+class TestMaintenance:
+    def test_sublist_split_on_overflow(self):
+        scheme = TwoLevelLabeling(capacity=8)
+        handles = list(scheme.bulk_load(range(4)))
+        anchor = handles[0]
+        for index in range(100):
+            anchor = scheme.insert_after(anchor, index)
+        assert scheme.sublist_count() > 1
+        scheme.validate()
+
+    def test_hotspot_cost_is_local(self):
+        """Writes per insert stay far below n — the indirection bound."""
+        stats = Counters()
+        scheme = TwoLevelLabeling(capacity=16, stats=stats)
+        handles = list(scheme.bulk_load(range(2)))
+        anchor = handles[0]
+        n_ops = 2000
+        for index in range(n_ops):
+            anchor = scheme.insert_after(anchor, index)
+        per_insert = stats.relabels / n_ops
+        assert per_insert < 40  # sublist-local, not O(n)
+        scheme.validate()
+
+    def test_uniform_workload(self):
+        scheme = TwoLevelLabeling(capacity=16)
+        handles = list(scheme.bulk_load(range(4)))
+        reference = list(range(4))
+        rng = random.Random(3)
+        for index in range(1500):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_before(handles[position], 10_000 + index)
+            handles.insert(position, handle)
+            reference.insert(position, 10_000 + index)
+        assert scheme.payloads() == reference
+        scheme.validate()
+
+    def test_empty_then_append(self):
+        scheme = TwoLevelLabeling()
+        scheme.bulk_load([])
+        scheme.append("first")
+        scheme.append("second")
+        assert scheme.payloads() == ["first", "second"]
+        scheme.validate()
+
+    def test_delete_then_insert_at_edges(self):
+        scheme = TwoLevelLabeling(capacity=4)
+        handles = list(scheme.bulk_load(range(6)))
+        for handle in handles:
+            scheme.delete(handle)
+        assert len(scheme) == 0
+        scheme.append("reborn")
+        scheme.prepend("first")
+        assert scheme.payloads() == ["first", "reborn"]
+        scheme.validate()
+
+    def test_label_bits_bounded(self):
+        scheme = TwoLevelLabeling(capacity=32)
+        handles = list(scheme.bulk_load(range(4)))
+        rng = random.Random(5)
+        for index in range(2000):
+            position = rng.randrange(len(handles))
+            handle = scheme.insert_after(handles[position], index)
+            handles.insert(position + 1, handle)
+        assert scheme.label_bits() <= 64  # two bounded components

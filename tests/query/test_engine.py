@@ -1,0 +1,123 @@
+"""The three evaluators must agree with DOM navigation everywhere."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.labeling.scheme import LabeledDocument
+from repro.query.engine import (evaluate_dom, evaluate_edge,
+                                evaluate_interval)
+from repro.query.xpath import parse_xpath
+from repro.storage.edge_table import EdgeTableStore
+from repro.storage.interval_table import IntervalTableStore
+from repro.workloads.queries import xpath_battery
+from repro.xml.generator import (book_document, deep_document,
+                                 random_document, wide_document, xmark_like)
+from repro.xml.parser import parse
+
+DOCUMENTS = {
+    "book": lambda: book_document(4, 3, seed=1),
+    "xmark": lambda: xmark_like(25, 12, 8, seed=2),
+    "random": lambda: random_document(150, seed=3),
+    "deep": lambda: deep_document(12),
+    "wide": lambda: wide_document(30),
+    "tiny": lambda: parse("<a><b><c/></b></a>"),
+}
+
+QUERIES = {
+    "book": ["/book//title", "//section/para", "/book/chapter/title",
+             "//chapter//title", "/*/chapter", "//*", "/nothing",
+             "//absent//also"],
+    "xmark": ["//item/name", "/site//increase", "/site/regions//item",
+              "//open_auction/bidder/increase", "//regions/*",
+              "//person//city", "//*/name"],
+    "random": ["//a//b", "/a", "//c/d", "//e//*"],
+    "deep": ["/level0//level11", "//level5/level6", "//level11"],
+    "wide": ["/table/row", "//row", "/table//row"],
+    "tiny": ["/a/b/c", "/a//c", "//c", "//b/c", "/c"],
+}
+
+
+def _setup(document):
+    labeled = LabeledDocument(document)
+    return (EdgeTableStore(document),
+            IntervalTableStore(labeled))
+
+
+@pytest.mark.parametrize("doc_name", sorted(DOCUMENTS))
+class TestEvaluatorAgreement:
+    def test_all_evaluators_agree(self, doc_name):
+        document = DOCUMENTS[doc_name]()
+        edge, interval = _setup(document)
+        for text in QUERIES[doc_name]:
+            query = parse_xpath(text)
+            truth = [id(e) for e in evaluate_dom(document, query)]
+            assert truth == [
+                id(e) for e in evaluate_interval(interval, query)], text
+            assert truth == [
+                id(e) for e in evaluate_edge(edge, query)], text
+
+
+class TestQueryBattery:
+    def test_generated_battery_agreement(self):
+        document = xmark_like(20, 10, 6, seed=9)
+        edge, interval = _setup(document)
+        for query in xpath_battery(document, 25, seed=10):
+            truth = [id(e) for e in evaluate_dom(document, query)]
+            assert truth == [
+                id(e) for e in evaluate_interval(interval, query)]
+            assert truth == [id(e) for e in evaluate_edge(edge, query)]
+
+    def test_battery_mostly_non_empty(self):
+        document = xmark_like(20, 10, 6, seed=11)
+        queries = xpath_battery(document, 30, seed=12)
+        non_empty = sum(
+            1 for query in queries if evaluate_dom(document, query))
+        assert non_empty > len(queries) // 2
+
+
+class TestFirstStepSemantics:
+    def test_absolute_child_matches_root_only(self):
+        document = parse("<a><a/></a>")
+        query = parse_xpath("/a")
+        results = evaluate_dom(document, query)
+        assert len(results) == 1
+        assert results[0] is document.root
+
+    def test_descendant_first_step_includes_root(self):
+        document = parse("<a><a/></a>")
+        results = evaluate_dom(document, parse_xpath("//a"))
+        assert len(results) == 2
+
+    def test_results_in_document_order(self):
+        document = xmark_like(15, 8, 4, seed=13)
+        edge, interval = _setup(document)
+        query = parse_xpath("//name")
+        order = {id(e): i for i, e in
+                 enumerate(document.iter_elements())}
+        for evaluator_results in (
+                evaluate_dom(document, query),
+                evaluate_interval(interval, query),
+                evaluate_edge(edge, query)):
+            positions = [order[id(e)] for e in evaluator_results]
+            assert positions == sorted(positions)
+
+
+class TestCostAsymmetry:
+    def test_interval_reads_less_than_edge_on_deep_queries(self):
+        document = deep_document(24)
+        labeled = LabeledDocument(document)
+        interval_stats, edge_stats = Counters(), Counters()
+        interval = IntervalTableStore(labeled, interval_stats)
+        edge = EdgeTableStore(document, edge_stats)
+        query = parse_xpath("/level0//level23")
+        interval_stats.reset()
+        edge_stats.reset()
+        evaluate_interval(interval, query)
+        evaluate_edge(edge, query)
+        assert interval_stats.tuple_reads < edge_stats.tuple_reads
+
+    def test_edge_join_count_equals_depth(self):
+        document = deep_document(10)
+        edge = EdgeTableStore(document)
+        evaluate_edge(edge, parse_xpath("/level0//level9"))
+        assert edge.last_join_count == 10

@@ -1,0 +1,95 @@
+"""XPath attribute predicates across the grammar and all evaluators."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.labeling.scheme import LabeledDocument
+from repro.query.engine import (evaluate_dom, evaluate_edge,
+                                evaluate_interval)
+from repro.query.xpath import Step, parse_xpath
+from repro.storage.edge_table import EdgeTableStore
+from repro.storage.interval_table import IntervalTableStore
+from repro.xml.generator import xmark_like
+from repro.xml.parser import parse
+
+
+class TestParsing:
+    def test_single_quoted(self):
+        query = parse_xpath("//item[@id='item3']")
+        assert query.steps[0].attribute == ("id", "item3")
+
+    def test_double_quoted(self):
+        query = parse_xpath('//item[@id="item3"]')
+        assert query.steps[0].attribute == ("id", "item3")
+
+    def test_predicate_mid_path(self):
+        query = parse_xpath("/site//item[@id='x']/name")
+        assert query.steps[1].attribute == ("x" and ("id", "x"))
+        assert query.steps[2].attribute is None
+
+    def test_str_roundtrip(self):
+        text = "//item[@id='item3']/name"
+        assert str(parse_xpath(text)) == text
+
+    def test_empty_value_allowed(self):
+        query = parse_xpath("//a[@k='']")
+        assert query.steps[0].attribute == ("k", "")
+
+    @pytest.mark.parametrize("text", [
+        "//a[@]", "//a[1]", "//a[@k]", "//a[@k=v]", "//a[@k='x\"]",
+        "//a[k='v']", "//a[@k='v'",
+    ])
+    def test_malformed_predicates(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(text)
+
+
+class TestStepMatching:
+    def test_matches_element_checks_attribute(self):
+        document = parse('<a k="1"><a k="2"/></a>')
+        outer = document.root
+        inner = next(iter(outer.child_elements()))
+        step = Step("descendant", "a", ("k", "2"))
+        assert not step.matches_element(outer)
+        assert step.matches_element(inner)
+
+    def test_missing_attribute_no_match(self):
+        document = parse("<a/>")
+        step = Step("child", "a", ("k", "1"))
+        assert not step.matches_element(document.root)
+
+
+class TestEvaluatorAgreement:
+    @pytest.fixture(scope="class")
+    def document(self):
+        return xmark_like(20, 10, 8, seed=31)
+
+    QUERIES = (
+        "//item[@id='item3']",
+        "//item[@id='item3']/name",
+        "/site//person[@id='person2']/emailaddress",
+        "//item[@id='no-such-id']",
+        "//*[@id='item5']",
+        "/site[@id='x']//item",
+    )
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_three_way_agreement(self, document, text):
+        labeled = LabeledDocument(document)
+        edge = EdgeTableStore(document)
+        interval = IntervalTableStore(labeled)
+        query = parse_xpath(text)
+        truth = [id(e) for e in evaluate_dom(document, query)]
+        assert truth == [id(e) for e in evaluate_interval(interval,
+                                                          query)], text
+        assert truth == [id(e) for e in evaluate_edge(edge, query)], text
+
+    def test_predicate_actually_filters(self, document):
+        labeled = LabeledDocument(document)
+        interval = IntervalTableStore(labeled)
+        unfiltered = evaluate_interval(interval, parse_xpath("//item"))
+        filtered = evaluate_interval(
+            interval, parse_xpath("//item[@id='item3']"))
+        assert len(filtered) == 1
+        assert len(unfiltered) == 20
+        assert filtered[0].attributes["id"] == "item3"

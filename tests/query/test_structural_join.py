@@ -1,0 +1,101 @@
+"""Structural join algorithms: agreement and cost asymmetry."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.stats import Counters
+from repro.query.structural_join import (JOIN_ALGORITHMS, index_skip_join,
+                                         nested_loop_containment,
+                                         stack_tree_join)
+
+
+def _random_regions(seed: int, max_children: int = 3,
+                    max_depth: int = 5) -> list[tuple[int, int, str]]:
+    """Well-formed nested regions from a random tree walk."""
+    rng = random.Random(seed)
+    counter = [0]
+    regions: list[tuple[int, int, str]] = []
+
+    def build(depth: int) -> None:
+        begin = counter[0]
+        counter[0] += 1
+        children = rng.randint(0, max_children) if depth < max_depth else 0
+        for _ in range(children):
+            build(depth + 1)
+        end = counter[0]
+        counter[0] += 1
+        regions.append((begin, end, f"n{begin}"))
+
+    build(0)
+    regions.sort()
+    return regions
+
+
+def _brute_force(ancestors, descendants):
+    return sorted(
+        (a[2], d[2])
+        for a in ancestors for d in descendants
+        if a[0] < d[0] and d[1] < a[1])
+
+
+class TestAgreement:
+    def test_all_algorithms_match_bruteforce(self):
+        regions = _random_regions(3)
+        rng = random.Random(4)
+        ancestors = sorted(rng.sample(regions, len(regions) // 2))
+        descendants = sorted(rng.sample(regions, len(regions) // 2))
+        expected = _brute_force(ancestors, descendants)
+        for name, algorithm in JOIN_ALGORITHMS.items():
+            got = sorted(algorithm(ancestors, descendants))
+            assert got == expected, name
+
+    @given(seed=st.integers(0, 10 ** 6), split=st.integers(0, 10 ** 6))
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_agreement_property(self, seed, split):
+        regions = _random_regions(seed)
+        rng = random.Random(split)
+        size = max(1, len(regions) // 2)
+        ancestors = sorted(rng.sample(regions, size))
+        descendants = sorted(rng.sample(regions, size))
+        expected = _brute_force(ancestors, descendants)
+        for name, algorithm in JOIN_ALGORITHMS.items():
+            assert sorted(algorithm(ancestors, descendants)) == \
+                expected, name
+
+    def test_empty_inputs(self):
+        for algorithm in JOIN_ALGORITHMS.values():
+            assert list(algorithm([], [])) == []
+            assert list(algorithm([(0, 9, "a")], [])) == []
+            assert list(algorithm([], [(1, 2, "d")])) == []
+
+
+class TestSelfJoin:
+    def test_self_join_gives_all_proper_pairs(self):
+        regions = _random_regions(9)
+        expected = _brute_force(regions, regions)
+        got = sorted(stack_tree_join(regions, regions))
+        assert got == expected
+        # no region contains itself (strictness)
+        assert all(a != d for a, d in got)
+
+
+class TestCosts:
+    def test_nested_loop_is_quadratic(self):
+        regions = _random_regions(11)
+        nested, stack = Counters(), Counters()
+        list(nested_loop_containment(regions, regions, nested))
+        list(stack_tree_join(regions, regions, stack))
+        assert nested.comparisons >= len(regions) ** 2 - len(regions)
+        assert stack.comparisons < nested.comparisons
+
+    def test_index_skip_uses_prebuilt_index(self):
+        from repro.storage.btree import CountedBTree
+        regions = _random_regions(13)
+        index = CountedBTree(order=16)
+        index.bulk_load((b, (e, p)) for b, e, p in regions)
+        stats = Counters()
+        got = sorted(index_skip_join(regions, regions, stats, index))
+        assert got == _brute_force(regions, regions)

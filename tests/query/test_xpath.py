@@ -1,0 +1,67 @@
+"""XPath subset parser."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.query.xpath import CHILD, DESCENDANT, Step, XPathQuery, parse_xpath
+
+
+class TestParsing:
+    def test_single_child_step(self):
+        query = parse_xpath("/book")
+        assert query.steps == (Step(CHILD, "book"),)
+
+    def test_descendant_step(self):
+        query = parse_xpath("//title")
+        assert query.steps == (Step(DESCENDANT, "title"),)
+
+    def test_mixed_axes(self):
+        query = parse_xpath("/book//title/name")
+        assert [step.axis for step in query] == \
+            [CHILD, DESCENDANT, CHILD]
+
+    def test_wildcard(self):
+        query = parse_xpath("/*//*")
+        assert all(step.test == "*" for step in query)
+
+    def test_names_with_punctuation(self):
+        query = parse_xpath("/ns:a/x-1.b")
+        assert query.steps[0].test == "ns:a"
+        assert query.steps[1].test == "x-1.b"
+
+    def test_str_roundtrip(self):
+        for text in ("/a", "//a", "/a//b/c", "//x/*"):
+            assert str(parse_xpath(text)) == text
+
+    def test_whitespace_tolerated_at_ends(self):
+        assert str(parse_xpath("  /a/b ")) == "/a/b"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("text", [
+        "", "a/b", "/a/", "///a", "/a b", "/a[1]", "/", "/a/@x",
+    ])
+    def test_rejects(self, text):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(text)
+
+    def test_step_validation(self):
+        with pytest.raises(XPathSyntaxError):
+            Step("parent", "a")
+        with pytest.raises(XPathSyntaxError):
+            Step(CHILD, "")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            XPathQuery(())
+
+
+class TestStepMatching:
+    def test_name_match(self):
+        step = Step(CHILD, "item")
+        assert step.matches("item")
+        assert not step.matches("items")
+
+    def test_wildcard_matches_all(self):
+        step = Step(DESCENDANT, "*")
+        assert step.matches("anything")

@@ -1,0 +1,279 @@
+"""Counted B+-tree: lookups, order statistics, deletion, bulk load."""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.stats import Counters
+from repro.errors import DuplicateKey, KeyNotFound
+from repro.storage.btree import CountedBTree
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            CountedBTree(order=2)
+
+    def test_insert_get(self):
+        tree = CountedBTree(order=4)
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+        assert 6 not in tree
+
+    def test_missing_key(self):
+        tree = CountedBTree(order=4)
+        with pytest.raises(KeyNotFound):
+            tree.get(1)
+
+    def test_duplicate_rejected(self):
+        tree = CountedBTree(order=4)
+        tree.insert(1, "a")
+        with pytest.raises(DuplicateKey):
+            tree.insert(1, "b")
+
+    def test_len(self):
+        tree = CountedBTree(order=4)
+        for key in range(10):
+            tree.insert(key, key)
+        assert len(tree) == 10
+
+    def test_min_max(self):
+        tree = CountedBTree(order=4)
+        for key in (5, 1, 9, 3):
+            tree.insert(key, key)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_max_empty(self):
+        tree = CountedBTree(order=4)
+        with pytest.raises(KeyNotFound):
+            tree.min_key()
+        with pytest.raises(KeyNotFound):
+            tree.max_key()
+
+    def test_items_sorted(self):
+        tree = CountedBTree(order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for key in keys:
+            tree.insert(key, str(key))
+        assert [key for key, _ in tree.items()] == list(range(100))
+
+
+class TestOrderStatistics:
+    @pytest.fixture()
+    def tree(self):
+        tree = CountedBTree(order=5)
+        keys = list(range(0, 200, 2))  # evens
+        random.Random(2).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        return tree
+
+    def test_rank(self, tree):
+        assert tree.rank(0) == 0
+        assert tree.rank(1) == 1
+        assert tree.rank(100) == 50
+        assert tree.rank(1000) == 100
+
+    def test_select(self, tree):
+        assert tree.select(0) == 0
+        assert tree.select(50) == 100
+        assert tree.select(99) == 198
+
+    def test_select_out_of_range(self, tree):
+        with pytest.raises(IndexError):
+            tree.select(100)
+        with pytest.raises(IndexError):
+            tree.select(-1)
+
+    def test_rank_select_inverse(self, tree):
+        for index in range(0, 100, 7):
+            assert tree.rank(tree.select(index)) == index
+
+    def test_count_range(self, tree):
+        assert tree.count_range(0, 10) == 5
+        assert tree.count_range(1, 10) == 4
+        assert tree.count_range(10, 10) == 0
+        assert tree.count_range(50, 20) == 0
+
+    def test_predecessor_successor(self, tree):
+        assert tree.predecessor(10) == 8
+        assert tree.successor(10) == 12
+        assert tree.predecessor(11) == 10
+        assert tree.successor(197) == 198
+        with pytest.raises(KeyNotFound):
+            tree.predecessor(0)
+        with pytest.raises(KeyNotFound):
+            tree.successor(198)
+
+
+class TestRangeIteration:
+    def test_iter_range(self):
+        tree = CountedBTree(order=4)
+        for key in range(50):
+            tree.insert(key, key * 10)
+        assert [key for key, _ in tree.iter_range(10, 15)] == \
+            [10, 11, 12, 13, 14]
+
+    def test_iter_range_empty(self):
+        tree = CountedBTree(order=4)
+        tree.insert(5, "x")
+        assert list(tree.iter_range(6, 6)) == []
+        assert list(tree.iter_range(9, 3)) == []
+
+    def test_iter_range_spans_leaves(self):
+        tree = CountedBTree(order=3)
+        for key in range(100):
+            tree.insert(key, key)
+        values = [key for key, _ in tree.iter_range(13, 87)]
+        assert values == list(range(13, 87))
+
+
+class TestDeletion:
+    def test_delete_returns_value(self):
+        tree = CountedBTree(order=4)
+        tree.insert(1, "one")
+        assert tree.delete(1) == "one"
+        assert 1 not in tree
+
+    def test_delete_missing(self):
+        tree = CountedBTree(order=4)
+        with pytest.raises(KeyNotFound):
+            tree.delete(42)
+
+    def test_delete_everything(self):
+        tree = CountedBTree(order=4)
+        keys = list(range(200))
+        random.Random(3).shuffle(keys)
+        for key in keys:
+            tree.insert(key, key)
+        random.Random(4).shuffle(keys)
+        for key in keys:
+            tree.delete(key)
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_delete_range(self):
+        tree = CountedBTree(order=4)
+        for key in range(100):
+            tree.insert(key, key)
+        removed = tree.delete_range(20, 40)
+        assert [key for key, _ in removed] == list(range(20, 40))
+        assert len(tree) == 80
+        tree.validate()
+
+    def test_interleaved_with_validation(self):
+        tree = CountedBTree(order=5)
+        reference = {}
+        rng = random.Random(5)
+        for step in range(2000):
+            if reference and rng.random() < 0.4:
+                key = rng.choice(list(reference))
+                assert tree.delete(key) == reference.pop(key)
+            else:
+                key = rng.randrange(10000)
+                if key not in reference:
+                    tree.insert(key, step)
+                    reference[key] = step
+        tree.validate()
+        assert dict(tree.items()) == reference
+
+
+class TestBulkLoad:
+    def test_bulk_load_replaces(self):
+        tree = CountedBTree(order=4)
+        tree.insert(999, "old")
+        tree.bulk_load((key, key) for key in range(100))
+        assert len(tree) == 100
+        assert 999 not in tree
+        tree.validate()
+
+    def test_bulk_load_empty(self):
+        tree = CountedBTree(order=4)
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_requires_sorted(self):
+        tree = CountedBTree(order=4)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(2, "a"), (1, "b")])
+
+    def test_bulk_load_rejects_duplicates(self):
+        tree = CountedBTree(order=4)
+        with pytest.raises(ValueError):
+            tree.bulk_load([(1, "a"), (1, "b")])
+
+    @pytest.mark.parametrize("count", [1, 2, 7, 20, 21, 22, 100, 1000])
+    def test_bulk_load_sizes(self, count):
+        tree = CountedBTree(order=8)
+        tree.bulk_load((key, -key) for key in range(count))
+        tree.validate()
+        assert len(tree) == count
+        assert tree.rank(count // 2) == count // 2
+
+    def test_bulk_load_then_update(self):
+        tree = CountedBTree(order=6)
+        tree.bulk_load((key * 2, key) for key in range(500))
+        for key in range(1, 100, 2):
+            tree.insert(key, key)
+        for key in range(0, 200, 4):
+            tree.delete(key)
+        tree.validate()
+
+
+class TestStatsCounting:
+    def test_accesses_counted(self):
+        stats = Counters()
+        tree = CountedBTree(order=4, stats=stats)
+        for key in range(64):
+            tree.insert(key, key)
+        before = stats.node_accesses
+        tree.get(32)
+        assert stats.node_accesses > before
+
+    def test_logarithmic_lookup_cost(self):
+        stats = Counters()
+        tree = CountedBTree(order=8, stats=stats)
+        for key in range(4096):
+            tree.insert(key, key)
+        stats.reset()
+        tree.rank(2048)
+        assert stats.node_accesses <= 8  # ~log_4(4096) + slack
+
+
+class TestProperties:
+    @given(st.lists(st.integers(-1000, 1000), unique=True, max_size=200))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_matches_sorted_reference(self, keys):
+        tree = CountedBTree(order=4)
+        for key in keys:
+            tree.insert(key, key)
+        tree.validate()
+        expected = sorted(keys)
+        assert [key for key, _ in tree.items()] == expected
+        for index, key in enumerate(expected):
+            assert tree.rank(key) == index
+            assert tree.select(index) == key
+
+    @given(st.lists(st.tuples(st.integers(0, 300),
+                              st.booleans()), max_size=300))
+    @settings(max_examples=50, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_insert_delete_fuzz(self, operations):
+        tree = CountedBTree(order=4)
+        reference: dict[int, int] = {}
+        for step, (key, is_delete) in enumerate(operations):
+            if is_delete:
+                if key in reference:
+                    tree.delete(key)
+                    del reference[key]
+            elif key not in reference:
+                tree.insert(key, step)
+                reference[key] = step
+        tree.validate()
+        assert dict(tree.items()) == reference

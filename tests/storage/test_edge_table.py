@@ -1,0 +1,72 @@
+"""Edge-table XML storage (the §1 baseline)."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.storage.edge_table import EdgeTableStore
+from repro.xml.generator import deep_document
+from repro.xml.parser import parse
+
+
+@pytest.fixture()
+def store():
+    document = parse("<r><a><c/></a><b><c/><d><c/></d></b></r>")
+    return document, EdgeTableStore(document)
+
+
+class TestShredding:
+    def test_one_row_per_element(self, store):
+        document, edge = store
+        assert len(edge.table) == document.count_elements()
+
+    def test_root_has_null_parent(self, store):
+        _, edge = store
+        roots = edge.root_ids()
+        assert len(roots) == 1
+        assert edge.element(roots[0]).tag == "r"
+
+    def test_positions_recorded(self, store):
+        _, edge = store
+        rows = {row[0]: row for row in edge.table.rows}
+        b_id = edge.ids_by_tag("b")[0]
+        assert rows[b_id][3] == 1  # b is the second child of r
+
+    def test_element_mapping(self, store):
+        _, edge = store
+        for row in edge.table.rows:
+            assert edge.element(row[0]).tag == row[2]
+
+
+class TestNavigationJoins:
+    def test_children_of(self, store):
+        _, edge = store
+        root = edge.root_ids()
+        children = edge.children_of(root)
+        assert sorted(edge.element(i).tag for i in children) == ["a", "b"]
+
+    def test_children_with_tag_filter(self, store):
+        _, edge = store
+        b = edge.ids_by_tag("b")
+        assert [edge.element(i).tag for i in
+                edge.children_of(b, "c")] == ["c"]
+
+    def test_descendants_of(self, store):
+        _, edge = store
+        root = edge.root_ids()
+        cs = edge.descendants_of(root, "c")
+        assert len(cs) == 3
+
+    def test_descendant_join_count_tracks_depth(self):
+        for depth in (4, 9):
+            document = deep_document(depth)
+            edge = EdgeTableStore(document)
+            edge.descendants_of(edge.root_ids())
+            assert edge.last_join_count == depth
+
+    def test_tuple_reads_counted(self):
+        stats = Counters()
+        document = deep_document(6)
+        edge = EdgeTableStore(document, stats)
+        stats.reset()
+        edge.descendants_of(edge.root_ids())
+        assert stats.tuple_reads >= 5

@@ -1,0 +1,44 @@
+"""Disk-access cost model."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.storage.pager import IOReport, PageModel, estimate_io
+
+
+class TestPageModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PageModel(entries_per_page=0)
+        with pytest.raises(ValueError):
+            PageModel(cache_hit_rate=1.0)
+
+    def test_zero_touches(self):
+        assert PageModel().pages_for(0) == 0.0
+
+    def test_minimum_one_page(self):
+        assert PageModel(entries_per_page=64).pages_for(1) == 1.0
+
+    def test_scales_with_touches(self):
+        model = PageModel(entries_per_page=10)
+        assert model.pages_for(100) == 10.0
+        assert model.pages_for(101) == 11.0
+
+    def test_cache_discount(self):
+        model = PageModel(entries_per_page=10, cache_hit_rate=0.5)
+        assert model.pages_for(100) == 5.0
+
+
+class TestEstimateIO:
+    def test_splits_structure_and_tuples(self):
+        counters = Counters(node_accesses=100, relabels=20,
+                            count_updates=8, tuple_reads=640)
+        report = estimate_io(counters, PageModel(entries_per_page=64))
+        assert report.structure_ios == pytest.approx(2.0)
+        assert report.tuple_ios == pytest.approx(10.0)
+        assert report.total == pytest.approx(12.0)
+
+    def test_empty_counters(self):
+        report = estimate_io(Counters())
+        assert report.total == 0.0
+        assert isinstance(report, IOReport)

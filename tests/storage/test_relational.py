@@ -1,0 +1,122 @@
+"""The miniature relational engine."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.errors import StorageError
+from repro.storage.relational import (HashIndex, SortedIndex, Table,
+                                      index_join, merge_interval_join,
+                                      nested_loop_join)
+
+
+@pytest.fixture()
+def people():
+    table = Table("people", ("id", "name", "city"))
+    table.insert_many([
+        (1, "ada", "london"),
+        (2, "boole", "lincoln"),
+        (3, "cantor", "halle"),
+        (4, "dirichlet", "london"),
+    ])
+    return table
+
+
+class TestTable:
+    def test_arity_check(self, people):
+        with pytest.raises(StorageError):
+            people.insert((5, "euler"))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(StorageError):
+            Table("bad", ("a", "a"))
+
+    def test_unknown_column(self, people):
+        with pytest.raises(StorageError):
+            people.column_position("age")
+
+    def test_scan_counts_reads(self):
+        stats = Counters()
+        table = Table("t", ("x",), stats)
+        table.insert_many([(i,) for i in range(10)])
+        list(table.scan())
+        assert stats.tuple_reads == 10
+
+    def test_scan_with_predicate(self, people):
+        rows = list(people.scan(lambda row: row[2] == "london"))
+        assert [row[1] for row in rows] == ["ada", "dirichlet"]
+
+    def test_project(self, people):
+        names = list(people.project(people.scan(), ("name",)))
+        assert ("ada",) in names and len(names[0]) == 1
+
+    def test_len(self, people):
+        assert len(people) == 4
+
+
+class TestIndexes:
+    def test_hash_index_lookup(self, people):
+        index = HashIndex(people, "city")
+        rows = index.lookup("london")
+        assert {row[1] for row in rows} == {"ada", "dirichlet"}
+        assert index.lookup("nowhere") == []
+
+    def test_hash_index_keys(self, people):
+        index = HashIndex(people, "city")
+        assert set(index.keys()) == {"london", "lincoln", "halle"}
+
+    def test_sorted_index_range(self, people):
+        index = SortedIndex(people, "id")
+        rows = list(index.range(2, 4))
+        assert [row[0] for row in rows] == [2, 3]
+
+    def test_sorted_index_all_rows(self, people):
+        index = SortedIndex(people, "name")
+        names = [row[1] for row in index.all_rows()]
+        assert names == sorted(names)
+
+
+class TestJoins:
+    def test_nested_loop_equals_index_join(self, people):
+        orders = Table("orders", ("person_id", "amount"))
+        orders.insert_many([(1, 10), (1, 20), (3, 5), (9, 99)])
+        predicate = lambda left, right: left[0] == right[0]
+        nested = {(l[0], r[1]) for l, r in
+                  nested_loop_join(people.scan(), orders, predicate)}
+        index = HashIndex(orders, "person_id")
+        indexed = {(l[0], r[1]) for l, r in
+                   index_join(people.scan(), lambda row: row[0], index)}
+        assert nested == indexed
+        assert (1, 10) in nested and (3, 5) in nested
+
+    def test_merge_interval_join_simple(self):
+        ancestors = [(0, 10, "outer"), (2, 5, "inner")]
+        descendants = [(1, 9, "d1"), (3, 4, "d2"), (11, 12, "d3")]
+        pairs = set(merge_interval_join(ancestors, descendants))
+        assert pairs == {("outer", "d1"), ("outer", "d2"),
+                         ("inner", "d2")}
+
+    def test_merge_interval_join_matches_bruteforce(self):
+        import random
+        rng = random.Random(7)
+        # generate nested (well-formed) intervals via a random tree walk
+        intervals = []
+        counter = [0]
+        def build(depth):
+            begin = counter[0]; counter[0] += 1
+            for _ in range(rng.randint(0, 3) if depth < 4 else 0):
+                build(depth + 1)
+            end = counter[0]; counter[0] += 1
+            intervals.append((begin, end, f"n{begin}"))
+        build(0)
+        intervals.sort()
+        brute = {(a[2], d[2]) for a in intervals for d in intervals
+                 if a[0] < d[0] and d[1] < a[1]}
+        merged = set(merge_interval_join(intervals, intervals))
+        assert merged == brute
+
+    def test_merge_join_counts_io(self):
+        stats = Counters()
+        ancestors = [(0, 100, "root")]
+        descendants = [(i, i + 1, i) for i in range(1, 50, 2)]
+        list(merge_interval_join(ancestors, descendants, stats))
+        assert stats.tuple_reads > 0

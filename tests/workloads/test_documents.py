@@ -1,0 +1,59 @@
+"""Document corpora and DOM edit streams."""
+
+from repro.core.stats import Counters
+from repro.labeling.scheme import LabeledDocument
+from repro.workloads.documents import (apply_document_edits, edit_positions,
+                                       sized_corpus)
+from repro.xml.generator import xmark_like
+
+
+class TestCorpus:
+    def test_sizes_scale(self):
+        corpus = sized_corpus((5, 20), seed=1)
+        small = corpus[5].count_elements()
+        large = corpus[20].count_elements()
+        assert large > 2 * small
+
+    def test_deterministic(self):
+        from repro.xml.serializer import serialize
+        first = sized_corpus((10,), seed=2)[10]
+        second = sized_corpus((10,), seed=2)[10]
+        assert serialize(first) == serialize(second)
+
+
+class TestDocumentEdits:
+    def test_labels_stay_valid(self):
+        document = xmark_like(10, 5, 4, seed=3)
+        stats = Counters()
+        labeled = LabeledDocument(document, stats=stats)
+        final = apply_document_edits(labeled, 60, seed=4)
+        assert final == document.count_elements()
+        labeled.validate()
+
+    def test_containment_still_matches_structure(self):
+        import random
+        document = xmark_like(10, 5, 4, seed=5)
+        labeled = LabeledDocument(document)
+        apply_document_edits(labeled, 40, seed=6)
+        elements = list(document.iter_elements())
+        rng = random.Random(7)
+        for _ in range(200):
+            first, second = rng.choice(elements), rng.choice(elements)
+            if first is second:
+                continue
+            assert labeled.is_ancestor(first, second) == \
+                first.is_ancestor_of(second)
+
+    def test_deletes_shrink_document(self):
+        document = xmark_like(10, 5, 4, seed=8)
+        labeled = LabeledDocument(document)
+        before = document.count_elements()
+        apply_document_edits(labeled, 80, seed=9, delete_fraction=0.9,
+                             max_subtree=1)
+        assert document.count_elements() < before
+
+    def test_edit_positions_valid(self):
+        document = xmark_like(8, 4, 3, seed=10)
+        for parent, index in edit_positions(document, 50, seed=11):
+            assert parent.is_element
+            assert 0 <= index <= len(parent.children)

@@ -1,0 +1,55 @@
+"""Query workload generators."""
+
+import pytest
+
+from repro.query.engine import evaluate_dom
+from repro.workloads.queries import (random_element_pairs,
+                                     related_element_pairs, xpath_battery)
+from repro.xml.generator import xmark_like
+from repro.xml.parser import parse
+
+
+class TestPairs:
+    def test_random_pairs_count_and_membership(self):
+        document = xmark_like(8, 4, 3, seed=1)
+        elements = set(map(id, document.iter_elements()))
+        pairs = list(random_element_pairs(document, 40, seed=2))
+        assert len(pairs) == 40
+        for first, second in pairs:
+            assert id(first) in elements and id(second) in elements
+
+    def test_too_small_document_rejected(self):
+        document = parse("<only/>")
+        with pytest.raises(ValueError):
+            list(random_element_pairs(document, 5))
+
+    def test_related_pairs_contain_true_ancestors(self):
+        document = xmark_like(8, 4, 3, seed=3)
+        pairs = list(related_element_pairs(document, 60, seed=4))
+        true_relations = sum(
+            1 for anc, desc in pairs if anc.is_ancestor_of(desc))
+        assert true_relations >= len(pairs) // 3
+
+    def test_deterministic(self):
+        document = xmark_like(8, 4, 3, seed=5)
+        first = [(a.tag, d.tag) for a, d in
+                 random_element_pairs(document, 20, seed=6)]
+        second = [(a.tag, d.tag) for a, d in
+                  random_element_pairs(document, 20, seed=6)]
+        assert first == second
+
+
+class TestBattery:
+    def test_queries_parse_and_run(self):
+        document = xmark_like(10, 5, 4, seed=7)
+        for query in xpath_battery(document, 20, seed=8):
+            evaluate_dom(document, query)  # must not raise
+
+    def test_respects_max_steps(self):
+        document = xmark_like(10, 5, 4, seed=9)
+        for query in xpath_battery(document, 30, seed=10, max_steps=2):
+            assert len(query.steps) <= 2
+
+    def test_flat_document_rejected(self):
+        with pytest.raises(ValueError):
+            xpath_battery(parse("<a/>"), 5)

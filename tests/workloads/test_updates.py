@@ -1,0 +1,147 @@
+"""Update workload generators and the runner."""
+
+import pytest
+
+from repro.core.stats import Counters
+from repro.order.registry import make_scheme
+from repro.workloads import updates as W
+
+
+class TestGenerators:
+    def test_uniform_deterministic(self):
+        first = list(W.uniform_inserts(50, seed=1))
+        second = list(W.uniform_inserts(50, seed=1))
+        assert first == second
+
+    def test_uniform_positions_in_range(self):
+        size = 2
+        for operation in W.uniform_inserts(200, seed=2):
+            assert 0 <= operation.position < size
+            size += 1
+
+    def test_hotspot_positions_track_size(self):
+        size = 2
+        for operation in W.hotspot_inserts(100, seed=3,
+                                           hotspot_fraction=0.5):
+            assert 0 <= operation.position < size
+            size += 1
+
+    def test_append_positions(self):
+        positions = [op.position for op in W.append_inserts(5)]
+        assert positions == [0, 1, 2, 3, 4]
+
+    def test_prepend_positions(self):
+        assert all(op.position == 0 for op in W.prepend_inserts(5))
+        assert all(op.kind == W.INSERT_BEFORE
+                   for op in W.prepend_inserts(5))
+
+    def test_zipf_skews_low(self):
+        positions = [op.position
+                     for op in W.zipf_inserts(500, seed=4)]
+        low = sum(1 for p in positions if p < 10)
+        assert low > len(positions) // 4
+
+    def test_zipf_validates_exponent(self):
+        with pytest.raises(ValueError):
+            list(W.zipf_inserts(10, exponent=1.0))
+
+    def test_run_inserts_sizes(self):
+        operations = list(W.run_inserts(10, run_length=7, seed=5))
+        assert all(op.kind == W.INSERT_RUN for op in operations)
+        assert all(op.run_length == 7 for op in operations)
+
+    def test_mixed_fraction_validation(self):
+        with pytest.raises(ValueError):
+            list(W.mixed_workload(10, delete_fraction=0.7,
+                                  run_fraction=0.6))
+
+    def test_mixed_never_underflows(self):
+        size = 2
+        for operation in W.mixed_workload(300, seed=6,
+                                          delete_fraction=0.45):
+            if operation.kind == W.DELETE:
+                size -= 1
+            elif operation.kind == W.INSERT_RUN:
+                size += operation.run_length
+            else:
+                size += 1
+            assert size >= 1
+
+    def test_sliding_window_caps_size(self):
+        size = 2
+        for operation in W.sliding_window(500, window=64):
+            if operation.kind == W.DELETE:
+                size -= 1
+            else:
+                size += 1
+            assert size <= 65
+
+    def test_sliding_window_runs_on_scheme(self):
+        scheme = make_scheme("ltree")
+        result = W.apply_workload(scheme,
+                                  W.sliding_window(400, window=50))
+        assert result.final_size <= 51
+        scheme.validate()
+
+    def test_sliding_window_validates(self):
+        with pytest.raises(ValueError):
+            list(W.sliding_window(10, window=1))
+
+
+class TestRunner:
+    def test_final_size(self):
+        scheme = make_scheme("gap")
+        result = W.apply_workload(scheme, W.uniform_inserts(100, seed=7))
+        assert result.final_size == 102
+
+    def test_payload_order_against_reference(self):
+        operations = list(W.uniform_inserts(120, seed=8))
+        scheme = make_scheme("naive")
+        W.apply_workload(scheme, operations)
+        reference = [0, 1]
+        for operation in operations:
+            if operation.kind == W.INSERT_AFTER:
+                reference.insert(operation.position + 1,
+                                 operation.payload)
+            else:
+                reference.insert(operation.position, operation.payload)
+        assert scheme.payloads() == reference
+
+    def test_runs_and_deletes(self):
+        scheme = make_scheme("ltree")
+        result = W.apply_workload(
+            scheme, W.mixed_workload(400, seed=9, delete_fraction=0.2,
+                                     run_fraction=0.2))
+        assert result.final_size == len(scheme)
+        scheme.validate()
+
+    def test_stats_reset_after_load_by_default(self):
+        stats = Counters()
+        scheme = make_scheme("naive", stats)
+        W.apply_workload(scheme, [], initial_payloads=range(50))
+        assert stats.relabels == 0
+
+    def test_stats_kept_when_requested(self):
+        stats = Counters()
+        scheme = make_scheme("naive", stats)
+        W.apply_workload(scheme, [], initial_payloads=range(50),
+                         reset_stats_after_load=False)
+        assert stats.relabels == 50
+
+    def test_result_metrics(self):
+        scheme = make_scheme("naive")
+        result = W.apply_workload(scheme,
+                                  W.uniform_inserts(50, seed=10))
+        assert result.relabels_per_insert > 0
+        assert result.label_bits > 0
+        assert result.scheme_name == "naive"
+
+    def test_unknown_operation_rejected(self):
+        scheme = make_scheme("naive")
+        with pytest.raises(ValueError):
+            W.apply_workload(scheme, [W.Operation("explode", 0)])
+
+    def test_out_of_range_position_rejected(self):
+        scheme = make_scheme("naive")
+        with pytest.raises(IndexError):
+            W.apply_workload(scheme, [W.Operation(W.INSERT_AFTER, 99)])

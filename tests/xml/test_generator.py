@@ -1,0 +1,93 @@
+"""Synthetic document generators: determinism and shape guarantees."""
+
+import pytest
+
+from repro.xml.generator import (book_document, deep_document,
+                                 random_document, wide_document, xmark_like)
+from repro.xml.serializer import serialize
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("factory", [
+        lambda seed: book_document(3, 2, seed=seed),
+        lambda seed: xmark_like(10, 5, 4, seed=seed),
+        lambda seed: random_document(50, seed=seed),
+    ])
+    def test_same_seed_same_document(self, factory):
+        assert serialize(factory(7)) == serialize(factory(7))
+
+    def test_different_seeds_differ(self):
+        assert serialize(xmark_like(10, 5, 4, seed=1)) != \
+            serialize(xmark_like(10, 5, 4, seed=2))
+
+
+class TestBookDocument:
+    def test_figure1_shape(self):
+        document = book_document(1, 0)
+        tags = [element.tag for element in document.iter_elements()]
+        assert tags == ["book", "chapter", "title", "title"]
+
+    def test_chapter_count(self):
+        document = book_document(5, 2)
+        assert len(list(document.find_all("chapter"))) == 5
+        assert len(list(document.find_all("section"))) == 10
+
+
+class TestXmark:
+    def test_counts(self):
+        document = xmark_like(n_items=25, n_people=10, n_auctions=7,
+                              seed=1)
+        assert len(list(document.find_all("item"))) == 25
+        assert len(list(document.find_all("person"))) == 10
+        assert len(list(document.find_all("open_auction"))) == 7
+
+    def test_top_level_shape(self):
+        document = xmark_like(5, 3, 2, seed=0)
+        top = [element.tag for element in
+               document.root.child_elements()]
+        assert top == ["regions", "people", "open_auctions"]
+
+    def test_itemrefs_point_at_items(self):
+        document = xmark_like(10, 5, 6, seed=2)
+        item_ids = {element.attributes["id"]
+                    for element in document.find_all("item")}
+        for ref in document.find_all("itemref"):
+            assert ref.attributes["item"] in item_ids
+
+
+class TestRandomDocument:
+    def test_element_count(self):
+        document = random_document(n_elements=123, seed=5)
+        assert document.count_elements() == 123
+
+    def test_depth_bound(self):
+        document = random_document(n_elements=300, max_depth=4, seed=6)
+        assert max(element.depth()
+                   for element in document.iter_elements()) <= 4
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            random_document(n_elements=0)
+
+
+class TestDegenerateShapes:
+    def test_deep_document(self):
+        document = deep_document(10)
+        depths = [element.depth()
+                  for element in document.iter_elements()]
+        assert max(depths) == 9
+        assert document.count_elements() == 10
+
+    def test_deep_rejects_zero(self):
+        with pytest.raises(ValueError):
+            deep_document(0)
+
+    def test_wide_document(self):
+        document = wide_document(40)
+        assert len(list(document.root.child_elements())) == 40
+        assert max(element.depth()
+                   for element in document.iter_elements()) == 1
+
+    def test_wide_empty(self):
+        document = wide_document(0)
+        assert document.count_elements() == 1

@@ -1,0 +1,126 @@
+"""Ordered DOM: navigation, editing, token stream."""
+
+import pytest
+
+from repro.xml.model import (XMLDocument, XMLElement, XMLTextNode,
+                             build_document)
+from repro.xml.parser import parse
+from repro.xml.tokens import EndTag, StartTag, Text
+
+
+@pytest.fixture()
+def sample():
+    return parse("<r><a>one</a><b><c/><c/></b><a/></r>")
+
+
+class TestNavigation:
+    def test_iter_elements_document_order(self, sample):
+        tags = [element.tag for element in sample.iter_elements()]
+        assert tags == ["r", "a", "b", "c", "c", "a"]
+
+    def test_iter_nodes_includes_text(self, sample):
+        kinds = [type(node).__name__ for node in sample.iter_nodes()]
+        assert "XMLTextNode" in kinds
+
+    def test_find_all(self, sample):
+        assert len(list(sample.find_all("c"))) == 2
+        assert len(list(sample.find_all("a"))) == 2
+        assert list(sample.find_all("zzz")) == []
+
+    def test_child_elements_skip_text(self, sample):
+        first_a = next(sample.find_all("a"))
+        assert list(first_a.child_elements()) == []
+        assert len(first_a.children) == 1  # the text node
+
+    def test_ancestors(self, sample):
+        c = next(sample.find_all("c"))
+        assert [element.tag for element in c.ancestors()] == ["b", "r"]
+
+    def test_depth(self, sample):
+        assert sample.root.depth() == 0
+        assert next(sample.find_all("c")).depth() == 2
+
+    def test_root_via_parent_chain(self, sample):
+        c = next(sample.find_all("c"))
+        assert c.root() is sample.root
+
+    def test_is_ancestor_of(self, sample):
+        b = next(sample.find_all("b"))
+        c = next(sample.find_all("c"))
+        assert b.is_ancestor_of(c)
+        assert sample.root.is_ancestor_of(c)
+        assert not c.is_ancestor_of(b)
+        assert not b.is_ancestor_of(b)  # strict
+
+    def test_text_content(self, sample):
+        first_a = next(sample.find_all("a"))
+        assert first_a.text_content() == "one"
+        assert sample.root.text_content() == "one"
+
+    def test_counts(self, sample):
+        assert sample.count_elements() == 6
+        assert sample.count_nodes() == 7
+
+
+class TestEditing:
+    def test_append_child(self):
+        root = XMLElement("root")
+        child = XMLElement("child")
+        root.append_child(child)
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_insert_child_position(self):
+        root = XMLElement("root")
+        first = root.append_child(XMLElement("first"))
+        last = root.append_child(XMLElement("last"))
+        middle = XMLElement("middle")
+        root.insert_child(1, middle)
+        assert [c.tag for c in root.child_elements()] == \
+            ["first", "middle", "last"]
+        assert root.child_index(middle) == 1
+
+    def test_remove_child(self):
+        root = XMLElement("root")
+        child = root.append_child(XMLElement("child"))
+        root.remove_child(child)
+        assert root.children == []
+        assert child.parent is None
+
+
+class TestTokenStream:
+    def test_roundtrip_through_builder(self, sample):
+        rebuilt = build_document(sample.tokens())
+        assert [e.tag for e in rebuilt.iter_elements()] == \
+            [e.tag for e in sample.iter_elements()]
+
+    def test_token_order(self):
+        document = parse("<a><b>t</b></a>")
+        tokens = list(document.tokens())
+        assert tokens == [StartTag("a"), StartTag("b"), Text("t"),
+                          EndTag("b"), EndTag("a")]
+
+    def test_attributes_preserved(self):
+        document = parse('<a k="v"/>')
+        (start, _) = document.tokens()
+        assert start.attributes == (("k", "v"),)
+
+    def test_paper_token_list_length(self):
+        """n elements -> 2n tag tokens plus one per text section (§2)."""
+        document = parse("<a><b>x</b><c/></a>")
+        tokens = list(document.tokens())
+        assert len(tokens) == 2 * 3 + 1
+
+
+class TestDocumentConstruction:
+    def test_explicit_document(self):
+        root = XMLElement("solo")
+        document = XMLDocument(root)
+        assert document.count_elements() == 1
+
+    def test_text_node_parents(self):
+        root = XMLElement("r")
+        text = XMLTextNode("data")
+        root.append_child(text)
+        assert text.parent is root
+        assert not text.is_element

@@ -1,0 +1,149 @@
+"""The from-scratch XML tokenizer and parser."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xml.parser import decode_entities, parse, tokenize
+from repro.xml.tokens import Comment, EndTag, Instruction, StartTag, Text
+
+
+class TestTokenizer:
+    def test_simple_element(self):
+        tokens = list(tokenize("<a>hi</a>"))
+        assert tokens == [StartTag("a"), Text("hi"), EndTag("a")]
+
+    def test_attributes(self):
+        (start, end) = tokenize('<a x="1" y=\'two\'></a>')
+        assert start.attributes == (("x", "1"), ("y", "two"))
+        assert start.attribute("x") == "1"
+        assert start.attribute("missing", "dflt") == "dflt"
+
+    def test_self_closing_emits_both_tags(self):
+        tokens = list(tokenize("<a/>"))
+        assert tokens == [StartTag("a"), EndTag("a")]
+
+    def test_self_closing_with_attributes(self):
+        tokens = list(tokenize('<a k="v"/>'))
+        assert tokens[0].attributes == (("k", "v"),)
+        assert isinstance(tokens[1], EndTag)
+
+    def test_whitespace_in_tags(self):
+        tokens = list(tokenize('<a  x="1"   ></a  >'))
+        assert tokens[0] == StartTag("a", (("x", "1"),))
+
+    def test_entities_in_text(self):
+        (_, text, _) = tokenize("<a>&lt;&amp;&gt;&quot;&apos;</a>")
+        assert text == Text("<&>\"'")
+
+    def test_numeric_entities(self):
+        (_, text, _) = tokenize("<a>&#65;&#x42;</a>")
+        assert text == Text("AB")
+
+    def test_entities_in_attributes(self):
+        (start, _) = tokenize('<a v="x&amp;y"></a>')
+        assert start.attribute("v") == "x&y"
+
+    def test_cdata(self):
+        (_, text, _) = tokenize("<a><![CDATA[<raw>&amp;]]></a>")
+        assert text == Text("<raw>&amp;")
+
+    def test_comment(self):
+        tokens = list(tokenize("<a><!-- note --></a>"))
+        assert Comment(" note ") in tokens
+
+    def test_processing_instruction(self):
+        tokens = list(tokenize("<a><?php echo 1 ?></a>"))
+        assert Instruction("php", "echo 1") in tokens
+
+    def test_xml_declaration_consumed(self):
+        tokens = list(tokenize('<?xml version="1.0"?><a/>'))
+        assert tokens == [StartTag("a"), EndTag("a")]
+
+    def test_doctype_skipped(self):
+        tokens = list(tokenize('<!DOCTYPE html [<!ENTITY x "y">]><a/>'))
+        assert tokens == [StartTag("a"), EndTag("a")]
+
+    def test_names_with_punctuation(self):
+        tokens = list(tokenize("<ns:tag-1.2_x/>"))
+        assert tokens[0].name == "ns:tag-1.2_x"
+
+
+class TestTokenizerErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("<a><!-- oops", "comment"),
+        ("<a><![CDATA[oops", "CDATA"),
+        ("<!DOCTYPE oops", "DOCTYPE"),
+        ("<a><?pi oops", "instruction"),
+        ("<a x=1></a>", "quoted"),
+        ('<a x="1" x="2"></a>', "duplicate"),
+        ('<a x="oops></a>', "unterminated"),
+        ("<a>&nosuch;</a>", "entity"),
+        ("<a>&unterminated</a>", "entity"),
+        ("< a></a>", "name"),
+        ("</a >x</>", "unexpected"),
+    ])
+    def test_rejects(self, source, fragment):
+        with pytest.raises(XMLSyntaxError):
+            list(tokenize(source)) and parse(source)
+
+    def test_error_carries_position(self):
+        try:
+            list(tokenize("<a>\n  <b x=1/>\n</a>"))
+        except XMLSyntaxError as error:
+            assert error.line == 2
+            assert error.column is not None
+        else:
+            pytest.fail("expected XMLSyntaxError")
+
+
+class TestDecodeEntities:
+    def test_plain_passthrough(self):
+        assert decode_entities("plain text") == "plain text"
+
+    def test_mixed(self):
+        assert decode_entities("a&lt;b&#33;") == "a<b!"
+
+    def test_unknown_raises(self):
+        with pytest.raises(XMLSyntaxError):
+            decode_entities("&bogus;")
+
+
+class TestParse:
+    def test_structure(self):
+        document = parse("<r><a>1</a><b><c/></b></r>")
+        assert document.root.tag == "r"
+        tags = [element.tag for element in document.iter_elements()]
+        assert tags == ["r", "a", "b", "c"]
+
+    def test_mismatched_tags(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b></a></b>")
+
+    def test_unclosed(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a><b>")
+
+    def test_second_root(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/><b/>")
+
+    def test_stray_end_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/></b>")
+
+    def test_text_outside_root(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<a/>trailing")
+
+    def test_whitespace_outside_root_ok(self):
+        document = parse("  <a/>  \n")
+        assert document.root.tag == "a"
+
+    def test_no_root(self):
+        with pytest.raises(XMLSyntaxError):
+            parse("<!-- only a comment -->")
+
+    def test_prolog_and_epilog_misc(self):
+        document = parse("<?pi pre?><a/><!--post-->")
+        assert len(document.prolog) == 1
+        assert len(document.epilog) == 1

@@ -1,0 +1,90 @@
+"""Round-trip and stdlib-parity properties of the XML substrate.
+
+The library never uses stdlib XML internally; here ElementTree serves as
+an independent oracle for the parser on generated documents.
+"""
+
+import xml.etree.ElementTree as ET
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.xml.generator import random_document, xmark_like
+from repro.xml.model import XMLElement, XMLTextNode
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+_TAGS = st.sampled_from(["a", "b", "item", "x1", "ns:t", "w-2"])
+_TEXT = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=20)
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = XMLElement(draw(_TAGS))
+    for name in draw(st.lists(st.sampled_from(["k", "v", "id"]),
+                              unique=True, max_size=2)):
+        element.attributes[name] = draw(_TEXT)
+    if depth < 3:
+        for child in draw(st.lists(elements(depth=depth + 1), max_size=3)):
+            element.append_child(child)
+    text = draw(_TEXT)
+    if text:
+        element.append_child(XMLTextNode(text))
+    return element
+
+
+def _shape(element: XMLElement):
+    return (element.tag, tuple(sorted(element.attributes.items())),
+            element.text_content(),
+            tuple(_shape(child) for child in element.child_elements()))
+
+
+class TestRoundTrip:
+    @given(root=elements())
+    @_SETTINGS
+    def test_serialize_parse_preserves_shape(self, root):
+        from repro.xml.model import XMLDocument
+        document = XMLDocument(root)
+        reparsed = parse(serialize(document))
+        assert _shape(reparsed.root) == _shape(document.root)
+
+    @given(root=elements())
+    @_SETTINGS
+    def test_double_roundtrip_is_fixed_point(self, root):
+        from repro.xml.model import XMLDocument
+        once = serialize(XMLDocument(root))
+        twice = serialize(parse(once))
+        assert once == twice
+
+
+class TestStdlibParity:
+    @given(seed=st.integers(0, 10 ** 6))
+    @_SETTINGS
+    def test_random_documents_agree_with_elementtree(self, seed):
+        document = random_document(n_elements=60, seed=seed)
+        text = serialize(document)
+        ours = parse(text)
+        theirs = ET.fromstring(text)
+        assert [e.tag for e in ours.iter_elements()] == \
+            [e.tag for e in theirs.iter()]
+
+    def test_xmark_attributes_agree(self):
+        text = serialize(xmark_like(15, 8, 5, seed=3))
+        ours = parse(text)
+        theirs = ET.fromstring(text)
+        our_items = {e.attributes.get("id"): e.attributes
+                     for e in ours.find_all("item")}
+        their_items = {e.attrib.get("id"): dict(e.attrib)
+                       for e in theirs.iter("item")}
+        assert our_items == their_items
+
+    def test_text_content_agrees(self):
+        text = serialize(xmark_like(10, 5, 3, seed=4))
+        ours = parse(text)
+        theirs = ET.fromstring(text)
+        assert ours.root.text_content() == "".join(theirs.itertext())

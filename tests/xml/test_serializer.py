@@ -1,0 +1,73 @@
+"""Serializer: escaping, lossless round-trips, pretty printing."""
+
+from repro.xml.model import XMLElement, XMLTextNode
+from repro.xml.parser import parse
+from repro.xml.serializer import (escape_attribute, escape_text, pretty,
+                                  serialize)
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes_quotes(self):
+        assert escape_attribute('say "hi" & <go>') == \
+            "say &quot;hi&quot; &amp; &lt;go&gt;"
+
+    def test_apostrophes_survive(self):
+        assert escape_text("it's") == "it's"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(parse("<a></a>")) == "<a/>"
+
+    def test_nested(self):
+        source = "<a><b>text</b><c/></a>"
+        assert serialize(parse(source)) == source
+
+    def test_attributes_double_quoted(self):
+        assert serialize(parse("<a k='v'/>")) == '<a k="v"/>'
+
+    def test_declaration_flag(self):
+        out = serialize(parse("<a/>"), declaration=True)
+        assert out.startswith("<?xml")
+
+    def test_comment_and_pi(self):
+        source = "<a><!--c--><?pi data?></a>"
+        assert serialize(parse(source)) == source
+
+    def test_escaped_content_roundtrip(self):
+        source = '<a k="&quot;&amp;">x &lt; y</a>'
+        document = parse(source)
+        again = parse(serialize(document))
+        assert again.root.attributes == document.root.attributes
+        assert again.root.text_content() == document.root.text_content()
+
+    def test_serialize_subtree(self):
+        document = parse("<a><b>inner</b></a>")
+        b = next(document.find_all("b"))
+        assert serialize(b) == "<b>inner</b>"
+
+
+class TestPretty:
+    def test_indents_nested_elements(self):
+        out = pretty(parse("<a><b><c/></b></a>"))
+        lines = out.splitlines()
+        assert lines[0] == "<a>"
+        assert lines[1].startswith("  <b>")
+        assert lines[2].startswith("    <c/>")
+
+    def test_inline_text_elements(self):
+        out = pretty(parse("<a><b>word</b></a>"))
+        assert "<b>word</b>" in out
+
+    def test_custom_indent(self):
+        out = pretty(parse("<a><b/></a>"), indent="\t")
+        assert "\t<b/>" in out
+
+    def test_pretty_parses_back(self):
+        document = parse("<a><b><c/><d>t</d></b></a>")
+        reparsed = parse(pretty(document))
+        assert [e.tag for e in reparsed.iter_elements()] == \
+            [e.tag for e in document.iter_elements()]
