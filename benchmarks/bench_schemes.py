@@ -1,11 +1,18 @@
 """E8 — scheme comparison: L-Tree vs the baselines (paper §1/§5).
 
 Benchmarks every registered scheme on the uniform and hotspot workloads
-and asserts the paper's qualitative ordering inside the runs.
+and asserts the paper's qualitative ordering inside the runs.  The
+engine head-to-head section pits the array-backed ``ltree-compact``
+engine against the node-object ``ltree`` on identical workloads, so the
+compact engine's speedup (or any regression) is a tracked number in the
+benchmark report, not a claim.
 """
 
 import pytest
 
+from repro.core.compact import CompactLTree
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
 from repro.core.stats import Counters
 from repro.order.registry import SCHEMES, make_scheme
 from repro.workloads import updates as W
@@ -45,6 +52,61 @@ def test_paper_ordering_uniform(benchmark):
         assert outcomes["ltree"].relabels_per_insert < \
             outcomes["naive"].relabels_per_insert / 10
         return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+ENGINE_PARAMS = LTreeParams(f=16, s=4)
+ENGINES = {"ltree": LTree, "ltree-compact": CompactLTree}
+N_BULK = 100_000
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engine_bulk_load(benchmark, engine):
+    """Head-to-head: bulk-loading N_BULK leaves on each engine."""
+    cls = ENGINES[engine]
+
+    def run():
+        tree = cls(ENGINE_PARAMS)
+        tree.bulk_load(range(N_BULK))
+        return tree
+
+    tree = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert tree.n_leaves == N_BULK
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+def test_engine_random_inserts(benchmark, engine):
+    """Head-to-head: the uniform insert workload on each engine."""
+    def run():
+        stats = Counters()
+        scheme = make_scheme(engine, stats)
+        return W.apply_workload(scheme, W.uniform_inserts(N_OPS, seed=42))
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["relabels_per_insert"] = round(
+        result.relabels_per_insert, 2)
+
+
+def test_engines_label_equivalent(benchmark):
+    """The two engines stay byte-identical on the benchmark workload.
+
+    This is the inline guard that the head-to-head numbers above compare
+    equal work: same labels, same counter totals, only the engine layout
+    differs.  (The full harness is tests/core/test_compact_differential.)
+    """
+    def run():
+        labels = {}
+        counters = {}
+        for name in ("ltree", "ltree-compact"):
+            stats = Counters()
+            scheme = make_scheme(name, stats)
+            W.apply_workload(scheme, W.mixed_workload(N_OPS, seed=3))
+            labels[name] = scheme.labels()
+            counters[name] = stats.as_dict()
+        assert labels["ltree"] == labels["ltree-compact"]
+        assert counters["ltree"] == counters["ltree-compact"]
+        return labels
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 

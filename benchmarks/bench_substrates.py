@@ -8,12 +8,17 @@ import random
 
 import pytest
 
+from repro.core.compact import CompactLTree
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
 from repro.storage.btree import CountedBTree
 from repro.xml.generator import xmark_like
 from repro.xml.parser import parse, tokenize
 from repro.xml.serializer import serialize
 
 N_KEYS = 10_000
+
+LTREE_ENGINES = {"node": LTree, "compact": CompactLTree}
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +62,40 @@ def test_btree_rank(benchmark, loaded_btree):
 def test_btree_range_count(benchmark, loaded_btree):
     count = benchmark(loaded_btree.count_range, 1000, 9000)
     assert count == 8000
+
+
+@pytest.mark.parametrize("engine", sorted(LTREE_ENGINES))
+def test_ltree_engine_bulk_load(benchmark, engine):
+    """L-Tree substrate: bulk-loading N_KEYS leaves per engine layout."""
+    cls = LTREE_ENGINES[engine]
+    params = LTreeParams(f=16, s=4)
+
+    def run():
+        tree = cls(params)
+        tree.bulk_load(range(N_KEYS))
+        return tree
+
+    tree = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert tree.n_leaves == N_KEYS
+
+
+@pytest.mark.parametrize("engine", sorted(LTREE_ENGINES))
+def test_ltree_engine_append_runs(benchmark, engine):
+    """L-Tree substrate: batch run-inserts (§4.1) per engine layout."""
+    cls = LTREE_ENGINES[engine]
+    params = LTreeParams(f=16, s=4)
+
+    def run():
+        tree = cls(params)
+        leaves = tree.bulk_load(range(2))
+        anchor = leaves[-1]
+        for batch in range(200):
+            anchor = tree.insert_run_after(
+                anchor, [(batch, index) for index in range(16)])[-1]
+        return tree
+
+    tree = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert tree.n_leaves == 2 + 200 * 16
 
 
 def test_xml_parse(benchmark, xmark_medium):

@@ -4,12 +4,15 @@ Public surface:
 
 * :class:`~repro.core.params.LTreeParams` — validated (f, s, base) triple;
 * :class:`~repro.core.ltree.LTree` — materialized dynamic labeling tree;
+* :class:`~repro.core.compact.CompactLTree` — the same algorithms on a
+  struct-of-arrays engine (flat int arrays, ``int`` handles);
 * :class:`~repro.core.virtual.VirtualLTree` — label-only variant (§4.2);
 * :mod:`~repro.core.cost` — the paper's closed-form cost model (§3.1/4.1);
 * :mod:`~repro.core.tuning` — parameter optimization (§3.2);
 * :class:`~repro.core.stats.Counters` — the node-touch cost accounting.
 """
 
+from repro.core.compact import CompactLTree
 from repro.core.ltree import LTree
 from repro.core.node import LTreeNode
 from repro.core.params import (DEFAULT_PARAMS, FIGURE2_PARAMS, LTreeParams,
@@ -21,6 +24,7 @@ from repro.core.virtual import VirtualLTree
 __all__ = [
     "LTree",
     "LTreeNode",
+    "CompactLTree",
     "LTreeParams",
     "VirtualLTree",
     "DEFAULT_PARAMS",

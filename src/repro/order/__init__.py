@@ -3,6 +3,7 @@ maintenance (paper §1/§5), with the L-Tree and four baseline schemes."""
 
 from repro.order.base import LinkedItem, LinkedListScheme, OrderedLabeling
 from repro.order.bender import BenderLabeling
+from repro.order.compact_list import CompactListLabeling
 from repro.order.gap import GapLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.naive import NaiveLabeling
@@ -20,6 +21,7 @@ __all__ = [
     "PrefixLabeling",
     "TwoLevelLabeling",
     "LTreeListLabeling",
+    "CompactListLabeling",
     "SCHEMES",
     "make_scheme",
 ]

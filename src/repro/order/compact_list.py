@@ -1,0 +1,88 @@
+"""Compact (array-backed) L-Tree as an ordered list-labeling scheme.
+
+Adapts :class:`repro.core.compact.CompactLTree` to the
+:class:`repro.order.base.OrderedLabeling` interface, mirroring
+:class:`repro.order.ltree_list.LTreeListLabeling` over the struct-of-arrays
+engine.  Handles are the engine's ``int`` slot ids; labels are their
+(dynamic) ``num`` values.  The two adapters are label- and cost-equivalent
+(see ``tests/core/test_compact_differential.py``), so benchmarks comparing
+``ltree`` and ``ltree-compact`` measure the engine layout alone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core.compact import CompactLTree
+from repro.core.params import DEFAULT_PARAMS, LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.order.base import OrderedLabeling
+
+
+class CompactListLabeling(OrderedLabeling):
+    """Order maintenance backed by the array-backed L-Tree engine."""
+
+    name = "ltree-compact"
+
+    def __init__(self, params: LTreeParams = DEFAULT_PARAMS,
+                 stats: Counters = NULL_COUNTERS):
+        super().__init__(stats)
+        self.params = params
+        self.tree = CompactLTree(params, stats)
+        self._live = 0
+
+    def bulk_load(self, payloads: Sequence[Any]) -> list[int]:
+        leaves = self.tree.bulk_load(payloads)
+        self._live = len(leaves)
+        return leaves
+
+    def insert_after(self, handle: int, payload: Any) -> int:
+        self._live += 1
+        return self.tree.insert_after(handle, payload)
+
+    def insert_before(self, handle: int, payload: Any) -> int:
+        self._live += 1
+        return self.tree.insert_before(handle, payload)
+
+    def append(self, payload: Any) -> int:
+        self._live += 1
+        return self.tree.append(payload)
+
+    def prepend(self, payload: Any) -> int:
+        self._live += 1
+        return self.tree.prepend(payload)
+
+    def insert_run_after(self, handle: int,
+                         payloads: Sequence[Any]) -> list[int]:
+        """Native batch insertion (paper §4.1): one rebalance per run."""
+        leaves = self.tree.insert_run_after(handle, payloads)
+        self._live += len(leaves)
+        return leaves
+
+    def insert_run_before(self, handle: int,
+                          payloads: Sequence[Any]) -> list[int]:
+        """Native batch insertion before ``handle`` (paper §4.1)."""
+        leaves = self.tree.insert_run_before(handle, payloads)
+        self._live += len(leaves)
+        return leaves
+
+    def delete(self, handle: int) -> None:
+        """Mark-only deletion (paper §2.3) — never relabels."""
+        if self.tree.is_deleted(handle):
+            raise ValueError("handle refers to a deleted item")
+        self.tree.mark_deleted(handle)
+        self._live -= 1
+
+    def label(self, handle: int) -> int:
+        if self.tree.is_deleted(handle):
+            raise ValueError("handle refers to a deleted item")
+        return self.tree.num(handle)
+
+    def payload(self, handle: int) -> Any:
+        return self.tree.payload(handle)
+
+    def handles(self) -> Iterator[int]:
+        return self.tree.iter_leaves(include_deleted=False)
+
+    def __len__(self) -> int:
+        return self._live

@@ -13,6 +13,7 @@ from repro.core.params import LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.order.base import OrderedLabeling
 from repro.order.bender import BenderLabeling
+from repro.order.compact_list import CompactListLabeling
 from repro.order.gap import GapLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.naive import NaiveLabeling
@@ -28,6 +29,10 @@ SCHEMES: dict[str, SchemeFactory] = {
         LTreeParams(f=16, s=4), stats=stats),
     "ltree-f4s2": lambda stats=NULL_COUNTERS: LTreeListLabeling(
         LTreeParams(f=4, s=2), stats=stats),
+    # the same algorithms on the array-backed engine (label-equivalent to
+    # "ltree"; see tests/core/test_compact_differential.py)
+    "ltree-compact": lambda stats=NULL_COUNTERS: CompactListLabeling(
+        LTreeParams(f=16, s=4), stats=stats),
     # baselines
     "naive": lambda stats=NULL_COUNTERS: NaiveLabeling(stats=stats),
     "gap": lambda stats=NULL_COUNTERS: GapLabeling(gap=32, stats=stats),

@@ -1,0 +1,190 @@
+"""Unit tests for the array-backed engine in isolation.
+
+The differential harness (``test_compact_differential.py``) proves
+equivalence to the reference tree; these tests pin down the engine's own
+API surface — int handles, accessors, slot recycling — and the behaviors
+a caller relies on without ever touching the reference implementation.
+"""
+
+import pytest
+
+from repro.core.compact import CompactLTree
+from repro.core.params import FIGURE2_PARAMS, LTreeParams
+from repro.core.stats import Counters
+from repro.errors import InvariantViolation
+
+FIGURE2_TOKENS = "A B C /C /B D /D /A".split()
+
+
+class TestBulkLoad:
+    def test_figure2_labels(self):
+        tree = CompactLTree(FIGURE2_PARAMS)
+        leaves = tree.bulk_load(FIGURE2_TOKENS)
+        assert [tree.num(leaf) for leaf in leaves] == \
+            [0, 1, 3, 4, 9, 10, 12, 13]
+        tree.validate()
+
+    def test_payloads_in_order(self):
+        tree = CompactLTree(LTreeParams(f=8, s=2))
+        tree.bulk_load("abcdef")
+        assert tree.payloads() == list("abcdef")
+
+    def test_empty_load(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        assert tree.bulk_load([]) == []
+        assert tree.n_leaves == 0
+        assert tree.labels() == []
+        assert tree.first_leaf() is None
+        assert tree.last_leaf() is None
+        assert tree.max_label() == -1
+
+    def test_reload_reclaims_all_slots(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(range(100))
+        first_total = tree.allocated_slots
+        tree.bulk_load(range(100))
+        assert tree.allocated_slots == first_total
+
+
+class TestInsertions:
+    def test_append_prepend_into_empty(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        tree.bulk_load([])
+        tail = tree.append("tail")
+        head = tree.prepend("head")
+        assert tree.payloads() == ["head", "tail"]
+        assert tree.num(head) < tree.num(tail)
+        tree.validate()
+
+    def test_insert_anchor_must_be_leaf(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(range(4))
+        with pytest.raises(ValueError):
+            tree.insert_after(tree.root, "x")
+
+    def test_labels_stay_sorted_under_pressure(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        handles = list(tree.bulk_load(range(2)))
+        anchor = handles[0]
+        for index in range(200):
+            anchor = tree.insert_after(anchor, index)
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        assert len(set(labels)) == len(labels)
+        tree.validate(check_occupancy=True)
+
+    def test_run_insert_shares_ancestor_walk(self):
+        stats = Counters()
+        tree = CompactLTree(LTreeParams(f=8, s=2), stats)
+        handles = list(tree.bulk_load(["a", "z"]))
+        stats.reset()
+        run = tree.insert_run_after(handles[0], ["b", "c", "d"])
+        assert tree.payloads() == ["a", "b", "c", "d", "z"]
+        assert len(run) == 3
+        assert stats.count_updates <= 2 * tree.height
+
+    def test_empty_run_is_noop(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        handles = list(tree.bulk_load(range(2)))
+        assert tree.insert_run_after(handles[0], []) == []
+        assert tree.n_leaves == 2
+
+
+class TestNavigation:
+    def test_find_leaf_round_trip(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        leaves = tree.bulk_load(range(50))
+        for leaf in leaves:
+            assert tree.find_leaf(tree.num(leaf)) == leaf
+        assert tree.find_leaf(-1) is None
+        assert tree.find_leaf(tree.label_space + 7) is None
+
+    def test_leaf_at_matches_document_order(self):
+        tree = CompactLTree(LTreeParams(f=6, s=3))
+        tree.bulk_load(range(40))
+        in_order = list(tree.iter_leaves())
+        for index, leaf in enumerate(in_order):
+            assert tree.leaf_at(index) == leaf
+        with pytest.raises(IndexError):
+            tree.leaf_at(40)
+        with pytest.raises(IndexError):
+            tree.leaf_at(-1)
+
+    def test_first_last_and_max_label(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        leaves = tree.bulk_load(range(9))
+        assert tree.first_leaf() == leaves[0]
+        assert tree.last_leaf() == leaves[-1]
+        assert tree.max_label() == tree.num(leaves[-1])
+
+
+class TestDeletion:
+    def test_mark_only_never_relabels(self):
+        stats = Counters()
+        tree = CompactLTree(LTreeParams(f=8, s=2), stats)
+        leaves = list(tree.bulk_load(range(10)))
+        stats.reset()
+        tree.mark_deleted(leaves[4])
+        assert stats.relabels == 0
+        assert tree.is_deleted(leaves[4])
+        assert tree.tombstone_count() == 1
+        assert tree.labels(include_deleted=False) == \
+            [tree.num(leaf) for leaf in leaves if leaf != leaves[4]]
+
+    def test_internal_nodes_cannot_be_deleted(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(range(4))
+        with pytest.raises(ValueError):
+            tree.mark_deleted(tree.root)
+
+    def test_compact_drops_tombstones(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        leaves = list(tree.bulk_load(range(10)))
+        for leaf in leaves[::2]:
+            tree.mark_deleted(leaf)
+        mapping = tree.compact()
+        assert sorted(mapping) == sorted(leaves[1::2])
+        assert tree.n_leaves == 5
+        assert tree.tombstone_count() == 0
+        assert tree.payloads() == [1, 3, 5, 7, 9]
+        tree.validate()
+
+    def test_compact_with_new_params(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(range(20))
+        tree.compact(LTreeParams(f=8, s=2))
+        assert tree.params.f == 8
+        assert tree.payloads() == list(range(20))
+        tree.validate()
+
+
+class TestStorage:
+    def test_splits_recycle_slots(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        handles = list(tree.bulk_load(range(2)))
+        anchor = handles[0]
+        for index in range(500):
+            anchor = tree.insert_after(anchor, index)
+        reachable = 1 + sum(1 for _ in self._walk(tree))
+        assert tree.allocated_slots - tree.free_slots == reachable
+        # the arena stays proportional to the tree, not to split churn
+        assert tree.allocated_slots < 4 * tree.n_leaves
+
+    @staticmethod
+    def _walk(tree):
+        stack = list(tree.children_of(tree.root))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(tree.children_of(node))
+
+    def test_validate_catches_corruption(self):
+        tree = CompactLTree(LTreeParams(f=4, s=2))
+        leaves = tree.bulk_load(range(8))
+        tree._num[leaves[3]] += 1
+        with pytest.raises(InvariantViolation):
+            tree.validate()
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            CompactLTree(LTreeParams(f=4, s=2), violator_policy="middle")

@@ -1,0 +1,238 @@
+"""Differential harness: CompactLTree against the reference LTree.
+
+Two layers of evidence that the array-backed engine is a faithful twin of
+the node-object tree:
+
+* a hypothesis rule-based machine (mirroring ``test_stateful.py``) drives
+  both engines through identical randomized insert_after / insert_before /
+  run-insert / delete / compact sequences and, after *every* step, checks
+  identical label sequences, identical counter totals (count updates,
+  relabels, splits, inserts, deletes) and both engines' structural
+  invariants;
+* a deterministic seeded sweep pushes >= 10k operations through every
+  ``(f, s)`` parameter set under both violator policies, comparing labels
+  periodically and counters at the end.
+
+Any divergence — one label off, one relabel more — fails loudly, so the
+compact engine cannot silently drift from the paper's algorithms.
+"""
+
+import random
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (RuleBasedStateMachine, initialize,
+                                 invariant, rule)
+
+from repro.core.compact import CompactLTree
+from repro.core.ltree import LTree
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+
+PARAM_SETS = [(4, 2), (8, 2), (6, 3), (16, 4)]
+POLICIES = ["highest", "lowest"]
+
+#: counters that must stay pairwise identical between the two engines
+COUNTER_FIELDS = ("count_updates", "relabels", "splits", "inserts",
+                  "deletes")
+
+
+class DifferentialMachine(RuleBasedStateMachine):
+    """Drive both engines in lockstep; every divergence is a failure."""
+
+    def __init__(self):
+        super().__init__()
+        self.counter = 0
+
+    @initialize(f_s=st.sampled_from(PARAM_SETS),
+                policy=st.sampled_from(POLICIES),
+                initial=st.integers(1, 8))
+    def setup(self, f_s, policy, initial):
+        f, s = f_s
+        params = LTreeParams(f=f, s=s)
+        self.ref_stats = Counters()
+        self.compact_stats = Counters()
+        self.ref = LTree(params, self.ref_stats, violator_policy=policy)
+        self.compact = CompactLTree(params, self.compact_stats,
+                                    violator_policy=policy)
+        self.ref_handles = list(self.ref.bulk_load(range(initial)))
+        self.compact_handles = list(self.compact.bulk_load(range(initial)))
+
+    def _fresh(self):
+        self.counter += 1
+        return f"item{self.counter}"
+
+    @rule(position=st.integers(0, 10 ** 9), before=st.booleans())
+    def insert(self, position, before):
+        index = position % len(self.ref_handles)
+        payload = self._fresh()
+        if before:
+            ref_leaf = self.ref.insert_before(self.ref_handles[index],
+                                              payload)
+            compact_leaf = self.compact.insert_before(
+                self.compact_handles[index], payload)
+            self.ref_handles.insert(index, ref_leaf)
+            self.compact_handles.insert(index, compact_leaf)
+        else:
+            ref_leaf = self.ref.insert_after(self.ref_handles[index],
+                                             payload)
+            compact_leaf = self.compact.insert_after(
+                self.compact_handles[index], payload)
+            self.ref_handles.insert(index + 1, ref_leaf)
+            self.compact_handles.insert(index + 1, compact_leaf)
+
+    @rule(position=st.integers(0, 10 ** 9), length=st.integers(1, 20),
+          before=st.booleans())
+    def insert_run(self, position, length, before):
+        index = position % len(self.ref_handles)
+        payloads = [self._fresh() for _ in range(length)]
+        if before:
+            ref_new = self.ref.insert_run_before(self.ref_handles[index],
+                                                 payloads)
+            compact_new = self.compact.insert_run_before(
+                self.compact_handles[index], payloads)
+            self.ref_handles[index:index] = ref_new
+            self.compact_handles[index:index] = compact_new
+        else:
+            ref_new = self.ref.insert_run_after(self.ref_handles[index],
+                                                payloads)
+            compact_new = self.compact.insert_run_after(
+                self.compact_handles[index], payloads)
+            self.ref_handles[index + 1:index + 1] = ref_new
+            self.compact_handles[index + 1:index + 1] = compact_new
+
+    @rule(position=st.integers(0, 10 ** 9))
+    def delete(self, position):
+        live = [index for index, leaf in enumerate(self.ref_handles)
+                if not leaf.deleted]
+        if len(live) <= 1:
+            return
+        index = live[position % len(live)]
+        ref_leaf = self.ref_handles[index]
+        compact_leaf = self.compact_handles[index]
+        assert not self.compact.is_deleted(compact_leaf)
+        self.ref.mark_deleted(ref_leaf)
+        self.compact.mark_deleted(compact_leaf)
+
+    @rule()
+    def compact_vacuum(self):
+        self.ref.compact()
+        self.compact.compact()
+        self.ref_handles = list(self.ref.iter_leaves())
+        self.compact_handles = list(self.compact.iter_leaves())
+
+    @invariant()
+    def labels_identical(self):
+        if not hasattr(self, "ref"):
+            return
+        assert self.ref.labels() == self.compact.labels()
+        assert self.ref.labels(include_deleted=False) == \
+            self.compact.labels(include_deleted=False)
+
+    @invariant()
+    def payloads_identical(self):
+        if not hasattr(self, "ref"):
+            return
+        ref_payloads = [leaf.payload for leaf in self.ref.iter_leaves()]
+        assert ref_payloads == self.compact.payloads()
+
+    @invariant()
+    def counters_identical(self):
+        if not hasattr(self, "ref"):
+            return
+        ref_counts = self.ref_stats.as_dict()
+        compact_counts = self.compact_stats.as_dict()
+        for field in COUNTER_FIELDS:
+            assert ref_counts[field] == compact_counts[field], field
+
+    @invariant()
+    def both_structurally_valid(self):
+        if not hasattr(self, "ref"):
+            return
+        self.ref.validate()
+        self.compact.validate()
+
+    @invariant()
+    def shapes_identical(self):
+        if not hasattr(self, "ref"):
+            return
+        assert self.ref.height == self.compact.height
+        assert self.ref.n_leaves == self.compact.n_leaves
+        assert self.ref.tombstone_count() == self.compact.tombstone_count()
+
+
+DifferentialStatefulTest = DifferentialMachine.TestCase
+DifferentialStatefulTest.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+
+
+#: ops per (f, s, policy) cell of the seeded sweep; 6 cells x 2000 ops
+#: exceeds the 10k-operation bar of the acceptance criteria
+SWEEP_OPS = 2000
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("f,s", [(4, 2), (6, 3), (16, 4)])
+def test_seeded_differential_sweep(f, s, policy):
+    """Thousands of mixed ops per parameter set, byte-identical labels."""
+    params = LTreeParams(f=f, s=s)
+    ref_stats, compact_stats = Counters(), Counters()
+    ref = LTree(params, ref_stats, violator_policy=policy)
+    compact = CompactLTree(params, compact_stats, violator_policy=policy)
+    ref_handles = list(ref.bulk_load(range(3)))
+    compact_handles = list(compact.bulk_load(range(3)))
+    rng = random.Random(f * 1000 + s * 10 + (policy == "lowest"))
+    for step in range(SWEEP_OPS):
+        roll = rng.random()
+        index = rng.randrange(len(ref_handles))
+        if roll < 0.35:
+            ref_handles.insert(
+                index, ref.insert_before(ref_handles[index], step))
+            compact_handles.insert(
+                index, compact.insert_before(compact_handles[index], step))
+        elif roll < 0.7:
+            ref_handles.insert(
+                index + 1, ref.insert_after(ref_handles[index], step))
+            compact_handles.insert(
+                index + 1,
+                compact.insert_after(compact_handles[index], step))
+        elif roll < 0.8:
+            payloads = [(step, k) for k in range(rng.randint(1, 20))]
+            ref_handles[index + 1:index + 1] = \
+                ref.insert_run_after(ref_handles[index], payloads)
+            compact_handles[index + 1:index + 1] = \
+                compact.insert_run_after(compact_handles[index], payloads)
+        elif roll < 0.9:
+            payloads = [(step, k) for k in range(rng.randint(1, 20))]
+            ref_handles[index:index] = \
+                ref.insert_run_before(ref_handles[index], payloads)
+            compact_handles[index:index] = \
+                compact.insert_run_before(compact_handles[index], payloads)
+        elif not ref_handles[index].deleted:
+            ref.mark_deleted(ref_handles[index])
+            compact.mark_deleted(compact_handles[index])
+        if step % 250 == 0:
+            assert ref.labels() == compact.labels(), (f, s, policy, step)
+    assert ref.labels() == compact.labels()
+    assert ref.labels(include_deleted=False) == \
+        compact.labels(include_deleted=False)
+    ref_counts, compact_counts = ref_stats.as_dict(), compact_stats.as_dict()
+    for field in COUNTER_FIELDS:
+        assert ref_counts[field] == compact_counts[field], (f, s, policy,
+                                                            field)
+    ref.validate()
+    compact.validate()
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_bulk_load_labels_identical(policy):
+    """Bulk loading alone yields identical label sequences at any size."""
+    params = LTreeParams(f=8, s=2)
+    ref = LTree(params, violator_policy=policy)
+    compact = CompactLTree(params, violator_policy=policy)
+    for size in (0, 1, 2, 3, 7, 8, 9, 63, 64, 65, 500):
+        ref.bulk_load(range(size))
+        compact.bulk_load(range(size))
+        assert ref.labels() == compact.labels(), size

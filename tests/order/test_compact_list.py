@@ -1,0 +1,122 @@
+"""The compact-engine adapter to the OrderedLabeling interface.
+
+Mirrors ``test_ltree_list.py`` so the two adapters are held to the same
+contract; cross-engine equivalence itself lives in
+``tests/core/test_compact_differential.py``.
+"""
+
+import pytest
+
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.order.compact_list import CompactListLabeling
+from repro.order.ltree_list import LTreeListLabeling
+
+
+class TestAdapter:
+    def test_bulk_and_order(self):
+        scheme = CompactListLabeling(LTreeParams(f=4, s=2))
+        scheme.bulk_load(list("abc"))
+        assert scheme.payloads() == ["a", "b", "c"]
+        scheme.validate()
+
+    def test_labels_are_tree_nums(self):
+        scheme = CompactListLabeling(LTreeParams(f=4, s=2, label_base=3))
+        handles = scheme.bulk_load(list("ABCDEFGH"))
+        assert [scheme.label(handle) for handle in handles] == \
+            [0, 1, 3, 4, 9, 10, 12, 13]
+
+    def test_labels_update_dynamically(self):
+        scheme = CompactListLabeling(LTreeParams(f=4, s=2))
+        handles = scheme.bulk_load(list("ab"))
+        before = scheme.label(handles[1])
+        anchor = handles[0]
+        for index in range(20):
+            anchor = scheme.insert_after(anchor, index)
+        # handle survives relabelings and reports the current label
+        after = scheme.label(handles[1])
+        assert after >= before
+        scheme.validate()
+
+    def test_delete_is_mark_only(self):
+        stats = Counters()
+        scheme = CompactListLabeling(LTreeParams(f=8, s=2), stats=stats)
+        handles = scheme.bulk_load(range(10))
+        stats.reset()
+        scheme.delete(handles[4])
+        assert stats.relabels == 0
+        assert len(scheme) == 9
+        assert scheme.payloads() == [0, 1, 2, 3, 5, 6, 7, 8, 9]
+
+    def test_deleted_handle_rejected(self):
+        scheme = CompactListLabeling(LTreeParams(f=8, s=2))
+        handles = scheme.bulk_load(range(4))
+        scheme.delete(handles[1])
+        with pytest.raises(ValueError):
+            scheme.label(handles[1])
+        with pytest.raises(ValueError):
+            scheme.delete(handles[1])
+
+    def test_native_run_insert(self):
+        stats = Counters()
+        scheme = CompactListLabeling(LTreeParams(f=8, s=2), stats=stats)
+        handles = scheme.bulk_load(["a", "z"])
+        stats.reset()
+        run = scheme.insert_run_after(handles[0], ["b", "c", "d"])
+        assert scheme.payloads() == ["a", "b", "c", "d", "z"]
+        assert len(run) == 3
+        # one ancestor walk for the whole batch (cost sharing, §4.1)
+        assert stats.count_updates <= 2 * scheme.tree.height
+
+    def test_run_before(self):
+        scheme = CompactListLabeling(LTreeParams(f=8, s=2))
+        handles = scheme.bulk_load(["a", "z"])
+        scheme.insert_run_before(handles[1], ["x", "y"])
+        assert scheme.payloads() == ["a", "x", "y", "z"]
+
+    def test_len_tracks_live_items(self):
+        scheme = CompactListLabeling(LTreeParams(f=8, s=2))
+        handles = scheme.bulk_load(range(5))
+        scheme.append("tail")
+        scheme.delete(handles[0])
+        assert len(scheme) == 5
+
+    def test_label_bits(self):
+        scheme = CompactListLabeling(LTreeParams(f=4, s=2))
+        scheme.bulk_load(range(64))
+        bits = scheme.label_bits()
+        assert bits <= LTreeParams(f=4, s=2).max_label_bits(64)
+
+
+class TestEngineEquivalence:
+    """The adapter pair reports identical labels and identical costs."""
+
+    def test_same_labels_and_costs_as_node_adapter(self):
+        params = LTreeParams(f=8, s=2)
+        node_stats, compact_stats = Counters(), Counters()
+        node = LTreeListLabeling(params, stats=node_stats)
+        compact = CompactListLabeling(params, stats=compact_stats)
+        node_handles = list(node.bulk_load(range(4)))
+        compact_handles = list(compact.bulk_load(range(4)))
+        for step in range(300):
+            index = (step * 7) % len(node_handles)
+            if step % 11 == 0:
+                node.delete(node_handles.pop(index))
+                compact.delete(compact_handles.pop(index))
+            elif step % 5 == 0:
+                payloads = [(step, k) for k in range(3)]
+                node_handles[index + 1:index + 1] = \
+                    node.insert_run_after(node_handles[index], payloads)
+                compact_handles[index + 1:index + 1] = \
+                    compact.insert_run_after(compact_handles[index],
+                                             payloads)
+            else:
+                node_handles.insert(
+                    index + 1, node.insert_after(node_handles[index], step))
+                compact_handles.insert(
+                    index + 1,
+                    compact.insert_after(compact_handles[index], step))
+        assert node.labels() == compact.labels()
+        assert node.payloads() == compact.payloads()
+        assert node_stats.as_dict() == compact_stats.as_dict()
+        assert len(node) == len(compact)

@@ -5,7 +5,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.core.stats import Counters
+from repro.order.base import OrderedLabeling
 from repro.order.registry import SCHEMES, make_scheme
+from repro.workloads import updates as W
 
 _SCRIPT = st.lists(
     st.tuples(st.integers(0, 10 ** 9), st.booleans()),
@@ -89,3 +91,37 @@ def test_registry_threads_stats():
     scheme = make_scheme("naive", stats)
     scheme.bulk_load(range(3))
     assert stats.relabels == 3
+
+
+def test_registry_includes_compact_engine():
+    assert "ltree-compact" in SCHEMES
+    scheme = make_scheme("ltree-compact")
+    assert scheme.name == "ltree-compact"
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+def test_every_factory_accepts_stats_kwarg(name):
+    """All factories take ``stats=`` uniformly and thread it through."""
+    stats = Counters()
+    scheme = SCHEMES[name](stats=stats)
+    assert isinstance(scheme, OrderedLabeling)
+    assert scheme.stats is stats
+    # a default-constructed instance must also work (stats optional)
+    assert isinstance(SCHEMES[name](), OrderedLabeling)
+
+
+def test_compact_engine_matches_node_engine():
+    """ltree and ltree-compact share parameters, labels, and costs."""
+    outcomes = {}
+    labels = {}
+    for name in ("ltree", "ltree-compact"):
+        stats = Counters()
+        scheme = make_scheme(name, stats)
+        outcomes[name] = W.apply_workload(
+            scheme, W.mixed_workload(600, seed=5))
+        labels[name] = scheme.labels()
+    assert labels["ltree"] == labels["ltree-compact"]
+    assert outcomes["ltree"].stats.as_dict() == \
+        outcomes["ltree-compact"].stats.as_dict()
+    assert outcomes["ltree"].label_bits == \
+        outcomes["ltree-compact"].label_bits
