@@ -73,8 +73,9 @@ def main() -> None:
           f"{labeled.scheme.tree.tombstone_count()} tombstones")
     check_queries(document, labeled)
 
-    # 6: persist labels only, restart, re-attach
-    wire = snapshot(labeled.scheme.tree)
+    # 6: persist labels only, restart, re-attach (payloads are live DOM
+    # nodes, so they stay out of the wire format)
+    wire = snapshot(labeled.scheme.tree, include_payloads=False)
     rebuilt_tree = restore(wire)
     assert rebuilt_tree.labels() == labeled.scheme.tree.labels()
     print(f"\npersisted and restored {rebuilt_tree.n_leaves} labels "

@@ -33,15 +33,30 @@ graphs — the interchangeable-engine seam behind the
 
 from __future__ import annotations
 
+import json
+import struct
+import sys
+from array import array
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.core.params import LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
-from repro.errors import InvariantViolation, LabelOverflow
+from repro.errors import ParameterError, InvariantViolation, LabelOverflow
 
 #: sentinel slot id meaning "no node" (parent of the root, end of a
 #: sibling chain, empty child list)
 NIL = -1
+
+#: magic prefix of the struct-of-arrays byte format (see ``to_bytes``)
+ARRAY_MAGIC = b"LTREEARR"
+#: version of the struct-of-arrays byte format (bump on layout changes)
+ARRAY_FORMAT_VERSION = 1
+
+#: header layout: magic, version, flags, f, s, label_base, root,
+#: n_slots, n_free, payload byte length
+_HEADER = struct.Struct("<8sIIqqqqqqq")
+_FLAG_LOWEST_POLICY = 1
+_FLAG_HAS_PAYLOADS = 2
 
 
 class CompactLTree:
@@ -250,6 +265,16 @@ class CompactLTree:
     def payload(self, slot: int) -> Any:
         """Payload carried by a leaf slot."""
         return self._payload[slot]
+
+    def set_payload(self, slot: int, payload: Any) -> None:
+        """Replace the payload of a leaf slot (labels untouched).
+
+        Used when reattaching in-memory objects to a restored tree whose
+        serialized form carried no payloads (see :meth:`to_bytes`).
+        """
+        if self._height[slot] != 0:
+            raise ValueError("only leaves carry payloads")
+        self._payload[slot] = payload
 
     def is_leaf(self, slot: int) -> bool:
         """True for token-carrying leaves (height 0)."""
@@ -939,6 +964,173 @@ class CompactLTree:
         self.stats.deletes += 1
 
     # ------------------------------------------------------------------
+    # byte serialization (struct-of-arrays format)
+    # ------------------------------------------------------------------
+    def to_bytes(self, include_payloads: bool = True) -> bytes:
+        """Serialize the whole engine state to a single buffer.
+
+        Layout (all integers little-endian)::
+
+            header   magic "LTREEARR", version, flags, f, s, label_base,
+                     root slot, n_slots, n_free, payload byte length
+            arrays   num, height, leaf_count, parent, first_child,
+                     next_sibling — six int64 arrays of n_slots each
+            free     int64 array of n_free recycled slot ids
+            deleted  n_slots tombstone bytes
+            payload  UTF-8 JSON list of n_slots entries (omitted when
+                     ``include_payloads`` is false)
+
+        Unlike the label-only snapshot of :mod:`repro.core.persistence`,
+        this captures the *exact* slot layout — free-list order included —
+        so :meth:`from_bytes` restores an engine that allocates, splits
+        and counts identically to the original from the first operation
+        on.  Payloads ride along as JSON (tuples come back as lists;
+        non-JSON-able payloads raise :class:`ParameterError`); pass
+        ``include_payloads=False`` when payloads are reattached from an
+        external source, e.g. a re-parsed XML document.
+        """
+        n_slots = len(self._num)
+        flags = 0
+        if self.violator_policy == "lowest":
+            flags |= _FLAG_LOWEST_POLICY
+        payload_blob = b""
+        if include_payloads:
+            flags |= _FLAG_HAS_PAYLOADS
+            try:
+                payload_blob = json.dumps(self._payload).encode("utf-8")
+            except (TypeError, ValueError) as exc:
+                raise ParameterError(
+                    f"payloads are not JSON-serializable ({exc}); pass "
+                    f"include_payloads=False and reattach them after "
+                    f"from_bytes()") from None
+        try:
+            header = _HEADER.pack(
+                ARRAY_MAGIC, ARRAY_FORMAT_VERSION, flags, self.params.f,
+                self.params.s, self.params.base, self.root, n_slots,
+                len(self._free), len(payload_blob))
+        except struct.error:
+            raise ParameterError(
+                f"parameters exceed the int64 range of the byte format "
+                f"(f={self.params.f}, s={self.params.s}, "
+                f"base={self.params.base}); use the label-only JSON "
+                f"snapshot instead") from None
+        pieces = [header]
+        try:
+            for column in (self._num, self._height, self._leaf_count,
+                           self._parent, self._first_child,
+                           self._next_sibling):
+                pieces.append(_pack_int64(column))
+            pieces.append(_pack_int64(self._free))
+        except OverflowError:
+            # labels are arbitrary-precision in memory; the byte format
+            # stores fixed 64-bit columns
+            raise ParameterError(
+                f"tree state exceeds the int64 range of the byte "
+                f"format (base {self.params.base}, height "
+                f"{self.height}); use the label-only JSON snapshot "
+                f"instead") from None
+        pieces.append(bytes(self._deleted))
+        pieces.append(payload_blob)
+        return b"".join(pieces)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, stats: Counters = NULL_COUNTERS
+                   ) -> "CompactLTree":
+        """Rebuild an engine from a :meth:`to_bytes` buffer.
+
+        Accepts any bytes-like object — including a ``memoryview`` over
+        an mmapped page file — and copies each column into the engine's
+        arrays in one bulk ``frombytes`` per column, with no per-node
+        work.  Raises :class:`ParameterError` on a bad magic, an
+        unsupported version, or a truncated/inconsistent buffer.
+        """
+        view = memoryview(data)
+        if len(view) < _HEADER.size:
+            raise ParameterError(
+                f"buffer of {len(view)} bytes is shorter than the "
+                f"{_HEADER.size}-byte header")
+        (magic, version, flags, f, s, label_base, root, n_slots, n_free,
+         payload_len) = _HEADER.unpack_from(view, 0)
+        if magic != ARRAY_MAGIC:
+            raise ParameterError(
+                f"bad magic {magic!r}; not a CompactLTree byte image")
+        if version != ARRAY_FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported array-format version {version} "
+                f"(supported: {ARRAY_FORMAT_VERSION})")
+        if n_slots < 1 or n_free < 0 or payload_len < 0:
+            # every real image holds at least the root slot
+            raise ParameterError(
+                f"inconsistent header: n_slots={n_slots}, "
+                f"n_free={n_free}, payload_len={payload_len}")
+        expected = (_HEADER.size + 8 * (6 * n_slots + n_free) + n_slots +
+                    payload_len)
+        if len(view) != expected:
+            raise ParameterError(
+                f"buffer is {len(view)} bytes, header describes "
+                f"{expected}")
+        policy = "lowest" if flags & _FLAG_LOWEST_POLICY else "highest"
+        params = LTreeParams(f=f, s=s, label_base=label_base)
+        tree = cls(params, stats, violator_policy=policy)
+        offset = _HEADER.size
+        columns = []
+        for _ in range(6):
+            columns.append(_unpack_int64(view, offset, n_slots))
+            offset += 8 * n_slots
+        (tree._num, tree._height, tree._leaf_count, tree._parent,
+         tree._first_child, tree._next_sibling) = columns
+        tree._free = _unpack_int64(view, offset, n_free)
+        offset += 8 * n_free
+        seen_free = set(tree._free)
+        if len(seen_free) != n_free or \
+                any(not 0 <= slot < n_slots for slot in seen_free) or \
+                root in seen_free:
+            # a bogus free slot would silently corrupt live nodes on
+            # the next allocation (negative ids index from the end)
+            raise ParameterError(
+                f"free-list holds invalid or duplicate slot ids for a "
+                f"{n_slots}-slot arena")
+        tree._deleted = bytearray(view[offset:offset + n_slots])
+        offset += n_slots
+        if flags & _FLAG_HAS_PAYLOADS:
+            tree._payload = json.loads(
+                view[offset:offset + payload_len].tobytes()
+                .decode("utf-8"))
+            if len(tree._payload) != n_slots:
+                raise ParameterError(
+                    f"payload column has {len(tree._payload)} entries, "
+                    f"expected {n_slots}")
+        else:
+            tree._payload = [None] * n_slots
+        if not 0 <= root < n_slots:
+            raise ParameterError(
+                f"root slot {root} outside the {n_slots}-slot arena")
+        tree.root = root
+        return tree
+
+    def save(self, store: Any, name: str = "ltree",
+             include_payloads: bool = True) -> None:
+        """Persist this engine as blob ``name`` of a page store.
+
+        ``store`` is any object with ``put_blob(name, data)`` —
+        canonically :class:`repro.storage.pages.PageStore`.
+        """
+        store.put_blob(name, self.to_bytes(include_payloads))
+
+    @classmethod
+    def load(cls, store: Any, name: str = "ltree",
+             stats: Counters = NULL_COUNTERS,
+             prefer_mmap: bool = True) -> "CompactLTree":
+        """Reopen an engine saved by :meth:`save`.
+
+        With ``prefer_mmap`` (default) the blob is read through the
+        store's mmap fast path when available, so the columns are copied
+        straight out of the OS page cache.
+        """
+        return cls.from_bytes(store.get_blob(name, prefer_mmap=prefer_mmap),
+                              stats=stats)
+
+    # ------------------------------------------------------------------
     # validation (used by tests; never on production paths)
     # ------------------------------------------------------------------
     def validate(self, check_occupancy: bool = False) -> None:
@@ -1018,3 +1210,20 @@ class CompactLTree:
             if left >= right:
                 raise InvariantViolation(
                     f"labels not strictly increasing: {left} >= {right}")
+
+
+def _pack_int64(values: Sequence[int]) -> bytes:
+    """One column as little-endian int64 bytes (single bulk copy)."""
+    column = array("q", values)
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column.tobytes()
+
+
+def _unpack_int64(view: memoryview, offset: int, count: int) -> list[int]:
+    """Read ``count`` little-endian int64 values starting at ``offset``."""
+    column = array("q")
+    column.frombytes(view[offset:offset + 8 * count])
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column.tolist()

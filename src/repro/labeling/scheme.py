@@ -18,20 +18,34 @@ keeps the two consistent across subtree insertions and deletions:
 
 from __future__ import annotations
 
+import json
 from typing import Any, Iterator, Optional
 
 from repro.core.params import LTreeParams
+from repro.core.persistence import restore, snapshot
 from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import ParameterError
 from repro.labeling.containment import Region
 from repro.order.base import OrderedLabeling
+from repro.order.compact_list import CompactListLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
                              XMLInstructionNode, XMLNode, XMLTextNode)
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
 
 #: token-kind markers used in scheme payloads
 BEGIN = "begin"
 END = "end"
 POINT = "point"  # text / comment / PI: a single list position
+
+#: on-store format version of a saved LabeledDocument (see ``save``)
+DOCUMENT_FORMAT_VERSION = 1
+
+#: blob names a saved document occupies inside a page store
+META_BLOB = "meta"
+XML_BLOB = "document.xml"
+SCHEME_BLOB = "scheme"
 
 
 class _Handles:
@@ -250,7 +264,8 @@ class LabeledDocument:
         every node's handles, so the document stays fully queryable with
         fresh (narrower) labels.  Returns the number of reclaimed slots.
         """
-        if not isinstance(self.scheme, LTreeListLabeling):
+        if not isinstance(self.scheme,
+                          (LTreeListLabeling, CompactListLabeling)):
             raise TypeError(
                 "compact() requires an L-Tree-backed scheme, got "
                 f"{self.scheme.name!r}")
@@ -264,6 +279,105 @@ class LabeledDocument:
             else:
                 handles.begin = mapping[handles.begin]
         return reclaimed
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, store: Any) -> None:
+        """Persist document text and labels to a page store.
+
+        Three blobs land in ``store`` (canonically a
+        :class:`repro.storage.pages.PageStore`): the serialized XML, the
+        scheme state, and a small JSON ``meta`` record.  The scheme goes
+        as the struct-of-arrays byte image for ``ltree-compact``
+        (tombstones and free-list preserved exactly) or as the §4.2
+        label-only snapshot for ``ltree``; either way payloads are *not*
+        serialized — :meth:`open` re-derives them from the document
+        text, whose token sequence matches the live labels one-to-one.
+        Raises :class:`ParameterError` (before writing anything) when
+        that one-to-one match would not survive the XML round trip.
+        """
+        scheme = self.scheme
+        text = serialize(self.document)
+        # fail *now* if the token stream cannot survive the XML round
+        # trip (adjacent text nodes merge, empty text nodes vanish) —
+        # otherwise save would succeed and open() would fail forever
+        live_kinds = [kind for kind, _ in
+                      _emit_tokens(self.document.root)]
+        reparsed_kinds = [kind for kind, _ in
+                          _emit_tokens(parse(text).root)]
+        if live_kinds != reparsed_kinds:
+            raise ParameterError(
+                f"document token stream does not survive an XML round "
+                f"trip ({len(live_kinds)} tokens serialize to "
+                f"{len(reparsed_kinds)}): adjacent or empty text nodes "
+                f"cannot be re-labeled on open(); merge them first")
+        if isinstance(scheme, CompactListLabeling):
+            encoding = "compact-bytes"
+            scheme.save(store, SCHEME_BLOB, include_payloads=False)
+        elif isinstance(scheme, LTreeListLabeling):
+            encoding = "label-snapshot"
+            data = snapshot(scheme.tree, include_payloads=False)
+            store.put_blob(SCHEME_BLOB,
+                           json.dumps(data).encode("utf-8"))
+        else:
+            raise TypeError(
+                f"save() supports the L-Tree schemes, got "
+                f"{scheme.name!r}")
+        store.put_blob(XML_BLOB, text.encode("utf-8"))
+        store.put_blob(META_BLOB, json.dumps({
+            "format": DOCUMENT_FORMAT_VERSION,
+            "scheme": scheme.name,
+            "encoding": encoding,
+        }).encode("utf-8"))
+
+    @classmethod
+    def open(cls, store: Any,
+             stats: Counters = NULL_COUNTERS) -> "LabeledDocument":
+        """Reopen a document saved by :meth:`save` — without relabeling.
+
+        The XML text is re-parsed and its token stream zipped against the
+        restored scheme's live handles (same order by construction), so
+        every node gets back the *exact* label it held at save time;
+        nothing is re-bulk-loaded and future edits behave as if the
+        process had never stopped.
+        """
+        meta = json.loads(bytes(store.get_blob(META_BLOB)).decode("utf-8"))
+        if meta.get("format") != DOCUMENT_FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported document format {meta.get('format')!r} "
+                f"(supported: {DOCUMENT_FORMAT_VERSION})")
+        document = parse(bytes(store.get_blob(XML_BLOB)).decode("utf-8"))
+        encoding = meta.get("encoding")
+        if encoding == "compact-bytes":
+            scheme: OrderedLabeling = CompactListLabeling.load(
+                store, SCHEME_BLOB, stats=stats)
+            reattach = scheme.tree.set_payload
+        elif encoding == "label-snapshot":
+            data = json.loads(
+                bytes(store.get_blob(SCHEME_BLOB)).decode("utf-8"))
+            scheme = LTreeListLabeling._wrap(restore(data, stats=stats),
+                                             stats)
+
+            def reattach(handle: Any, payload: Any) -> None:
+                handle.payload = payload
+        else:
+            raise ParameterError(
+                f"unknown scheme encoding {encoding!r} in saved document")
+        labeled = cls.__new__(cls)
+        labeled.document = document
+        labeled.scheme = scheme
+        labeled.stats = stats
+        pairs = list(_emit_tokens(document.root))
+        handles = list(scheme.handles())
+        if len(pairs) != len(handles):
+            raise ParameterError(
+                f"document has {len(pairs)} tokens but the restored "
+                f"scheme holds {len(handles)} live labels")
+        labeled._attach(pairs, handles)
+        for pair, handle in zip(pairs, handles):
+            reattach(handle, pair)
+        return labeled
 
     # ------------------------------------------------------------------
     # validation (tests)

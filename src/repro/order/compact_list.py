@@ -79,6 +79,8 @@ class CompactListLabeling(OrderedLabeling):
         return self.tree.num(handle)
 
     def payload(self, handle: int) -> Any:
+        if self.tree.is_deleted(handle):
+            raise ValueError("handle refers to a deleted item")
         return self.tree.payload(handle)
 
     def handles(self) -> Iterator[int]:
@@ -86,3 +88,36 @@ class CompactListLabeling(OrderedLabeling):
 
     def __len__(self) -> int:
         return self._live
+
+    # -- persistence -----------------------------------------------------
+    def save(self, store: Any, name: str = "scheme",
+             include_payloads: bool = True) -> None:
+        """Persist the engine state as blob ``name`` of a page store.
+
+        The struct-of-arrays byte image (tombstones and free-list
+        included) goes to ``store`` — canonically a
+        :class:`repro.storage.pages.PageStore` — so :meth:`load` reopens
+        a scheme whose labels, counters and future splits are identical
+        to this one's.
+        """
+        self.tree.save(store, name, include_payloads=include_payloads)
+
+    @classmethod
+    def load(cls, store: Any, name: str = "scheme",
+             stats: Counters = NULL_COUNTERS,
+             prefer_mmap: bool = True) -> "CompactListLabeling":
+        """Reopen a scheme saved by :meth:`save` from a page store."""
+        tree = CompactLTree.load(store, name, stats=stats,
+                                 prefer_mmap=prefer_mmap)
+        return cls._wrap(tree, stats)
+
+    @classmethod
+    def _wrap(cls, tree: CompactLTree,
+              stats: Counters) -> "CompactListLabeling":
+        """Adopt an already-built engine (restore paths)."""
+        scheme = cls.__new__(cls)
+        OrderedLabeling.__init__(scheme, stats)
+        scheme.params = tree.params
+        scheme.tree = tree
+        scheme._live = tree.n_leaves - tree.tombstone_count()
+        return scheme

@@ -77,6 +77,8 @@ class LTreeListLabeling(OrderedLabeling):
         return handle.num
 
     def payload(self, handle: LTreeNode) -> Any:
+        if handle.deleted:
+            raise ValueError("handle refers to a deleted item")
         return handle.payload
 
     def handles(self) -> Iterator[LTreeNode]:
@@ -84,3 +86,13 @@ class LTreeListLabeling(OrderedLabeling):
 
     def __len__(self) -> int:
         return self._live
+
+    @classmethod
+    def _wrap(cls, tree: LTree, stats: Counters) -> "LTreeListLabeling":
+        """Adopt an already-built engine (persistence restore paths)."""
+        scheme = cls.__new__(cls)
+        OrderedLabeling.__init__(scheme, stats)
+        scheme.params = tree.params
+        scheme.tree = tree
+        scheme._live = tree.n_leaves - tree.tombstone_count()
+        return scheme

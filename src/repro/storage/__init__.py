@@ -1,12 +1,15 @@
-"""Storage substrate: counted B+-tree, page cost model, mini relational
-engine, and the two RDBMS shredding strategies the paper contrasts
-(edge table vs region-interval table)."""
+"""Storage substrate: counted B+-tree, the §3.1 page *cost model*
+(:mod:`repro.storage.pager`), the actual page-backed file store
+(:mod:`repro.storage.pages`), a mini relational engine, and the two
+RDBMS shredding strategies the paper contrasts (edge table vs
+region-interval table)."""
 
 from repro.storage.btree import CountedBTree
 from repro.storage.edge_table import EDGE_COLUMNS, EdgeTableStore
 from repro.storage.interval_table import (INTERVAL_COLUMNS,
                                           IntervalTableStore)
 from repro.storage.pager import IOReport, PageModel, estimate_io
+from repro.storage.pages import PageStore
 from repro.storage.relational import (HashIndex, SortedIndex, Table,
                                       index_join, merge_interval_join,
                                       nested_loop_join)
@@ -26,4 +29,5 @@ __all__ = [
     "PageModel",
     "IOReport",
     "estimate_io",
+    "PageStore",
 ]

@@ -1,4 +1,4 @@
-"""Disk-access cost model.
+"""Disk-access *cost model* (paper §3.1) — an estimator, not a store.
 
 Paper §3.1: *"The query and maintenance cost of an L-Tree is measured as
 the number of disk accesses ... the cost is measured in terms of the
@@ -6,6 +6,10 @@ number of nodes accessed for searching or relabeling."*  The library
 counts logical node/tuple touches (:class:`repro.core.stats.Counters`);
 this module converts those counts into estimated page I/Os for reports, so
 experiment tables can be read in the paper's units.
+
+Nothing here touches a disk.  The actual fixed-size-page file with a
+buffer pool and an mmap fast path lives in :mod:`repro.storage.pages`;
+this module only prices logical work in page units.
 """
 
 from __future__ import annotations
@@ -21,8 +25,9 @@ class PageModel:
     """A simple uniform page model.
 
     ``entries_per_page`` is how many structure nodes or tuples fit one
-    page; ``cache_pages`` models a tiny buffer pool as a flat discount on
-    repeated touches (the paper assumes *no* caching — keep 0 to match).
+    page; ``cache_hit_rate`` models a tiny buffer pool as a flat discount
+    on repeated touches (the paper assumes *no* caching — keep 0.0 to
+    match).
     """
 
     entries_per_page: int = 64
@@ -35,11 +40,16 @@ class PageModel:
             raise ValueError("cache_hit_rate must be in [0, 1)")
 
     def pages_for(self, touches: int) -> float:
-        """Estimated page I/Os for ``touches`` logical accesses."""
+        """Estimated page I/Os for ``touches`` logical accesses.
+
+        The cache discount applies to the raw page count first; the
+        one-page floor comes last, so any nonzero touch count costs at
+        least one real I/O regardless of ``cache_hit_rate``.
+        """
         if touches <= 0:
             return 0.0
-        raw = touches / self.entries_per_page
-        return max(1.0, math.ceil(raw)) * (1.0 - self.cache_hit_rate)
+        raw = math.ceil(touches / self.entries_per_page)
+        return max(1.0, raw * (1.0 - self.cache_hit_rate))
 
 
 @dataclasses.dataclass

@@ -1,0 +1,356 @@
+"""Page-backed store: a fixed-size-page file with a buffer pool.
+
+This is the *actual disk substrate* the cost model of
+:mod:`repro.storage.pager` only prices.  A :class:`PageStore` is one file
+of fixed-size pages:
+
+* page 0 is the header — magic, format version, page size, page count,
+  and a JSON catalog mapping blob names to (first page, byte length,
+  allocated pages) spans;
+* every other page is raw data, reached either through a tiny LRU
+  buffer pool (:meth:`read_page`) or through an mmap fast path that
+  copies straight out of the OS page cache (:meth:`get_blob` with
+  ``prefer_mmap=True``).
+
+On top of the page layer sits a minimal named-blob interface
+(:meth:`put_blob` / :meth:`get_blob`): a blob occupies a contiguous run
+of pages, which is exactly the shape :meth:`repro.core.compact.CompactLTree.to_bytes`
+wants — the engine's int64 columns land page-aligned on disk and come
+back with one bulk copy per column.  Rewriting a blob reuses its span
+while the new bytes fit the span's allocated pages (shrinking never
+gives pages up); only growth beyond the allocation appends a fresh span
+and leaves the old pages behind (a `vacuum` is future work — spans are
+small and growth rare in this library's save/reopen workload).
+
+The pool counts hits and misses (:attr:`pool_hits` / :attr:`pool_misses`)
+so experiments can check the :class:`repro.storage.pager.PageModel`
+``cache_hit_rate`` they assume against what a real pool delivers.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+
+#: magic prefix of a page file (page 0, bytes 0..8)
+PAGE_MAGIC = b"LTPAGES\x00"
+#: page-file format version (bump on layout changes)
+PAGE_FORMAT_VERSION = 1
+
+#: fixed part of the header page: magic, version, page_size, page_count,
+#: catalog byte length
+_HEADER = struct.Struct("<8sIIQI")
+
+DEFAULT_PAGE_SIZE = 4096
+DEFAULT_POOL_PAGES = 16
+
+
+class PageStore:
+    """A file of fixed-size pages with an LRU buffer pool.
+
+    Parameters
+    ----------
+    path:
+        File to open; created (with a fresh header) when missing or
+        empty.
+    page_size:
+        Page size in bytes for a *new* file (``None`` means
+        ``DEFAULT_PAGE_SIZE``).  An existing file is always read with
+        its header's page size; passing an explicit value that
+        disagrees with the header raises :class:`StorageError`.
+    pool_pages:
+        Capacity of the LRU buffer pool, in pages.
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> path = os.path.join(tempfile.mkdtemp(), "doc.ltp")
+    >>> with PageStore(path) as store:
+    ...     store.put_blob("greeting", b"hello pages")
+    >>> with PageStore(path) as store:
+    ...     bytes(store.get_blob("greeting"))
+    b'hello pages'
+    """
+
+    def __init__(self, path: str, page_size: Optional[int] = None,
+                 pool_pages: int = DEFAULT_POOL_PAGES):
+        if page_size is not None and page_size < _HEADER.size + 2:
+            raise StorageError(
+                f"page_size {page_size} cannot hold the file header")
+        if pool_pages < 1:
+            raise StorageError("pool_pages must be >= 1")
+        self.path = os.fspath(path)
+        self.pool_pages = pool_pages
+        self._pool: OrderedDict[int, bytes] = OrderedDict()
+        self.pool_hits = 0
+        self.pool_misses = 0
+        self._map: Optional[mmap.mmap] = None
+        self._map_length = 0
+        #: superseded maps still pinned by exported memoryviews
+        self._retired_maps: list[mmap.mmap] = []
+        exists = os.path.exists(self.path) and \
+            os.path.getsize(self.path) > 0
+        self._file = open(self.path, "r+b" if exists else "w+b")
+        try:
+            if exists:
+                self.page_size, self.page_count, self._catalog = \
+                    self._read_header()
+                if page_size is not None and \
+                        page_size != self.page_size:
+                    raise StorageError(
+                        f"file {self.path!r} has {self.page_size}-byte "
+                        f"pages; cannot reopen with page_size="
+                        f"{page_size}")
+            else:
+                self.page_size = page_size if page_size is not None \
+                    else DEFAULT_PAGE_SIZE
+                self.page_count = 1
+                self._catalog: dict[str, list[int]] = {}
+                self._file.write(b"\x00" * self.page_size)
+                self._write_header()
+        except BaseException:
+            self._file.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # header page
+    # ------------------------------------------------------------------
+    def _read_header(self) -> tuple[int, int, dict[str, list[int]]]:
+        self._file.seek(0)
+        raw = self._file.read(_HEADER.size)
+        if len(raw) < _HEADER.size:
+            raise StorageError(f"{self.path!r}: truncated header page")
+        magic, version, page_size, page_count, catalog_len = \
+            _HEADER.unpack(raw)
+        if magic != PAGE_MAGIC:
+            raise StorageError(
+                f"{self.path!r}: bad magic {magic!r}; not a page file")
+        if version != PAGE_FORMAT_VERSION:
+            raise StorageError(
+                f"{self.path!r}: unsupported page-file version {version} "
+                f"(supported: {PAGE_FORMAT_VERSION})")
+        catalog_raw = self._file.read(catalog_len)
+        if len(catalog_raw) < catalog_len:
+            raise StorageError(f"{self.path!r}: truncated catalog")
+        catalog = json.loads(catalog_raw.decode("utf-8")) \
+            if catalog_len else {}
+        return page_size, page_count, catalog
+
+    def _write_header(self, catalog_raw: Optional[bytes] = None) -> None:
+        if catalog_raw is None:
+            catalog_raw = json.dumps(self._catalog).encode("utf-8")
+        header = _HEADER.pack(PAGE_MAGIC, PAGE_FORMAT_VERSION,
+                              self.page_size, self.page_count,
+                              len(catalog_raw))
+        if len(header) + len(catalog_raw) > self.page_size:
+            raise StorageError(
+                f"catalog of {len(self._catalog)} blobs overflows the "
+                f"{self.page_size}-byte header page")
+        page = header + catalog_raw
+        self._file.seek(0)
+        self._file.write(page + b"\x00" * (self.page_size - len(page)))
+        self._pool.pop(0, None)
+
+    # ------------------------------------------------------------------
+    # page layer
+    # ------------------------------------------------------------------
+    def allocate_pages(self, count: int) -> int:
+        """Append ``count`` zeroed pages; return the first new page id."""
+        if count < 1:
+            raise StorageError("must allocate at least one page")
+        first = self.page_count
+        self._file.seek(first * self.page_size)
+        self._file.write(b"\x00" * (count * self.page_size))
+        self.page_count += count
+        return first
+
+    def read_page(self, page_id: int) -> bytes:
+        """One page through the buffer pool (LRU, counted)."""
+        self._check_page(page_id)
+        cached = self._pool.get(page_id)
+        if cached is not None:
+            self._pool.move_to_end(page_id)
+            self.pool_hits += 1
+            return cached
+        self.pool_misses += 1
+        self._file.seek(page_id * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) < self.page_size:
+            data = data + b"\x00" * (self.page_size - len(data))
+        self._pool[page_id] = data
+        while len(self._pool) > self.pool_pages:
+            self._pool.popitem(last=False)
+        return data
+
+    def write_page(self, page_id: int, data: bytes) -> None:
+        """Write one page (write-through: file and pool stay in sync)."""
+        self._check_page(page_id)
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"{len(data)} bytes exceed the {self.page_size}-byte page")
+        if page_id == 0:
+            raise StorageError("page 0 is the header; use put_blob")
+        padded = data + b"\x00" * (self.page_size - len(data))
+        self._file.seek(page_id * self.page_size)
+        self._file.write(padded)
+        if page_id in self._pool:
+            self._pool[page_id] = padded
+            self._pool.move_to_end(page_id)
+
+    def _check_page(self, page_id: int) -> None:
+        if not 0 <= page_id < self.page_count:
+            raise StorageError(
+                f"page {page_id} outside file of {self.page_count} pages")
+
+    def _pages_for(self, length: int) -> int:
+        return max(1, -(-length // self.page_size))
+
+    # ------------------------------------------------------------------
+    # blob layer
+    # ------------------------------------------------------------------
+    def put_blob(self, name: str, data: bytes) -> None:
+        """Store ``data`` under ``name`` across a contiguous page span.
+
+        Reuses the existing span when the new bytes still fit in it;
+        otherwise appends a fresh span and repoints the catalog.  A
+        catalog that would overflow the header page is rejected *before*
+        anything is written, so a failed put leaves the store exactly as
+        it was.
+        """
+        data = bytes(data)
+        needed = self._pages_for(len(data))
+        span = self._catalog.get(name)
+        # reuse is judged by the span's *allocated* pages, not the
+        # current byte length, so shrink-then-regrow stays in place
+        grow = span is None or needed > span[2]
+        first = self.page_count if grow else span[0]
+        allocated = needed if grow else span[2]
+        candidate = dict(self._catalog)
+        candidate[name] = [first, len(data), allocated]
+        catalog_raw = json.dumps(candidate).encode("utf-8")
+        if _HEADER.size + len(catalog_raw) > self.page_size:
+            raise StorageError(
+                f"catalog of {len(candidate)} blobs overflows the "
+                f"{self.page_size}-byte header page")
+        # data + tail padding covers the whole span, so a grown span is
+        # written once, directly — no allocate_pages zero-fill first
+        self._file.seek(first * self.page_size)
+        padding = needed * self.page_size - len(data)
+        self._file.write(data + b"\x00" * padding)
+        if grow:
+            self.page_count += needed
+        for page_id in range(first, first + needed):
+            self._pool.pop(page_id, None)
+        self._catalog = candidate
+        self._write_header(catalog_raw)
+        self.flush()
+
+    def get_blob(self, name: str, prefer_mmap: bool = False) -> bytes:
+        """Fetch blob ``name``.
+
+        ``prefer_mmap=True`` returns a read-only ``memoryview`` over an
+        mmap of the file — zero intermediate copies.  The view stays
+        *readable* until :meth:`close`, but it aliases the file: a later
+        :meth:`put_blob` that rewrites the same span shows through it.
+        Consume (parse or copy) the view before writing the blob again;
+        the default path returns an independent ``bytes`` assembled page
+        by page through the buffer pool.
+        """
+        span = self._catalog.get(name)
+        if span is None:
+            raise KeyError(f"no blob named {name!r} in {self.path!r}")
+        first, length = span[0], span[1]
+        if prefer_mmap and length > 0:
+            start = first * self.page_size
+            return memoryview(self._mmap_file())[start:start + length]
+        pieces = []
+        remaining = length
+        for page_id in range(first, first + self._pages_for(length)):
+            page = self.read_page(page_id)
+            pieces.append(page[:remaining] if remaining < self.page_size
+                          else page)
+            remaining -= self.page_size
+        return b"".join(pieces)
+
+    def _mmap_file(self) -> mmap.mmap:
+        """The shared read-only mmap, remapped when the file has grown.
+
+        One mapping serves every ``prefer_mmap`` read; a superseded
+        mapping whose memoryviews are still exported is parked until
+        :meth:`close` rather than leaked per call.
+        """
+        self.flush()
+        size = os.fstat(self._file.fileno()).st_size
+        # mmap.size() is the *file* size, not the mapped length, so the
+        # length at map time is tracked separately
+        if self._map is None or self._map_length < size:
+            old = self._map
+            self._map = mmap.mmap(self._file.fileno(), 0,
+                                  access=mmap.ACCESS_READ)
+            self._map_length = size
+            if old is not None:
+                try:
+                    old.close()
+                except BufferError:  # a view of it is still exported
+                    self._retired_maps.append(old)
+        return self._map
+
+    def has_blob(self, name: str) -> bool:
+        """Whether the catalog holds ``name``."""
+        return name in self._catalog
+
+    def blobs(self) -> Iterator[str]:
+        """Names in the catalog, in insertion order."""
+        return iter(self._catalog)
+
+    def blob_length(self, name: str) -> int:
+        """Byte length of blob ``name``."""
+        span = self._catalog.get(name)
+        if span is None:
+            raise KeyError(f"no blob named {name!r} in {self.path!r}")
+        return span[1]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered writes to the OS."""
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and release the file and any mmaps.
+
+        Exported memoryviews from :meth:`get_blob` must be released by
+        then; live exports keep their mmap open (never the file lock).
+        """
+        if self._file.closed:
+            return
+        self.flush()
+        for mapped in self._retired_maps + \
+                ([self._map] if self._map is not None else []):
+            try:
+                mapped.close()
+            except BufferError:  # a memoryview is still exported
+                pass
+        self._retired_maps.clear()
+        self._map = None
+        self._pool.clear()
+        self._file.close()
+
+    def __enter__(self) -> "PageStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __repr__(self) -> str:
+        return (f"PageStore({self.path!r}, pages={self.page_count}, "
+                f"page_size={self.page_size}, "
+                f"blobs={len(self._catalog)})")

@@ -9,7 +9,8 @@ from hypothesis import HealthCheck, given, settings
 
 from repro.core.ltree import LTree
 from repro.core.params import FIGURE2_PARAMS, LTreeParams
-from repro.core.persistence import ltree_from_labels, restore, snapshot
+from repro.core.persistence import (ltree_from_labels, restore, snapshot,
+                                    validate_snapshot)
 from repro.errors import ParameterError
 
 
@@ -78,6 +79,97 @@ class TestSnapshotRestore:
         tree.bulk_load([])
         rebuilt = restore(snapshot(tree))
         assert rebuilt.n_leaves == 0
+
+
+class TestEagerValidation:
+    """Snapshots that would fail later must fail *now*, naming the field.
+
+    Regression for the silent-failure mode where ``snapshot()`` handed
+    out a dict ``json.dumps`` (or a later ``restore``) would choke on.
+    """
+
+    def test_non_jsonable_payload_rejected_at_snapshot(self):
+        tree = LTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(["fine", object(), "fine too"])
+        with pytest.raises(ParameterError, match=r"entries\[1\]\.payload"):
+            snapshot(tree)
+
+    def test_payload_opt_out_skips_the_check(self):
+        tree = LTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(["fine", object()])
+        data = snapshot(tree, include_payloads=False)
+        json.dumps(data)  # must not raise
+        assert [entry["payload"] for entry in data["entries"]] == \
+            [None, None]
+
+    def test_label_base_mismatch_named(self):
+        tree = _grown_tree(LTreeParams(f=4, s=2), 20)
+        data = snapshot(tree)
+        data["label_base"] = 2  # below the safe minimum for f=4, s=2
+        with pytest.raises(ParameterError, match="label_base"):
+            validate_snapshot(data)
+        with pytest.raises(ParameterError, match="label_base"):
+            restore(data)
+
+    def test_bad_version_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["version"] = "one"
+        with pytest.raises(ParameterError, match="version"):
+            validate_snapshot(data)
+
+    def test_bad_height_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["height"] = 0
+        with pytest.raises(ParameterError, match="height"):
+            validate_snapshot(data)
+
+    def test_non_integer_field_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["f"] = "4"
+        with pytest.raises(ParameterError, match="'f'"):
+            validate_snapshot(data)
+
+    def test_missing_label_base_named(self):
+        """Regression: a missing field raises ParameterError naming it,
+        not a bare KeyError."""
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        del data["label_base"]
+        with pytest.raises(ParameterError, match="label_base"):
+            validate_snapshot(data)
+        with pytest.raises(ParameterError, match="label_base"):
+            restore(data)
+
+    def test_restore_skips_payload_json_probe(self):
+        """Restore must not reject (or re-probe) payloads that never
+        touch JSON — only snapshot() guarantees wire-safety."""
+        tree = LTree(LTreeParams(f=4, s=2))
+        tree.bulk_load(["a", "b"])
+        data = snapshot(tree)
+        data["entries"][0]["payload"] = object()  # in-memory only
+        rebuilt = restore(data)
+        assert rebuilt.labels() == tree.labels()
+
+    def test_unsorted_entries_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["entries"][0], data["entries"][1] = \
+            data["entries"][1], data["entries"][0]
+        with pytest.raises(ParameterError, match=r"entries\[1\]\.num"):
+            validate_snapshot(data)
+
+    def test_out_of_universe_entry_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["entries"][-1]["num"] = 10 ** 12
+        with pytest.raises(ParameterError, match=r"\.num"):
+            validate_snapshot(data)
+
+    def test_bad_deleted_flag_named(self):
+        data = snapshot(_grown_tree(LTreeParams(f=4, s=2), 5))
+        data["entries"][2]["deleted"] = "no"
+        with pytest.raises(ParameterError, match=r"entries\[2\]\.deleted"):
+            validate_snapshot(data)
+
+    def test_valid_snapshot_passes(self, params):
+        validate_snapshot(snapshot(_grown_tree(params, 50)))
 
 
 class TestFromLabels:

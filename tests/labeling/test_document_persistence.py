@@ -1,0 +1,212 @@
+"""End-to-end crash-restart: a LabeledDocument survives save -> reopen.
+
+The scenario the persistence subsystem exists for: build a document,
+edit it (inserts *and* mark-only deletes, so tombstones are in play),
+save to a page file, drop every in-memory object, reopen from a fresh
+:class:`PageStore` in the same process — then assert the labels are
+bit-identical, the containment predicates still answer, and future edits
+behave exactly as they would have without the restart (identical labels
+and identical maintenance counters against a never-persisted twin).
+"""
+
+import random
+
+import pytest
+
+from repro.core.params import LTreeParams
+from repro.core.stats import Counters
+from repro.labeling.scheme import LabeledDocument
+from repro.order.compact_list import CompactListLabeling
+from repro.order.ltree_list import LTreeListLabeling
+from repro.order.naive import NaiveLabeling
+from repro.storage.pages import PageStore
+from repro.xml.generator import xmark_like
+from repro.xml.parser import parse
+from repro.xml.serializer import serialize
+
+PARAMS = LTreeParams(f=16, s=4)
+
+SCHEMES = {
+    "ltree-compact": lambda stats=None: CompactListLabeling(
+        PARAMS, stats=stats) if stats else CompactListLabeling(PARAMS),
+    "ltree": lambda stats=None: LTreeListLabeling(
+        PARAMS, stats=stats) if stats else LTreeListLabeling(PARAMS),
+}
+
+
+def _edited_document(scheme, seed=17):
+    document = xmark_like(n_items=15, n_people=8, n_auctions=6, seed=seed)
+    labeled = LabeledDocument(document, scheme=scheme)
+    rng = random.Random(seed)
+    elements = [element for element in document.iter_elements()
+                if element.parent is not None]
+    # grow: subtree + text insertions
+    for index in range(8):
+        target = rng.choice(elements)
+        sub = parse(f"<extra n=\"{index}\"><v>{index}</v>tail</extra>").root
+        labeled.append_subtree(target, sub)
+    # shrink: mark-only deletions leave tombstones in the label space
+    for _ in range(3):
+        victims = [element for element in document.iter_elements()
+                   if element.parent is not None and
+                   element.parent.parent is not None]
+        labeled.delete_subtree(rng.choice(victims))
+    return labeled
+
+
+@pytest.mark.parametrize("name", sorted(SCHEMES))
+class TestCrashRestart:
+    def test_bit_identical_labels(self, tmp_path, name):
+        labeled = _edited_document(SCHEMES[name]())
+        labels_before = labeled.labels_in_order()
+        xml_before = serialize(labeled.document)
+        path = str(tmp_path / "doc.ltp")
+        with PageStore(path) as store:
+            labeled.save(store)
+        del labeled
+        with PageStore(path) as store:       # fresh store object
+            reopened = LabeledDocument.open(store)
+        assert reopened.labels_in_order() == labels_before
+        assert serialize(reopened.document) == xml_before
+        reopened.validate()
+
+    def test_predicates_after_reopen(self, tmp_path, name):
+        labeled = _edited_document(SCHEMES[name]())
+        path = str(tmp_path / "doc.ltp")
+        with PageStore(path) as store:
+            labeled.save(store)
+        with PageStore(path) as store:
+            reopened = LabeledDocument.open(store)
+        document = reopened.document
+        root = document.root
+        for element in document.iter_elements():
+            if element.parent is not None:
+                assert reopened.is_ancestor(root, element)
+                assert not reopened.is_ancestor(element, root)
+        children = [child for child in root.children
+                    if getattr(child, "tag", None) is not None]
+        for left, right in zip(children, children[1:]):
+            assert reopened.precedes(left, right)
+
+    def test_counter_semantics_identical_after_restart(self, tmp_path,
+                                                       name):
+        """A restored document and its never-persisted twin must charge
+        the same maintenance cost for the same future edits."""
+        twin_stats, restored_stats = Counters(), Counters()
+        twin = _edited_document(SCHEMES[name](twin_stats), seed=23)
+        original = _edited_document(SCHEMES[name](restored_stats), seed=23)
+        path = str(tmp_path / "doc.ltp")
+        with PageStore(path) as store:
+            original.save(store)
+        with PageStore(path) as store:
+            restored = LabeledDocument.open(store, stats=restored_stats)
+        twin_stats.reset()
+        restored_stats.reset()
+        for labeled in (twin, restored):
+            rng = random.Random(5)
+            for index in range(6):
+                elements = [element for element in
+                            labeled.document.iter_elements()
+                            if element.parent is not None]
+                target = rng.choice(elements)
+                labeled.insert_text(target, 0, f"post-restart {index}")
+        assert twin.labels_in_order() == restored.labels_in_order()
+        assert twin_stats.as_dict() == restored_stats.as_dict()
+
+    def test_reopened_document_can_be_saved_again(self, tmp_path, name):
+        labeled = _edited_document(SCHEMES[name]())
+        path = str(tmp_path / "doc.ltp")
+        with PageStore(path) as store:
+            labeled.save(store)
+        with PageStore(path) as store:
+            reopened = LabeledDocument.open(store)
+            reopened.insert_text(reopened.document.root, 0, "generation 2")
+            reopened.save(store)
+        with PageStore(path) as store:
+            third = LabeledDocument.open(store)
+        assert third.labels_in_order() == reopened.labels_in_order()
+        third.validate()
+
+
+def test_restored_compact_differential_against_reference(tmp_path):
+    """The PR 1 differential harness with one side restored from disk:
+    reference LTree vs a CompactLTree that went through save/reopen."""
+    from repro.core.compact import CompactLTree
+    from repro.core.ltree import LTree
+
+    params = LTreeParams(f=8, s=2)
+    ref_stats, compact_stats = Counters(), Counters()
+    ref = LTree(params, ref_stats)
+    compact = CompactLTree(params, compact_stats)
+    ref_handles = list(ref.bulk_load(range(6)))
+    compact_handles = list(compact.bulk_load(range(6)))
+
+    def drive(rng, tree, handles, n_ops):
+        for index in range(n_ops):
+            roll = rng.random()
+            position = rng.randrange(len(handles))
+            if roll < 0.45:
+                handles.insert(position, tree.insert_before(
+                    handles[position], f"b{index}"))
+            elif roll < 0.9:
+                handles.insert(position + 1, tree.insert_after(
+                    handles[position], f"a{index}"))
+            elif roll < 0.95:
+                run = tree.insert_run_after(
+                    handles[position], [f"r{index}.{j}" for j in range(5)])
+                handles[position + 1:position + 1] = run
+            else:
+                victim = handles[position]
+                deleted = victim.deleted if hasattr(victim, "deleted") \
+                    else tree.is_deleted(victim)
+                if not deleted:
+                    tree.mark_deleted(victim)
+
+    drive(random.Random(31), ref, ref_handles, 600)
+    drive(random.Random(31), compact, compact_handles, 600)
+    assert ref.labels() == compact.labels()
+    assert ref_stats.as_dict() == compact_stats.as_dict()
+
+    # crash-restart the compact side only
+    path = str(tmp_path / "tree.ltp")
+    with PageStore(path) as store:
+        compact.save(store)
+    with PageStore(path) as store:
+        restored_stats = Counters()
+        restored = CompactLTree.load(store, stats=restored_stats)
+    restored_handles = list(restored.iter_leaves())
+    assert restored_handles == compact_handles
+
+    ref_stats.reset()
+    drive(random.Random(77), ref, ref_handles, 600)
+    drive(random.Random(77), restored, restored_handles, 600)
+    assert ref.labels() == restored.labels()
+    assert ref_stats.as_dict() == restored_stats.as_dict()
+    restored.validate()
+
+
+def test_save_rejects_tokens_that_cannot_round_trip(tmp_path):
+    """Regression: adjacent text nodes merge under serialize->parse, so
+    save() must fail fast instead of writing a permanently unopenable
+    document."""
+    from repro.errors import ParameterError
+
+    document = parse("<r><a>hello</a></r>")
+    labeled = LabeledDocument(
+        document, scheme=CompactListLabeling(PARAMS))
+    target = document.root.children[0]
+    labeled.insert_text(target, 1, "world")  # now two adjacent texts
+    path = str(tmp_path / "doc.ltp")
+    with PageStore(path) as store:
+        with pytest.raises(ParameterError, match="round trip"):
+            labeled.save(store)
+        # nothing was written: the store holds no partial document
+        assert list(store.blobs()) == []
+
+
+def test_save_rejects_non_ltree_schemes(tmp_path):
+    document = xmark_like(n_items=3, n_people=2, n_auctions=1, seed=1)
+    labeled = LabeledDocument(document, scheme=NaiveLabeling())
+    with PageStore(str(tmp_path / "doc.ltp")) as store:
+        with pytest.raises(TypeError):
+            labeled.save(store)

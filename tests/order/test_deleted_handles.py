@@ -1,0 +1,97 @@
+"""Deleted-handle semantics, shared across the two L-Tree adapters.
+
+Both ``ltree`` (node-object engine) and ``ltree-compact`` (array engine)
+mark-delete without relabeling (paper §2.3), so a deleted handle keeps its
+slot.  The adapters must nevertheless behave *identically* on access:
+``label()``, ``payload()`` and a second ``delete()`` all raise
+``ValueError``, live handles stay fully readable, and the live views never
+include tombstones.  Regression for the bug where ``payload()`` quietly
+served tombstoned slots that ``label()`` refused.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.order.registry import make_scheme
+
+ADAPTERS = ["ltree", "ltree-compact"]
+
+_SCRIPT = st.lists(
+    st.tuples(st.integers(0, 10 ** 9), st.sampled_from(["ins", "del"])),
+    max_size=80)
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+@pytest.mark.parametrize("name", ADAPTERS)
+class TestDeletedHandleAccess:
+    def test_label_and_payload_agree(self, name):
+        scheme = make_scheme(name)
+        handles = list(scheme.bulk_load(["a", "b", "c"]))
+        victim = handles[1]
+        assert scheme.payload(victim) == "b"
+        scheme.delete(victim)
+        with pytest.raises(ValueError):
+            scheme.label(victim)
+        with pytest.raises(ValueError):
+            scheme.payload(victim)
+        with pytest.raises(ValueError):
+            scheme.delete(victim)
+
+    @given(initial=st.integers(2, 10), script=_SCRIPT)
+    @_SETTINGS
+    def test_any_history(self, name, initial, script):
+        """Property: after any edit history, dead handles raise on every
+        accessor and live handles answer on every accessor."""
+        scheme = make_scheme(name)
+        live = list(scheme.bulk_load([("seed", i) for i in range(initial)]))
+        live_payloads = [("seed", i) for i in range(initial)]
+        dead = []
+        for step, (position_seed, kind) in enumerate(script):
+            if kind == "del" and len(live) > 1:
+                position = position_seed % len(live)
+                dead.append(live.pop(position))
+                live_payloads.pop(position)
+                scheme.delete(dead[-1])
+            else:
+                position = position_seed % len(live)
+                payload = ("op", step)
+                handle = scheme.insert_after(live[position], payload)
+                live.insert(position + 1, handle)
+                live_payloads.insert(position + 1, payload)
+        assert [scheme.payload(handle) for handle in live] == live_payloads
+        labels = [scheme.label(handle) for handle in live]
+        assert labels == sorted(labels)
+        assert scheme.payloads() == live_payloads
+        for handle in dead:
+            with pytest.raises(ValueError):
+                scheme.label(handle)
+            with pytest.raises(ValueError):
+                scheme.payload(handle)
+
+
+def test_adapters_identical_on_deleted_handles():
+    """Drive both adapters through the same stream; their deleted-handle
+    behavior (which accessor raises, with what) must match exactly."""
+    schemes = {name: make_scheme(name) for name in ADAPTERS}
+    handles = {name: list(scheme.bulk_load(range(6)))
+               for name, scheme in schemes.items()}
+    for victim_index in (0, 2, 5):
+        outcomes = {}
+        for name, scheme in schemes.items():
+            victim = handles[name][victim_index]
+            scheme.delete(victim)
+            raised = {}
+            for accessor in ("label", "payload", "delete"):
+                try:
+                    getattr(scheme, accessor)(victim) if accessor != \
+                        "delete" else scheme.delete(victim)
+                    raised[accessor] = None
+                except Exception as exc:  # noqa: BLE001 — recording type
+                    raised[accessor] = (type(exc), str(exc))
+            outcomes[name] = raised
+        assert outcomes["ltree"] == outcomes["ltree-compact"]
+        for outcome in outcomes["ltree"].values():
+            assert outcome is not None and outcome[0] is ValueError

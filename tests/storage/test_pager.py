@@ -28,6 +28,24 @@ class TestPageModel:
         model = PageModel(entries_per_page=10, cache_hit_rate=0.5)
         assert model.pages_for(100) == 5.0
 
+    @pytest.mark.parametrize("hit_rate", [0.0, 0.25, 0.5, 0.9, 0.999])
+    @pytest.mark.parametrize("touches", [1, 5, 10, 11, 64, 1000])
+    def test_floor_applies_after_discount(self, hit_rate, touches):
+        """Regression: nonzero touches always cost >= 1.0 page I/O.
+
+        The one-page floor must come *after* the cache discount; the old
+        ordering reported e.g. 0.5 pages for a single touch at a 50% hit
+        rate, which no disk can do.
+        """
+        model = PageModel(entries_per_page=64, cache_hit_rate=hit_rate)
+        assert model.pages_for(touches) >= 1.0
+
+    def test_discount_still_scales_large_counts(self):
+        # the floor must not swallow the discount where it matters
+        model = PageModel(entries_per_page=10, cache_hit_rate=0.9)
+        assert model.pages_for(1000) == pytest.approx(10.0)
+        assert model.pages_for(10) == 1.0
+
 
 class TestEstimateIO:
     def test_splits_structure_and_tuples(self):

@@ -1,0 +1,264 @@
+"""Page-backed store: fixed-size pages, buffer pool, mmap fast path."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pages import (DEFAULT_PAGE_SIZE, PAGE_FORMAT_VERSION,
+                                 PAGE_MAGIC, PageStore)
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "store.ltp")
+
+
+class TestPageLayer:
+    def test_new_file_has_header_page(self, path):
+        with PageStore(path) as store:
+            assert store.page_count == 1
+        assert os.path.getsize(path) == DEFAULT_PAGE_SIZE
+        with open(path, "rb") as handle:
+            assert handle.read(8) == PAGE_MAGIC
+
+    def test_allocate_and_rw_pages(self, path):
+        with PageStore(path, page_size=256) as store:
+            first = store.allocate_pages(3)
+            assert first == 1
+            assert store.page_count == 4
+            store.write_page(2, b"abc")
+            assert store.read_page(2)[:3] == b"abc"
+            assert store.read_page(2).rstrip(b"\x00") == b"abc"
+
+    def test_page_bounds_checked(self, path):
+        with PageStore(path) as store:
+            with pytest.raises(StorageError):
+                store.read_page(5)
+            with pytest.raises(StorageError):
+                store.write_page(0, b"clobber the header")
+
+    def test_oversized_write_rejected(self, path):
+        with PageStore(path, page_size=128) as store:
+            page = store.allocate_pages(1)
+            with pytest.raises(StorageError):
+                store.write_page(page, b"x" * 129)
+
+    def test_pool_caps_and_counts(self, path):
+        with PageStore(path, page_size=128, pool_pages=2) as store:
+            first = store.allocate_pages(3)
+            for page_id in range(first, first + 3):
+                store.write_page(page_id, bytes([page_id]) * 8)
+            store.read_page(first)        # miss
+            store.read_page(first)        # hit
+            store.read_page(first + 1)    # miss
+            store.read_page(first + 2)    # miss, evicts `first`
+            store.read_page(first)        # miss again
+            assert store.pool_hits == 1
+            assert store.pool_misses == 4
+
+    def test_bad_magic_rejected(self, path):
+        with open(path, "wb") as handle:
+            handle.write(b"NOTPAGES" + b"\x00" * 120)
+        with pytest.raises(StorageError):
+            PageStore(path)
+
+    def test_failed_open_releases_the_file(self, path):
+        """Regression: a rejected open must not leak the descriptor."""
+        with open(path, "wb") as handle:
+            handle.write(b"NOTPAGES" + b"\x00" * 120)
+        for _ in range(5):
+            with pytest.raises(StorageError):
+                PageStore(path)
+        # the file is free to reopen exclusively (fd was closed)
+        os.rename(path, path + ".moved")
+        os.rename(path + ".moved", path)
+
+    def test_grown_span_written_once(self, path):
+        """Regression: growing a blob must not zero-fill then rewrite."""
+
+        class CountingFile:
+            def __init__(self, inner):
+                self.inner = inner
+                self.writes = []
+
+            def write(self, data):
+                self.writes.append(len(data))
+                return self.inner.write(data)
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        with PageStore(path, page_size=256) as store:
+            counting = CountingFile(store._file)
+            store._file = counting
+            store.put_blob("tree", b"z" * 1000)
+            # one data+padding write plus one header rewrite — no
+            # extra span-sized zero-fill
+            span_writes = [size for size in counting.writes
+                           if size >= 1000]
+            assert len(span_writes) == 1
+            store._file = counting.inner
+        with PageStore(path) as store:
+            assert store.get_blob("tree") == b"z" * 1000
+
+    def test_bad_version_rejected(self, path):
+        with PageStore(path) as store:
+            store.put_blob("x", b"payload")
+        with open(path, "r+b") as handle:
+            handle.seek(8)
+            handle.write((PAGE_FORMAT_VERSION + 1).to_bytes(4, "little"))
+        with pytest.raises(StorageError):
+            PageStore(path)
+
+    def test_page_size_mismatch_rejected(self, path):
+        with PageStore(path, page_size=512):
+            pass
+        with pytest.raises(StorageError):
+            PageStore(path, page_size=1024)
+
+    def test_existing_page_size_wins_over_default(self, path):
+        with PageStore(path, page_size=512) as store:
+            store.put_blob("x", b"abc")
+        with PageStore(path) as store:   # page_size omitted
+            assert store.page_size == 512
+            assert bytes(store.get_blob("x")) == b"abc"
+
+    def test_explicit_default_sized_mismatch_still_rejected(self, path):
+        """Regression: an explicit page_size that happens to equal the
+        default must still be checked against the file header."""
+        with PageStore(path, page_size=8192):
+            pass
+        with pytest.raises(StorageError):
+            PageStore(path, page_size=DEFAULT_PAGE_SIZE)
+        with PageStore(path, page_size=8192) as store:  # matching: fine
+            assert store.page_size == 8192
+
+
+class TestBlobLayer:
+    def test_roundtrip_across_reopen(self, path):
+        blob = os.urandom(3 * DEFAULT_PAGE_SIZE + 17)
+        with PageStore(path) as store:
+            store.put_blob("tree", blob)
+        with PageStore(path) as store:
+            assert store.get_blob("tree") == blob
+            assert store.blob_length("tree") == len(blob)
+
+    def test_mmap_path_matches_pool_path(self, path):
+        blob = os.urandom(2 * DEFAULT_PAGE_SIZE + 5)
+        with PageStore(path) as store:
+            store.put_blob("tree", blob)
+        with PageStore(path) as store:
+            view = store.get_blob("tree", prefer_mmap=True)
+            assert isinstance(view, memoryview)
+            assert bytes(view) == blob == store.get_blob("tree")
+            view.release()
+
+    def test_overwrite_in_place_when_it_fits(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("tree", b"a" * 300)   # 3 pages
+            pages = store.page_count
+            store.put_blob("tree", b"b" * 250)   # still fits the span
+            assert store.page_count == pages
+            assert store.get_blob("tree") == b"b" * 250
+
+    def test_shrink_then_regrow_reuses_the_span(self, path):
+        """Regression: a shrunk blob keeps its allocated pages, so
+        regrowing within them must not leak a fresh span per cycle."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"a" * 300)   # 3 pages allocated
+            pages = store.page_count
+            for cycle in range(5):
+                store.put_blob("x", b"tiny")
+                store.put_blob("x", bytes([cycle]) * 300)
+            assert store.page_count == pages
+            assert store.get_blob("x") == bytes([4]) * 300
+
+    def test_overwrite_appends_when_grown(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("tree", b"a" * 100)
+            pages = store.page_count
+            store.put_blob("tree", b"b" * 1000)
+            assert store.page_count > pages
+            assert store.get_blob("tree") == b"b" * 1000
+
+    def test_many_blobs(self, path):
+        blobs = {f"blob{i}": os.urandom(50 * i + 1) for i in range(20)}
+        with PageStore(path, page_size=1024) as store:
+            for name, data in blobs.items():
+                store.put_blob(name, data)
+        with PageStore(path) as store:
+            assert sorted(store.blobs()) == sorted(blobs)
+            for name, data in blobs.items():
+                assert store.get_blob(name) == data
+
+    def test_empty_blob(self, path):
+        with PageStore(path) as store:
+            store.put_blob("empty", b"")
+        with PageStore(path) as store:
+            assert store.get_blob("empty") == b""
+
+    def test_missing_blob_raises_keyerror(self, path):
+        with PageStore(path) as store:
+            with pytest.raises(KeyError):
+                store.get_blob("ghost")
+            with pytest.raises(KeyError):
+                store.blob_length("ghost")
+            assert not store.has_blob("ghost")
+
+    def test_catalog_survives_partial_update(self, path):
+        with PageStore(path) as store:
+            store.put_blob("a", b"first")
+        with PageStore(path) as store:
+            store.put_blob("b", b"second")
+        with PageStore(path) as store:
+            assert store.get_blob("a") == b"first"
+            assert store.get_blob("b") == b"second"
+
+    def test_close_is_idempotent(self, path):
+        store = PageStore(path)
+        store.put_blob("x", b"data")
+        store.close()
+        store.close()
+
+    def test_catalog_overflow_leaves_store_untouched(self, path):
+        """A rejected put must not leave a blob the reopen will lose."""
+        with PageStore(path, page_size=256) as store:
+            store.put_blob("keeper", b"safe")
+            pages_before = store.page_count
+            with pytest.raises(StorageError):
+                for index in range(500):
+                    store.put_blob(f"blob-with-a-long-name-{index:04d}",
+                                   b"x")
+            overflow_names = [name for name in store.blobs()
+                              if name.startswith("blob-with")]
+            # the put that failed left no catalog entry behind
+            failed = f"blob-with-a-long-name-{len(overflow_names):04d}"
+            assert not store.has_blob(failed)
+            assert store.page_count >= pages_before
+            for name in overflow_names:
+                assert store.get_blob(name) == b"x"
+        with PageStore(path) as store:
+            assert store.get_blob("keeper") == b"safe"
+            for name in overflow_names:
+                assert store.get_blob(name) == b"x"
+
+    def test_mmap_reads_share_one_mapping(self, path):
+        """Repeated mmap reads must not accumulate mappings."""
+        with PageStore(path) as store:
+            store.put_blob("tree", b"z" * 10_000)
+            views = [store.get_blob("tree", prefer_mmap=True)
+                     for _ in range(8)]
+            assert store._map is not None
+            assert store._retired_maps == []
+            for view in views:
+                view.release()
+
+    def test_mmap_sees_blob_written_after_first_map(self, path):
+        with PageStore(path) as store:
+            store.put_blob("a", b"first")
+            assert bytes(store.get_blob("a", prefer_mmap=True)) == \
+                b"first"
+            store.put_blob("b", b"second, beyond the old mapping" * 200)
+            assert bytes(store.get_blob("b", prefer_mmap=True)) == \
+                b"second, beyond the old mapping" * 200

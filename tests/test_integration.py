@@ -47,7 +47,9 @@ class TestParseLabelQueryPipeline:
             labeled.insert_subtree(regions, 0, item)
         labeled.validate()
         # persist the raw labels, restore, and verify order agreement
-        data = snapshot(labeled.scheme.tree)
+        # (payloads are live XMLNode tuples — not JSON-able, and a
+        # snapshot guarantees JSON-safety — so they stay out of it)
+        data = snapshot(labeled.scheme.tree, include_payloads=False)
         rebuilt = restore(data)
         assert rebuilt.labels() == labeled.scheme.tree.labels()
 
