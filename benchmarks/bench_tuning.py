@@ -10,6 +10,10 @@ import pytest
 from repro.core import cost as cost_model
 from repro.core import tuning
 
+#: the optimizers under benchmark need the gated scientific stack
+pytestmark = pytest.mark.skipif(
+    not tuning.HAS_SCIPY_STACK, reason="needs numpy + scipy")
+
 N0 = 65536
 
 

@@ -1,0 +1,241 @@
+"""Canonical perf harness: every suite, one command, one JSON baseline.
+
+Usage::
+
+    python benchmarks/run_all.py              # writes BENCH_PR3.json
+    python benchmarks/run_all.py --out path.json --scale 0.2
+
+Runs the five headline suites — bulk load, random single inserts, §4.1
+run inserts, the query-containment plan, and byte-image restore — and
+writes one machine-readable record to ``BENCH_PR3.json`` at the repo
+root.  That file is the tracked perf trajectory: every future perf PR
+re-runs this harness and compares against the committed baseline instead
+of re-deriving numbers from prose.  CI uploads the JSON as an artifact
+from the benchmark smoke job.
+
+The suites deliberately measure through the public entry points the rest
+of the system uses (``make_scheme``, ``LabeledDocument``,
+``IntervalTableStore``, ``to_bytes``/``from_bytes``), so a regression in
+any layer shows up here, not only in microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import vectorized  # noqa: E402
+from repro.core.compact import CompactLTree  # noqa: E402
+from repro.core.ltree import LTree  # noqa: E402
+from repro.core.params import LTreeParams  # noqa: E402
+from repro.core.stats import Counters  # noqa: E402
+from repro.labeling.scheme import LabeledDocument  # noqa: E402
+from repro.order.registry import make_scheme  # noqa: E402
+from repro.query.engine import evaluate_interval  # noqa: E402
+from repro.query.xpath import parse_xpath  # noqa: E402
+from repro.storage.interval_table import IntervalTableStore  # noqa: E402
+from repro.workloads import updates as W  # noqa: E402
+from repro.xml.generator import xmark_like  # noqa: E402
+
+PARAMS = LTreeParams(f=16, s=4)
+QUERY = "/site//increase"
+
+
+def _best(callable_, rounds: int = 3) -> float:
+    """Best-of-N wall seconds of ``callable_()``."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def suite_bulk_load(scale: float) -> dict:
+    """Columnar bulk load per backend, against the scalar baseline."""
+    n = max(1000, int(100_000 * scale))
+    backends = ["scalar", "array"] + (
+        ["numpy"] if vectorized.HAS_NUMPY else [])
+    seconds = {}
+    for backend in backends:
+        with vectorized.use_backend(backend):
+            seconds[backend] = _best(
+                lambda: CompactLTree(PARAMS).bulk_load(range(n)))
+    return {
+        "n_leaves": n,
+        "seconds": seconds,
+        "speedup_vs_scalar": {
+            backend: round(seconds["scalar"] / seconds[backend], 2)
+            for backend in backends if backend != "scalar"},
+    }
+
+
+def suite_random_insert(scale: float) -> dict:
+    """The uniform single-insert workload on both engines."""
+    n_ops = max(500, int(2000 * scale))
+    seconds = {}
+    relabels_per_insert = {}
+    for name in ("ltree", "ltree-compact"):
+        stats = Counters()
+
+        def run(name=name, stats=stats):
+            stats.reset()
+            scheme = make_scheme(name, stats)
+            W.apply_workload(scheme, W.uniform_inserts(n_ops, seed=42))
+
+        seconds[name] = _best(run)
+        relabels_per_insert[name] = round(stats.relabels / stats.inserts, 2)
+    return {
+        "n_ops": n_ops,
+        "seconds": seconds,
+        "compact_speedup": round(
+            seconds["ltree"] / seconds["ltree-compact"], 2),
+        "relabels_per_insert": relabels_per_insert,
+    }
+
+
+def suite_run_insert(scale: float) -> dict:
+    """§4.1 batch runs: repeated insert_run_after at random anchors."""
+    n_runs = max(100, int(800 * scale))
+    run_length = 16
+    seconds = {}
+    for name, engine in (("ltree", LTree), ("ltree-compact", CompactLTree)):
+
+        def run(engine=engine):
+            tree = engine(PARAMS)
+            handles = list(tree.bulk_load(range(64)))
+            rng = random.Random(9)
+            for index in range(n_runs):
+                anchor = handles[rng.randrange(len(handles))]
+                payloads = [(index, k) for k in range(run_length)]
+                handles.extend(tree.insert_run_after(anchor, payloads))
+
+        seconds[name] = _best(run)
+    return {
+        "n_runs": n_runs,
+        "run_length": run_length,
+        "seconds": seconds,
+        "compact_speedup": round(
+            seconds["ltree"] / seconds["ltree-compact"], 2),
+    }
+
+
+def suite_query_containment(scale: float) -> dict:
+    """Shred + one containment join, cached vs uncached label vector."""
+    document = xmark_like(n_items=max(20, int(120 * scale)),
+                          n_people=max(10, int(60 * scale)),
+                          n_auctions=max(8, int(40 * scale)), seed=43)
+    query = parse_xpath(QUERY)
+    seconds = {}
+    lookups = {}
+    results = {}
+    for cached in (True, False):
+        key = "cached" if cached else "uncached"
+        stats = Counters()
+
+        def run(stats=stats, cached=cached):
+            stats.reset()
+            labeled = LabeledDocument(document, stats=stats,
+                                      cache_labels=cached)
+            store = IntervalTableStore(labeled, stats)
+            results[cached] = len(evaluate_interval(store, query, stats))
+
+        seconds[key] = _best(run)
+        lookups[key] = stats.label_lookups
+    assert results[True] == results[False]
+    return {
+        "query": QUERY,
+        "results": results[True],
+        "seconds": seconds,
+        "label_lookups": lookups,
+    }
+
+
+def suite_restore(scale: float) -> dict:
+    """Byte-image restore vs rebuilding the same tree.
+
+    Two restore variants (full image, and the payload-free image that
+    ``LabeledDocument.save`` writes) against two rebuild baselines (the
+    vectorized columnar bulk load, and the per-slot §2.2 algorithm) —
+    the orderings ``bench_persistence.py``'s acceptance gate asserts.
+    """
+    n = max(1000, int(50_000 * scale))
+    tree = CompactLTree(PARAMS)
+    tree.bulk_load(range(n))
+    image = tree.to_bytes()
+    image_no_payloads = tree.to_bytes(include_payloads=False)
+    bulk_seconds = _best(lambda: CompactLTree(PARAMS).bulk_load(range(n)))
+    with vectorized.use_backend("scalar"):
+        scalar_bulk_seconds = _best(
+            lambda: CompactLTree(PARAMS).bulk_load(range(n)))
+    restore_seconds = _best(lambda: CompactLTree.from_bytes(image))
+    restore_np_seconds = _best(
+        lambda: CompactLTree.from_bytes(image_no_payloads))
+    return {
+        "n_leaves": n,
+        "image_bytes": len(image),
+        "bulk_seconds": bulk_seconds,
+        "scalar_bulk_seconds": scalar_bulk_seconds,
+        "restore_seconds": restore_seconds,
+        "restore_no_payload_seconds": restore_np_seconds,
+        "restore_speedup_vs_scalar": round(
+            scalar_bulk_seconds / restore_seconds, 2),
+        "document_restore_speedup": round(
+            bulk_seconds / restore_np_seconds, 2),
+    }
+
+
+SUITES = {
+    "bulk_load": suite_bulk_load,
+    "random_insert": suite_random_insert,
+    "run_insert": suite_run_insert,
+    "query_containment": suite_query_containment,
+    "restore": suite_restore,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"),
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="shrink suite sizes (e.g. 0.2 for CI smoke)")
+    args = parser.parse_args(argv)
+
+    numpy_version = None
+    if vectorized.HAS_NUMPY:
+        import numpy
+        numpy_version = numpy.__version__
+    record = {
+        "schema": 1,
+        "baseline": "PR3",
+        "created_unix": round(time.time(), 3),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "vector_backend": vectorized.get_backend(),
+        "scale": args.scale,
+        "suites": {},
+    }
+    for name, suite in SUITES.items():
+        start = time.perf_counter()
+        record["suites"][name] = suite(args.scale)
+        elapsed = time.perf_counter() - start
+        print(f"{name:18s} done in {elapsed:6.2f}s")
+    out = Path(args.out)
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -29,6 +29,16 @@ The payoff is a flat, cache-friendly layout that later PRs can shard,
 persist, or hand to an accelerator without first untangling object
 graphs — the interchangeable-engine seam behind the
 ``ltree-compact`` scheme in :mod:`repro.order.registry`.
+
+The hot paths run as **batch array passes** through
+:mod:`repro.core.vectorized`: bulk load materializes all six columns with
+closed-form level arithmetic (numpy when available, C-level list/slice
+passes otherwise), and every relabel — splits, root rebuilds, the §4.1
+run-insert relabel — walks the tree one *level* at a time with stride
+arithmetic instead of one slot at a time.  The original per-slot loops
+survive as the ``scalar`` backend, the baseline the vectorized paths are
+differential-tested and benchmarked against; select a backend with
+``REPRO_VECTOR_BACKEND`` or :func:`repro.core.vectorized.set_backend`.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ import sys
 from array import array
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from repro.core import vectorized
 from repro.core.params import LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.errors import ParameterError, InvariantViolation, LabelOverflow
@@ -335,24 +346,36 @@ class CompactLTree:
 
     def _iter_subtree_leaves(self, top: int, include_deleted: bool = True
                              ) -> Iterator[int]:
-        """Leaves of the subtree rooted at ``top``, in document order."""
+        """Leaves of the subtree rooted at ``top``, in document order.
+
+        Walks the first-child/next-sibling links directly (the encoding
+        *is* a binary tree whose pre-order is document order), so no
+        per-node child list is ever materialized.
+        """
         height = self._height
         first_child = self._first_child
         next_sibling = self._next_sibling
         deleted = self._deleted
-        stack = [top]
+        if height[top] == 0:
+            if include_deleted or not deleted[top]:
+                yield top
+            return
+        # stack of pending right-sibling chains; top's own siblings are
+        # never followed because the walk starts at its first child
+        stack = [first_child[top]]
+        push = stack.append
         while stack:
             node = stack.pop()
-            if height[node] == 0:
-                if include_deleted or not deleted[node]:
-                    yield node
-            else:
-                children: list[int] = []
-                child = first_child[node]
-                while child != NIL:
-                    children.append(child)
-                    child = next_sibling[child]
-                stack.extend(reversed(children))
+            while node != NIL:
+                if height[node] == 0:
+                    if include_deleted or not deleted[node]:
+                        yield node
+                    node = next_sibling[node]
+                else:
+                    sibling = next_sibling[node]
+                    if sibling != NIL:
+                        push(sibling)
+                    node = first_child[node]
 
     def labels(self, include_deleted: bool = True) -> list[int]:
         """The current label sequence (strictly increasing)."""
@@ -374,15 +397,19 @@ class CompactLTree:
         leaf_count = self._leaf_count
         next_sibling = self._next_sibling
         node = self.root
+        accesses = 0
         while height[node] != 0:
             child = self._first_child[node]
             while child != NIL:
-                self.stats.node_accesses += 1
+                accesses += 1
                 if index < leaf_count[child]:
                     node = child
                     break
                 index -= leaf_count[child]
                 child = next_sibling[child]
+        stats = self.stats
+        if stats.enabled:
+            stats.node_accesses += accesses
         return node
 
     def max_label(self) -> int:
@@ -402,11 +429,14 @@ class CompactLTree:
         num_arr = self._num
         height = self._height
         next_sibling = self._next_sibling
+        stats = self.stats
+        track = stats.enabled
         node = self.root
         if num < num_arr[node]:
             return None
         while height[node] != 0:
-            self.stats.node_accesses += 1
+            if track:
+                stats.node_accesses += 1
             child = self._first_child[node]
             if child == NIL:
                 return None
@@ -455,9 +485,33 @@ class CompactLTree:
 
         Reclaims every existing slot, so handles from before the load are
         invalid.  Returns the created leaves in order.
+
+        Under the vectorized backends the whole struct-of-arrays image —
+        labels, links, counts — is computed as closed-form column
+        arithmetic (:func:`repro.core.vectorized.left_complete_columns`)
+        with zero per-slot work; the slot layout and counter totals are
+        identical to the scalar build.
         """
         items = list(payloads)
         self._clear()
+        if not items or vectorized.get_backend() == "scalar":
+            return self._bulk_load_scalar(items)
+        n = len(items)
+        params = self.params
+        columns = vectorized.left_complete_columns(
+            n, params.arity, params.base, params.height_for(n))
+        (self._num, self._height, self._leaf_count, self._parent,
+         self._first_child, self._next_sibling) = columns[:6]
+        self._payload = items + [None] * (columns.total - n)
+        self._deleted = bytearray(columns.total)
+        self.root = columns.root
+        stats = self.stats
+        if stats.enabled:
+            stats.relabels += columns.total
+        return list(range(n))
+
+    def _bulk_load_scalar(self, items: list) -> list[int]:
+        """The per-slot bulk load (scalar backend, and the empty tree)."""
         leaves = [self._new_node(0, payload) for payload in items]
         height = self.params.height_for(len(leaves))
         if leaves:
@@ -589,14 +643,18 @@ class CompactLTree:
         self._parent[leaf] = parent
         leaf_count = self._leaf_count
         parent_arr = self._parent
+        depth = 0
         node = parent
         while node != NIL:
             leaf_count[node] += 1
-            self.stats.count_updates += 1
+            depth += 1
             node = parent_arr[node]
         self._num[leaf] = self._num[parent]
-        self.stats.relabels += 1
-        self.stats.inserts += 1
+        stats = self.stats
+        if stats.enabled:
+            stats.count_updates += depth
+            stats.relabels += 1
+            stats.inserts += 1
         return leaf
 
     def _insert_adjacent(self, anchor: int, payload: Any,
@@ -640,14 +698,18 @@ class CompactLTree:
             self._l_max(height[self.root])
         highest_policy = self.violator_policy == "highest"
         violator = NIL
+        depth = 0
         node = parent
         while node != NIL:
             leaf_count[node] += 1
-            self.stats.count_updates += 1
+            depth += 1
             if leaf_count[node] >= lmax[height[node]]:
                 if highest_policy or violator == NIL:
                     violator = node
             node = parent_arr[node]
+        stats = self.stats
+        if stats.enabled:
+            stats.count_updates += depth
 
         if violator == NIL:
             # Relabel the new leaf and its right siblings (cost <= f).
@@ -662,7 +724,8 @@ class CompactLTree:
             self._split(violator)
         else:
             self._split_uneven(violator)
-        self.stats.inserts += 1
+        if stats.enabled:
+            stats.inserts += 1
         return leaf
 
     # ------------------------------------------------------------------
@@ -732,28 +795,112 @@ class CompactLTree:
     def _relabel_children_from(self, parent: int, start: int) -> None:
         """Relabel children ``start..`` of ``parent`` and their subtrees.
 
-        This is the paper's ``Relabel(parent, num(parent), i)``.
+        This is the paper's ``Relabel(parent, num(parent), i)``.  The
+        child chain is walked in place — no child list is materialized —
+        and whole subtrees are relabeled per level by
+        :meth:`_assign_labels_batch`.
         """
         parent_height = self._height[parent]
         step = self._step(parent_height - 1)
-        children = self._children_of(parent)
-        if len(children) > self.params.base:
-            raise LabelOverflow(
-                f"node has {len(children)} children but the label "
-                f"base addresses only {self.params.base} slots")
         base_num = self._num[parent]
-        if parent_height == 1:
-            # children are all leaves — assign in one tight loop
-            num_arr = self._num
-            for index in range(start, len(children)):
-                num_arr[children[index]] = base_num + index * step
-            self.stats.relabels += max(0, len(children) - start)
+        next_sibling = self._next_sibling
+        # one chain pass: fanout check + the first child to relabel
+        fanout = 0
+        start_child = NIL
+        child = self._first_child[parent]
+        while child != NIL:
+            if fanout == start:
+                start_child = child
+            fanout += 1
+            child = next_sibling[child]
+        if fanout > self.params.base:
+            raise LabelOverflow(
+                f"node has {fanout} children but the label "
+                f"base addresses only {self.params.base} slots")
+        if start_child == NIL:
             return
-        for index in range(start, len(children)):
-            self._assign_labels(children[index], base_num + index * step)
+        if parent_height == 1:
+            # children are all leaves — one stride pass over the chain
+            num_arr = self._num
+            value = base_num + start * step
+            child = start_child
+            while child != NIL:
+                num_arr[child] = value
+                value += step
+                child = next_sibling[child]
+            stats = self.stats
+            if stats.enabled:
+                stats.relabels += fanout - start
+            return
+        slots = []
+        values = []
+        child = start_child
+        value = base_num + start * step
+        while child != NIL:
+            slots.append(child)
+            values.append(value)
+            value += step
+            child = next_sibling[child]
+        self._assign_labels_batch(slots, values, parent_height - 1)
 
     def _assign_labels(self, node: int, num: int) -> None:
-        """Set ``num`` on ``node`` and iteratively on its whole subtree."""
+        """Set ``num`` on ``node`` and on its whole subtree."""
+        self._assign_labels_batch([node], [num], self._height[node])
+
+    def _assign_labels_batch(self, slots: list[int], values: list[int],
+                             height: int) -> None:
+        """Label same-height subtree roots ``slots`` with ``values``.
+
+        The vectorized form of the subtree relabel: instead of a per-node
+        stack walk, the whole frontier advances one *level* at a time and
+        each parent's child labels are a stride progression; counters are
+        settled once per call.  Under the ``scalar`` backend this defers
+        to the original per-slot loop so the PR 1 baseline stays
+        measurable (same labels, same counter totals either way).
+        """
+        if vectorized.get_backend() == "scalar":
+            for slot, value in zip(slots, values):
+                self._assign_labels_scalar(slot, value)
+            return
+        num_arr = self._num
+        first_child = self._first_child
+        next_sibling = self._next_sibling
+        base = self.params.base
+        for slot, value in zip(slots, values):
+            num_arr[slot] = value
+        written = len(slots)
+        level = height
+        while level > 0 and slots:
+            step = self._step(level - 1)
+            descend = level > 1
+            next_slots: list[int] = []
+            next_values: list[int] = []
+            push_slot = next_slots.append
+            push_value = next_values.append
+            for parent, value in zip(slots, values):
+                child = first_child[parent]
+                count = 0
+                while child != NIL:
+                    num_arr[child] = value
+                    count += 1
+                    if descend:
+                        push_slot(child)
+                        push_value(value)
+                    value += step
+                    child = next_sibling[child]
+                if count > base:
+                    raise LabelOverflow(
+                        f"node has {count} children but the "
+                        f"label base addresses only {base} slots")
+                written += count
+            slots, values = next_slots, next_values
+            level -= 1
+        stats = self.stats
+        if stats.enabled:
+            stats.relabels += written
+
+    def _assign_labels_scalar(self, node: int, num: int) -> None:
+        """The per-slot stack walk (scalar backend baseline)."""
         num_arr = self._num
         height = self._height
         first_child = self._first_child
@@ -842,13 +989,17 @@ class CompactLTree:
         if len(lmax) <= height[self.root]:
             self._l_max(height[self.root])
         violator = NIL
+        depth = 0
         node = parent
         while node != NIL:
             leaf_count[node] += count
-            self.stats.count_updates += 1
+            depth += 1
             if leaf_count[node] >= lmax[height[node]]:
                 violator = node
             node = parent_arr[node]
+        stats = self.stats
+        if stats.enabled:
+            stats.count_updates += depth
 
         if violator == NIL:
             self._relabel_children_from(parent, position)
@@ -856,7 +1007,8 @@ class CompactLTree:
             self._rebuild_root()
         else:
             self._split_uneven(violator)
-        self.stats.inserts += count
+        if stats.enabled:
+            stats.inserts += count
         return leaves
 
     def _split_uneven(self, node: int) -> None:
@@ -961,7 +1113,9 @@ class CompactLTree:
         if self._height[leaf] != 0:
             raise ValueError("only leaves can be marked deleted")
         self._deleted[leaf] = 1
-        self.stats.deletes += 1
+        stats = self.stats
+        if stats.enabled:
+            stats.deletes += 1
 
     # ------------------------------------------------------------------
     # byte serialization (struct-of-arrays format)

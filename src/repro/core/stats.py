@@ -52,6 +52,14 @@ class Counters:
     inserts: int = 0
     #: completed delete (mark) operations
     deletes: int = 0
+    #: per-node label fetches issued by the document layer (the cost the
+    #: cached label vector of LabeledDocument exists to avoid)
+    label_lookups: int = 0
+
+    #: hot paths consult this flag and skip counter maintenance entirely
+    #: when it is False (see NullCounters); a plain class attribute, not
+    #: a dataclass field, so it never appears in as_dict()/arithmetic
+    enabled = True
 
     def snapshot(self) -> "Counters":
         """Return an immutable-by-convention copy of the current values."""
@@ -114,6 +122,20 @@ class Counters:
                 setattr(delta, field.name, getattr(diff, field.name))
 
 
+class NullCounters(Counters):
+    """A counter sink whose increments instrumented code may skip.
+
+    Behaves exactly like :class:`Counters` for any caller that does write
+    to it, but advertises ``enabled = False`` so hot loops can hoist one
+    flag check and drop per-touched-slot increments entirely — the
+    non-instrumented engine then pays zero attribute-update cost instead
+    of one dictionary write per ancestor/relabel/access.
+    """
+
+    enabled = False
+
+
 #: Shared do-nothing sink for callers that do not care about statistics.
-#: Using a real Counters keeps hot paths free of ``if stats is not None``.
-NULL_COUNTERS = Counters()
+#: Using a real Counters keeps hot paths free of ``if stats is not None``;
+#: its ``enabled = False`` flag additionally lets them skip increments.
+NULL_COUNTERS = NullCounters()

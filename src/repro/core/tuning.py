@@ -17,6 +17,13 @@ The paper poses three optimization problems over the tree parameters
 The continuous optima are then refined over the integer lattice
 (``s >= 2``, ``s | f``, ``f/s >= 2``) because an L-Tree only accepts
 integer parameters; :func:`integer_neighborhood` performs that search.
+
+The continuous solvers need numpy and scipy.  Both imports are gated so
+the rest of the library (and the no-numpy CI leg) works without them:
+:func:`integer_neighborhood` and :func:`cost_grid` are pure Python and
+always available, while the ``minimize_*`` entry points raise a
+:class:`~repro.errors.ParameterError` naming the missing stack
+(``HAS_SCIPY_STACK`` reports availability).
 """
 
 from __future__ import annotations
@@ -26,12 +33,28 @@ import itertools
 import math
 from typing import Callable, Iterable
 
-import numpy as np
-from scipy import optimize
+try:  # gated: only the continuous optimizers need the scientific stack
+    import numpy as np
+    from scipy import optimize
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
+    optimize = None  # type: ignore[assignment]
 
 from repro.core import cost as cost_model
 from repro.core.params import LTreeParams
 from repro.errors import ParameterError
+
+#: True when the continuous ``minimize_*`` solvers can run.
+HAS_SCIPY_STACK = optimize is not None
+
+
+def _require_scipy_stack() -> None:
+    if optimize is None:
+        raise ParameterError(
+            "the continuous tuning optimizers need numpy and scipy, "
+            "which are not importable in this environment; the pure "
+            "integer search (integer_neighborhood, cost_grid) remains "
+            "available")
 
 #: Continuous-domain lower bounds: s > 1 and b = f/s > 1 with margins that
 #: keep the logarithms well-conditioned.
@@ -128,6 +151,7 @@ def minimize_update_cost(n: int, start: tuple[float, float] = (8.0, 2.0)
     but its Hessian is ill-conditioned near the ``f/s -> 1`` boundary), then
     refines over integers.
     """
+    _require_scipy_stack()
     if n < 2:
         raise ParameterError(f"n must be >= 2, got {n}")
 
@@ -158,6 +182,7 @@ def minimize_cost_given_bits(n: int, max_bits: float,
     the boundary ``bits = max_bits`` (the Lagrange-multiplier condition),
     here via SLSQP with an inequality constraint.
     """
+    _require_scipy_stack()
     if max_bits <= 1:
         raise ParameterError(f"max_bits must exceed 1, got {max_bits}")
     unconstrained = minimize_update_cost(n, start)
@@ -200,6 +225,7 @@ def minimize_overall_cost(n: int, update_fraction: float,
                           start: tuple[float, float] = (8.0, 2.0)
                           ) -> TuningResult:
     """§3.2 problem 3: minimize the mixed query/update workload cost."""
+    _require_scipy_stack()
 
     def objective(x: np.ndarray) -> float:
         f, s = _clip(x)
@@ -252,6 +278,7 @@ def lagrange_stationarity_residual(f: float, s: float, n: int,
     (0 at a true stationary point) — used by tests to validate the SLSQP
     solution against the paper's Lagrange formulation.
     """
+    _require_scipy_stack()
     eps = 1e-5
 
     def grad(fun: Callable[[float, float], float]) -> np.ndarray:

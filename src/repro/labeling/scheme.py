@@ -6,14 +6,36 @@ element's label is the **pair** of its two tag labels; ancestor/descendant
 queries become interval containment over those pairs (Figure 1).
 
 :class:`LabeledDocument` owns an :class:`repro.xml.model.XMLDocument` and
-an :class:`repro.order.base.OrderedLabeling` (the L-Tree by default) and
-keeps the two consistent across subtree insertions and deletions:
+an :class:`repro.order.base.OrderedLabeling` (the **compact** array-backed
+L-Tree by default) and keeps the two consistent across subtree insertions
+and deletions:
 
 * insertions label the new tokens through the scheme — using its native
   *batch* insertion, so an L-Tree pays the §4.1 shared cost;
 * deletions only unlabel (the L-Tree marks; no relabeling — §2.3);
 * every predicate (:meth:`is_ancestor`, :meth:`precedes`, ...) consults
   labels only, never the tree structure.
+
+**Engine default (since PR 3).**  The default scheme is
+``ltree-compact`` (:data:`repro.order.registry.DEFAULT_SCHEME`): the
+struct-of-arrays engine proven label- and counter-identical to the
+node-object reference by ``tests/core/test_compact_differential.py``.
+Its bulk paths are vectorized through :mod:`repro.core.vectorized` —
+numpy when importable, pure-Python batch passes otherwise; force a path
+with ``REPRO_VECTOR_BACKEND=numpy|array|scalar`` or
+``repro.core.vectorized.set_backend()``.  To opt back into the
+node-object engine pass ``scheme=make_scheme("ltree")`` or an explicit
+:class:`~repro.order.ltree_list.LTreeListLabeling`.
+
+**Cached label vector.**  Query workloads read labels far more often
+than they edit.  The document keeps one bulk-extracted handle→label
+mapping (built straight from the engine's flat label column on the
+compact engine, see ``OrderedLabeling.label_map``) and serves every
+predicate from it; any edit invalidates the cache, and the next read
+rebuilds it in a single pass.  Per-node fetches that bypass the cache
+are counted in ``Counters.label_lookups`` — the number the cache drives
+to zero (``benchmarks/bench_query_containment.py`` tracks it).  Pass
+``cache_labels=False`` to measure the uncached behaviour.
 """
 
 from __future__ import annotations
@@ -29,6 +51,7 @@ from repro.labeling.containment import Region
 from repro.order.base import OrderedLabeling
 from repro.order.compact_list import CompactListLabeling
 from repro.order.ltree_list import LTreeListLabeling
+from repro.order.registry import default_scheme
 from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
                              XMLInstructionNode, XMLNode, XMLTextNode)
 from repro.xml.parser import parse
@@ -78,11 +101,16 @@ class LabeledDocument:
         The document to label.  A node may belong to at most one
         ``LabeledDocument`` at a time (handles live on ``node.extra``).
     scheme:
-        Any order-labeling scheme; defaults to an L-Tree with ``params``.
+        Any order-labeling scheme; defaults to the compact L-Tree with
+        ``params`` (:func:`repro.order.registry.default_scheme`).
     params:
         L-Tree parameters for the default scheme.
     stats:
         Counter sink (shared with the default scheme).
+    cache_labels:
+        Keep a bulk-extracted handle→label vector and serve predicates
+        from it (default).  ``False`` forces one scheme lookup per label
+        read — the per-node cost ``Counters.label_lookups`` counts.
 
     Examples
     --------
@@ -99,21 +127,24 @@ class LabeledDocument:
     def __init__(self, document: XMLDocument,
                  scheme: Optional[OrderedLabeling] = None,
                  params: Optional[LTreeParams] = None,
-                 stats: Counters = NULL_COUNTERS):
+                 stats: Counters = NULL_COUNTERS,
+                 cache_labels: bool = True):
         if scheme is None:
-            scheme = LTreeListLabeling(params or LTreeParams(f=16, s=4),
-                                       stats=stats)
+            scheme = default_scheme(params, stats)
         elif params is not None:
             raise ValueError("pass either a scheme or params, not both")
         self.document = document
         self.scheme = scheme
         self.stats = stats
+        self._cache_labels = cache_labels
+        self._label_cache: Optional[dict[Any, Any]] = None
         self._bulk_label()
 
     def _bulk_label(self) -> None:
         pairs = list(_emit_tokens(self.document.root))
         handles = self.scheme.bulk_load(pairs)
         self._attach(pairs, handles)
+        self._label_cache = None
 
     @staticmethod
     def _attach(pairs: list[tuple[str, XMLNode]],
@@ -136,24 +167,57 @@ class LabeledDocument:
             raise ValueError(f"{node!r} is not labeled by this document")
         return handles
 
+    def _label_of(self, handle: Any) -> Any:
+        """Label of one scheme handle, served from the cached vector.
+
+        Cache misses (stale handles are impossible here; only a disabled
+        cache) fall back to a counted per-node scheme lookup — the
+        operation ``Counters.label_lookups`` tallies and the cache
+        exists to avoid.
+        """
+        if self._cache_labels:
+            cache = self._label_cache
+            if cache is None:
+                cache = self._label_cache = self.scheme.label_map()
+            try:
+                return cache[handle]
+            except KeyError:
+                pass  # e.g. a deleted handle: let the scheme raise
+        self.stats.label_lookups += 1
+        return self.scheme.label(handle)
+
+    def warm_labels(self) -> None:
+        """Build the cached label vector now (no-op when disabled).
+
+        Bulk consumers — :class:`repro.storage.interval_table
+        .IntervalTableStore` shredding every element region, a
+        structural-join input scan — call this once so the whole read
+        phase runs against one flat extraction.
+        """
+        if self._cache_labels and self._label_cache is None:
+            self._label_cache = self.scheme.label_map()
+
+    def _invalidate_labels(self) -> None:
+        self._label_cache = None
+
     def begin_label(self, node: XMLNode) -> Any:
         """Label of the node's begin tag (or of its single position)."""
-        return self.scheme.label(self._handles(node).begin)
+        return self._label_of(self._handles(node).begin)
 
     def end_label(self, node: XMLNode) -> Any:
         """Label of an element's end tag; point nodes reuse their label."""
         handles = self._handles(node)
         if handles.end is None:
-            return self.scheme.label(handles.begin)
-        return self.scheme.label(handles.end)
+            return self._label_of(handles.begin)
+        return self._label_of(handles.end)
 
     def region(self, element: XMLElement) -> Region:
         """(begin, end) region of an element (paper Figure 1)."""
         handles = self._handles(element)
         if handles.end is None:
             raise ValueError(f"{element!r} has no end tag (not an element)")
-        return Region(self.scheme.label(handles.begin),
-                      self.scheme.label(handles.end))
+        return Region(self._label_of(handles.begin),
+                      self._label_of(handles.end))
 
     def labels_in_order(self) -> list[Any]:
         """All current token labels in document order."""
@@ -199,6 +263,7 @@ class LabeledDocument:
         handles = self.scheme.insert_run_after(
             anchor, pairs)
         self._attach(pairs, handles)
+        self._invalidate_labels()
         return subtree
 
     def append_subtree(self, parent: XMLElement,
@@ -256,6 +321,7 @@ class LabeledDocument:
         for _, member in _emit_tokens(node):
             member.extra = None
         node.parent.remove_child(node)
+        self._invalidate_labels()
 
     def compact(self) -> int:
         """Vacuum tombstoned label slots (L-Tree scheme only).
@@ -278,6 +344,7 @@ class LabeledDocument:
                 handles.end = mapping[handles.end]
             else:
                 handles.begin = mapping[handles.begin]
+        self._invalidate_labels()
         return reclaimed
 
     # ------------------------------------------------------------------
@@ -368,6 +435,8 @@ class LabeledDocument:
         labeled.document = document
         labeled.scheme = scheme
         labeled.stats = stats
+        labeled._cache_labels = True
+        labeled._label_cache = None
         pairs = list(_emit_tokens(document.root))
         handles = list(scheme.handles())
         if len(pairs) != len(handles):

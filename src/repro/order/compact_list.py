@@ -86,6 +86,18 @@ class CompactListLabeling(OrderedLabeling):
     def handles(self) -> Iterator[int]:
         return self.tree.iter_leaves(include_deleted=False)
 
+    def label_map(self) -> dict[int, int]:
+        """Bulk label extraction straight from the flat ``num`` column.
+
+        No per-handle accessor calls, no tombstone re-checks: one pass
+        over the leaf chain indexing the label array — the reason the
+        document layer's cached label vector is cheap to (re)build on
+        this engine.
+        """
+        num = self.tree._num
+        return {slot: num[slot]
+                for slot in self.tree.iter_leaves(include_deleted=False)}
+
     def __len__(self) -> int:
         return self._live
 

@@ -22,6 +22,14 @@ from repro.order.two_level import TwoLevelLabeling
 
 SchemeFactory = Callable[..., OrderedLabeling]
 
+#: scheme the document layer instantiates when none is given.  Since
+#: PR 3 this is the array-backed compact engine: label-identical to
+#: "ltree" (tests/core/test_compact_differential.py) but with flat-array
+#: label extraction for the query layer.  Opt back into the node-object
+#: engine by passing ``scheme=make_scheme("ltree")`` (or an
+#: ``LTreeListLabeling`` built with your own params).
+DEFAULT_SCHEME = "ltree-compact"
+
 #: name -> factory(stats=...) for every scheme compared in EXPERIMENTS.md.
 SCHEMES: dict[str, SchemeFactory] = {
     # the paper's contribution, at two parameterizations
@@ -52,3 +60,15 @@ def make_scheme(name: str, stats: Counters = NULL_COUNTERS
         known = ", ".join(sorted(SCHEMES))
         raise KeyError(f"unknown scheme {name!r}; known: {known}") from None
     return factory(stats=stats)
+
+
+def default_scheme(params: LTreeParams | None = None,
+                   stats: Counters = NULL_COUNTERS) -> OrderedLabeling:
+    """The document layer's default engine (see :data:`DEFAULT_SCHEME`).
+
+    ``params`` overrides the registry's frozen ``(f=16, s=4)`` default
+    while keeping the engine choice in one place.
+    """
+    if params is None:
+        return make_scheme(DEFAULT_SCHEME, stats)
+    return CompactListLabeling(params, stats=stats)

@@ -11,6 +11,13 @@
 
 All three return elements in document order; their tuple-access counters
 quantify the paper's "as efficient as child-axis" claim.
+
+The interval plan's (begin, end) inputs come from
+:class:`repro.storage.interval_table.IntervalTableStore`, which shreds
+the document through the :class:`~repro.labeling.scheme.LabeledDocument`
+cached label vector — one bulk extraction off the compact engine's flat
+label column (zero per-node ``label_lookups``) rather than two handle
+round trips per element.
 """
 
 from __future__ import annotations

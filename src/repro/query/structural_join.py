@@ -15,6 +15,12 @@ implements the three classic choices so experiment E11 can compare them:
   ancestors are few and selective.
 
 All three return identical pair sets (property-tested).
+
+Join inputs are (begin, end, payload) triples; when they originate from
+a labeled document they are bulk-extracted through the cached label
+vector (see :meth:`repro.labeling.scheme.LabeledDocument.warm_labels`),
+so building the sorted input lists costs one flat pass, not one scheme
+lookup per node.
 """
 
 from __future__ import annotations

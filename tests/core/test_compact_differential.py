@@ -15,6 +15,14 @@ the node-object tree:
 
 Any divergence — one label off, one relabel more — fails loudly, so the
 compact engine cannot silently drift from the paper's algorithms.
+
+Since PR 3 the compact engine's bulk/relabel arithmetic runs through
+:mod:`repro.core.vectorized`, so the seeded sweep (which exercises
+``insert_run_*`` batches and both violator policies) is parametrized
+over the vectorized backends — the numpy fast path and the pure-Python
+``array`` fallback — forced via the override, and a post-restore sweep
+re-runs edits against the reference after a ``to_bytes``/``from_bytes``
+round trip under each backend.
 """
 
 import random
@@ -25,10 +33,16 @@ from hypothesis import HealthCheck, settings
 from hypothesis.stateful import (RuleBasedStateMachine, initialize,
                                  invariant, rule)
 
+from repro.core import vectorized
 from repro.core.compact import CompactLTree
 from repro.core.ltree import LTree
 from repro.core.params import LTreeParams
 from repro.core.stats import Counters
+
+#: vectorized paths the differential sweeps must pass under; "scalar"
+#: (the PR 1 loops) is covered separately by byte-image parity tests in
+#: tests/core/test_vectorized.py
+VECTOR_BACKENDS = ["array"] + (["numpy"] if vectorized.HAS_NUMPY else [])
 
 PARAM_SETS = [(4, 2), (8, 2), (6, 3), (16, 4)]
 POLICIES = ["highest", "lowest"]
@@ -173,10 +187,18 @@ DifferentialStatefulTest.settings = settings(
 SWEEP_OPS = 2000
 
 
+@pytest.fixture(params=VECTOR_BACKENDS)
+def vector_backend(request):
+    """Pin one vectorized backend for the duration of a test."""
+    with vectorized.use_backend(request.param):
+        yield request.param
+
+
 @pytest.mark.parametrize("policy", POLICIES)
 @pytest.mark.parametrize("f,s", [(4, 2), (6, 3), (16, 4)])
-def test_seeded_differential_sweep(f, s, policy):
-    """Thousands of mixed ops per parameter set, byte-identical labels."""
+def test_seeded_differential_sweep(f, s, policy, vector_backend):
+    """Thousands of mixed ops per parameter set, byte-identical labels,
+    under each vectorized backend (forced via the override)."""
     params = LTreeParams(f=f, s=s)
     ref_stats, compact_stats = Counters(), Counters()
     ref = LTree(params, ref_stats, violator_policy=policy)
@@ -236,3 +258,62 @@ def test_bulk_load_labels_identical(policy):
         ref.bulk_load(range(size))
         compact.bulk_load(range(size))
         assert ref.labels() == compact.labels(), size
+
+
+def _drive_pair(rng_seed, ref, ref_handles, compact, compact_handles,
+                n_ops):
+    """One op stream applied to both engines (inserts, runs, deletes)."""
+    for rng, tree, handles in ((random.Random(rng_seed), ref, ref_handles),
+                               (random.Random(rng_seed), compact,
+                                compact_handles)):
+        for step in range(n_ops):
+            roll = rng.random()
+            index = rng.randrange(len(handles))
+            if roll < 0.4:
+                handles.insert(
+                    index, tree.insert_before(handles[index], step))
+            elif roll < 0.8:
+                handles.insert(
+                    index + 1, tree.insert_after(handles[index], step))
+            elif roll < 0.95:
+                payloads = [(step, k) for k in range(rng.randint(1, 12))]
+                handles[index + 1:index + 1] = \
+                    tree.insert_run_after(handles[index], payloads)
+            else:
+                victim = handles[index]
+                deleted = victim.deleted if hasattr(victim, "deleted") \
+                    else tree.is_deleted(victim)
+                if not deleted:
+                    tree.mark_deleted(victim)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_post_restore_edits_differential(policy, vector_backend):
+    """Vectorized relabels stay reference-identical across a byte-image
+    round trip: edit, serialize, restore, edit again — labels and
+    counters must match the never-serialized reference throughout."""
+    params = LTreeParams(f=6, s=3)
+    ref_stats, compact_stats = Counters(), Counters()
+    ref = LTree(params, ref_stats, violator_policy=policy)
+    compact = CompactLTree(params, compact_stats, violator_policy=policy)
+    ref_handles = list(ref.bulk_load(range(5)))
+    compact_handles = list(compact.bulk_load(range(5)))
+    _drive_pair(101, ref, ref_handles, compact, compact_handles, 400)
+    assert ref.labels() == compact.labels()
+
+    restored_stats = Counters()
+    restored = CompactLTree.from_bytes(compact.to_bytes(),
+                                       stats=restored_stats)
+    restored_handles = list(restored.iter_leaves())
+    assert restored_handles == compact_handles
+    ref_stats.reset()
+    _drive_pair(202, ref, ref_handles, restored, restored_handles, 400)
+    assert ref.labels() == restored.labels()
+    assert ref.labels(include_deleted=False) == \
+        restored.labels(include_deleted=False)
+    ref_counts = ref_stats.as_dict()
+    restored_counts = restored_stats.as_dict()
+    for field in COUNTER_FIELDS:
+        assert ref_counts[field] == restored_counts[field], field
+    ref.validate()
+    restored.validate()

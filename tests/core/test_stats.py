@@ -53,6 +53,24 @@ class TestDerivedMetrics:
         assert set(payload) >= {"count_updates", "splits", "inserts"}
 
 
+class TestNullCounters:
+    def test_real_counters_are_enabled(self):
+        assert Counters().enabled is True
+
+    def test_null_counters_advertise_disabled(self):
+        """Hot paths hoist this flag to skip per-slot increments."""
+        assert NULL_COUNTERS.enabled is False
+
+    def test_enabled_is_not_a_field(self):
+        """The flag must stay out of as_dict()/arithmetic."""
+        assert "enabled" not in Counters().as_dict()
+        assert "label_lookups" in Counters().as_dict()
+
+    def test_null_counters_still_accept_writes(self):
+        """Unguarded call sites may still increment the shared sink."""
+        NULL_COUNTERS.comparisons += 1  # must not raise
+
+
 class TestWindow:
     def test_window_captures_delta(self):
         a = Counters(relabels=10)

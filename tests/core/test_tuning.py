@@ -7,6 +7,11 @@ from repro.core import tuning
 from repro.core.params import LTreeParams
 from repro.errors import ParameterError
 
+#: the continuous optimizers are gated on the scientific stack; the
+#: pure-Python integer/grid searches below run on the no-numpy CI leg
+needs_scipy = pytest.mark.skipif(
+    not tuning.HAS_SCIPY_STACK, reason="needs numpy + scipy")
+
 
 class TestIntegerNeighborhood:
     def test_all_results_valid(self):
@@ -26,6 +31,7 @@ class TestIntegerNeighborhood:
         assert len(keys) == len(set(keys))
 
 
+@needs_scipy
 class TestUnconstrainedMinimum:
     def test_beats_grid_neighbors(self):
         n = 4096
@@ -62,6 +68,7 @@ class TestUnconstrainedMinimum:
         assert "f=" in text and "s=" in text
 
 
+@needs_scipy
 class TestConstrainedMinimum:
     def test_budget_respected(self):
         n = 65536
@@ -105,6 +112,7 @@ class TestConstrainedMinimum:
             assert residual <= 0.2 * max(1.0, gradient_scale)
 
 
+@needs_scipy
 class TestOverallCost:
     def test_pure_update_matches_unconstrained(self):
         n = 4096

@@ -1,0 +1,128 @@
+"""The vectorized column builders against their scalar ground truth.
+
+Three layers of evidence that :mod:`repro.core.vectorized` computes
+exactly what the per-slot loops compute:
+
+* offsets: :func:`complete_leaf_offsets` equals ``spread_digits`` applied
+  index by index, across a parameter grid and at arbitrary precision;
+* columns: a bulk load under every backend produces *byte-identical*
+  engine images (same slot layout, labels, links, counts — not merely
+  the same label sequence);
+* selection: the backend override/env machinery, including the silent
+  fall-back of the numpy path to exact Python arithmetic whenever labels
+  could overflow int64.
+"""
+
+import pytest
+
+from repro.core import vectorized
+from repro.core.compact import CompactLTree
+from repro.core.params import LTreeParams, spread_digits
+from repro.core.stats import Counters
+from repro.errors import ParameterError
+
+#: backends every parity test must pass under
+BACKENDS_UNDER_TEST = ["array", "scalar"] + (
+    ["numpy"] if vectorized.HAS_NUMPY else [])
+
+
+class TestLeafOffsets:
+    @pytest.mark.parametrize("arity,base", [(2, 3), (2, 5), (4, 17),
+                                            (3, 7), (8, 9)])
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 9, 63, 64, 65, 200])
+    def test_matches_spread_digits(self, n, arity, base):
+        height = 0
+        while arity ** height < n:
+            height += 1
+        height = max(height, 1)
+        expected = [spread_digits(i, arity, base, height)
+                    for i in range(n)]
+        for backend in BACKENDS_UNDER_TEST:
+            if backend == "scalar":
+                continue  # no columnar builder under scalar
+            with vectorized.use_backend(backend):
+                assert vectorized.complete_leaf_offsets(
+                    n, arity, base, height) == expected, backend
+
+    def test_empty(self):
+        assert vectorized.complete_leaf_offsets(0, 2, 3, 1) == []
+
+    def test_arbitrary_precision_beyond_int64(self):
+        """Labels past 2**63 silently route around numpy and stay exact."""
+        base = 2 ** 40
+        n, arity, height = 5, 2, 3
+        expected = [spread_digits(i, arity, base, height)
+                    for i in range(n)]
+        for backend in ("array",) + (
+                ("numpy",) if vectorized.HAS_NUMPY else ()):
+            with vectorized.use_backend(backend):
+                offsets = vectorized.complete_leaf_offsets(
+                    n, arity, base, height)
+            assert offsets == expected
+            assert offsets[-1] > 2 ** 63
+
+
+class TestColumns:
+    @pytest.mark.parametrize("f,s", [(4, 2), (6, 3), (16, 4)])
+    @pytest.mark.parametrize("n", [1, 2, 5, 16, 17, 64, 500])
+    def test_byte_identical_images_across_backends(self, n, f, s):
+        params = LTreeParams(f=f, s=s)
+        images = {}
+        counters = {}
+        for backend in BACKENDS_UNDER_TEST:
+            stats = Counters()
+            with vectorized.use_backend(backend):
+                tree = CompactLTree(params, stats)
+                tree.bulk_load(range(n))
+            tree.validate()
+            images[backend] = tree.to_bytes()
+            counters[backend] = stats.as_dict()
+        assert len(set(images.values())) == 1, (n, f, s)
+        first = counters[BACKENDS_UNDER_TEST[0]]
+        assert all(counts == first for counts in counters.values())
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ParameterError):
+            vectorized.left_complete_columns(0, 2, 3, 1)
+        with pytest.raises(ParameterError):
+            vectorized.left_complete_columns(9, 2, 3, 3)  # 9 > 2**3
+
+    def test_columns_shape(self):
+        columns = vectorized.left_complete_columns(5, 2, 5, 3)
+        # 5 leaves + levels of 3, 2, 1 internal nodes
+        assert columns.total == 5 + 3 + 2 + 1
+        assert columns.root == columns.total - 1
+        assert columns.num[columns.root] == 0
+        assert columns.parents[columns.root] == vectorized.NIL
+        assert columns.leaf_counts[columns.root] == 5
+        assert columns.heights[columns.root] == 3
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ParameterError):
+            vectorized.set_backend("cuda")
+
+    def test_auto_resolves(self):
+        with vectorized.use_backend("auto"):
+            expected = "numpy" if vectorized.HAS_NUMPY else "array"
+            assert vectorized.get_backend() == expected
+
+    def test_use_backend_restores_previous(self):
+        before = vectorized.get_backend()
+        with vectorized.use_backend("scalar"):
+            assert vectorized.get_backend() == "scalar"
+        assert vectorized.get_backend() == before
+
+    def test_set_backend_returns_previous(self):
+        before = vectorized.get_backend()
+        previous = vectorized.set_backend("array")
+        try:
+            assert previous == before
+        finally:
+            vectorized.set_backend(before)
+
+    @pytest.mark.skipif(vectorized.HAS_NUMPY, reason="numpy importable")
+    def test_numpy_without_numpy_rejected(self):
+        with pytest.raises(ParameterError):
+            vectorized.set_backend("numpy")

@@ -7,7 +7,9 @@ import pytest
 from repro.core.params import LTreeParams
 from repro.core.stats import Counters
 from repro.labeling.scheme import LabeledDocument
-from repro.order.registry import SCHEMES, make_scheme
+from repro.order.compact_list import CompactListLabeling
+from repro.order.ltree_list import LTreeListLabeling
+from repro.order.registry import DEFAULT_SCHEME, SCHEMES, make_scheme
 from repro.xml.generator import xmark_like
 from repro.xml.model import XMLElement, XMLTextNode
 from repro.xml.parser import parse
@@ -59,6 +61,83 @@ class TestBulkLabeling:
         with pytest.raises(ValueError):
             LabeledDocument(document, scheme=make_scheme("naive"),
                             params=LTreeParams(f=4, s=2))
+
+
+class TestDefaultEngineAndLabelCache:
+    """PR 3: the compact engine is the default; labels come from the
+    cached vector and the cache never goes stale across edits."""
+
+    def test_default_scheme_is_compact(self):
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document)
+        assert DEFAULT_SCHEME == "ltree-compact"
+        assert isinstance(labeled.scheme, CompactListLabeling)
+
+    def test_params_route_to_compact_engine(self):
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document, params=LTreeParams(f=4, s=2))
+        assert isinstance(labeled.scheme, CompactListLabeling)
+        assert labeled.scheme.params.f == 4
+
+    def test_opt_back_into_node_engine(self):
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document, scheme=make_scheme("ltree"))
+        assert isinstance(labeled.scheme, LTreeListLabeling)
+        labeled.validate()
+
+    def test_engines_label_documents_identically(self):
+        xml = "<r><a>one</a><b><c/><c/></b><d/></r>"
+        compact = LabeledDocument(parse(xml))
+        reference = LabeledDocument(parse(xml),
+                                    scheme=make_scheme("ltree"))
+        assert compact.labels_in_order() == reference.labels_in_order()
+
+    def test_cached_predicates_issue_no_per_node_lookups(self):
+        stats = Counters()
+        document = parse("<r><a>one</a><b><c/></b></r>")
+        labeled = LabeledDocument(document, stats=stats)
+        a = next(document.find_all("a"))
+        c = next(document.find_all("c"))
+        assert labeled.is_ancestor(document.root, c)
+        assert labeled.precedes(a, c)
+        assert stats.label_lookups == 0
+
+    def test_disabled_cache_counts_every_lookup(self):
+        stats = Counters()
+        document = parse("<r><a/><b/></r>")
+        labeled = LabeledDocument(document, stats=stats,
+                                  cache_labels=False)
+        a = next(document.find_all("a"))
+        labeled.is_ancestor(document.root, a)  # 4 label reads
+        assert stats.label_lookups == 4
+
+    def test_cache_tracks_edits(self):
+        """Every edit invalidates; the vector always matches the scheme."""
+        document = parse("<r><a/><b/><c/></r>")
+        labeled = LabeledDocument(document)
+
+        def ground_truth_agrees():
+            for element in document.iter_elements():
+                handles = element.extra
+                assert labeled.begin_label(element) == \
+                    labeled.scheme.label(handles.begin)
+                assert labeled.end_label(element) == \
+                    labeled.scheme.label(handles.end)
+
+        ground_truth_agrees()
+        b = next(document.find_all("b"))
+        before = labeled.begin_label(b)
+        # splitting inserts relabel b's begin token eventually
+        for index in range(40):
+            labeled.insert_subtree(document.root, 0,
+                                   XMLElement(f"n{index}"))
+        ground_truth_agrees()
+        assert labeled.begin_label(b) != before
+        labeled.delete_subtree(next(document.find_all("a")))
+        ground_truth_agrees()
+        labeled.compact()
+        ground_truth_agrees()
+        labeled.validate()
 
 
 class TestPredicates:

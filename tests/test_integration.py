@@ -53,6 +53,8 @@ class TestParseLabelQueryPipeline:
         rebuilt = restore(data)
         assert rebuilt.labels() == labeled.scheme.tree.labels()
 
+    @pytest.mark.skipif(not tuning.HAS_SCIPY_STACK,
+                        reason="continuous tuning needs numpy + scipy")
     def test_tuned_parameters_flow_through(self):
         document = xmark_like(8, 4, 3, seed=53)
         recommendation = tuning.minimize_update_cost(10_000)
