@@ -109,11 +109,13 @@ def test_restore_beats_bulk_load(request, store_path, loaded_tree):
     payloads are re-derived from the XML text on open) must beat even
     PR 3's vectorized columnar rebuild.
 
-    PR 3 context: the vectorized bulk load closed most of PR 2's gap —
-    a full-payload restore and a columnar rebuild now run neck and
-    neck, which BENCH_PR3.json tracks honestly — so the gate pins the
-    two orderings that still are (and must stay) true rather than a
-    ratio the engine optimized away.
+    PR 4 context: ``from_bytes`` now *adopts* its ``array('q')``
+    columns as storage instead of boxing every slot to a Python int
+    (the ``tolist`` floor ROADMAP named) — locally the payload-free
+    restore runs ~20x faster than the vectorized columnar rebuild and
+    the full restore ~8x faster than the scalar algorithm, so the gate
+    margins are back to wide multiples rather than the 1.15x sliver
+    PR 3 had to settle for.
 
     Skipped under ``--benchmark-disable``: the smoke runs exist to check
     collection and correctness, and a wall-clock assertion there would
@@ -145,15 +147,15 @@ def test_restore_beats_bulk_load(request, store_path, loaded_tree):
     scalar_time = _best_of(bulk_scalar)
     bytes_time = _best_of(from_bytes)
     mmap_time = _best_of(from_mmap)
-    # margins carry slack below the locally observed gaps (~4x against
-    # the scalar algorithm, ~1.45x against the columnar rebuild) so
+    # margins carry slack below the locally observed gaps (~8x against
+    # the scalar algorithm, ~20x against the columnar rebuild) so
     # scheduler noise on a shared CI runner cannot flip the gate
-    assert bytes_time * 2 < scalar_time, \
+    assert bytes_time * 3 < scalar_time, \
         f"restore {bytes_time:.4f}s not faster than the §2.2 " \
         f"algorithm {scalar_time:.4f}s"
     assert mmap_time * 1.5 < scalar_time, \
         f"mmap restore {mmap_time:.4f}s slower than the §2.2 " \
         f"algorithm {scalar_time:.4f}s"
-    assert bytes_time * 1.15 < vector_time, \
+    assert bytes_time * 4 < vector_time, \
         f"payload-free restore {bytes_time:.4f}s lost to the " \
         f"vectorized rebuild {vector_time:.4f}s"

@@ -1,0 +1,159 @@
+"""Compare two run_all.py baselines; fail on metric regressions.
+
+Usage::
+
+    python benchmarks/compare_baselines.py BENCH_PR3.json BENCH_PR4.json
+    python benchmarks/compare_baselines.py old.json new.json \\
+        --tolerance 0.2 --ratio-tolerance 0.5 --include-seconds
+
+Walks both records and compares every metric present in *both* (new
+suites and new keys are ignored; a metric that vanished is reported).
+Metrics fall into three honesty classes, because the committed baseline
+and a CI run rarely share a machine:
+
+* **deterministic** — operation counts and per-op cost ratios
+  (``label_lookups``, ``relabels_per_insert``,
+  ``count_updates_per_insert``) plus exact result counts
+  (``results``).  These are machine-independent, so they are held to
+  ``--tolerance`` (default 20%, the regression budget this repo's CI
+  enforces) — but only when the two records were produced at the same
+  ``--scale``, since the workload sizes derive from it.
+* **timing ratios** — ``*speedup*`` values.  Derived from wall clocks,
+  so they travel across machines only approximately; held to the wider
+  ``--ratio-tolerance`` (default 50%).
+* **raw seconds** — compared only with ``--include-seconds`` (same
+  machine, e.g. a local before/after), using ``--ratio-tolerance``.
+
+Exit status 0 when nothing regressed, 1 otherwise (regressions listed
+on stderr).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: lower-is-better deterministic metrics (leaf key names)
+DETERMINISTIC_LOWER = ("label_lookups", "relabels_per_insert",
+                       "count_updates_per_insert")
+
+#: metrics that must match exactly (query answers don't drift)
+DETERMINISTIC_EXACT = ("results",)
+
+#: workload-size / metadata keys that are not quality metrics
+SKIP = ("n_leaves", "n_ops", "n_runs", "run_length", "image_bytes",
+        "query", "shards_written_single_anchor")
+
+
+def _flatten(node, path=""):
+    """(dotted-path, leaf) pairs of a nested JSON record."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from _flatten(value, f"{path}.{key}" if path else key)
+    else:
+        yield path, node
+
+
+def _classify(path: str):
+    """'deterministic' | 'exact' | 'speedup' | 'seconds' | None."""
+    leaf_keys = path.split(".")
+    for key in leaf_keys:
+        if key in SKIP:
+            return None
+    if any(key in DETERMINISTIC_EXACT for key in leaf_keys):
+        return "exact"
+    if any(key in DETERMINISTIC_LOWER for key in leaf_keys):
+        return "deterministic"
+    if "speedup" in path:
+        return "speedup"
+    if "seconds" in path:
+        return "seconds"
+    return None
+
+
+def compare(old: dict, new: dict, tolerance: float,
+            ratio_tolerance: float, include_seconds: bool
+            ) -> tuple[list[str], list[str]]:
+    """(regressions, notes) between two baseline records."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    same_scale = old.get("scale") == new.get("scale")
+    if not same_scale:
+        notes.append(
+            f"scales differ (old {old.get('scale')}, new "
+            f"{new.get('scale')}): deterministic and speedup metrics "
+            f"skipped — rerun run_all.py at the baseline's scale")
+    old_metrics = dict(_flatten(old.get("suites", {})))
+    new_metrics = dict(_flatten(new.get("suites", {})))
+    for path, old_value in sorted(old_metrics.items()):
+        kind = _classify(path)
+        if kind is None or not isinstance(old_value, (int, float)):
+            continue
+        if path not in new_metrics:
+            notes.append(f"metric disappeared: {path}")
+            continue
+        new_value = new_metrics[path]
+        if kind == "exact":
+            if same_scale and new_value != old_value:
+                regressions.append(
+                    f"{path}: {old_value} -> {new_value} (must match)")
+        elif kind == "deterministic":
+            if same_scale and new_value > old_value * (1 + tolerance):
+                regressions.append(
+                    f"{path}: {old_value} -> {new_value} "
+                    f"(> {tolerance:.0%} worse)")
+        elif kind == "speedup":
+            # speedups are ratios of same-workload timings; across
+            # scales the workloads differ, so the comparison would be
+            # as apples-to-oranges as the raw seconds
+            if same_scale and new_value < old_value * (1 - ratio_tolerance):
+                regressions.append(
+                    f"{path}: {old_value} -> {new_value} "
+                    f"(speedup fell > {ratio_tolerance:.0%})")
+        elif kind == "seconds" and include_seconds:
+            if new_value > old_value * (1 + ratio_tolerance):
+                regressions.append(
+                    f"{path}: {old_value:.4f}s -> {new_value:.4f}s "
+                    f"(> {ratio_tolerance:.0%} slower)")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="previous baseline JSON")
+    parser.add_argument("new", help="fresh baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="regression budget for deterministic "
+                             "metrics (default 0.2 = 20%%)")
+    parser.add_argument("--ratio-tolerance", type=float, default=0.5,
+                        help="budget for timing-derived speedups "
+                             "(default 0.5; wall clocks travel badly "
+                             "across machines)")
+    parser.add_argument("--include-seconds", action="store_true",
+                        help="also compare raw seconds (same-machine "
+                             "runs only)")
+    args = parser.parse_args(argv)
+
+    old = json.loads(Path(args.old).read_text(encoding="utf-8"))
+    new = json.loads(Path(args.new).read_text(encoding="utf-8"))
+    regressions, notes = compare(old, new, args.tolerance,
+                                 args.ratio_tolerance,
+                                 args.include_seconds)
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} metric regression(s) vs "
+              f"{args.old}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print(f"no regressions vs {args.old} "
+          f"({old.get('baseline')} -> {new.get('baseline')})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,16 +2,19 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR3.json
+    python benchmarks/run_all.py              # writes BENCH_PR4.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the five headline suites — bulk load, random single inserts, §4.1
-run inserts, the query-containment plan, and byte-image restore — and
-writes one machine-readable record to ``BENCH_PR3.json`` at the repo
-root.  That file is the tracked perf trajectory: every future perf PR
-re-runs this harness and compares against the committed baseline instead
-of re-deriving numbers from prose.  CI uploads the JSON as an artifact
-from the benchmark smoke job.
+Runs the six headline suites — bulk load, random single inserts, §4.1
+run inserts, the query-containment plan, byte-image restore, and the
+sharded-vs-flat engine head-to-head — and writes one machine-readable
+record to ``BENCH_PR4.json`` at the repo root.  That file is the
+tracked perf trajectory: every future perf PR re-runs this harness and
+compares against the committed baseline instead of re-deriving numbers
+from prose.  CI regenerates the JSON, uploads it as an artifact, and
+runs ``benchmarks/compare_baselines.py`` against the previous
+committed baseline (``BENCH_PR3.json``), failing on regressions in the
+metrics that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
 of the system uses (``make_scheme``, ``LabeledDocument``,
@@ -39,6 +42,7 @@ from repro.core.params import LTreeParams  # noqa: E402
 from repro.core.stats import Counters  # noqa: E402
 from repro.labeling.scheme import LabeledDocument  # noqa: E402
 from repro.order.registry import make_scheme  # noqa: E402
+from repro.order.sharded_list import ShardedListLabeling  # noqa: E402
 from repro.query.engine import evaluate_interval  # noqa: E402
 from repro.query.xpath import parse_xpath  # noqa: E402
 from repro.storage.interval_table import IntervalTableStore  # noqa: E402
@@ -193,18 +197,69 @@ def suite_restore(scale: float) -> dict:
     }
 
 
+def suite_sharded(scale: float) -> dict:
+    """Sharded vs flat compact engine: bulk load and random inserts.
+
+    Wall seconds are machine-bound; the machine-independent number this
+    suite tracks is ``count_updates_per_insert`` — sharding shortens
+    every arena, so the paper's ``h`` cost term drops — plus the
+    write-isolation proof (``shards_written`` on a run of inserts
+    anchored in one shard).
+    """
+    n = max(1000, int(100_000 * scale))
+    n_ops = max(500, int(2000 * scale))
+    bulk_seconds = {}
+    insert_seconds = {}
+    count_updates = {}
+    for name in ("ltree-compact", "ltree-sharded"):
+        bulk_seconds[name] = _best(
+            lambda name=name: make_scheme(name).bulk_load(range(n)))
+        stats = Counters()
+
+        def run(name=name, stats=stats):
+            stats.reset()
+            scheme = make_scheme(name, stats)
+            W.apply_workload(scheme, W.uniform_inserts(n_ops, seed=42))
+
+        insert_seconds[name] = _best(run)
+        count_updates[name] = round(stats.count_updates / stats.inserts,
+                                    2)
+    # isolation probe: 200 inserts anchored in one shard of eight
+    isolated = ShardedListLabeling(PARAMS, n_shards=8, shard_stats=True)
+    handles = isolated.bulk_load(range(max(64, n // 100)))
+    anchor = handles[len(handles) // 3]
+    baselines = [sink.snapshot() for sink in isolated.shard_counters]
+    for index in range(200):
+        anchor = isolated.insert_after(anchor, index)
+    shards_written = sum(
+        1 for sink, base in zip(isolated.shard_counters, baselines)
+        if (sink - base).inserts)
+    return {
+        "n_leaves": n,
+        "n_ops": n_ops,
+        "bulk_seconds": bulk_seconds,
+        "insert_seconds": insert_seconds,
+        "insert_speedup_vs_flat": round(
+            insert_seconds["ltree-compact"] /
+            insert_seconds["ltree-sharded"], 2),
+        "count_updates_per_insert": count_updates,
+        "shards_written_single_anchor": shards_written,
+    }
+
+
 SUITES = {
     "bulk_load": suite_bulk_load,
     "random_insert": suite_random_insert,
     "run_insert": suite_run_insert,
     "query_containment": suite_query_containment,
     "restore": suite_restore,
+    "sharded": suite_sharded,
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR3.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR4.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -216,7 +271,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR3",
+        "baseline": "PR4",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

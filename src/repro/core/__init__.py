@@ -6,6 +6,9 @@ Public surface:
 * :class:`~repro.core.ltree.LTree` — materialized dynamic labeling tree;
 * :class:`~repro.core.compact.CompactLTree` — the same algorithms on a
   struct-of-arrays engine (flat int arrays, ``int`` handles);
+* :class:`~repro.core.sharded.ShardedCompactLTree` — per-subtree compact
+  arenas behind a shard directory (``(shard, slot)`` handles, labels
+  composed as shard prefix ⊕ local label);
 * :class:`~repro.core.virtual.VirtualLTree` — label-only variant (§4.2);
 * :mod:`~repro.core.cost` — the paper's closed-form cost model (§3.1/4.1);
 * :mod:`~repro.core.tuning` — parameter optimization (§3.2);
@@ -18,6 +21,7 @@ from repro.core.node import LTreeNode
 from repro.core.params import (DEFAULT_PARAMS, FIGURE2_PARAMS, LTreeParams,
                                gather_digits, spread_digits)
 from repro.core.persistence import ltree_from_labels, restore, snapshot
+from repro.core.sharded import ShardedCompactLTree
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.core.virtual import VirtualLTree
 
@@ -25,6 +29,7 @@ __all__ = [
     "LTree",
     "LTreeNode",
     "CompactLTree",
+    "ShardedCompactLTree",
     "LTreeParams",
     "VirtualLTree",
     "DEFAULT_PARAMS",

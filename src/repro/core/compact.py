@@ -47,7 +47,8 @@ import json
 import struct
 import sys
 from array import array
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import (Any, Iterable, Iterator, NamedTuple, Optional,
+                    Sequence)
 
 from repro.core import vectorized
 from repro.core.params import LTreeParams
@@ -68,6 +69,86 @@ ARRAY_FORMAT_VERSION = 1
 _HEADER = struct.Struct("<8sIIqqqqqqq")
 _FLAG_LOWEST_POLICY = 1
 _FLAG_HAS_PAYLOADS = 2
+
+#: labels stay below ``base * step`` for the largest memoized step, so
+#: once that product could exceed this bound a restored tree's
+#: ``array('q')`` label column is boxed back to a plain list (one power
+#: of the base before int64 could actually overflow)
+_PROMOTE_LIMIT = 2 ** 62
+
+
+class ArrayImageHeader(NamedTuple):
+    """Decoded ``LTREEARR`` header plus the derived column offsets.
+
+    Lets readers address individual columns of a byte image *without*
+    deserializing it — the sharded engine reads labels and tombstones
+    of a still-lazy shard straight out of the mmapped image this way
+    (see :mod:`repro.core.sharded`).
+    """
+
+    flags: int
+    f: int
+    s: int
+    label_base: int
+    root: int
+    n_slots: int
+    n_free: int
+    payload_len: int
+
+    @property
+    def violator_policy(self) -> str:
+        return "lowest" if self.flags & _FLAG_LOWEST_POLICY else "highest"
+
+    @property
+    def num_offset(self) -> int:
+        """Byte offset of the label (``num``) column."""
+        return _HEADER.size
+
+    @property
+    def deleted_offset(self) -> int:
+        """Byte offset of the tombstone column."""
+        return _HEADER.size + 8 * (6 * self.n_slots + self.n_free)
+
+    @property
+    def total_bytes(self) -> int:
+        """Exact byte length a consistent image must have."""
+        return self.deleted_offset + self.n_slots + self.payload_len
+
+
+def read_array_header(data: bytes) -> ArrayImageHeader:
+    """Validate and decode the header of a ``to_bytes`` image.
+
+    Raises :class:`ParameterError` on a bad magic, an unsupported
+    version, or a header inconsistent with the buffer length — the same
+    checks :meth:`CompactLTree.from_bytes` performs before touching the
+    columns.
+    """
+    view = memoryview(data)
+    if len(view) < _HEADER.size:
+        raise ParameterError(
+            f"buffer of {len(view)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header")
+    (magic, version, flags, f, s, label_base, root, n_slots, n_free,
+     payload_len) = _HEADER.unpack_from(view, 0)
+    if magic != ARRAY_MAGIC:
+        raise ParameterError(
+            f"bad magic {magic!r}; not a CompactLTree byte image")
+    if version != ARRAY_FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported array-format version {version} "
+            f"(supported: {ARRAY_FORMAT_VERSION})")
+    if n_slots < 1 or n_free < 0 or payload_len < 0:
+        # every real image holds at least the root slot
+        raise ParameterError(
+            f"inconsistent header: n_slots={n_slots}, "
+            f"n_free={n_free}, payload_len={payload_len}")
+    header = ArrayImageHeader(flags, f, s, label_base, root, n_slots,
+                              n_free, payload_len)
+    if len(view) != header.total_bytes:
+        raise ParameterError(
+            f"buffer is {len(view)} bytes, header describes "
+            f"{header.total_bytes}")
+    return header
 
 
 class CompactLTree:
@@ -182,16 +263,21 @@ class CompactLTree:
             self._release(node)
 
     def _clear(self) -> None:
-        """Drop every slot (bulk load rebuilds from scratch)."""
-        self._num.clear()
-        self._height.clear()
-        self._leaf_count.clear()
-        self._parent.clear()
-        self._first_child.clear()
-        self._next_sibling.clear()
-        self._payload.clear()
-        del self._deleted[:]
-        self._free.clear()
+        """Drop every slot (bulk load rebuilds from scratch).
+
+        Columns are *reassigned*, not cleared in place: a restored tree
+        stores them as ``array('q')`` (see :meth:`from_bytes`) and a
+        bulk load returns it to plain-list storage.
+        """
+        self._num = []
+        self._height = []
+        self._leaf_count = []
+        self._parent = []
+        self._first_child = []
+        self._next_sibling = []
+        self._payload = []
+        self._deleted = bytearray()
+        self._free = []
 
     @property
     def allocated_slots(self) -> int:
@@ -206,8 +292,16 @@ class CompactLTree:
     def _step(self, height: int) -> int:
         """``base ** height`` from the memoized power table."""
         steps = self._steps
+        base = self.params.base
         while len(steps) <= height:
-            steps.append(steps[-1] * self.params.base)
+            steps.append(steps[-1] * base)
+            if steps[-1] > _PROMOTE_LIMIT // base and \
+                    isinstance(self._num, array):
+                # restored trees keep labels in an int64 array (see
+                # from_bytes); labels stay below base * step, so box
+                # back to a plain list *before* any label near the
+                # int64 rim could be stored into fixed-width storage
+                self._num = self._num.tolist()
         return steps[height]
 
     def _l_max(self, height: int) -> int:
@@ -381,6 +475,18 @@ class CompactLTree:
         """The current label sequence (strictly increasing)."""
         num = self._num
         return [num[leaf] for leaf in self.iter_leaves(include_deleted)]
+
+    def label_map(self) -> dict[int, int]:
+        """Live handle → label, one pass over the flat ``num`` column.
+
+        The bulk extraction primitive behind the document layer's
+        cached label vector: no per-handle accessor calls, no tombstone
+        re-checks (``iter_leaves(include_deleted=False)`` already
+        filters).
+        """
+        num = self._num
+        return {slot: num[slot]
+                for slot in self.iter_leaves(include_deleted=False)}
 
     def payloads(self, include_deleted: bool = True) -> list[Any]:
         """Leaf payloads in document order."""
@@ -862,6 +968,12 @@ class CompactLTree:
             for slot, value in zip(slots, values):
                 self._assign_labels_scalar(slot, value)
             return
+        if height > 0:
+            # extend the step memo (and run its array->list promotion
+            # hook) *before* aliasing the label column: _step may
+            # reassign self._num, and writes into a stale alias would
+            # be silently lost
+            self._step(height - 1)
         num_arr = self._num
         first_child = self._first_child
         next_sibling = self._next_sibling
@@ -901,6 +1013,10 @@ class CompactLTree:
 
     def _assign_labels_scalar(self, node: int, num: int) -> None:
         """The per-slot stack walk (scalar backend baseline)."""
+        if self._height[node] > 0:
+            # see _assign_labels_batch: memoize steps (and let the
+            # promotion hook swap self._num) before aliasing the column
+            self._step(self._height[node] - 1)
         num_arr = self._num
         height = self._height
         first_child = self._first_child
@@ -1193,39 +1309,24 @@ class CompactLTree:
         """Rebuild an engine from a :meth:`to_bytes` buffer.
 
         Accepts any bytes-like object — including a ``memoryview`` over
-        an mmapped page file — and copies each column into the engine's
-        arrays in one bulk ``frombytes`` per column, with no per-node
-        work.  Raises :class:`ParameterError` on a bad magic, an
-        unsupported version, or a truncated/inconsistent buffer.
+        an mmapped page file — and copies each column in one bulk
+        ``frombytes``, then *adopts* the resulting ``array('q')``
+        objects as storage with no per-slot boxing (the ``tolist``
+        floor the restore path used to pay).  Mutation paths treat the
+        adopted arrays exactly like lists; the next :meth:`bulk_load`
+        or an approach to the int64 rim (see :meth:`_step`) returns the
+        affected columns to plain lists.  Raises
+        :class:`ParameterError` on a bad magic, an unsupported version,
+        or a truncated/inconsistent buffer.
         """
         view = memoryview(data)
-        if len(view) < _HEADER.size:
-            raise ParameterError(
-                f"buffer of {len(view)} bytes is shorter than the "
-                f"{_HEADER.size}-byte header")
-        (magic, version, flags, f, s, label_base, root, n_slots, n_free,
-         payload_len) = _HEADER.unpack_from(view, 0)
-        if magic != ARRAY_MAGIC:
-            raise ParameterError(
-                f"bad magic {magic!r}; not a CompactLTree byte image")
-        if version != ARRAY_FORMAT_VERSION:
-            raise ParameterError(
-                f"unsupported array-format version {version} "
-                f"(supported: {ARRAY_FORMAT_VERSION})")
-        if n_slots < 1 or n_free < 0 or payload_len < 0:
-            # every real image holds at least the root slot
-            raise ParameterError(
-                f"inconsistent header: n_slots={n_slots}, "
-                f"n_free={n_free}, payload_len={payload_len}")
-        expected = (_HEADER.size + 8 * (6 * n_slots + n_free) + n_slots +
-                    payload_len)
-        if len(view) != expected:
-            raise ParameterError(
-                f"buffer is {len(view)} bytes, header describes "
-                f"{expected}")
-        policy = "lowest" if flags & _FLAG_LOWEST_POLICY else "highest"
-        params = LTreeParams(f=f, s=s, label_base=label_base)
-        tree = cls(params, stats, violator_policy=policy)
+        header = read_array_header(view)
+        n_slots, n_free = header.n_slots, header.n_free
+        root = header.root
+        params = LTreeParams(f=header.f, s=header.s,
+                             label_base=header.label_base)
+        tree = cls(params, stats,
+                   violator_policy=header.violator_policy)
         offset = _HEADER.size
         columns = []
         for _ in range(6):
@@ -1246,9 +1347,9 @@ class CompactLTree:
                 f"{n_slots}-slot arena")
         tree._deleted = bytearray(view[offset:offset + n_slots])
         offset += n_slots
-        if flags & _FLAG_HAS_PAYLOADS:
+        if header.flags & _FLAG_HAS_PAYLOADS:
             tree._payload = json.loads(
-                view[offset:offset + payload_len].tobytes()
+                view[offset:offset + header.payload_len].tobytes()
                 .decode("utf-8"))
             if len(tree._payload) != n_slots:
                 raise ParameterError(
@@ -1367,17 +1468,38 @@ class CompactLTree:
 
 
 def _pack_int64(values: Sequence[int]) -> bytes:
-    """One column as little-endian int64 bytes (single bulk copy)."""
+    """One column as little-endian int64 bytes (single bulk copy).
+
+    A column that already *is* an ``array('q')`` — the storage a
+    restored tree keeps, see :func:`_unpack_int64` — is emitted with a
+    single ``tobytes`` and no per-value conversion at all.
+    """
+    if isinstance(values, array) and values.typecode == "q":
+        if sys.byteorder == "big":
+            swapped = array("q", values)
+            swapped.byteswap()
+            return swapped.tobytes()
+        return values.tobytes()
     column = array("q", values)
     if sys.byteorder == "big":
         column.byteswap()
     return column.tobytes()
 
 
-def _unpack_int64(view: memoryview, offset: int, count: int) -> list[int]:
-    """Read ``count`` little-endian int64 values starting at ``offset``."""
+def _unpack_int64(view: memoryview, offset: int,
+                  count: int) -> array:
+    """Read ``count`` little-endian int64 values starting at ``offset``.
+
+    Returns the ``array('q')`` itself — **not** a boxed list.  The
+    engine adopts it directly as column storage: ``array`` supports the
+    same indexing/append/pop operations the mutation paths use, so the
+    restore path skips the ``tolist`` boxing that used to dominate its
+    profile.  The one place fixed-width storage could betray us —
+    labels outgrowing int64 after further inserts — is guarded by the
+    promotion hook in :meth:`CompactLTree._step`.
+    """
     column = array("q")
     column.frombytes(view[offset:offset + 8 * count])
     if sys.byteorder == "big":
         column.byteswap()
-    return column.tolist()
+    return column

@@ -1,0 +1,674 @@
+"""Sharded label spaces: per-subtree compact arenas behind a directory.
+
+A :class:`ShardedCompactLTree` splits one logical ordered list across
+``n_shards`` *contiguous* :class:`repro.core.compact.CompactLTree`
+arenas.  Every operation routes to exactly one shard — the one owning
+the anchor handle — so writers touching disjoint regions (in the
+document workload: disjoint top-level subtrees) never contend on, or
+relabel across, each other's arenas.  Splits, §4.1 run inserts, and
+relabels are shard-local by construction.
+
+**Label composition.**  The paper's own structure invites this: an
+L-Tree label is a root prefix plus a subtree-local suffix, the same
+composition that lets optimal ancestry schemes label subtrees
+independently (Fraigniaud & Korman 2016; Dahlgaard et al. 2014).  Here
+the global label of handle ``(rank, slot)`` is::
+
+    rank * stride + local_label        stride = base ** directory_height
+
+where ``directory_height`` is the tallest shard's height.  Local labels
+are always below ``base ** height <= stride``, so shard-local label
+sequences concatenate into a globally strictly increasing sequence with
+**zero** cross-shard relabeling.  When one shard grows past the
+directory height — the only way the shard directory can overflow — the
+stride is bumped one power of the base.  That is the root-level
+rebuild, and because global labels are *composed on read* rather than
+stored, it costs O(1) and relabels nothing (``directory_rebuilds``
+counts the bumps).
+
+**Handles** are ``(shard_rank, local_slot)`` pairs; the shard set is
+fixed at :meth:`bulk_load` (contiguous balanced chunks), so ranks are
+stable until the next bulk load or :meth:`compact` — the same handle
+lifetime the flat engine offers.
+
+**Cost accounting.**  By default every shard reports into the one
+``stats`` sink the tree was built with, so aggregate counters mean what
+they do on the flat engine.  Pass ``shard_stats=True`` to give each
+shard its own :class:`~repro.core.stats.Counters` — the instrument
+behind the isolation guarantee: an insert into one shard provably
+leaves every other shard's counters untouched
+(``tests/core/test_sharded.py``).
+
+**Persistence** (:meth:`save` / :meth:`load`) writes one ``LTREEARR``
+byte image per shard — each its own blob span in a
+:class:`repro.storage.pages.PageStore` — plus a JSON manifest and a
+small per-shard sidecar of live leaf slots in document order.  Loading
+is **shard-lazy** by default: only the manifest and sidecars are
+decoded; a shard's arena is deserialized the first time an operation
+*writes* it (or needs its structure).  Pure label reads — ``num``,
+``label_map``, the document layer's cached label vector — are served
+straight off the byte image through the column offsets of
+:func:`repro.core.compact.read_array_header`, so a reopen followed by
+queries and single-subtree edits touches one arena, not all of them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from typing import Any, Iterator, Optional, Sequence
+
+from repro.core.compact import (CompactLTree, _pack_int64, _unpack_int64,
+                                read_array_header)
+from repro.core.params import LTreeParams
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import InvariantViolation, ParameterError
+
+#: shard count the registry's ``ltree-sharded`` scheme uses
+DEFAULT_N_SHARDS = 8
+
+#: on-store format version of the sharded manifest blob
+MANIFEST_FORMAT_VERSION = 1
+
+#: ``kind`` tag of the manifest (a JSON blob, not an LTREEARR image)
+MANIFEST_KIND = "sharded-ltree"
+
+_INT64 = struct.Struct("<q")
+
+
+class _Shard:
+    """One arena: a materialized engine, or a still-lazy byte image.
+
+    A lazy shard can answer *label* questions (``num``, tombstone bits,
+    live-leaf enumeration) straight from its image; the first mutation
+    or structural question materializes it through
+    :meth:`CompactLTree.from_bytes`.
+    """
+
+    __slots__ = ("tree", "stats", "image", "header", "live", "pending",
+                 "meta_height", "meta_n_leaves", "meta_tombstones",
+                 "_num_column")
+
+    def __init__(self, tree: Optional[CompactLTree], stats: Counters):
+        self.tree = tree
+        self.stats = stats
+        self.image: Any = None
+        self.header = None
+        #: live leaf slots in document order (lazy shards only)
+        self.live: Optional[Sequence[int]] = None
+        #: payloads reattached while lazy, applied on materialization
+        self.pending: dict[int, Any] = {}
+        #: decoded label column of a lazy image, memoized on first use
+        #: (a lazy shard is immutable, so this can never go stale)
+        self._num_column: Optional[array] = None
+        self.meta_height = 0
+        self.meta_n_leaves = 0
+        self.meta_tombstones = 0
+
+    @classmethod
+    def lazy(cls, image: Any, live: Sequence[int], meta: dict,
+             stats: Counters) -> "_Shard":
+        shard = cls(None, stats)
+        shard.image = image
+        shard.header = read_array_header(image)
+        shard.live = live
+        shard.meta_height = meta["height"]
+        shard.meta_n_leaves = meta["n_leaves"]
+        shard.meta_tombstones = meta["tombstones"]
+        return shard
+
+    @property
+    def is_lazy(self) -> bool:
+        return self.tree is None
+
+    def materialize(self) -> CompactLTree:
+        """Deserialize the arena (idempotent); applies pending payloads."""
+        if self.tree is None:
+            self.tree = CompactLTree.from_bytes(self.image,
+                                                stats=self.stats)
+            for slot, payload in self.pending.items():
+                self.tree.set_payload(slot, payload)
+            self.image = None
+            self.header = None
+            self.live = None
+            self.pending = {}
+            self._num_column = None
+        return self.tree
+
+    # -- label reads that never materialize ---------------------------
+    def num(self, slot: int) -> int:
+        if self.tree is not None:
+            return self.tree.num(slot)
+        return _INT64.unpack_from(self.image,
+                                  self.header.num_offset + 8 * slot)[0]
+
+    def is_deleted(self, slot: int) -> bool:
+        if self.tree is not None:
+            return self.tree.is_deleted(slot)
+        return bool(memoryview(self.image)
+                    [self.header.deleted_offset + slot])
+
+    def live_slots(self) -> Iterator[int]:
+        """Live leaf slots in document order (no materialization)."""
+        if self.tree is not None:
+            return self.tree.iter_leaves(include_deleted=False)
+        return iter(self.live)
+
+    def nums_of_live(self) -> list[int]:
+        """Labels of the live leaves, bulk-decoded for lazy shards."""
+        if self.tree is not None:
+            num = self.tree._num
+            return [num[slot] for slot in
+                    self.tree.iter_leaves(include_deleted=False)]
+        column = self._num_column
+        if column is None:
+            header = self.header
+            column = array("q")
+            column.frombytes(memoryview(self.image)[
+                header.num_offset:
+                header.num_offset + 8 * header.n_slots])
+            if sys.byteorder == "big":
+                column.byteswap()
+            self._num_column = column
+        return [column[slot] for slot in self.live]
+
+    # -- shape metadata ------------------------------------------------
+    @property
+    def height(self) -> int:
+        return self.meta_height if self.tree is None else self.tree.height
+
+    @property
+    def n_leaves(self) -> int:
+        return self.meta_n_leaves if self.tree is None \
+            else self.tree.n_leaves
+
+    def tombstone_count(self) -> int:
+        return self.meta_tombstones if self.tree is None \
+            else self.tree.tombstone_count()
+
+
+class ShardedCompactLTree:
+    """Ordered labeling over per-shard compact arenas (see module doc).
+
+    Parameters
+    ----------
+    params:
+        The ``(f, s, label_base)`` set every shard arena uses.
+    stats:
+        Counter sink shared by all shards (aggregate semantics match
+        the flat engine).
+    violator_policy:
+        Passed through to every shard arena.
+    n_shards:
+        Number of contiguous arenas :meth:`bulk_load` splits into (the
+        actual count is capped by the item count; at least one shard
+        always exists).
+    shard_stats:
+        ``True`` gives every shard its *own* ``Counters`` (exposed as
+        :attr:`shard_counters`) instead of the shared sink — the probe
+        for the write-isolation guarantee.
+
+    Examples
+    --------
+    >>> from repro.core.params import LTreeParams
+    >>> tree = ShardedCompactLTree(LTreeParams(f=4, s=2), n_shards=2)
+    >>> leaves = tree.bulk_load("abcdef")
+    >>> [tree.num(leaf) for leaf in leaves]    # stride = 5**2 = 25
+    [0, 1, 5, 25, 26, 30]
+    >>> leaves[3]                      # handles are (shard, slot)
+    (1, 0)
+    """
+
+    def __init__(self, params: LTreeParams, stats: Counters = NULL_COUNTERS,
+                 violator_policy: str = "highest",
+                 n_shards: int = DEFAULT_N_SHARDS,
+                 shard_stats: bool = False):
+        if n_shards < 1:
+            raise ParameterError(
+                f"n_shards must be >= 1, got {n_shards}")
+        self.params = params
+        self.stats = stats
+        self.violator_policy = violator_policy
+        self.n_shards = n_shards
+        self._track_shards = bool(shard_stats)
+        #: stride bumps performed because one shard outgrew the
+        #: directory height (the only root-level "rebuild"; O(1) each)
+        self.directory_rebuilds = 0
+        self._shards: list[_Shard] = [self._fresh_shard()]
+        self._directory_height = 1
+        self._stride = params.base
+        self._refresh_directory()
+
+    # ------------------------------------------------------------------
+    # shard plumbing
+    # ------------------------------------------------------------------
+    def _fresh_shard(self) -> _Shard:
+        sink = Counters() if self._track_shards else self.stats
+        return _Shard(CompactLTree(self.params, sink,
+                                   violator_policy=self.violator_policy),
+                      sink)
+
+    @property
+    def shard_counters(self) -> list[Counters]:
+        """Per-shard counter sinks (the shared sink repeated unless the
+        tree was built with ``shard_stats=True``)."""
+        return [shard.stats for shard in self._shards]
+
+    @property
+    def shard_count(self) -> int:
+        """Number of arenas currently in the directory."""
+        return len(self._shards)
+
+    @property
+    def materialized_shards(self) -> list[int]:
+        """Ranks whose arena is deserialized (all, unless lazily loaded)."""
+        return [rank for rank, shard in enumerate(self._shards)
+                if not shard.is_lazy]
+
+    @property
+    def directory_height(self) -> int:
+        """Height of the tallest shard — the stride exponent."""
+        return self._directory_height
+
+    @property
+    def stride(self) -> int:
+        """Label-space width reserved per shard: ``base ** dir_height``."""
+        return self._stride
+
+    @property
+    def label_space(self) -> int:
+        """Exclusive upper bound of the global label universe."""
+        return len(self._shards) * self._stride
+
+    def _refresh_directory(self) -> None:
+        """Recompute the stride from scratch (bulk load, compact, load)."""
+        height = max((shard.height for shard in self._shards), default=1)
+        height = max(height, 1)
+        self._directory_height = height
+        self._stride = self.params.base ** height
+
+    def _grow_directory(self, shard: _Shard) -> None:
+        """Bump the stride when ``shard`` outgrew the directory height."""
+        if shard.height > self._directory_height:
+            self._directory_height = shard.height
+            self._stride = self.params.base ** self._directory_height
+            self.directory_rebuilds += 1
+
+    def _shard_at(self, handle: tuple[int, int]) -> tuple[_Shard, int]:
+        rank, slot = handle
+        if not 0 <= rank < len(self._shards):
+            raise ValueError(
+                f"handle {handle!r} names shard {rank} of "
+                f"{len(self._shards)}")
+        return self._shards[rank], slot
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    def bulk_load(self, payloads: Sequence[Any]) -> list[tuple[int, int]]:
+        """Split ``payloads`` into contiguous chunks, one arena each.
+
+        Existing handles are invalidated (same contract as the flat
+        engine's bulk load).  Returns the new handles in order.
+        """
+        items = list(payloads)
+        shard_count = min(self.n_shards, len(items)) or 1
+        self._shards = [self._fresh_shard() for _ in range(shard_count)]
+        handles: list[tuple[int, int]] = []
+        start = 0
+        for rank, shard in enumerate(self._shards):
+            size = (len(items) - start) // (shard_count - rank)
+            slots = shard.tree.bulk_load(items[start:start + size])
+            handles.extend((rank, slot) for slot in slots)
+            start += size
+        self._refresh_directory()
+        return handles
+
+    # ------------------------------------------------------------------
+    # routed updates (all shard-local)
+    # ------------------------------------------------------------------
+    def insert_after(self, handle: tuple[int, int],
+                     payload: Any) -> tuple[int, int]:
+        shard, slot = self._shard_at(handle)
+        rank = handle[0]
+        leaf = shard.materialize().insert_after(slot, payload)
+        self._grow_directory(shard)
+        return (rank, leaf)
+
+    def insert_before(self, handle: tuple[int, int],
+                      payload: Any) -> tuple[int, int]:
+        shard, slot = self._shard_at(handle)
+        rank = handle[0]
+        leaf = shard.materialize().insert_before(slot, payload)
+        self._grow_directory(shard)
+        return (rank, leaf)
+
+    def append(self, payload: Any) -> tuple[int, int]:
+        rank = len(self._shards) - 1
+        shard = self._shards[rank]
+        leaf = shard.materialize().append(payload)
+        self._grow_directory(shard)
+        return (rank, leaf)
+
+    def prepend(self, payload: Any) -> tuple[int, int]:
+        shard = self._shards[0]
+        leaf = shard.materialize().prepend(payload)
+        self._grow_directory(shard)
+        return (0, leaf)
+
+    def insert_run_after(self, handle: tuple[int, int],
+                         payloads: Sequence[Any]) -> list[tuple[int, int]]:
+        """§4.1 batch insert — the whole run lands in the anchor's shard."""
+        shard, slot = self._shard_at(handle)
+        rank = handle[0]
+        leaves = shard.materialize().insert_run_after(slot, payloads)
+        self._grow_directory(shard)
+        return [(rank, leaf) for leaf in leaves]
+
+    def insert_run_before(self, handle: tuple[int, int],
+                          payloads: Sequence[Any]) -> list[tuple[int, int]]:
+        shard, slot = self._shard_at(handle)
+        rank = handle[0]
+        leaves = shard.materialize().insert_run_before(slot, payloads)
+        self._grow_directory(shard)
+        return [(rank, leaf) for leaf in leaves]
+
+    def mark_deleted(self, handle: tuple[int, int]) -> None:
+        """Tombstone a leaf (paper §2.3) — no relabeling anywhere."""
+        shard, slot = self._shard_at(handle)
+        shard.materialize().mark_deleted(slot)
+
+    def set_payload(self, handle: tuple[int, int], payload: Any) -> None:
+        """Reattach a payload; buffered (not materializing) on lazy shards."""
+        shard, slot = self._shard_at(handle)
+        if shard.is_lazy:
+            shard.pending[slot] = payload
+        else:
+            shard.tree.set_payload(slot, payload)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def num(self, handle: tuple[int, int]) -> int:
+        """Global label: shard prefix ⊕ shard-local label."""
+        shard, slot = self._shard_at(handle)
+        return handle[0] * self._stride + shard.num(slot)
+
+    def payload(self, handle: tuple[int, int]) -> Any:
+        shard, slot = self._shard_at(handle)
+        if shard.is_lazy and slot in shard.pending:
+            return shard.pending[slot]
+        return shard.materialize().payload(slot)
+
+    def is_leaf(self, handle: tuple[int, int]) -> bool:
+        shard, slot = self._shard_at(handle)
+        return shard.materialize().is_leaf(slot)
+
+    def is_deleted(self, handle: tuple[int, int]) -> bool:
+        shard, slot = self._shard_at(handle)
+        return shard.is_deleted(slot)
+
+    def iter_leaves(self, include_deleted: bool = True
+                    ) -> Iterator[tuple[int, int]]:
+        """All leaves in document order, shard by shard.
+
+        With ``include_deleted=False`` (the wrapper's ``handles()``
+        path) lazy shards serve their sidecar enumeration and stay
+        unmaterialized; including tombstones needs the structure.
+        """
+        for rank, shard in enumerate(self._shards):
+            if include_deleted:
+                slots: Iterator[int] = \
+                    shard.materialize().iter_leaves(True)
+            else:
+                slots = shard.live_slots()
+            for slot in slots:
+                yield (rank, slot)
+
+    def labels(self, include_deleted: bool = True) -> list[int]:
+        """The global label sequence (strictly increasing)."""
+        stride = self._stride
+        out: list[int] = []
+        for rank, shard in enumerate(self._shards):
+            prefix = rank * stride
+            if include_deleted:
+                tree = shard.materialize()
+                out.extend(prefix + tree.num(slot)
+                           for slot in tree.iter_leaves(True))
+            else:
+                out.extend(prefix + value
+                           for value in shard.nums_of_live())
+        return out
+
+    def payloads(self, include_deleted: bool = True) -> list[Any]:
+        return [self.payload(handle)
+                for handle in self.iter_leaves(include_deleted)]
+
+    def label_map(self) -> dict[tuple[int, int], int]:
+        """Live handle → global label, composed across every shard.
+
+        One bulk column decode per shard — lazy shards stay lazy — so
+        the document layer's cached label vector costs the same flat
+        extraction it does on the unsharded engine.
+        """
+        stride = self._stride
+        mapping: dict[tuple[int, int], int] = {}
+        for rank, shard in enumerate(self._shards):
+            prefix = rank * stride
+            mapping.update(
+                ((rank, slot), prefix + value)
+                for slot, value in zip(shard.live_slots(),
+                                       shard.nums_of_live()))
+        return mapping
+
+    def find_leaf(self, num: int) -> Optional[tuple[int, int]]:
+        """The leaf holding global label ``num``: the shard prefix is
+        ``num // stride``, the rest an O(height) in-shard descent."""
+        if num < 0:
+            return None
+        rank, local = divmod(num, self._stride)
+        if rank >= len(self._shards):
+            return None
+        slot = self._shards[rank].materialize().find_leaf(local)
+        return None if slot is None else (rank, slot)
+
+    @property
+    def n_leaves(self) -> int:
+        """Leaves across all shards, tombstones included."""
+        return sum(shard.n_leaves for shard in self._shards)
+
+    def tombstone_count(self) -> int:
+        return sum(shard.tombstone_count() for shard in self._shards)
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def compact(self, params: Optional[LTreeParams] = None
+                ) -> dict[tuple[int, int], tuple[int, int]]:
+        """Vacuum tombstones shard by shard; old→new handle mapping.
+
+        Shards are rebuilt independently (ranks never change), then the
+        directory stride is recomputed — it can shrink, which is the
+        one relabel-like event compaction implies, and it is still
+        O(1) because global labels are composed on read.
+        """
+        if params is not None:
+            self.params = params
+        mapping: dict[tuple[int, int], tuple[int, int]] = {}
+        for rank, shard in enumerate(self._shards):
+            local = shard.materialize().compact(params)
+            mapping.update(((rank, old), (rank, new))
+                           for old, new in local.items())
+        self._refresh_directory()
+        return mapping
+
+    # ------------------------------------------------------------------
+    # persistence (one LTREEARR blob span per shard + manifest)
+    # ------------------------------------------------------------------
+    def save(self, store: Any, name: str = "scheme",
+             include_payloads: bool = True) -> None:
+        """Persist every arena as its own blob span plus a manifest.
+
+        Blob layout under ``name``: ``{name}.s{rank}`` holds shard
+        ``rank``'s ``LTREEARR`` image, ``{name}.s{rank}.leaves`` its
+        live-leaf sidecar, and ``{name}`` the JSON manifest (written
+        last, so a reader never sees a manifest pointing at missing
+        blobs).  Still-lazy shards are copied image-for-image without
+        deserializing — an open → edit-one-subtree → save cycle reads
+        and parses exactly one arena.
+        """
+        entries = []
+        for rank, shard in enumerate(self._shards):
+            arena_name = f"{name}.s{rank}"
+            leaves_name = f"{name}.s{rank}.leaves"
+            if shard.is_lazy:
+                image: Any = shard.image
+                live = list(shard.live)
+            else:
+                image = shard.tree.to_bytes(
+                    include_payloads=include_payloads)
+                live = list(shard.tree.iter_leaves(
+                    include_deleted=False))
+            store.put_blob(arena_name, bytes(image))
+            store.put_blob(leaves_name, _pack_int64(live))
+            entries.append({
+                "blob": arena_name,
+                "leaves": leaves_name,
+                "height": shard.height,
+                "n_leaves": shard.n_leaves,
+                "tombstones": shard.tombstone_count(),
+                "live": len(live),
+            })
+        manifest = {
+            "format": MANIFEST_FORMAT_VERSION,
+            "kind": MANIFEST_KIND,
+            "f": self.params.f,
+            "s": self.params.s,
+            "label_base": self.params.base,
+            "violator_policy": self.violator_policy,
+            "n_shards": self.n_shards,
+            "directory_height": self._directory_height,
+            "directory_rebuilds": self.directory_rebuilds,
+            "shards": entries,
+        }
+        store.put_blob(name, json.dumps(manifest).encode("utf-8"))
+        # only now drop blobs of shards a previous save wrote but this
+        # tree no longer has (a re-bulk_load can shrink the shard
+        # count): left behind they would leak span pages past every
+        # vacuum — but deleting them *before* the manifest flip above
+        # would open a crash window in which the old manifest still
+        # points at them and the store cannot reopen
+        if hasattr(store, "delete_blob") and hasattr(store, "has_blob"):
+            rank = len(self._shards)
+            while store.has_blob(f"{name}.s{rank}"):
+                store.delete_blob(f"{name}.s{rank}")
+                store.delete_blob(f"{name}.s{rank}.leaves")
+                rank += 1
+
+    @classmethod
+    def load(cls, store: Any, name: str = "scheme",
+             stats: Counters = NULL_COUNTERS, lazy: bool = True,
+             prefer_mmap: bool = True,
+             shard_stats: bool = False) -> "ShardedCompactLTree":
+        """Reopen a tree saved by :meth:`save`.
+
+        With ``lazy`` (default) only the manifest and the per-shard
+        sidecars are decoded; each arena is fetched as a byte view
+        (mmap fast path when the store offers it) and deserialized on
+        first write — see the module docstring.  ``lazy=False``
+        materializes everything immediately.
+        """
+        manifest = json.loads(bytes(store.get_blob(name)).decode("utf-8"))
+        if manifest.get("kind") != MANIFEST_KIND:
+            raise ParameterError(
+                f"blob {name!r} is not a sharded-ltree manifest "
+                f"(kind={manifest.get('kind')!r})")
+        if manifest.get("format") != MANIFEST_FORMAT_VERSION:
+            raise ParameterError(
+                f"unsupported sharded manifest format "
+                f"{manifest.get('format')!r} "
+                f"(supported: {MANIFEST_FORMAT_VERSION})")
+        params = LTreeParams(f=manifest["f"], s=manifest["s"],
+                             label_base=manifest["label_base"])
+        tree = cls.__new__(cls)
+        tree.params = params
+        tree.stats = stats
+        tree.violator_policy = manifest["violator_policy"]
+        tree.n_shards = manifest["n_shards"]
+        tree._track_shards = bool(shard_stats)
+        tree.directory_rebuilds = manifest.get("directory_rebuilds", 0)
+        tree._shards = []
+        for entry in manifest["shards"]:
+            sink = Counters() if shard_stats else stats
+            image = store.get_blob(entry["blob"],
+                                   prefer_mmap=prefer_mmap)
+            header = read_array_header(image)
+            if (header.f, header.s, header.label_base,
+                    header.violator_policy) != \
+                    (params.f, params.s, params.base,
+                     tree.violator_policy):
+                raise ParameterError(
+                    f"shard image {entry['blob']!r} disagrees with the "
+                    f"manifest parameters")
+            raw_leaves = bytes(store.get_blob(entry["leaves"]))
+            live = _unpack_int64(memoryview(raw_leaves), 0,
+                                 len(raw_leaves) // 8)
+            # lazy label reads index the raw image with these slots, so
+            # a torn or stale sidecar must fail loudly here, not return
+            # bytes of some other column as a "label" (the same reason
+            # from_bytes validates the free-list)
+            if len(live) != entry["live"]:
+                raise ParameterError(
+                    f"sidecar {entry['leaves']!r} holds {len(live)} "
+                    f"slots, manifest says {entry['live']}")
+            image_view = memoryview(image)
+            deleted_offset = header.deleted_offset
+            if any(not 0 <= slot < header.n_slots or
+                   image_view[deleted_offset + slot]
+                   for slot in live):
+                raise ParameterError(
+                    f"sidecar {entry['leaves']!r} names slots outside "
+                    f"the {header.n_slots}-slot arena or tombstoned "
+                    f"leaves")
+            shard = _Shard.lazy(image, live, entry, sink)
+            if not lazy:
+                shard.materialize()
+            tree._shards.append(shard)
+        if not tree._shards:
+            raise ParameterError(
+                f"manifest {name!r} describes zero shards")
+        tree._directory_height = manifest["directory_height"]
+        tree._stride = params.base ** tree._directory_height
+        return tree
+
+    # ------------------------------------------------------------------
+    # validation (tests)
+    # ------------------------------------------------------------------
+    def validate(self, check_occupancy: bool = False) -> None:
+        """Per-shard structural invariants plus the directory's own.
+
+        Materializes every shard (tests only).  Checks each arena with
+        :meth:`CompactLTree.validate`, that the stride covers the
+        tallest shard, and that global labels strictly increase across
+        shard boundaries.
+        """
+        height = max((shard.height for shard in self._shards), default=1)
+        if self.params.base ** max(height, 1) != self._stride:
+            raise InvariantViolation(
+                f"stride {self._stride} does not match the tallest "
+                f"shard (height {height})")
+        for shard in self._shards:
+            shard.materialize().validate(check_occupancy)
+        labels = self.labels()
+        for left, right in zip(labels, labels[1:]):
+            if left >= right:
+                raise InvariantViolation(
+                    f"global labels not strictly increasing: "
+                    f"{left} >= {right}")
+
+    def __repr__(self) -> str:
+        return (f"ShardedCompactLTree(shards={len(self._shards)}, "
+                f"stride={self._stride}, n_leaves={self.n_leaves}, "
+                f"params={self.params.describe()})")

@@ -49,9 +49,11 @@ from repro.core.stats import NULL_COUNTERS, Counters
 from repro.errors import ParameterError
 from repro.labeling.containment import Region
 from repro.order.base import OrderedLabeling
-from repro.order.compact_list import CompactListLabeling
+from repro.order.compact_list import (CompactEngineLabeling,
+                                      CompactListLabeling)
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.registry import default_scheme
+from repro.order.sharded_list import ShardedListLabeling
 from repro.xml.model import (XMLCommentNode, XMLDocument, XMLElement,
                              XMLInstructionNode, XMLNode, XMLTextNode)
 from repro.xml.parser import parse
@@ -331,7 +333,7 @@ class LabeledDocument:
         fresh (narrower) labels.  Returns the number of reclaimed slots.
         """
         if not isinstance(self.scheme,
-                          (LTreeListLabeling, CompactListLabeling)):
+                          (LTreeListLabeling, CompactEngineLabeling)):
             raise TypeError(
                 "compact() requires an L-Tree-backed scheme, got "
                 f"{self.scheme.name!r}")
@@ -357,10 +359,12 @@ class LabeledDocument:
         :class:`repro.storage.pages.PageStore`): the serialized XML, the
         scheme state, and a small JSON ``meta`` record.  The scheme goes
         as the struct-of-arrays byte image for ``ltree-compact``
-        (tombstones and free-list preserved exactly) or as the §4.2
-        label-only snapshot for ``ltree``; either way payloads are *not*
-        serialized — :meth:`open` re-derives them from the document
-        text, whose token sequence matches the live labels one-to-one.
+        (tombstones and free-list preserved exactly), as one such image
+        *per shard* plus a manifest for ``ltree-sharded`` (reopened
+        shard-lazily), or as the §4.2 label-only snapshot for ``ltree``;
+        either way payloads are *not* serialized — :meth:`open`
+        re-derives them from the document text, whose token sequence
+        matches the live labels one-to-one.
         Raises :class:`ParameterError` (before writing anything) when
         that one-to-one match would not survive the XML round trip.
         """
@@ -379,7 +383,13 @@ class LabeledDocument:
                 f"trip ({len(live_kinds)} tokens serialize to "
                 f"{len(reparsed_kinds)}): adjacent or empty text nodes "
                 f"cannot be re-labeled on open(); merge them first")
-        if isinstance(scheme, CompactListLabeling):
+        if isinstance(scheme, ShardedListLabeling):
+            # one LTREEARR blob span per shard plus a manifest; shards
+            # still lazy from an earlier open() are copied
+            # image-for-image without deserializing
+            encoding = "sharded-bytes"
+            scheme.save(store, SCHEME_BLOB, include_payloads=False)
+        elif isinstance(scheme, CompactListLabeling):
             encoding = "compact-bytes"
             scheme.save(store, SCHEME_BLOB, include_payloads=False)
         elif isinstance(scheme, LTreeListLabeling):
@@ -419,6 +429,14 @@ class LabeledDocument:
         if encoding == "compact-bytes":
             scheme: OrderedLabeling = CompactListLabeling.load(
                 store, SCHEME_BLOB, stats=stats)
+            reattach = scheme.tree.set_payload
+        elif encoding == "sharded-bytes":
+            # shard-lazy: only the manifest and the per-shard live-leaf
+            # sidecars are decoded here; an arena is deserialized the
+            # first time an edit touches it (payload reattachment below
+            # is buffered on still-lazy shards)
+            scheme = ShardedListLabeling.load(store, SCHEME_BLOB,
+                                              stats=stats)
             reattach = scheme.tree.set_payload
         elif encoding == "label-snapshot":
             data = json.loads(

@@ -3,12 +3,14 @@ maintenance (paper §1/§5), with the L-Tree and four baseline schemes."""
 
 from repro.order.base import LinkedItem, LinkedListScheme, OrderedLabeling
 from repro.order.bender import BenderLabeling
-from repro.order.compact_list import CompactListLabeling
+from repro.order.compact_list import (CompactEngineLabeling,
+                                      CompactListLabeling)
 from repro.order.gap import GapLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.naive import NaiveLabeling
 from repro.order.prefix import PrefixLabeling
 from repro.order.registry import SCHEMES, make_scheme
+from repro.order.sharded_list import ShardedListLabeling
 from repro.order.two_level import TwoLevelLabeling
 
 __all__ = [
@@ -21,7 +23,9 @@ __all__ = [
     "PrefixLabeling",
     "TwoLevelLabeling",
     "LTreeListLabeling",
+    "CompactEngineLabeling",
     "CompactListLabeling",
+    "ShardedListLabeling",
     "SCHEMES",
     "make_scheme",
 ]

@@ -1,17 +1,28 @@
-"""Compact (array-backed) L-Tree as an ordered list-labeling scheme.
+"""Compact (array-backed) L-Tree engines as ordered labeling schemes.
 
-Adapts :class:`repro.core.compact.CompactLTree` to the
-:class:`repro.order.base.OrderedLabeling` interface, mirroring
-:class:`repro.order.ltree_list.LTreeListLabeling` over the struct-of-arrays
-engine.  Handles are the engine's ``int`` slot ids; labels are their
-(dynamic) ``num`` values.  The two adapters are label- and cost-equivalent
-(see ``tests/core/test_compact_differential.py``), so benchmarks comparing
-``ltree`` and ``ltree-compact`` measure the engine layout alone.
+:class:`CompactEngineLabeling` is the shared adapter between the
+:class:`repro.order.base.OrderedLabeling` interface and any engine with
+the :class:`repro.core.compact.CompactLTree` surface — handles from the
+engine, labels from its (dynamic) ``num`` values, mark-only deletion,
+native §4.1 run inserts, byte-image persistence through a page store.
+Two engines plug in today:
+
+* :class:`CompactListLabeling` (``ltree-compact``) over the flat
+  :class:`~repro.core.compact.CompactLTree` — label- and cost-equivalent
+  to the node-object ``ltree`` scheme (see
+  ``tests/core/test_compact_differential.py``), so benchmarks comparing
+  the two measure the engine layout alone;
+* :class:`repro.order.sharded_list.ShardedListLabeling`
+  (``ltree-sharded``) over the per-subtree arenas of
+  :class:`~repro.core.sharded.ShardedCompactLTree`.
+
+The adapter methods (and the save/load/_wrap machinery) live here once;
+the subclasses only choose the engine and forward its extra knobs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Sequence, Type
 
 from repro.core.compact import CompactLTree
 from repro.core.params import DEFAULT_PARAMS, LTreeParams
@@ -19,84 +30,88 @@ from repro.core.stats import NULL_COUNTERS, Counters
 from repro.order.base import OrderedLabeling
 
 
-class CompactListLabeling(OrderedLabeling):
-    """Order maintenance backed by the array-backed L-Tree engine."""
+class CompactEngineLabeling(OrderedLabeling):
+    """Order maintenance over a compact (array-backed) L-Tree engine.
 
-    name = "ltree-compact"
+    Subclasses set :attr:`ENGINE` to the engine class and may forward
+    engine-specific constructor keywords through ``engine_kwargs``.
+    """
+
+    #: engine class this adapter instantiates and restores
+    ENGINE: Type = CompactLTree
 
     def __init__(self, params: LTreeParams = DEFAULT_PARAMS,
-                 stats: Counters = NULL_COUNTERS):
+                 stats: Counters = NULL_COUNTERS, **engine_kwargs: Any):
         super().__init__(stats)
         self.params = params
-        self.tree = CompactLTree(params, stats)
+        self.tree = self.ENGINE(params, stats, **engine_kwargs)
         self._live = 0
 
-    def bulk_load(self, payloads: Sequence[Any]) -> list[int]:
-        leaves = self.tree.bulk_load(payloads)
-        self._live = len(leaves)
-        return leaves
+    def bulk_load(self, payloads: Sequence[Any]) -> list[Any]:
+        handles = self.tree.bulk_load(payloads)
+        self._live = len(handles)
+        return handles
 
-    def insert_after(self, handle: int, payload: Any) -> int:
+    def insert_after(self, handle: Any, payload: Any) -> Any:
         self._live += 1
         return self.tree.insert_after(handle, payload)
 
-    def insert_before(self, handle: int, payload: Any) -> int:
+    def insert_before(self, handle: Any, payload: Any) -> Any:
         self._live += 1
         return self.tree.insert_before(handle, payload)
 
-    def append(self, payload: Any) -> int:
+    def append(self, payload: Any) -> Any:
         self._live += 1
         return self.tree.append(payload)
 
-    def prepend(self, payload: Any) -> int:
+    def prepend(self, payload: Any) -> Any:
         self._live += 1
         return self.tree.prepend(payload)
 
-    def insert_run_after(self, handle: int,
-                         payloads: Sequence[Any]) -> list[int]:
+    def insert_run_after(self, handle: Any,
+                         payloads: Sequence[Any]) -> list[Any]:
         """Native batch insertion (paper §4.1): one rebalance per run."""
-        leaves = self.tree.insert_run_after(handle, payloads)
-        self._live += len(leaves)
-        return leaves
+        handles = self.tree.insert_run_after(handle, payloads)
+        self._live += len(handles)
+        return handles
 
-    def insert_run_before(self, handle: int,
-                          payloads: Sequence[Any]) -> list[int]:
+    def insert_run_before(self, handle: Any,
+                          payloads: Sequence[Any]) -> list[Any]:
         """Native batch insertion before ``handle`` (paper §4.1)."""
-        leaves = self.tree.insert_run_before(handle, payloads)
-        self._live += len(leaves)
-        return leaves
+        handles = self.tree.insert_run_before(handle, payloads)
+        self._live += len(handles)
+        return handles
 
-    def delete(self, handle: int) -> None:
+    def delete(self, handle: Any) -> None:
         """Mark-only deletion (paper §2.3) — never relabels."""
         if self.tree.is_deleted(handle):
             raise ValueError("handle refers to a deleted item")
         self.tree.mark_deleted(handle)
         self._live -= 1
 
-    def label(self, handle: int) -> int:
+    def label(self, handle: Any) -> int:
         if self.tree.is_deleted(handle):
             raise ValueError("handle refers to a deleted item")
         return self.tree.num(handle)
 
-    def payload(self, handle: int) -> Any:
+    def payload(self, handle: Any) -> Any:
         if self.tree.is_deleted(handle):
             raise ValueError("handle refers to a deleted item")
         return self.tree.payload(handle)
 
-    def handles(self) -> Iterator[int]:
+    def handles(self) -> Iterator[Any]:
         return self.tree.iter_leaves(include_deleted=False)
 
-    def label_map(self) -> dict[int, int]:
-        """Bulk label extraction straight from the flat ``num`` column.
+    def label_map(self) -> dict[Any, int]:
+        """Bulk label extraction straight from the engine's flat state.
 
-        No per-handle accessor calls, no tombstone re-checks: one pass
-        over the leaf chain indexing the label array — the reason the
+        No per-handle accessor calls, no tombstone re-checks: the
+        engine reads its label column(s) in one pass — the reason the
         document layer's cached label vector is cheap to (re)build on
-        this engine.
+        these engines (and stays cheap across shards on the sharded
+        one).
         """
-        num = self.tree._num
-        return {slot: num[slot]
-                for slot in self.tree.iter_leaves(include_deleted=False)}
+        return self.tree.label_map()
 
     def __len__(self) -> int:
         return self._live
@@ -104,11 +119,11 @@ class CompactListLabeling(OrderedLabeling):
     # -- persistence -----------------------------------------------------
     def save(self, store: Any, name: str = "scheme",
              include_payloads: bool = True) -> None:
-        """Persist the engine state as blob ``name`` of a page store.
+        """Persist the engine state under blob ``name`` of a page store.
 
-        The struct-of-arrays byte image (tombstones and free-list
-        included) goes to ``store`` — canonically a
-        :class:`repro.storage.pages.PageStore` — so :meth:`load` reopens
+        The engine's byte image(s) — tombstones and free-list included —
+        go to ``store`` (canonically a
+        :class:`repro.storage.pages.PageStore`) so :meth:`load` reopens
         a scheme whose labels, counters and future splits are identical
         to this one's.
         """
@@ -116,16 +131,15 @@ class CompactListLabeling(OrderedLabeling):
 
     @classmethod
     def load(cls, store: Any, name: str = "scheme",
-             stats: Counters = NULL_COUNTERS,
-             prefer_mmap: bool = True) -> "CompactListLabeling":
+             stats: Counters = NULL_COUNTERS, prefer_mmap: bool = True,
+             **engine_kwargs: Any) -> "CompactEngineLabeling":
         """Reopen a scheme saved by :meth:`save` from a page store."""
-        tree = CompactLTree.load(store, name, stats=stats,
-                                 prefer_mmap=prefer_mmap)
+        tree = cls.ENGINE.load(store, name, stats=stats,
+                               prefer_mmap=prefer_mmap, **engine_kwargs)
         return cls._wrap(tree, stats)
 
     @classmethod
-    def _wrap(cls, tree: CompactLTree,
-              stats: Counters) -> "CompactListLabeling":
+    def _wrap(cls, tree: Any, stats: Counters) -> "CompactEngineLabeling":
         """Adopt an already-built engine (restore paths)."""
         scheme = cls.__new__(cls)
         OrderedLabeling.__init__(scheme, stats)
@@ -133,3 +147,11 @@ class CompactListLabeling(OrderedLabeling):
         scheme.tree = tree
         scheme._live = tree.n_leaves - tree.tombstone_count()
         return scheme
+
+
+class CompactListLabeling(CompactEngineLabeling):
+    """Order maintenance backed by the flat array-backed L-Tree engine."""
+
+    name = "ltree-compact"
+
+    ENGINE = CompactLTree

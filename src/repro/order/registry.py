@@ -18,6 +18,7 @@ from repro.order.gap import GapLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.naive import NaiveLabeling
 from repro.order.prefix import PrefixLabeling
+from repro.order.sharded_list import ShardedListLabeling
 from repro.order.two_level import TwoLevelLabeling
 
 SchemeFactory = Callable[..., OrderedLabeling]
@@ -40,6 +41,11 @@ SCHEMES: dict[str, SchemeFactory] = {
     # the same algorithms on the array-backed engine (label-equivalent to
     # "ltree"; see tests/core/test_compact_differential.py)
     "ltree-compact": lambda stats=NULL_COUNTERS: CompactListLabeling(
+        LTreeParams(f=16, s=4), stats=stats),
+    # per-top-level-subtree compact arenas behind a shard directory:
+    # order-identical to "ltree-compact" (same differential sweep) with
+    # every split/relabel confined to one arena; 8 contiguous shards
+    "ltree-sharded": lambda stats=NULL_COUNTERS: ShardedListLabeling(
         LTreeParams(f=16, s=4), stats=stats),
     # baselines
     "naive": lambda stats=NULL_COUNTERS: NaiveLabeling(stats=stats),

@@ -4,9 +4,17 @@ This is the *actual disk substrate* the cost model of
 :mod:`repro.storage.pager` only prices.  A :class:`PageStore` is one file
 of fixed-size pages:
 
-* page 0 is the header — magic, format version, page size, page count,
-  and a JSON catalog mapping blob names to (first page, byte length,
-  allocated pages) spans;
+* page 0 is the immutable **superblock** — magic, format version, page
+  size — written once at creation and never rewritten, so no later crash
+  can tear it;
+* pages 1 and 2 are the two alternating **catalog slots**.  Every
+  catalog update (page count plus the JSON catalog mapping blob names to
+  (first page, byte length, allocated pages) spans) is written whole to
+  the slot the *previous* update did not use, stamped with a sequence
+  number and a CRC.  Opening reads both slots and adopts the valid one
+  with the highest sequence number, so a write torn by a crash (or a
+  truncated file) simply falls back to the previous catalog — the flip
+  is atomic at the granularity of "which slot validates";
 * every other page is raw data, reached either through a tiny LRU
   buffer pool (:meth:`read_page`) or through an mmap fast path that
   copies straight out of the OS page cache (:meth:`get_blob` with
@@ -19,8 +27,12 @@ wants — the engine's int64 columns land page-aligned on disk and come
 back with one bulk copy per column.  Rewriting a blob reuses its span
 while the new bytes fit the span's allocated pages (shrinking never
 gives pages up); only growth beyond the allocation appends a fresh span
-and leaves the old pages behind (a `vacuum` is future work — spans are
-small and growth rare in this library's save/reopen workload).
+and leaves the old pages behind until :meth:`vacuum` slides every live
+span down and truncates the file.  Data pages always land *before* the
+catalog flip, so a crash mid-``put_blob`` loses only that put; the one
+non-atomic window left is an in-place rewrite of an existing span
+(same name, same size class), which can tear the blob's *contents* —
+the catalog itself survives any crash.
 
 The pool counts hits and misses (:attr:`pool_hits` / :attr:`pool_misses`)
 so experiments can check the :class:`repro.storage.pager.PageModel`
@@ -33,6 +45,7 @@ import json
 import mmap
 import os
 import struct
+import zlib
 from collections import OrderedDict
 from typing import Iterator, Optional
 
@@ -40,12 +53,19 @@ from repro.errors import StorageError
 
 #: magic prefix of a page file (page 0, bytes 0..8)
 PAGE_MAGIC = b"LTPAGES\x00"
-#: page-file format version (bump on layout changes)
-PAGE_FORMAT_VERSION = 1
+#: page-file format version (bump on layout changes); version 2 added
+#: the crash-consistent superblock + double-slot catalog layout
+PAGE_FORMAT_VERSION = 2
 
-#: fixed part of the header page: magic, version, page_size, page_count,
-#: catalog byte length
-_HEADER = struct.Struct("<8sIIQI")
+#: the immutable superblock (page 0): magic, version, page_size
+_SUPERBLOCK = struct.Struct("<8sII")
+
+#: fixed part of a catalog slot (pages 1 and 2): page_count, sequence
+#: number, catalog byte length, CRC32 of the slot minus this field
+_CATALOG_HEADER = struct.Struct("<QQII")
+
+#: pages reserved at the front of the file (superblock + two slots)
+RESERVED_PAGES = 3
 
 DEFAULT_PAGE_SIZE = 4096
 DEFAULT_POOL_PAGES = 16
@@ -80,7 +100,8 @@ class PageStore:
 
     def __init__(self, path: str, page_size: Optional[int] = None,
                  pool_pages: int = DEFAULT_POOL_PAGES):
-        if page_size is not None and page_size < _HEADER.size + 2:
+        if page_size is not None and \
+                page_size < _CATALOG_HEADER.size + 2:
             raise StorageError(
                 f"page_size {page_size} cannot hold the file header")
         if pool_pages < 1:
@@ -99,8 +120,8 @@ class PageStore:
         self._file = open(self.path, "r+b" if exists else "w+b")
         try:
             if exists:
-                self.page_size, self.page_count, self._catalog = \
-                    self._read_header()
+                (self.page_size, self.page_count, self._seq,
+                 self._catalog) = self._read_header()
                 if page_size is not None and \
                         page_size != self.page_size:
                     raise StorageError(
@@ -110,24 +131,29 @@ class PageStore:
             else:
                 self.page_size = page_size if page_size is not None \
                     else DEFAULT_PAGE_SIZE
-                self.page_count = 1
+                self.page_count = RESERVED_PAGES
+                self._seq = 0
                 self._catalog: dict[str, list[int]] = {}
-                self._file.write(b"\x00" * self.page_size)
+                superblock = _SUPERBLOCK.pack(
+                    PAGE_MAGIC, PAGE_FORMAT_VERSION, self.page_size)
+                self._file.write(
+                    superblock +
+                    b"\x00" * (RESERVED_PAGES * self.page_size -
+                               len(superblock)))
                 self._write_header()
         except BaseException:
             self._file.close()
             raise
 
     # ------------------------------------------------------------------
-    # header page
+    # header pages (superblock + alternating catalog slots)
     # ------------------------------------------------------------------
-    def _read_header(self) -> tuple[int, int, dict[str, list[int]]]:
+    def _read_header(self) -> tuple[int, int, int, dict[str, list[int]]]:
         self._file.seek(0)
-        raw = self._file.read(_HEADER.size)
-        if len(raw) < _HEADER.size:
-            raise StorageError(f"{self.path!r}: truncated header page")
-        magic, version, page_size, page_count, catalog_len = \
-            _HEADER.unpack(raw)
+        raw = self._file.read(_SUPERBLOCK.size)
+        if len(raw) < _SUPERBLOCK.size:
+            raise StorageError(f"{self.path!r}: truncated superblock")
+        magic, version, page_size = _SUPERBLOCK.unpack(raw)
         if magic != PAGE_MAGIC:
             raise StorageError(
                 f"{self.path!r}: bad magic {magic!r}; not a page file")
@@ -135,27 +161,70 @@ class PageStore:
             raise StorageError(
                 f"{self.path!r}: unsupported page-file version {version} "
                 f"(supported: {PAGE_FORMAT_VERSION})")
-        catalog_raw = self._file.read(catalog_len)
-        if len(catalog_raw) < catalog_len:
-            raise StorageError(f"{self.path!r}: truncated catalog")
+        best: Optional[tuple[int, int, bytes]] = None
+        for slot_page in (1, 2):
+            state = self._read_catalog_slot(slot_page, page_size)
+            if state is not None and (best is None or state[0] > best[0]):
+                best = state
+        if best is None:
+            raise StorageError(
+                f"{self.path!r}: neither catalog slot validates "
+                f"(both torn or truncated)")
+        seq, page_count, catalog_raw = best
         catalog = json.loads(catalog_raw.decode("utf-8")) \
-            if catalog_len else {}
-        return page_size, page_count, catalog
+            if catalog_raw else {}
+        return page_size, page_count, seq, catalog
+
+    def _read_catalog_slot(self, slot_page: int, page_size: int
+                           ) -> Optional[tuple[int, int, bytes]]:
+        """(seq, page_count, catalog bytes) of one slot, None if invalid.
+
+        A slot is invalid — zeroed, torn by a crashed write, or cut off
+        by a truncated file — exactly when its CRC does not match; the
+        opener then falls back to the other slot.
+        """
+        self._file.seek(slot_page * page_size)
+        page = self._file.read(page_size)
+        if len(page) < _CATALOG_HEADER.size:
+            return None
+        page_count, seq, catalog_len, crc = _CATALOG_HEADER.unpack_from(
+            page, 0)
+        body_end = _CATALOG_HEADER.size + catalog_len
+        if catalog_len < 0 or body_end > len(page):
+            return None
+        checked = page[:_CATALOG_HEADER.size - 4] + \
+            page[_CATALOG_HEADER.size:body_end]
+        if zlib.crc32(checked) != crc:
+            return None
+        return seq, page_count, page[_CATALOG_HEADER.size:body_end]
 
     def _write_header(self, catalog_raw: Optional[bytes] = None) -> None:
+        """Write the catalog to the shadow slot and flip to it.
+
+        The slot the last update used is left untouched, so a crash at
+        any byte of this write leaves a store that reopens with the
+        previous catalog (the torn slot fails its CRC).  Data writes are
+        flushed first so the new catalog never points at pages the OS
+        has not seen.
+        """
         if catalog_raw is None:
             catalog_raw = json.dumps(self._catalog).encode("utf-8")
-        header = _HEADER.pack(PAGE_MAGIC, PAGE_FORMAT_VERSION,
-                              self.page_size, self.page_count,
-                              len(catalog_raw))
-        if len(header) + len(catalog_raw) > self.page_size:
+        if _CATALOG_HEADER.size + len(catalog_raw) > self.page_size:
             raise StorageError(
                 f"catalog of {len(self._catalog)} blobs overflows the "
                 f"{self.page_size}-byte header page")
-        page = header + catalog_raw
-        self._file.seek(0)
+        seq = self._seq + 1
+        header = _CATALOG_HEADER.pack(self.page_count, seq,
+                                      len(catalog_raw), 0)
+        crc = zlib.crc32(header[:-4] + catalog_raw)
+        page = header[:-4] + struct.pack("<I", crc) + catalog_raw
+        slot_page = 1 + (seq % 2)
+        self._file.flush()
+        self._file.seek(slot_page * self.page_size)
         self._file.write(page + b"\x00" * (self.page_size - len(page)))
-        self._pool.pop(0, None)
+        self._file.flush()
+        self._seq = seq
+        self._pool.pop(slot_page, None)
 
     # ------------------------------------------------------------------
     # page layer
@@ -194,8 +263,10 @@ class PageStore:
         if len(data) > self.page_size:
             raise StorageError(
                 f"{len(data)} bytes exceed the {self.page_size}-byte page")
-        if page_id == 0:
-            raise StorageError("page 0 is the header; use put_blob")
+        if page_id < RESERVED_PAGES:
+            raise StorageError(
+                f"page {page_id} is reserved (superblock/catalog); "
+                f"use put_blob")
         padded = data + b"\x00" * (self.page_size - len(data))
         self._file.seek(page_id * self.page_size)
         self._file.write(padded)
@@ -234,7 +305,7 @@ class PageStore:
         candidate = dict(self._catalog)
         candidate[name] = [first, len(data), allocated]
         catalog_raw = json.dumps(candidate).encode("utf-8")
-        if _HEADER.size + len(catalog_raw) > self.page_size:
+        if _CATALOG_HEADER.size + len(catalog_raw) > self.page_size:
             raise StorageError(
                 f"catalog of {len(candidate)} blobs overflows the "
                 f"{self.page_size}-byte header page")
@@ -288,8 +359,10 @@ class PageStore:
         self.flush()
         size = os.fstat(self._file.fileno()).st_size
         # mmap.size() is the *file* size, not the mapped length, so the
-        # length at map time is tracked separately
-        if self._map is None or self._map_length < size:
+        # length at map time is tracked separately; a mismatch in either
+        # direction remaps (vacuum shrinks the file — touching pages of
+        # a stale over-long mapping would fault)
+        if self._map is None or self._map_length != size:
             old = self._map
             self._map = mmap.mmap(self._file.fileno(), 0,
                                   access=mmap.ACCESS_READ)
@@ -300,6 +373,18 @@ class PageStore:
                 except BufferError:  # a view of it is still exported
                     self._retired_maps.append(old)
         return self._map
+
+    def delete_blob(self, name: str) -> None:
+        """Drop ``name`` from the catalog (atomic flip).
+
+        The span's pages become orphans — unreachable but still
+        allocated — until :meth:`vacuum` reclaims them.
+        """
+        if name not in self._catalog:
+            raise KeyError(f"no blob named {name!r} in {self.path!r}")
+        del self._catalog[name]
+        self._write_header()
+        self.flush()
 
     def has_blob(self, name: str) -> bool:
         """Whether the catalog holds ``name``."""
@@ -315,6 +400,70 @@ class PageStore:
         if span is None:
             raise KeyError(f"no blob named {name!r} in {self.path!r}")
         return span[1]
+
+    @property
+    def allocated_pages(self) -> int:
+        """Data pages reachable through the catalog (reserved excluded).
+
+        ``page_count - RESERVED_PAGES - allocated_pages`` is the orphan
+        count :meth:`vacuum` reclaims: spans left behind when a blob
+        outgrew its allocation and was rewritten elsewhere.
+        """
+        return sum(span[2] for span in self._catalog.values())
+
+    def vacuum(self) -> int:
+        """Reclaim orphaned page spans; returns the pages given back.
+
+        The compacted layout is written to a **sibling temp file** and
+        atomically renamed over this one (``os.replace``), so a crash
+        at any point leaves either the old file or the complete
+        compacted file — never a live span half-overwritten by its own
+        relocation.  Every blob keeps its byte content; orphaned spans
+        and over-allocation from earlier larger sizes are dropped.  All
+        buffer-pool entries and the shared mmap are invalidated;
+        ``memoryview`` exports from earlier ``prefer_mmap`` reads alias
+        the *old* file and must not be trusted afterwards.
+        """
+        compact_pages = RESERVED_PAGES + sum(
+            self._pages_for(span[1]) for span in self._catalog.values())
+        reclaimed = self.page_count - compact_pages
+        if reclaimed <= 0:
+            return 0
+        # read everything through the current layout first
+        live = {name: bytes(self.get_blob(name))
+                for name in self._catalog}
+        temp_path = self.path + ".vacuum"
+        if os.path.exists(temp_path):
+            # leftover from a vacuum that crashed before its rename;
+            # the original file is authoritative, start over
+            os.unlink(temp_path)
+        replacement = PageStore(temp_path, page_size=self.page_size,
+                                pool_pages=self.pool_pages)
+        try:
+            for name, data in live.items():
+                replacement.put_blob(name, data)
+            os.fsync(replacement._file.fileno())
+        except BaseException:
+            replacement.close()
+            os.unlink(temp_path)
+            raise
+        replacement.close()
+        # adopt the compacted file: drop this store's handle, rename
+        # the replacement into place, reopen
+        for mapped in ([self._map] if self._map is not None else []):
+            try:
+                mapped.close()
+            except BufferError:  # an exported view still pins it
+                self._retired_maps.append(mapped)
+        self._map = None
+        self._map_length = 0
+        self._pool.clear()
+        self._file.close()
+        os.replace(temp_path, self.path)
+        self._file = open(self.path, "r+b")
+        (self.page_size, self.page_count, self._seq,
+         self._catalog) = self._read_header()
+        return reclaimed
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -37,7 +37,9 @@ from repro.core import vectorized
 from repro.core.compact import CompactLTree
 from repro.core.ltree import LTree
 from repro.core.params import LTreeParams
+from repro.core.sharded import ShardedCompactLTree
 from repro.core.stats import Counters
+from repro.storage.pages import PageStore
 
 #: vectorized paths the differential sweeps must pass under; "scalar"
 #: (the PR 1 loops) is covered separately by byte-image parity tests in
@@ -285,6 +287,92 @@ def _drive_pair(rng_seed, ref, ref_handles, compact, compact_handles,
                     else tree.is_deleted(victim)
                 if not deleted:
                     tree.mark_deleted(victim)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("f,s", [(4, 2), (6, 3), (16, 4)])
+def test_seeded_sharded_sweep(f, s, policy, tmp_path):
+    """The 12k-op sweep, sharded vs flat: identical item order and
+    liveness under the same op stream, labels strictly increasing
+    across shard boundaries throughout — and, half-way through, the
+    sharded side goes through a PageStore save → lazy reopen with
+    bit-identical labels before the stream continues.
+
+    Exact label *values* differ by design (the sharded space composes
+    shard prefix ⊕ local label), so the contract is order-identity:
+    both engines keep the same sequence in the same order, each under
+    a strictly increasing label sequence.
+    """
+    params = LTreeParams(f=f, s=s)
+    flat = CompactLTree(params, violator_policy=policy)
+    sharded = ShardedCompactLTree(params, violator_policy=policy,
+                                  n_shards=4)
+    flat_handles = list(flat.bulk_load(range(12)))
+    sharded_handles = list(sharded.bulk_load(range(12)))
+    rng = random.Random(f * 1000 + s * 10 + (policy == "lowest"))
+    store_path = str(tmp_path / "sweep.ltp")
+    for step in range(SWEEP_OPS):
+        roll = rng.random()
+        index = rng.randrange(len(flat_handles))
+        if roll < 0.35:
+            flat_handles.insert(
+                index, flat.insert_before(flat_handles[index], step))
+            sharded_handles.insert(
+                index, sharded.insert_before(sharded_handles[index],
+                                             step))
+        elif roll < 0.7:
+            flat_handles.insert(
+                index + 1, flat.insert_after(flat_handles[index], step))
+            sharded_handles.insert(
+                index + 1,
+                sharded.insert_after(sharded_handles[index], step))
+        elif roll < 0.8:
+            # strings, not tuples: the mid-sweep byte image JSON-encodes
+            # payloads, and JSON would hand tuples back as lists
+            payloads = [f"{step}.{k}" for k in range(rng.randint(1, 20))]
+            flat_handles[index + 1:index + 1] = \
+                flat.insert_run_after(flat_handles[index], payloads)
+            sharded_handles[index + 1:index + 1] = \
+                sharded.insert_run_after(sharded_handles[index],
+                                         payloads)
+        elif roll < 0.9:
+            payloads = [f"{step}~{k}" for k in range(rng.randint(1, 20))]
+            flat_handles[index:index] = \
+                flat.insert_run_before(flat_handles[index], payloads)
+            sharded_handles[index:index] = \
+                sharded.insert_run_before(sharded_handles[index],
+                                          payloads)
+        elif not flat.is_deleted(flat_handles[index]):
+            flat.mark_deleted(flat_handles[index])
+            sharded.mark_deleted(sharded_handles[index])
+        if step % 250 == 0:
+            labels = sharded.labels()
+            assert labels == sorted(labels), (f, s, policy, step)
+            assert sharded.payloads() == flat.payloads(), \
+                (f, s, policy, step)
+        if step == SWEEP_OPS // 2:
+            # crash-restart the sharded side mid-stream: labels must
+            # come back bit-identical, and the lazy reopen must keep
+            # serving the same handles
+            labels_before = sharded.labels()
+            with PageStore(store_path) as store:
+                sharded.save(store)
+            with PageStore(store_path) as store:
+                sharded = ShardedCompactLTree.load(
+                    store, lazy=True)
+            assert sharded.labels() == labels_before
+            assert list(sharded.iter_leaves()) == sharded_handles
+    assert sharded.payloads() == flat.payloads()
+    assert sharded.payloads(include_deleted=False) == \
+        flat.payloads(include_deleted=False)
+    assert sharded.n_leaves == flat.n_leaves
+    assert sharded.tombstone_count() == flat.tombstone_count()
+    labels = sharded.labels()
+    assert labels == sorted(labels)
+    live = sharded.labels(include_deleted=False)
+    assert live == sorted(live)
+    flat.validate()
+    sharded.validate()
 
 
 @pytest.mark.parametrize("policy", POLICIES)

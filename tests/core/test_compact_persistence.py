@@ -58,7 +58,7 @@ class TestByteRoundTrip:
         assert back.labels(include_deleted=False) == \
             tree.labels(include_deleted=False)
         assert back.root == tree.root
-        assert back._free == tree._free
+        assert list(back._free) == list(tree._free)
         assert back.params == tree.params
         assert back.violator_policy == tree.violator_policy
         back.validate()
@@ -95,7 +95,7 @@ class TestByteRoundTrip:
             tree._release(slot)
         assert tree.free_slots == 3
         back = CompactLTree.from_bytes(tree.to_bytes())
-        assert back._free == tree._free
+        assert list(back._free) == list(tree._free)
         back.validate()  # free slots must not be reachable
         # allocating next must pop the same recycled slots in order
         a = tree.insert_after(tree.last_leaf(), "probe")
@@ -143,6 +143,75 @@ class TestByteRoundTrip:
         tree.bulk_load(range(8))
         with pytest.raises(ValueError):
             tree.set_payload(tree.root, "nope")
+
+
+class TestColumnAdoption:
+    """from_bytes adopts array('q') columns instead of boxing to lists."""
+
+    def test_restored_columns_are_arrays(self):
+        from array import array
+
+        tree = _grown_compact(LTreeParams(f=8, s=2), 200, seed=9)
+        back = CompactLTree.from_bytes(tree.to_bytes())
+        for column in (back._num, back._height, back._leaf_count,
+                       back._parent, back._first_child,
+                       back._next_sibling):
+            assert isinstance(column, array) and column.typecode == "q"
+        # adopted storage serializes back to the identical image
+        assert back.to_bytes() == tree.to_bytes()
+
+    def test_adopted_storage_supports_every_mutation(self):
+        """Insert/run-insert/delete/compact on adopted array columns."""
+        tree = _grown_compact(LTreeParams(f=6, s=3), 150, seed=4)
+        back = CompactLTree.from_bytes(tree.to_bytes())
+        for engine in (tree, back):
+            leaves = list(engine.iter_leaves())
+            engine.insert_run_after(leaves[3], ["r1", "r2", "r3"])
+            engine.insert_before(leaves[0], "front")
+            engine.mark_deleted(leaves[5])
+            engine.compact()
+            engine.append("tail")
+        assert back.labels() == tree.labels()
+        assert back.payloads() == tree.payloads()
+        back.validate()
+
+    def test_promotion_mid_relabel_loses_no_writes(self):
+        """Regression: the promotion hook fires *inside* a relabel (the
+        root split that first memoizes a step past the limit).  Writes
+        must land in the promoted list, not a stale array alias — the
+        restored tree must track a never-restored twin label-for-label
+        at every step, not just after a later repairing relabel."""
+        params = LTreeParams(f=4, s=2, label_base=2 ** 16)
+        twin = CompactLTree(params)
+        twin.bulk_load(range(4))
+        back = CompactLTree.from_bytes(twin.to_bytes())
+        twin_anchor = twin.last_leaf()
+        back_anchor = back.last_leaf()
+        for index in range(40):
+            twin_anchor = twin.insert_after(twin_anchor, index)
+            back_anchor = back.insert_after(back_anchor, index)
+            assert back.labels() == twin.labels(), index
+            back.validate()
+
+    def test_label_column_promotes_before_int64_overflow(self):
+        """Growing a restored tree past the int64 rim boxes the label
+        column back to a list instead of raising OverflowError."""
+        from array import array
+
+        params = LTreeParams(f=4, s=2, label_base=2 ** 16)
+        tree = CompactLTree(params)
+        tree.bulk_load(range(4))
+        back = CompactLTree.from_bytes(tree.to_bytes())
+        assert isinstance(back._num, array)
+        anchor = back.last_leaf()
+        # height 4 at base 2**16 means labels beyond 2**62: storage
+        # must promote mid-growth, labels must stay exact
+        for index in range(80):
+            anchor = back.insert_after(anchor, index)
+        assert isinstance(back._num, list)
+        back.validate()
+        labels = back.labels()
+        assert labels == sorted(labels)
 
 
 class TestByteFormatValidation:

@@ -1,0 +1,387 @@
+"""ShardedCompactLTree: routing, isolation, directory, persistence.
+
+The contract under test, in order of importance:
+
+* **write isolation** — an insert anchored in one shard never writes
+  another shard's arena, proven through per-shard ``Counters``
+  (``shard_stats=True`` gives every arena its own sink);
+* **global order** — shard-prefix ⊕ local-label composition keeps the
+  concatenated label sequence strictly increasing across shard
+  boundaries, before and after directory (stride) growth;
+* **shard-lazy persistence** — save/load round-trips bit-identical
+  labels with one ``LTREEARR`` blob span per shard, and a lazy reopen
+  materializes only the shards that are actually written.
+"""
+
+import random
+
+import pytest
+
+from repro.core.compact import CompactLTree
+from repro.core.params import LTreeParams
+from repro.core.sharded import ShardedCompactLTree
+from repro.core.stats import Counters
+from repro.errors import ParameterError
+from repro.storage.pages import PageStore
+
+PARAMS = LTreeParams(f=8, s=2)
+
+#: counters that prove an arena was (not) written
+WRITE_FIELDS = ("count_updates", "relabels", "splits", "inserts",
+                "deletes")
+
+
+def _sharded(n_items=64, n_shards=4, params=PARAMS, **kwargs):
+    tree = ShardedCompactLTree(params, n_shards=n_shards, **kwargs)
+    handles = tree.bulk_load([f"p{i}" for i in range(n_items)])
+    return tree, handles
+
+
+class TestRoutingAndOrder:
+    def test_bulk_load_splits_into_contiguous_shards(self):
+        tree, handles = _sharded(64, 4)
+        assert tree.shard_count == 4
+        ranks = [rank for rank, _ in handles]
+        assert ranks == sorted(ranks)            # contiguous chunks
+        assert {rank: ranks.count(rank) for rank in set(ranks)} == \
+            {0: 16, 1: 16, 2: 16, 3: 16}
+        assert tree.payloads() == [f"p{i}" for i in range(64)]
+
+    def test_fewer_items_than_shards(self):
+        tree, handles = _sharded(3, 8)
+        assert tree.shard_count == 3
+        assert len(handles) == 3
+
+    def test_empty_bulk_load(self):
+        tree, handles = _sharded(0, 4)
+        assert handles == []
+        assert tree.shard_count == 1
+        assert tree.n_leaves == 0
+        leaf = tree.append("first")
+        assert tree.payload(leaf) == "first"
+
+    def test_labels_strictly_increasing_across_boundaries(self):
+        tree, handles = _sharded(100, 8)
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(set(labels))
+        tree.validate()
+
+    def test_inserts_route_to_anchor_shard(self):
+        tree, handles = _sharded(40, 4)
+        anchor = handles[25]                      # shard 2
+        leaf = tree.insert_after(anchor, "new")
+        assert leaf[0] == anchor[0] == 2
+        before = tree.insert_before(handles[0], "front")
+        assert before[0] == 0
+        assert tree.num(before) < tree.num(handles[0])
+
+    def test_append_prepend_route_to_edge_shards(self):
+        tree, handles = _sharded(40, 4)
+        tail = tree.append("tail")
+        head = tree.prepend("head")
+        assert tail[0] == 3 and head[0] == 0
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        assert tree.payloads()[0] == "head"
+        assert tree.payloads()[-1] == "tail"
+
+    def test_run_insert_stays_in_one_shard(self):
+        tree, handles = _sharded(40, 4)
+        run = tree.insert_run_after(handles[12], [f"r{i}"
+                                                  for i in range(30)])
+        assert {rank for rank, _ in run} == {handles[12][0]}
+        tree.validate()
+
+    def test_mixed_ops_match_list_oracle(self):
+        tree, handles = _sharded(16, 4)
+        oracle = [f"p{i}" for i in range(16)]
+        rng = random.Random(7)
+        for step in range(800):
+            index = rng.randrange(len(handles))
+            roll = rng.random()
+            if roll < 0.45:
+                handles.insert(index, tree.insert_before(
+                    handles[index], ("b", step)))
+                oracle.insert(index, ("b", step))
+            elif roll < 0.9:
+                handles.insert(index + 1, tree.insert_after(
+                    handles[index], ("a", step)))
+                oracle.insert(index + 1, ("a", step))
+            else:
+                run = [("r", step, k) for k in range(rng.randint(1, 9))]
+                handles[index + 1:index + 1] = \
+                    tree.insert_run_after(handles[index], run)
+                oracle[index + 1:index + 1] = run
+        assert tree.payloads() == oracle
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(labels)
+        tree.validate()
+
+    def test_find_leaf_by_global_label(self):
+        tree, handles = _sharded(50, 4)
+        for handle in handles[::7]:
+            assert tree.find_leaf(tree.num(handle)) == handle
+        assert tree.find_leaf(tree.label_space + 5) is None
+        assert tree.find_leaf(-1) is None
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ParameterError):
+            ShardedCompactLTree(PARAMS, n_shards=0)
+
+
+class TestWriteIsolation:
+    """The acceptance property: one insert, one arena written."""
+
+    def test_insert_writes_exactly_one_arena(self):
+        tree, handles = _sharded(64, 4, shard_stats=True)
+        counters = tree.shard_counters
+        baselines = [sink.snapshot() for sink in counters]
+        anchor = handles[40]                      # shard 2
+        for index in range(50):
+            anchor = tree.insert_after(anchor, ("x", index))
+        assert anchor[0] == 2
+        for rank, (sink, baseline) in enumerate(zip(counters,
+                                                    baselines)):
+            delta = sink - baseline
+            touched = any(getattr(delta, field) for field in
+                          WRITE_FIELDS)
+            assert touched == (rank == 2), (rank, delta.as_dict())
+
+    def test_runs_and_deletes_stay_shard_local(self):
+        tree, handles = _sharded(64, 4, shard_stats=True)
+        counters = tree.shard_counters
+        baselines = [sink.snapshot() for sink in counters]
+        tree.insert_run_after(handles[5], list(range(40)))   # shard 0
+        tree.mark_deleted(handles[7])                        # shard 0
+        for rank in (1, 2, 3):
+            delta = counters[rank] - baselines[rank]
+            assert all(getattr(delta, field) == 0
+                       for field in WRITE_FIELDS), rank
+
+    def test_shared_sink_aggregates_like_flat_engine(self):
+        """Without shard_stats, one Counters sees every shard's work."""
+        stats = Counters()
+        tree = ShardedCompactLTree(PARAMS, stats, n_shards=4)
+        handles = tree.bulk_load(range(32))
+        stats.reset()
+        tree.insert_after(handles[3], "a")
+        tree.insert_after(handles[20], "b")
+        assert stats.inserts == 2
+        assert stats.count_updates > 0
+
+
+class TestDirectory:
+    def test_stride_grows_with_tallest_shard(self):
+        tree, handles = _sharded(8, 4, params=LTreeParams(f=4, s=2))
+        stride_before = tree.stride
+        anchor = handles[3]                       # grow shard 1 only
+        for index in range(200):
+            anchor = tree.insert_after(anchor, index)
+        assert tree.stride > stride_before
+        assert tree.directory_rebuilds > 0
+        assert tree.stride == \
+            tree.params.base ** tree.directory_height
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        tree.validate()
+
+    def test_compact_shrinks_directory(self):
+        tree, handles = _sharded(8, 4, params=LTreeParams(f=4, s=2))
+        anchor = handles[3]
+        extra = [tree.insert_after(anchor, index) for index in range(100)]
+        grown_stride = tree.stride
+        for handle in extra:
+            tree.mark_deleted(handle)
+        mapping = tree.compact()
+        assert tree.stride <= grown_stride
+        assert tree.tombstone_count() == 0
+        assert tree.n_leaves == 8
+        assert set(mapping) >= set()              # old -> new handles
+        tree.validate()
+
+    def test_compact_remaps_handles_per_shard(self):
+        tree, handles = _sharded(24, 3)
+        tree.mark_deleted(handles[5])
+        tree.mark_deleted(handles[15])
+        live_before = [tree.payload(h) for h in
+                       tree.iter_leaves(include_deleted=False)]
+        mapping = tree.compact()
+        assert all(old[0] == new[0] for old, new in mapping.items())
+        live_after = [tree.payload(h) for h in
+                      tree.iter_leaves(include_deleted=False)]
+        assert live_after == live_before
+
+
+class TestPersistence:
+    def _grown(self, tmp_path, n_shards=4, seed=11):
+        tree, handles = _sharded(48, n_shards, shard_stats=False)
+        rng = random.Random(seed)
+        for step in range(300):
+            index = rng.randrange(len(handles))
+            if rng.random() < 0.9:
+                handles.insert(index + 1, tree.insert_after(
+                    handles[index], ("s", step)))
+            elif not tree.is_deleted(handles[index]):
+                tree.mark_deleted(handles[index])
+        path = str(tmp_path / "sharded.ltp")
+        return tree, handles, path
+
+    def test_save_load_bit_identical(self, tmp_path):
+        tree, handles, path = self._grown(tmp_path)
+        with PageStore(path) as store:
+            tree.save(store)
+            names = list(store.blobs())
+        assert "scheme" in names
+        # one LTREEARR blob span (plus sidecar) per shard
+        for rank in range(tree.shard_count):
+            assert f"scheme.s{rank}" in names
+            assert f"scheme.s{rank}.leaves" in names
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+            assert back.labels(include_deleted=False) == \
+                tree.labels(include_deleted=False)
+            assert list(back.iter_leaves()) == list(tree.iter_leaves())
+            assert back.stride == tree.stride
+            back.validate()
+
+    def test_lazy_load_materializes_only_written_shards(self, tmp_path):
+        tree, handles, path = self._grown(tmp_path)
+        labels_before = tree.labels(include_deleted=False)
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)   # lazy default
+            assert back.materialized_shards == []
+            # pure label reads never deserialize an arena
+            assert back.labels(include_deleted=False) == labels_before
+            assert back.label_map() is not None
+            live = list(back.iter_leaves(include_deleted=False))
+            assert back.materialized_shards == []
+            # one write -> exactly that arena materializes
+            anchor = next(handle for handle in live if handle[0] == 2)
+            back.insert_after(anchor, "wake shard 2")
+            assert back.materialized_shards == [2]
+            back.validate()                          # wakes the rest
+
+    def test_lazy_reopen_then_save_copies_untouched_images(self,
+                                                           tmp_path):
+        tree, handles, path = self._grown(tmp_path)
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            live = list(back.iter_leaves(include_deleted=False))
+            anchor = next(handle for handle in live if handle[0] == 1)
+            back.insert_after(anchor, "gen 2")
+            back.save(store)                         # 3 shards still lazy
+            assert back.materialized_shards == [1]
+        with PageStore(path) as store:
+            third = ShardedCompactLTree.load(store, lazy=False)
+            assert third.labels() == back.labels()
+            third.validate()
+
+    def test_lazy_label_reads_match_materialized(self, tmp_path):
+        tree, handles, path = self._grown(tmp_path)
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            lazy = ShardedCompactLTree.load(store)
+            eager = ShardedCompactLTree.load(store, lazy=False)
+            assert lazy.label_map() == eager.label_map()
+            sample = list(eager.iter_leaves(include_deleted=False))[::5]
+            for handle in sample:
+                assert lazy.num(handle) == eager.num(handle)
+                assert lazy.is_deleted(handle) == \
+                    eager.is_deleted(handle)
+            assert lazy.materialized_shards == []
+
+    def test_restored_future_edits_match_never_saved_twin(self,
+                                                          tmp_path):
+        tree, handles, path = self._grown(tmp_path, seed=29)
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+        twin_handles = list(tree.iter_leaves())
+        back_handles = list(back.iter_leaves())
+        assert twin_handles == back_handles
+        rng_a, rng_b = random.Random(41), random.Random(41)
+        for rng, engine, hs in ((rng_a, tree, twin_handles),
+                                (rng_b, back, back_handles)):
+            for step in range(200):
+                index = rng.randrange(len(hs))
+                hs.insert(index + 1, engine.insert_after(
+                    hs[index], ("post", step)))
+        assert back.labels() == tree.labels()
+        back.validate()
+
+    def test_resave_with_fewer_shards_drops_stale_blobs(self, tmp_path):
+        """A re-bulk_load can shrink the shard count; re-saving must not
+        leave the dead arenas' blobs catalog-live (they would survive
+        every vacuum)."""
+        tree, _ = _sharded(48, 6)
+        path = str(tmp_path / "shrink.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+            assert store.has_blob("scheme.s5")
+            tree.n_shards = 2
+            tree.bulk_load(range(9))
+            assert tree.shard_count == 2
+            tree.save(store)
+            names = [name for name in store.blobs()
+                     if name.startswith("scheme.s")]
+            assert names == ["scheme.s0", "scheme.s0.leaves",
+                             "scheme.s1", "scheme.s1.leaves"]
+            store.vacuum()
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+
+    def test_manifest_kind_checked(self, tmp_path):
+        path = str(tmp_path / "bad.ltp")
+        with PageStore(path) as store:
+            store.put_blob("scheme", b'{"kind": "something-else"}')
+            with pytest.raises(ParameterError, match="manifest"):
+                ShardedCompactLTree.load(store)
+
+    def test_corrupt_sidecar_rejected(self, tmp_path):
+        """A torn live-leaf sidecar must raise, not serve bytes of some
+        other column as labels."""
+        from repro.core.compact import _pack_int64
+
+        tree, _ = _sharded(24, 3)
+        path = str(tmp_path / "torn.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+            good = bytes(store.get_blob("scheme.s1.leaves"))
+            # out-of-arena slot id
+            store.put_blob("scheme.s1.leaves",
+                           _pack_int64([10 ** 6] * (len(good) // 8)))
+            with pytest.raises(ParameterError, match="sidecar"):
+                ShardedCompactLTree.load(store)
+            # wrong length vs the manifest
+            store.put_blob("scheme.s1.leaves", good[:-8])
+            with pytest.raises(ParameterError, match="sidecar"):
+                ShardedCompactLTree.load(store)
+            # restored intact, the store opens again
+            store.put_blob("scheme.s1.leaves", good)
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+
+    def test_flat_and_sharded_coexist_in_one_store(self, tmp_path):
+        """Blob namespacing: a flat engine and a sharded one share a
+        PageStore without clobbering each other."""
+        flat = CompactLTree(PARAMS)
+        flat.bulk_load(range(20))
+        sharded, _ = _sharded(20, 3)
+        path = str(tmp_path / "both.ltp")
+        with PageStore(path) as store:
+            flat.save(store, name="flat")
+            sharded.save(store, name="shardy")
+        with PageStore(path) as store:
+            assert CompactLTree.load(store, name="flat").labels() == \
+                flat.labels()
+            back = ShardedCompactLTree.load(store, name="shardy",
+                                            lazy=False)
+            assert back.labels() == sharded.labels()

@@ -19,6 +19,7 @@ from repro.labeling.scheme import LabeledDocument
 from repro.order.compact_list import CompactListLabeling
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.naive import NaiveLabeling
+from repro.order.sharded_list import ShardedListLabeling
 from repro.storage.pages import PageStore
 from repro.xml.generator import xmark_like
 from repro.xml.parser import parse
@@ -26,11 +27,15 @@ from repro.xml.serializer import serialize
 
 PARAMS = LTreeParams(f=16, s=4)
 
+
+def _make(factory, stats=None):
+    return factory(PARAMS, stats=stats) if stats else factory(PARAMS)
+
+
 SCHEMES = {
-    "ltree-compact": lambda stats=None: CompactListLabeling(
-        PARAMS, stats=stats) if stats else CompactListLabeling(PARAMS),
-    "ltree": lambda stats=None: LTreeListLabeling(
-        PARAMS, stats=stats) if stats else LTreeListLabeling(PARAMS),
+    "ltree-compact": lambda stats=None: _make(CompactListLabeling, stats),
+    "ltree": lambda stats=None: _make(LTreeListLabeling, stats),
+    "ltree-sharded": lambda stats=None: _make(ShardedListLabeling, stats),
 }
 
 
@@ -202,6 +207,64 @@ def test_save_rejects_tokens_that_cannot_round_trip(tmp_path):
             labeled.save(store)
         # nothing was written: the store holds no partial document
         assert list(store.blobs()) == []
+
+
+class TestShardedDocumentRoundTrip:
+    """Sharded-specific guarantees on top of the shared crash-restart
+    suite: per-shard blob spans on disk, and a shard-lazy reopen that
+    deserializes only the arenas edits actually touch."""
+
+    def _saved(self, tmp_path, seed=17):
+        labeled = _edited_document(ShardedListLabeling(PARAMS), seed=seed)
+        path = str(tmp_path / "doc.ltp")
+        with PageStore(path) as store:
+            labeled.save(store)
+        return labeled, path
+
+    def test_per_shard_blob_spans(self, tmp_path):
+        labeled, path = self._saved(tmp_path)
+        shard_count = labeled.scheme.tree.shard_count
+        with PageStore(path) as store:
+            names = set(store.blobs())
+            for rank in range(shard_count):
+                assert f"scheme.s{rank}" in names
+                assert store.blob_length(f"scheme.s{rank}") > 0
+
+    def test_reopen_is_shard_lazy(self, tmp_path):
+        labeled, path = self._saved(tmp_path)
+        labels_before = labeled.labels_in_order()
+        with PageStore(path) as store:
+            reopened = LabeledDocument.open(store)
+            tree = reopened.scheme.tree
+            # open() attached every handle and reattached payloads, yet
+            # no arena was deserialized
+            assert tree.materialized_shards == []
+            # label reads (predicates, the cached vector) stay lazy
+            assert reopened.labels_in_order() == labels_before
+            root = reopened.document.root
+            for element in reopened.document.iter_elements():
+                if element.parent is not None:
+                    assert reopened.is_ancestor(root, element)
+                    break
+            assert tree.materialized_shards == []
+            # an edit wakes exactly the shard owning its anchor
+            target = next(e for e in reopened.document.iter_elements()
+                          if e.parent is not None)
+            reopened.insert_text(target, 0, "lazy wake")
+            assert len(tree.materialized_shards) == 1
+        reopened.validate()
+
+    def test_payloads_reattach_through_pending_buffer(self, tmp_path):
+        """scheme.payload() on a still-lazy shard serves the buffered
+        (kind, node) pair open() reattached."""
+        labeled, path = self._saved(tmp_path)
+        with PageStore(path) as store:
+            reopened = LabeledDocument.open(store)
+            scheme = reopened.scheme
+            handle = next(scheme.handles())
+            kind, node = scheme.payload(handle)
+            assert kind in ("begin", "end", "point")
+            assert node is reopened.document.root
 
 
 def test_save_rejects_non_ltree_schemes(tmp_path):

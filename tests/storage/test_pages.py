@@ -1,4 +1,5 @@
-"""Page-backed store: fixed-size pages, buffer pool, mmap fast path."""
+"""Page-backed store: fixed-size pages, buffer pool, mmap fast path,
+crash-consistent catalog flips, vacuum."""
 
 import os
 
@@ -6,7 +7,7 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage.pages import (DEFAULT_PAGE_SIZE, PAGE_FORMAT_VERSION,
-                                 PAGE_MAGIC, PageStore)
+                                 PAGE_MAGIC, RESERVED_PAGES, PageStore)
 
 
 @pytest.fixture()
@@ -15,21 +16,22 @@ def path(tmp_path):
 
 
 class TestPageLayer:
-    def test_new_file_has_header_page(self, path):
+    def test_new_file_has_reserved_pages(self, path):
+        """Superblock + the two catalog slots precede all data pages."""
         with PageStore(path) as store:
-            assert store.page_count == 1
-        assert os.path.getsize(path) == DEFAULT_PAGE_SIZE
+            assert store.page_count == RESERVED_PAGES
+        assert os.path.getsize(path) == RESERVED_PAGES * DEFAULT_PAGE_SIZE
         with open(path, "rb") as handle:
             assert handle.read(8) == PAGE_MAGIC
 
     def test_allocate_and_rw_pages(self, path):
         with PageStore(path, page_size=256) as store:
             first = store.allocate_pages(3)
-            assert first == 1
-            assert store.page_count == 4
-            store.write_page(2, b"abc")
-            assert store.read_page(2)[:3] == b"abc"
-            assert store.read_page(2).rstrip(b"\x00") == b"abc"
+            assert first == RESERVED_PAGES
+            assert store.page_count == RESERVED_PAGES + 3
+            store.write_page(first + 1, b"abc")
+            assert store.read_page(first + 1)[:3] == b"abc"
+            assert store.read_page(first + 1).rstrip(b"\x00") == b"abc"
 
     def test_page_bounds_checked(self, path):
         with PageStore(path) as store:
@@ -198,6 +200,22 @@ class TestBlobLayer:
         with PageStore(path) as store:
             assert store.get_blob("empty") == b""
 
+    def test_delete_blob_orphans_span_until_vacuum(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("keep", b"k" * 200)
+            store.put_blob("drop", b"d" * 500)
+            pages = store.page_count
+            store.delete_blob("drop")
+            assert not store.has_blob("drop")
+            assert store.page_count == pages       # span orphaned
+            with pytest.raises(KeyError):
+                store.delete_blob("drop")
+            assert store.vacuum() == 4             # ...until vacuumed
+            assert store.get_blob("keep") == b"k" * 200
+        with PageStore(path) as store:
+            assert not store.has_blob("drop")
+            assert store.get_blob("keep") == b"k" * 200
+
     def test_missing_blob_raises_keyerror(self, path):
         with PageStore(path) as store:
             with pytest.raises(KeyError):
@@ -262,3 +280,162 @@ class TestBlobLayer:
             store.put_blob("b", b"second, beyond the old mapping" * 200)
             assert bytes(store.get_blob("b", prefer_mmap=True)) == \
                 b"second, beyond the old mapping" * 200
+
+
+class TestCrashConsistency:
+    """The catalog flip must survive torn header writes and truncation."""
+
+    def test_torn_catalog_write_falls_back_to_previous(self, path):
+        """Corrupting the *active* slot mid-write loses only the last
+        update: the opener adopts the other slot's older catalog."""
+        with PageStore(path, page_size=256) as store:
+            store.put_blob("a", b"alpha")
+            store.put_blob("b", b"bravo")
+            active = 1 + (store._seq % 2)
+            page_size = store.page_size
+        # simulate a write torn half-way through the active slot: keep
+        # the first 12 bytes of the header, zero the rest of the page
+        with open(path, "r+b") as handle:
+            handle.seek(active * page_size)
+            kept = handle.read(12)
+            handle.seek(active * page_size)
+            handle.write(kept + b"\x00" * (page_size - 12))
+        with PageStore(path) as store:
+            # the put of "b" flipped the catalog; tearing that flip
+            # rewinds to the state where only "a" exists
+            assert store.get_blob("a") == b"alpha"
+            assert not store.has_blob("b")
+            # and the store keeps working: the torn slot is rewritten
+            store.put_blob("c", b"charlie")
+        with PageStore(path) as store:
+            assert store.get_blob("a") == b"alpha"
+            assert store.get_blob("c") == b"charlie"
+
+    def test_truncated_mid_put_reopens_with_old_catalog(self, path):
+        """Truncating the file mid-``put_blob`` (data appended, catalog
+        not yet flipped) reopens cleanly with the pre-put catalog."""
+        with PageStore(path, page_size=256) as store:
+            store.put_blob("keep", b"k" * 300)
+            size_before = os.path.getsize(path)
+            store.put_blob("grow", b"g" * 2000)
+        # crash re-enactment: the grow's data pages were appended but
+        # the process died inside the catalog write — cut the file just
+        # after a partial stretch of the new data
+        with open(path, "r+b") as handle:
+            handle.truncate(size_before + 100)
+        with PageStore(path) as store:
+            assert store.get_blob("keep") == b"k" * 300
+            # reopened from the older slot if the newer one was cut
+            if store.has_blob("grow"):
+                # the flip itself survived the truncation point; the
+                # catalog must then still read back consistently
+                assert store.blob_length("grow") == 2000
+            store.put_blob("after", b"ok")
+        with PageStore(path) as store:
+            assert store.get_blob("keep") == b"k" * 300
+            assert store.get_blob("after") == b"ok"
+
+    def test_both_slots_invalid_is_rejected(self, path):
+        with PageStore(path, page_size=256) as store:
+            store.put_blob("a", b"alpha")
+            page_size = store.page_size
+        with open(path, "r+b") as handle:
+            for slot in (1, 2):
+                handle.seek(slot * page_size)
+                handle.write(b"\xff" * page_size)
+        with pytest.raises(StorageError, match="catalog slot"):
+            PageStore(path)
+
+    def test_updates_alternate_slots(self, path):
+        """Consecutive catalog writes never land on the same slot."""
+        with PageStore(path, page_size=256) as store:
+            slots = []
+            for index in range(4):
+                store.put_blob(f"b{index}", bytes([index]) * 10)
+                slots.append(1 + (store._seq % 2))
+        assert slots[0] != slots[1]
+        assert slots == [slots[0], slots[1]] * 2
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_orphaned_spans(self, path):
+        """Blob growth strands the old span; vacuum gives it back."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("a", b"a" * 300)     # 3 pages
+            store.put_blob("b", b"b" * 200)     # 2 pages
+            store.put_blob("a", b"A" * 2000)    # grows: old 3 orphaned
+            store.put_blob("b", b"B" * 1500)    # grows: old 2 orphaned
+            orphans = store.page_count - RESERVED_PAGES - \
+                store.allocated_pages
+            assert orphans == 5
+            before = store.allocated_pages
+            reclaimed = store.vacuum()
+            assert reclaimed == 5
+            assert store.allocated_pages == before
+            assert store.page_count == RESERVED_PAGES + \
+                store.allocated_pages
+            assert store.get_blob("a") == b"A" * 2000
+            assert store.get_blob("b") == b"B" * 1500
+        assert os.path.getsize(path) == 128 * (RESERVED_PAGES + 28)
+        with PageStore(path) as store:   # compacted layout reopens
+            assert store.get_blob("a") == b"A" * 2000
+            assert store.get_blob("b") == b"B" * 1500
+
+    def test_vacuum_trims_over_allocation(self, path):
+        """A shrunk blob keeps its span until vacuum right-sizes it."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"x" * 1000)    # 8 pages allocated
+            store.put_blob("x", b"y" * 100)     # still 8 allocated
+            assert store.allocated_pages == 8
+            reclaimed = store.vacuum()
+            assert reclaimed == 7
+            assert store.allocated_pages == 1
+            assert store.get_blob("x") == b"y" * 100
+
+    def test_vacuum_noop_when_compact(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("a", b"a" * 300)
+            store.put_blob("b", b"b" * 100)
+            pages = store.page_count
+            assert store.vacuum() == 0
+            assert store.page_count == pages
+            assert store.get_blob("a") == b"a" * 300
+
+    def test_vacuum_then_mmap_reads(self, path):
+        """The shared mapping is rebuilt for the shrunk file."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("a", b"a" * 500)
+            view = store.get_blob("a", prefer_mmap=True)
+            assert bytes(view) == b"a" * 500
+            view.release()
+            store.put_blob("a", b"A" * 900)     # orphan the old span
+            store.vacuum()
+            assert bytes(store.get_blob("a", prefer_mmap=True)) == \
+                b"A" * 900
+
+    def test_vacuum_empty_store(self, path):
+        with PageStore(path) as store:
+            assert store.vacuum() == 0
+            assert store.allocated_pages == 0
+
+    def test_vacuum_is_crash_safe(self, path):
+        """Vacuum rewrites into a temp file and renames atomically: a
+        crash before the rename leaves the original untouched, and the
+        stale temp is discarded by the next vacuum."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("a", b"a" * 300)
+            store.put_blob("a", b"A" * 900)      # orphan the old span
+            store.put_blob("b", b"b" * 100)
+        # a leftover temp from a vacuum that died pre-rename must not
+        # poison the real one (it would otherwise be *opened* as an
+        # existing page store and its stale catalog inherited)
+        with PageStore(path + ".vacuum", page_size=128) as stale:
+            stale.put_blob("ghost", b"boo")
+        with PageStore(path) as store:
+            assert store.vacuum() > 0
+            assert not store.has_blob("ghost")
+            assert store.get_blob("a") == b"A" * 900
+            assert store.get_blob("b") == b"b" * 100
+            assert not os.path.exists(path + ".vacuum")
+        with PageStore(path) as store:
+            assert store.get_blob("a") == b"A" * 900
