@@ -41,8 +41,9 @@ leaves every other shard's counters untouched
 
 **Persistence** (:meth:`save` / :meth:`load`) writes one ``LTREEARR``
 byte image per shard — each its own blob span in a
-:class:`repro.storage.pages.PageStore` — plus a JSON manifest and a
-small per-shard sidecar of live leaf slots in document order.  Loading
+:class:`repro.storage.pages.PageStore` — plus a JSON manifest (with a
+CRC32 per image, checked on load) and a small per-shard sidecar of
+live leaf slots in document order.  Loading
 is **shard-lazy** by default: only the manifest and sidecars are
 decoded; a shard's arena is deserialized the first time an operation
 *writes* it (or needs its structure).  Pure label reads — ``num``,
@@ -57,10 +58,12 @@ from __future__ import annotations
 import json
 import struct
 import sys
+import zlib
 from array import array
 from typing import Any, Iterator, Optional, Sequence
 
-from repro.core.compact import (CompactLTree, _pack_int64, _unpack_int64,
+from repro.core.compact import (_FLAG_HAS_PAYLOADS, CompactLTree,
+                                _pack_int64, _unpack_int64,
                                 read_array_header)
 from repro.core.params import LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
@@ -138,15 +141,26 @@ class _Shard:
         return self.tree
 
     # -- label reads that never materialize ---------------------------
+    def _check_slot(self, slot: int) -> None:
+        """Bound a lazy read: a stale or invalid slot must raise like
+        the materialized column access would, not return bytes of a
+        neighboring column as a "label"."""
+        if not 0 <= slot < self.header.n_slots:
+            raise IndexError(
+                f"slot {slot} outside the {self.header.n_slots}-slot "
+                f"arena")
+
     def num(self, slot: int) -> int:
         if self.tree is not None:
             return self.tree.num(slot)
+        self._check_slot(slot)
         return _INT64.unpack_from(self.image,
                                   self.header.num_offset + 8 * slot)[0]
 
     def is_deleted(self, slot: int) -> bool:
         if self.tree is not None:
             return self.tree.is_deleted(slot)
+        self._check_slot(slot)
         return bool(memoryview(self.image)
                     [self.header.deleted_offset + slot])
 
@@ -513,26 +527,50 @@ class ShardedCompactLTree:
 
         Blob layout under ``name``: ``{name}.s{rank}`` holds shard
         ``rank``'s ``LTREEARR`` image, ``{name}.s{rank}.leaves`` its
-        live-leaf sidecar, and ``{name}`` the JSON manifest (written
-        last, so a reader never sees a manifest pointing at missing
-        blobs).  Still-lazy shards are copied image-for-image without
+        live-leaf sidecar, and ``{name}`` the JSON manifest.  On a
+        store with batched puts (:meth:`PageStore.put_blobs`) the whole
+        save — arenas, sidecars, manifest, stale-shard cleanup — lands
+        under one atomic catalog flip; on a plain ``put_blob`` store
+        the manifest is written last, so a reader never sees it
+        pointing at *missing* blobs.  Re-saving a same-size arena
+        rewrites its span in place
+        — the page store's one non-atomic window — so a crash mid-save
+        can tear an arena's *contents*; every manifest entry therefore
+        carries a CRC32 of its image and sidecar, and :meth:`load`
+        fails loudly on a mismatch instead of deserializing torn bytes.
+
+        A still-lazy shard is copied image-for-image without
         deserializing — an open → edit-one-subtree → save cycle reads
-        and parses exactly one arena.
+        and parses exactly one arena — but only when the copy would be
+        faithful: a lazy shard is materialized first when its image's
+        payload flag disagrees with ``include_payloads``, or when
+        payloads were reattached via :meth:`set_payload` while lazy and
+        ``include_payloads`` asks for them (buffered payloads are
+        irrelevant when payloads are not persisted, so the document
+        layer's ``include_payloads=False`` saves stay fully lazy).
         """
         entries = []
+        puts: dict[str, bytes] = {}
         for rank, shard in enumerate(self._shards):
             arena_name = f"{name}.s{rank}"
             leaves_name = f"{name}.s{rank}.leaves"
             if shard.is_lazy:
-                image: Any = shard.image
+                has_payloads = bool(shard.header.flags &
+                                    _FLAG_HAS_PAYLOADS)
+                if has_payloads != include_payloads or \
+                        (include_payloads and shard.pending):
+                    shard.materialize()
+            if shard.is_lazy:
+                raw = bytes(shard.image)
                 live = list(shard.live)
             else:
-                image = shard.tree.to_bytes(
+                raw = shard.tree.to_bytes(
                     include_payloads=include_payloads)
                 live = list(shard.tree.iter_leaves(
                     include_deleted=False))
-            store.put_blob(arena_name, bytes(image))
-            store.put_blob(leaves_name, _pack_int64(live))
+            raw_leaves = _pack_int64(live)
+            puts[arena_name] = raw
+            puts[leaves_name] = raw_leaves
             entries.append({
                 "blob": arena_name,
                 "leaves": leaves_name,
@@ -540,6 +578,8 @@ class ShardedCompactLTree:
                 "n_leaves": shard.n_leaves,
                 "tombstones": shard.tombstone_count(),
                 "live": len(live),
+                "checksum": zlib.crc32(raw),
+                "leaves_checksum": zlib.crc32(raw_leaves),
             })
         manifest = {
             "format": MANIFEST_FORMAT_VERSION,
@@ -553,19 +593,41 @@ class ShardedCompactLTree:
             "directory_rebuilds": self.directory_rebuilds,
             "shards": entries,
         }
-        store.put_blob(name, json.dumps(manifest).encode("utf-8"))
-        # only now drop blobs of shards a previous save wrote but this
-        # tree no longer has (a re-bulk_load can shrink the shard
-        # count): left behind they would leak span pages past every
-        # vacuum — but deleting them *before* the manifest flip above
-        # would open a crash window in which the old manifest still
-        # points at them and the store cannot reopen
-        if hasattr(store, "delete_blob") and hasattr(store, "has_blob"):
-            rank = len(self._shards)
-            while store.has_blob(f"{name}.s{rank}"):
-                store.delete_blob(f"{name}.s{rank}")
-                store.delete_blob(f"{name}.s{rank}.leaves")
-                rank += 1
+        manifest_raw = json.dumps(manifest).encode("utf-8")
+        # blobs of shard ranks this tree no longer has (a re-bulk_load
+        # can shrink the shard count) must be dropped, or their spans
+        # leak past every vacuum.  The catalog is scanned rather than
+        # probed rank-by-rank from len(shards): a cleanup interrupted by
+        # a crash can leave *gaps* in the stale rank sequence, and an
+        # arena can survive without its sidecar (or vice versa)
+        stale = []
+        if hasattr(store, "blobs") and hasattr(store, "delete_blob"):
+            prefix = f"{name}.s"
+            for blob_name in list(store.blobs()):
+                if not blob_name.startswith(prefix):
+                    continue
+                tail = blob_name[len(prefix):]
+                if tail.endswith(".leaves"):
+                    tail = tail[:-len(".leaves")]
+                if tail.isdigit() and int(tail) >= len(self._shards):
+                    stale.append(blob_name)
+        if hasattr(store, "put_blobs"):
+            # one catalog flip: arenas, sidecars, manifest and stale-blob
+            # drops become visible atomically (and under sync=True the
+            # whole save costs one fsync pair, not one per blob)
+            puts[name] = manifest_raw
+            store.put_blobs(puts, delete=stale)
+        else:
+            for blob_name, data in puts.items():
+                store.put_blob(blob_name, data)
+            # manifest last, so a reader never sees it pointing at
+            # blobs that were not written yet; stale blobs dropped
+            # last of all, because deleting them before the flip would
+            # open a crash window in which the old manifest still
+            # points at them and the store cannot reopen
+            store.put_blob(name, manifest_raw)
+            for blob_name in stale:
+                store.delete_blob(blob_name)
 
     @classmethod
     def load(cls, store: Any, name: str = "scheme",
@@ -604,6 +666,16 @@ class ShardedCompactLTree:
             sink = Counters() if shard_stats else stats
             image = store.get_blob(entry["blob"],
                                    prefer_mmap=prefer_mmap)
+            # LTREEARR images carry no checksum of their own, and the
+            # page store's in-place span rewrite can tear one mid-save;
+            # the manifest's CRC makes that a loud load failure instead
+            # of a quietly corrupt arena
+            expected_crc = entry.get("checksum")
+            if expected_crc is not None and \
+                    zlib.crc32(image) != expected_crc:
+                raise ParameterError(
+                    f"shard image {entry['blob']!r} fails its manifest "
+                    f"checksum (torn by a crash mid-save?)")
             header = read_array_header(image)
             if (header.f, header.s, header.label_base,
                     header.violator_policy) != \
@@ -613,6 +685,12 @@ class ShardedCompactLTree:
                     f"shard image {entry['blob']!r} disagrees with the "
                     f"manifest parameters")
             raw_leaves = bytes(store.get_blob(entry["leaves"]))
+            leaves_crc = entry.get("leaves_checksum")
+            if leaves_crc is not None and \
+                    zlib.crc32(raw_leaves) != leaves_crc:
+                raise ParameterError(
+                    f"sidecar {entry['leaves']!r} fails its manifest "
+                    f"checksum (torn by a crash mid-save?)")
             live = _unpack_int64(memoryview(raw_leaves), 0,
                                  len(raw_leaves) // 8)
             # lazy label reads index the raw image with these slots, so

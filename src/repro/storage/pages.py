@@ -14,7 +14,13 @@ of fixed-size pages:
   number and a CRC.  Opening reads both slots and adopts the valid one
   with the highest sequence number, so a write torn by a crash (or a
   truncated file) simply falls back to the previous catalog — the flip
-  is atomic at the granularity of "which slot validates";
+  is atomic at the granularity of "which slot validates".  By default
+  writes are only flushed to the OS, so this guarantee covers *process*
+  crashes; against power loss the OS may reorder the flip ahead of its
+  data pages.  Open with ``sync=True`` to put an ``fsync`` barrier on
+  each side of the slot write, extending the ordering (data pages
+  durable before the catalog points at them) to whole-machine crashes
+  at the usual fsync cost per catalog flip;
 * every other page is raw data, reached either through a tiny LRU
   buffer pool (:meth:`read_page`) or through an mmap fast path that
   copies straight out of the OS page cache (:meth:`get_blob` with
@@ -34,6 +40,11 @@ non-atomic window left is an in-place rewrite of an existing span
 (same name, same size class), which can tear the blob's *contents* —
 the catalog itself survives any crash.
 
+Files written by the version-1 layout (one mutable header page, data
+from page 1) are still accepted: opening one rewrites it in the
+version-2 layout via a sibling temp file and an atomic rename, so the
+upgrade itself cannot corrupt the original.
+
 The pool counts hits and misses (:attr:`pool_hits` / :attr:`pool_misses`)
 so experiments can check the :class:`repro.storage.pager.PageModel`
 ``cache_hit_rate`` they assume against what a real pool delivers.
@@ -47,18 +58,25 @@ import os
 import struct
 import zlib
 from collections import OrderedDict
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from repro.errors import StorageError
 
 #: magic prefix of a page file (page 0, bytes 0..8)
 PAGE_MAGIC = b"LTPAGES\x00"
 #: page-file format version (bump on layout changes); version 2 added
-#: the crash-consistent superblock + double-slot catalog layout
+#: the crash-consistent superblock + double-slot catalog layout.
+#: Version-1 files are upgraded in place on open (see
+#: :meth:`PageStore._upgrade_from_v1`).
 PAGE_FORMAT_VERSION = 2
 
 #: the immutable superblock (page 0): magic, version, page_size
 _SUPERBLOCK = struct.Struct("<8sII")
+
+#: the legacy version-1 header (page 0, mutable): magic, version,
+#: page_size, page_count, catalog byte length — catalog JSON follows
+#: inline; data pages started at page 1
+_V1_HEADER = struct.Struct("<8sIIQI")
 
 #: fixed part of a catalog slot (pages 1 and 2): page_count, sequence
 #: number, catalog byte length, CRC32 of the slot minus this field
@@ -86,6 +104,12 @@ class PageStore:
         disagrees with the header raises :class:`StorageError`.
     pool_pages:
         Capacity of the LRU buffer pool, in pages.
+    sync:
+        ``True`` brackets every catalog flip with ``os.fsync`` barriers
+        so the crash-consistency ordering holds across power loss, not
+        just process crashes (see the module docstring).  Off by
+        default: the save/reopen workload this library benchmarks is
+        process-crash-consistent without paying an fsync per flip.
 
     Examples
     --------
@@ -99,7 +123,8 @@ class PageStore:
     """
 
     def __init__(self, path: str, page_size: Optional[int] = None,
-                 pool_pages: int = DEFAULT_POOL_PAGES):
+                 pool_pages: int = DEFAULT_POOL_PAGES,
+                 sync: bool = False):
         if page_size is not None and \
                 page_size < _CATALOG_HEADER.size + 2:
             raise StorageError(
@@ -108,6 +133,7 @@ class PageStore:
             raise StorageError("pool_pages must be >= 1")
         self.path = os.fspath(path)
         self.pool_pages = pool_pages
+        self.sync = bool(sync)
         self._pool: OrderedDict[int, bytes] = OrderedDict()
         self.pool_hits = 0
         self.pool_misses = 0
@@ -120,6 +146,8 @@ class PageStore:
         self._file = open(self.path, "r+b" if exists else "w+b")
         try:
             if exists:
+                if self._peek_version() == 1:
+                    self._upgrade_from_v1()
                 (self.page_size, self.page_count, self._seq,
                  self._catalog) = self._read_header()
                 if page_size is not None and \
@@ -148,6 +176,76 @@ class PageStore:
     # ------------------------------------------------------------------
     # header pages (superblock + alternating catalog slots)
     # ------------------------------------------------------------------
+    def _peek_version(self) -> int:
+        """Magic-check the file and return its format version.
+
+        Both layouts open with the same ``(magic, version, page_size)``
+        prefix, so the version can be read before deciding how to parse
+        the rest of the header.
+        """
+        self._file.seek(0)
+        raw = self._file.read(_SUPERBLOCK.size)
+        if len(raw) < _SUPERBLOCK.size:
+            raise StorageError(f"{self.path!r}: truncated superblock")
+        magic, version, _ = _SUPERBLOCK.unpack(raw)
+        if magic != PAGE_MAGIC:
+            raise StorageError(
+                f"{self.path!r}: bad magic {magic!r}; not a page file")
+        if version not in (1, PAGE_FORMAT_VERSION):
+            raise StorageError(
+                f"{self.path!r}: unsupported page-file version {version} "
+                f"(supported: 1 (upgraded on open), "
+                f"{PAGE_FORMAT_VERSION})")
+        return version
+
+    def _upgrade_from_v1(self) -> None:
+        """Rewrite a version-1 file in the version-2 layout, in place.
+
+        Version 1 kept one mutable header page — magic, version,
+        page_size, page_count, catalog length, catalog JSON inline —
+        with data from page 1.  Every blob is read through that layout,
+        re-packed into a fresh version-2 store at a sibling temp path,
+        and the result atomically renamed over the original (the vacuum
+        recipe), so a crash mid-upgrade leaves the v1 file intact and
+        the next open simply retries.
+        """
+        self._file.seek(0)
+        raw = self._file.read(_V1_HEADER.size)
+        if len(raw) < _V1_HEADER.size:
+            raise StorageError(f"{self.path!r}: truncated v1 header")
+        _, _, page_size, _, catalog_len = _V1_HEADER.unpack(raw)
+        catalog_raw = self._file.read(catalog_len)
+        if len(catalog_raw) < catalog_len:
+            raise StorageError(f"{self.path!r}: truncated v1 catalog")
+        catalog = json.loads(catalog_raw.decode("utf-8")) \
+            if catalog_raw else {}
+        live: dict[str, bytes] = {}
+        for name, span in catalog.items():
+            self._file.seek(span[0] * page_size)
+            data = self._file.read(span[1])
+            if len(data) < span[1]:
+                raise StorageError(
+                    f"{self.path!r}: v1 blob {name!r} truncated")
+            live[name] = data
+        temp_path = self.path + ".upgrade"
+        if os.path.exists(temp_path):
+            # leftover from an upgrade that crashed before its rename;
+            # the v1 file is still authoritative, start over
+            os.unlink(temp_path)
+        replacement = PageStore(temp_path, page_size=page_size,
+                                pool_pages=self.pool_pages)
+        try:
+            replacement.put_blobs(live)
+            os.fsync(replacement._file.fileno())
+        except BaseException:
+            replacement.close()
+            os.unlink(temp_path)
+            raise
+        replacement.close()
+        self._file.close()
+        os.replace(temp_path, self.path)
+        self._file = open(self.path, "r+b")
+
     def _read_header(self) -> tuple[int, int, int, dict[str, list[int]]]:
         self._file.seek(0)
         raw = self._file.read(_SUPERBLOCK.size)
@@ -201,11 +299,14 @@ class PageStore:
     def _write_header(self, catalog_raw: Optional[bytes] = None) -> None:
         """Write the catalog to the shadow slot and flip to it.
 
-        The slot the last update used is left untouched, so a crash at
-        any byte of this write leaves a store that reopens with the
-        previous catalog (the torn slot fails its CRC).  Data writes are
-        flushed first so the new catalog never points at pages the OS
-        has not seen.
+        The slot the last update used is left untouched, so a *process*
+        crash at any byte of this write leaves a store that reopens with
+        the previous catalog (the torn slot fails its CRC).  Data writes
+        are flushed first so the new catalog never points at pages the
+        OS has not seen; only with ``sync=True`` is that ordering also
+        forced to the disk (fsync before and after the slot write), so
+        the guarantee extends to power loss — without it the OS may
+        persist the flip ahead of its data pages.
         """
         if catalog_raw is None:
             catalog_raw = json.dumps(self._catalog).encode("utf-8")
@@ -220,9 +321,13 @@ class PageStore:
         page = header[:-4] + struct.pack("<I", crc) + catalog_raw
         slot_page = 1 + (seq % 2)
         self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())   # data durable before the flip
         self._file.seek(slot_page * self.page_size)
         self._file.write(page + b"\x00" * (self.page_size - len(page)))
         self._file.flush()
+        if self.sync:
+            os.fsync(self._file.fileno())   # the flip itself durable
         self._seq = seq
         self._pool.pop(slot_page, None)
 
@@ -294,30 +399,56 @@ class PageStore:
         anything is written, so a failed put leaves the store exactly as
         it was.
         """
-        data = bytes(data)
-        needed = self._pages_for(len(data))
-        span = self._catalog.get(name)
-        # reuse is judged by the span's *allocated* pages, not the
-        # current byte length, so shrink-then-regrow stays in place
-        grow = span is None or needed > span[2]
-        first = self.page_count if grow else span[0]
-        allocated = needed if grow else span[2]
+        self.put_blobs({name: data})
+
+    def put_blobs(self, items: dict[str, bytes],
+                  delete: Iterable[str] = ()) -> None:
+        """Write every blob in ``items`` and drop every name in
+        ``delete`` under a **single** catalog flip.
+
+        All data spans are written first, then one header update makes
+        the whole batch visible atomically: a reader (or a reopen after
+        a crash) sees either none of the batch or all of it, and a
+        multi-blob save pays one catalog flip — one fsync pair under
+        ``sync=True`` — instead of one per blob.  Span-reuse, overflow
+        and crash semantics match :meth:`put_blob`; names in ``delete``
+        that are not cataloged are ignored (a crashed earlier cleanup
+        must not fail the retry).
+        """
         candidate = dict(self._catalog)
-        candidate[name] = [first, len(data), allocated]
+        for name in delete:
+            candidate.pop(name, None)
+        writes: list[tuple[int, bytes, int]] = []
+        page_count = self.page_count
+        for name, data in items.items():
+            data = bytes(data)
+            needed = self._pages_for(len(data))
+            span = candidate.get(name)
+            # reuse is judged by the span's *allocated* pages, not the
+            # current byte length, so shrink-then-regrow stays in place
+            grow = span is None or needed > span[2]
+            first = page_count if grow else span[0]
+            allocated = needed if grow else span[2]
+            if grow:
+                page_count += needed
+            candidate[name] = [first, len(data), allocated]
+            writes.append((first, data, needed))
+        if candidate == self._catalog and not writes:
+            return
         catalog_raw = json.dumps(candidate).encode("utf-8")
         if _CATALOG_HEADER.size + len(catalog_raw) > self.page_size:
             raise StorageError(
                 f"catalog of {len(candidate)} blobs overflows the "
                 f"{self.page_size}-byte header page")
-        # data + tail padding covers the whole span, so a grown span is
+        # data + tail padding covers each whole span, so a grown span is
         # written once, directly — no allocate_pages zero-fill first
-        self._file.seek(first * self.page_size)
-        padding = needed * self.page_size - len(data)
-        self._file.write(data + b"\x00" * padding)
-        if grow:
-            self.page_count += needed
-        for page_id in range(first, first + needed):
-            self._pool.pop(page_id, None)
+        for first, data, needed in writes:
+            self._file.seek(first * self.page_size)
+            padding = needed * self.page_size - len(data)
+            self._file.write(data + b"\x00" * padding)
+            for page_id in range(first, first + needed):
+                self._pool.pop(page_id, None)
+        self.page_count = page_count
         self._catalog = candidate
         self._write_header(catalog_raw)
         self.flush()
@@ -440,8 +571,7 @@ class PageStore:
         replacement = PageStore(temp_path, page_size=self.page_size,
                                 pool_pages=self.pool_pages)
         try:
-            for name, data in live.items():
-                replacement.put_blob(name, data)
+            replacement.put_blobs(live)
             os.fsync(replacement._file.fileno())
         except BaseException:
             replacement.close()

@@ -338,6 +338,42 @@ class TestPersistence:
             back = ShardedCompactLTree.load(store, lazy=False)
             assert back.labels() == tree.labels()
 
+    def test_resave_cleanup_survives_crashed_earlier_cleanup(
+            self, tmp_path):
+        """A cleanup interrupted mid-way leaves gaps in the stale rank
+        sequence and arenas without sidecars; the next save must still
+        drop every stale blob instead of stopping at the first gap (or
+        raising on the missing sidecar)."""
+        tree, _ = _sharded(48, 6)
+        path = str(tmp_path / "gap.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+            tree.n_shards = 2
+            tree.bulk_load(range(9))
+            # simulate the crash window: rank 4 fully dropped, rank 5's
+            # sidecar dropped but its arena left behind
+            store.delete_blob("scheme.s4")
+            store.delete_blob("scheme.s4.leaves")
+            store.delete_blob("scheme.s5.leaves")
+            tree.save(store)
+            names = [blob for blob in store.blobs()
+                     if blob.startswith("scheme.s")]
+            assert names == ["scheme.s0", "scheme.s0.leaves",
+                             "scheme.s1", "scheme.s1.leaves"]
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+
+    def test_save_is_one_catalog_flip_on_page_store(self, tmp_path):
+        """The whole save batch — arenas, sidecars, manifest — becomes
+        visible under a single catalog flip."""
+        tree, _ = _sharded(24, 3)
+        path = str(tmp_path / "flip.ltp")
+        with PageStore(path) as store:
+            seq_before = store._seq
+            tree.save(store)
+            assert store._seq == seq_before + 1
+
     def test_manifest_kind_checked(self, tmp_path):
         path = str(tmp_path / "bad.ltp")
         with PageStore(path) as store:
@@ -385,3 +421,93 @@ class TestPersistence:
             back = ShardedCompactLTree.load(store, name="shardy",
                                             lazy=False)
             assert back.labels() == sharded.labels()
+
+
+class TestLazySaveFidelity:
+    """save() must never copy a lazy image whose bytes would lie."""
+
+    def _saved(self, tmp_path, include_payloads=True):
+        tree, handles = _sharded(24, 3)
+        path = str(tmp_path / "lazy.ltp")
+        with PageStore(path) as store:
+            tree.save(store, include_payloads=include_payloads)
+        return tree, handles, path
+
+    def test_pending_payload_survives_lazy_save(self, tmp_path):
+        """The reviewed data-loss bug: lazy load -> set_payload ->
+        save(include_payloads=True) must persist the new payload, not
+        silently re-save the stale image."""
+        tree, handles, path = self._saved(tmp_path)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            target = handles[0]
+            assert back.materialized_shards == []
+            back.set_payload(target, "rewritten while lazy")
+            assert back.materialized_shards == []    # still buffered
+            back.save(store)
+            # only the shard with pending payloads had to wake up
+            assert back.materialized_shards == [target[0]]
+        with PageStore(path) as store:
+            third = ShardedCompactLTree.load(store, lazy=False)
+            assert third.payload(target) == "rewritten while lazy"
+
+    def test_lazy_save_honors_include_payloads(self, tmp_path):
+        """Dropping payloads from a payload-carrying lazy image must
+        re-serialize the arena, not copy the image flag and all."""
+        tree, handles, path = self._saved(tmp_path)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            back.save(store, include_payloads=False)
+        with PageStore(path) as store:
+            third = ShardedCompactLTree.load(store, lazy=False)
+            assert third.labels() == tree.labels()
+            assert all(third.payload(handle) is None
+                       for handle in third.iter_leaves())
+
+    def test_payload_free_save_stays_lazy_despite_pending(self, tmp_path):
+        """The document layer reattaches payloads to every live handle
+        on open() and saves with include_payloads=False; that cycle
+        must keep untouched shards unmaterialized."""
+        tree, handles, path = self._saved(tmp_path,
+                                          include_payloads=False)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            for handle in back.iter_leaves(include_deleted=False):
+                back.set_payload(handle, ("reattached", handle))
+            back.save(store, include_payloads=False)
+            assert back.materialized_shards == []
+            # the buffered payloads are still live in memory
+            assert back.payload(handles[0]) == ("reattached", handles[0])
+
+    def test_lazy_reads_bound_check_like_materialized(self, tmp_path):
+        tree, handles, path = self._saved(tmp_path)
+        with PageStore(path) as store:
+            lazy = ShardedCompactLTree.load(store)
+            eager = ShardedCompactLTree.load(store, lazy=False)
+            for bogus in ((0, 10 ** 6), (1, -1)):
+                with pytest.raises(IndexError):
+                    lazy.num(bogus)
+                with pytest.raises(IndexError):
+                    lazy.is_deleted(bogus)
+                with pytest.raises(IndexError):
+                    eager.num((0, 10 ** 6))
+            assert lazy.materialized_shards == []
+
+    def test_torn_arena_image_detected_on_load(self, tmp_path):
+        """A same-length in-place corruption (the page store's one
+        non-atomic rewrite window) must fail the manifest CRC, not
+        deserialize garbage labels."""
+        tree, handles, path = self._saved(tmp_path)
+        with PageStore(path) as store:
+            good = bytes(store.get_blob("scheme.s1"))
+            torn = bytearray(good)
+            # flip bytes inside the label column, keeping the header
+            # (and therefore read_array_header) perfectly happy
+            middle = len(torn) // 2
+            torn[middle] ^= 0xFF
+            store.put_blob("scheme.s1", bytes(torn))
+            with pytest.raises(ParameterError, match="checksum"):
+                ShardedCompactLTree.load(store)
+            store.put_blob("scheme.s1", good)
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()

@@ -1,7 +1,9 @@
 """Page-backed store: fixed-size pages, buffer pool, mmap fast path,
 crash-consistent catalog flips, vacuum."""
 
+import json
 import os
+import struct
 
 import pytest
 
@@ -439,3 +441,122 @@ class TestVacuum:
             assert not os.path.exists(path + ".vacuum")
         with PageStore(path) as store:
             assert store.get_blob("a") == b"A" * 900
+
+
+class TestBatchedPuts:
+    """put_blobs: many writes (and deletes) under one catalog flip."""
+
+    def test_batch_is_one_flip_and_atomic_on_reopen(self, path):
+        with PageStore(path, page_size=256) as store:
+            store.put_blob("old", b"x" * 100)
+            store.put_blob("dead", b"y" * 100)
+            seq = store._seq
+            store.put_blobs({"a": b"a" * 300, "b": b"b" * 10,
+                             "old": b"X" * 50},
+                            delete=["dead", "never-existed"])
+            assert store._seq == seq + 1            # one flip
+        with PageStore(path) as store:
+            assert bytes(store.get_blob("a")) == b"a" * 300
+            assert bytes(store.get_blob("b")) == b"b" * 10
+            assert bytes(store.get_blob("old")) == b"X" * 50
+            assert not store.has_blob("dead")
+
+    def test_batch_overflow_leaves_store_untouched(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("keep", b"k")
+            seq = store._seq
+            pages = store.page_count
+            huge = {f"blob-with-a-long-name-{i}": b"z" for i in range(40)}
+            with pytest.raises(StorageError, match="overflows"):
+                store.put_blobs(huge)
+            assert store._seq == seq
+            assert store.page_count == pages
+            assert list(store.blobs()) == ["keep"]
+
+    def test_empty_batch_is_noop(self, path):
+        with PageStore(path) as store:
+            seq = store._seq
+            store.put_blobs({}, delete=["ghost"])
+            assert store._seq == seq
+
+    def test_batch_reuses_spans_like_put_blob(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("a", b"a" * 300)      # 3 pages
+            pages = store.page_count
+            store.put_blobs({"a": b"A" * 200})   # fits the old span
+            assert store.page_count == pages
+            assert bytes(store.get_blob("a")) == b"A" * 200
+
+
+class TestFormatCompat:
+    """Version-1 files (single mutable header page, data from page 1)
+    must keep opening: the store upgrades them to the version-2 layout
+    in place, through a temp file and an atomic rename."""
+
+    def _write_v1(self, path, blobs, page_size=128):
+        catalog = {}
+        spans = []
+        first = 1
+        for name, data in blobs.items():
+            pages = max(1, -(-len(data) // page_size))
+            catalog[name] = [first, len(data), pages]
+            spans.append((data, pages))
+            first += pages
+        catalog_raw = json.dumps(catalog).encode("utf-8")
+        header = struct.pack("<8sIIQI", PAGE_MAGIC, 1, page_size,
+                             first, len(catalog_raw))
+        assert len(header) + len(catalog_raw) <= page_size
+        with open(path, "wb") as handle:
+            page0 = header + catalog_raw
+            handle.write(page0 + b"\x00" * (page_size - len(page0)))
+            for data, pages in spans:
+                handle.write(data +
+                             b"\x00" * (pages * page_size - len(data)))
+
+    def test_v1_file_upgrades_on_open(self, path):
+        blobs = {"alpha": b"a" * 300, "beta": b"b" * 17, "empty": b""}
+        self._write_v1(path, blobs)
+        with PageStore(path) as store:
+            assert store.page_size == 128
+            for name, data in blobs.items():
+                assert bytes(store.get_blob(name)) == data
+            # the upgraded store is a full citizen: writable, vacuumable
+            store.put_blob("gamma", b"c" * 500)
+        with open(path, "rb") as handle:
+            raw = handle.read(16)
+        assert raw[:8] == PAGE_MAGIC
+        assert struct.unpack_from("<I", raw, 8)[0] == PAGE_FORMAT_VERSION
+        with PageStore(path) as store:          # reopens as plain v2
+            assert bytes(store.get_blob("gamma")) == b"c" * 500
+            assert bytes(store.get_blob("alpha")) == b"a" * 300
+
+    def test_v1_upgrade_ignores_stale_temp(self, path):
+        """A temp file left by an upgrade that crashed before its
+        rename must not poison the retry."""
+        self._write_v1(path, {"alpha": b"a" * 64})
+        with open(path + ".upgrade", "wb") as handle:
+            handle.write(b"half a file")
+        with PageStore(path) as store:
+            assert bytes(store.get_blob("alpha")) == b"a" * 64
+        assert not os.path.exists(path + ".upgrade")
+
+    def test_unknown_version_rejected(self, path):
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<8sII", PAGE_MAGIC, 9, 128))
+            handle.write(b"\x00" * 1024)
+        with pytest.raises(StorageError, match="version 9"):
+            PageStore(path)
+
+
+class TestSyncMode:
+    """sync=True brackets every catalog flip with fsync barriers; the
+    store must behave identically apart from durability."""
+
+    def test_sync_roundtrip(self, path):
+        with PageStore(path, page_size=128, sync=True) as store:
+            store.put_blob("a", b"a" * 300)
+            store.put_blob("a", b"A" * 130)     # in-place rewrite
+        with PageStore(path, sync=True) as store:
+            assert bytes(store.get_blob("a")) == b"A" * 130
+            assert store.vacuum() >= 0
+            assert bytes(store.get_blob("a")) == b"A" * 130
