@@ -2,18 +2,20 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR4.json
+    python benchmarks/run_all.py              # writes BENCH_PR5.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the six headline suites — bulk load, random single inserts, §4.1
-run inserts, the query-containment plan, byte-image restore, and the
-sharded-vs-flat engine head-to-head — and writes one machine-readable
-record to ``BENCH_PR4.json`` at the repo root.  That file is the
+Runs the seven headline suites — bulk load, random single inserts, §4.1
+run inserts, the query-containment plan, byte-image restore, the
+sharded-vs-flat engine head-to-head, and the concurrent document
+service (writer scaling over disjoint shards, group-commit vs per-op
+fsync, snapshot reads under writes) — and writes one machine-readable
+record to ``BENCH_PR5.json`` at the repo root.  That file is the
 tracked perf trajectory: every future perf PR re-runs this harness and
 compares against the committed baseline instead of re-deriving numbers
 from prose.  CI regenerates the JSON, uploads it as an artifact, and
 runs ``benchmarks/compare_baselines.py`` against the previous
-committed baseline (``BENCH_PR3.json``), failing on regressions in the
+committed baseline (``BENCH_PR4.json``), failing on regressions in the
 metrics that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
@@ -247,6 +249,143 @@ def suite_sharded(scale: float) -> dict:
     }
 
 
+def suite_concurrent(scale: float) -> dict:
+    """The concurrent document service, three angles.
+
+    * **writer scaling** — the same insert budget spread over 1, 2 and
+      4 threads on disjoint shard sets of one ``ConcurrentDocument``
+      (WAL group commit on).  Raw ops/sec are machine-bound and — under
+      the GIL — thread scaling measures lock overhead, not parallel
+      CPU; the number worth watching is how little 4 threads *lose*.
+    * **group commit** — the per-op-fsync vs one-fsync-per-batch ratio
+      on a ``sync=True`` WAL: the whole economic argument for group
+      commit, as a speedup.
+    * **snapshot reads** — consistent zero-lock snapshot reads pinned
+      while a writer thread keeps inserting.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.concurrent import ConcurrentDocument
+    from repro.storage.wal import WriteAheadLog
+
+    n_ops = max(400, int(4000 * scale))
+    n_shards = 4
+
+    # -- writer scaling over disjoint shard sets -----------------------
+    ops_per_sec = {}
+    for n_threads in (1, 2, 4):
+        per_thread = n_ops // n_threads
+        directory = tempfile.mkdtemp(prefix="bench-concurrent-")
+        doc = ConcurrentDocument.create(directory, params=PARAMS,
+                                        n_shards=n_shards,
+                                        group_commit=128)
+        handles = doc.bulk_load(range(max(64, n_ops // 10)))
+        shard_sets = [tuple(rank for rank in range(n_shards)
+                            if rank % n_threads == index)
+                      for index in range(n_threads)]
+
+        def work(ranks, seed):
+            rng = random.Random(seed)
+            mine = [handle for handle in handles if handle[0] in ranks]
+            for step in range(per_thread):
+                anchor = mine[rng.randrange(len(mine))]
+                mine.append(doc.insert_after(anchor, step))
+
+        threads = [threading.Thread(target=work, args=(ranks, 7 + index))
+                   for index, ranks in enumerate(shard_sets)]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        doc.commit()
+        elapsed = time.perf_counter() - start
+        ops_per_sec[f"threads_{n_threads}"] = round(
+            per_thread * n_threads / elapsed)
+        doc.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+    # -- group commit vs per-op fsync ----------------------------------
+    n_sync = max(60, int(300 * scale))
+    record = {"op": "insert_after", "h": [0, 0], "p": "x"}
+    sync_dir = tempfile.mkdtemp(prefix="bench-wal-")
+
+    def per_op_fsync():
+        with WriteAheadLog(f"{sync_dir}/per-op.wal", sync=True) as wal:
+            for _ in range(n_sync):
+                wal.append(record)
+                wal.commit()
+            return wal.fsyncs
+
+    def grouped_fsync():
+        with WriteAheadLog(f"{sync_dir}/grouped.wal", sync=True,
+                           group_commit=64) as wal:
+            for _ in range(n_sync):
+                wal.append(record)
+            wal.commit()
+            return wal.fsyncs
+
+    start = time.perf_counter()
+    fsyncs_per_op = per_op_fsync()
+    per_op_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    fsyncs_grouped = grouped_fsync()
+    grouped_seconds = time.perf_counter() - start
+    shutil.rmtree(sync_dir, ignore_errors=True)
+
+    # -- snapshot reads under a live writer ----------------------------
+    directory = tempfile.mkdtemp(prefix="bench-snap-")
+    doc = ConcurrentDocument.create(directory, params=PARAMS,
+                                    n_shards=n_shards, group_commit=128)
+    handles = doc.bulk_load(range(max(64, n_ops // 10)))
+    done = threading.Event()
+
+    def snap_writer():
+        rng = random.Random(3)
+        mine = list(handles)
+        for step in range(n_ops):
+            anchor = mine[rng.randrange(len(mine))]
+            mine.append(doc.insert_after(anchor, step))
+        done.set()
+
+    snapshots = 0
+    labels_read = 0
+    thread = threading.Thread(target=snap_writer)
+    start = time.perf_counter()
+    thread.start()
+    while not done.is_set():
+        snapshot = doc.snapshot()
+        labels = snapshot.labels()
+        assert labels == sorted(labels)
+        snapshots += 1
+        labels_read += len(labels)
+    thread.join()
+    elapsed = time.perf_counter() - start
+    doc.close()
+    shutil.rmtree(directory, ignore_errors=True)
+
+    return {
+        "n_ops": n_ops,
+        "writer_ops_per_sec": ops_per_sec,
+        "group_commit": {
+            "n_ops": n_sync,
+            "per_op_fsync_seconds": per_op_seconds,
+            "grouped_seconds": grouped_seconds,
+            "fsyncs_per_op_mode": fsyncs_per_op,
+            "fsyncs_grouped_mode": fsyncs_grouped,
+            "group_commit_speedup": round(
+                per_op_seconds / grouped_seconds, 2),
+        },
+        "snapshot_reads": {
+            "snapshots": snapshots,
+            "snapshots_per_sec": round(snapshots / elapsed, 1),
+            "labels_read": labels_read,
+        },
+    }
+
+
 SUITES = {
     "bulk_load": suite_bulk_load,
     "random_insert": suite_random_insert,
@@ -254,12 +393,13 @@ SUITES = {
     "query_containment": suite_query_containment,
     "restore": suite_restore,
     "sharded": suite_sharded,
+    "concurrent": suite_concurrent,
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR4.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -271,7 +411,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR4",
+        "baseline": "PR5",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -1,0 +1,35 @@
+"""Concurrent document service over the sharded L-Tree engine.
+
+The L-Tree's defining property — an update relabels only within one
+subtree — became mechanically checkable in the sharded engine
+(:class:`repro.core.sharded.ShardedCompactLTree`: every op writes
+exactly one arena).  This package turns that isolation into an actual
+multi-writer, incrementally durable service:
+
+* :mod:`repro.concurrent.locks` — a per-shard reader–writer lock table
+  plus the global latch stop-the-world operations take;
+* :mod:`repro.concurrent.engine` — :class:`ConcurrentLTree`, the
+  thread-safe engine wrapper (writers to different shards run in
+  parallel; the only global critical section is the O(1) directory
+  stride bump) with zero-lock :class:`LabelSnapshot` reads pinned from
+  immutable per-shard byte images;
+* :mod:`repro.concurrent.service` — :class:`ConcurrentDocument`, the
+  WAL-backed service: every logical op is appended to a
+  :class:`repro.storage.wal.WriteAheadLog` under group commit,
+  checkpoints fold the log into an atomic
+  :class:`repro.storage.pages.PageStore` save, and :meth:`open`
+  recovers as checkpoint + replayed WAL tail with bit-identical labels.
+"""
+
+from repro.concurrent.engine import ConcurrentLTree, LabelSnapshot
+from repro.concurrent.locks import RWLock, ShardLockTable
+from repro.concurrent.service import ConcurrentDocument, apply_logged_op
+
+__all__ = [
+    "ConcurrentLTree",
+    "LabelSnapshot",
+    "RWLock",
+    "ShardLockTable",
+    "ConcurrentDocument",
+    "apply_logged_op",
+]

@@ -1,0 +1,456 @@
+"""Thread-safe multi-writer wrapper over the sharded L-Tree engine.
+
+:class:`ConcurrentLTree` exposes the same surface as
+:class:`repro.core.sharded.ShardedCompactLTree` (so the
+``ltree-sharded`` scheme adapter and the document layer run over it
+unchanged) and adds the three concurrency properties the engine's
+shard-locality makes cheap:
+
+* **parallel writers** — every routed update takes the global latch in
+  *shared* mode plus its one shard's write lock, so writers anchored in
+  different shards never wait on each other.  The engine's own inline
+  stride bump is deferred (``defer_directory_growth``); when an update
+  grows its shard past the directory height, the O(1) bump runs under a
+  single *directory latch* while the grown shard's write lock is still
+  held — the only global critical section on the write path, and no
+  reader can compose that shard's labels with the stale stride because
+  its lock is taken;
+* **consistent bulk reads** — ``labels()`` / ``label_map()`` acquire
+  every shard's read lock (ascending rank) before reading the stride,
+  so the composed sequence is one consistent cut;
+* **zero-lock snapshot reads** — :meth:`snapshot` pins, per shard, the
+  immutable payload-free byte image the lazy-reopen path already serves
+  (:meth:`~repro.core.sharded.ShardedCompactLTree.shard_image`), cached
+  per shard version so an unchanged shard is pinned for free.  The
+  resulting :class:`LabelSnapshot` answers label / order / containment
+  queries against live writers without taking any lock.
+
+Whole-structure operations — ``bulk_load`` (the shard set is rebuilt),
+``compact``, ``save``, ``validate``, materializing enumerations that
+include tombstones — take the latch exclusively (stop the world).
+
+An optional ``journal`` callable receives one dict per successful
+mutation *while the shard write lock is still held*, so the journal's
+global order restricted to any one shard equals that shard's actual
+apply order — the property that makes a serial replay of the merged
+tape deterministic (see :mod:`repro.concurrent.service`, which plugs
+the write-ahead log in here).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.concurrent.locks import ShardLockTable
+from repro.core.params import LTreeParams
+from repro.core.sharded import _Shard, ShardedCompactLTree
+from repro.core.stats import NULL_COUNTERS, Counters
+
+
+class LabelSnapshot:
+    """An immutable label view pinned from per-shard byte images.
+
+    Holds one lazy :class:`~repro.core.sharded._Shard` per shard rank —
+    the same structure the shard-lazy reopen path reads — plus the
+    stride at pin time.  Every query below runs against those frozen
+    bytes: no locks, no interaction with live writers, and two
+    snapshots with equal :attr:`epoch` are guaranteed bit-identical.
+    """
+
+    __slots__ = ("params", "stride", "epoch", "_shards")
+
+    def __init__(self, params: LTreeParams, stride: int,
+                 shards: list[_Shard], epoch: tuple[int, ...]):
+        self.params = params
+        self.stride = stride
+        #: per-shard write-version vector at pin time (equal epochs ⇒
+        #: bit-identical snapshots)
+        self.epoch = epoch
+        self._shards = shards
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    def label(self, handle: tuple[int, int]) -> int:
+        """Global label of a live handle at pin time."""
+        rank, slot = handle
+        shard = self._shards[rank]
+        if shard.is_deleted(slot):
+            raise ValueError("handle refers to a deleted item")
+        return rank * self.stride + shard.num(slot)
+
+    def is_deleted(self, handle: tuple[int, int]) -> bool:
+        rank, slot = handle
+        return self._shards[rank].is_deleted(slot)
+
+    def handles(self) -> Iterator[tuple[int, int]]:
+        """Live handles in document order at pin time."""
+        for rank, shard in enumerate(self._shards):
+            for slot in shard.live_slots():
+                yield (rank, slot)
+
+    def labels(self) -> list[int]:
+        """Live labels in document order (strictly increasing)."""
+        out: list[int] = []
+        for rank, shard in enumerate(self._shards):
+            prefix = rank * self.stride
+            out.extend(prefix + value for value in shard.nums_of_live())
+        return out
+
+    def label_map(self) -> dict[tuple[int, int], int]:
+        mapping: dict[tuple[int, int], int] = {}
+        for rank, shard in enumerate(self._shards):
+            prefix = rank * self.stride
+            mapping.update(
+                ((rank, slot), prefix + value)
+                for slot, value in zip(shard.live_slots(),
+                                       shard.nums_of_live()))
+        return mapping
+
+    def precedes(self, first: tuple[int, int],
+                 second: tuple[int, int]) -> bool:
+        """Document order of two live handles, labels only."""
+        return self.label(first) < self.label(second)
+
+    def contains(self, outer: tuple[tuple[int, int], tuple[int, int]],
+                 inner: tuple[tuple[int, int], tuple[int, int]]) -> bool:
+        """Region containment of two (begin, end) handle pairs —
+        the paper's ancestor test, answered entirely off the pinned
+        images."""
+        outer_begin, outer_end = outer
+        inner_begin, inner_end = inner
+        return self.label(outer_begin) < self.label(inner_begin) and \
+            self.label(inner_end) < self.label(outer_end)
+
+    @property
+    def n_live(self) -> int:
+        return sum(len(shard.live) for shard in self._shards)
+
+    def __repr__(self) -> str:
+        return (f"LabelSnapshot(shards={len(self._shards)}, "
+                f"stride={self.stride}, epoch={self.epoch})")
+
+
+class ConcurrentLTree:
+    """Per-shard-locked, snapshot-readable sharded engine (module doc).
+
+    Parameters
+    ----------
+    engine:
+        The sharded engine to guard.  It is adopted: direct use of the
+        raw engine afterwards bypasses the locks.
+    journal:
+        Optional callable receiving one op dict per successful
+        mutation, invoked under the mutated shard's write lock.
+    """
+
+    def __init__(self, engine: ShardedCompactLTree,
+                 journal: Optional[Callable[[dict], Any]] = None):
+        self._engine = engine
+        self._journal = journal
+        engine.defer_directory_growth = True
+        self._locks = ShardLockTable(engine.shard_count)
+        #: serializes every stride write — the global critical section
+        self._directory_latch = threading.Lock()
+        self._versions = [0] * engine.shard_count
+        #: rank -> (version, image, live, meta) pinned-image cache
+        self._image_cache: dict[int, tuple] = {}
+        #: stop-the-world stride bumps performed (mirrors the engine's
+        #: ``directory_rebuilds`` but counted by the wrapper)
+        self.stride_bumps = 0
+
+    # ------------------------------------------------------------------
+    # engine passthrough metadata
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> ShardedCompactLTree:
+        """The wrapped engine (lock-free access; callers beware)."""
+        return self._engine
+
+    @property
+    def params(self) -> LTreeParams:
+        return self._engine.params
+
+    @property
+    def stats(self) -> Counters:
+        return self._engine.stats
+
+    @property
+    def violator_policy(self) -> str:
+        return self._engine.violator_policy
+
+    @property
+    def n_shards(self) -> int:
+        return self._engine.n_shards
+
+    @property
+    def shard_count(self) -> int:
+        return self._engine.shard_count
+
+    @property
+    def shard_counters(self) -> list[Counters]:
+        return self._engine.shard_counters
+
+    @property
+    def materialized_shards(self) -> list[int]:
+        return self._engine.materialized_shards
+
+    @property
+    def stride(self) -> int:
+        return self._engine.stride
+
+    @property
+    def directory_height(self) -> int:
+        return self._engine.directory_height
+
+    @property
+    def directory_rebuilds(self) -> int:
+        return self._engine.directory_rebuilds
+
+    @property
+    def label_space(self) -> int:
+        return self._engine.label_space
+
+    @property
+    def n_leaves(self) -> int:
+        with self._locks.read_all():
+            return self._engine.n_leaves
+
+    def tombstone_count(self) -> int:
+        with self._locks.read_all():
+            return self._engine.tombstone_count()
+
+    # ------------------------------------------------------------------
+    # write path (latch shared + one shard exclusive)
+    # ------------------------------------------------------------------
+    def _after_write(self, rank: int, op: Optional[dict]) -> None:
+        """Version bump, journaling, and the deferred stride bump —
+        all while the caller still holds shard ``rank``'s write lock."""
+        self._versions[rank] += 1
+        if op is not None and self._journal is not None:
+            self._journal(op)
+        if self._engine.needs_directory_growth(rank):
+            with self._directory_latch:
+                if self._engine.grow_directory(rank):
+                    self.stride_bumps += 1
+
+    def insert_after(self, handle: tuple[int, int],
+                     payload: Any) -> tuple[int, int]:
+        rank = handle[0]
+        with self._locks.op_write(rank):
+            leaf = self._engine.insert_after(handle, payload)
+            self._after_write(rank, {"op": "insert_after",
+                                     "h": list(handle), "p": payload})
+            return leaf
+
+    def insert_before(self, handle: tuple[int, int],
+                      payload: Any) -> tuple[int, int]:
+        rank = handle[0]
+        with self._locks.op_write(rank):
+            leaf = self._engine.insert_before(handle, payload)
+            self._after_write(rank, {"op": "insert_before",
+                                     "h": list(handle), "p": payload})
+            return leaf
+
+    def append(self, payload: Any) -> tuple[int, int]:
+        # the tail rank is resolved by the lock table *under the latch*
+        # so a concurrent bulk_load resize cannot leave the last shard
+        # unlocked (or crash on a stale index)
+        with self._locks.tail_write() as rank:
+            leaf = self._engine.append(payload)
+            self._after_write(rank, {"op": "append", "p": payload})
+            return leaf
+
+    def prepend(self, payload: Any) -> tuple[int, int]:
+        with self._locks.op_write(0):
+            leaf = self._engine.prepend(payload)
+            self._after_write(0, {"op": "prepend", "p": payload})
+            return leaf
+
+    def insert_run_after(self, handle: tuple[int, int],
+                         payloads: Sequence[Any]) -> list[tuple[int, int]]:
+        rank = handle[0]
+        items = list(payloads)
+        with self._locks.op_write(rank):
+            leaves = self._engine.insert_run_after(handle, items)
+            self._after_write(rank, {"op": "insert_run_after",
+                                     "h": list(handle), "ps": items})
+            return leaves
+
+    def insert_run_before(self, handle: tuple[int, int],
+                          payloads: Sequence[Any]
+                          ) -> list[tuple[int, int]]:
+        rank = handle[0]
+        items = list(payloads)
+        with self._locks.op_write(rank):
+            leaves = self._engine.insert_run_before(handle, items)
+            self._after_write(rank, {"op": "insert_run_before",
+                                     "h": list(handle), "ps": items})
+            return leaves
+
+    def mark_deleted(self, handle: tuple[int, int]) -> None:
+        rank = handle[0]
+        with self._locks.op_write(rank):
+            self._engine.mark_deleted(handle)
+            self._after_write(rank, {"op": "delete", "h": list(handle)})
+
+    def set_payload(self, handle: tuple[int, int], payload: Any) -> None:
+        rank = handle[0]
+        with self._locks.op_write(rank):
+            self._engine.set_payload(handle, payload)
+            # payloads never touch labels: no version bump (snapshots
+            # stay valid), but the op is journaled for recovery
+            if self._journal is not None:
+                self._journal({"op": "set_payload", "h": list(handle),
+                               "p": payload})
+
+    def bulk_load(self, payloads: Sequence[Any],
+                  boundaries: Optional[Sequence[int]] = None
+                  ) -> list[tuple[int, int]]:
+        """Rebuild the shard set — necessarily stop-the-world."""
+        items = list(payloads)
+        with self._locks.exclusive():
+            handles = self._engine.bulk_load(items, boundaries=boundaries)
+            self._locks.resize(self._engine.shard_count)
+            self._versions = [1] * self._engine.shard_count
+            self._image_cache.clear()
+            if self._journal is not None:
+                self._journal({
+                    "op": "bulk_load", "ps": items,
+                    "bounds": list(boundaries)
+                    if boundaries is not None else None})
+            return handles
+
+    def compact(self, params: Optional[LTreeParams] = None):
+        """Stop-the-world vacuum; invalidates handles like the engine's.
+
+        Not journaled: callers checkpoint right after (the slot
+        remapping cannot be replayed against pre-compact handles).
+        """
+        with self._locks.exclusive():
+            mapping = self._engine.compact(params)
+            self._versions = [version + 1 for version in self._versions]
+            self._image_cache.clear()
+            return mapping
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def num(self, handle: tuple[int, int]) -> int:
+        """Point read of one global label.
+
+        Consistent with concurrent writers of *other* shards only in
+        the sense that each call composes with a stride valid for its
+        own shard; for a mutually consistent label set use
+        :meth:`labels`, :meth:`label_map` or :meth:`snapshot`.
+        """
+        with self._locks.op_read(handle[0]):
+            return self._engine.num(handle)
+
+    def is_deleted(self, handle: tuple[int, int]) -> bool:
+        with self._locks.op_read(handle[0]):
+            return self._engine.is_deleted(handle)
+
+    def payload(self, handle: tuple[int, int]) -> Any:
+        # may materialize a lazy shard — a structural write
+        with self._locks.op_write(handle[0]):
+            return self._engine.payload(handle)
+
+    def is_leaf(self, handle: tuple[int, int]) -> bool:
+        with self._locks.op_write(handle[0]):
+            return self._engine.is_leaf(handle)
+
+    def find_leaf(self, num: int) -> Optional[tuple[int, int]]:
+        with self._locks.exclusive():
+            return self._engine.find_leaf(num)
+
+    def labels(self, include_deleted: bool = True) -> list[int]:
+        if include_deleted:
+            # tombstoned slots live only in materialized structure
+            with self._locks.exclusive():
+                return self._engine.labels(True)
+        with self._locks.read_all():
+            return self._engine.labels(False)
+
+    def label_map(self) -> dict[tuple[int, int], int]:
+        with self._locks.read_all():
+            return self._engine.label_map()
+
+    def iter_leaves(self, include_deleted: bool = True
+                    ) -> Iterator[tuple[int, int]]:
+        if include_deleted:
+            with self._locks.exclusive():
+                return iter(list(self._engine.iter_leaves(True)))
+        with self._locks.read_all():
+            return iter(list(self._engine.iter_leaves(False)))
+
+    def payloads(self, include_deleted: bool = True) -> list[Any]:
+        with self._locks.exclusive():
+            return self._engine.payloads(include_deleted)
+
+    # ------------------------------------------------------------------
+    # snapshots (epoch-pinned, zero-lock reads)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> LabelSnapshot:
+        """Pin a consistent, immutable label view of every shard.
+
+        Blocks writers only for the pin itself (all shard read locks at
+        once); shards unchanged since the last snapshot reuse their
+        cached image, so a snapshot between writes costs a few dict
+        lookups.  The returned object never touches this engine again.
+        """
+        engine = self._engine
+        with self._locks.read_all() as ranks:
+            stride = engine.stride
+            epoch = tuple(self._versions)
+            shards: list[_Shard] = []
+            for rank in ranks:
+                cached = self._image_cache.get(rank)
+                if cached is None or cached[0] != self._versions[rank]:
+                    image, live, meta = engine.shard_image(rank)
+                    cached = (self._versions[rank], image, live, meta)
+                    self._image_cache[rank] = cached
+                shards.append(_Shard.lazy(cached[1], cached[2],
+                                          cached[3], NULL_COUNTERS))
+        return LabelSnapshot(engine.params, stride, shards, epoch)
+
+    # ------------------------------------------------------------------
+    # persistence and validation (stop-the-world)
+    # ------------------------------------------------------------------
+    def exclusive(self):
+        """Stop-the-world context: every routed op and read excluded.
+
+        For multi-step maintenance that must be atomic against writers
+        *as a whole* — a ``ConcurrentDocument`` checkpoint holds this
+        across watermark capture, engine save and WAL truncate, acting
+        on :attr:`engine` directly (the locks are not reentrant, so the
+        wrapper's own locked methods cannot be used inside).
+        """
+        return self._locks.exclusive()
+
+    def save(self, store: Any, name: str = "scheme",
+             include_payloads: bool = True,
+             extra_blobs: Optional[dict[str, bytes]] = None) -> None:
+        with self._locks.exclusive():
+            self._engine.save(store, name,
+                              include_payloads=include_payloads,
+                              extra_blobs=extra_blobs)
+
+    @classmethod
+    def load(cls, store: Any, name: str = "scheme",
+             stats: Counters = NULL_COUNTERS,
+             journal: Optional[Callable[[dict], Any]] = None,
+             **engine_kwargs: Any) -> "ConcurrentLTree":
+        """Reopen a saved engine (shard-lazily) and wrap it."""
+        engine = ShardedCompactLTree.load(store, name, stats=stats,
+                                          **engine_kwargs)
+        return cls(engine, journal=journal)
+
+    def validate(self, check_occupancy: bool = False) -> None:
+        with self._locks.exclusive():
+            self._engine.validate(check_occupancy)
+
+    def __repr__(self) -> str:
+        return f"ConcurrentLTree({self._engine!r})"

@@ -1,0 +1,179 @@
+"""Reader–writer locks for the per-shard concurrency layer.
+
+Two instruments, matching the two granularities of the sharded engine:
+
+* a :class:`RWLock` per shard — writers to *different* shards hold
+  different locks and proceed in parallel; readers of one shard share
+  its lock;
+* one global **latch** (also a :class:`RWLock`): every routed op holds
+  it in read (shared) mode, so the rare whole-structure operations —
+  ``bulk_load`` rebuilding the shard set, a checkpoint, ``validate`` —
+  take it in write mode and get a true stop-the-world window without
+  touching the per-shard locks.
+
+The locks are writer-preferring (a waiting writer blocks new readers),
+so a stream of snapshot readers cannot starve a writer.  They are not
+reentrant; the concurrency layer keeps a strict acquisition order —
+latch (read) → shard locks in ascending rank → leaf mutexes (directory,
+WAL) — and never escalates while holding, which is what makes the whole
+arrangement deadlock-free.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence
+
+
+class RWLock:
+    """A classic condition-variable reader–writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Writer-preferring: once a writer waits, new readers queue
+    behind it.  Not reentrant in either mode.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class ShardLockTable:
+    """The latch + per-shard lock family one concurrent engine owns."""
+
+    def __init__(self, n_shards: int) -> None:
+        self.latch = RWLock()
+        self._shards = [RWLock() for _ in range(n_shards)]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def resize(self, n_shards: int) -> None:
+        """Replace the shard locks (call only under ``exclusive()``).
+
+        Because the table only ever changes under the latch held in
+        write mode, any indexing of it under the latch in *read* mode
+        — every context manager below — is race-free against
+        ``bulk_load``'s rebuild.
+        """
+        self._shards = [RWLock() for _ in range(n_shards)]
+
+    def _check(self, rank: int) -> None:
+        """Bound a rank *under the latch*: a handle minted before a
+        concurrent ``bulk_load`` shrank the shard set must fail like
+        the engine's own routing does, not crash the lock table."""
+        if not 0 <= rank < len(self._shards):
+            raise ValueError(
+                f"handle names shard {rank} of {len(self._shards)}")
+
+    @contextmanager
+    def op_write(self, rank: int) -> Iterator[None]:
+        """One routed update: latch shared + that shard exclusive."""
+        with self.latch.read():
+            self._check(rank)
+            with self._shards[rank].write():
+                yield
+
+    @contextmanager
+    def op_read(self, rank: int) -> Iterator[None]:
+        """One routed read: latch shared + that shard shared."""
+        with self.latch.read():
+            self._check(rank)
+            with self._shards[rank].read():
+                yield
+
+    @contextmanager
+    def tail_write(self) -> Iterator[int]:
+        """Write lock on the *current* last shard; yields its rank.
+
+        The rank is resolved under the latch, so an ``append`` racing a
+        ``bulk_load`` that changed the shard count locks the shard the
+        engine will actually route to — never a stale index.
+        """
+        with self.latch.read():
+            rank = len(self._shards) - 1
+            with self._shards[rank].write():
+                yield rank
+
+    @contextmanager
+    def read_all(self, ranks: Optional[Sequence[int]] = None
+                 ) -> Iterator[Sequence[int]]:
+        """Consistent multi-shard read; yields the locked rank set.
+
+        ``None`` (the usual call) means *every* shard, resolved under
+        the latch so a concurrent resize cannot skew the sweep.
+        Acquired in ascending rank (routed ops hold at most one shard
+        lock, so the ordering cannot deadlock); writers of every named
+        shard are excluded together, which is what makes the stride +
+        per-shard images read under this context mutually consistent.
+        """
+        with self.latch.read():
+            if ranks is None:
+                ordered: Sequence[int] = range(len(self._shards))
+            else:
+                ordered = sorted(ranks)
+                for rank in ordered:
+                    self._check(rank)
+            for rank in ordered:
+                self._shards[rank].acquire_read()
+            try:
+                yield ordered
+            finally:
+                for rank in reversed(ordered):
+                    self._shards[rank].release_read()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Stop the world: the latch in write mode.
+
+        Every routed op holds the latch shared, so this alone excludes
+        all of them — no per-shard acquisition sweep needed.
+        """
+        with self.latch.write():
+            yield

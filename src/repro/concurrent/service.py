@@ -1,0 +1,390 @@
+"""`ConcurrentDocument`: the WAL-backed, multi-writer document service.
+
+Composition of the three durability/concurrency pieces this package and
+:mod:`repro.storage` provide:
+
+* in memory, a :class:`repro.concurrent.engine.ConcurrentLTree` — the
+  per-shard-locked sharded engine with zero-lock snapshot reads;
+* on disk, a :class:`repro.storage.pages.PageStore` holding the last
+  **checkpoint** (one ``LTREEARR`` image per shard + manifest, exactly
+  a ``ShardedCompactLTree.save``) and a
+  :class:`repro.storage.wal.WriteAheadLog` holding every logical op
+  since that checkpoint, under group commit.
+
+**Determinism.**  Every mutation is journaled *under its shard's write
+lock*, so the WAL's global record order restricted to one shard equals
+that shard's actual apply order; ops on different shards are
+shard-local and commute.  A serial replay of the merged tape therefore
+reproduces the concurrent execution's final state bit-for-bit — labels,
+slot layout, free lists, stride (which is recomputed from shard heights
+as replay grows them).  This is the property the threaded differential
+harness in ``tests/concurrent`` checks across seeds.
+
+**Recovery** (:meth:`open`) = open the last checkpoint (shard-lazily),
+replay the WAL tail (records with sequence number above the
+checkpoint's watermark), done.  The watermark travels *inside* the
+checkpoint's atomic catalog flip (``extra_blobs``), so a crash between
+"state saved" and "log truncated" cannot double-apply: the stale
+records are simply skipped.  A record torn by a crash mid-append fails
+its CRC and is physically dropped, never deserialized.
+
+**Payload contract.**  Ops are serialized as JSON, so payloads must be
+JSON-serializable (the same constraint ``CompactLTree.to_bytes``
+imposes); tuples come back as lists.  Passing a non-serializable
+payload raises :class:`~repro.errors.StorageError` after the in-memory
+apply — the log is then behind the memory state, so treat the service
+as poisoned and reopen it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.concurrent.engine import ConcurrentLTree, LabelSnapshot
+from repro.core.params import DEFAULT_PARAMS, LTreeParams
+from repro.core.sharded import DEFAULT_N_SHARDS, ShardedCompactLTree
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import ParameterError, StorageError
+from repro.storage.pages import PageStore
+from repro.storage.wal import WriteAheadLog
+
+#: file names a service directory contains
+PAGES_FILE = "pages.ltp"
+WAL_FILE = "ops.wal"
+
+#: blob names inside the page store
+SCHEME_BLOB = "scheme"
+SERVICE_META_BLOB = "service.meta"
+
+#: on-store format version of the service meta blob
+SERVICE_FORMAT_VERSION = 1
+
+
+def _tuple(handle: Sequence[int]) -> tuple[int, int]:
+    return (handle[0], handle[1])
+
+
+def apply_logged_op(engine: Any, op: dict) -> None:
+    """Apply one WAL record to a (raw or wrapped) sharded engine.
+
+    The single decoder for the op vocabulary the journal hook in
+    :class:`~repro.concurrent.engine.ConcurrentLTree` emits —
+    ``insert_after``/``insert_before``, ``append``/``prepend``,
+    ``insert_run_after``/``insert_run_before`` (the §4.1 batch),
+    ``delete``, ``set_payload`` and ``bulk_load``.  Used by recovery
+    and by the test harness's serial replay oracle.
+    """
+    kind = op["op"]
+    if kind == "insert_after":
+        engine.insert_after(_tuple(op["h"]), op["p"])
+    elif kind == "insert_before":
+        engine.insert_before(_tuple(op["h"]), op["p"])
+    elif kind == "append":
+        engine.append(op["p"])
+    elif kind == "prepend":
+        engine.prepend(op["p"])
+    elif kind == "insert_run_after":
+        engine.insert_run_after(_tuple(op["h"]), op["ps"])
+    elif kind == "insert_run_before":
+        engine.insert_run_before(_tuple(op["h"]), op["ps"])
+    elif kind == "delete":
+        engine.mark_deleted(_tuple(op["h"]))
+    elif kind == "set_payload":
+        engine.set_payload(_tuple(op["h"]), op["p"])
+    elif kind == "bulk_load":
+        bounds = op.get("bounds")
+        engine.bulk_load(op["ps"], boundaries=bounds)
+    else:
+        raise StorageError(f"unknown WAL op kind {kind!r}")
+
+
+class ConcurrentDocument:
+    """A durable, multi-writer ordered document over sharded arenas.
+
+    Use the classmethods: :meth:`create` starts a fresh service in a
+    directory, :meth:`open` recovers an existing one (checkpoint +
+    WAL tail).  All mutating methods are thread-safe and may be called
+    from many writer threads; writers anchored in different shards run
+    in parallel.  :meth:`snapshot` gives readers an immutable label
+    view they can query with zero locks against the writers.
+
+    Durability knobs: ``group_commit`` auto-commits the WAL every N
+    ops; :meth:`commit` forces the batch out (one fsync under
+    ``sync=True``); :meth:`checkpoint` folds the log into the page
+    store and truncates it.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> directory = tempfile.mkdtemp()
+    >>> with ConcurrentDocument.create(directory, n_shards=2) as doc:
+    ...     handles = doc.bulk_load(["a", "b", "c", "d"])
+    ...     _ = doc.insert_after(handles[1], "b2")
+    ...     doc.commit()
+    >>> with ConcurrentDocument.open(directory) as doc:
+    ...     doc.payloads()
+    ['a', 'b', 'b2', 'c', 'd']
+    """
+
+    def __init__(self, tree: ConcurrentLTree, store: PageStore,
+                 wal: WriteAheadLog, checkpoint_seq: int,
+                 meta: dict) -> None:
+        self.tree = tree
+        self.store = store
+        self.wal = wal
+        #: sequence number of the last op folded into the page store
+        self.checkpoint_seq = checkpoint_seq
+        self._meta = meta
+        #: test hook called at named crash points ("checkpoint:after-save")
+        self.crash_hook: Callable[[str], None] = lambda name: None
+
+    # ------------------------------------------------------------------
+    # construction and recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, directory: str, params: LTreeParams = DEFAULT_PARAMS,
+               n_shards: int = DEFAULT_N_SHARDS,
+               violator_policy: str = "highest", sync: bool = False,
+               group_commit: Optional[int] = 64,
+               stats: Counters = NULL_COUNTERS,
+               shard_stats: bool = False) -> "ConcurrentDocument":
+        """Start a fresh service in ``directory`` (created if missing).
+
+        The engine parameters are recorded in the store's
+        ``service.meta`` blob, so :meth:`open` needs only the
+        directory.  ``sync=True`` applies the fsync-barrier discipline
+        to *both* files: WAL commits and checkpoint catalog flips
+        survive power loss, at one fsync per batch/flip.
+        """
+        os.makedirs(directory, exist_ok=True)
+        pages_path = os.path.join(directory, PAGES_FILE)
+        wal_path = os.path.join(directory, WAL_FILE)
+        if (os.path.exists(pages_path) and
+                os.path.getsize(pages_path) > 0) or \
+                (os.path.exists(wal_path) and
+                 os.path.getsize(wal_path) > 0):
+            raise StorageError(
+                f"{directory!r} already holds a document service; use "
+                f"open()")
+        store = PageStore(pages_path, sync=sync)
+        try:
+            meta = {
+                "format": SERVICE_FORMAT_VERSION,
+                "f": params.f,
+                "s": params.s,
+                "label_base": params.base,
+                "violator_policy": violator_policy,
+                "n_shards": n_shards,
+                "checkpoint_seq": 0,
+            }
+            store.put_blob(SERVICE_META_BLOB,
+                           json.dumps(meta).encode("utf-8"))
+            wal = WriteAheadLog(wal_path, sync=sync,
+                                group_commit=group_commit)
+        except BaseException:
+            store.close()
+            raise
+        engine = ShardedCompactLTree(params, stats,
+                                     violator_policy=violator_policy,
+                                     n_shards=n_shards,
+                                     shard_stats=shard_stats)
+        tree = ConcurrentLTree(engine, journal=wal.append)
+        return cls(tree, store, wal, checkpoint_seq=0, meta=meta)
+
+    @classmethod
+    def open(cls, directory: str, sync: bool = False,
+             group_commit: Optional[int] = 64,
+             stats: Counters = NULL_COUNTERS,
+             shard_stats: bool = False) -> "ConcurrentDocument":
+        """Recover a service: last checkpoint + replayed WAL tail.
+
+        The checkpoint reopens shard-lazily (only arenas the replayed
+        tail writes are deserialized); records at or below the
+        checkpoint watermark are skipped, a torn trailing record is
+        dropped by CRC before anything deserializes it.
+        """
+        pages_path = os.path.join(directory, PAGES_FILE)
+        if not os.path.exists(pages_path):
+            raise StorageError(
+                f"{directory!r} holds no document service; use create()")
+        store = PageStore(pages_path, sync=sync)
+        try:
+            meta = json.loads(
+                bytes(store.get_blob(SERVICE_META_BLOB)).decode("utf-8"))
+            if meta.get("format") != SERVICE_FORMAT_VERSION:
+                raise ParameterError(
+                    f"unsupported service format {meta.get('format')!r} "
+                    f"(supported: {SERVICE_FORMAT_VERSION})")
+            params = LTreeParams(f=meta["f"], s=meta["s"],
+                                 label_base=meta["label_base"])
+            checkpoint_seq = meta["checkpoint_seq"]
+            wal_path = os.path.join(directory, WAL_FILE)
+            wal_existed = os.path.exists(wal_path) and \
+                os.path.getsize(wal_path) > 0
+            wal = WriteAheadLog(wal_path, sync=sync,
+                                group_commit=group_commit)
+        except BaseException:
+            store.close()
+            raise
+        try:
+            if not wal_existed and checkpoint_seq > 0:
+                # the log vanished (partial restore of the directory?).
+                # Everything up to the watermark is in the checkpoint,
+                # so the store itself is whole — but a fresh log MUST
+                # continue the sequence at watermark+1: restarting at 1
+                # would hand new commits sequence numbers the next
+                # recovery's replay(after_seq=watermark) silently skips
+                wal.truncate(checkpoint_seq + 1)
+            elif wal.base_seq > checkpoint_seq + 1:
+                # records between the watermark and the log's first
+                # sequence number are unaccounted for — this log does
+                # not belong to this checkpoint; recovering would
+                # silently lose the gap
+                raise StorageError(
+                    f"WAL starts at sequence {wal.base_seq} but the "
+                    f"checkpoint watermark is {checkpoint_seq}: "
+                    f"records {checkpoint_seq + 1}..{wal.base_seq - 1} "
+                    f"are missing")
+            if store.has_blob(SCHEME_BLOB):
+                engine = ShardedCompactLTree.load(
+                    store, SCHEME_BLOB, stats=stats,
+                    shard_stats=shard_stats)
+            else:
+                # crashed (or never checkpointed) before the first
+                # checkpoint: everything lives in the WAL
+                engine = ShardedCompactLTree(
+                    params, stats,
+                    violator_policy=meta["violator_policy"],
+                    n_shards=meta["n_shards"],
+                    shard_stats=shard_stats)
+            for _seq, op in wal.replay(after_seq=checkpoint_seq):
+                apply_logged_op(engine, op)
+        except BaseException:
+            wal.close()
+            store.close()
+            raise
+        tree = ConcurrentLTree(engine, journal=wal.append)
+        return cls(tree, store, wal, checkpoint_seq=checkpoint_seq,
+                   meta=meta)
+
+    # ------------------------------------------------------------------
+    # logical ops (thread-safe; journaled under the shard lock)
+    # ------------------------------------------------------------------
+    def bulk_load(self, payloads: Sequence[Any],
+                  boundaries: Optional[Sequence[int]] = None
+                  ) -> list[tuple[int, int]]:
+        return self.tree.bulk_load(payloads, boundaries=boundaries)
+
+    def insert_after(self, handle: tuple[int, int],
+                     payload: Any) -> tuple[int, int]:
+        return self.tree.insert_after(handle, payload)
+
+    def insert_before(self, handle: tuple[int, int],
+                      payload: Any) -> tuple[int, int]:
+        return self.tree.insert_before(handle, payload)
+
+    def append(self, payload: Any) -> tuple[int, int]:
+        return self.tree.append(payload)
+
+    def prepend(self, payload: Any) -> tuple[int, int]:
+        return self.tree.prepend(payload)
+
+    def insert_run_after(self, handle: tuple[int, int],
+                         payloads: Sequence[Any]) -> list[tuple[int, int]]:
+        return self.tree.insert_run_after(handle, payloads)
+
+    def insert_run_before(self, handle: tuple[int, int],
+                          payloads: Sequence[Any]
+                          ) -> list[tuple[int, int]]:
+        return self.tree.insert_run_before(handle, payloads)
+
+    def delete(self, handle: tuple[int, int]) -> None:
+        self.tree.mark_deleted(handle)
+
+    def set_payload(self, handle: tuple[int, int], payload: Any) -> None:
+        self.tree.set_payload(handle, payload)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def label(self, handle: tuple[int, int]) -> int:
+        return self.tree.num(handle)
+
+    def labels(self, include_deleted: bool = False) -> list[int]:
+        return self.tree.labels(include_deleted)
+
+    def label_map(self) -> dict[tuple[int, int], int]:
+        return self.tree.label_map()
+
+    def payload(self, handle: tuple[int, int]) -> Any:
+        return self.tree.payload(handle)
+
+    def payloads(self) -> list[Any]:
+        return self.tree.payloads(include_deleted=False)
+
+    def handles(self) -> Iterator[tuple[int, int]]:
+        return self.tree.iter_leaves(include_deleted=False)
+
+    def snapshot(self) -> LabelSnapshot:
+        """Zero-lock reader view; see :class:`LabelSnapshot`."""
+        return self.tree.snapshot()
+
+    # ------------------------------------------------------------------
+    # durability
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Force the buffered WAL batch out (group commit boundary)."""
+        self.wal.commit()
+
+    def checkpoint(self, include_payloads: bool = True) -> int:
+        """Fold the WAL into the page store; returns the watermark.
+
+        Stop-the-world for its *whole* duration — watermark capture,
+        engine save and WAL truncate all happen under one exclusive
+        hold of the latch, so no writer can journal an op between the
+        watermark read and the truncate (which would silently erase a
+        committed record the image does not contain), or sneak an op
+        into the saved image with a sequence number above the
+        watermark (which a crash would then double-apply).  The engine
+        image and the ``checkpoint_seq`` watermark land under **one**
+        atomic catalog flip (so recovery can never see one without the
+        other), then the WAL is truncated.  A crash anywhere in
+        between only leaves already-applied records in the log, which
+        the watermark makes recovery skip.
+        """
+        with self.tree.exclusive():
+            self.wal.commit()
+            watermark = self.wal.last_seq
+            meta = dict(self._meta)
+            meta["checkpoint_seq"] = watermark
+            # the raw engine: the latch is already held (not reentrant)
+            self.tree.engine.save(
+                self.store, SCHEME_BLOB,
+                include_payloads=include_payloads,
+                extra_blobs={
+                    SERVICE_META_BLOB:
+                        json.dumps(meta).encode("utf-8")})
+            self._meta = meta
+            self.checkpoint_seq = watermark
+            self.crash_hook("checkpoint:after-save")
+            self.wal.truncate(watermark + 1)
+        return watermark
+
+    def close(self) -> None:
+        """Commit the WAL tail and release both files (no checkpoint)."""
+        self.wal.close()
+        self.store.close()
+
+    def __enter__(self) -> "ConcurrentDocument":
+        return self
+
+    def __exit__(self, *exc_info: object) -> Optional[bool]:
+        self.close()
+        return None
+
+    def __repr__(self) -> str:
+        return (f"ConcurrentDocument(shards={self.tree.shard_count}, "
+                f"checkpoint_seq={self.checkpoint_seq}, "
+                f"wal_last_seq={self.wal.last_seq})")

@@ -235,6 +235,12 @@ class ShardedCompactLTree:
     (1, 0)
     """
 
+    #: when True, routed updates do *not* bump the stride inline; the
+    #: caller promises to call :meth:`grow_directory` itself (see that
+    #: method).  A class attribute so every construction path —
+    #: including :meth:`load`'s ``__new__`` — starts with inline growth.
+    defer_directory_growth = False
+
     def __init__(self, params: LTreeParams, stats: Counters = NULL_COUNTERS,
                  violator_policy: str = "highest",
                  n_shards: int = DEFAULT_N_SHARDS,
@@ -305,10 +311,38 @@ class ShardedCompactLTree:
 
     def _grow_directory(self, shard: _Shard) -> None:
         """Bump the stride when ``shard`` outgrew the directory height."""
+        if self.defer_directory_growth:
+            return
         if shard.height > self._directory_height:
             self._directory_height = shard.height
             self._stride = self.params.base ** self._directory_height
             self.directory_rebuilds += 1
+
+    def needs_directory_growth(self, rank: int) -> bool:
+        """Whether shard ``rank`` has outgrown the directory stride.
+
+        Only ever True under ``defer_directory_growth`` (inline growth
+        keeps the invariant continuously); the deferring caller checks
+        this after each update and performs :meth:`grow_directory`
+        under its own serialization.
+        """
+        return self._shards[rank].height > self._directory_height
+
+    def grow_directory(self, rank: int) -> bool:
+        """Deferred counterpart of the inline stride bump (O(1)).
+
+        Returns True when the stride actually grew.  The caller must
+        ensure no reader composes shard ``rank``'s labels between the
+        update that grew it and this call — e.g. by holding that
+        shard's write lock across both.
+        """
+        shard = self._shards[rank]
+        if shard.height <= self._directory_height:
+            return False
+        self._directory_height = shard.height
+        self._stride = self.params.base ** self._directory_height
+        self.directory_rebuilds += 1
+        return True
 
     def _shard_at(self, handle: tuple[int, int]) -> tuple[_Shard, int]:
         rank, slot = handle
@@ -321,19 +355,49 @@ class ShardedCompactLTree:
     # ------------------------------------------------------------------
     # bulk loading
     # ------------------------------------------------------------------
-    def bulk_load(self, payloads: Sequence[Any]) -> list[tuple[int, int]]:
+    def bulk_load(self, payloads: Sequence[Any],
+                  boundaries: Optional[Sequence[int]] = None
+                  ) -> list[tuple[int, int]]:
         """Split ``payloads`` into contiguous chunks, one arena each.
 
         Existing handles are invalidated (same contract as the flat
         engine's bulk load).  Returns the new handles in order.
+
+        By default the items are split into ``n_shards`` balanced
+        chunks.  ``boundaries`` overrides the split with explicit chunk
+        *sizes* (each >= 1, summing to ``len(payloads)``): chunk ``k``
+        becomes shard ``k``'s arena.  This is how the document layer
+        aligns shards with top-level document children — every
+        subtree's tokens land in one arena, so a subtree edit provably
+        writes one shard (see ``LabeledDocument``).  The number of
+        boundaries decides the shard count, ``n_shards`` is only the
+        default split's target.
         """
         items = list(payloads)
-        shard_count = min(self.n_shards, len(items)) or 1
-        self._shards = [self._fresh_shard() for _ in range(shard_count)]
+        if boundaries is not None:
+            sizes = [int(size) for size in boundaries]
+            if not sizes:
+                raise ParameterError("boundaries must name at least one "
+                                     "chunk")
+            if any(size < 1 for size in sizes):
+                raise ParameterError(
+                    f"every boundary chunk needs >= 1 item, got {sizes}")
+            if sum(sizes) != len(items):
+                raise ParameterError(
+                    f"boundaries cover {sum(sizes)} items, bulk load has "
+                    f"{len(items)}")
+        else:
+            shard_count = min(self.n_shards, len(items)) or 1
+            sizes = []
+            start = 0
+            for rank in range(shard_count):
+                size = (len(items) - start) // (shard_count - rank)
+                sizes.append(size)
+                start += size
+        self._shards = [self._fresh_shard() for _ in sizes]
         handles: list[tuple[int, int]] = []
         start = 0
-        for rank, shard in enumerate(self._shards):
-            size = (len(items) - start) // (shard_count - rank)
+        for rank, (shard, size) in enumerate(zip(self._shards, sizes)):
             slots = shard.tree.bulk_load(items[start:start + size])
             handles.extend((rank, slot) for slot in slots)
             start += size
@@ -518,11 +582,40 @@ class ShardedCompactLTree:
         self._refresh_directory()
         return mapping
 
+    def shard_image(self, rank: int) -> tuple[Any, list[int], dict]:
+        """``(label image, live leaf slots, shape meta)`` of one shard.
+
+        The image is the same payload-free ``LTREEARR`` byte image the
+        lazy-reopen path serves label reads from; a still-lazy shard
+        hands back its existing image with **zero** copies or
+        deserialization.  This is the pinning hook snapshot readers use
+        (:meth:`repro.concurrent.engine.ConcurrentLTree.snapshot`): the
+        returned triple is immutable with respect to later writes, so a
+        reader can answer label/order/containment queries off it with
+        no locks against live writers.
+        """
+        shard = self._shards[rank]
+        meta = {"height": shard.height, "n_leaves": shard.n_leaves,
+                "tombstones": shard.tombstone_count()}
+        if shard.is_lazy:
+            image = shard.image
+            if not isinstance(image, bytes):
+                # a memoryview into the store's mmap aliases the file:
+                # a later save/checkpoint rewriting the span in place
+                # would mutate (or tear) the "immutable" pin under a
+                # zero-lock reader.  The pin must own its bytes.
+                image = bytes(image)
+            return image, list(shard.live), meta
+        return (shard.tree.to_bytes(include_payloads=False),
+                list(shard.tree.iter_leaves(include_deleted=False)),
+                meta)
+
     # ------------------------------------------------------------------
     # persistence (one LTREEARR blob span per shard + manifest)
     # ------------------------------------------------------------------
     def save(self, store: Any, name: str = "scheme",
-             include_payloads: bool = True) -> None:
+             include_payloads: bool = True,
+             extra_blobs: Optional[dict[str, bytes]] = None) -> None:
         """Persist every arena as its own blob span plus a manifest.
 
         Blob layout under ``name``: ``{name}.s{rank}`` holds shard
@@ -548,6 +641,13 @@ class ShardedCompactLTree:
         ``include_payloads`` asks for them (buffered payloads are
         irrelevant when payloads are not persisted, so the document
         layer's ``include_payloads=False`` saves stay fully lazy).
+
+        ``extra_blobs`` ride along inside the *same* atomic catalog
+        flip on a batched store (a ``ConcurrentDocument`` checkpoint
+        stores its WAL watermark this way, so "engine state saved" and
+        "checkpoint sequence recorded" can never be observed apart); on
+        a plain ``put_blob`` store they are written just before the
+        manifest.
         """
         entries = []
         puts: dict[str, bytes] = {}
@@ -611,6 +711,13 @@ class ShardedCompactLTree:
                     tail = tail[:-len(".leaves")]
                 if tail.isdigit() and int(tail) >= len(self._shards):
                     stale.append(blob_name)
+        if extra_blobs:
+            overlap = set(extra_blobs) & (set(puts) | {name})
+            if overlap:
+                raise ParameterError(
+                    f"extra_blobs collide with the scheme's own blob "
+                    f"names: {sorted(overlap)}")
+            puts.update(extra_blobs)
         if hasattr(store, "put_blobs"):
             # one catalog flip: arenas, sidecars, manifest and stale-blob
             # drops become visible atomically (and under sync=True the

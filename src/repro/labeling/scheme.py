@@ -41,6 +41,7 @@ to zero (``benchmarks/bench_query_containment.py`` tracks it).  Pass
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Iterator, Optional
 
 from repro.core.params import LTreeParams
@@ -50,7 +51,8 @@ from repro.errors import ParameterError
 from repro.labeling.containment import Region
 from repro.order.base import OrderedLabeling
 from repro.order.compact_list import (CompactEngineLabeling,
-                                      CompactListLabeling)
+                                      CompactListLabeling,
+                                      sync_override)
 from repro.order.ltree_list import LTreeListLabeling
 from repro.order.registry import default_scheme
 from repro.order.sharded_list import ShardedListLabeling
@@ -92,6 +94,53 @@ def _emit_tokens(node: XMLNode) -> Iterator[tuple[str, XMLNode]]:
         yield (END, node)
     else:
         yield (POINT, node)
+
+
+def _subtree_token_count(node: XMLNode) -> int:
+    """Tokens a subtree contributes to the document list."""
+    if isinstance(node, XMLElement):
+        return 2 + sum(_subtree_token_count(child)
+                       for child in node.children)
+    return 1
+
+
+def shard_boundaries(root: XMLElement, n_shards: int) -> Optional[list[int]]:
+    """Token-chunk sizes aligning shard arenas with top-level children.
+
+    Groups the root's children into at most ``n_shards`` *contiguous*
+    runs of roughly equal token weight and returns one chunk size per
+    run (the root's begin tag rides with the first run, its end tag
+    with the last), shaped for the sharded engine's ``boundaries=``.
+    Every top-level subtree then lives wholly inside one arena, so an
+    edit under one top-level child provably writes one shard — the
+    alignment that makes multi-writer editing contention-free on real
+    documents.  Returns ``None`` when there is nothing to partition
+    (no children, or one shard asked for).
+    """
+    children = root.children
+    if n_shards < 2 or not children:
+        return None
+    weights = [_subtree_token_count(child) for child in children]
+    sizes: list[int] = []
+    remaining = sum(weights)
+    groups_left = min(n_shards, len(children))
+    current = 0
+    for index, weight in enumerate(weights):
+        current += weight
+        remaining -= weight
+        children_left = len(children) - index - 1
+        # close the run once it carries its fair share of what is left,
+        # as long as every later run can still get >= 1 child
+        if groups_left > 1 and children_left >= groups_left - 1 and \
+                current * groups_left >= current + remaining:
+            sizes.append(current)
+            current = 0
+            groups_left -= 1
+    if current:
+        sizes.append(current)
+    sizes[0] += 1       # the root's begin tag
+    sizes[-1] += 1      # the root's end tag
+    return sizes
 
 
 class LabeledDocument:
@@ -140,11 +189,21 @@ class LabeledDocument:
         self.stats = stats
         self._cache_labels = cache_labels
         self._label_cache: Optional[dict[Any, Any]] = None
+        #: page store this document owns (set by ``open`` from a path)
+        self.store: Optional[Any] = None
+        self._owns_store = False
         self._bulk_label()
 
     def _bulk_label(self) -> None:
         pairs = list(_emit_tokens(self.document.root))
-        handles = self.scheme.bulk_load(pairs)
+        if getattr(self.scheme, "supports_partitioned_bulk", False):
+            # shard-aligned bulk load: one contiguous run of top-level
+            # children per arena, so a subtree edit writes one shard
+            boundaries = shard_boundaries(self.document.root,
+                                          self.scheme.tree.n_shards)
+            handles = self.scheme.bulk_load(pairs, boundaries=boundaries)
+        else:
+            handles = self.scheme.bulk_load(pairs)
         self._attach(pairs, handles)
         self._label_cache = None
 
@@ -352,12 +411,22 @@ class LabeledDocument:
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
-    def save(self, store: Any) -> None:
+    def save(self, store: Any = None,
+             sync: Optional[bool] = None) -> None:
         """Persist document text and labels to a page store.
 
-        Three blobs land in ``store`` (canonically a
-        :class:`repro.storage.pages.PageStore`): the serialized XML, the
-        scheme state, and a small JSON ``meta`` record.  The scheme goes
+        ``store`` is a :class:`repro.storage.pages.PageStore` (or any
+        blob store), a file *path* (a store is opened — and closed —
+        around the save), or ``None`` to reuse the store this document
+        was opened from (:meth:`open` with a path).  ``sync=True``
+        applies the fsync-barrier durability discipline to every
+        catalog flip of this save — threaded down to ``PageStore``
+        whichever way the store was obtained — so the saved document
+        survives power loss, not only process crashes; the default
+        keeps the store's own setting.
+
+        Three blobs land in the store: the serialized XML, the scheme
+        state, and a small JSON ``meta`` record.  The scheme goes
         as the struct-of-arrays byte image for ``ltree-compact``
         (tombstones and free-list preserved exactly), as one such image
         *per shard* plus a manifest for ``ltree-sharded`` (reopened
@@ -368,6 +437,20 @@ class LabeledDocument:
         Raises :class:`ParameterError` (before writing anything) when
         that one-to-one match would not survive the XML round trip.
         """
+        target = store if store is not None else self.store
+        if target is None:
+            raise ValueError(
+                "no store to save to: pass a store or a path (only "
+                "documents opened from a path remember their store)")
+        if isinstance(target, (str, os.PathLike)):
+            from repro.storage.pages import PageStore
+            with PageStore(os.fspath(target), sync=bool(sync)) as opened:
+                self._save_to(opened)
+            return
+        with sync_override(target, sync):
+            self._save_to(target)
+
+    def _save_to(self, store: Any) -> None:
         scheme = self.scheme
         text = serialize(self.document)
         # fail *now* if the token stream cannot survive the XML round
@@ -409,8 +492,9 @@ class LabeledDocument:
         }).encode("utf-8"))
 
     @classmethod
-    def open(cls, store: Any,
-             stats: Counters = NULL_COUNTERS) -> "LabeledDocument":
+    def open(cls, store: Any, stats: Counters = NULL_COUNTERS,
+             sync: Optional[bool] = None,
+             concurrent: bool = False) -> "LabeledDocument":
         """Reopen a document saved by :meth:`save` — without relabeling.
 
         The XML text is re-parsed and its token stream zipped against the
@@ -418,53 +502,103 @@ class LabeledDocument:
         every node gets back the *exact* label it held at save time;
         nothing is re-bulk-loaded and future edits behave as if the
         process had never stopped.
-        """
-        meta = json.loads(bytes(store.get_blob(META_BLOB)).decode("utf-8"))
-        if meta.get("format") != DOCUMENT_FORMAT_VERSION:
-            raise ParameterError(
-                f"unsupported document format {meta.get('format')!r} "
-                f"(supported: {DOCUMENT_FORMAT_VERSION})")
-        document = parse(bytes(store.get_blob(XML_BLOB)).decode("utf-8"))
-        encoding = meta.get("encoding")
-        if encoding == "compact-bytes":
-            scheme: OrderedLabeling = CompactListLabeling.load(
-                store, SCHEME_BLOB, stats=stats)
-            reattach = scheme.tree.set_payload
-        elif encoding == "sharded-bytes":
-            # shard-lazy: only the manifest and the per-shard live-leaf
-            # sidecars are decoded here; an arena is deserialized the
-            # first time an edit touches it (payload reattachment below
-            # is buffered on still-lazy shards)
-            scheme = ShardedListLabeling.load(store, SCHEME_BLOB,
-                                              stats=stats)
-            reattach = scheme.tree.set_payload
-        elif encoding == "label-snapshot":
-            data = json.loads(
-                bytes(store.get_blob(SCHEME_BLOB)).decode("utf-8"))
-            scheme = LTreeListLabeling._wrap(restore(data, stats=stats),
-                                             stats)
 
-            def reattach(handle: Any, payload: Any) -> None:
-                handle.payload = payload
-        else:
-            raise ParameterError(
-                f"unknown scheme encoding {encoding!r} in saved document")
-        labeled = cls.__new__(cls)
-        labeled.document = document
-        labeled.scheme = scheme
-        labeled.stats = stats
-        labeled._cache_labels = True
-        labeled._label_cache = None
-        pairs = list(_emit_tokens(document.root))
-        handles = list(scheme.handles())
-        if len(pairs) != len(handles):
-            raise ParameterError(
-                f"document has {len(pairs)} tokens but the restored "
-                f"scheme holds {len(handles)} live labels")
-        labeled._attach(pairs, handles)
-        for pair, handle in zip(pairs, handles):
-            reattach(handle, pair)
-        return labeled
+        ``store`` may be a file *path*: the document then owns the
+        opened :class:`~repro.storage.pages.PageStore` (kept on
+        :attr:`store`, so a bare ``save()`` re-saves in place and
+        :meth:`close` releases it), created with the ``sync``
+        discipline asked for.
+
+        ``concurrent=True`` (documents saved with the ``ltree-sharded``
+        scheme only) wraps the restored engine in
+        :class:`repro.concurrent.engine.ConcurrentLTree`: *engine-level*
+        access through ``scheme.tree`` becomes thread-safe — per-shard
+        updates from writers under different top-level subtrees run in
+        parallel, and ``scheme.tree.snapshot()`` serves zero-lock label
+        snapshots.  The DOM, this wrapper object and the scheme
+        adapter's own bookkeeping (``len(scheme)``, its
+        deleted-handle pre-checks) stay single-threaded — multi-thread
+        the engine, not the document; for WAL-backed durability use
+        :class:`repro.concurrent.service.ConcurrentDocument`.
+        """
+        owns_store = isinstance(store, (str, os.PathLike))
+        if owns_store:
+            from repro.storage.pages import PageStore
+            store = PageStore(os.fspath(store), sync=bool(sync))
+        try:
+            meta = json.loads(bytes(store.get_blob(META_BLOB)).decode("utf-8"))
+            if meta.get("format") != DOCUMENT_FORMAT_VERSION:
+                raise ParameterError(
+                    f"unsupported document format {meta.get('format')!r} "
+                    f"(supported: {DOCUMENT_FORMAT_VERSION})")
+            document = parse(bytes(store.get_blob(XML_BLOB)).decode("utf-8"))
+            encoding = meta.get("encoding")
+            if encoding == "compact-bytes":
+                scheme: OrderedLabeling = CompactListLabeling.load(
+                    store, SCHEME_BLOB, stats=stats)
+                reattach = scheme.tree.set_payload
+            elif encoding == "sharded-bytes":
+                # shard-lazy: only the manifest and the per-shard live-leaf
+                # sidecars are decoded here; an arena is deserialized the
+                # first time an edit touches it (payload reattachment below
+                # is buffered on still-lazy shards)
+                scheme = ShardedListLabeling.load(store, SCHEME_BLOB,
+                                                  stats=stats)
+                reattach = scheme.tree.set_payload
+            elif encoding == "label-snapshot":
+                data = json.loads(
+                    bytes(store.get_blob(SCHEME_BLOB)).decode("utf-8"))
+                scheme = LTreeListLabeling._wrap(restore(data, stats=stats),
+                                                 stats)
+
+                def reattach(handle: Any, payload: Any) -> None:
+                    handle.payload = payload
+            else:
+                raise ParameterError(
+                    f"unknown scheme encoding {encoding!r} in saved document")
+            if concurrent and encoding != "sharded-bytes":
+                raise ParameterError(
+                    f"concurrent=True needs a document saved with the "
+                    f"ltree-sharded scheme, this one used {encoding!r}")
+            labeled = cls.__new__(cls)
+            labeled.document = document
+            labeled.scheme = scheme
+            labeled.stats = stats
+            labeled._cache_labels = True
+            labeled._label_cache = None
+            labeled.store = store if owns_store else None
+            labeled._owns_store = owns_store
+            pairs = list(_emit_tokens(document.root))
+            handles = list(scheme.handles())
+            if len(pairs) != len(handles):
+                raise ParameterError(
+                    f"document has {len(pairs)} tokens but the restored "
+                    f"scheme holds {len(handles)} live labels")
+            labeled._attach(pairs, handles)
+            for pair, handle in zip(pairs, handles):
+                reattach(handle, pair)
+            if concurrent:
+                from repro.concurrent.engine import ConcurrentLTree
+                scheme.tree = ConcurrentLTree(scheme.tree)
+            return labeled
+        except BaseException:
+            # a half-validated open must not leak the store it
+            # created from the path (fd + mmap would outlive the
+            # exception); a caller-owned store stays the caller's
+            if owns_store:
+                store.close()
+            raise
+
+    def close(self) -> None:
+        """Release the page store this document opened from a path.
+
+        A no-op for documents built in memory or opened from a caller's
+        store (the caller owns that one).
+        """
+        if self._owns_store and self.store is not None:
+            self.store.close()
+        self.store = None
+        self._owns_store = False
 
     # ------------------------------------------------------------------
     # validation (tests)

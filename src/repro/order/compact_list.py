@@ -22,12 +22,45 @@ the subclasses only choose the engine and forward its extra knobs.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence, Type
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence, Type
 
 from repro.core.compact import CompactLTree
 from repro.core.params import DEFAULT_PARAMS, LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
+from repro.errors import StorageError
 from repro.order.base import OrderedLabeling
+
+
+@contextmanager
+def sync_override(store: Any, sync: Optional[bool]) -> Iterator[None]:
+    """Temporarily force a store's fsync-barrier discipline.
+
+    ``sync=None`` leaves the store as opened.  ``True``/``False``
+    overrides the store's ``sync`` attribute (the knob
+    :class:`repro.storage.pages.PageStore` exposes) for the duration —
+    how a *caller of save()* opts into power-loss durability for one
+    save without owning the store's construction.  Asking for
+    ``sync=True`` on a store that has no such discipline raises
+    :class:`~repro.errors.StorageError` instead of silently degrading
+    the durability the caller requested.
+    """
+    if sync is None:
+        yield
+        return
+    if not hasattr(store, "sync"):
+        if sync:
+            raise StorageError(
+                f"{type(store).__name__} has no sync attribute; cannot "
+                f"honor sync=True (use repro.storage.pages.PageStore)")
+        yield
+        return
+    previous = store.sync
+    store.sync = bool(sync)
+    try:
+        yield
+    finally:
+        store.sync = previous
 
 
 class CompactEngineLabeling(OrderedLabeling):
@@ -47,8 +80,11 @@ class CompactEngineLabeling(OrderedLabeling):
         self.tree = self.ENGINE(params, stats, **engine_kwargs)
         self._live = 0
 
-    def bulk_load(self, payloads: Sequence[Any]) -> list[Any]:
-        handles = self.tree.bulk_load(payloads)
+    def bulk_load(self, payloads: Sequence[Any],
+                  **engine_kwargs: Any) -> list[Any]:
+        """Engine bulk load; extra keywords go to engines that take
+        them (the sharded engine's ``boundaries=``)."""
+        handles = self.tree.bulk_load(payloads, **engine_kwargs)
         self._live = len(handles)
         return handles
 
@@ -118,7 +154,8 @@ class CompactEngineLabeling(OrderedLabeling):
 
     # -- persistence -----------------------------------------------------
     def save(self, store: Any, name: str = "scheme",
-             include_payloads: bool = True) -> None:
+             include_payloads: bool = True,
+             sync: Optional[bool] = None) -> None:
         """Persist the engine state under blob ``name`` of a page store.
 
         The engine's byte image(s) — tombstones and free-list included —
@@ -126,8 +163,16 @@ class CompactEngineLabeling(OrderedLabeling):
         :class:`repro.storage.pages.PageStore`) so :meth:`load` reopens
         a scheme whose labels, counters and future splits are identical
         to this one's.
+
+        ``sync=True`` brackets the store's catalog flips with fsync
+        barriers for the duration of this save (see
+        :func:`sync_override`), so the saved image is durable against
+        power loss, not only process crashes, without reopening the
+        store; ``None`` (default) keeps whatever discipline the store
+        was opened with.
         """
-        self.tree.save(store, name, include_payloads=include_payloads)
+        with sync_override(store, sync):
+            self.tree.save(store, name, include_payloads=include_payloads)
 
     @classmethod
     def load(cls, store: Any, name: str = "scheme",

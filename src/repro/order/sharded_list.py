@@ -25,11 +25,23 @@ from repro.order.compact_list import CompactEngineLabeling
 
 
 class ShardedListLabeling(CompactEngineLabeling):
-    """Order maintenance over per-shard compact L-Tree arenas."""
+    """Order maintenance over per-shard compact L-Tree arenas.
+
+    ``bulk_load`` accepts the engine's ``boundaries=`` keyword
+    (explicit chunk sizes, one shard each) — the hook
+    :class:`repro.labeling.scheme.LabeledDocument` uses to align
+    shards with top-level document children, so a subtree edit
+    provably writes one arena.
+    """
 
     name = "ltree-sharded"
 
     ENGINE = ShardedCompactLTree
+
+    #: the document layer partitions its token stream by top-level
+    #: children when the scheme advertises this (see
+    #: ``LabeledDocument._bulk_label``)
+    supports_partitioned_bulk = True
 
     def __init__(self, params: LTreeParams = DEFAULT_PARAMS,
                  stats: Counters = NULL_COUNTERS,

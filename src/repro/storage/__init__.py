@@ -1,8 +1,24 @@
-"""Storage substrate: counted B+-tree, the §3.1 page *cost model*
-(:mod:`repro.storage.pager`), the actual page-backed file store
-(:mod:`repro.storage.pages`), a mini relational engine, and the two
+"""Storage substrate: counted B+-tree, a mini relational engine, the two
 RDBMS shredding strategies the paper contrasts (edge table vs
-region-interval table)."""
+region-interval table), and **three distinct disk layers** that are easy
+to confuse:
+
+* :mod:`repro.storage.pager` — the §3.1 page-I/O **cost model**.  Never
+  touches a file; it *prices* how many pages an access pattern would
+  read so experiments can report the paper's metric.
+* :mod:`repro.storage.pages` — the actual **page store**
+  (:class:`PageStore`): one file of fixed-size pages with an immutable
+  superblock, two alternating CRC'd catalog slots (crash-consistent
+  flips, ``sync=True`` for fsync barriers), an LRU buffer pool, an mmap
+  read path, batched atomic ``put_blobs`` and ``vacuum``.  This is
+  where whole engine images (checkpoints) live.
+* :mod:`repro.storage.wal` — the **write-ahead log**
+  (:class:`WriteAheadLog`): CRC'd logical op records with group commit,
+  making the gap *between* two page-store checkpoints durable.  A torn
+  trailing record is detected and dropped, never deserialized;
+  :class:`repro.concurrent.service.ConcurrentDocument` composes the
+  two into checkpoint + replayed-tail recovery.
+"""
 
 from repro.storage.btree import CountedBTree
 from repro.storage.edge_table import EDGE_COLUMNS, EdgeTableStore
@@ -13,6 +29,7 @@ from repro.storage.pages import PageStore
 from repro.storage.relational import (HashIndex, SortedIndex, Table,
                                       index_join, merge_interval_join,
                                       nested_loop_join)
+from repro.storage.wal import WriteAheadLog
 
 __all__ = [
     "CountedBTree",
@@ -30,4 +47,5 @@ __all__ = [
     "IOReport",
     "estimate_io",
     "PageStore",
+    "WriteAheadLog",
 ]

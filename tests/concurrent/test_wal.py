@@ -1,0 +1,230 @@
+"""WriteAheadLog: record round-trips, group commit, torn-tail recovery.
+
+The durability contract under test: every *committed* record replays
+exactly once, in order; anything torn by a crash mid-append fails its
+CRC and is physically dropped — never deserialized; truncation (the
+checkpoint's tail fold) is atomic against crashes at any byte.
+"""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.wal import (_RECORD, _WAL_HEADER, WAL_FORMAT_VERSION,
+                               WriteAheadLog)
+
+
+def _ops(n, start=0):
+    return [{"op": "insert_after", "h": [0, i], "p": f"p{i}"}
+            for i in range(start, start + n)]
+
+
+class TestRoundTrip:
+    def test_append_commit_replay(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            seqs = [wal.append(op) for op in _ops(5)]
+            assert seqs == [1, 2, 3, 4, 5]
+            assert wal.pending_records == 5
+            wal.commit()
+            assert wal.pending_records == 0
+        with WriteAheadLog(path) as wal:
+            replayed = list(wal.replay())
+            assert [seq for seq, _ in replayed] == [1, 2, 3, 4, 5]
+            assert [op for _, op in replayed] == _ops(5)
+
+    def test_replay_after_seq_skips_prefix(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            for op in _ops(6):
+                wal.append(op)
+            assert [seq for seq, _ in wal.replay(after_seq=4)] == [5, 6]
+
+    def test_uncommitted_tail_is_lost_on_crash(self, tmp_path):
+        """append() alone is not durable — the group-commit contract."""
+        path = str(tmp_path / "doc.wal")
+        wal = WriteAheadLog(path)
+        wal.append({"op": "append", "p": "committed"})
+        wal.commit()
+        wal.append({"op": "append", "p": "buffered"})
+        # crash: drop the object without close()
+        wal._file.close()
+        with WriteAheadLog(path) as back:
+            ops = [op for _, op in back.replay()]
+            assert ops == [{"op": "append", "p": "committed"}]
+
+    def test_live_replay_sees_buffered_records(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            wal.append({"op": "append", "p": 1})
+            assert [op["p"] for _, op in wal.replay()] == [1]
+            assert wal.pending_records == 0      # replay committed it
+
+    def test_non_jsonable_op_rejected_before_buffering(self, tmp_path):
+        with WriteAheadLog(str(tmp_path / "doc.wal")) as wal:
+            with pytest.raises(StorageError, match="JSON"):
+                wal.append({"op": "append", "p": object()})
+            assert wal.pending_records == 0
+            assert wal.last_seq == 0
+
+
+class TestGroupCommit:
+    def test_auto_commit_every_n(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path, group_commit=4) as wal:
+            for op in _ops(10):
+                wal.append(op)
+            assert wal.commits == 2               # two full batches
+            assert wal.pending_records == 2       # remainder buffered
+            wal.commit()
+            assert wal.commits == 3
+
+    def test_one_fsync_per_batch_not_per_record(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path, sync=True) as wal:
+            for op in _ops(50):
+                wal.append(op)
+            wal.commit()
+            assert wal.records_appended == 50
+            assert wal.fsyncs == 1
+
+    def test_rejects_bad_group_commit(self, tmp_path):
+        with pytest.raises(StorageError):
+            WriteAheadLog(str(tmp_path / "doc.wal"), group_commit=0)
+
+
+class TestTornTail:
+    def _committed(self, tmp_path, n=4):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            for op in _ops(n):
+                wal.append(op)
+        return path
+
+    def test_truncated_mid_record_drops_only_the_tail(self, tmp_path):
+        path = self._committed(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 7)             # tear the last record
+        with WriteAheadLog(path) as wal:
+            assert wal.dropped_bytes > 0
+            assert [seq for seq, _ in wal.replay()] == [1, 2, 3]
+        # the torn bytes are physically gone: a second open is clean
+        with WriteAheadLog(path) as wal:
+            assert wal.dropped_bytes == 0
+
+    def test_garbage_tail_dropped_by_crc(self, tmp_path):
+        path = self._committed(tmp_path)
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 5)  # torn mid-append
+        with WriteAheadLog(path) as wal:
+            assert wal.dropped_bytes == 20
+            assert [seq for seq, _ in wal.replay()] == [1, 2, 3, 4]
+
+    def test_corrupt_middle_record_cuts_everything_after(self, tmp_path):
+        """A record that fails its CRC ends the valid prefix — nothing
+        after it can be trusted (sequence numbers would lie)."""
+        path = self._committed(tmp_path, n=5)
+        # flip one byte inside record 3's body
+        with WriteAheadLog(path) as wal:
+            pass
+        size = os.path.getsize(path)
+        offset = _WAL_HEADER.size
+        with open(path, "r+b") as handle:
+            data = handle.read()
+            for _ in range(2):                     # skip records 1, 2
+                body_len = struct.unpack_from("<I", data, offset)[0]
+                offset += _RECORD.size + body_len
+            handle.seek(offset + _RECORD.size)     # record 3's body
+            handle.write(b"\x00")
+        with WriteAheadLog(path) as wal:
+            assert wal.dropped_bytes == size - offset
+            assert [seq for seq, _ in wal.replay()] == [1, 2]
+
+    def test_appending_after_torn_tail_reuses_sequence(self, tmp_path):
+        path = self._committed(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size - 3)
+        with WriteAheadLog(path) as wal:
+            assert wal.last_seq == 3
+            assert wal.append({"op": "append", "p": "again"}) == 4
+        with WriteAheadLog(path) as wal:
+            assert [op["p"] for seq, op in wal.replay() if seq == 4] == \
+                ["again"]
+
+    def test_header_corruption_refuses_to_open(self, tmp_path):
+        path = self._committed(tmp_path)
+        with open(path, "r+b") as handle:
+            handle.seek(10)
+            handle.write(b"\xff\xff")
+        with pytest.raises(StorageError):
+            WriteAheadLog(path)
+
+    def test_bad_magic_refused(self, tmp_path):
+        path = str(tmp_path / "not.wal")
+        with open(path, "wb") as handle:
+            handle.write(b"NOTAWAL!" + b"\x00" * 24)
+        with pytest.raises(StorageError, match="magic"):
+            WriteAheadLog(path)
+
+    def test_future_version_refused(self, tmp_path):
+        path = str(tmp_path / "future.wal")
+        import zlib
+        prefix = _WAL_HEADER.pack(b"LTWAL\x00\x00\x00",
+                                  WAL_FORMAT_VERSION + 1, 1, 0)[:-4]
+        with open(path, "wb") as handle:
+            handle.write(prefix + struct.pack("<I", zlib.crc32(prefix)))
+        with pytest.raises(StorageError, match="version"):
+            WriteAheadLog(path)
+
+
+class TestTruncate:
+    def test_truncate_resets_to_base_seq(self, tmp_path):
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            for op in _ops(7):
+                wal.append(op)
+            wal.truncate()
+            assert wal.base_seq == 8 and wal.last_seq == 7
+            assert list(wal.replay()) == []
+            assert wal.append({"op": "append", "p": "next"}) == 8
+        with WriteAheadLog(path) as wal:
+            assert [seq for seq, _ in wal.replay()] == [8]
+
+    def test_crash_before_replace_keeps_old_log(self, tmp_path):
+        """The truncate temp file must never shadow the real log."""
+        path = str(tmp_path / "doc.wal")
+        wal = WriteAheadLog(path)
+        for op in _ops(3):
+            wal.append(op)
+
+        class Crash(RuntimeError):
+            pass
+
+        def crash(name):
+            if name == "truncate:before-replace":
+                raise Crash()
+
+        wal.crash_hook = crash
+        with pytest.raises(Crash):
+            wal.truncate()
+        wal._file.close()                          # simulate process death
+        assert os.path.exists(path + ".truncate")
+        with WriteAheadLog(path) as back:          # leftover cleaned up
+            assert [seq for seq, _ in back.replay()] == [1, 2, 3]
+        assert not os.path.exists(path + ".truncate")
+
+    def test_replay_after_seq_masks_pre_checkpoint_records(self, tmp_path):
+        """The recovery contract when a crash lands between checkpoint
+        save and truncate: the old log survives whole, and the caller's
+        watermark skips the already-folded prefix."""
+        path = str(tmp_path / "doc.wal")
+        with WriteAheadLog(path) as wal:
+            for op in _ops(6):
+                wal.append(op)
+        with WriteAheadLog(path) as wal:
+            assert [seq for seq, _ in wal.replay(after_seq=6)] == []
+            assert [seq for seq, _ in wal.replay(after_seq=4)] == [5, 6]

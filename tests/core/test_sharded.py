@@ -511,3 +511,112 @@ class TestLazySaveFidelity:
             store.put_blob("scheme.s1", good)
             back = ShardedCompactLTree.load(store, lazy=False)
             assert back.labels() == tree.labels()
+
+
+class TestBoundaryBulkLoad:
+    """bulk_load(boundaries=...): caller-aligned shard chunks."""
+
+    def test_explicit_chunks_decide_shard_count_and_routing(self):
+        tree = ShardedCompactLTree(PARAMS, n_shards=8)
+        handles = tree.bulk_load(range(20), boundaries=[3, 12, 5])
+        assert tree.shard_count == 3
+        ranks = [rank for rank, _ in handles]
+        assert ranks == [0] * 3 + [1] * 12 + [2] * 5
+        assert tree.payloads() == list(range(20))
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(labels)
+        tree.validate()
+
+    def test_boundary_count_may_exceed_n_shards_default(self):
+        """boundaries overrides the n_shards target entirely."""
+        tree = ShardedCompactLTree(PARAMS, n_shards=2)
+        handles = tree.bulk_load(range(12), boundaries=[2, 2, 2, 2, 2, 2])
+        assert tree.shard_count == 6
+        assert [rank for rank, _ in handles] == \
+            [0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5]
+
+    def test_uneven_chunks_keep_global_order(self):
+        tree = ShardedCompactLTree(PARAMS, n_shards=4)
+        handles = tree.bulk_load(range(30), boundaries=[1, 27, 2])
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(labels)
+        # the big chunk dictates the stride
+        assert tree.directory_height >= 1
+        tree.validate()
+
+    def test_inserts_after_boundary_load_stay_in_their_chunk(self):
+        tree = ShardedCompactLTree(PARAMS, n_shards=4,
+                                   shard_stats=True)
+        handles = tree.bulk_load(range(16), boundaries=[4, 8, 4])
+        baselines = [sink.snapshot() for sink in tree.shard_counters]
+        anchor = handles[6]                       # chunk 1
+        for step in range(30):
+            anchor = tree.insert_after(anchor, step)
+        for rank, (sink, base) in enumerate(zip(tree.shard_counters,
+                                                baselines)):
+            delta = sink - base
+            touched = any(getattr(delta, field) for field in
+                          WRITE_FIELDS)
+            assert touched == (rank == 1), (rank, delta.as_dict())
+
+    def test_bad_boundaries_rejected(self):
+        tree = ShardedCompactLTree(PARAMS, n_shards=4)
+        with pytest.raises(ParameterError, match="at least one"):
+            tree.bulk_load(range(4), boundaries=[])
+        with pytest.raises(ParameterError, match=">= 1"):
+            tree.bulk_load(range(4), boundaries=[4, 0])
+        with pytest.raises(ParameterError, match="cover"):
+            tree.bulk_load(range(4), boundaries=[2, 3])
+
+    def test_boundary_load_persists_like_default_load(self, tmp_path):
+        tree = ShardedCompactLTree(PARAMS, n_shards=4)
+        handles = tree.bulk_load(range(25), boundaries=[5, 15, 5])
+        anchor = handles[10]
+        for step in range(60):
+            anchor = tree.insert_after(anchor, step)
+        path = str(tmp_path / "bounds.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.shard_count == 3
+            assert back.labels() == tree.labels()
+            back.validate()
+
+
+class TestSaveExtraBlobs:
+    """save(extra_blobs=...): caller metadata inside the same flip."""
+
+    def test_extra_blob_rides_in_one_catalog_flip(self, tmp_path):
+        tree, _ = _sharded(24, 3)
+        path = str(tmp_path / "extra.ltp")
+        with PageStore(path) as store:
+            seq_before = store._seq
+            tree.save(store, extra_blobs={"watermark": b"seq=41"})
+            assert store._seq == seq_before + 1
+            assert bytes(store.get_blob("watermark")) == b"seq=41"
+        with PageStore(path) as store:
+            assert bytes(store.get_blob("watermark")) == b"seq=41"
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+
+    def test_extra_blob_collision_rejected(self, tmp_path):
+        tree, _ = _sharded(12, 2)
+        path = str(tmp_path / "collide.ltp")
+        with PageStore(path) as store:
+            with pytest.raises(ParameterError, match="collide"):
+                tree.save(store, extra_blobs={"scheme.s0": b"boom"})
+            with pytest.raises(ParameterError, match="collide"):
+                tree.save(store, extra_blobs={"scheme": b"boom"})
+
+    def test_extra_blobs_on_plain_store(self):
+        """Without put_blobs the extras land before the manifest."""
+        order = []
+
+        class PlainStore:
+            def put_blob(self, name, data):
+                order.append(name)
+
+        tree, _ = _sharded(8, 2)
+        tree.save(PlainStore(), extra_blobs={"meta.extra": b"x"})
+        assert order.index("meta.extra") < order.index("scheme")

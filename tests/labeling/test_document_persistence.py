@@ -273,3 +273,221 @@ def test_save_rejects_non_ltree_schemes(tmp_path):
     with PageStore(str(tmp_path / "doc.ltp")) as store:
         with pytest.raises(TypeError):
             labeled.save(store)
+
+
+class TestSyncThreading:
+    """The sync knob travels save() -> scheme -> PageStore."""
+
+    def test_sync_save_counts_fsyncs(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        fsyncs = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr("os.fsync",
+                            lambda fd: (fsyncs.append(fd),
+                                        real_fsync(fd))[1])
+        labeled = _edited_document(SCHEMES["ltree-sharded"]())
+        path = str(tmp_path / "sync.ltp")
+        with PageStore(path) as store:
+            assert store.sync is False
+            labeled.save(store, sync=True)
+            # the override is scoped to the save
+            assert store.sync is False
+        assert len(fsyncs) > 0
+
+    def test_sync_default_changes_nothing(self, tmp_path, monkeypatch):
+        fsyncs = []
+        monkeypatch.setattr("os.fsync", lambda fd: fsyncs.append(fd))
+        labeled = _edited_document(SCHEMES["ltree-compact"]())
+        with PageStore(str(tmp_path / "nosync.ltp")) as store:
+            labeled.save(store)
+        assert fsyncs == []
+
+    def test_scheme_save_sync_parameter(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        fsyncs = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr("os.fsync",
+                            lambda fd: (fsyncs.append(fd),
+                                        real_fsync(fd))[1])
+        scheme = SCHEMES["ltree-compact"]()
+        scheme.bulk_load(range(32))
+        with PageStore(str(tmp_path / "scheme.ltp")) as store:
+            scheme.save(store, sync=True)
+            assert len(fsyncs) > 0
+            assert store.sync is False
+
+    def test_sync_true_requires_a_capable_store(self):
+        from repro.errors import StorageError
+
+        class Plain:
+            def put_blob(self, name, data):
+                pass
+
+        scheme = SCHEMES["ltree-compact"]()
+        scheme.bulk_load(range(8))
+        with pytest.raises(StorageError, match="sync"):
+            scheme.save(Plain(), sync=True)
+        scheme.save(Plain())                    # default still works
+
+
+class TestPathConvenience:
+    """save/open accept a file path and thread sync to the PageStore."""
+
+    @pytest.mark.parametrize("name", sorted(SCHEMES))
+    def test_path_round_trip(self, tmp_path, name):
+        labeled = _edited_document(SCHEMES[name]())
+        labels = labeled.labels_in_order()
+        path = str(tmp_path / "bypath.ltp")
+        labeled.save(path, sync=True)
+        reopened = LabeledDocument.open(path)
+        try:
+            assert reopened.labels_in_order() == labels
+            assert reopened.store is not None      # owned store
+            # a bare save() goes back to the owned store
+            reopened.save()
+        finally:
+            reopened.close()
+        assert reopened.store is None
+        third = LabeledDocument.open(path)
+        assert third.labels_in_order() == labels
+        third.close()
+
+    def test_save_without_store_or_path_raises(self):
+        labeled = _edited_document(SCHEMES["ltree-compact"]())
+        with pytest.raises(ValueError, match="store"):
+            labeled.save()
+
+    def test_store_object_is_not_adopted(self, tmp_path):
+        labeled = _edited_document(SCHEMES["ltree-compact"]())
+        with PageStore(str(tmp_path / "caller.ltp")) as store:
+            labeled.save(store)
+            reopened = LabeledDocument.open(store)
+            assert reopened.store is None
+            reopened.close()                       # no-op
+            # the caller's store is still usable
+            assert store.has_blob("meta")
+
+
+class TestConcurrentOpen:
+    """open(..., concurrent=True): the restored sharded engine becomes
+    thread-safe (per-shard locks + zero-lock snapshots) while the
+    document API keeps answering identically."""
+
+    def test_concurrent_open_round_trip(self, tmp_path):
+        from repro.concurrent.engine import ConcurrentLTree
+
+        labeled = _edited_document(SCHEMES["ltree-sharded"]())
+        labels = labeled.labels_in_order()
+        path = str(tmp_path / "conc.ltp")
+        labeled.save(path)
+        reopened = LabeledDocument.open(path, concurrent=True)
+        try:
+            assert isinstance(reopened.scheme.tree, ConcurrentLTree)
+            assert reopened.labels_in_order() == labels
+            root = reopened.document.root
+            child = next(iter(root.child_elements()))
+            assert reopened.is_ancestor(root, child)
+            # edits still work through the scheme adapter
+            reopened.append_subtree(child, parse("<post/>").root)
+            reopened.validate()
+        finally:
+            reopened.close()
+
+    def test_concurrent_snapshot_reads_match_document_labels(
+            self, tmp_path):
+        labeled = _edited_document(SCHEMES["ltree-sharded"]())
+        path = str(tmp_path / "snap.ltp")
+        labeled.save(path)
+        reopened = LabeledDocument.open(path, concurrent=True)
+        try:
+            snap = reopened.scheme.tree.snapshot()
+            assert snap.labels() == reopened.labels_in_order()
+            # region containment answered off the pinned images
+            root = reopened.document.root
+            child = next(iter(root.child_elements()))
+            assert snap.contains(
+                (root.extra.begin, root.extra.end),
+                (child.extra.begin, child.extra.end))
+        finally:
+            reopened.close()
+
+    def test_concurrent_parallel_writers_on_reopened_document(
+            self, tmp_path):
+        """Two threads editing under different top-level children of a
+        reopened document: the engine-level guarantee, exercised
+        through the scheme the document restored."""
+        import threading
+
+        labeled = _edited_document(SCHEMES["ltree-sharded"]())
+        path = str(tmp_path / "two.ltp")
+        labeled.save(path)
+        reopened = LabeledDocument.open(path, concurrent=True)
+        try:
+            tree = reopened.scheme.tree
+            children = [child for child in
+                        reopened.document.root.children
+                        if getattr(child, "children", None) is not None]
+            first, last = children[0], children[-1]
+            assert first.extra.begin[0] != last.extra.begin[0]
+            errors = []
+
+            def hammer(anchor_handle, tag):
+                try:
+                    anchor = anchor_handle
+                    for step in range(150):
+                        anchor = tree.insert_after(anchor, (tag, step))
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer,
+                                 args=(first.extra.begin, "f")),
+                threading.Thread(target=hammer,
+                                 args=(last.extra.begin, "l"))]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert errors == []
+            tree.validate()
+        finally:
+            reopened.close()
+
+    def test_concurrent_requires_sharded_encoding(self, tmp_path):
+        from repro.errors import ParameterError
+
+        labeled = _edited_document(SCHEMES["ltree-compact"]())
+        path = str(tmp_path / "flat.ltp")
+        labeled.save(path)
+        with pytest.raises(ParameterError, match="sharded"):
+            LabeledDocument.open(path, concurrent=True)
+
+
+def test_open_path_closes_store_on_validation_error(tmp_path, monkeypatch):
+    """open(path) must not leak the PageStore it created when the
+    document fails validation after the store is already open."""
+    import json
+
+    from repro.errors import ParameterError
+    import repro.storage.pages as pages_module
+
+    labeled = _edited_document(SCHEMES["ltree-compact"]())
+    path = str(tmp_path / "bad.ltp")
+    labeled.save(path)
+    with PageStore(path) as store:
+        store.put_blob("meta", json.dumps({"format": 999}).encode())
+    created = []
+    real_store = pages_module.PageStore
+
+    class SpyStore(real_store):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            created.append(self)
+
+    monkeypatch.setattr(pages_module, "PageStore", SpyStore)
+    with pytest.raises(ParameterError, match="format"):
+        LabeledDocument.open(path)
+    assert created
+    assert all(spy._file.closed for spy in created)

@@ -379,3 +379,77 @@ class TestShardedDocumentIsolation:
                           for field in self.WRITE_FIELDS)]
         assert written == [expected]
         labeled.validate()
+
+
+class TestShardAlignedBulkLoad:
+    """The ltree-sharded document default: shards align with runs of
+    top-level children, so *every* top-level subtree lives wholly in
+    one arena (PR 4's test above had to hunt for a single-arena
+    subtree; now the root's children are single-arena by construction).
+    """
+
+    WRITE_FIELDS = ("count_updates", "relabels", "splits", "inserts",
+                    "deletes")
+
+    def _labeled(self, n_shards=4, seed=11, **scheme_kwargs):
+        from repro.order.sharded_list import ShardedListLabeling
+
+        document = xmark_like(n_items=18, n_people=10, n_auctions=8,
+                              seed=seed)
+        scheme = ShardedListLabeling(LTreeParams(f=16, s=4),
+                                     n_shards=n_shards, **scheme_kwargs)
+        return document, LabeledDocument(document, scheme=scheme)
+
+    def test_every_toplevel_child_is_single_arena(self):
+        document, labeled = self._labeled()
+        for child in document.root.children:
+            if isinstance(child, XMLElement):
+                handles = child.extra
+                assert handles.begin[0] == handles.end[0], child.tag
+
+    def test_toplevel_runs_are_contiguous_and_cover_all_shards(self):
+        document, labeled = self._labeled(n_shards=4)
+        ranks = [child.extra.begin[0] for child in document.root.children]
+        assert ranks == sorted(ranks)             # contiguous runs
+        assert set(ranks) == set(range(labeled.scheme.tree.shard_count))
+        labeled.validate()
+
+    def test_edits_under_two_toplevel_children_write_two_arenas(self):
+        document, labeled = self._labeled(shard_stats=True)
+        counters = labeled.scheme.shard_counters
+        children = [child for child in document.root.children
+                    if isinstance(child, XMLElement)]
+        first, last = children[0], children[-1]
+        assert first.extra.begin[0] != last.extra.begin[0]
+        for target in (first, last):
+            baselines = [sink.snapshot() for sink in counters]
+            labeled.append_subtree(target, parse("<w>edit</w>").root)
+            written = [rank for rank, (sink, base) in
+                       enumerate(zip(counters, baselines))
+                       if any(getattr(sink - base, field)
+                              for field in self.WRITE_FIELDS)]
+            assert written == [target.extra.begin[0]]
+        labeled.validate()
+
+    def test_shard_boundaries_helper_balances_token_weight(self):
+        from repro.labeling.scheme import (_emit_tokens,
+                                           shard_boundaries)
+
+        document = xmark_like(n_items=20, n_people=12, n_auctions=8,
+                              seed=3)
+        total = sum(1 for _ in _emit_tokens(document.root))
+        sizes = shard_boundaries(document.root, 4)
+        assert sum(sizes) == total
+        assert all(size >= 1 for size in sizes)
+        assert len(sizes) <= 4
+        # roughly balanced: no chunk more than twice the even share
+        assert max(sizes) <= 2 * (total / len(sizes)) + 2
+
+    def test_single_child_document_degenerates_to_one_shard(self):
+        from repro.order.sharded_list import ShardedListLabeling
+
+        document = parse("<r><only><a/><b/><c/></only></r>")
+        scheme = ShardedListLabeling(LTreeParams(f=4, s=2), n_shards=4)
+        labeled = LabeledDocument(document, scheme=scheme)
+        assert scheme.tree.shard_count == 1
+        labeled.validate()
