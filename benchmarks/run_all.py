@@ -2,21 +2,23 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR5.json
+    python benchmarks/run_all.py              # writes BENCH_PR6.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the seven headline suites — bulk load, random single inserts, §4.1
+Runs the eight headline suites — bulk load, random single inserts, §4.1
 run inserts, the query-containment plan, byte-image restore, the
-sharded-vs-flat engine head-to-head, and the concurrent document
+sharded-vs-flat engine head-to-head, the concurrent document
 service (writer scaling over disjoint shards, group-commit vs per-op
-fsync, snapshot reads under writes) — and writes one machine-readable
-record to ``BENCH_PR5.json`` at the repo root.  That file is the
-tracked perf trajectory: every future perf PR re-runs this harness and
-compares against the committed baseline instead of re-deriving numbers
-from prose.  CI regenerates the JSON, uploads it as an artifact, and
-runs ``benchmarks/compare_baselines.py`` against the previous
-committed baseline (``BENCH_PR4.json``), failing on regressions in the
-metrics that are comparable across machines.
+fsync, snapshot reads under writes), and the query-evaluator
+head-to-head (vectorized columnar vs stack-tree vs edge-table, plus
+snapshot-query throughput under a live writer) — and writes one
+machine-readable record to ``BENCH_PR6.json`` at the repo root.  That
+file is the tracked perf trajectory: every future perf PR re-runs this
+harness and compares against the committed baseline instead of
+re-deriving numbers from prose.  CI regenerates the JSON, uploads it as
+an artifact, and runs ``benchmarks/compare_baselines.py`` against the
+previous committed baseline (``BENCH_PR5.json``), failing on
+regressions in the metrics that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
 of the system uses (``make_scheme``, ``LabeledDocument``,
@@ -386,6 +388,116 @@ def suite_concurrent(scale: float) -> dict:
     }
 
 
+def suite_query(scale: float) -> dict:
+    """The four-evaluator head-to-head at scale (E9, read side).
+
+    * **evaluator seconds** — the same XPath battery through the
+      vectorized columnar plan, the tuple-at-a-time stack-tree interval
+      plan, and the edge-table fix-point plan, on a 50k+-element
+      document (at ``--scale 1``).  The headline metric is
+      ``columnar_speedup_vs_stack``: the batch range-intersection
+      passes against the boxed-triple merge join they replace.
+    * **snapshot throughput** — queries over a
+      :class:`~repro.query.columnar.ColumnarStore` pinned from a
+      ``LabelSnapshot`` while a writer thread keeps inserting into the
+      live engine: lock-free reads, so the counter only measures query
+      speed, never writer contention.
+    """
+    import shutil
+    import tempfile
+    import threading
+
+    from repro.query.columnar import ColumnarStore, evaluate_columnar
+    from repro.query.engine import evaluate_edge
+    from repro.storage.edge_table import EdgeTableStore
+
+    document = xmark_like(n_items=max(200, int(5000 * scale)),
+                          n_people=max(100, int(2500 * scale)),
+                          n_auctions=max(70, int(1700 * scale)), seed=47)
+    n_elements = sum(1 for _ in document.iter_elements())
+    labeled = LabeledDocument(document)
+    interval = IntervalTableStore(labeled)
+    edge = EdgeTableStore(document)
+    columnar = ColumnarStore.from_labeled(labeled)
+    queries = ("/site//increase", "//item/name",
+               "//open_auction//increase")
+    seconds: dict[str, dict[str, float]] = {
+        "columnar": {}, "stack_tree": {}, "edge_table": {}}
+    n_results = {}
+    for text in queries:
+        query = parse_xpath(text)
+        want = len(evaluate_columnar(columnar, query))
+        assert want == len(evaluate_interval(interval, query))
+        assert want == len(evaluate_edge(edge, query))
+        n_results[text] = want
+        seconds["columnar"][text] = _best(
+            lambda query=query: evaluate_columnar(columnar, query))
+        seconds["stack_tree"][text] = _best(
+            lambda query=query: evaluate_interval(interval, query))
+        seconds["edge_table"][text] = _best(
+            lambda query=query: evaluate_edge(edge, query))
+
+    # -- snapshot-pinned queries under a live writer -------------------
+    snap_document = xmark_like(n_items=max(60, int(600 * scale)),
+                               n_people=max(30, int(300 * scale)),
+                               n_auctions=max(20, int(200 * scale)),
+                               seed=48)
+    sharded = LabeledDocument(snap_document,
+                              scheme=make_scheme("ltree-sharded"))
+    directory = tempfile.mkdtemp(prefix="bench-snapquery-")
+    sharded.save(f"{directory}/doc")
+    reopened = LabeledDocument.open(f"{directory}/doc", concurrent=True)
+    tree = reopened.scheme.tree
+    snap_queries = [parse_xpath(text) for text in queries]
+    store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+    expected = [len(evaluate_columnar(store, query))
+                for query in snap_queries]
+    done = threading.Event()
+    n_writes = max(400, int(4000 * scale))
+
+    def snap_writer():
+        rng = random.Random(5)
+        handles = list(tree.iter_leaves(include_deleted=False))
+        for step in range(n_writes):
+            anchor = handles[rng.randrange(len(handles))]
+            handles.append(tree.insert_after(anchor, step))
+        done.set()
+
+    n_queries = 0
+    thread = threading.Thread(target=snap_writer)
+    start = time.perf_counter()
+    thread.start()
+    while not done.is_set():
+        for query, want in zip(snap_queries, expected):
+            assert len(evaluate_columnar(store, query,
+                                         parallel=True)) == want
+            n_queries += 1
+    thread.join()
+    elapsed = time.perf_counter() - start
+    reopened.close()
+    shutil.rmtree(directory, ignore_errors=True)
+
+    return {
+        "n_elements": n_elements,
+        "backend": columnar.backend,
+        "n_results": n_results,
+        "seconds": seconds,
+        "columnar_speedup_vs_stack": {
+            text: round(seconds["stack_tree"][text] /
+                        seconds["columnar"][text], 2)
+            for text in queries},
+        "columnar_speedup_vs_edge": {
+            text: round(seconds["edge_table"][text] /
+                        seconds["columnar"][text], 2)
+            for text in queries},
+        "snapshot_queries_under_writer": {
+            "writer_ops": n_writes,
+            "queries": n_queries,
+            "queries_per_sec": round(n_queries / elapsed, 1),
+        },
+    }
+
+
 SUITES = {
     "bulk_load": suite_bulk_load,
     "random_insert": suite_random_insert,
@@ -394,12 +506,13 @@ SUITES = {
     "restore": suite_restore,
     "sharded": suite_sharded,
     "concurrent": suite_concurrent,
+    "query": suite_query,
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR5.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR6.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -411,7 +524,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR5",
+        "baseline": "PR6",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

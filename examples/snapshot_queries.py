@@ -1,0 +1,101 @@
+"""Lock-free XPath queries under live writers.
+
+Run:  python examples/snapshot_queries.py
+
+PR 5 gave the sharded engine zero-lock ``LabelSnapshot`` pins; this
+walkthrough shows the query layer cashing them in:
+
+1. an XMark-like document is labeled with the **sharded** L-Tree scheme,
+   saved, and reopened ``concurrent=True`` — engine access through
+   ``scheme.tree`` becomes a thread-safe ``ConcurrentLTree``;
+2. a :class:`repro.query.columnar.ColumnarStore` is **pinned** from one
+   ``tree.snapshot()``: every ``(begin, end, level)`` column is gathered
+   straight off the snapshot's frozen per-shard byte images — no locks,
+   no live-engine reads, one bulk extraction for the whole store;
+3. **writer threads** hammer the live engine the whole time while the
+   main thread evaluates XPath through the vectorized columnar engine
+   (``parallel=True`` fans each axis pass out over the per-shard
+   segments).  Every result is identical to the pre-pin evaluation —
+   the pin means writers can never smear a query;
+4. re-pinning *after* the writers finish shows the other half of the
+   contract: a fresh snapshot sees every committed write.
+"""
+
+import random
+import tempfile
+import threading
+
+from repro.labeling.scheme import LabeledDocument
+from repro.order.registry import make_scheme
+from repro.query import evaluate_columnar, evaluate_dom, parse_xpath
+from repro.query.columnar import ColumnarStore
+from repro.xml.generator import xmark_like
+
+QUERIES = ["/site//increase", "//item/name", "//open_auction/bidder"]
+
+
+def writer(tree, stop, seed, written):
+    """Keeps inserting engine-level tokens until told to stop."""
+    rng = random.Random(seed)
+    handles = list(tree.iter_leaves(include_deleted=False))
+    while not stop.is_set():
+        anchor = handles[rng.randrange(len(handles))]
+        handles.append(tree.insert_after(anchor, ("noise", seed)))
+        written[seed] = written.get(seed, 0) + 1
+
+
+def main() -> None:
+    document = xmark_like(n_items=120, n_people=60, n_auctions=40,
+                          seed=7)
+    labeled = LabeledDocument(document,
+                              scheme=make_scheme("ltree-sharded"))
+    with tempfile.TemporaryDirectory() as directory:
+        labeled.save(f"{directory}/doc")
+        doc = LabeledDocument.open(f"{directory}/doc", concurrent=True)
+        tree = doc.scheme.tree
+
+        queries = [parse_xpath(text) for text in QUERIES]
+        expected = [[id(e) for e in evaluate_dom(doc.document, query)]
+                    for query in queries]
+
+        # -- pin once: columns come off frozen byte images ------------
+        store = ColumnarStore.from_snapshot(doc, tree.snapshot())
+        print(f"pinned {len(store)} elements across "
+              f"{len(store.shard_slices)} shard segments "
+              f"({store.backend} backend)")
+
+        # -- query while writers mutate the live engine ---------------
+        stop = threading.Event()
+        written: dict[int, int] = {}
+        threads = [
+            threading.Thread(target=writer,
+                             args=(tree, stop, seed, written))
+            for seed in (1, 2)]
+        for thread in threads:
+            thread.start()
+        try:
+            for round_number in range(5):
+                for query, truth in zip(queries, expected):
+                    result = evaluate_columnar(store, query,
+                                               parallel=True)
+                    assert [id(e) for e in result] == truth, str(query)
+            print("5 rounds x", len(queries),
+                  "queries: all identical to the pre-pin evaluation")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        print(f"writers inserted {sum(written.values())} tokens "
+              f"while we queried — zero locks taken, zero smears")
+
+        # -- a fresh pin sees the writes ------------------------------
+        fresh = tree.snapshot()
+        n_now = len(list(fresh.handles()))
+        print(f"fresh snapshot holds {n_now} live tokens "
+              f"(pinned store still serves the old {len(store)} "
+              f"elements)")
+        doc.close()
+
+
+if __name__ == "__main__":
+    main()

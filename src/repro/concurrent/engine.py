@@ -109,6 +109,21 @@ class LabelSnapshot:
                                        shard.nums_of_live()))
         return mapping
 
+    def label_columns(self, rank: int) -> tuple[list[int], Sequence[int]]:
+        """``(live_slots, local_label_column)`` of one pinned shard.
+
+        The columnar query engine's bulk-input hook: the slot-indexed
+        label column is decoded once off the frozen byte image (and
+        memoized on the shard — a pinned shard can never change), so a
+        query extracts every label it needs in one pass per shard
+        instead of one :meth:`label` call per node.  Compose the global
+        label of ``slot`` as ``rank * stride + column[slot]``.  Like
+        every other read on this object, this takes no locks and never
+        touches the live engine.
+        """
+        shard = self._shards[rank]
+        return list(shard.live_slots()), shard.num_column()
+
     def precedes(self, first: tuple[int, int],
                  second: tuple[int, int]) -> bool:
         """Document order of two live handles, labels only."""

@@ -170,12 +170,17 @@ class _Shard:
             return self.tree.iter_leaves(include_deleted=False)
         return iter(self.live)
 
-    def nums_of_live(self) -> list[int]:
-        """Labels of the live leaves, bulk-decoded for lazy shards."""
+    def num_column(self) -> Sequence[int]:
+        """The full slot-indexed local label column, bulk-decoded.
+
+        For a lazy shard this is one ``array('q')`` decode straight off
+        the frozen byte image (memoized — the image is immutable); for a
+        materialized shard it is the engine's own column, returned
+        without copying.  Entry ``column[slot]`` is the *local* label of
+        ``slot``; callers compose ``rank * stride + column[slot]``.
+        """
         if self.tree is not None:
-            num = self.tree._num
-            return [num[slot] for slot in
-                    self.tree.iter_leaves(include_deleted=False)]
+            return self.tree._num
         column = self._num_column
         if column is None:
             header = self.header
@@ -186,6 +191,15 @@ class _Shard:
             if sys.byteorder == "big":
                 column.byteswap()
             self._num_column = column
+        return column
+
+    def nums_of_live(self) -> list[int]:
+        """Labels of the live leaves, bulk-decoded for lazy shards."""
+        if self.tree is not None:
+            num = self.tree._num
+            return [num[slot] for slot in
+                    self.tree.iter_leaves(include_deleted=False)]
+        column = self.num_column()
         return [column[slot] for slot in self.live]
 
     # -- shape metadata ------------------------------------------------
@@ -523,6 +537,19 @@ class ShardedCompactLTree:
     def payloads(self, include_deleted: bool = True) -> list[Any]:
         return [self.payload(handle)
                 for handle in self.iter_leaves(include_deleted)]
+
+    def label_columns(self, rank: int) -> tuple[list[int], Sequence[int]]:
+        """``(live_slots, local_label_column)`` of one shard, in bulk.
+
+        The columnar query engine's input hook
+        (:mod:`repro.query.columnar`): the slot-indexed local label
+        column comes off the shard's flat storage in one decode — a
+        lazy shard stays lazy — and the global label of ``slot`` is
+        ``rank * stride + column[slot]``.  One call per shard replaces
+        one :meth:`num` round trip per node.
+        """
+        shard = self._shards[rank]
+        return list(shard.live_slots()), shard.num_column()
 
     def label_map(self) -> dict[tuple[int, int], int]:
         """Live handle → global label, composed across every shard.

@@ -284,6 +284,24 @@ class LabeledDocument:
         """All current token labels in document order."""
         return self.scheme.labels()
 
+    def element_handles(self) -> Iterator[tuple[XMLElement, Any, Any, int]]:
+        """``(element, begin_handle, end_handle, level)`` in document order.
+
+        One structural DOM pass with **zero** label reads — the walk
+        columnar consumers (:mod:`repro.query.columnar`) pair with a
+        bulk label extraction (``label_map``, a pinned
+        :class:`~repro.concurrent.engine.LabelSnapshot`'s
+        ``label_columns``) so shredding a document into query columns
+        never issues a per-node scheme lookup.
+        """
+        stack: list[tuple[XMLElement, int]] = [(self.document.root, 0)]
+        while stack:
+            element, level = stack.pop()
+            handles = self._handles(element)
+            yield element, handles.begin, handles.end, level
+            for child in reversed(list(element.child_elements())):
+                stack.append((child, level + 1))
+
     # ------------------------------------------------------------------
     # label-only predicates (the queries labels exist for)
     # ------------------------------------------------------------------

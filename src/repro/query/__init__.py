@@ -1,7 +1,9 @@
-"""Query substrate: XPath-subset parsing and the three evaluators
-experiment E9 compares (DOM navigation, interval-label structural joins,
-edge-table self-joins)."""
+"""Query substrate: XPath-subset parsing and the four interchangeable
+evaluators experiment E9 compares (DOM navigation, interval-label
+structural joins, edge-table self-joins, and the vectorized columnar
+plan — optionally lock-free against a pinned label snapshot)."""
 
+from repro.query.columnar import ColumnarStore, evaluate_columnar
 from repro.query.engine import (evaluate_dom, evaluate_edge,
                                 evaluate_interval)
 from repro.query.xpath import (CHILD, DESCENDANT, Step, XPathQuery,
@@ -16,4 +18,6 @@ __all__ = [
     "evaluate_dom",
     "evaluate_interval",
     "evaluate_edge",
+    "evaluate_columnar",
+    "ColumnarStore",
 ]

@@ -1,0 +1,452 @@
+"""Vectorized, snapshot-pinned XPath evaluation over label columns.
+
+The paper's §1 pitch is that region labels turn every XPath axis into
+*one* self-join whose predicates are label comparisons — and those
+comparisons are pure integer arithmetic, decidable from the label bits
+alone (the property optimal ancestry-labeling schemes formalize:
+Fraigniaud & Korman 2016; Dahlgaard, Knudsen & Rotbart 2014).  The
+other evaluators in :mod:`repro.query.engine` execute that join
+tuple-at-a-time over boxed Python triples; this module executes it as
+**batch range-intersection passes over flat integer columns**:
+
+* a :class:`ColumnarStore` shreds a labeled document once into
+  per-element ``(begin, end, level)`` columns plus a per-tag position
+  index, grouped into contiguous per-shard segments.  Inputs come from
+  a single bulk extraction — the document's cached label vector, or,
+  for lock-free reads under live writers, the frozen per-shard byte
+  images of a pinned :class:`repro.concurrent.engine.LabelSnapshot`
+  via its ``label_columns(rank)`` hook — never from per-node scheme
+  lookups;
+* :func:`evaluate_columnar` runs each axis step as one vectorized
+  containment pass: context intervals sorted by ``begin``, a running
+  ``maximum.accumulate`` over their ``end``s, and one ``searchsorted``
+  probe per candidate.  Because all regions come from one document
+  they form a laminar family, so *"some context interval starting
+  before me ends after me"* is exactly *"some context interval
+  contains me"* — an existence test, no pair materialization.  Child
+  steps add the paper's level-adjacency check by running the same pass
+  per candidate level against the context subset one level up.
+
+Backend discipline mirrors :mod:`repro.core.vectorized`: the numpy
+int64 path is used when the active backend is ``numpy`` and every
+label fits int64; otherwise a pure-Python ``array('q')``/``bisect``
+path computes the same passes (plain lists above int64, so results are
+always exact).  ``parallel=True`` evaluates the per-shard candidate
+segments of each pass concurrently — safe against a pinned snapshot,
+whose columns no writer can touch, so queries run lock-free under live
+:class:`~repro.concurrent.engine.ConcurrentLTree` /
+:class:`~repro.concurrent.service.ConcurrentDocument` writers.
+
+Differential-tested against :func:`repro.query.engine.evaluate_dom`
+over the seeded workload matrix (``tests/query``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from array import array
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.core import vectorized
+from repro.core.stats import NULL_COUNTERS, Counters
+from repro.query.xpath import CHILD, Step, XPathQuery
+from repro.xml.model import XMLElement
+
+try:  # gated dependency, exactly like repro.core.vectorized
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+#: labels at or above this magnitude leave int64 — force the exact path
+_INT64_SAFE = 2 ** 62
+
+
+def _use_numpy(max_label: int) -> bool:
+    return (_np is not None and vectorized.get_backend() == "numpy"
+            and max_label < _INT64_SAFE)
+
+
+class ColumnarStore:
+    """A document shredded into flat per-element label columns.
+
+    Build through :meth:`from_labeled` (any scheme, labels off the
+    cached label vector) or :meth:`from_snapshot` (labels off a pinned
+    :class:`~repro.concurrent.engine.LabelSnapshot`'s frozen byte
+    images — the lock-free path).  Elements are stored in document
+    order, so the ``begin`` column is strictly increasing and
+    positions double as document-order ranks; contiguous runs of
+    elements whose begin handle lives in the same shard form the
+    per-shard segments ``parallel`` evaluation fans out over.
+    """
+
+    def __init__(self, elements: list[XMLElement],
+                 begins: list[int], ends: list[int], levels: list[int],
+                 shard_slices: list[tuple[int, int]],
+                 stats: Counters = NULL_COUNTERS):
+        self.stats = stats
+        self.elements = elements
+        max_label = max(ends, default=0)
+        self.backend = "numpy" if _use_numpy(max_label) else "array"
+        if self.backend == "numpy":
+            self._begin = _np.asarray(begins, dtype=_np.int64)
+            self._end = _np.asarray(ends, dtype=_np.int64)
+            self._level = _np.asarray(levels, dtype=_np.int64)
+        else:
+            kind = array if max_label < _INT64_SAFE else list
+            self._begin = kind("q", begins) if kind is array else begins
+            self._end = kind("q", ends) if kind is array else ends
+            self._level = array("q", levels) if kind is array else levels
+        #: contiguous (start, stop) element-position ranges, one per
+        #: shard that holds at least one element's begin handle
+        self.shard_slices = shard_slices
+        by_tag: dict[str, list[int]] = {}
+        for position, element in enumerate(elements):
+            by_tag.setdefault(element.tag, []).append(position)
+        self._by_tag = {tag: self._positions(positions)
+                        for tag, positions in by_tag.items()}
+        self._all = self._positions(range(len(elements)))
+
+    def _positions(self, values: Iterable[int]):
+        if self.backend == "numpy":
+            return _np.fromiter(values, dtype=_np.int64)
+        return array("q", values)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_labeled(cls, labeled: Any,
+                     stats: Counters = NULL_COUNTERS) -> "ColumnarStore":
+        """Shred a :class:`~repro.labeling.scheme.LabeledDocument`.
+
+        Labels come off the document's cached label vector — one bulk
+        extraction, zero per-node ``label_lookups`` — so this is the
+        in-process construction path (queries see live labels; pair
+        with :meth:`from_snapshot` to pin them against writers).
+        """
+        labeled.warm_labels()
+        elements: list[XMLElement] = []
+        begins: list[int] = []
+        ends: list[int] = []
+        levels: list[int] = []
+        ranks: list[int] = []
+        for element, begin_handle, _end_handle, level in \
+                labeled.element_handles():
+            region = labeled.region(element)
+            elements.append(element)
+            begins.append(region.begin)
+            ends.append(region.end)
+            levels.append(level)
+            ranks.append(begin_handle[0]
+                         if isinstance(begin_handle, tuple) else 0)
+        return cls(elements, begins, ends, levels,
+                   _rank_slices(ranks), stats)
+
+    @classmethod
+    def from_snapshot(cls, labeled: Any, snapshot: Any,
+                      stats: Counters = NULL_COUNTERS) -> "ColumnarStore":
+        """Shred against a pinned label snapshot (lock-free inputs).
+
+        One structural DOM pass collects each element's ``(rank,
+        slot)`` handles; labels are then gathered off the snapshot's
+        frozen per-shard byte images through
+        :meth:`~repro.concurrent.engine.LabelSnapshot.label_columns` —
+        one column decode per shard, composed with the pinned stride.
+        No locks are taken and the live engine is never consulted, so
+        the resulting store (and every query over it) is immune to
+        concurrent writers.  The *DOM* must be stable while queries
+        run; engine-level writers (extra tokens, relabels) are fine
+        because the pin freezes every label this store reads.
+        """
+        stride = snapshot.stride
+        elements: list[XMLElement] = []
+        begin_handles: list[tuple[int, int]] = []
+        end_handles: list[tuple[int, int]] = []
+        levels: list[int] = []
+        for element, begin_handle, end_handle, level in \
+                labeled.element_handles():
+            elements.append(element)
+            begin_handles.append(begin_handle)
+            end_handles.append(end_handle)
+            levels.append(level)
+        columns: dict[int, Sequence[int]] = {}
+
+        def column(rank: int) -> Sequence[int]:
+            cached = columns.get(rank)
+            if cached is None:
+                cached = columns[rank] = snapshot.label_columns(rank)[1]
+            return cached
+
+        begins = _compose_labels(begin_handles, column, stride)
+        ends = _compose_labels(end_handles, column, stride)
+        ranks = [handle[0] for handle in begin_handles]
+        return cls(elements, begins, ends, levels,
+                   _rank_slices(ranks), stats)
+
+    # ------------------------------------------------------------------
+    # column access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def tag_positions(self, test: str,
+                      stats: Counters = NULL_COUNTERS):
+        """Document-order positions matching a name test.
+
+        Reading the per-tag index charges one ``tuple_read`` per entry
+        — the same index-scan accounting
+        :meth:`repro.storage.interval_table.IntervalTableStore
+        .region_list` applies — against the *caller's* counters.
+        """
+        if test == "*":
+            positions = self._all
+        else:
+            positions = self._by_tag.get(test)
+            if positions is None:
+                positions = self._positions(())
+        stats.tuple_reads += len(positions)
+        return positions
+
+    def element(self, position: int) -> XMLElement:
+        return self.elements[position]
+
+
+def _rank_slices(ranks: list[int]) -> list[tuple[int, int]]:
+    """Contiguous (start, stop) runs of equal shard rank.
+
+    Document order sorts begin labels, and a shard's labels all precede
+    the next shard's, so ranks are non-decreasing — the runs partition
+    the position space.
+    """
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for position in range(1, len(ranks)):
+        if ranks[position] != ranks[start]:
+            slices.append((start, position))
+            start = position
+    if ranks:
+        slices.append((start, len(ranks)))
+    return slices
+
+
+def _compose_labels(handles: list[tuple[int, int]], column, stride: int
+                    ) -> list[int]:
+    """Global labels of ``(rank, slot)`` handles via per-shard columns."""
+    if _np is not None and vectorized.get_backend() == "numpy" and handles:
+        ranks = _np.asarray([handle[0] for handle in handles],
+                            dtype=_np.int64)
+        slots = _np.asarray([handle[1] for handle in handles],
+                            dtype=_np.int64)
+        out = _np.empty(len(handles), dtype=object)
+        exact = False
+        for rank in sorted(set(int(r) for r in _np.unique(ranks))):
+            raw = column(rank)
+            mask = ranks == rank
+            prefix = rank * stride
+            if prefix + max(raw, default=0) >= _INT64_SAFE:
+                exact = True
+                break
+            gathered = _np.asarray(raw, dtype=_np.int64)[slots[mask]]
+            out[mask] = gathered + prefix
+        if not exact:
+            return out.tolist()
+    return [handle[0] * stride + column(handle[0])[handle[1]]
+            for handle in handles]
+
+
+# ---------------------------------------------------------------------------
+# the vectorized axis-step passes
+# ---------------------------------------------------------------------------
+def _chunks(cand, shard_slices, parallel: bool):
+    """Split candidate positions into per-shard runs (or one run)."""
+    if not parallel or len(shard_slices) < 2 or len(cand) == 0:
+        return [cand]
+    out = []
+    if _np is not None and isinstance(cand, _np.ndarray):
+        bounds = _np.searchsorted(
+            cand, _np.asarray([stop for _, stop in shard_slices[:-1]]))
+        prev = 0
+        for bound in list(bounds) + [len(cand)]:
+            if bound > prev:
+                out.append(cand[prev:bound])
+            prev = bound
+        return out or [cand]
+    prev = 0
+    for _, stop in shard_slices[:-1]:
+        bound = bisect.bisect_left(cand, stop, prev)
+        if bound > prev:
+            out.append(cand[prev:bound])
+        prev = bound
+    if prev < len(cand):
+        out.append(cand[prev:])
+    return out or [cand]
+
+
+def _run_chunks(worker, chunks, parallel: bool):
+    if len(chunks) == 1 or not parallel:
+        return [worker(chunk) for chunk in chunks]
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        return list(pool.map(worker, chunks))
+
+
+def _match_step(store: ColumnarStore, context, cand, child_axis: bool,
+                stats: Counters, parallel: bool):
+    """Candidate positions with a (suitably-leveled) context ancestor.
+
+    One batch pass: context intervals sorted by begin, prefix-maximum
+    over their ends, one binary probe + two label comparisons per
+    candidate.  Laminarity makes the existence test containment (see
+    module docstring); the child axis adds the level-adjacency
+    predicate by restricting the context to ``level - 1`` per distinct
+    candidate level.
+    """
+    if len(context) == 0 or len(cand) == 0:
+        return cand[:0]
+    stats.comparisons += 2 * len(cand)
+    if store.backend == "numpy":
+        return _match_numpy(store, context, cand, child_axis, parallel)
+    return _match_python(store, context, cand, child_axis, parallel)
+
+
+def _match_numpy(store: ColumnarStore, context, cand, child_axis: bool,
+                 parallel: bool):
+    np = _np
+    begin, end, level = store._begin, store._end, store._level
+    if child_axis:
+        ctx_levels = level[context]
+        by_parent_level: dict[int, tuple] = {}
+        for parent_level in np.unique(ctx_levels).tolist():
+            anc = context[ctx_levels == parent_level]
+            by_parent_level[parent_level] = (
+                begin[anc], np.maximum.accumulate(end[anc]))
+
+        def worker(chunk):
+            mask = np.zeros(len(chunk), dtype=bool)
+            chunk_levels = level[chunk]
+            for child_level in np.unique(chunk_levels).tolist():
+                prepared = by_parent_level.get(child_level - 1)
+                if prepared is None:
+                    continue
+                sub = chunk_levels == child_level
+                mask[sub] = _exists_containing(
+                    prepared[0], prepared[1],
+                    begin[chunk[sub]], end[chunk[sub]])
+            return chunk[mask]
+    else:
+        ctx_begin = begin[context]
+        ctx_maxend = np.maximum.accumulate(end[context])
+
+        def worker(chunk):
+            mask = _exists_containing(ctx_begin, ctx_maxend,
+                                      begin[chunk], end[chunk])
+            return chunk[mask]
+
+    parts = _run_chunks(worker, _chunks(cand, store.shard_slices,
+                                        parallel), parallel)
+    return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+
+def _exists_containing(ctx_begin, ctx_maxend, d_begin, d_end):
+    """True where some context interval contains the candidate.
+
+    ``searchsorted(..., 'left') - 1`` is the last context begin
+    strictly below the candidate's; the prefix maximum over ends then
+    answers "does any of those reach past my end" — which, for a
+    laminar family, is containment.
+    """
+    np = _np
+    idx = np.searchsorted(ctx_begin, d_begin, side="left") - 1
+    ok = idx >= 0
+    np.maximum(idx, 0, out=idx)
+    ok &= ctx_maxend[idx] > d_end
+    return ok
+
+
+def _match_python(store: ColumnarStore, context, cand, child_axis: bool,
+                  parallel: bool):
+    begin, end, level = store._begin, store._end, store._level
+    if child_axis:
+        by_parent_level: dict[int, tuple[list[int], list[int]]] = {}
+        for position in context:
+            entry = by_parent_level.setdefault(level[position], ([], []))
+            entry[0].append(begin[position])
+            running = entry[1][-1] if entry[1] else end[position]
+            entry[1].append(max(running, end[position]))
+
+        def contains(position: int) -> bool:
+            prepared = by_parent_level.get(level[position] - 1)
+            if prepared is None:
+                return False
+            idx = bisect.bisect_left(prepared[0], begin[position]) - 1
+            return idx >= 0 and prepared[1][idx] > end[position]
+    else:
+        ctx_begin = [begin[position] for position in context]
+        ctx_maxend: list[int] = []
+        running = None
+        for position in context:
+            value = end[position]
+            running = value if running is None else max(running, value)
+            ctx_maxend.append(running)
+
+        def contains(position: int) -> bool:
+            idx = bisect.bisect_left(ctx_begin, begin[position]) - 1
+            return idx >= 0 and ctx_maxend[idx] > end[position]
+
+    def worker(chunk):
+        return [position for position in chunk if contains(position)]
+
+    parts = _run_chunks(worker, _chunks(cand, store.shard_slices,
+                                        parallel), parallel)
+    merged: list[int] = []
+    for part in parts:
+        merged.extend(part)
+    return store._positions(merged)
+
+
+# ---------------------------------------------------------------------------
+# the fourth evaluator
+# ---------------------------------------------------------------------------
+def evaluate_columnar(store: Any, query: XPathQuery,
+                      stats: Counters = NULL_COUNTERS,
+                      parallel: bool = False) -> list[XMLElement]:
+    """Batch range-intersection XPath evaluation (module docstring).
+
+    ``store`` is a :class:`ColumnarStore` — or an
+    :class:`~repro.storage.interval_table.IntervalTableStore`, whose
+    :meth:`~repro.storage.interval_table.IntervalTableStore.columnar`
+    view is used.  Same front end and results as the other three
+    evaluators (elements in document order); all index scans,
+    comparisons and attribute row fetches are charged to ``stats``.
+    ``parallel=True`` fans each step's candidate pass out over the
+    store's per-shard segments.
+    """
+    if not isinstance(store, ColumnarStore):
+        store = store.columnar()
+    first = query.steps[0]
+    positions = store.tag_positions(first.test, stats)
+    if first.axis == CHILD:
+        level = store._level
+        positions = store._positions(
+            position for position in positions if level[position] == 0)
+    positions = _attribute_filter(store, first, positions, stats)
+    for step in query.steps[1:]:
+        cand = store.tag_positions(step.test, stats)
+        positions = _match_step(store, positions, cand,
+                                step.axis == CHILD, stats, parallel)
+        positions = _attribute_filter(store, step, positions, stats)
+    return [store.elements[position] for position in positions]
+
+
+def _attribute_filter(store: ColumnarStore, step: Step, positions,
+                      stats: Counters):
+    """Apply a step's attribute predicate (one row fetch per candidate)."""
+    if step.attribute is None:
+        return positions
+    key, value = step.attribute
+    kept = []
+    for position in positions:
+        stats.tuple_reads += 1
+        if store.elements[position].attributes.get(key) == value:
+            kept.append(position)
+    return store._positions(kept)

@@ -1,15 +1,19 @@
-"""Three interchangeable XPath evaluators (experiment E9).
+"""Interchangeable XPath evaluators (experiment E9).
 
 * :func:`evaluate_dom` — pointer-chasing navigation over the DOM; the
-  ground truth the other two are checked against;
+  ground truth the others are checked against;
 * :func:`evaluate_interval` — the paper's plan: per step, **one**
   stack-based merge self-join over region labels (child steps add a level
   check);
 * :func:`evaluate_edge` — the edge-table plan (§1 ref [11]): one
   index self-join per child step, an *iterated* self-join fix-point per
-  descendant step.
+  descendant step;
+* :func:`repro.query.columnar.evaluate_columnar` — the same interval
+  plan executed as batch range-intersection passes over flat label
+  columns (vectorized; optionally against a pinned, lock-free
+  :class:`~repro.concurrent.engine.LabelSnapshot`).
 
-All three return elements in document order; their tuple-access counters
+All return elements in document order; their tuple-access counters
 quantify the paper's "as efficient as child-axis" claim.
 
 The interval plan's (begin, end) inputs come from
@@ -85,7 +89,7 @@ def evaluate_interval(store: IntervalTableStore, query: XPathQuery,
     """One structural self-join per step over (begin, end) labels."""
     context = _first_step_interval(store, query.steps[0], stats)
     for step in query.steps[1:]:
-        candidates = _tag_triples(store, step)
+        candidates = _tag_triples(store, step, stats)
         pairs = merge_interval_join(sorted(context), candidates, stats)
         if step.axis == CHILD:
             matched = {
@@ -106,7 +110,7 @@ def evaluate_interval(store: IntervalTableStore, query: XPathQuery,
 
 def _first_step_interval(store: IntervalTableStore, step: Step,
                          stats: Counters) -> list[tuple[Any, Any, int]]:
-    triples = _tag_triples(store, step)
+    triples = _tag_triples(store, step, stats)
     if step.axis == CHILD:
         triples = [triple for triple in triples
                    if store.level_of(triple[2]) == 0]
@@ -131,15 +135,13 @@ def _attribute_filter_interval(store: IntervalTableStore, step: Step,
     return kept
 
 
-def _tag_triples(store: IntervalTableStore, step: Step
-                 ) -> list[tuple[Any, Any, int]]:
+def _tag_triples(store: IntervalTableStore, step: Step,
+                 stats: Counters) -> list[tuple[Any, Any, int]]:
+    # public index API only; the scan charge lands on the same stats
+    # object the join and attribute filters use
     if step.test == "*":
-        triples: list[tuple[Any, Any, int]] = []
-        for tag in sorted(store._by_tag):
-            triples.extend(store.region_list(tag))
-        triples.sort()
-        return triples
-    return store.region_list(step.test)
+        return store.all_regions(stats)
+    return store.region_list(step.test, stats)
 
 
 # ---------------------------------------------------------------------------

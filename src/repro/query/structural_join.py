@@ -82,7 +82,9 @@ def index_skip_join(ancestors: Sequence[Triple],
     """Per-ancestor index range probe on descendant begin labels.
 
     ``index`` may be supplied pre-built (begin -> (end, payload)); it is
-    built on the fly otherwise (cost counted).
+    built on the fly otherwise (cost counted).  Probe node accesses are
+    always charged to ``stats`` — a pre-built index's own counters
+    belong to whoever built it, not to this join.
     """
     if index is None:
         index = CountedBTree(order=32, stats=stats)
@@ -92,7 +94,7 @@ def index_skip_join(ancestors: Sequence[Triple],
     for a_begin, a_end, a_payload in ancestors:
         stats.tuple_reads += 1
         for d_begin, (d_end, d_payload) in index.iter_range(
-                a_begin, a_end):
+                a_begin, a_end, stats=stats):
             stats.comparisons += 1
             if d_end < a_end:
                 yield a_payload, d_payload

@@ -61,7 +61,10 @@ class Step:
         predicate = ""
         if self.attribute is not None:
             key, value = self.attribute
-            predicate = f"[@{key}='{value}']"
+            # values holding a single quote must use the grammar's
+            # double-quoted form, or the output would not re-parse
+            quote = '"' if "'" in value else "'"
+            predicate = f"[@{key}={quote}{value}{quote}]"
         return f"{prefix}{self.test}{predicate}"
 
 

@@ -196,19 +196,28 @@ class CountedBTree:
         """All keys in order."""
         return (key for key, _ in self.items())
 
-    def iter_range(self, low: Any, high: Any) -> Iterator[tuple[Any, Any]]:
-        """(key, value) pairs with ``low <= key < high`` in key order."""
+    def iter_range(self, low: Any, high: Any,
+                   stats: Optional[Counters] = None
+                   ) -> Iterator[tuple[Any, Any]]:
+        """(key, value) pairs with ``low <= key < high`` in key order.
+
+        Node touches are charged to ``stats`` when given, else to the
+        tree's own counters — so a pre-built index probed on behalf of
+        another query can bill the *prober*, not its builder.
+        """
         if high <= low:
             return
+        if stats is None:
+            stats = self.stats
         node = self._root
         while not node.is_leaf:
-            self.stats.node_accesses += 1
+            stats.node_accesses += 1
             assert node.children is not None
             node = node.children[bisect.bisect_right(node.keys, low)]
         current: Optional[_Node] = node
         start = bisect.bisect_left(node.keys, low)
         while current is not None:
-            self.stats.node_accesses += 1
+            stats.node_accesses += 1
             assert current.values is not None
             for index in range(start, len(current.keys)):
                 if current.keys[index] >= high:

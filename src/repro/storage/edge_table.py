@@ -31,6 +31,10 @@ class EdgeTableStore:
                  stats: Counters = NULL_COUNTERS):
         self.stats = stats
         self.table = Table("edge", EDGE_COLUMNS, stats)
+        #: self-join iterations of the most recent descendant step; 0
+        #: until :meth:`descendants_of` runs (child-only query plans
+        #: never touch it, and reading it must not raise)
+        self.last_join_count = 0
         self._ids: dict[int, XMLElement] = {}
         self._load(document)
         self.parent_index = HashIndex(self.table, "parent_id")

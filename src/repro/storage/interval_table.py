@@ -57,15 +57,53 @@ class IntervalTableStore:
         """The DOM element carrying ``element_id``."""
         return self._ids[element_id]
 
-    def region_list(self, tag: str) -> list[tuple[Any, Any, int]]:
+    def region_list(self, tag: str,
+                    stats: Counters | None = None
+                    ) -> list[tuple[Any, Any, int]]:
         """(begin, end, id) triples for ``tag``, sorted by begin.
 
         Reading the per-tag list charges one tuple read per entry,
-        mirroring an index scan.
+        mirroring an index scan.  The charge lands on ``stats`` when
+        given, else on the store's own counters — callers running a
+        query against their own :class:`Counters` pass them here so
+        index scans and joins are billed to one object.
         """
         triples = self._by_tag.get(tag, [])
-        self.stats.tuple_reads += len(triples)
+        (self.stats if stats is None else stats).tuple_reads += \
+            len(triples)
         return triples
+
+    def tags(self) -> list[str]:
+        """All distinct element tags, sorted (no accounting charge)."""
+        return sorted(self._by_tag)
+
+    def all_regions(self, stats: Counters | None = None
+                    ) -> list[tuple[Any, Any, int]]:
+        """(begin, end, id) triples for *every* element, sorted by begin.
+
+        The wildcard-step scan: charges one tuple read per entry, to
+        ``stats`` when given (see :meth:`region_list`).
+        """
+        triples: list[tuple[Any, Any, int]] = []
+        for tag in self.tags():
+            triples.extend(self.region_list(tag, stats))
+        triples.sort()
+        return triples
+
+    def columnar(self) -> Any:
+        """This store's document as a vectorized-query column store.
+
+        Built lazily (and cached) from the same labeled document, so
+        :func:`repro.query.columnar.evaluate_columnar` accepts an
+        ``IntervalTableStore`` directly.  Imported in-method to keep
+        ``storage`` free of a static dependency on ``query``.
+        """
+        store = getattr(self, "_columnar", None)
+        if store is None:
+            from repro.query.columnar import ColumnarStore
+            store = self._columnar = ColumnarStore.from_labeled(
+                self.labeled, self.stats)
+        return store
 
     def level_of(self, element_id: int) -> int:
         """Stored level of an element (for parent-axis filtering)."""

@@ -121,3 +121,57 @@ class TestCostAsymmetry:
         edge = EdgeTableStore(document)
         evaluate_edge(edge, parse_xpath("/level0//level9"))
         assert edge.last_join_count == 10
+
+    def test_edge_join_count_defined_before_any_descendant_step(self):
+        """Regression: reading ``last_join_count`` used to raise
+        ``AttributeError`` until the first descendant step ran."""
+        document = deep_document(4)
+        edge = EdgeTableStore(document)
+        assert edge.last_join_count == 0
+        evaluate_edge(edge, parse_xpath("/level0/level1/level2"))
+        assert edge.last_join_count == 0  # child-only plan: no fix-point
+
+
+class TestCounterRouting:
+    def test_interval_scans_charge_the_callers_counters(self):
+        """Regression: ``evaluate_interval(store, query, stats)`` used
+        to charge index scans to ``store.stats`` while charging joins
+        to ``stats`` — the caller's numbers under-counted whenever the
+        two objects differed."""
+        document = DOCUMENTS["xmark"]()
+        store_stats = Counters()
+        store = IntervalTableStore(LabeledDocument(document),
+                                   store_stats)
+        store_stats.reset()
+        mine = Counters()
+        evaluate_interval(store, parse_xpath("//item/name"), mine)
+        assert mine.tuple_reads > 0
+        assert store_stats.tuple_reads == 0
+
+    def test_wildcard_scans_also_charge_the_caller(self):
+        document = DOCUMENTS["book"]()
+        store_stats = Counters()
+        store = IntervalTableStore(LabeledDocument(document),
+                                   store_stats)
+        store_stats.reset()
+        mine = Counters()
+        evaluate_interval(store, parse_xpath("//*"), mine)
+        assert mine.tuple_reads > 0
+        assert store_stats.tuple_reads == 0
+
+
+class TestPublicIndexApi:
+    def test_tags_and_all_regions(self):
+        document = DOCUMENTS["tiny"]()
+        store = IntervalTableStore(LabeledDocument(document))
+        assert store.tags() == ["a", "b", "c"]
+        regions = store.all_regions()
+        assert len(regions) == 3
+        assert regions == sorted(regions)  # sorted by begin
+
+    def test_all_regions_charges_given_counters(self):
+        document = DOCUMENTS["tiny"]()
+        store = IntervalTableStore(LabeledDocument(document))
+        mine = Counters()
+        store.all_regions(mine)
+        assert mine.tuple_reads == 3

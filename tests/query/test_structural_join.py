@@ -99,3 +99,18 @@ class TestCosts:
         stats = Counters()
         got = sorted(index_skip_join(regions, regions, stats, index))
         assert got == _brute_force(regions, regions)
+
+    def test_prebuilt_index_probes_charge_the_join_stats(self):
+        """Regression: probing a pre-built index used to charge
+        ``node_accesses`` to the index *builder's* counters, so the
+        joining query looked free."""
+        from repro.storage.btree import CountedBTree
+        regions = _random_regions(13)
+        builder = Counters()
+        index = CountedBTree(order=16, stats=builder)
+        index.bulk_load((b, (e, p)) for b, e, p in regions)
+        builder.reset()
+        stats = Counters()
+        list(index_skip_join(regions, regions, stats, index))
+        assert stats.node_accesses > 0
+        assert builder.node_accesses == 0

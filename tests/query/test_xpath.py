@@ -1,6 +1,8 @@
 """XPath subset parser."""
 
+import hypothesis.strategies as st
 import pytest
+from hypothesis import given
 
 from repro.errors import XPathSyntaxError
 from repro.query.xpath import CHILD, DESCENDANT, Step, XPathQuery, parse_xpath
@@ -35,6 +37,37 @@ class TestParsing:
 
     def test_whitespace_tolerated_at_ends(self):
         assert str(parse_xpath("  /a/b ")) == "/a/b"
+
+    def test_single_quote_in_predicate_value_roundtrips(self):
+        """Regression: ``Step.__str__`` always emitted single quotes,
+        so a value containing ``'`` produced unparseable output."""
+        query = XPathQuery((Step(DESCENDANT, "item",
+                                 ("title", "O'Brien")),))
+        assert parse_xpath(str(query)) == query
+        assert '"' in str(query)
+
+
+_NAMES = st.from_regex(r"[A-Za-z_][A-Za-z0-9_.:\-]{0,8}", fullmatch=True)
+# anything the grammar can hold: one quote kind must remain usable
+_VALUES = st.text(
+    st.characters(blacklist_characters="\"'", blacklist_categories=("Cs",)),
+    max_size=12)
+_STEPS = st.builds(
+    Step,
+    axis=st.sampled_from([CHILD, DESCENDANT]),
+    test=st.one_of(st.just("*"), _NAMES),
+    attribute=st.one_of(
+        st.none(),
+        st.tuples(_NAMES, _VALUES),
+        st.tuples(_NAMES, _VALUES.map(lambda v: v + "'"))))
+_QUERIES = st.builds(XPathQuery,
+                     st.lists(_STEPS, min_size=1, max_size=4).map(tuple))
+
+
+class TestRoundTripProperty:
+    @given(query=_QUERIES)
+    def test_parse_of_str_is_identity(self, query):
+        assert parse_xpath(str(query)) == query
 
 
 class TestErrors:
