@@ -2,23 +2,25 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR6.json
+    python benchmarks/run_all.py              # writes BENCH_PR7.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the eight headline suites — bulk load, random single inserts, §4.1
+Runs the nine headline suites — bulk load, random single inserts, §4.1
 run inserts, the query-containment plan, byte-image restore, the
 sharded-vs-flat engine head-to-head, the concurrent document
 service (writer scaling over disjoint shards, group-commit vs per-op
-fsync, snapshot reads under writes), and the query-evaluator
+fsync, snapshot reads under writes), the query-evaluator
 head-to-head (vectorized columnar vs stack-tree vs edge-table, plus
-snapshot-query throughput under a live writer) — and writes one
-machine-readable record to ``BENCH_PR6.json`` at the repo root.  That
-file is the tracked perf trajectory: every future perf PR re-runs this
-harness and compares against the committed baseline instead of
-re-deriving numbers from prose.  CI regenerates the JSON, uploads it as
-an artifact, and runs ``benchmarks/compare_baselines.py`` against the
-previous committed baseline (``BENCH_PR5.json``), failing on
-regressions in the metrics that are comparable across machines.
+snapshot-query throughput under a live writer), and online shard
+rebalancing (skewed-tail insert cost with the split/merge policy on vs
+off) — and writes one machine-readable record to ``BENCH_PR7.json`` at
+the repo root.  That file is the tracked perf trajectory: every future
+perf PR re-runs this harness and compares against the committed
+baseline instead of re-deriving numbers from prose.  CI regenerates
+the JSON, uploads it as an artifact, and runs
+``benchmarks/compare_baselines.py`` against the previous committed
+baseline (``BENCH_PR6.json``), failing on regressions in the metrics
+that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
 of the system uses (``make_scheme``, ``LabeledDocument``,
@@ -248,6 +250,93 @@ def suite_sharded(scale: float) -> dict:
             insert_seconds["ltree-sharded"], 2),
         "count_updates_per_insert": count_updates,
         "shards_written_single_anchor": shards_written,
+    }
+
+
+def suite_rebalance(scale: float) -> dict:
+    """Online rebalancing at a skewed tail: split/merge policy on vs off.
+
+    Every insert lands after one hot anchor, so a single shard's arena
+    keeps growing while the other seven idle.  With the policy off the
+    paper's ``h`` cost term climbs with the fat arena's height; with
+    the policy on, :class:`RebalancePolicy` periodically splits the
+    hot shard, so the *tail* of the workload pays the short-arena
+    price.  The machine-independent gate is
+    ``tail.count_updates_per_insert`` — policy_on must stay below
+    policy_off over the last quarter of the ops — plus the final skew
+    ratio.  The pause seconds record what each online split/merge
+    round actually cost the writer (never stop-the-world; the threaded
+    tests prove uninvolved writers don't wait at all).
+    """
+    from repro.core.sharded import RebalancePolicy, ShardedCompactLTree
+
+    n = max(500, int(4000 * scale))
+    n_ops = max(1000, int(20_000 * scale))
+    tail_ops = n_ops // 4
+    cadence = max(1, n_ops // 8)
+    policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=64,
+                             max_shards=32)
+    modes = {}
+    for mode in ("policy_off", "policy_on"):
+        stats = Counters()
+        tree = ShardedCompactLTree(PARAMS, stats, n_shards=8)
+        handles = tree.bulk_load(range(n))
+        anchor = handles[len(handles) // 3]
+        actions: list[dict] = []
+        pauses: list[float] = []
+        tail_base = None
+        # count churn the rebalance itself causes (arena rebuilds),
+        # tracked separately so the per-insert metrics price only the
+        # writer's own work
+        reb_updates = reb_inserts = 0
+        tail_reb_updates = tail_reb_inserts = 0
+        start = time.perf_counter()
+        for step in range(n_ops):
+            if step == n_ops - tail_ops:
+                tail_base = stats.snapshot()
+            anchor = tree.insert_after(anchor, step)
+            if mode == "policy_on" and step % cadence == cadence - 1:
+                pause_start = time.perf_counter()
+                before = stats.snapshot()
+                actions.extend(tree.rebalance(policy))
+                delta = stats - before
+                pauses.append(time.perf_counter() - pause_start)
+                reb_updates += delta.count_updates
+                reb_inserts += delta.inserts
+                if tail_base is not None:
+                    tail_reb_updates += delta.count_updates
+                    tail_reb_inserts += delta.inserts
+        elapsed = time.perf_counter() - start
+        tail = stats - tail_base
+        report = tree.shard_report()
+        lives = [row["live"] for row in report]
+        modes[mode] = {
+            "seconds": elapsed,
+            "count_updates_per_insert": round(
+                (stats.count_updates - reb_updates) /
+                (stats.inserts - reb_inserts), 2),
+            "tail": {"count_updates_per_insert": round(
+                (tail.count_updates - tail_reb_updates) /
+                (tail.inserts - tail_reb_inserts), 2)},
+            "splits": sum(1 for act in actions
+                          if act["action"] == "split"),
+            "merges": sum(1 for act in actions
+                          if act["action"] == "merge"),
+            "final_shards": len(report),
+            "final_epoch": tree.epoch,
+            "skew_ratio": round(
+                max(lives) / (sum(lives) / len(lives)), 2),
+            "max_pause_seconds": max(pauses) if pauses else 0.0,
+            "total_pause_seconds": sum(pauses),
+        }
+    return {
+        "n_leaves": n,
+        "n_ops": n_ops,
+        "tail_ops": tail_ops,
+        "modes": modes,
+        "tail_cost_ratio_off_over_on": round(
+            modes["policy_off"]["tail"]["count_updates_per_insert"] /
+            modes["policy_on"]["tail"]["count_updates_per_insert"], 2),
     }
 
 
@@ -505,6 +594,7 @@ SUITES = {
     "query_containment": suite_query_containment,
     "restore": suite_restore,
     "sharded": suite_sharded,
+    "rebalance": suite_rebalance,
     "concurrent": suite_concurrent,
     "query": suite_query,
 }
@@ -512,7 +602,7 @@ SUITES = {
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR6.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR7.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -524,7 +614,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR6",
+        "baseline": "PR7",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

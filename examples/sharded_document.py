@@ -10,7 +10,8 @@ touch each other's state.  This script shows the three things the
 sharding layer buys:
 
 1. **write isolation** — per-shard counters prove an edit in one
-   subtree writes exactly one arena;
+   subtree writes exactly one arena (and ``shard_report()`` shows the
+   per-shard occupancy the rebalance policy reads);
 2. **cheaper maintenance** — shard arenas are shorter than one flat
    tree, so the paper's ``h`` (count-update) cost term drops;
 3. **shard-lazy persistence** — each arena is its own blob span in the
@@ -56,6 +57,16 @@ def main() -> None:
                if (sink - base).inserts]
     print(f"  inserted under <{target.tag}> (shard {owner}): "
           f"arenas written = {written}")
+
+    print("\n== shard_report() ==")
+    print(f"  {'id':>4s} {'pos':>4s} {'live':>6s} {'tomb':>6s} "
+          f"{'leaves':>7s} {'inserts':>8s}")
+    for row in scheme.shard_report():
+        counters = row["counters"] or {}
+        print(f"  {row['id']:4d} {row['position']:4d} "
+              f"{row['live']:6d} {row['tombstones']:6d} "
+              f"{row['leaves']:7d} "
+              f"{counters.get('inserts', 0):8d}")
 
     # -- 2. the h-term discount ---------------------------------------
     print("\n== count updates per insert (2000 uniform inserts) ==")

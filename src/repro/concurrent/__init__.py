@@ -24,10 +24,12 @@ multi-writer, incrementally durable service:
 from repro.concurrent.engine import ConcurrentLTree, LabelSnapshot
 from repro.concurrent.locks import RWLock, ShardLockTable
 from repro.concurrent.service import ConcurrentDocument, apply_logged_op
+from repro.core.sharded import RebalancePolicy
 
 __all__ = [
     "ConcurrentLTree",
     "LabelSnapshot",
+    "RebalancePolicy",
     "RWLock",
     "ShardLockTable",
     "ConcurrentDocument",

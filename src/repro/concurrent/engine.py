@@ -16,7 +16,7 @@ shard-locality makes cheap:
   reader can compose that shard's labels with the stale stride because
   its lock is taken;
 * **consistent bulk reads** — ``labels()`` / ``label_map()`` acquire
-  every shard's read lock (ascending rank) before reading the stride,
+  every shard's read lock (ascending id) before reading the stride,
   so the composed sequence is one consistent cut;
 * **zero-lock snapshot reads** — :meth:`snapshot` pins, per shard, the
   immutable payload-free byte image the lazy-reopen path already serves
@@ -24,6 +24,21 @@ shard-locality makes cheap:
   per shard version so an unchanged shard is pinned for free.  The
   resulting :class:`LabelSnapshot` answers label / order / containment
   queries against live writers without taking any lock.
+
+**Online rebalancing** rides the same locks.  :meth:`split_shard` /
+:meth:`merge_shards` take the latch *shared* plus only the involved
+shards' write locks — never stop-the-world — and commit the engine's
+new directory epoch under the directory latch, journaling a logical
+``split``/``merge`` record *before* the new shards become visible (so
+the WAL tape can never order an op on a new shard ahead of its
+creation).  Writers to uninvolved shards proceed throughout; a writer
+whose handle names a just-retired shard re-resolves it through the
+engine's forwarding table and retries against the successor — the
+resolve → lock → recheck loop in :meth:`_routed`.  A pinned
+:class:`LabelSnapshot` is entirely unaffected: it holds its own
+directory cut (ids, positions, stride, images) plus the grow-only
+forwarding table, so a rebalance committing under it changes nothing it
+can observe.
 
 Whole-structure operations — ``bulk_load`` (the shard set is rebuilt),
 ``compact``, ``save``, ``validate``, materializing enumerations that
@@ -40,76 +55,126 @@ the write-ahead log in here).
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.concurrent.locks import ShardLockTable
 from repro.core.params import LTreeParams
-from repro.core.sharded import _Shard, ShardedCompactLTree
+from repro.core.sharded import (RebalancePolicy, _Shard,
+                                ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
 
 
 class LabelSnapshot:
     """An immutable label view pinned from per-shard byte images.
 
-    Holds one lazy :class:`~repro.core.sharded._Shard` per shard rank —
-    the same structure the shard-lazy reopen path reads — plus the
-    stride at pin time.  Every query below runs against those frozen
-    bytes: no locks, no interaction with live writers, and two
-    snapshots with equal :attr:`epoch` are guaranteed bit-identical.
+    Holds one lazy :class:`~repro.core.sharded._Shard` per shard —
+    the same structure the shard-lazy reopen path reads — plus its own
+    cut of the shard directory: the id order, positions and stride at
+    pin time, and a reference to the engine's grow-only forwarding
+    table.  Every query below runs against those frozen bytes: no
+    locks, no interaction with live writers, and two snapshots with
+    equal :attr:`epoch` are guaranteed bit-identical.  A rebalance
+    committing *after* the pin is invisible — the snapshot keeps
+    composing from its own directory cut — while handles minted
+    *before* the pin keep resolving through the forwarding table even
+    if their shard was rebalanced away pre-pin.
     """
 
-    __slots__ = ("params", "stride", "epoch", "_shards")
+    __slots__ = ("params", "stride", "epoch", "ids", "_positions",
+                 "_shards", "_forwarding")
 
     def __init__(self, params: LTreeParams, stride: int,
-                 shards: list[_Shard], epoch: tuple[int, ...]):
+                 ids: Sequence[int], shards: list[_Shard],
+                 forwarding: dict[tuple[int, int], tuple[int, int]],
+                 epoch: tuple):
         self.params = params
         self.stride = stride
-        #: per-shard write-version vector at pin time (equal epochs ⇒
-        #: bit-identical snapshots)
+        #: (directory epoch, (shard id, write version)...) at pin time
+        #: (equal epochs ⇒ bit-identical snapshots)
         self.epoch = epoch
+        #: shard ids in document order at pin time
+        self.ids = tuple(ids)
+        self._positions = {sid: pos for pos, sid in enumerate(self.ids)}
         self._shards = shards
+        self._forwarding = forwarding
 
     @property
     def shard_count(self) -> int:
         return len(self._shards)
 
+    def resolve(self, handle: tuple[int, int]) -> tuple[int, int]:
+        """The pin-time ``(shard_id, slot)`` a handle denotes.
+
+        Chases the forwarding table until the id lands in the pinned
+        membership — entries added by rebalances *after* the pin are
+        never followed, because resolution stops the moment the id is
+        one of ours (the grow-only table is safely shared with the
+        live engine for exactly this reason).
+        """
+        sid, slot = handle[0], handle[1]
+        positions = self._positions
+        while sid not in positions:
+            bridge = self._forwarding.get((sid, slot))
+            if bridge is None:
+                raise ValueError(
+                    f"handle {(handle[0], handle[1])!r} names unknown "
+                    f"shard {sid}")
+            sid, slot = bridge
+        return (sid, slot)
+
+    def _shard_of(self, handle: tuple[int, int]
+                  ) -> tuple[int, _Shard, int]:
+        sid, slot = self.resolve(handle)
+        return self._positions[sid], self._shards[self._positions[sid]], \
+            slot
+
+    def shard_prefix(self, shard_id: int) -> int:
+        """Global-label prefix of one pinned shard id."""
+        position = self._positions.get(shard_id)
+        if position is None:
+            raise ValueError(f"no shard with id {shard_id} in this "
+                             f"snapshot")
+        return position * self.stride
+
     def label(self, handle: tuple[int, int]) -> int:
         """Global label of a live handle at pin time."""
-        rank, slot = handle
-        shard = self._shards[rank]
+        position, shard, slot = self._shard_of(handle)
         if shard.is_deleted(slot):
             raise ValueError("handle refers to a deleted item")
-        return rank * self.stride + shard.num(slot)
+        return position * self.stride + shard.num(slot)
 
     def is_deleted(self, handle: tuple[int, int]) -> bool:
-        rank, slot = handle
-        return self._shards[rank].is_deleted(slot)
+        _position, shard, slot = self._shard_of(handle)
+        return shard.is_deleted(slot)
 
     def handles(self) -> Iterator[tuple[int, int]]:
         """Live handles in document order at pin time."""
-        for rank, shard in enumerate(self._shards):
+        for sid, shard in zip(self.ids, self._shards):
             for slot in shard.live_slots():
-                yield (rank, slot)
+                yield (sid, slot)
 
     def labels(self) -> list[int]:
         """Live labels in document order (strictly increasing)."""
         out: list[int] = []
-        for rank, shard in enumerate(self._shards):
-            prefix = rank * self.stride
+        for position, shard in enumerate(self._shards):
+            prefix = position * self.stride
             out.extend(prefix + value for value in shard.nums_of_live())
         return out
 
     def label_map(self) -> dict[tuple[int, int], int]:
         mapping: dict[tuple[int, int], int] = {}
-        for rank, shard in enumerate(self._shards):
-            prefix = rank * self.stride
+        for position, (sid, shard) in enumerate(zip(self.ids,
+                                                    self._shards)):
+            prefix = position * self.stride
             mapping.update(
-                ((rank, slot), prefix + value)
+                ((sid, slot), prefix + value)
                 for slot, value in zip(shard.live_slots(),
                                        shard.nums_of_live()))
         return mapping
 
-    def label_columns(self, rank: int) -> tuple[list[int], Sequence[int]]:
+    def label_columns(self, shard_id: int
+                      ) -> tuple[list[int], Sequence[int]]:
         """``(live_slots, local_label_column)`` of one pinned shard.
 
         The columnar query engine's bulk-input hook: the slot-indexed
@@ -117,11 +182,15 @@ class LabelSnapshot:
         memoized on the shard — a pinned shard can never change), so a
         query extracts every label it needs in one pass per shard
         instead of one :meth:`label` call per node.  Compose the global
-        label of ``slot`` as ``rank * stride + column[slot]``.  Like
-        every other read on this object, this takes no locks and never
-        touches the live engine.
+        label of ``slot`` as ``shard_prefix(shard_id) + column[slot]``.
+        Like every other read on this object, this takes no locks and
+        never touches the live engine.
         """
-        shard = self._shards[rank]
+        position = self._positions.get(shard_id)
+        if position is None:
+            raise ValueError(f"no shard with id {shard_id} in this "
+                             f"snapshot")
+        shard = self._shards[position]
         return list(shard.live_slots()), shard.num_column()
 
     def precedes(self, first: tuple[int, int],
@@ -166,15 +235,24 @@ class ConcurrentLTree:
         self._engine = engine
         self._journal = journal
         engine.defer_directory_growth = True
-        self._locks = ShardLockTable(engine.shard_count)
-        #: serializes every stride write — the global critical section
+        self._locks = ShardLockTable(engine.shard_ids)
+        #: serializes every directory write — stride bumps and
+        #: rebalance commits — the global critical section.  Installed
+        #: into the engine so its split/merge commits run under it.
         self._directory_latch = threading.Lock()
-        self._versions = [0] * engine.shard_count
-        #: rank -> (version, image, live, meta) pinned-image cache
+        engine.directory_mutex = self._directory_latch
+        self._versions: dict[int, int] = {sid: 0
+                                          for sid in engine.shard_ids}
+        #: shard id -> (version, image, live, meta) pinned-image cache
         self._image_cache: dict[int, tuple] = {}
         #: stop-the-world stride bumps performed (mirrors the engine's
         #: ``directory_rebuilds`` but counted by the wrapper)
         self.stride_bumps = 0
+        #: test seam: called at named points inside split/merge while
+        #: their locks are held (e.g. ``("split:locked", shard_id)``) —
+        #: the writer-isolation tests park a rebalance here and prove
+        #: uninvolved shards' writers sail past it
+        self.rebalance_hook: Optional[Callable[..., Any]] = None
 
     # ------------------------------------------------------------------
     # engine passthrough metadata
@@ -205,6 +283,14 @@ class ConcurrentLTree:
         return self._engine.shard_count
 
     @property
+    def shard_ids(self) -> tuple[int, ...]:
+        return self._engine.shard_ids
+
+    @property
+    def epoch(self) -> int:
+        return self._engine.epoch
+
+    @property
     def shard_counters(self) -> list[Counters]:
         return self._engine.shard_counters
 
@@ -225,6 +311,14 @@ class ConcurrentLTree:
         return self._engine.directory_rebuilds
 
     @property
+    def shard_splits(self) -> int:
+        return self._engine.shard_splits
+
+    @property
+    def shard_merges(self) -> int:
+        return self._engine.shard_merges
+
+    @property
     def label_space(self) -> int:
         return self._engine.label_space
 
@@ -237,88 +331,163 @@ class ConcurrentLTree:
         with self._locks.read_all():
             return self._engine.tombstone_count()
 
+    def has_shard(self, shard_id: int) -> bool:
+        return self._engine.has_shard(shard_id)
+
+    def resolve_handle(self, handle: tuple[int, int]) -> tuple[int, int]:
+        """Current-epoch resolution of a possibly pre-rebalance handle."""
+        return self._engine.resolve_handle(handle)
+
+    def shard_report(self) -> list[dict]:
+        """Per-shard occupancy rows under a consistent read cut."""
+        with self._locks.read_all():
+            return self._engine.shard_report()
+
     # ------------------------------------------------------------------
     # write path (latch shared + one shard exclusive)
     # ------------------------------------------------------------------
-    def _after_write(self, rank: int, op: Optional[dict]) -> None:
-        """Version bump, journaling, and the deferred stride bump —
-        all while the caller still holds shard ``rank``'s write lock."""
-        self._versions[rank] += 1
+    @contextmanager
+    def _routed(self, handle: tuple[int, int],
+                write: bool = True) -> Iterator[tuple[int, tuple[int,
+                                                                 int]]]:
+        """Resolve → lock → recheck loop for one routed op.
+
+        Resolves the handle through the engine's forwarding table,
+        locks the target shard, then re-checks it is still in the
+        directory: a rebalance that retired it between the resolve and
+        the acquire makes the check fail, the lock is dropped and the
+        resolve retried against the successor shard.  Ids are never
+        reused, so a shard that passes the recheck under its held lock
+        provably stays in the directory for the critical section —
+        membership changes to it would need this very lock.  Yields
+        ``(shard_id, resolved_handle)``.
+        """
+        engine = self._engine
+        locks = self._locks
+        with locks.latch.read():
+            while True:
+                sid, slot = engine.resolve_handle(handle)
+                lock = locks.lock_for(sid)
+                if lock is None:
+                    # retired between resolve and lookup (commit in
+                    # flight); the forwarding entry is already there
+                    continue
+                if write:
+                    lock.acquire_write()
+                else:
+                    lock.acquire_read()
+                if engine.has_shard(sid):
+                    break
+                if write:
+                    lock.release_write()
+                else:
+                    lock.release_read()
+            try:
+                yield sid, (sid, slot)
+            finally:
+                if write:
+                    lock.release_write()
+                else:
+                    lock.release_read()
+
+    @contextmanager
+    def _edge_write(self, last: bool) -> Iterator[int]:
+        """Write lock on the current first/last shard; yields its id.
+
+        The id is resolved under the latch and re-checked under its
+        lock, so an ``append`` racing a split of the tail shard locks
+        the shard the engine will actually route to — never a stale
+        one.
+        """
+        engine = self._engine
+        locks = self._locks
+        with locks.latch.read():
+            while True:
+                ids = engine.shard_ids
+                sid = ids[-1] if last else ids[0]
+                lock = locks.lock_for(sid)
+                if lock is None:
+                    continue
+                lock.acquire_write()
+                ids = engine.shard_ids
+                if (ids[-1] if last else ids[0]) == sid:
+                    break
+                lock.release_write()
+            try:
+                yield sid
+            finally:
+                lock.release_write()
+
+    def _after_write(self, shard_id: int, op: Optional[dict]) -> None:
+        """Version bump, journaling, and the deferred stride bump — all
+        while the caller still holds shard ``shard_id``'s write lock."""
+        self._versions[shard_id] += 1
         if op is not None and self._journal is not None:
             self._journal(op)
-        if self._engine.needs_directory_growth(rank):
+        if self._engine.needs_directory_growth(shard_id):
             with self._directory_latch:
-                if self._engine.grow_directory(rank):
+                if self._engine.grow_directory(shard_id):
                     self.stride_bumps += 1
 
     def insert_after(self, handle: tuple[int, int],
                      payload: Any) -> tuple[int, int]:
-        rank = handle[0]
-        with self._locks.op_write(rank):
-            leaf = self._engine.insert_after(handle, payload)
-            self._after_write(rank, {"op": "insert_after",
-                                     "h": list(handle), "p": payload})
+        with self._routed(handle) as (sid, resolved):
+            leaf = self._engine.insert_after(resolved, payload)
+            self._after_write(sid, {"op": "insert_after",
+                                    "h": list(resolved), "p": payload})
             return leaf
 
     def insert_before(self, handle: tuple[int, int],
                       payload: Any) -> tuple[int, int]:
-        rank = handle[0]
-        with self._locks.op_write(rank):
-            leaf = self._engine.insert_before(handle, payload)
-            self._after_write(rank, {"op": "insert_before",
-                                     "h": list(handle), "p": payload})
+        with self._routed(handle) as (sid, resolved):
+            leaf = self._engine.insert_before(resolved, payload)
+            self._after_write(sid, {"op": "insert_before",
+                                    "h": list(resolved), "p": payload})
             return leaf
 
     def append(self, payload: Any) -> tuple[int, int]:
-        # the tail rank is resolved by the lock table *under the latch*
-        # so a concurrent bulk_load resize cannot leave the last shard
-        # unlocked (or crash on a stale index)
-        with self._locks.tail_write() as rank:
+        with self._edge_write(last=True) as sid:
             leaf = self._engine.append(payload)
-            self._after_write(rank, {"op": "append", "p": payload})
+            self._after_write(sid, {"op": "append", "p": payload})
             return leaf
 
     def prepend(self, payload: Any) -> tuple[int, int]:
-        with self._locks.op_write(0):
+        with self._edge_write(last=False) as sid:
             leaf = self._engine.prepend(payload)
-            self._after_write(0, {"op": "prepend", "p": payload})
+            self._after_write(sid, {"op": "prepend", "p": payload})
             return leaf
 
     def insert_run_after(self, handle: tuple[int, int],
                          payloads: Sequence[Any]) -> list[tuple[int, int]]:
-        rank = handle[0]
         items = list(payloads)
-        with self._locks.op_write(rank):
-            leaves = self._engine.insert_run_after(handle, items)
-            self._after_write(rank, {"op": "insert_run_after",
-                                     "h": list(handle), "ps": items})
+        with self._routed(handle) as (sid, resolved):
+            leaves = self._engine.insert_run_after(resolved, items)
+            self._after_write(sid, {"op": "insert_run_after",
+                                    "h": list(resolved), "ps": items})
             return leaves
 
     def insert_run_before(self, handle: tuple[int, int],
                           payloads: Sequence[Any]
                           ) -> list[tuple[int, int]]:
-        rank = handle[0]
         items = list(payloads)
-        with self._locks.op_write(rank):
-            leaves = self._engine.insert_run_before(handle, items)
-            self._after_write(rank, {"op": "insert_run_before",
-                                     "h": list(handle), "ps": items})
+        with self._routed(handle) as (sid, resolved):
+            leaves = self._engine.insert_run_before(resolved, items)
+            self._after_write(sid, {"op": "insert_run_before",
+                                    "h": list(resolved), "ps": items})
             return leaves
 
     def mark_deleted(self, handle: tuple[int, int]) -> None:
-        rank = handle[0]
-        with self._locks.op_write(rank):
-            self._engine.mark_deleted(handle)
-            self._after_write(rank, {"op": "delete", "h": list(handle)})
+        with self._routed(handle) as (sid, resolved):
+            self._engine.mark_deleted(resolved)
+            self._after_write(sid, {"op": "delete", "h": list(resolved)})
 
     def set_payload(self, handle: tuple[int, int], payload: Any) -> None:
-        rank = handle[0]
-        with self._locks.op_write(rank):
-            self._engine.set_payload(handle, payload)
+        with self._routed(handle) as (_sid, resolved):
+            self._engine.set_payload(resolved, payload)
             # payloads never touch labels: no version bump (snapshots
             # stay valid), but the op is journaled for recovery
             if self._journal is not None:
-                self._journal({"op": "set_payload", "h": list(handle),
+                self._journal({"op": "set_payload", "h": list(resolved),
                                "p": payload})
 
     def bulk_load(self, payloads: Sequence[Any],
@@ -328,8 +497,8 @@ class ConcurrentLTree:
         items = list(payloads)
         with self._locks.exclusive():
             handles = self._engine.bulk_load(items, boundaries=boundaries)
-            self._locks.resize(self._engine.shard_count)
-            self._versions = [1] * self._engine.shard_count
+            self._locks.set_shards(self._engine.shard_ids)
+            self._versions = {sid: 1 for sid in self._engine.shard_ids}
             self._image_cache.clear()
             if self._journal is not None:
                 self._journal({
@@ -346,9 +515,170 @@ class ConcurrentLTree:
         """
         with self._locks.exclusive():
             mapping = self._engine.compact(params)
-            self._versions = [version + 1 for version in self._versions]
+            self._versions = {sid: version + 1 for sid, version
+                              in self._versions.items()}
             self._image_cache.clear()
             return mapping
+
+    # ------------------------------------------------------------------
+    # online rebalancing (latch shared + involved shards exclusive)
+    # ------------------------------------------------------------------
+    def _fire_hook(self, stage: str, *args: Any) -> None:
+        hook = self.rebalance_hook
+        if hook is not None:
+            hook(stage, *args)
+
+    def split_shard(self, shard_id: int, at_leaf: int,
+                    new_ids: Optional[Sequence[int]] = None
+                    ) -> tuple[int, int]:
+        """Split one shard online; returns the two new shard ids.
+
+        Holds the latch *shared* and only ``shard_id``'s write lock:
+        writers and readers of every other shard are completely
+        unaffected (the writer-isolation tests prove it).  The engine
+        commit — new directory epoch, forwarding entries — runs under
+        the directory latch; the WAL record and the new shards' locks
+        are installed by ``on_commit`` *before* the new ids become
+        visible, so no racing writer can touch (or journal against) a
+        new shard ahead of its creation record.
+        """
+        engine = self._engine
+        locks = self._locks
+        with locks.latch.read():
+            lock = locks.lock_for(shard_id)
+            if lock is None:
+                raise ValueError(f"no shard with id {shard_id}")
+            lock.acquire_write()
+            try:
+                if not engine.has_shard(shard_id):
+                    raise ValueError(f"no shard with id {shard_id}")
+                self._fire_hook("split:locked", shard_id)
+                granted: list[int] = []
+
+                def on_commit(ids: tuple[int, ...]) -> None:
+                    granted.extend(ids)
+                    locks.add_shards(ids)
+                    for sid in ids:
+                        self._versions[sid] = 1
+                    if self._journal is not None:
+                        self._journal({"op": "split", "id": shard_id,
+                                       "at": at_leaf, "new": list(ids)})
+
+                try:
+                    new_ids = engine.split_shard(shard_id, at_leaf,
+                                                 new_ids=new_ids,
+                                                 on_commit=on_commit)
+                except BaseException:
+                    # an on_commit journal failure aborts before the
+                    # directory swap: retract the half-registered ids
+                    locks.drop_shards(granted)
+                    for sid in granted:
+                        self._versions.pop(sid, None)
+                    raise
+                self._versions.pop(shard_id, None)
+                self._image_cache.pop(shard_id, None)
+                locks.drop_shards((shard_id,))
+                self._fire_hook("split:committed", shard_id, new_ids)
+                return new_ids
+            finally:
+                lock.release_write()
+
+    def merge_shards(self, id_a: int, id_b: int,
+                     new_id: Optional[int] = None) -> int:
+        """Merge two adjacent shards online; returns the new shard id.
+
+        Same isolation contract as :meth:`split_shard`, holding both
+        involved shards' write locks (acquired in ascending id, the
+        table-wide order, so concurrent rebalances cannot deadlock).
+        """
+        engine = self._engine
+        locks = self._locks
+        first, second = sorted((id_a, id_b))
+        with locks.latch.read():
+            lock_a = locks.lock_for(first)
+            lock_b = locks.lock_for(second)
+            if lock_a is None or lock_b is None:
+                missing = first if lock_a is None else second
+                raise ValueError(f"no shard with id {missing}")
+            lock_a.acquire_write()
+            try:
+                lock_b.acquire_write()
+                try:
+                    if not (engine.has_shard(first) and
+                            engine.has_shard(second)):
+                        missing = first if not engine.has_shard(first) \
+                            else second
+                        raise ValueError(f"no shard with id {missing}")
+                    self._fire_hook("merge:locked", first, second)
+                    granted: list[int] = []
+
+                    def on_commit(sid: int) -> None:
+                        granted.append(sid)
+                        locks.add_shards((sid,))
+                        self._versions[sid] = 1
+                        if self._journal is not None:
+                            self._journal({"op": "merge", "a": id_a,
+                                           "b": id_b, "new": sid})
+
+                    try:
+                        new_id = engine.merge_shards(id_a, id_b,
+                                                     new_id=new_id,
+                                                     on_commit=on_commit)
+                    except BaseException:
+                        locks.drop_shards(granted)
+                        for sid in granted:
+                            self._versions.pop(sid, None)
+                        raise
+                    for sid in (first, second):
+                        self._versions.pop(sid, None)
+                        self._image_cache.pop(sid, None)
+                    locks.drop_shards((first, second))
+                    self._fire_hook("merge:committed", first, second,
+                                    new_id)
+                    return new_id
+                finally:
+                    lock_b.release_write()
+            finally:
+                lock_a.release_write()
+
+    def rebalance(self, policy: Optional[RebalancePolicy] = None,
+                  max_rounds: int = 4) -> list[dict]:
+        """Plan (under a read cut) and apply rebalance actions online.
+
+        Each action locks only its involved shards; an action that
+        loses a race to a concurrent writer's rebalance (its shard id
+        vanished) is simply skipped and the next round re-plans from a
+        fresh report.  Returns the actions performed.
+        """
+        policy = policy or RebalancePolicy()
+        performed: list[dict] = []
+        for _ in range(max_rounds):
+            actions = policy.plan(self.shard_report())
+            if not actions:
+                break
+            applied = 0
+            for action in actions:
+                try:
+                    if action[0] == "split":
+                        new_ids = self.split_shard(action[1], action[2])
+                        performed.append({"action": "split",
+                                          "shard": action[1],
+                                          "at": action[2],
+                                          "new": list(new_ids)})
+                    else:
+                        new_id = self.merge_shards(action[1], action[2])
+                        performed.append({"action": "merge",
+                                          "shards": [action[1],
+                                                     action[2]],
+                                          "new": new_id})
+                    applied += 1
+                except ValueError:
+                    # the planned shard was rebalanced or rebuilt under
+                    # us; the next round re-plans from a fresh report
+                    continue
+            if not applied:
+                break
+        return performed
 
     # ------------------------------------------------------------------
     # read path
@@ -361,21 +691,21 @@ class ConcurrentLTree:
         own shard; for a mutually consistent label set use
         :meth:`labels`, :meth:`label_map` or :meth:`snapshot`.
         """
-        with self._locks.op_read(handle[0]):
-            return self._engine.num(handle)
+        with self._routed(handle, write=False) as (_sid, resolved):
+            return self._engine.num(resolved)
 
     def is_deleted(self, handle: tuple[int, int]) -> bool:
-        with self._locks.op_read(handle[0]):
-            return self._engine.is_deleted(handle)
+        with self._routed(handle, write=False) as (_sid, resolved):
+            return self._engine.is_deleted(resolved)
 
     def payload(self, handle: tuple[int, int]) -> Any:
         # may materialize a lazy shard — a structural write
-        with self._locks.op_write(handle[0]):
-            return self._engine.payload(handle)
+        with self._routed(handle) as (_sid, resolved):
+            return self._engine.payload(resolved)
 
     def is_leaf(self, handle: tuple[int, int]) -> bool:
-        with self._locks.op_write(handle[0]):
-            return self._engine.is_leaf(handle)
+        with self._routed(handle) as (_sid, resolved):
+            return self._engine.is_leaf(resolved)
 
     def find_leaf(self, num: int) -> Optional[tuple[int, int]]:
         with self._locks.exclusive():
@@ -414,22 +744,29 @@ class ConcurrentLTree:
         Blocks writers only for the pin itself (all shard read locks at
         once); shards unchanged since the last snapshot reuse their
         cached image, so a snapshot between writes costs a few dict
-        lookups.  The returned object never touches this engine again.
+        lookups.  The returned object never touches this engine again —
+        rebalances committing after the pin are invisible to it.
         """
         engine = self._engine
-        with self._locks.read_all() as ranks:
+        with self._locks.read_all():
+            # membership cannot move while every shard is read-held
+            ids = engine.shard_ids
             stride = engine.stride
-            epoch = tuple(self._versions)
+            forwarding = engine._forwarding
+            epoch = (engine.epoch,) + tuple(
+                (sid, self._versions[sid]) for sid in ids)
             shards: list[_Shard] = []
-            for rank in ranks:
-                cached = self._image_cache.get(rank)
-                if cached is None or cached[0] != self._versions[rank]:
-                    image, live, meta = engine.shard_image(rank)
-                    cached = (self._versions[rank], image, live, meta)
-                    self._image_cache[rank] = cached
+            for sid in ids:
+                version = self._versions[sid]
+                cached = self._image_cache.get(sid)
+                if cached is None or cached[0] != version:
+                    image, live, meta = engine.shard_image(sid)
+                    cached = (version, image, live, meta)
+                    self._image_cache[sid] = cached
                 shards.append(_Shard.lazy(cached[1], cached[2],
                                           cached[3], NULL_COUNTERS))
-        return LabelSnapshot(engine.params, stride, shards, epoch)
+        return LabelSnapshot(engine.params, stride, ids, shards,
+                             forwarding, epoch)
 
     # ------------------------------------------------------------------
     # persistence and validation (stop-the-world)

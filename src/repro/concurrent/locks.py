@@ -14,16 +14,26 @@ Two instruments, matching the two granularities of the sharded engine:
 The locks are writer-preferring (a waiting writer blocks new readers),
 so a stream of snapshot readers cannot starve a writer.  They are not
 reentrant; the concurrency layer keeps a strict acquisition order —
-latch (read) → shard locks in ascending rank → leaf mutexes (directory,
-WAL) — and never escalates while holding, which is what makes the whole
-arrangement deadlock-free.
+latch (read) → shard locks in ascending shard id → leaf mutexes
+(directory, WAL) — and never escalates while holding, which is what
+makes the whole arrangement deadlock-free.
+
+The table is keyed by **stable shard id**, not position, and its
+membership changes *online*: an exclusive holder replaces the whole
+family (``set_shards``, the bulk-load path), while a rebalance commit —
+which holds the latch only in *shared* mode plus the involved shards'
+write locks — edits it incrementally with :meth:`add_shards` /
+:meth:`drop_shards`.  Lookups tolerate that motion: :meth:`lock_for`
+returns ``None`` for a just-retired id and the caller re-resolves its
+handle through the engine's forwarding table, so writers to shards a
+rebalance never touched proceed without ever noticing it.
 """
 
 from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 
 class RWLock:
@@ -85,88 +95,121 @@ class RWLock:
 
 
 class ShardLockTable:
-    """The latch + per-shard lock family one concurrent engine owns."""
+    """The latch + per-shard-id lock family one concurrent engine owns."""
 
-    def __init__(self, n_shards: int) -> None:
+    def __init__(self, shard_ids: Iterable[int]) -> None:
         self.latch = RWLock()
-        self._shards = [RWLock() for _ in range(n_shards)]
+        self._locks: dict[int, RWLock] = {sid: RWLock()
+                                          for sid in shard_ids}
 
     def __len__(self) -> int:
-        return len(self._shards)
+        return len(self._locks)
 
-    def resize(self, n_shards: int) -> None:
-        """Replace the shard locks (call only under ``exclusive()``).
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._locks
 
-        Because the table only ever changes under the latch held in
-        write mode, any indexing of it under the latch in *read* mode
-        — every context manager below — is race-free against
-        ``bulk_load``'s rebuild.
+    def ids(self) -> list[int]:
+        """The current id set, ascending (a point-in-time copy)."""
+        return sorted(self._locks)
+
+    def set_shards(self, shard_ids: Iterable[int]) -> None:
+        """Replace the whole family (call only under ``exclusive()``) —
+        the bulk-load path, where every old handle dies anyway."""
+        self._locks = {sid: RWLock() for sid in shard_ids}
+
+    def add_shards(self, shard_ids: Iterable[int]) -> None:
+        """Register locks for shards a rebalance is about to install.
+
+        Called *before* the directory commit (latch held shared, the
+        involved old shards' write locks held), so by the time any
+        writer can resolve a handle to a new id its lock already
+        exists.  Single dict stores are atomic under the GIL; ids are
+        never reused, so a concurrent ``lock_for`` either misses (and
+        retries its resolve) or gets exactly this lock.
         """
-        self._shards = [RWLock() for _ in range(n_shards)]
+        for sid in shard_ids:
+            self._locks[sid] = RWLock()
 
-    def _check(self, rank: int) -> None:
-        """Bound a rank *under the latch*: a handle minted before a
-        concurrent ``bulk_load`` shrank the shard set must fail like
-        the engine's own routing does, not crash the lock table."""
-        if not 0 <= rank < len(self._shards):
+    def drop_shards(self, shard_ids: Iterable[int]) -> None:
+        """Retire the locks of shards a committed rebalance replaced
+        (their write locks still held by the caller).  A writer still
+        waiting on a dropped lock re-resolves when it wakes: its
+        membership re-check fails and it retries through the
+        forwarding table."""
+        for sid in shard_ids:
+            self._locks.pop(sid, None)
+
+    def lock_for(self, shard_id: int) -> Optional[RWLock]:
+        """The lock of one shard id, ``None`` if (just) retired."""
+        return self._locks.get(shard_id)
+
+    def _check(self, shard_id: int) -> RWLock:
+        """Resolve an id *under the latch*: a handle minted before a
+        concurrent ``bulk_load`` or rebalance retired its shard must
+        fail like the engine's own routing does, not crash the lock
+        table."""
+        lock = self._locks.get(shard_id)
+        if lock is None:
             raise ValueError(
-                f"handle names shard {rank} of {len(self._shards)}")
+                f"handle names unknown shard {shard_id}")
+        return lock
 
     @contextmanager
-    def op_write(self, rank: int) -> Iterator[None]:
-        """One routed update: latch shared + that shard exclusive."""
+    def op_write(self, shard_id: int) -> Iterator[None]:
+        """One routed update: latch shared + that shard exclusive.
+
+        Callers that must survive a concurrent rebalance use the
+        engine wrapper's resolve-lock-recheck loop instead; this raw
+        form raises on a retired id.
+        """
         with self.latch.read():
-            self._check(rank)
-            with self._shards[rank].write():
+            with self._check(shard_id).write():
                 yield
 
     @contextmanager
-    def op_read(self, rank: int) -> Iterator[None]:
+    def op_read(self, shard_id: int) -> Iterator[None]:
         """One routed read: latch shared + that shard shared."""
         with self.latch.read():
-            self._check(rank)
-            with self._shards[rank].read():
+            with self._check(shard_id).read():
                 yield
 
     @contextmanager
-    def tail_write(self) -> Iterator[int]:
-        """Write lock on the *current* last shard; yields its rank.
-
-        The rank is resolved under the latch, so an ``append`` racing a
-        ``bulk_load`` that changed the shard count locks the shard the
-        engine will actually route to — never a stale index.
-        """
-        with self.latch.read():
-            rank = len(self._shards) - 1
-            with self._shards[rank].write():
-                yield rank
-
-    @contextmanager
-    def read_all(self, ranks: Optional[Sequence[int]] = None
+    def read_all(self, shard_ids: Optional[Sequence[int]] = None
                  ) -> Iterator[Sequence[int]]:
-        """Consistent multi-shard read; yields the locked rank set.
+        """Consistent multi-shard read; yields the locked id set
+        (ascending).
 
-        ``None`` (the usual call) means *every* shard, resolved under
-        the latch so a concurrent resize cannot skew the sweep.
-        Acquired in ascending rank (routed ops hold at most one shard
-        lock, so the ordering cannot deadlock); writers of every named
-        shard are excluded together, which is what makes the stride +
-        per-shard images read under this context mutually consistent.
+        ``None`` (the usual call) means *every* shard.  The id set is
+        re-read after the sweep and the sweep retried until it comes
+        back unchanged: a rebalance needs a write lock on an involved
+        shard, so once every current shard is read-held the membership
+        provably cannot move — which is what makes the stride +
+        per-shard images read under this context mutually consistent
+        even against online splits.  Acquired in ascending id (routed
+        ops hold at most one shard lock, rebalances acquire in the same
+        order, so the ordering cannot deadlock).
         """
         with self.latch.read():
-            if ranks is None:
-                ordered: Sequence[int] = range(len(self._shards))
+            if shard_ids is None:
+                while True:
+                    ordered: Sequence[int] = sorted(self._locks)
+                    locks = [self._locks[sid] for sid in ordered]
+                    for lock in locks:
+                        lock.acquire_read()
+                    if sorted(self._locks) == list(ordered):
+                        break
+                    for lock in reversed(locks):
+                        lock.release_read()
             else:
-                ordered = sorted(ranks)
-                for rank in ordered:
-                    self._check(rank)
-            for rank in ordered:
-                self._shards[rank].acquire_read()
+                ordered = sorted(shard_ids)
+                locks = [self._check(sid) for sid in ordered]
+                for lock in locks:
+                    lock.acquire_read()
             try:
                 yield ordered
             finally:
-                for rank in reversed(ordered):
-                    self._shards[rank].release_read()
+                for lock in reversed(locks):
+                    lock.release_read()
 
     @contextmanager
     def exclusive(self) -> Iterator[None]:

@@ -44,7 +44,8 @@ from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.concurrent.engine import ConcurrentLTree, LabelSnapshot
 from repro.core.params import DEFAULT_PARAMS, LTreeParams
-from repro.core.sharded import DEFAULT_N_SHARDS, ShardedCompactLTree
+from repro.core.sharded import (DEFAULT_N_SHARDS, RebalancePolicy,
+                                ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.errors import ParameterError, StorageError
 from repro.storage.pages import PageStore
@@ -73,8 +74,12 @@ def apply_logged_op(engine: Any, op: dict) -> None:
     :class:`~repro.concurrent.engine.ConcurrentLTree` emits —
     ``insert_after``/``insert_before``, ``append``/``prepend``,
     ``insert_run_after``/``insert_run_before`` (the §4.1 batch),
-    ``delete``, ``set_payload`` and ``bulk_load``.  Used by recovery
-    and by the test harness's serial replay oracle.
+    ``delete``, ``set_payload``, ``bulk_load`` — and the logical
+    rebalance records ``split``/``merge``, which carry the new shard
+    ids explicitly so replay re-mints exactly the ids the original run
+    minted (the arenas they rebuild are deterministic functions of the
+    shard contents at that point of the tape).  Used by recovery and by
+    the test harness's serial replay oracle.
     """
     kind = op["op"]
     if kind == "insert_after":
@@ -96,6 +101,10 @@ def apply_logged_op(engine: Any, op: dict) -> None:
     elif kind == "bulk_load":
         bounds = op.get("bounds")
         engine.bulk_load(op["ps"], boundaries=bounds)
+    elif kind == "split":
+        engine.split_shard(op["id"], op["at"], new_ids=tuple(op["new"]))
+    elif kind == "merge":
+        engine.merge_shards(op["a"], op["b"], new_id=op["new"])
     else:
         raise StorageError(f"unknown WAL op kind {kind!r}")
 
@@ -130,13 +139,19 @@ class ConcurrentDocument:
 
     def __init__(self, tree: ConcurrentLTree, store: PageStore,
                  wal: WriteAheadLog, checkpoint_seq: int,
-                 meta: dict) -> None:
+                 meta: dict,
+                 rebalance_policy: Optional[RebalancePolicy] = None
+                 ) -> None:
         self.tree = tree
         self.store = store
         self.wal = wal
         #: sequence number of the last op folded into the page store
         self.checkpoint_seq = checkpoint_seq
         self._meta = meta
+        #: when set, :meth:`checkpoint` runs this policy as a background
+        #: maintenance step right after folding the log (see
+        #: :meth:`rebalance`)
+        self.rebalance_policy = rebalance_policy
         #: test hook called at named crash points ("checkpoint:after-save")
         self.crash_hook: Callable[[str], None] = lambda name: None
 
@@ -149,7 +164,9 @@ class ConcurrentDocument:
                violator_policy: str = "highest", sync: bool = False,
                group_commit: Optional[int] = 64,
                stats: Counters = NULL_COUNTERS,
-               shard_stats: bool = False) -> "ConcurrentDocument":
+               shard_stats: bool = False,
+               rebalance_policy: Optional[RebalancePolicy] = None
+               ) -> "ConcurrentDocument":
         """Start a fresh service in ``directory`` (created if missing).
 
         The engine parameters are recorded in the store's
@@ -191,13 +208,16 @@ class ConcurrentDocument:
                                      n_shards=n_shards,
                                      shard_stats=shard_stats)
         tree = ConcurrentLTree(engine, journal=wal.append)
-        return cls(tree, store, wal, checkpoint_seq=0, meta=meta)
+        return cls(tree, store, wal, checkpoint_seq=0, meta=meta,
+                   rebalance_policy=rebalance_policy)
 
     @classmethod
     def open(cls, directory: str, sync: bool = False,
              group_commit: Optional[int] = 64,
              stats: Counters = NULL_COUNTERS,
-             shard_stats: bool = False) -> "ConcurrentDocument":
+             shard_stats: bool = False,
+             rebalance_policy: Optional[RebalancePolicy] = None
+             ) -> "ConcurrentDocument":
         """Recover a service: last checkpoint + replayed WAL tail.
 
         The checkpoint reopens shard-lazily (only arenas the replayed
@@ -267,7 +287,7 @@ class ConcurrentDocument:
             raise
         tree = ConcurrentLTree(engine, journal=wal.append)
         return cls(tree, store, wal, checkpoint_seq=checkpoint_seq,
-                   meta=meta)
+                   meta=meta, rebalance_policy=rebalance_policy)
 
     # ------------------------------------------------------------------
     # logical ops (thread-safe; journaled under the shard lock)
@@ -331,6 +351,34 @@ class ConcurrentDocument:
         """Zero-lock reader view; see :class:`LabelSnapshot`."""
         return self.tree.snapshot()
 
+    def shard_report(self) -> list[dict]:
+        """Per-shard occupancy rows (the rebalance policy's input)."""
+        return self.tree.shard_report()
+
+    # ------------------------------------------------------------------
+    # online maintenance
+    # ------------------------------------------------------------------
+    def rebalance(self, policy: Optional[RebalancePolicy] = None
+                  ) -> list[dict]:
+        """Run the rebalance policy online; returns actions performed.
+
+        Each split/merge locks only its involved shards — writers to
+        every other shard proceed throughout — and journals a logical
+        ``split``/``merge`` record *before* the new shards become
+        visible, so recovery replays the rebalance deterministically
+        (or skips it wholesale if the record never made it out: the
+        pre-rebalance arenas are still what the checkpoint holds).  The
+        WAL batch is committed afterwards so the records are durable
+        under the same group-commit discipline as ordinary ops.
+        """
+        policy = policy or self.rebalance_policy
+        if policy is None:
+            return []
+        performed = self.tree.rebalance(policy)
+        if performed:
+            self.wal.commit()
+        return performed
+
     # ------------------------------------------------------------------
     # durability
     # ------------------------------------------------------------------
@@ -370,6 +418,12 @@ class ConcurrentDocument:
             self.checkpoint_seq = watermark
             self.crash_hook("checkpoint:after-save")
             self.wal.truncate(watermark + 1)
+        # background maintenance between checkpoints: the rebalance
+        # records land in the *fresh* WAL (sequence numbers above the
+        # watermark), so a crash from here on replays them against the
+        # exact image just checkpointed
+        if self.rebalance_policy is not None:
+            self.rebalance()
         return watermark
 
     def close(self) -> None:

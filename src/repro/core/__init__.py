@@ -7,8 +7,10 @@ Public surface:
 * :class:`~repro.core.compact.CompactLTree` — the same algorithms on a
   struct-of-arrays engine (flat int arrays, ``int`` handles);
 * :class:`~repro.core.sharded.ShardedCompactLTree` — per-subtree compact
-  arenas behind a shard directory (``(shard, slot)`` handles, labels
-  composed as shard prefix ⊕ local label);
+  arenas behind an epoch-versioned shard directory (``(shard, slot)``
+  handles, labels composed as shard prefix ⊕ local label, online
+  split/merge rebalancing driven by
+  :class:`~repro.core.sharded.RebalancePolicy`);
 * :class:`~repro.core.virtual.VirtualLTree` — label-only variant (§4.2);
 * :mod:`~repro.core.cost` — the paper's closed-form cost model (§3.1/4.1);
 * :mod:`~repro.core.tuning` — parameter optimization (§3.2);
@@ -21,7 +23,7 @@ from repro.core.node import LTreeNode
 from repro.core.params import (DEFAULT_PARAMS, FIGURE2_PARAMS, LTreeParams,
                                gather_digits, spread_digits)
 from repro.core.persistence import ltree_from_labels, restore, snapshot
-from repro.core.sharded import ShardedCompactLTree
+from repro.core.sharded import RebalancePolicy, ShardedCompactLTree
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.core.virtual import VirtualLTree
 
@@ -30,6 +32,7 @@ __all__ = [
     "LTreeNode",
     "CompactLTree",
     "ShardedCompactLTree",
+    "RebalancePolicy",
     "LTreeParams",
     "VirtualLTree",
     "DEFAULT_PARAMS",

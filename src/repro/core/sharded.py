@@ -1,20 +1,32 @@
 """Sharded label spaces: per-subtree compact arenas behind a directory.
 
 A :class:`ShardedCompactLTree` splits one logical ordered list across
-``n_shards`` *contiguous* :class:`repro.core.compact.CompactLTree`
-arenas.  Every operation routes to exactly one shard — the one owning
-the anchor handle — so writers touching disjoint regions (in the
-document workload: disjoint top-level subtrees) never contend on, or
-relabel across, each other's arenas.  Splits, §4.1 run inserts, and
-relabels are shard-local by construction.
+*contiguous* :class:`repro.core.compact.CompactLTree` arenas.  Every
+operation routes to exactly one shard — the one owning the anchor
+handle — so writers touching disjoint regions (in the document
+workload: disjoint top-level subtrees) never contend on, or relabel
+across, each other's arenas.  Splits, §4.1 run inserts, and relabels
+are shard-local by construction.
+
+**The shard directory.**  Shards are named by stable integer **ids**,
+not positions.  An immutable :class:`_Directory` object maps the id
+set to document order: ``ids`` (the order), ``positions`` (id →
+position), ``shards`` (id → arena) and the stride, stamped with an
+**epoch** that increments on every membership change (bulk load,
+:meth:`split_shard`, :meth:`merge_shards`, :meth:`compact`).  The
+directory is never mutated in place — every change installs a fresh
+object in one reference assignment — so a concurrent reader that grabs
+the directory once composes labels from one consistent (order, stride)
+cut even while a rebalance swaps the membership under it.
 
 **Label composition.**  The paper's own structure invites this: an
 L-Tree label is a root prefix plus a subtree-local suffix, the same
 composition that lets optimal ancestry schemes label subtrees
 independently (Fraigniaud & Korman 2016; Dahlgaard et al. 2014).  Here
-the global label of handle ``(rank, slot)`` is::
+the global label of handle ``(shard_id, slot)`` is::
 
-    rank * stride + local_label        stride = base ** directory_height
+    position(shard_id) * stride + local_label
+    stride = base ** directory_height
 
 where ``directory_height`` is the tallest shard's height.  Local labels
 are always below ``base ** height <= stride``, so shard-local label
@@ -26,10 +38,24 @@ rebuild, and because global labels are *composed on read* rather than
 stored, it costs O(1) and relabels nothing (``directory_rebuilds``
 counts the bumps).
 
-**Handles** are ``(shard_rank, local_slot)`` pairs; the shard set is
-fixed at :meth:`bulk_load` (contiguous balanced chunks), so ranks are
-stable until the next bulk load or :meth:`compact` — the same handle
-lifetime the flat engine offers.
+**Online rebalancing.**  :meth:`split_shard` cuts one arena in two and
+:meth:`merge_shards` folds two adjacent arenas into one, each rewriting
+*only* the affected arenas (fresh bulk loads of their leaf runs,
+tombstones preserved) and re-deriving every global label through the
+stride machinery — untouched shards keep their bytes, their handles
+and their counters.  A :class:`RebalancePolicy` plans such actions from
+:meth:`shard_report` occupancy stats (size-ratio and tombstone
+thresholds), and :meth:`rebalance` applies them until the directory is
+balanced.
+
+**Handle stability.**  Handles are ``(shard_id, local_slot)`` pairs.
+``bulk_load`` and :meth:`compact` invalidate them (same contract as the
+flat engine), but a split or merge does **not**: each rebalance records
+its old ``(id, slot) → (new id, new slot)`` moves in a grow-only
+**forwarding table**, and every routing path resolves a handle through
+it — chasing chains across multiple epochs — before touching an arena.
+An old handle held across any number of splits keeps resolving, the
+way tombstones outlive deletes.
 
 **Cost accounting.**  By default every shard reports into the one
 ``stats`` sink the tree was built with, so aggregate counters mean what
@@ -43,7 +69,9 @@ leaves every other shard's counters untouched
 byte image per shard — each its own blob span in a
 :class:`repro.storage.pages.PageStore` — plus a JSON manifest (with a
 CRC32 per image, checked on load) and a small per-shard sidecar of
-live leaf slots in document order.  Loading
+live leaf slots in document order.  The manifest carries the directory
+itself — id order, epoch, forwarding table, next unused id — so a
+reopened tree resolves pre-crash handles identically.  Loading
 is **shard-lazy** by default: only the manifest and sidecars are
 decoded; a shard's arena is deserialized the first time an operation
 *writes* it (or needs its structure).  Pure label reads — ``num``,
@@ -55,14 +83,16 @@ queries and single-subtree edits touches one arena, not all of them.
 
 from __future__ import annotations
 
+import inspect
 import json
+import operator
 import struct
 import sys
 import zlib
 from array import array
 from typing import Any, Iterator, Optional, Sequence
 
-from repro.core.compact import (_FLAG_HAS_PAYLOADS, CompactLTree,
+from repro.core.compact import (_FLAG_HAS_PAYLOADS, _HEADER, CompactLTree,
                                 _pack_int64, _unpack_int64,
                                 read_array_header)
 from repro.core.params import LTreeParams
@@ -72,8 +102,12 @@ from repro.errors import InvariantViolation, ParameterError
 #: shard count the registry's ``ltree-sharded`` scheme uses
 DEFAULT_N_SHARDS = 8
 
-#: on-store format version of the sharded manifest blob
-MANIFEST_FORMAT_VERSION = 1
+#: on-store format version of the sharded manifest blob.  Version 2
+#: added the id-based directory: per-entry shard ids, the epoch, the
+#: forwarding table and the next unused id.  Version-1 manifests load
+#: with ids equal to their ranks (the layouts coincide before the
+#: first split/merge).
+MANIFEST_FORMAT_VERSION = 2
 
 #: ``kind`` tag of the manifest (a JSON blob, not an LTREEARR image)
 MANIFEST_KIND = "sharded-ltree"
@@ -177,7 +211,7 @@ class _Shard:
         the frozen byte image (memoized — the image is immutable); for a
         materialized shard it is the engine's own column, returned
         without copying.  Entry ``column[slot]`` is the *local* label of
-        ``slot``; callers compose ``rank * stride + column[slot]``.
+        ``slot``; callers compose ``position * stride + column[slot]``.
         """
         if self.tree is not None:
             return self.tree._num
@@ -202,6 +236,19 @@ class _Shard:
         column = self.num_column()
         return [column[slot] for slot in self.live]
 
+    def arena_bytes(self) -> int:
+        """Byte size of this arena's payload-free ``LTREEARR`` image.
+
+        Exact for lazy shards (the image is on hand); computed from the
+        slot counts for materialized ones (six int64 columns, the
+        free-list, one tombstone byte per slot) without serializing.
+        """
+        if self.tree is None:
+            return len(self.image)
+        n_slots = len(self.tree._num)
+        return _HEADER.size + 48 * n_slots + \
+            8 * len(self.tree._free) + n_slots
+
     # -- shape metadata ------------------------------------------------
     @property
     def height(self) -> int:
@@ -215,6 +262,120 @@ class _Shard:
     def tombstone_count(self) -> int:
         return self.meta_tombstones if self.tree is None \
             else self.tree.tombstone_count()
+
+
+class _Directory:
+    """One immutable epoch of the shard directory.
+
+    Bundles everything a reader needs to compose global labels — the
+    id order, the id → position map, the id → arena map and the stride
+    — so grabbing ``tree._dir`` once yields a torn-free view no matter
+    what membership changes or stride bumps install afterwards.  Never
+    mutated after construction; ``shards`` and ``positions`` may be
+    *shared* with successor directories (they are copied on change).
+    """
+
+    __slots__ = ("epoch", "ids", "positions", "shards", "height",
+                 "stride")
+
+    def __init__(self, epoch: int, ids: Sequence[int],
+                 shards: dict[int, _Shard], base: int,
+                 height: Optional[int] = None,
+                 positions: Optional[dict[int, int]] = None):
+        self.epoch = epoch
+        self.ids = tuple(ids)
+        if positions is None:
+            positions = {sid: pos for pos, sid in enumerate(self.ids)}
+        self.positions = positions
+        self.shards = shards
+        if height is None:
+            height = max((shard.height for shard in shards.values()),
+                         default=1)
+        self.height = max(height, 1)
+        self.stride = base ** self.height
+
+
+class RebalancePolicy:
+    """Plans split/merge actions from :meth:`~ShardedCompactLTree
+    .shard_report` occupancy rows.
+
+    The triggers are the two ways a directory degrades:
+
+    * **size skew** — one arena holding far more live leaves than the
+      mean loses the h-term update discount sharding buys (its local
+      relabels pay the tall shard's height) and serializes writers that
+      could run in parallel.  A shard whose live count exceeds
+      ``max_ratio`` × the mean (and ``min_split_leaves``) is split at
+      its physical midpoint;
+    * **tombstone load** — an arena that is mostly tombstones scans and
+      serializes dead slots.  A shard past ``tombstone_ratio`` that is
+      also undersized becomes a merge candidate, folding it into an
+      adjacent small neighbor so the directory stops charging a whole
+      stride of label space to a near-empty arena.
+
+    ``plan`` returns non-overlapping actions (each shard appears in at
+    most one), so an applier can perform them all and re-plan.
+    Deterministic: equal reports yield equal plans, which is what lets
+    a WAL replay reproduce a policy-driven rebalance exactly.
+    """
+
+    def __init__(self, max_ratio: float = 4.0,
+                 min_split_leaves: int = 32,
+                 tombstone_ratio: float = 0.5,
+                 max_shards: int = 64,
+                 min_shards: int = 1):
+        if max_ratio <= 1.0:
+            raise ParameterError(
+                f"max_ratio must be > 1, got {max_ratio}")
+        if min_split_leaves < 2:
+            raise ParameterError(
+                f"min_split_leaves must be >= 2, got {min_split_leaves}")
+        if not 0.0 < tombstone_ratio <= 1.0:
+            raise ParameterError(
+                f"tombstone_ratio must be in (0, 1], got "
+                f"{tombstone_ratio}")
+        self.max_ratio = float(max_ratio)
+        self.min_split_leaves = int(min_split_leaves)
+        self.tombstone_ratio = float(tombstone_ratio)
+        self.max_shards = int(max_shards)
+        self.min_shards = max(1, int(min_shards))
+
+    def plan(self, report: Sequence[dict]) -> list[tuple]:
+        """``[("split", id, at_leaf), ("merge", id_a, id_b), ...]``."""
+        if not report:
+            return []
+        mean_live = sum(row["live"] for row in report) / len(report)
+        actions: list[tuple] = []
+        claimed: set[int] = set()
+        n_shards = len(report)
+        for row in report:
+            if n_shards + len(actions) >= self.max_shards:
+                break
+            if row["leaves"] < self.min_split_leaves:
+                continue
+            if row["live"] > self.max_ratio * max(mean_live, 1.0):
+                actions.append(("split", row["id"], row["leaves"] // 2))
+                claimed.add(row["id"])
+
+        def undersized(row: dict) -> bool:
+            if row["live"] < mean_live / self.max_ratio:
+                return True
+            return (row["leaves"] > 0 and
+                    row["tombstones"] > self.tombstone_ratio *
+                    row["leaves"] and row["live"] < mean_live)
+
+        merges_left = n_shards - self.min_shards
+        for left, right in zip(report, report[1:]):
+            if merges_left <= 0:
+                break
+            if left["id"] in claimed or right["id"] in claimed:
+                continue
+            if undersized(left) and undersized(right):
+                actions.append(("merge", left["id"], right["id"]))
+                claimed.add(left["id"])
+                claimed.add(right["id"])
+                merges_left -= 1
+        return actions
 
 
 class ShardedCompactLTree:
@@ -245,7 +406,7 @@ class ShardedCompactLTree:
     >>> leaves = tree.bulk_load("abcdef")
     >>> [tree.num(leaf) for leaf in leaves]    # stride = 5**2 = 25
     [0, 1, 5, 25, 26, 30]
-    >>> leaves[3]                      # handles are (shard, slot)
+    >>> leaves[3]                      # handles are (shard_id, slot)
     (1, 0)
     """
 
@@ -254,6 +415,13 @@ class ShardedCompactLTree:
     #: method).  A class attribute so every construction path —
     #: including :meth:`load`'s ``__new__`` — starts with inline growth.
     defer_directory_growth = False
+
+    #: optional ``threading.Lock`` serializing directory *membership*
+    #: commits (split/merge) against the owner's own stride bumps; the
+    #: concurrent wrapper installs its directory latch here.  ``None``
+    #: (the single-threaded default) commits directly.  A class
+    #: attribute for the same ``__new__`` reason as above.
+    directory_mutex = None
 
     def __init__(self, params: LTreeParams, stats: Counters = NULL_COUNTERS,
                  violator_policy: str = "highest",
@@ -270,10 +438,17 @@ class ShardedCompactLTree:
         #: stride bumps performed because one shard outgrew the
         #: directory height (the only root-level "rebuild"; O(1) each)
         self.directory_rebuilds = 0
-        self._shards: list[_Shard] = [self._fresh_shard()]
-        self._directory_height = 1
-        self._stride = params.base
-        self._refresh_directory()
+        #: online rebalance actions performed
+        self.shard_splits = 0
+        self.shard_merges = 0
+        #: old (id, slot) → new (id, slot) moves across every surviving
+        #: epoch.  Grow-only between bulk loads/compactions (readers
+        #: holding an old directory resolve through it lock-free);
+        #: replaced wholesale when handles are invalidated anyway.
+        self._forwarding: dict[tuple[int, int], tuple[int, int]] = {}
+        self._next_shard_id = 1
+        self._dir = _Directory(0, (0,), {0: self._fresh_shard()},
+                               params.base)
 
     # ------------------------------------------------------------------
     # shard plumbing
@@ -285,86 +460,182 @@ class ShardedCompactLTree:
                       sink)
 
     @property
+    def _shards(self) -> list[_Shard]:
+        """The arenas in document order (compat view of the directory)."""
+        d = self._dir
+        return [d.shards[sid] for sid in d.ids]
+
+    @property
+    def epoch(self) -> int:
+        """Directory membership version; bumps on bulk load, split,
+        merge, and compact (not on stride growth)."""
+        return self._dir.epoch
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Stable shard ids in document order."""
+        return self._dir.ids
+
+    @property
     def shard_counters(self) -> list[Counters]:
-        """Per-shard counter sinks (the shared sink repeated unless the
-        tree was built with ``shard_stats=True``)."""
-        return [shard.stats for shard in self._shards]
+        """Per-shard counter sinks in document order (the shared sink
+        repeated unless the tree was built with ``shard_stats=True``)."""
+        d = self._dir
+        return [d.shards[sid].stats for sid in d.ids]
 
     @property
     def shard_count(self) -> int:
         """Number of arenas currently in the directory."""
-        return len(self._shards)
+        return len(self._dir.ids)
 
     @property
     def materialized_shards(self) -> list[int]:
-        """Ranks whose arena is deserialized (all, unless lazily loaded)."""
-        return [rank for rank, shard in enumerate(self._shards)
-                if not shard.is_lazy]
+        """Ids whose arena is deserialized (all, unless lazily loaded)."""
+        d = self._dir
+        return [sid for sid in d.ids if not d.shards[sid].is_lazy]
 
     @property
     def directory_height(self) -> int:
         """Height of the tallest shard — the stride exponent."""
-        return self._directory_height
+        return self._dir.height
 
     @property
     def stride(self) -> int:
         """Label-space width reserved per shard: ``base ** dir_height``."""
-        return self._stride
+        return self._dir.stride
 
     @property
     def label_space(self) -> int:
         """Exclusive upper bound of the global label universe."""
-        return len(self._shards) * self._stride
+        d = self._dir
+        return len(d.ids) * d.stride
+
+    def has_shard(self, shard_id: int) -> bool:
+        """Whether ``shard_id`` names a current-epoch shard."""
+        return shard_id in self._dir.shards
+
+    def shard_position(self, shard_id: int) -> int:
+        """Document-order position of a current shard id."""
+        position = self._dir.positions.get(shard_id)
+        if position is None:
+            raise ValueError(f"no shard with id {shard_id}")
+        return position
+
+    def _shard_by_id(self, shard_id: int) -> _Shard:
+        shard = self._dir.shards.get(shard_id)
+        if shard is None:
+            raise ValueError(f"no shard with id {shard_id}")
+        return shard
+
+    def _install(self, directory: _Directory) -> None:
+        """Swap the directory, serialized against concurrent commits
+        when a :attr:`directory_mutex` is installed."""
+        mutex = self.directory_mutex
+        if mutex is None:
+            self._dir = directory
+        else:
+            with mutex:
+                self._dir = directory
 
     def _refresh_directory(self) -> None:
-        """Recompute the stride from scratch (bulk load, compact, load)."""
-        height = max((shard.height for shard in self._shards), default=1)
-        height = max(height, 1)
-        self._directory_height = height
-        self._stride = self.params.base ** height
+        """Rebuild the directory with a recomputed stride and a +1
+        epoch (bulk load, compact, load)."""
+        d = self._dir
+        self._dir = _Directory(d.epoch + 1, d.ids, d.shards,
+                               self.params.base)
 
     def _grow_directory(self, shard: _Shard) -> None:
         """Bump the stride when ``shard`` outgrew the directory height."""
         if self.defer_directory_growth:
             return
-        if shard.height > self._directory_height:
-            self._directory_height = shard.height
-            self._stride = self.params.base ** self._directory_height
+        d = self._dir
+        if shard.height > d.height:
+            self._install(_Directory(d.epoch, d.ids, d.shards,
+                                     self.params.base,
+                                     height=shard.height,
+                                     positions=d.positions))
             self.directory_rebuilds += 1
 
-    def needs_directory_growth(self, rank: int) -> bool:
-        """Whether shard ``rank`` has outgrown the directory stride.
+    def needs_directory_growth(self, shard_id: int) -> bool:
+        """Whether shard ``shard_id`` has outgrown the directory stride.
 
         Only ever True under ``defer_directory_growth`` (inline growth
         keeps the invariant continuously); the deferring caller checks
         this after each update and performs :meth:`grow_directory`
         under its own serialization.
         """
-        return self._shards[rank].height > self._directory_height
+        d = self._dir
+        shard = d.shards.get(shard_id)
+        return shard is not None and shard.height > d.height
 
-    def grow_directory(self, rank: int) -> bool:
+    def grow_directory(self, shard_id: int) -> bool:
         """Deferred counterpart of the inline stride bump (O(1)).
 
         Returns True when the stride actually grew.  The caller must
-        ensure no reader composes shard ``rank``'s labels between the
-        update that grew it and this call — e.g. by holding that
-        shard's write lock across both.
+        ensure no reader composes shard ``shard_id``'s labels between
+        the update that grew it and this call — e.g. by holding that
+        shard's write lock across both — and must serialize this call
+        against other directory writers (the concurrent wrapper holds
+        its directory latch, which is also this engine's
+        :attr:`directory_mutex`, so commits cannot interleave).
         """
-        shard = self._shards[rank]
-        if shard.height <= self._directory_height:
+        d = self._dir
+        shard = d.shards.get(shard_id)
+        if shard is None or shard.height <= d.height:
             return False
-        self._directory_height = shard.height
-        self._stride = self.params.base ** self._directory_height
+        # the caller already holds the directory latch: swap directly
+        # (the mutex is not reentrant)
+        self._dir = _Directory(d.epoch, d.ids, d.shards,
+                               self.params.base, height=shard.height,
+                               positions=d.positions)
         self.directory_rebuilds += 1
         return True
 
-    def _shard_at(self, handle: tuple[int, int]) -> tuple[_Shard, int]:
-        rank, slot = handle
-        if not 0 <= rank < len(self._shards):
-            raise ValueError(
-                f"handle {handle!r} names shard {rank} of "
-                f"{len(self._shards)}")
-        return self._shards[rank], slot
+    # ------------------------------------------------------------------
+    # handle resolution (forwarding across epochs)
+    # ------------------------------------------------------------------
+    def resolve_handle(self, handle: Sequence[int]) -> tuple[int, int]:
+        """The current-epoch ``(shard_id, slot)`` a handle denotes.
+
+        A handle minted before any number of splits/merges resolves by
+        chasing the forwarding chain until it lands in a live shard;
+        a current handle resolves to itself.  Raises ``ValueError``
+        when the chain dead-ends (the handle predates a bulk load or
+        compact, which invalidate handles outright).
+        """
+        d = self._dir
+        sid, slot = handle[0], handle[1]
+        if sid in d.shards:
+            return (sid, slot)
+        forwarding = self._forwarding
+        while sid not in d.shards:
+            bridge = forwarding.get((sid, slot))
+            if bridge is None:
+                raise ValueError(
+                    f"handle {(handle[0], handle[1])!r} names unknown "
+                    f"shard {sid}")
+            sid, slot = bridge
+        return (sid, slot)
+
+    def _locate(self, handle: Sequence[int]
+                ) -> tuple[_Directory, int, _Shard, int]:
+        """Resolve + fetch: ``(directory, shard_id, shard, slot)``.
+
+        The directory is captured *once* so the caller's position and
+        stride reads agree with the shard it touches.
+        """
+        d = self._dir
+        sid, slot = handle[0], handle[1]
+        shard = d.shards.get(sid)
+        while shard is None:
+            bridge = self._forwarding.get((sid, slot))
+            if bridge is None:
+                raise ValueError(
+                    f"handle {(handle[0], handle[1])!r} names unknown "
+                    f"shard {sid}")
+            sid, slot = bridge
+            shard = d.shards.get(sid)
+        return d, sid, shard, slot
 
     # ------------------------------------------------------------------
     # bulk loading
@@ -375,21 +646,41 @@ class ShardedCompactLTree:
         """Split ``payloads`` into contiguous chunks, one arena each.
 
         Existing handles are invalidated (same contract as the flat
-        engine's bulk load).  Returns the new handles in order.
+        engine's bulk load — the forwarding table is reset, old handles
+        stop resolving).  Returns the new handles in order; shard ids
+        restart at ``0..k-1`` in document order, so until the first
+        split or merge an id equals its position.
 
         By default the items are split into ``n_shards`` balanced
         chunks.  ``boundaries`` overrides the split with explicit chunk
-        *sizes* (each >= 1, summing to ``len(payloads)``): chunk ``k``
-        becomes shard ``k``'s arena.  This is how the document layer
-        aligns shards with top-level document children — every
-        subtree's tokens land in one arena, so a subtree edit provably
-        writes one shard (see ``LabeledDocument``).  The number of
-        boundaries decides the shard count, ``n_shards`` is only the
-        default split's target.
+        *sizes* (each an integer >= 1, summing to ``len(payloads)``):
+        chunk ``k`` becomes shard ``k``'s arena.  Invalid boundaries —
+        wrong types, empty, non-positive, or not covering the item
+        count — raise :class:`~repro.errors.ParameterError` loudly
+        instead of building silently misaligned arenas.  This is how
+        the document layer aligns shards with top-level document
+        children — every subtree's tokens land in one arena, so a
+        subtree edit provably writes one shard (see
+        ``LabeledDocument``).  The number of boundaries decides the
+        shard count, ``n_shards`` is only the default split's target.
         """
         items = list(payloads)
         if boundaries is not None:
-            sizes = [int(size) for size in boundaries]
+            sizes = []
+            for size in boundaries:
+                # bool is an int subclass, but a True/False "size" is a
+                # caller bug; floats and the like would silently
+                # truncate into misaligned arenas
+                if isinstance(size, bool):
+                    raise ParameterError(
+                        f"boundary sizes must be integers, got {size!r} "
+                        f"(bool)")
+                try:
+                    sizes.append(operator.index(size))
+                except TypeError:
+                    raise ParameterError(
+                        f"boundary sizes must be integers, got "
+                        f"{size!r} ({type(size).__name__})") from None
             if not sizes:
                 raise ParameterError("boundaries must name at least one "
                                      "chunk")
@@ -408,73 +699,76 @@ class ShardedCompactLTree:
                 size = (len(items) - start) // (shard_count - rank)
                 sizes.append(size)
                 start += size
-        self._shards = [self._fresh_shard() for _ in sizes]
+        d = self._dir
+        shards = {sid: self._fresh_shard() for sid in range(len(sizes))}
         handles: list[tuple[int, int]] = []
         start = 0
-        for rank, (shard, size) in enumerate(zip(self._shards, sizes)):
-            slots = shard.tree.bulk_load(items[start:start + size])
-            handles.extend((rank, slot) for slot in slots)
+        for sid, size in enumerate(sizes):
+            slots = shards[sid].tree.bulk_load(items[start:start + size])
+            handles.extend((sid, slot) for slot in slots)
             start += size
-        self._refresh_directory()
+        self._forwarding = {}
+        self._next_shard_id = len(sizes)
+        self._install(_Directory(d.epoch + 1, range(len(sizes)), shards,
+                                 self.params.base))
         return handles
 
     # ------------------------------------------------------------------
     # routed updates (all shard-local)
     # ------------------------------------------------------------------
-    def insert_after(self, handle: tuple[int, int],
+    def insert_after(self, handle: Sequence[int],
                      payload: Any) -> tuple[int, int]:
-        shard, slot = self._shard_at(handle)
-        rank = handle[0]
+        _d, sid, shard, slot = self._locate(handle)
         leaf = shard.materialize().insert_after(slot, payload)
         self._grow_directory(shard)
-        return (rank, leaf)
+        return (sid, leaf)
 
-    def insert_before(self, handle: tuple[int, int],
+    def insert_before(self, handle: Sequence[int],
                       payload: Any) -> tuple[int, int]:
-        shard, slot = self._shard_at(handle)
-        rank = handle[0]
+        _d, sid, shard, slot = self._locate(handle)
         leaf = shard.materialize().insert_before(slot, payload)
         self._grow_directory(shard)
-        return (rank, leaf)
+        return (sid, leaf)
 
     def append(self, payload: Any) -> tuple[int, int]:
-        rank = len(self._shards) - 1
-        shard = self._shards[rank]
+        d = self._dir
+        sid = d.ids[-1]
+        shard = d.shards[sid]
         leaf = shard.materialize().append(payload)
         self._grow_directory(shard)
-        return (rank, leaf)
+        return (sid, leaf)
 
     def prepend(self, payload: Any) -> tuple[int, int]:
-        shard = self._shards[0]
+        d = self._dir
+        sid = d.ids[0]
+        shard = d.shards[sid]
         leaf = shard.materialize().prepend(payload)
         self._grow_directory(shard)
-        return (0, leaf)
+        return (sid, leaf)
 
-    def insert_run_after(self, handle: tuple[int, int],
+    def insert_run_after(self, handle: Sequence[int],
                          payloads: Sequence[Any]) -> list[tuple[int, int]]:
         """§4.1 batch insert — the whole run lands in the anchor's shard."""
-        shard, slot = self._shard_at(handle)
-        rank = handle[0]
+        _d, sid, shard, slot = self._locate(handle)
         leaves = shard.materialize().insert_run_after(slot, payloads)
         self._grow_directory(shard)
-        return [(rank, leaf) for leaf in leaves]
+        return [(sid, leaf) for leaf in leaves]
 
-    def insert_run_before(self, handle: tuple[int, int],
+    def insert_run_before(self, handle: Sequence[int],
                           payloads: Sequence[Any]) -> list[tuple[int, int]]:
-        shard, slot = self._shard_at(handle)
-        rank = handle[0]
+        _d, sid, shard, slot = self._locate(handle)
         leaves = shard.materialize().insert_run_before(slot, payloads)
         self._grow_directory(shard)
-        return [(rank, leaf) for leaf in leaves]
+        return [(sid, leaf) for leaf in leaves]
 
-    def mark_deleted(self, handle: tuple[int, int]) -> None:
+    def mark_deleted(self, handle: Sequence[int]) -> None:
         """Tombstone a leaf (paper §2.3) — no relabeling anywhere."""
-        shard, slot = self._shard_at(handle)
+        _d, _sid, shard, slot = self._locate(handle)
         shard.materialize().mark_deleted(slot)
 
-    def set_payload(self, handle: tuple[int, int], payload: Any) -> None:
+    def set_payload(self, handle: Sequence[int], payload: Any) -> None:
         """Reattach a payload; buffered (not materializing) on lazy shards."""
-        shard, slot = self._shard_at(handle)
+        _d, _sid, shard, slot = self._locate(handle)
         if shard.is_lazy:
             shard.pending[slot] = payload
         else:
@@ -483,23 +777,23 @@ class ShardedCompactLTree:
     # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
-    def num(self, handle: tuple[int, int]) -> int:
+    def num(self, handle: Sequence[int]) -> int:
         """Global label: shard prefix ⊕ shard-local label."""
-        shard, slot = self._shard_at(handle)
-        return handle[0] * self._stride + shard.num(slot)
+        d, sid, shard, slot = self._locate(handle)
+        return d.positions[sid] * d.stride + shard.num(slot)
 
-    def payload(self, handle: tuple[int, int]) -> Any:
-        shard, slot = self._shard_at(handle)
+    def payload(self, handle: Sequence[int]) -> Any:
+        _d, _sid, shard, slot = self._locate(handle)
         if shard.is_lazy and slot in shard.pending:
             return shard.pending[slot]
         return shard.materialize().payload(slot)
 
-    def is_leaf(self, handle: tuple[int, int]) -> bool:
-        shard, slot = self._shard_at(handle)
+    def is_leaf(self, handle: Sequence[int]) -> bool:
+        _d, _sid, shard, slot = self._locate(handle)
         return shard.materialize().is_leaf(slot)
 
-    def is_deleted(self, handle: tuple[int, int]) -> bool:
-        shard, slot = self._shard_at(handle)
+    def is_deleted(self, handle: Sequence[int]) -> bool:
+        _d, _sid, shard, slot = self._locate(handle)
         return shard.is_deleted(slot)
 
     def iter_leaves(self, include_deleted: bool = True
@@ -510,21 +804,25 @@ class ShardedCompactLTree:
         path) lazy shards serve their sidecar enumeration and stay
         unmaterialized; including tombstones needs the structure.
         """
-        for rank, shard in enumerate(self._shards):
+        d = self._dir
+        for sid in d.ids:
+            shard = d.shards[sid]
             if include_deleted:
                 slots: Iterator[int] = \
                     shard.materialize().iter_leaves(True)
             else:
                 slots = shard.live_slots()
             for slot in slots:
-                yield (rank, slot)
+                yield (sid, slot)
 
     def labels(self, include_deleted: bool = True) -> list[int]:
         """The global label sequence (strictly increasing)."""
-        stride = self._stride
+        d = self._dir
+        stride = d.stride
         out: list[int] = []
-        for rank, shard in enumerate(self._shards):
-            prefix = rank * stride
+        for position, sid in enumerate(d.ids):
+            shard = d.shards[sid]
+            prefix = position * stride
             if include_deleted:
                 tree = shard.materialize()
                 out.extend(prefix + tree.num(slot)
@@ -538,18 +836,27 @@ class ShardedCompactLTree:
         return [self.payload(handle)
                 for handle in self.iter_leaves(include_deleted)]
 
-    def label_columns(self, rank: int) -> tuple[list[int], Sequence[int]]:
+    def label_columns(self, shard_id: int
+                      ) -> tuple[list[int], Sequence[int]]:
         """``(live_slots, local_label_column)`` of one shard, in bulk.
 
         The columnar query engine's input hook
         (:mod:`repro.query.columnar`): the slot-indexed local label
         column comes off the shard's flat storage in one decode — a
         lazy shard stays lazy — and the global label of ``slot`` is
-        ``rank * stride + column[slot]``.  One call per shard replaces
-        one :meth:`num` round trip per node.
+        ``shard_prefix(shard_id) + column[slot]``.  One call per shard
+        replaces one :meth:`num` round trip per node.
         """
-        shard = self._shards[rank]
+        shard = self._shard_by_id(shard_id)
         return list(shard.live_slots()), shard.num_column()
+
+    def shard_prefix(self, shard_id: int) -> int:
+        """Global-label prefix of one shard: ``position * stride``."""
+        d = self._dir
+        position = d.positions.get(shard_id)
+        if position is None:
+            raise ValueError(f"no shard with id {shard_id}")
+        return position * d.stride
 
     def label_map(self) -> dict[tuple[int, int], int]:
         """Live handle → global label, composed across every shard.
@@ -558,34 +865,296 @@ class ShardedCompactLTree:
         the document layer's cached label vector costs the same flat
         extraction it does on the unsharded engine.
         """
-        stride = self._stride
+        d = self._dir
+        stride = d.stride
         mapping: dict[tuple[int, int], int] = {}
-        for rank, shard in enumerate(self._shards):
-            prefix = rank * stride
+        for position, sid in enumerate(d.ids):
+            shard = d.shards[sid]
+            prefix = position * stride
             mapping.update(
-                ((rank, slot), prefix + value)
+                ((sid, slot), prefix + value)
                 for slot, value in zip(shard.live_slots(),
                                        shard.nums_of_live()))
         return mapping
 
     def find_leaf(self, num: int) -> Optional[tuple[int, int]]:
-        """The leaf holding global label ``num``: the shard prefix is
+        """The leaf holding global label ``num``: the shard position is
         ``num // stride``, the rest an O(height) in-shard descent."""
         if num < 0:
             return None
-        rank, local = divmod(num, self._stride)
-        if rank >= len(self._shards):
+        d = self._dir
+        position, local = divmod(num, d.stride)
+        if position >= len(d.ids):
             return None
-        slot = self._shards[rank].materialize().find_leaf(local)
-        return None if slot is None else (rank, slot)
+        sid = d.ids[position]
+        slot = d.shards[sid].materialize().find_leaf(local)
+        return None if slot is None else (sid, slot)
 
     @property
     def n_leaves(self) -> int:
         """Leaves across all shards, tombstones included."""
-        return sum(shard.n_leaves for shard in self._shards)
+        d = self._dir
+        return sum(d.shards[sid].n_leaves for sid in d.ids)
 
     def tombstone_count(self) -> int:
-        return sum(shard.tombstone_count() for shard in self._shards)
+        d = self._dir
+        return sum(d.shards[sid].tombstone_count() for sid in d.ids)
+
+    def shard_report(self) -> list[dict]:
+        """Per-shard occupancy stats in document order.
+
+        One row per shard: ``id``, ``position``, ``height``, ``leaves``
+        (tombstones included), ``live``, ``tombstones``,
+        ``arena_bytes`` (payload-free image size), ``materialized``,
+        and — when the tree was built with ``shard_stats=True`` — that
+        shard's full ``counters`` dict (relabels, count updates, …).
+        Never materializes a lazy shard.  This is the input
+        :class:`RebalancePolicy` plans from.
+        """
+        d = self._dir
+        rows = []
+        for position, sid in enumerate(d.ids):
+            shard = d.shards[sid]
+            leaves = shard.n_leaves
+            tombstones = shard.tombstone_count()
+            rows.append({
+                "id": sid,
+                "position": position,
+                "height": shard.height,
+                "leaves": leaves,
+                "live": leaves - tombstones,
+                "tombstones": tombstones,
+                "arena_bytes": shard.arena_bytes(),
+                "materialized": not shard.is_lazy,
+                "counters": shard.stats.as_dict()
+                if self._track_shards else None,
+            })
+        return rows
+
+    # ------------------------------------------------------------------
+    # online rebalancing (split / merge / policy)
+    # ------------------------------------------------------------------
+    def _claim_ids(self, explicit: Optional[Sequence[int]],
+                   count: int, shards: dict[int, _Shard]) -> list[int]:
+        """Allocate ``count`` fresh shard ids (or adopt explicit ones —
+        the WAL replay path, which must mint the ids the original run
+        minted).  Call under :attr:`directory_mutex` when concurrent."""
+        if explicit is None:
+            ids = list(range(self._next_shard_id,
+                             self._next_shard_id + count))
+        else:
+            ids = [int(sid) for sid in explicit]
+            if len(ids) != count or len(set(ids)) != count:
+                raise ParameterError(
+                    f"need {count} distinct new shard ids, got "
+                    f"{explicit!r}")
+            clashes = [sid for sid in ids if sid in shards]
+            if clashes:
+                raise ParameterError(
+                    f"new shard ids {clashes} are already in the "
+                    f"directory")
+        self._next_shard_id = max(self._next_shard_id, max(ids) + 1)
+        return ids
+
+    def _clone_leaf_run(self, tree: CompactLTree, slots: Sequence[int]
+                        ) -> tuple[_Shard, dict[int, int]]:
+        """A fresh arena holding ``slots``'s leaves (tombstones and
+        payloads preserved); returns it plus the old→new slot map."""
+        shard = self._fresh_shard()
+        new_slots = shard.tree.bulk_load(
+            [tree.payload(slot) for slot in slots])
+        slot_map: dict[int, int] = {}
+        for old_slot, new_slot in zip(slots, new_slots):
+            if tree.is_deleted(old_slot):
+                shard.tree.mark_deleted(new_slot)
+            slot_map[old_slot] = new_slot
+        return shard, slot_map
+
+    def split_shard(self, shard_id: int, at_leaf: int,
+                    new_ids: Optional[Sequence[int]] = None,
+                    on_commit: Optional[Any] = None
+                    ) -> tuple[int, int]:
+        """Cut shard ``shard_id`` into two arenas at leaf ``at_leaf``.
+
+        ``at_leaf`` indexes the shard's leaf sequence in document order
+        *including tombstones* (``1 <= at_leaf < leaves``): the first
+        ``at_leaf`` leaves become the left arena, the rest the right.
+        Both new arenas are fresh bulk loads of their runs — short
+        again, so the stride can shrink back and updates regain the
+        h-term discount — while every other shard keeps its arena,
+        bytes and counters untouched.  Handles into the old shard keep
+        resolving through the forwarding table.  Returns the two new
+        shard ids (``new_ids`` fixes them explicitly — the WAL replay
+        path).
+
+        Concurrency contract: the caller owns writes to ``shard_id``
+        (the concurrent wrapper holds its write lock); the directory
+        swap itself is serialized via :attr:`directory_mutex`, so other
+        shards' writers and even a concurrent rebalance of *different*
+        shards proceed untouched.  ``on_commit(new_ids)``, when given,
+        runs inside the commit — after the ids are claimed, *before*
+        the new directory becomes visible — which is where the
+        concurrent wrapper registers the new shards' locks and journals
+        the WAL record, so no op on a new shard can ever be journaled
+        ahead of the split that created it.  If it raises, the split is
+        abandoned: the directory is untouched (the claimed ids are
+        simply consumed).
+        """
+        shard = self._shard_by_id(shard_id)
+        tree = shard.materialize()
+        slots = list(tree.iter_leaves(include_deleted=True))
+        if not 1 <= at_leaf < len(slots):
+            raise ParameterError(
+                f"split point {at_leaf} outside 1..{len(slots) - 1} "
+                f"(shard {shard_id} holds {len(slots)} leaves)")
+        builds = [self._clone_leaf_run(tree, slots[:at_leaf]),
+                  self._clone_leaf_run(tree, slots[at_leaf:])]
+        granted: list[int] = []
+
+        def commit() -> None:
+            current = self._dir
+            position = current.positions.get(shard_id)
+            if position is None:
+                raise InvariantViolation(
+                    f"shard {shard_id} vanished mid-split (caller must "
+                    f"hold its write lock)")
+            ids = self._claim_ids(new_ids, 2, current.shards)
+            granted.extend(ids)
+            if on_commit is not None:
+                on_commit(tuple(ids))
+            for (_shard, slot_map), sid in zip(builds, ids):
+                for old_slot, new_slot in slot_map.items():
+                    self._forwarding[(shard_id, old_slot)] = \
+                        (sid, new_slot)
+            order = current.ids[:position] + tuple(ids) + \
+                current.ids[position + 1:]
+            shards = dict(current.shards)
+            del shards[shard_id]
+            for (new_shard, _), sid in zip(builds, ids):
+                shards[sid] = new_shard
+            self.shard_splits += 1
+            self._dir = _Directory(current.epoch + 1, order, shards,
+                                   self.params.base)
+
+        mutex = self.directory_mutex
+        if mutex is None:
+            commit()
+        else:
+            with mutex:
+                commit()
+        return (granted[0], granted[1])
+
+    def merge_shards(self, id_a: int, id_b: int,
+                     new_id: Optional[int] = None,
+                     on_commit: Optional[Any] = None) -> int:
+        """Fold two *adjacent* shards into one fresh arena.
+
+        ``id_a`` and ``id_b`` must occupy neighboring document-order
+        positions (either order); their leaf runs — tombstones included
+        — concatenate into one new arena and both old ids forward to
+        it, so handles into either keep resolving.  Returns the new
+        shard id (``new_id`` fixes it — the WAL replay path).  Same
+        concurrency contract — and the same pre-visibility
+        ``on_commit(new_id)`` hook — as :meth:`split_shard`, with both
+        shards' write locks owned by the caller.
+        """
+        d = self._dir
+        for sid in (id_a, id_b):
+            if sid not in d.shards:
+                raise ValueError(f"no shard with id {sid}")
+        if d.positions[id_a] > d.positions[id_b]:
+            id_a, id_b = id_b, id_a
+        if d.positions[id_b] != d.positions[id_a] + 1:
+            raise ParameterError(
+                f"shards {id_a} and {id_b} are not adjacent (positions "
+                f"{d.positions[id_a]} and {d.positions[id_b]})")
+        tree_a = d.shards[id_a].materialize()
+        tree_b = d.shards[id_b].materialize()
+        slots_a = list(tree_a.iter_leaves(include_deleted=True))
+        slots_b = list(tree_b.iter_leaves(include_deleted=True))
+        merged = self._fresh_shard()
+        new_slots = merged.tree.bulk_load(
+            [tree_a.payload(slot) for slot in slots_a] +
+            [tree_b.payload(slot) for slot in slots_b])
+        maps: dict[int, dict[int, int]] = {id_a: {}, id_b: {}}
+        for index, new_slot in enumerate(new_slots):
+            if index < len(slots_a):
+                source, old_slot = id_a, slots_a[index]
+                deleted = tree_a.is_deleted(old_slot)
+            else:
+                source, old_slot = id_b, slots_b[index - len(slots_a)]
+                deleted = tree_b.is_deleted(old_slot)
+            if deleted:
+                merged.tree.mark_deleted(new_slot)
+            maps[source][old_slot] = new_slot
+        granted: list[int] = []
+
+        def commit() -> None:
+            current = self._dir
+            pos_a = current.positions.get(id_a)
+            pos_b = current.positions.get(id_b)
+            if pos_a is None or pos_b is None or pos_b != pos_a + 1:
+                raise InvariantViolation(
+                    f"shards {id_a}/{id_b} moved mid-merge (caller "
+                    f"must hold both write locks)")
+            sid = self._claim_ids(
+                None if new_id is None else [new_id], 1,
+                current.shards)[0]
+            granted.append(sid)
+            if on_commit is not None:
+                on_commit(sid)
+            for source, slot_map in maps.items():
+                for old_slot, new_slot in slot_map.items():
+                    self._forwarding[(source, old_slot)] = (sid, new_slot)
+            order = current.ids[:pos_a] + (sid,) + \
+                current.ids[pos_b + 1:]
+            shards = dict(current.shards)
+            del shards[id_a]
+            del shards[id_b]
+            shards[sid] = merged
+            self.shard_merges += 1
+            self._dir = _Directory(current.epoch + 1, order, shards,
+                                   self.params.base)
+
+        mutex = self.directory_mutex
+        if mutex is None:
+            commit()
+        else:
+            with mutex:
+                commit()
+        return granted[0]
+
+    def rebalance(self, policy: Optional[RebalancePolicy] = None,
+                  max_rounds: int = 4) -> list[dict]:
+        """Apply a :class:`RebalancePolicy` until its plan is empty.
+
+        Plans from :meth:`shard_report`, applies every action, re-plans
+        — at most ``max_rounds`` times (a freshly split giant can still
+        be oversized).  Returns the actions performed, each as a dict
+        recording the ids involved (the shape the concurrent service
+        journals).  Single-threaded convenience; under concurrency use
+        :meth:`repro.concurrent.engine.ConcurrentLTree.rebalance`,
+        which takes the involved shards' locks per action.
+        """
+        policy = policy or RebalancePolicy()
+        performed: list[dict] = []
+        for _ in range(max_rounds):
+            actions = policy.plan(self.shard_report())
+            if not actions:
+                break
+            for action in actions:
+                if action[0] == "split":
+                    new_ids = self.split_shard(action[1], action[2])
+                    performed.append({"action": "split",
+                                      "shard": action[1],
+                                      "at": action[2],
+                                      "new": list(new_ids)})
+                else:
+                    new_id = self.merge_shards(action[1], action[2])
+                    performed.append({"action": "merge",
+                                      "shards": [action[1], action[2]],
+                                      "new": new_id})
+        return performed
 
     # ------------------------------------------------------------------
     # maintenance
@@ -594,22 +1163,27 @@ class ShardedCompactLTree:
                 ) -> dict[tuple[int, int], tuple[int, int]]:
         """Vacuum tombstones shard by shard; old→new handle mapping.
 
-        Shards are rebuilt independently (ranks never change), then the
+        Shards are rebuilt independently (ids never change), then the
         directory stride is recomputed — it can shrink, which is the
         one relabel-like event compaction implies, and it is still
-        O(1) because global labels are composed on read.
+        O(1) because global labels are composed on read.  Like the flat
+        engine's compact, this invalidates outstanding handles (the
+        returned mapping is the bridge); the forwarding table is reset
+        with them.
         """
         if params is not None:
             self.params = params
+        d = self._dir
         mapping: dict[tuple[int, int], tuple[int, int]] = {}
-        for rank, shard in enumerate(self._shards):
-            local = shard.materialize().compact(params)
-            mapping.update(((rank, old), (rank, new))
+        for sid in d.ids:
+            local = d.shards[sid].materialize().compact(params)
+            mapping.update(((sid, old), (sid, new))
                            for old, new in local.items())
+        self._forwarding = {}
         self._refresh_directory()
         return mapping
 
-    def shard_image(self, rank: int) -> tuple[Any, list[int], dict]:
+    def shard_image(self, shard_id: int) -> tuple[Any, list[int], dict]:
         """``(label image, live leaf slots, shape meta)`` of one shard.
 
         The image is the same payload-free ``LTREEARR`` byte image the
@@ -621,7 +1195,7 @@ class ShardedCompactLTree:
         reader can answer label/order/containment queries off it with
         no locks against live writers.
         """
-        shard = self._shards[rank]
+        shard = self._shard_by_id(shard_id)
         meta = {"height": shard.height, "n_leaves": shard.n_leaves,
                 "tombstones": shard.tombstone_count()}
         if shard.is_lazy:
@@ -642,22 +1216,29 @@ class ShardedCompactLTree:
     # ------------------------------------------------------------------
     def save(self, store: Any, name: str = "scheme",
              include_payloads: bool = True,
-             extra_blobs: Optional[dict[str, bytes]] = None) -> None:
+             extra_blobs: Optional[dict[str, bytes]] = None,
+             reclaim: bool = True) -> None:
         """Persist every arena as its own blob span plus a manifest.
 
-        Blob layout under ``name``: ``{name}.s{rank}`` holds shard
-        ``rank``'s ``LTREEARR`` image, ``{name}.s{rank}.leaves`` its
-        live-leaf sidecar, and ``{name}`` the JSON manifest.  On a
-        store with batched puts (:meth:`PageStore.put_blobs`) the whole
-        save — arenas, sidecars, manifest, stale-shard cleanup — lands
-        under one atomic catalog flip; on a plain ``put_blob`` store
-        the manifest is written last, so a reader never sees it
-        pointing at *missing* blobs.  Re-saving a same-size arena
-        rewrites its span in place
-        — the page store's one non-atomic window — so a crash mid-save
-        can tear an arena's *contents*; every manifest entry therefore
-        carries a CRC32 of its image and sidecar, and :meth:`load`
-        fails loudly on a mismatch instead of deserializing torn bytes.
+        Blob layout under ``name``: ``{name}.s{id}`` holds shard
+        ``id``'s ``LTREEARR`` image, ``{name}.s{id}.leaves`` its
+        live-leaf sidecar, and ``{name}`` the JSON manifest — which
+        also carries the directory (id order, epoch, forwarding table,
+        next unused id), so a reopen resolves old-epoch handles exactly
+        as this tree would.  On a store with batched puts
+        (:meth:`PageStore.put_blobs`) the whole save — arenas,
+        sidecars, manifest, stale-shard cleanup — lands under one
+        atomic catalog flip; with ``reclaim`` (the default, honored
+        when the store supports it) the flip also reclaims superseded
+        spans and never overwrites a page the *previous* catalog
+        references, so a crash at any byte of the save — including
+        mid-rebalance — reopens bit-identically on the old epoch.  On a
+        plain ``put_blob`` store the manifest is written last, so a
+        reader never sees it pointing at *missing* blobs; there the
+        in-place span rewrite window remains, which is why every
+        manifest entry carries a CRC32 of its image and sidecar and
+        :meth:`load` fails loudly on a mismatch instead of
+        deserializing torn bytes.
 
         A still-lazy shard is copied image-for-image without
         deserializing — an open → edit-one-subtree → save cycle reads
@@ -676,11 +1257,13 @@ class ShardedCompactLTree:
         a plain ``put_blob`` store they are written just before the
         manifest.
         """
+        d = self._dir
         entries = []
         puts: dict[str, bytes] = {}
-        for rank, shard in enumerate(self._shards):
-            arena_name = f"{name}.s{rank}"
-            leaves_name = f"{name}.s{rank}.leaves"
+        for sid in d.ids:
+            shard = d.shards[sid]
+            arena_name = f"{name}.s{sid}"
+            leaves_name = f"{name}.s{sid}.leaves"
             if shard.is_lazy:
                 has_payloads = bool(shard.header.flags &
                                     _FLAG_HAS_PAYLOADS)
@@ -699,6 +1282,7 @@ class ShardedCompactLTree:
             puts[arena_name] = raw
             puts[leaves_name] = raw_leaves
             entries.append({
+                "id": sid,
                 "blob": arena_name,
                 "leaves": leaves_name,
                 "height": shard.height,
@@ -716,18 +1300,27 @@ class ShardedCompactLTree:
             "label_base": self.params.base,
             "violator_policy": self.violator_policy,
             "n_shards": self.n_shards,
-            "directory_height": self._directory_height,
+            "epoch": d.epoch,
+            "next_shard_id": self._next_shard_id,
+            "directory_height": d.height,
             "directory_rebuilds": self.directory_rebuilds,
+            "shard_splits": self.shard_splits,
+            "shard_merges": self.shard_merges,
+            "forwarding": [[old_id, old_slot, new_id, new_slot]
+                           for (old_id, old_slot), (new_id, new_slot)
+                           in self._forwarding.items()],
             "shards": entries,
         }
         manifest_raw = json.dumps(manifest).encode("utf-8")
-        # blobs of shard ranks this tree no longer has (a re-bulk_load
-        # can shrink the shard count) must be dropped, or their spans
-        # leak past every vacuum.  The catalog is scanned rather than
-        # probed rank-by-rank from len(shards): a cleanup interrupted by
-        # a crash can leave *gaps* in the stale rank sequence, and an
-        # arena can survive without its sidecar (or vice versa)
+        # blobs of shard ids this tree no longer has (a re-bulk_load
+        # can shrink the shard count; a split/merge retires ids) must
+        # be dropped, or their spans leak past every vacuum.  The
+        # catalog is scanned rather than probed id-by-id: a cleanup
+        # interrupted by a crash can leave *gaps* in the stale id
+        # sequence, and an arena can survive without its sidecar (or
+        # vice versa)
         stale = []
+        live_ids = set(d.ids)
         if hasattr(store, "blobs") and hasattr(store, "delete_blob"):
             prefix = f"{name}.s"
             for blob_name in list(store.blobs()):
@@ -736,7 +1329,7 @@ class ShardedCompactLTree:
                 tail = blob_name[len(prefix):]
                 if tail.endswith(".leaves"):
                     tail = tail[:-len(".leaves")]
-                if tail.isdigit() and int(tail) >= len(self._shards):
+                if tail.isdigit() and int(tail) not in live_ids:
                     stale.append(blob_name)
         if extra_blobs:
             overlap = set(extra_blobs) & (set(puts) | {name})
@@ -750,7 +1343,11 @@ class ShardedCompactLTree:
             # drops become visible atomically (and under sync=True the
             # whole save costs one fsync pair, not one per blob)
             puts[name] = manifest_raw
-            store.put_blobs(puts, delete=stale)
+            if reclaim and "reclaim" in inspect.signature(
+                    store.put_blobs).parameters:
+                store.put_blobs(puts, delete=stale, reclaim=True)
+            else:
+                store.put_blobs(puts, delete=stale)
         else:
             for blob_name, data in puts.items():
                 store.put_blob(blob_name, data)
@@ -774,18 +1371,19 @@ class ShardedCompactLTree:
         sidecars are decoded; each arena is fetched as a byte view
         (mmap fast path when the store offers it) and deserialized on
         first write — see the module docstring.  ``lazy=False``
-        materializes everything immediately.
+        materializes everything immediately.  Format-1 manifests (the
+        pre-directory layout) load with ids equal to their ranks.
         """
         manifest = json.loads(bytes(store.get_blob(name)).decode("utf-8"))
         if manifest.get("kind") != MANIFEST_KIND:
             raise ParameterError(
                 f"blob {name!r} is not a sharded-ltree manifest "
                 f"(kind={manifest.get('kind')!r})")
-        if manifest.get("format") != MANIFEST_FORMAT_VERSION:
+        if manifest.get("format") not in (1, MANIFEST_FORMAT_VERSION):
             raise ParameterError(
                 f"unsupported sharded manifest format "
                 f"{manifest.get('format')!r} "
-                f"(supported: {MANIFEST_FORMAT_VERSION})")
+                f"(supported: 1, {MANIFEST_FORMAT_VERSION})")
         params = LTreeParams(f=manifest["f"], s=manifest["s"],
                              label_base=manifest["label_base"])
         tree = cls.__new__(cls)
@@ -795,8 +1393,12 @@ class ShardedCompactLTree:
         tree.n_shards = manifest["n_shards"]
         tree._track_shards = bool(shard_stats)
         tree.directory_rebuilds = manifest.get("directory_rebuilds", 0)
-        tree._shards = []
-        for entry in manifest["shards"]:
+        tree.shard_splits = manifest.get("shard_splits", 0)
+        tree.shard_merges = manifest.get("shard_merges", 0)
+        ids: list[int] = []
+        shards: dict[int, _Shard] = {}
+        for rank, entry in enumerate(manifest["shards"]):
+            sid = entry.get("id", rank)
             sink = Counters() if shard_stats else stats
             image = store.get_blob(entry["blob"],
                                    prefer_mmap=prefer_mmap)
@@ -847,12 +1449,22 @@ class ShardedCompactLTree:
             shard = _Shard.lazy(image, live, entry, sink)
             if not lazy:
                 shard.materialize()
-            tree._shards.append(shard)
-        if not tree._shards:
+            ids.append(sid)
+            shards[sid] = shard
+        if not shards:
             raise ParameterError(
                 f"manifest {name!r} describes zero shards")
-        tree._directory_height = manifest["directory_height"]
-        tree._stride = params.base ** tree._directory_height
+        if len(shards) != len(ids):
+            raise ParameterError(
+                f"manifest {name!r} repeats shard ids")
+        tree._forwarding = {
+            (entry[0], entry[1]): (entry[2], entry[3])
+            for entry in manifest.get("forwarding", ())}
+        tree._next_shard_id = manifest.get("next_shard_id",
+                                           max(ids) + 1)
+        tree._dir = _Directory(manifest.get("epoch", 0), ids, shards,
+                               params.base,
+                               height=manifest["directory_height"])
         return tree
 
     # ------------------------------------------------------------------
@@ -863,24 +1475,60 @@ class ShardedCompactLTree:
 
         Materializes every shard (tests only).  Checks each arena with
         :meth:`CompactLTree.validate`, that the stride covers the
-        tallest shard, and that global labels strictly increase across
-        shard boundaries.
+        tallest shard, that global labels strictly increase across
+        shard boundaries, that the directory's position map matches its
+        id order, and that every forwarding chain terminates in a live
+        shard at a valid slot.
         """
-        height = max((shard.height for shard in self._shards), default=1)
-        if self.params.base ** max(height, 1) != self._stride:
+        d = self._dir
+        height = max((d.shards[sid].height for sid in d.ids), default=1)
+        if self.params.base ** max(height, 1) != d.stride:
             raise InvariantViolation(
-                f"stride {self._stride} does not match the tallest "
+                f"stride {d.stride} does not match the tallest "
                 f"shard (height {height})")
-        for shard in self._shards:
-            shard.materialize().validate(check_occupancy)
+        for position, sid in enumerate(d.ids):
+            if d.positions.get(sid) != position:
+                raise InvariantViolation(
+                    f"directory position map disagrees with id order "
+                    f"at {sid}")
+            d.shards[sid].materialize().validate(check_occupancy)
+        if len(set(d.ids)) != len(d.ids):
+            raise InvariantViolation("directory repeats shard ids")
+        if d.ids and self._next_shard_id <= max(d.ids):
+            raise InvariantViolation(
+                f"next_shard_id {self._next_shard_id} collides with "
+                f"live ids")
         labels = self.labels()
         for left, right in zip(labels, labels[1:]):
             if left >= right:
                 raise InvariantViolation(
                     f"global labels not strictly increasing: "
                     f"{left} >= {right}")
+        for origin, bridge in self._forwarding.items():
+            sid, slot = bridge
+            seen = 0
+            while sid not in d.shards:
+                nxt = self._forwarding.get((sid, slot))
+                if nxt is None:
+                    raise InvariantViolation(
+                        f"forwarding chain from {origin} dead-ends at "
+                        f"({sid}, {slot})")
+                sid, slot = nxt
+                seen += 1
+                if seen > len(self._forwarding):
+                    raise InvariantViolation(
+                        f"forwarding chain from {origin} cycles")
+            tree = d.shards[sid].tree
+            n_slots = d.shards[sid].header.n_slots \
+                if tree is None else len(tree._num)
+            if not 0 <= slot < n_slots:
+                raise InvariantViolation(
+                    f"forwarding chain from {origin} lands outside "
+                    f"shard {sid}'s {n_slots}-slot arena")
 
     def __repr__(self) -> str:
-        return (f"ShardedCompactLTree(shards={len(self._shards)}, "
-                f"stride={self._stride}, n_leaves={self.n_leaves}, "
+        d = self._dir
+        return (f"ShardedCompactLTree(shards={len(d.ids)}, "
+                f"epoch={d.epoch}, stride={d.stride}, "
+                f"n_leaves={self.n_leaves}, "
                 f"params={self.params.describe()})")

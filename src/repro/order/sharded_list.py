@@ -18,8 +18,11 @@ shard and reopens **shard-lazily** — see
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.params import DEFAULT_PARAMS, LTreeParams
-from repro.core.sharded import DEFAULT_N_SHARDS, ShardedCompactLTree
+from repro.core.sharded import (DEFAULT_N_SHARDS, RebalancePolicy,
+                                ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.order.compact_list import CompactEngineLabeling
 
@@ -54,3 +57,34 @@ class ShardedListLabeling(CompactEngineLabeling):
     def shard_counters(self) -> list[Counters]:
         """Per-shard counter sinks (see ``shard_stats``)."""
         return self.tree.shard_counters
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """Stable shard ids in document order (directory epoch view)."""
+        return self.tree.shard_ids
+
+    @property
+    def epoch(self) -> int:
+        """Directory membership epoch (bumps on rebalance/bulk load)."""
+        return self.tree.epoch
+
+    def shard_report(self) -> list[dict]:
+        """Per-shard occupancy rows — the rebalance policy's input."""
+        return self.tree.shard_report()
+
+    def resolve_handle(self, handle: tuple[int, int]) -> tuple[int, int]:
+        """Current-epoch identity of a possibly pre-rebalance handle."""
+        return self.tree.resolve_handle(handle)
+
+    def split_shard(self, shard_id: int, at_leaf: int) -> tuple[int, int]:
+        """Split one arena online; old handles keep resolving."""
+        return self.tree.split_shard(shard_id, at_leaf)
+
+    def merge_shards(self, id_a: int, id_b: int) -> int:
+        """Merge two adjacent arenas online; old handles keep resolving."""
+        return self.tree.merge_shards(id_a, id_b)
+
+    def rebalance(self, policy: Optional[RebalancePolicy] = None,
+                  max_rounds: int = 4) -> list[dict]:
+        """Apply a :class:`RebalancePolicy` until its plan is empty."""
+        return self.tree.rebalance(policy, max_rounds=max_rounds)

@@ -155,34 +155,42 @@ class ColumnarStore:
         one column decode per shard, composed with the pinned stride.
         No locks are taken and the live engine is never consulted, so
         the resulting store (and every query over it) is immune to
-        concurrent writers.  The *DOM* must be stable while queries
-        run; engine-level writers (extra tokens, relabels) are fine
-        because the pin freezes every label this store reads.
+        concurrent writers — including online shard rebalancing: the
+        snapshot is pinned against a directory epoch, document handles
+        minted before a pre-pin split/merge are resolved through the
+        snapshot's forwarding view, and a rebalance committing *after*
+        the pin changes nothing this store reads.  The *DOM* must be
+        stable while queries run; engine-level writers (extra tokens,
+        relabels, rebalances) are fine because the pin freezes every
+        label this store reads.
         """
-        stride = snapshot.stride
         elements: list[XMLElement] = []
         begin_handles: list[tuple[int, int]] = []
         end_handles: list[tuple[int, int]] = []
         levels: list[int] = []
+        resolve = getattr(snapshot, "resolve", lambda handle: handle)
         for element, begin_handle, end_handle, level in \
                 labeled.element_handles():
             elements.append(element)
-            begin_handles.append(begin_handle)
-            end_handles.append(end_handle)
+            begin_handles.append(resolve(begin_handle))
+            end_handles.append(resolve(end_handle))
             levels.append(level)
         columns: dict[int, Sequence[int]] = {}
 
-        def column(rank: int) -> Sequence[int]:
-            cached = columns.get(rank)
+        def column(shard_id: int) -> Sequence[int]:
+            cached = columns.get(shard_id)
             if cached is None:
-                cached = columns[rank] = snapshot.label_columns(rank)[1]
+                cached = columns[shard_id] = \
+                    snapshot.label_columns(shard_id)[1]
             return cached
 
-        begins = _compose_labels(begin_handles, column, stride)
-        ends = _compose_labels(end_handles, column, stride)
-        ranks = [handle[0] for handle in begin_handles]
+        begins = _compose_labels(begin_handles, column,
+                                 snapshot.shard_prefix)
+        ends = _compose_labels(end_handles, column,
+                               snapshot.shard_prefix)
+        ids = [handle[0] for handle in begin_handles]
         return cls(elements, begins, ends, levels,
-                   _rank_slices(ranks), stats)
+                   _rank_slices(ids), stats)
 
     # ------------------------------------------------------------------
     # column access
@@ -230,20 +238,23 @@ def _rank_slices(ranks: list[int]) -> list[tuple[int, int]]:
     return slices
 
 
-def _compose_labels(handles: list[tuple[int, int]], column, stride: int
+def _compose_labels(handles: list[tuple[int, int]], column, prefix_of
                     ) -> list[int]:
-    """Global labels of ``(rank, slot)`` handles via per-shard columns."""
+    """Global labels of ``(shard_id, slot)`` handles via per-shard
+    columns; ``prefix_of(shard_id)`` supplies each shard's directory
+    prefix (position × stride), so composition works across rebalanced
+    directories where ids are not positions."""
     if _np is not None and vectorized.get_backend() == "numpy" and handles:
-        ranks = _np.asarray([handle[0] for handle in handles],
-                            dtype=_np.int64)
+        ids = _np.asarray([handle[0] for handle in handles],
+                          dtype=_np.int64)
         slots = _np.asarray([handle[1] for handle in handles],
                             dtype=_np.int64)
         out = _np.empty(len(handles), dtype=object)
         exact = False
-        for rank in sorted(set(int(r) for r in _np.unique(ranks))):
-            raw = column(rank)
-            mask = ranks == rank
-            prefix = rank * stride
+        for sid in sorted(set(int(value) for value in _np.unique(ids))):
+            raw = column(sid)
+            mask = ids == sid
+            prefix = prefix_of(sid)
             if prefix + max(raw, default=0) >= _INT64_SAFE:
                 exact = True
                 break
@@ -251,7 +262,7 @@ def _compose_labels(handles: list[tuple[int, int]], column, stride: int
             out[mask] = gathered + prefix
         if not exact:
             return out.tolist()
-    return [handle[0] * stride + column(handle[0])[handle[1]]
+    return [prefix_of(handle[0]) + column(handle[0])[handle[1]]
             for handle in handles]
 
 

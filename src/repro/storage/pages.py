@@ -387,6 +387,26 @@ class PageStore:
     def _pages_for(self, length: int) -> int:
         return max(1, -(-length // self.page_size))
 
+    def _span_bytes(self, span: list[int]) -> bytes:
+        """The live bytes of one catalog span, read straight through."""
+        self._file.seek(span[0] * self.page_size)
+        return self._file.read(span[1])
+
+    @staticmethod
+    def _first_fit(busy: list[tuple[int, int]], needed: int) -> int:
+        """First page of a ``needed``-page hole between busy intervals.
+
+        ``busy`` must be sorted by start (intervals may touch or
+        overlap); the hole may extend past the last interval — the
+        caller grows ``page_count`` to cover it.
+        """
+        cursor = RESERVED_PAGES
+        for start, end in busy:
+            if start - cursor >= needed:
+                return cursor
+            cursor = max(cursor, end)
+        return cursor
+
     # ------------------------------------------------------------------
     # blob layer
     # ------------------------------------------------------------------
@@ -402,7 +422,8 @@ class PageStore:
         self.put_blobs({name: data})
 
     def put_blobs(self, items: dict[str, bytes],
-                  delete: Iterable[str] = ()) -> None:
+                  delete: Iterable[str] = (),
+                  reclaim: bool = False) -> None:
         """Write every blob in ``items`` and drop every name in
         ``delete`` under a **single** catalog flip.
 
@@ -414,25 +435,70 @@ class PageStore:
         and crash semantics match :meth:`put_blob`; names in ``delete``
         that are not cataloged are ignored (a crashed earlier cleanup
         must not fail the retry).
+
+        With ``reclaim=True`` the batch additionally recycles dead
+        space and — crucially — never writes a page the *current*
+        catalog references.  Each changed blob is first-fit into the
+        gaps between live spans (or the tail) instead of rewriting its
+        old span in place; a blob whose bytes are unchanged keeps its
+        span untouched; allocations shrink back to the pages actually
+        needed; and the batch's ``page_count`` drops to the last live
+        page, so freed tail space is reused by later puts rather than
+        growing the file (the file itself is never truncated here —
+        exported mmap views stay valid — :meth:`vacuum` reclaims the
+        bytes).  Because the pre-flip catalog's pages are never
+        overwritten, the one non-atomic window of the default path (the
+        in-place span rewrite, which can tear a blob's *contents*)
+        closes: a crash at **any** byte of a reclaiming batch reopens
+        bit-identically on the previous catalog.  The cost is one
+        whole-span read per unchanged blob (the equality probe) and
+        relocated writes for changed ones — the same bytes the default
+        path would write anyway.
         """
         candidate = dict(self._catalog)
         for name in delete:
             candidate.pop(name, None)
         writes: list[tuple[int, bytes, int]] = []
         page_count = self.page_count
-        for name, data in items.items():
-            data = bytes(data)
-            needed = self._pages_for(len(data))
-            span = candidate.get(name)
-            # reuse is judged by the span's *allocated* pages, not the
-            # current byte length, so shrink-then-regrow stays in place
-            grow = span is None or needed > span[2]
-            first = page_count if grow else span[0]
-            allocated = needed if grow else span[2]
-            if grow:
-                page_count += needed
-            candidate[name] = [first, len(data), allocated]
-            writes.append((first, data, needed))
+        if reclaim:
+            # every interval the *pre-flip* catalog references is
+            # untouchable until the flip lands: a crash anywhere in
+            # this batch must fall back to it bit-identically
+            busy = sorted((span[0], span[0] + span[2])
+                          for span in self._catalog.values())
+            for name, data in items.items():
+                data = bytes(data)
+                needed = self._pages_for(len(data))
+                span = candidate.get(name)
+                if span is not None and span[1] == len(data) and \
+                        self._span_bytes(span) == data:
+                    if span[2] != needed:
+                        # give back over-allocation from a fatter past
+                        candidate[name] = [span[0], len(data), needed]
+                    continue
+                first = self._first_fit(busy, needed)
+                busy.append((first, first + needed))
+                busy.sort()
+                candidate[name] = [first, len(data), needed]
+                writes.append((first, data, needed))
+            page_count = max(
+                [RESERVED_PAGES] +
+                [span[0] + span[2] for span in candidate.values()])
+        else:
+            for name, data in items.items():
+                data = bytes(data)
+                needed = self._pages_for(len(data))
+                span = candidate.get(name)
+                # reuse is judged by the span's *allocated* pages, not
+                # the current byte length, so shrink-then-regrow stays
+                # in place
+                grow = span is None or needed > span[2]
+                first = page_count if grow else span[0]
+                allocated = needed if grow else span[2]
+                if grow:
+                    page_count += needed
+                candidate[name] = [first, len(data), allocated]
+                writes.append((first, data, needed))
         if candidate == self._catalog and not writes:
             return
         catalog_raw = json.dumps(candidate).encode("utf-8")

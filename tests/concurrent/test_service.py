@@ -249,6 +249,166 @@ class TestCrashRecovery:
         back.close()
 
 
+class TestRebalanceDurability:
+    """Crash points at the rebalance WAL-record boundaries: a logical
+    split/merge is atomic — wholly replayed or wholly skipped."""
+
+    def _skewed(self, tmp_path, **kwargs):
+        doc = _service(tmp_path, group_commit=None, **kwargs)
+        handles = doc.bulk_load([f"p{i}" for i in range(32)])
+        anchor = handles[10]                      # fatten shard 1
+        for step in range(150):
+            anchor = doc.insert_after(anchor, ["skew", step])
+        doc.commit()
+        return doc, handles
+
+    def test_uncommitted_rebalance_record_recovers_pre_rebalance(
+            self, tmp_path):
+        """The record was journaled but the group-commit buffer never
+        reached disk: the crash erases the rebalance wholesale."""
+        doc, handles = self._skewed(tmp_path)
+        expected = doc.labels()
+        doc.tree.split_shard(1, 20)               # buffered, not durable
+        assert doc.wal.pending_records > 0
+        doc.wal._file.close()                     # die without commit
+        doc.store.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_count == 4
+            assert back.tree.shard_splits == 0
+            assert back.labels() == expected
+            back.tree.validate()
+
+    def test_committed_rebalance_record_recovers_post_rebalance(
+            self, tmp_path):
+        """Once the split record (and an op routed into the new shard
+        behind it) is committed, recovery replays both — the op can
+        never precede the split that created its shard."""
+        doc, handles = self._skewed(tmp_path)
+        left, right = doc.tree.split_shard(1, 20)
+        routed = doc.insert_after(handles[10], "into-new-shard")
+        assert routed[0] in (left, right)
+        doc.commit()
+        expected = doc.labels()
+        ids = doc.tree.shard_ids
+        doc.wal._file.close()
+        doc.store.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_ids == ids
+            assert back.tree.shard_splits == 1
+            assert back.labels() == expected
+            assert "into-new-shard" in back.payloads()
+            back.tree.validate()
+
+    def test_torn_rebalance_record_dropped_by_crc(self, tmp_path):
+        """Tearing the committed split record's tail bytes must drop the
+        whole logical rebalance, not replay half of it."""
+        doc, handles = self._skewed(tmp_path)
+        expected = doc.labels()
+        doc.tree.split_shard(1, 20)
+        doc.commit()
+        doc.close()
+        wal_path = str(tmp_path / "svc" / WAL_FILE)
+        with open(wal_path, "r+b") as handle:
+            handle.truncate(os.path.getsize(wal_path) - 5)
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.wal.dropped_bytes > 0
+            assert back.tree.shard_count == 4
+            assert back.labels() == expected
+            back.tree.validate()
+
+    def test_merge_records_replay_like_split_records(self, tmp_path):
+        doc, handles = self._skewed(tmp_path)
+        merged = doc.tree.merge_shards(2, 3)
+        doc.delete(handles[20])                   # chunk 2, now merged
+        doc.commit()
+        expected = doc.labels()
+        ids = doc.tree.shard_ids
+        doc.wal._file.close()
+        doc.store.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_ids == ids
+            assert back.tree.shard_merges == 1
+            assert back.labels() == expected
+            assert back.tree.is_deleted(handles[20])
+            back.tree.validate()
+
+    def test_crash_at_checkpoint_flip_discards_rebalance(self, tmp_path):
+        """A checkpoint save that dies before its catalog flip leaves
+        the store on the previous epoch; the WAL still holds the
+        rebalance records, so recovery replays them — one epoch, never
+        half of one."""
+        doc, handles = self._skewed(tmp_path)
+        doc.checkpoint()                          # durable pre-rebalance
+        doc.tree.split_shard(1, 20)
+        doc.commit()
+        expected = doc.labels()
+        ids = doc.tree.shard_ids
+
+        def crash(name):
+            if name == "checkpoint:after-save":
+                raise SimulatedCrash()
+
+        doc.crash_hook = crash
+        with pytest.raises(SimulatedCrash):
+            doc.checkpoint()
+        doc.wal._file.close()
+        doc.store.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_ids == ids
+            assert back.labels() == expected
+            back.tree.validate()
+
+    def test_policy_rebalances_between_checkpoints_and_recovers(
+            self, tmp_path):
+        """A service created with a rebalance_policy runs it at every
+        checkpoint; the actions land in the fresh WAL above the
+        watermark and survive reopen."""
+        from repro.core.sharded import RebalancePolicy
+
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=16,
+                                 max_shards=12)
+        doc, handles = self._skewed(tmp_path, rebalance_policy=policy)
+        assert doc.tree.shard_splits == 0
+        doc.checkpoint()
+        assert doc.tree.shard_splits > 0          # policy ran
+        # the rebalance records sit in the post-checkpoint tail
+        tail = [op for _seq, op in doc.wal.replay(doc.checkpoint_seq)]
+        assert any(op.get("op") in ("split", "merge") for op in tail)
+        doc.insert_after(handles[0], "after-policy")
+        doc.commit()
+        expected = doc.labels()
+        ids = doc.tree.shard_ids
+        doc.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_ids == ids
+            assert back.labels() == expected
+            back.tree.validate()
+
+    def test_manual_rebalance_commits_its_records(self, tmp_path):
+        from repro.core.sharded import RebalancePolicy
+
+        doc, handles = self._skewed(tmp_path)
+        performed = doc.rebalance(RebalancePolicy(max_ratio=2.0,
+                                                  min_split_leaves=16))
+        assert performed
+        assert doc.wal.pending_records == 0       # rebalance() commits
+        expected = doc.labels()
+        ids = doc.tree.shard_ids
+        doc.wal._file.close()
+        doc.store.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.tree.shard_ids == ids
+            assert back.labels() == expected
+
+    def test_shard_report_surfaced_on_the_service(self, tmp_path):
+        doc, handles = self._skewed(tmp_path)
+        report = doc.shard_report()
+        assert [row["id"] for row in report] == [0, 1, 2, 3]
+        assert max(row["live"] for row in report) == \
+            report[1]["live"]                     # the skewed shard
+        doc.close()
+
+
 class TestCounters:
     def test_shared_stats_sink(self, tmp_path):
         stats = Counters()

@@ -231,6 +231,232 @@ class TestThreadedDifferential:
             back.tree.validate()
 
 
+class TestOnlineRebalance:
+    """Split/merge under live writers: never stop-the-world."""
+
+    def test_parked_split_never_blocks_uninvolved_writers(self,
+                                                          tmp_path):
+        """Deterministic, not statistical: the split is *parked* on an
+        event while holding shard 1's write lock.  A writer on shard 3
+        must complete while the split is frozen mid-flight; a writer on
+        shard 1 must block until the split commits, then land in one of
+        the new shards via forwarding."""
+        doc = ConcurrentDocument.create(str(tmp_path / "svc"),
+                                        params=PARAMS, n_shards=4)
+        handles = doc.bulk_load([f"p{i}" for i in range(64)])
+        tree = doc.tree
+        parked, release = threading.Event(), threading.Event()
+
+        def hook(stage, *args):
+            if stage == "split:locked":
+                parked.set()
+                assert release.wait(10), "split never released"
+
+        tree.rebalance_hook = hook
+        split_new = []
+        splitter = threading.Thread(
+            target=lambda: split_new.extend(tree.split_shard(1, 8)))
+        splitter.start()
+        assert parked.wait(10), "split never reached its lock"
+
+        free_done = threading.Event()
+
+        def free_writer():
+            for step in range(25):
+                doc.insert_after(handles[60], ["free", step])
+            free_done.set()
+
+        free = threading.Thread(target=free_writer)
+        free.start()
+        # the uninvolved writer finishes while the split holds its lock
+        assert free_done.wait(10), \
+            "writer on an uninvolved shard blocked behind the split"
+
+        blocked_done = threading.Event()
+        blocked_handle = []
+
+        def blocked_writer():
+            blocked_handle.append(
+                doc.insert_after(handles[20], "blocked"))
+            blocked_done.set()
+
+        blocked = threading.Thread(target=blocked_writer)
+        blocked.start()
+        # the involved writer genuinely waits on the split's lock
+        assert not blocked_done.wait(0.3)
+        release.set()
+        splitter.join(10)
+        assert blocked_done.wait(10)
+        free.join(10)
+        blocked.join(10)
+        tree.rebalance_hook = None
+        assert blocked_handle[0][0] in split_new   # routed via forwarding
+        payloads = doc.tree.payloads()
+        assert payloads[21] == "blocked"
+        labels = doc.tree.labels()
+        assert labels == sorted(labels)
+        doc.tree.validate()
+        doc.commit()
+        doc.close()
+
+    def test_parked_merge_never_blocks_uninvolved_writers(self,
+                                                          tmp_path):
+        doc = ConcurrentDocument.create(str(tmp_path / "svc"),
+                                        params=PARAMS, n_shards=4)
+        handles = doc.bulk_load([f"m{i}" for i in range(64)])
+        tree = doc.tree
+        parked, release = threading.Event(), threading.Event()
+
+        def hook(stage, *args):
+            if stage == "merge:locked":
+                parked.set()
+                assert release.wait(10)
+
+        tree.rebalance_hook = hook
+        merged = []
+        merger = threading.Thread(
+            target=lambda: merged.append(tree.merge_shards(1, 2)))
+        merger.start()
+        assert parked.wait(10)
+        free_done = threading.Event()
+
+        def free_writer():
+            for step in range(25):
+                doc.insert_after(handles[5], ["free", step])   # shard 0
+            free_done.set()
+
+        free = threading.Thread(target=free_writer)
+        free.start()
+        assert free_done.wait(10), \
+            "writer on an uninvolved shard blocked behind the merge"
+        release.set()
+        merger.join(10)
+        free.join(10)
+        tree.rebalance_hook = None
+        assert tree.shard_ids == (0, merged[0], 3)
+        doc.tree.validate()
+        doc.commit()
+        doc.close()
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_melee_with_rebalancer_matches_serial_replay(self, tmp_path,
+                                                         seed):
+        """Writers + snapshot readers + a policy-driven rebalancer all
+        at once; afterwards the merged WAL tape — rebalance records
+        included — replays serially into a fresh engine bit-identically."""
+        doc = ConcurrentDocument.create(str(tmp_path / "svc"),
+                                        params=PARAMS, n_shards=4)
+        handles = doc.bulk_load([f"r{i}" for i in range(96)])
+        # pre-skew shard 1 so the policy has real work
+        anchor = handles[30]
+        for step in range(200):
+            anchor = doc.insert_after(anchor, ["skew", step])
+
+        errors = []
+
+        def writer(slice_start, seed_offset):
+            try:
+                rng = random.Random(seed * 31 + seed_offset)
+                mine = handles[slice_start:slice_start + 20]
+                deleted = set()
+                for step in range(120):
+                    index = rng.randrange(len(mine))
+                    roll = rng.random()
+                    if roll < 0.7:
+                        mine.append(doc.insert_after(
+                            mine[index], [seed_offset, step]))
+                    elif roll < 0.9 and index not in deleted:
+                        doc.delete(mine[index])
+                        deleted.add(index)
+                    else:
+                        doc.set_payload(mine[index],
+                                        ["sp", seed_offset, step])
+            except BaseException as exc:
+                errors.append(exc)
+
+        performed = []
+
+        def rebalancer():
+            try:
+                from repro.core.sharded import RebalancePolicy
+                policy = RebalancePolicy(max_ratio=2.0,
+                                         min_split_leaves=16,
+                                         max_shards=12)
+                for _ in range(3):
+                    performed.extend(doc.rebalance(policy))
+            except BaseException as exc:
+                errors.append(exc)
+
+        stop = threading.Event()
+        readers = [SnapshotReader(doc, stop) for _ in range(2)]
+        threads = [threading.Thread(target=writer, args=(start, k))
+                   for k, start in enumerate((0, 24, 48, 72))]
+        threads.append(threading.Thread(target=rebalancer))
+        reader_threads = [threading.Thread(target=reader.run)
+                          for reader in readers]
+        for thread in threads + reader_threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        stop.set()
+        for thread in reader_threads:
+            thread.join()
+        for reader in readers:
+            if reader.error is not None:
+                raise reader.error
+        if errors:
+            raise errors[0]
+        assert performed, "the rebalancer never found work"
+        doc.commit()
+
+        final_live = doc.labels()
+        final_all = doc.tree.labels(include_deleted=True)
+        final_payloads = doc.payloads()
+        replayed = ShardedCompactLTree(PARAMS, n_shards=4)
+        for _seq, op in doc.wal.replay():
+            apply_logged_op(replayed, op)
+        assert replayed.labels(include_deleted=False) == final_live
+        assert replayed.labels(include_deleted=True) == final_all
+        assert replayed.payloads(include_deleted=False) == final_payloads
+        assert replayed.shard_ids == doc.tree.shard_ids
+        assert replayed.epoch == doc.tree.epoch
+        replayed.validate()
+        doc.tree.validate()
+        doc.close()
+        with ConcurrentDocument.open(str(tmp_path / "svc")) as back:
+            assert back.labels() == final_live
+            assert back.tree.shard_ids == replayed.shard_ids
+
+    def test_pinned_snapshot_unmoved_by_rebalance(self, tmp_path):
+        """A LabelSnapshot pinned before a split/merge keeps serving the
+        pinned epoch: identical labels, identical resolution, while the
+        live tree moves on."""
+        doc = ConcurrentDocument.create(str(tmp_path / "svc"),
+                                        params=PARAMS, n_shards=4)
+        handles = doc.bulk_load([f"s{i}" for i in range(64)])
+        snap = doc.snapshot()
+        frozen = snap.labels()
+        frozen_map = snap.label_map()
+        old = handles[20]                         # shard 1
+        left, right = doc.tree.split_shard(1, 8)
+        doc.tree.merge_shards(2, 3)
+        doc.insert_after(handles[60], "after-rebalance")
+        # the pinned view: byte-for-byte where it was
+        assert snap.labels() == frozen
+        assert snap.label_map() == frozen_map
+        assert snap.resolve(old) == old           # pinned membership
+        assert snap.shard_count == 4
+        # a fresh snapshot sees the new epoch
+        after = doc.snapshot()
+        assert after.epoch != snap.epoch
+        assert after.resolve(old)[0] in (left, right)
+        labels = after.labels()
+        assert labels == sorted(labels)
+        assert len(labels) == len(frozen) + 1
+        doc.commit()
+        doc.close()
+
+
 @pytest.mark.parametrize("seed", SEEDS)
 def test_snapshot_epochs_are_stable(tmp_path, seed):
     """A snapshot pinned before a write never moves; one pinned after

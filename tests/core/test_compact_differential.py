@@ -37,7 +37,7 @@ from repro.core import vectorized
 from repro.core.compact import CompactLTree
 from repro.core.ltree import LTree
 from repro.core.params import LTreeParams
-from repro.core.sharded import ShardedCompactLTree
+from repro.core.sharded import RebalancePolicy, ShardedCompactLTree
 from repro.core.stats import Counters
 from repro.storage.pages import PageStore
 
@@ -302,6 +302,11 @@ def test_seeded_sharded_sweep(f, s, policy, tmp_path):
     shard prefix ⊕ local label), so the contract is order-identity:
     both engines keep the same sequence in the same order, each under
     a strictly increasing label sequence.
+
+    Every ~500 steps the sharded side also splits its fattest shard and
+    merges its two smallest adjacent ones (the online-rebalance ops),
+    then re-resolves every tracked handle through the forwarding table
+    — the stream keeps running against the new epoch's directory.
     """
     params = LTreeParams(f=f, s=s)
     flat = CompactLTree(params, violator_policy=policy)
@@ -348,6 +353,21 @@ def test_seeded_sharded_sweep(f, s, policy, tmp_path):
         if step % 250 == 0:
             labels = sharded.labels()
             assert labels == sorted(labels), (f, s, policy, step)
+            assert sharded.payloads() == flat.payloads(), \
+                (f, s, policy, step)
+        if step % 500 == 250:
+            report = sharded.shard_report()
+            fat = max(report, key=lambda row: row["live"])
+            if fat["leaves"] >= 2:
+                sharded.split_shard(fat["id"], fat["leaves"] // 2)
+            rows = sharded.shard_report()
+            if len(rows) >= 3:
+                left, right = min(
+                    zip(rows, rows[1:]),
+                    key=lambda pair: pair[0]["live"] + pair[1]["live"])
+                sharded.merge_shards(left["id"], right["id"])
+            sharded_handles = [sharded.resolve_handle(handle)
+                               for handle in sharded_handles]
             assert sharded.payloads() == flat.payloads(), \
                 (f, s, policy, step)
         if step == SWEEP_OPS // 2:
@@ -405,3 +425,128 @@ def test_post_restore_edits_differential(policy, vector_backend):
         assert ref_counts[field] == restored_counts[field], field
     ref.validate()
     restored.validate()
+
+
+class ShardedRebalanceMachine(RuleBasedStateMachine):
+    """Sharded engine with interleaved split/merge/rebalance against a
+    flat-list oracle.
+
+    The oracle is the plain Python list of ``(payload, deleted)`` the
+    document order must always equal; handles recorded *before* a
+    rebalance keep being used *after* it, so every rule exercises the
+    forwarding table, and the invariants re-check payload order,
+    liveness, sorted labels and the structural validator after every
+    step."""
+
+    def __init__(self):
+        super().__init__()
+        self.counter = 0
+
+    @initialize(f_s=st.sampled_from([(4, 2), (8, 2)]),
+                initial=st.integers(2, 24),
+                n_shards=st.integers(1, 4))
+    def setup(self, f_s, initial, n_shards):
+        f, s = f_s
+        self.tree = ShardedCompactLTree(LTreeParams(f=f, s=s),
+                                        n_shards=n_shards)
+        self.handles = list(self.tree.bulk_load(
+            [f"seed{i}" for i in range(initial)]))
+        self.oracle = [[f"seed{i}", False] for i in range(initial)]
+
+    def _fresh(self):
+        self.counter += 1
+        return f"item{self.counter}"
+
+    @rule(position=st.integers(0, 10 ** 9), before=st.booleans())
+    def insert(self, position, before):
+        index = position % len(self.handles)
+        payload = self._fresh()
+        if before:
+            leaf = self.tree.insert_before(self.handles[index], payload)
+            self.handles.insert(index, leaf)
+            self.oracle.insert(index, [payload, False])
+        else:
+            leaf = self.tree.insert_after(self.handles[index], payload)
+            self.handles.insert(index + 1, leaf)
+            self.oracle.insert(index + 1, [payload, False])
+
+    @rule(position=st.integers(0, 10 ** 9), length=st.integers(1, 12))
+    def insert_run(self, position, length):
+        index = position % len(self.handles)
+        payloads = [self._fresh() for _ in range(length)]
+        new = self.tree.insert_run_after(self.handles[index], payloads)
+        self.handles[index + 1:index + 1] = new
+        self.oracle[index + 1:index + 1] = [[p, False] for p in payloads]
+
+    @rule(position=st.integers(0, 10 ** 9))
+    def delete(self, position):
+        live = [i for i, row in enumerate(self.oracle) if not row[1]]
+        if len(live) <= 1:
+            return
+        index = live[position % len(live)]
+        self.tree.mark_deleted(self.handles[index])
+        self.oracle[index][1] = True
+
+    @rule(pick=st.integers(0, 10 ** 9), cut=st.integers(0, 10 ** 9))
+    def split(self, pick, cut):
+        report = self.tree.shard_report()
+        if len(report) >= 12:
+            return
+        row = report[pick % len(report)]
+        if row["leaves"] < 2:
+            return
+        self.tree.split_shard(row["id"],
+                              1 + cut % (row["leaves"] - 1))
+
+    @rule(pick=st.integers(0, 10 ** 9))
+    def merge(self, pick):
+        ids = self.tree.shard_ids
+        if len(ids) < 2:
+            return
+        position = pick % (len(ids) - 1)
+        self.tree.merge_shards(ids[position], ids[position + 1])
+
+    @rule()
+    def policy_rebalance(self):
+        self.tree.rebalance(RebalancePolicy(max_ratio=2.0,
+                                            min_split_leaves=8,
+                                            max_shards=12))
+
+    @rule()
+    def compact_vacuum(self):
+        self.tree.compact()
+        self.oracle = [row for row in self.oracle if not row[1]]
+        self.handles = list(self.tree.iter_leaves())
+        assert len(self.handles) == len(self.oracle)
+
+    @invariant()
+    def order_and_liveness_match_oracle(self):
+        if not hasattr(self, "tree"):
+            return
+        assert self.tree.payloads() == [row[0] for row in self.oracle]
+        assert self.tree.payloads(include_deleted=False) == \
+            [row[0] for row in self.oracle if not row[1]]
+
+    @invariant()
+    def stale_handles_still_resolve(self):
+        if not hasattr(self, "tree"):
+            return
+        for index in range(0, len(self.handles),
+                           max(1, len(self.handles) // 8)):
+            handle = self.handles[index]
+            assert self.tree.payload(handle) == self.oracle[index][0]
+            assert self.tree.is_deleted(handle) == self.oracle[index][1]
+
+    @invariant()
+    def labels_sorted_and_valid(self):
+        if not hasattr(self, "tree"):
+            return
+        labels = self.tree.labels()
+        assert labels == sorted(labels)
+        self.tree.validate()
+
+
+ShardedRebalanceStatefulTest = ShardedRebalanceMachine.TestCase
+ShardedRebalanceStatefulTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])

@@ -19,7 +19,7 @@ import pytest
 
 from repro.core.compact import CompactLTree
 from repro.core.params import LTreeParams
-from repro.core.sharded import ShardedCompactLTree
+from repro.core.sharded import RebalancePolicy, ShardedCompactLTree
 from repro.core.stats import Counters
 from repro.errors import ParameterError
 from repro.storage.pages import PageStore
@@ -568,6 +568,20 @@ class TestBoundaryBulkLoad:
         with pytest.raises(ParameterError, match="cover"):
             tree.bulk_load(range(4), boundaries=[2, 3])
 
+    def test_non_integer_boundaries_rejected_loudly(self):
+        """Floats and bools used to slide through list slicing as
+        truthy chunk sizes; the validation must name the offender."""
+        tree = ShardedCompactLTree(PARAMS, n_shards=4)
+        with pytest.raises(ParameterError, match="integers.*float"):
+            tree.bulk_load(range(4), boundaries=[2, 2.0])
+        with pytest.raises(ParameterError, match="bool"):
+            tree.bulk_load(range(4), boundaries=[True, 3])
+        with pytest.raises(ParameterError, match="integers"):
+            tree.bulk_load(range(4), boundaries=["2", "2"])
+        # a failed validation leaves the tree loadable
+        handles = tree.bulk_load(range(4), boundaries=[2, 2])
+        assert len(handles) == 4
+
     def test_boundary_load_persists_like_default_load(self, tmp_path):
         tree = ShardedCompactLTree(PARAMS, n_shards=4)
         handles = tree.bulk_load(range(25), boundaries=[5, 15, 5])
@@ -620,3 +634,364 @@ class TestSaveExtraBlobs:
         tree, _ = _sharded(8, 2)
         tree.save(PlainStore(), extra_blobs={"meta.extra": b"x"})
         assert order.index("meta.extra") < order.index("scheme")
+
+
+class TestSplitMerge:
+    """Online split/merge: stable ids, forwarding, untouched arenas."""
+
+    def test_split_preserves_order_and_liveness(self):
+        tree, handles = _sharded(64, 4)
+        tree.mark_deleted(handles[20])           # inside shard 1
+        left, right = tree.split_shard(1, 8)
+        assert tree.shard_ids == (0, left, right, 2, 3)
+        assert (left, right) == (4, 5)
+        assert tree.payloads() == [f"p{i}" for i in range(64)]
+        assert tree.is_deleted(handles[20])      # via forwarding
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(set(labels))
+        assert tree.shard_splits == 1
+        tree.validate()
+
+    def test_old_handles_resolve_through_forwarding(self):
+        tree, handles = _sharded(64, 4)
+        old = handles[20]                        # shard 1, pre-split
+        payload = tree.payload(old)
+        left, right = tree.split_shard(1, 8)
+        sid, slot = tree.resolve_handle(old)
+        assert sid in (left, right)
+        assert tree.payload(old) == payload
+        assert tree.num(old) == tree.num((sid, slot))
+        new = tree.insert_after(old, "routed")   # routes to new arena
+        assert new[0] in (left, right)
+        assert tree.payloads()[21] == "routed"
+
+    def test_split_leaves_other_arenas_untouched(self):
+        """The whole point of id-stable splits: only the split shard's
+        arena is rebuilt — the others keep their very objects."""
+        tree, handles = _sharded(64, 4)
+        before = {sid: tree._dir.shards[sid] for sid in (0, 2, 3)}
+        tree.split_shard(1, 8)
+        for sid, shard in before.items():
+            assert tree._dir.shards[sid] is shard
+
+    def test_split_point_validated(self):
+        tree, handles = _sharded(64, 4)
+        with pytest.raises(ParameterError, match="split point"):
+            tree.split_shard(1, 0)
+        with pytest.raises(ParameterError, match="split point"):
+            tree.split_shard(1, 16)
+        with pytest.raises(ValueError, match="no shard"):
+            tree.split_shard(99, 1)
+
+    def test_merge_requires_adjacency(self):
+        tree, handles = _sharded(64, 4)
+        with pytest.raises(ParameterError, match="not adjacent"):
+            tree.merge_shards(0, 2)
+        with pytest.raises(ValueError, match="no shard"):
+            tree.merge_shards(0, 99)
+
+    def test_merge_preserves_order_both_argument_orders(self):
+        tree, handles = _sharded(64, 4)
+        tree.mark_deleted(handles[40])
+        merged = tree.merge_shards(3, 2)         # order normalized
+        assert tree.shard_ids == (0, 1, merged)
+        assert tree.payloads() == [f"p{i}" for i in range(64)]
+        assert tree.is_deleted(handles[40])
+        labels = [tree.num(handle) for handle in handles]
+        assert labels == sorted(set(labels))
+        assert tree.shard_merges == 1
+        tree.validate()
+
+    def test_ids_never_reused(self):
+        tree, handles = _sharded(64, 4)
+        left, right = tree.split_shard(1, 8)     # 4, 5
+        merged = tree.merge_shards(left, right)  # 6
+        assert merged == 6
+        again = tree.split_shard(merged, 8)      # 7, 8
+        assert again == (7, 8)
+        assert tree.epoch >= 4                   # bumped every commit
+        assert tree.payloads() == [f"p{i}" for i in range(64)]
+        tree.validate()
+
+    def test_chained_forwarding_resolves_to_final_arena(self):
+        """split -> merge -> split: a pre-rebalance handle chases the
+        whole chain and still reads/writes the right leaf."""
+        tree, handles = _sharded(64, 4)
+        old = handles[20]
+        left, right = tree.split_shard(1, 8)
+        merged = tree.merge_shards(left, right)
+        final = tree.split_shard(merged, 8)
+        sid, slot = tree.resolve_handle(old)
+        assert sid in final
+        assert tree.payload(old) == "p20"
+        tree.mark_deleted(old)
+        assert tree.is_deleted((sid, slot))
+        tree.validate()
+
+    def test_stride_tracks_tallest_shard_through_rebalance(self):
+        """Splitting the tall shard lets the stride shrink back — the
+        h-term discount a split buys."""
+        tree, handles = _sharded(8, 4, params=LTreeParams(f=4, s=2))
+        anchor = handles[3]                      # fatten shard 1
+        for index in range(300):
+            anchor = tree.insert_after(anchor, index)
+        tall = tree.directory_height
+        report = tree.shard_report()
+        fat = max(report, key=lambda row: row["live"])
+        tree.split_shard(fat["id"], fat["leaves"] // 2)
+        assert tree.directory_height <= tall
+        assert tree.stride == tree.params.base ** tree.directory_height
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        tree.validate()
+
+    def test_split_of_lazy_shard_leaves_others_lazy(self, tmp_path):
+        tree, handles = _sharded(48, 4)
+        path = str(tmp_path / "lazysplit.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            back.split_shard(1, 6)
+            report = back.shard_report()
+            lazy = [row["id"] for row in report
+                    if not row["materialized"]]
+            assert sorted(lazy) == [0, 2, 3]
+            assert back.payloads() == tree.payloads()
+            back.validate()
+
+
+class TestRebalancePolicy:
+    @staticmethod
+    def _row(sid, pos, live, tomb=0, leaves=None):
+        leaves = live + tomb if leaves is None else leaves
+        return {"id": sid, "position": pos, "height": 1,
+                "leaves": leaves, "live": live, "tombstones": tomb,
+                "arena_bytes": 0, "materialized": True,
+                "counters": None}
+
+    def test_balanced_report_plans_nothing(self):
+        report = [self._row(i, i, 100) for i in range(4)]
+        assert RebalancePolicy().plan(report) == []
+        assert RebalancePolicy().plan([]) == []
+
+    def test_skewed_shard_is_split_at_midpoint(self):
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=16)
+        report = [self._row(0, 0, 1000), self._row(1, 1, 10),
+                  self._row(2, 2, 10), self._row(3, 3, 10)]
+        plan = policy.plan(report)
+        assert ("split", 0, 500) in plan
+
+    def test_small_shard_never_split(self):
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=64)
+        report = [self._row(0, 0, 40), self._row(1, 1, 1)]
+        assert all(a[0] != "split" for a in policy.plan(report))
+
+    def test_adjacent_undersized_pair_merges(self):
+        policy = RebalancePolicy(max_ratio=4.0)
+        report = [self._row(0, 0, 10), self._row(1, 1, 10),
+                  self._row(2, 2, 400), self._row(3, 3, 400)]
+        assert ("merge", 0, 1) in policy.plan(report)
+
+    def test_tombstone_heavy_shard_merges(self):
+        policy = RebalancePolicy(tombstone_ratio=0.5)
+        report = [self._row(0, 0, 40, tomb=140),
+                  self._row(1, 1, 30, tomb=100),
+                  self._row(2, 2, 400), self._row(3, 3, 400)]
+        assert ("merge", 0, 1) in policy.plan(report)
+
+    def test_actions_never_overlap(self):
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=8)
+        report = [self._row(0, 0, 1000), self._row(1, 1, 5),
+                  self._row(2, 2, 5), self._row(3, 3, 5)]
+        plan = policy.plan(report)
+        touched = [sid for action in plan for sid in action[1:]]
+        assert len(touched) == len(set(touched))
+
+    def test_max_shards_caps_splits(self):
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=8,
+                                 max_shards=4)
+        report = [self._row(0, 0, 1000), self._row(1, 1, 10),
+                  self._row(2, 2, 10), self._row(3, 3, 10)]
+        assert all(a[0] != "split" for a in policy.plan(report))
+
+    def test_min_shards_caps_merges(self):
+        policy = RebalancePolicy(min_shards=2)
+        report = [self._row(0, 0, 1), self._row(1, 1, 1)]
+        assert all(a[0] != "merge" for a in policy.plan(report))
+
+    def test_plan_is_deterministic(self):
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=8)
+        report = [self._row(0, 0, 500), self._row(1, 1, 4),
+                  self._row(2, 2, 4), self._row(3, 3, 90)]
+        assert policy.plan(report) == policy.plan(report)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ParameterError, match="max_ratio"):
+            RebalancePolicy(max_ratio=1.0)
+        with pytest.raises(ParameterError, match="min_split_leaves"):
+            RebalancePolicy(min_split_leaves=1)
+        with pytest.raises(ParameterError, match="tombstone_ratio"):
+            RebalancePolicy(tombstone_ratio=0.0)
+
+    def test_rebalance_flattens_a_skewed_tree(self):
+        tree, handles = _sharded(32, 4)
+        anchor = handles[10]                     # fatten shard 1
+        for step in range(400):
+            anchor = tree.insert_after(anchor, ("fat", step))
+        def skew(report):
+            lives = [row["live"] for row in report]
+            return max(lives) / (sum(lives) / len(lives))
+        before = skew(tree.shard_report())
+        payloads = tree.payloads()
+        performed = tree.rebalance(RebalancePolicy(max_ratio=2.0,
+                                                   min_split_leaves=16))
+        assert performed                          # it did something
+        assert any(a["action"] == "split" for a in performed)
+        assert skew(tree.shard_report()) < before
+        assert tree.payloads() == payloads        # order untouched
+        labels = tree.labels()
+        assert labels == sorted(labels)
+        tree.validate()
+
+    def test_rebalance_converges_to_quiet_plan(self):
+        tree, handles = _sharded(32, 4)
+        anchor = handles[10]
+        for step in range(400):
+            anchor = tree.insert_after(anchor, step)
+        policy = RebalancePolicy(max_ratio=2.0, min_split_leaves=16)
+        tree.rebalance(policy, max_rounds=8)
+        assert policy.plan(tree.shard_report()) == []
+
+
+class TestShardReport:
+    def test_rows_describe_every_shard_in_order(self):
+        tree, handles = _sharded(48, 4, shard_stats=True)
+        tree.mark_deleted(handles[3])
+        report = tree.shard_report()
+        assert [row["id"] for row in report] == [0, 1, 2, 3]
+        assert [row["position"] for row in report] == [0, 1, 2, 3]
+        assert sum(row["live"] for row in report) == 47
+        assert sum(row["tombstones"] for row in report) == 1
+        assert all(row["arena_bytes"] > 0 for row in report)
+        assert all(row["counters"] is not None for row in report)
+
+    def test_counters_absent_without_shard_stats(self):
+        tree, _ = _sharded(16, 2)
+        assert all(row["counters"] is None
+                   for row in tree.shard_report())
+
+    def test_report_never_materializes_lazy_shards(self, tmp_path):
+        tree, _ = _sharded(48, 4)
+        path = str(tmp_path / "report.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store)
+            report = back.shard_report()
+            assert all(not row["materialized"] for row in report)
+            assert back.materialized_shards == []
+            assert [row["live"] for row in report] == \
+                [row["live"] for row in tree.shard_report()]
+
+
+class TestRebalancePersistence:
+    """Directory + forwarding survive the save/load round-trip, and a
+    crash at the rebalance catalog flip reopens on the old epoch."""
+
+    def _rebalanced(self):
+        tree, handles = _sharded(64, 4)
+        tree.mark_deleted(handles[18])
+        left, right = tree.split_shard(1, 8)
+        merged = tree.merge_shards(2, 3)
+        return tree, handles
+
+    def test_round_trip_keeps_ids_epoch_and_forwarding(self, tmp_path):
+        tree, handles = self._rebalanced()
+        path = str(tmp_path / "dir.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+            names = list(store.blobs())
+            for sid in tree.shard_ids:
+                assert f"scheme.s{sid}" in names
+            assert "scheme.s1" not in names       # retired arena gone
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.shard_ids == tree.shard_ids
+            assert back.epoch == tree.epoch
+            assert back.shard_splits == tree.shard_splits
+            assert back.shard_merges == tree.shard_merges
+            assert back.labels() == tree.labels()
+            # pre-rebalance handles resolve identically after reopen
+            for handle in handles[::5]:
+                assert back.resolve_handle(handle) == \
+                    tree.resolve_handle(handle)
+                assert back.num(handle) == tree.num(handle)
+            assert back.is_deleted(handles[18])
+            back.validate()
+
+    def test_reloaded_tree_continues_id_sequence(self, tmp_path):
+        tree, _ = self._rebalanced()
+        path = str(tmp_path / "seq.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            report = back.shard_report()
+            fat = max(report, key=lambda row: row["live"])
+            new_ids = back.split_shard(fat["id"], fat["leaves"] // 2)
+            assert min(new_ids) > max(tree.shard_ids)
+            back.validate()
+
+    def test_crash_at_rebalance_flip_reopens_old_epoch(self, tmp_path):
+        """Tear the catalog slot the rebalance save flipped: the store
+        must reopen bit-identically on the pre-rebalance epoch — the
+        flip's data pages never overwrote the old epoch's spans."""
+        tree, handles = _sharded(64, 4)
+        path = str(tmp_path / "tornflip.ltp")
+        with PageStore(path) as store:
+            tree.save(store)                      # epoch A durable
+            labels_a = tree.labels()
+            ids_a = tree.shard_ids
+            tree.split_shard(1, 8)
+            tree.merge_shards(2, 3)
+            tree.save(store)                      # epoch B flip
+            active = 1 + (store._seq % 2)
+            page_size = store.page_size
+        with PageStore(path) as store:            # B is durable intact
+            assert ShardedCompactLTree.load(store).shard_ids == \
+                tree.shard_ids
+        with open(path, "r+b") as handle:         # tear the B flip
+            handle.seek(active * page_size)
+            kept = handle.read(12)
+            handle.seek(active * page_size)
+            handle.write(kept + b"\x00" * (page_size - 12))
+        with PageStore(path) as store:
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.shard_ids == ids_a
+            assert back.labels() == labels_a
+            assert back.shard_splits == 0
+            assert back.payloads() == [f"p{i}" for i in range(64)]
+            back.validate()
+
+    def test_superseded_spans_reclaimed_across_rebalance_saves(
+            self, tmp_path):
+        """Repeated rebalance+save cycles must not leak a span per
+        retired arena: the batched flip reuses the gaps the previous
+        epoch's blobs left behind."""
+        tree, handles = _sharded(64, 4)
+        path = str(tmp_path / "bounded.ltp")
+        with PageStore(path) as store:
+            tree.save(store)
+            baseline = store.page_count
+            for cycle in range(6):
+                left, right = tree.split_shard(tree.shard_ids[1], 4)
+                tree.merge_shards(left, right)
+                tree.save(store)
+            # each cycle retires 3 arenas; without reclamation the file
+            # would grow by >= 3 spans x 6 cycles.  Allow slack only
+            # for the growing manifest/forwarding table.
+            assert store.page_count <= baseline + 6
+            back = ShardedCompactLTree.load(store, lazy=False)
+            assert back.labels() == tree.labels()
+            back.validate()

@@ -189,6 +189,112 @@ class TestSnapshotPinned:
                                           parallel=True)) == truth
         reopened.close()
 
+    def test_pinned_store_immune_to_rebalance(self, tmp_path):
+        """Split/merge under a pinned store is unobservable: identical
+        results before, during (parked mid-split) and after, and a
+        store pinned *afterwards* still agrees with the DOM."""
+        document = xmark_like(25, 12, 9, seed=13)
+        reopened = self._open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        queries = xpath_battery(reopened.document, 8, seed=14)
+        expected = [_ids(evaluate_dom(reopened.document, query))
+                    for query in queries]
+        store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+
+        parked, release = threading.Event(), threading.Event()
+
+        def hook(stage, *args):
+            if stage == "split:locked":
+                parked.set()
+                assert release.wait(10)
+
+        report = tree.shard_report()
+        fat = max(report, key=lambda row: row["live"])
+        tree.rebalance_hook = hook
+        splitter = threading.Thread(
+            target=tree.split_shard, args=(fat["id"],
+                                           fat["leaves"] // 2))
+        splitter.start()
+        assert parked.wait(10)
+        try:
+            # mid-split: the pinned store answers, identically
+            for query, truth in zip(queries, expected):
+                assert _ids(evaluate_columnar(store, query)) == truth
+        finally:
+            release.set()
+            splitter.join(10)
+        tree.rebalance_hook = None
+        ids = tree.shard_ids
+        pair = min(zip(ids, ids[1:]), key=lambda p: p[0] + p[1])
+        tree.merge_shards(pair[0], pair[1])
+        # after the rebalance: pinned store still identical ...
+        for query, truth in zip(queries, expected):
+            assert _ids(evaluate_columnar(store, query,
+                                          parallel=True)) == truth
+        # ... and a freshly pinned store on the new epoch also agrees
+        fresh = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+        for query, truth in zip(queries, expected):
+            assert _ids(evaluate_columnar(fresh, query)) == truth
+        reopened.close()
+
+    def test_rebalancer_thread_under_live_queries(self, tmp_path):
+        """A policy rebalancer mutating the directory while queries run
+        against a pinned store: no blocking, no divergence."""
+        from repro.core.sharded import RebalancePolicy
+
+        document = xmark_like(25, 12, 9, seed=15)
+        reopened = self._open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        queries = xpath_battery(reopened.document, 6, seed=16)
+        expected = [_ids(evaluate_dom(reopened.document, query))
+                    for query in queries]
+        store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+        errors = []
+
+        def rebalancer():
+            try:
+                report = tree.shard_report()
+                fat = max(report, key=lambda row: row["live"])
+                if fat["leaves"] >= 2:
+                    tree.split_shard(fat["id"], fat["leaves"] // 2)
+                tree.rebalance(RebalancePolicy(max_ratio=2.0,
+                                               min_split_leaves=8))
+            except BaseException as exc:  # surfaced below
+                errors.append(exc)
+
+        thread = threading.Thread(target=rebalancer)
+        thread.start()
+        try:
+            for _ in range(4):
+                for query, truth in zip(queries, expected):
+                    assert _ids(evaluate_columnar(
+                        store, query, parallel=True)) == truth
+        finally:
+            thread.join()
+        assert not errors, errors
+        assert tree.shard_splits > 0
+        reopened.close()
+
+    def test_old_epoch_handles_resolve_in_fresh_snapshot(self, tmp_path):
+        """Handles minted before a rebalance feed from_snapshot's
+        resolution path in a post-rebalance snapshot."""
+        document = xmark_like(20, 10, 8, seed=17)
+        reopened = self._open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        old_handles = list(tree.iter_leaves(include_deleted=False))
+        report = tree.shard_report()
+        fat = max(report, key=lambda row: row["live"])
+        tree.split_shard(fat["id"], fat["leaves"] // 2)
+        snapshot = tree.snapshot()
+        for handle in old_handles[::7]:
+            resolved = snapshot.resolve(handle)
+            assert snapshot.label(resolved) == snapshot.label(handle)
+        store = ColumnarStore.from_snapshot(reopened, snapshot)
+        for query in xpath_battery(reopened.document, 6, seed=18):
+            assert _ids(evaluate_columnar(store, query)) == \
+                _ids(evaluate_dom(reopened.document, query))
+        reopened.close()
+
     def test_queries_run_under_live_writer_threads(self, tmp_path):
         """Lock-free reads: concurrent writers never block or corrupt
         queries against the pinned store."""

@@ -488,6 +488,129 @@ class TestBatchedPuts:
             assert bytes(store.get_blob("a")) == b"A" * 200
 
 
+class TestReclaimingPuts:
+    """put_blobs(reclaim=True): recycle dead space, never touch a page
+    the pre-flip catalog references."""
+
+    def test_changed_blob_relocates_and_old_span_survives(self, path):
+        """The old span's bytes must remain readable raw off the file
+        after the batch — that is what makes a torn flip rewind
+        bit-identical."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"a" * 300)
+            span = list(store._catalog["x"])
+            store.put_blobs({"x": b"B" * 300}, reclaim=True)
+            assert store._catalog["x"][0] != span[0]   # relocated
+            assert bytes(store.get_blob("x")) == b"B" * 300
+        with open(path, "rb") as handle:
+            handle.seek(span[0] * 128)
+            assert handle.read(300) == b"a" * 300      # untouched
+
+    def test_unchanged_blob_keeps_its_span_without_a_write(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("same", b"s" * 200)
+            store.put_blob("move", b"m" * 200)
+            span = list(store._catalog["same"])
+            store.put_blobs({"same": b"s" * 200, "move": b"M" * 200},
+                            reclaim=True)
+            assert store._catalog["same"][:2] == span[:2]
+            assert bytes(store.get_blob("same")) == b"s" * 200
+            assert bytes(store.get_blob("move")) == b"M" * 200
+
+    def test_first_fit_reuses_gaps_and_bounds_growth(self, path):
+        """Alternating rewrites must ping-pong between two span sets
+        instead of appending a fresh span per cycle."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blobs({"x": b"0" * 600}, reclaim=True)
+            store.put_blobs({"x": b"1" * 600}, reclaim=True)
+            high_water = store.page_count
+            for cycle in range(2, 10):
+                store.put_blobs({"x": bytes([cycle]) * 600},
+                                reclaim=True)
+                assert store.page_count <= high_water
+            assert bytes(store.get_blob("x")) == bytes([9]) * 600
+        with PageStore(path) as store:
+            assert bytes(store.get_blob("x")) == bytes([9]) * 600
+
+    def test_shrunk_blob_gives_back_over_allocation(self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"x" * 1000)     # 8 pages allocated
+            assert store.allocated_pages == 8
+            store.put_blobs({"x": b"y" * 100}, reclaim=True)
+            assert store.allocated_pages == 1
+            assert bytes(store.get_blob("x")) == b"y" * 100
+
+    def test_deleted_blobs_span_reused_by_the_next_batch(self, path):
+        """Within one batch a deleted blob's span stays busy (a crash
+        falls back to the catalog that still references it); the *next*
+        reclaiming batch reuses the gap."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("keep", b"k" * 200)
+            store.put_blob("dead", b"d" * 900)   # 8-page tail span
+            pages = store.page_count
+            store.put_blobs({}, delete=["dead"], reclaim=True)
+            store.put_blobs({"new": b"n" * 600}, reclaim=True)
+            # the new 5-page span fits where "dead"'s 8 pages were
+            assert store.page_count <= pages
+            assert bytes(store.get_blob("keep")) == b"k" * 200
+            assert bytes(store.get_blob("new")) == b"n" * 600
+            assert not store.has_blob("dead")
+
+    def test_torn_flip_of_reclaiming_batch_rewinds_bit_identical(
+            self, path):
+        """Tear the catalog slot the reclaiming batch flipped: every
+        pre-flip blob must read back byte-for-byte — no span of the old
+        catalog was overwritten by the batch."""
+        blobs = {f"b{i}": bytes([i]) * (100 + 37 * i) for i in range(5)}
+        with PageStore(path, page_size=512) as store:
+            for name, data in blobs.items():
+                store.put_blob(name, data)
+            store.put_blobs({name: b"\xee" * len(data)
+                             for name, data in blobs.items()},
+                            reclaim=True)
+            active = 1 + (store._seq % 2)
+            page_size = store.page_size
+        with open(path, "r+b") as handle:
+            handle.seek(active * page_size)
+            kept = handle.read(12)
+            handle.seek(active * page_size)
+            handle.write(kept + b"\x00" * (page_size - 12))
+        with PageStore(path) as store:
+            for name, data in blobs.items():
+                assert bytes(store.get_blob(name)) == data, name
+            store.put_blob("after", b"still writable")
+        with PageStore(path) as store:
+            assert bytes(store.get_blob("after")) == b"still writable"
+
+    def test_reclaim_batch_is_one_flip_and_page_count_persists(
+            self, path):
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"x" * 900)
+            seq = store._seq
+            store.put_blobs({"x": b"y" * 100}, reclaim=True)
+            assert store._seq == seq + 1
+            shrunk = store.page_count
+            # freed tail pages really are reused by the next put
+            store.put_blob("z", b"z" * 200)
+            assert store.page_count <= shrunk + 2
+        with PageStore(path) as store:   # page_count round-trips
+            assert bytes(store.get_blob("x")) == b"y" * 100
+            assert bytes(store.get_blob("z")) == b"z" * 200
+
+    def test_reclaim_never_shrinks_the_file_itself(self, path):
+        """Relocation can extend the file (the old span stays busy
+        until the flip) but never shrinks it — mmap views stay valid;
+        vacuum trims for real."""
+        with PageStore(path, page_size=128) as store:
+            store.put_blob("x", b"x" * 2000)
+            size_before = os.path.getsize(path)
+            store.put_blobs({"x": b"y" * 50}, reclaim=True)
+            assert os.path.getsize(path) >= size_before
+            store.vacuum()
+            assert os.path.getsize(path) < size_before
+            assert bytes(store.get_blob("x")) == b"y" * 50
+
+
 class TestFormatCompat:
     """Version-1 files (single mutable header page, data from page 1)
     must keep opening: the store upgrades them to the version-2 layout
