@@ -2,24 +2,26 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR7.json
+    python benchmarks/run_all.py              # writes BENCH_PR8.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the nine headline suites — bulk load, random single inserts, §4.1
+Runs the ten headline suites — bulk load, random single inserts, §4.1
 run inserts, the query-containment plan, byte-image restore, the
 sharded-vs-flat engine head-to-head, the concurrent document
 service (writer scaling over disjoint shards, group-commit vs per-op
 fsync, snapshot reads under writes), the query-evaluator
 head-to-head (vectorized columnar vs stack-tree vs edge-table, plus
-snapshot-query throughput under a live writer), and online shard
+snapshot-query throughput under a live writer), online shard
 rebalancing (skewed-tail insert cost with the split/merge policy on vs
-off) — and writes one machine-readable record to ``BENCH_PR7.json`` at
+off), and fault injection (crash-storm coverage over the declared
+failpoint surface, worst-case WAL replay, scrub/repair throughput) —
+and writes one machine-readable record to ``BENCH_PR8.json`` at
 the repo root.  That file is the tracked perf trajectory: every future
 perf PR re-runs this harness and compares against the committed
 baseline instead of re-deriving numbers from prose.  CI regenerates
 the JSON, uploads it as an artifact, and runs
 ``benchmarks/compare_baselines.py`` against the previous committed
-baseline (``BENCH_PR6.json``), failing on regressions in the metrics
+baseline (``BENCH_PR7.json``), failing on regressions in the metrics
 that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
@@ -587,6 +589,90 @@ def suite_query(scale: float) -> dict:
     }
 
 
+def suite_faults(scale: float) -> dict:
+    """Fault-injection economics: what robustness costs and covers.
+
+    * **storm coverage** — the crash storm over the whole declared
+      failpoint surface: how many points exist, how many fired, and
+      whether every recovery invariant held.  ``covered`` is the
+      machine-independent number CI refuses to let shrink against the
+      committed baseline.
+    * **recovery seconds** — reopening a service whose WAL holds the
+      entire (uncheckpointed) workload: the worst-case replay.
+    * **scrub throughput** — read-only scrub over a multi-megabyte
+      store, in bytes/sec, plus the time repair needs to quarantine a
+      corrupted span.
+    """
+    import shutil
+    import tempfile
+
+    from repro.concurrent import ConcurrentDocument
+    from repro.storage.faults import FAILPOINTS
+    from repro.storage.pages import PageStore
+    from repro.storage.scrub import repair_store, scrub_store
+    from repro.testing import run_storm
+
+    # -- the storm itself ----------------------------------------------
+    start = time.perf_counter()
+    report = run_storm(seed=0)
+    storm_seconds = time.perf_counter() - start
+
+    # -- worst-case recovery: replay a WAL holding every op ------------
+    n_ops = max(300, int(3000 * scale))
+    directory = tempfile.mkdtemp(prefix="bench-faults-")
+    doc = ConcurrentDocument.create(f"{directory}/svc", params=PARAMS,
+                                    n_shards=8, group_commit=256)
+    handles = doc.bulk_load(range(max(64, n_ops // 10)))
+    rng = random.Random(13)
+    for step in range(n_ops):
+        anchor = handles[rng.randrange(len(handles))]
+        handles.append(doc.insert_after(anchor, step))
+    doc.commit()
+    doc.close()
+    recovery_seconds = _best(
+        lambda: ConcurrentDocument.open(f"{directory}/svc").close())
+
+    # -- scrub / repair ------------------------------------------------
+    store_path = f"{directory}/scrub.ltp"
+    blob = random.Random(17).randbytes(1 << 20)
+    with PageStore(store_path, page_size=4096) as store:
+        store.put_blobs({f"blob{i}": blob for i in range(
+            max(4, int(16 * scale)))})
+    scrub_seconds = _best(lambda: scrub_store(store_path))
+    clean = scrub_store(store_path)
+    with open(store_path, "r+b") as raw:          # tear one span
+        raw.seek(4096 * 16 + 7)
+        raw.write(b"\xff" * 64)
+    start = time.perf_counter()
+    repair_report = repair_store(store_path)
+    repair_seconds = time.perf_counter() - start
+    shutil.rmtree(directory, ignore_errors=True)
+
+    return {
+        "failpoints_declared": len(FAILPOINTS.names()),
+        "storm": {
+            "covered": len(report.covered),
+            "unreached": len(report.unreached),
+            "invariant_failures": len(report.failures()),
+            "storm_ok": report.ok,
+            "seconds": storm_seconds,
+        },
+        "recovery": {
+            "wal_ops_replayed": n_ops,
+            "seconds": recovery_seconds,
+            "ops_per_sec": round(n_ops / recovery_seconds),
+        },
+        "scrub": {
+            "bytes_checked": clean.bytes_checked,
+            "seconds": scrub_seconds,
+            "mb_per_sec": round(
+                clean.bytes_checked / scrub_seconds / 1e6, 1),
+            "repair_seconds": repair_seconds,
+            "repair_actions": len(repair_report.actions),
+        },
+    }
+
+
 SUITES = {
     "bulk_load": suite_bulk_load,
     "random_insert": suite_random_insert,
@@ -597,12 +683,13 @@ SUITES = {
     "rebalance": suite_rebalance,
     "concurrent": suite_concurrent,
     "query": suite_query,
+    "faults": suite_faults,
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR7.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR8.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -614,7 +701,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR7",
+        "baseline": "PR8",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

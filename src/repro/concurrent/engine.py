@@ -63,6 +63,13 @@ from repro.core.params import LTreeParams
 from repro.core.sharded import (RebalancePolicy, _Shard,
                                 ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
+from repro.storage.faults import FAILPOINTS, failpoint
+
+# the enumerable crash surface of this module (see repro.storage.faults)
+FAILPOINTS.declare("concurrent:split:post-journal",
+                   "split record journaled, new epoch not yet visible")
+FAILPOINTS.declare("concurrent:merge:post-journal",
+                   "merge record journaled, new epoch not yet visible")
 
 
 class LabelSnapshot:
@@ -563,6 +570,8 @@ class ConcurrentLTree:
                     if self._journal is not None:
                         self._journal({"op": "split", "id": shard_id,
                                        "at": at_leaf, "new": list(ids)})
+                    failpoint("concurrent:split:post-journal",
+                              shard_id=shard_id, new_ids=ids)
 
                 try:
                     new_ids = engine.split_shard(shard_id, at_leaf,
@@ -619,6 +628,8 @@ class ConcurrentLTree:
                         if self._journal is not None:
                             self._journal({"op": "merge", "a": id_a,
                                            "b": id_b, "new": sid})
+                        failpoint("concurrent:merge:post-journal",
+                                  id_a=id_a, id_b=id_b, new_id=sid)
 
                     try:
                         new_id = engine.merge_shards(id_a, id_b,

@@ -40,14 +40,16 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Callable, Iterator, Optional, Sequence
+import time
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.concurrent.engine import ConcurrentLTree, LabelSnapshot
 from repro.core.params import DEFAULT_PARAMS, LTreeParams
 from repro.core.sharded import (DEFAULT_N_SHARDS, RebalancePolicy,
                                 ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
-from repro.errors import ParameterError, StorageError
+from repro.errors import ParameterError, RecoveryError, StorageError
+from repro.storage.faults import FAILPOINTS, failpoint
 from repro.storage.pages import PageStore
 from repro.storage.wal import WriteAheadLog
 
@@ -61,6 +63,38 @@ SERVICE_META_BLOB = "service.meta"
 
 #: on-store format version of the service meta blob
 SERVICE_FORMAT_VERSION = 1
+
+
+def _is_half_created(pages_path: str, wal_path: str) -> bool:
+    """True when the directory is debris of a crashed ``create()``.
+
+    The meta blob is the first thing a create stores; a page store
+    without it — and without any WAL records — never acknowledged an
+    operation, so re-creating over it loses nothing.  Anything that
+    does not open cleanly is *not* classified as debris: a corrupt
+    store deserves a loud error, not silent replacement.
+    """
+    if os.path.exists(wal_path) and os.path.getsize(wal_path) > 0:
+        return False
+    try:
+        with PageStore(pages_path) as probe:
+            return not probe.has_blob(SERVICE_META_BLOB)
+    except (StorageError, OSError):
+        return False
+
+# the enumerable crash surface of this module (see repro.storage.faults)
+FAILPOINTS.declare("service:create:post-store",
+                   "page store created, WAL not yet created")
+FAILPOINTS.declare("service:open:pre-replay",
+                   "checkpoint loaded, WAL tail not yet replayed")
+FAILPOINTS.declare("service:checkpoint:pre-save",
+                   "watermark captured, engine save not yet issued")
+FAILPOINTS.declare("service:checkpoint:post-save",
+                   "image + watermark flipped, WAL not yet truncated")
+FAILPOINTS.declare("service:checkpoint:post-truncate",
+                   "WAL truncated, latch not yet released")
+FAILPOINTS.declare("service:rebalance:post-actions",
+                   "split/merge journaled, WAL batch not yet committed")
 
 
 def _tuple(handle: Sequence[int]) -> tuple[int, int]:
@@ -152,8 +186,9 @@ class ConcurrentDocument:
         #: maintenance step right after folding the log (see
         #: :meth:`rebalance`)
         self.rebalance_policy = rebalance_policy
-        #: test hook called at named crash points ("checkpoint:after-save")
-        self.crash_hook: Callable[[str], None] = lambda name: None
+        #: last checkpoint failure, if the most recent attempt failed
+        #: (see :meth:`health`)
+        self._last_checkpoint_error: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # construction and recovery
@@ -182,11 +217,20 @@ class ConcurrentDocument:
                 os.path.getsize(pages_path) > 0) or \
                 (os.path.exists(wal_path) and
                  os.path.getsize(wal_path) > 0):
-            raise StorageError(
-                f"{directory!r} already holds a document service; use "
-                f"open()")
+            if _is_half_created(pages_path, wal_path):
+                # a create() that crashed before the meta blob landed:
+                # nothing was ever acknowledged, so the debris is safe
+                # to clear and the create re-runs from scratch
+                for stale in (pages_path, wal_path):
+                    if os.path.exists(stale):
+                        os.remove(stale)
+            else:
+                raise StorageError(
+                    f"{directory!r} already holds a document service; "
+                    f"use open()")
         store = PageStore(pages_path, sync=sync)
         try:
+            failpoint("service:create:post-store", directory=directory)
             meta = {
                 "format": SERVICE_FORMAT_VERSION,
                 "f": params.f,
@@ -231,6 +275,11 @@ class ConcurrentDocument:
                 f"{directory!r} holds no document service; use create()")
         store = PageStore(pages_path, sync=sync)
         try:
+            if not store.has_blob(SERVICE_META_BLOB):
+                raise RecoveryError(
+                    f"{directory!r} holds a half-created service (a "
+                    f"create() died before its meta blob); re-run "
+                    f"create()")
             meta = json.loads(
                 bytes(store.get_blob(SERVICE_META_BLOB)).decode("utf-8"))
             if meta.get("format") != SERVICE_FORMAT_VERSION:
@@ -262,7 +311,7 @@ class ConcurrentDocument:
                 # sequence number are unaccounted for — this log does
                 # not belong to this checkpoint; recovering would
                 # silently lose the gap
-                raise StorageError(
+                raise RecoveryError(
                     f"WAL starts at sequence {wal.base_seq} but the "
                     f"checkpoint watermark is {checkpoint_seq}: "
                     f"records {checkpoint_seq + 1}..{wal.base_seq - 1} "
@@ -279,6 +328,7 @@ class ConcurrentDocument:
                     violator_policy=meta["violator_policy"],
                     n_shards=meta["n_shards"],
                     shard_stats=shard_stats)
+            failpoint("service:open:pre-replay", directory=directory)
             for _seq, op in wal.replay(after_seq=checkpoint_seq):
                 apply_logged_op(engine, op)
         except BaseException:
@@ -376,6 +426,8 @@ class ConcurrentDocument:
             return []
         performed = self.tree.rebalance(policy)
         if performed:
+            failpoint("service:rebalance:post-actions",
+                      performed=performed)
             self.wal.commit()
         return performed
 
@@ -386,7 +438,8 @@ class ConcurrentDocument:
         """Force the buffered WAL batch out (group commit boundary)."""
         self.wal.commit()
 
-    def checkpoint(self, include_payloads: bool = True) -> int:
+    def checkpoint(self, include_payloads: bool = True,
+                   best_effort: bool = False) -> Optional[int]:
         """Fold the WAL into the page store; returns the watermark.
 
         Stop-the-world for its *whole* duration — watermark capture,
@@ -401,23 +454,51 @@ class ConcurrentDocument:
         other), then the WAL is truncated.  A crash anywhere in
         between only leaves already-applied records in the log, which
         the watermark makes recovery skip.
+
+        **Graceful degradation.**  A checkpoint that fails with a
+        storage or OS error (full disk, injected fault) leaves the
+        service *serving*: the save's atomic catalog flip means the
+        store still holds the previous checkpoint whole, the WAL keeps
+        accepting and committing ops, and recovery replays them from
+        the old watermark.  The failure is recorded in :meth:`health`;
+        with ``best_effort=True`` it is swallowed (``None`` returned)
+        so a maintenance-loop checkpoint cannot take down the writers,
+        otherwise it re-raises after recording.
         """
-        with self.tree.exclusive():
-            self.wal.commit()
-            watermark = self.wal.last_seq
-            meta = dict(self._meta)
-            meta["checkpoint_seq"] = watermark
-            # the raw engine: the latch is already held (not reentrant)
-            self.tree.engine.save(
-                self.store, SCHEME_BLOB,
-                include_payloads=include_payloads,
-                extra_blobs={
-                    SERVICE_META_BLOB:
-                        json.dumps(meta).encode("utf-8")})
-            self._meta = meta
-            self.checkpoint_seq = watermark
-            self.crash_hook("checkpoint:after-save")
-            self.wal.truncate(watermark + 1)
+        try:
+            with self.tree.exclusive():
+                self.wal.commit()
+                watermark = self.wal.last_seq
+                meta = dict(self._meta)
+                meta["checkpoint_seq"] = watermark
+                failpoint("service:checkpoint:pre-save",
+                          watermark=watermark)
+                # the raw engine: the latch is held (not reentrant)
+                self.tree.engine.save(
+                    self.store, SCHEME_BLOB,
+                    include_payloads=include_payloads,
+                    extra_blobs={
+                        SERVICE_META_BLOB:
+                            json.dumps(meta).encode("utf-8")})
+                self._meta = meta
+                self.checkpoint_seq = watermark
+                failpoint("service:checkpoint:post-save",
+                          watermark=watermark)
+                self.wal.truncate(watermark + 1)
+                failpoint("service:checkpoint:post-truncate",
+                          watermark=watermark)
+        except (StorageError, OSError) as exc:
+            self._last_checkpoint_error = {
+                "stage": "checkpoint",
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "unix_time": round(time.time(), 3),
+                "wal_last_seq": self.wal.last_seq,
+            }
+            if best_effort:
+                return None
+            raise
+        self._last_checkpoint_error = None
         # background maintenance between checkpoints: the rebalance
         # records land in the *fresh* WAL (sequence numbers above the
         # watermark), so a crash from here on replays them against the
@@ -426,10 +507,38 @@ class ConcurrentDocument:
             self.rebalance()
         return watermark
 
+    def health(self) -> dict:
+        """Structured durability health of this service.
+
+        ``status`` is ``"ok"`` when the last checkpoint attempt (if
+        any) succeeded, ``"degraded"`` when it failed — the service
+        then keeps serving commits from the WAL alone, and
+        ``wal_records_since_checkpoint`` measures how much replay a
+        recovery would need (the figure that grows until a checkpoint
+        succeeds again).  ``last_error`` carries the failure's stage,
+        exception type, message and time.
+        """
+        degraded = self._last_checkpoint_error is not None
+        return {
+            "status": "degraded" if degraded else "ok",
+            "checkpoint_seq": self.checkpoint_seq,
+            "wal_last_seq": self.wal.last_seq,
+            "wal_pending_records": self.wal.pending_records,
+            "wal_records_since_checkpoint":
+                self.wal.last_seq - self.checkpoint_seq,
+            "last_error": self._last_checkpoint_error,
+        }
+
     def close(self) -> None:
-        """Commit the WAL tail and release both files (no checkpoint)."""
-        self.wal.close()
-        self.store.close()
+        """Commit the WAL tail and release both files (no checkpoint).
+
+        The page store is released even when the WAL's final commit
+        fails — an error path must not leak the store's fd and mmaps.
+        """
+        try:
+            self.wal.close()
+        finally:
+            self.store.close()
 
     def __enter__(self) -> "ConcurrentDocument":
         return self

@@ -1338,6 +1338,7 @@ class ShardedCompactLTree:
                     f"extra_blobs collide with the scheme's own blob "
                     f"names: {sorted(overlap)}")
             puts.update(extra_blobs)
+        failpoint("sharded:save:pre-put", blob=name)
         if hasattr(store, "put_blobs"):
             # one catalog flip: arenas, sidecars, manifest and stale-blob
             # drops become visible atomically (and under sync=True the
@@ -1532,3 +1533,12 @@ class ShardedCompactLTree:
                 f"epoch={d.epoch}, stride={d.stride}, "
                 f"n_leaves={self.n_leaves}, "
                 f"params={self.params.describe()})")
+
+
+# Imported at the bottom: repro.storage's package __init__ reaches back into
+# this module (via labeling -> order -> sharded_list), so the import must run
+# after every name that chain needs is defined.
+from repro.storage.faults import FAILPOINTS, failpoint  # noqa: E402
+
+FAILPOINTS.declare("sharded:save:pre-put",
+                   "arenas/manifest serialized, store put not yet issued")

@@ -56,6 +56,50 @@ class StorageError(ReproError):
     """A storage-layer structure (B-tree, table) was misused."""
 
 
+class CorruptionError(StorageError):
+    """On-disk bytes fail their integrity checks (CRC, magic, bounds).
+
+    Raised when a store, WAL or blob is provably damaged — torn by a
+    crash, bit-rotted, or truncated — as opposed to merely misused.
+    Carries enough structure for :class:`repro.storage.scrub
+    .StoreScrubber` to report and quarantine precisely.
+    """
+
+    def __init__(self, message: str, *, blob: str | None = None,
+                 offset: int | None = None,
+                 expected_crc: int | None = None,
+                 actual_crc: int | None = None):
+        detail = ""
+        if blob is not None:
+            detail += f" [blob {blob!r}"
+            if offset is not None:
+                detail += f" at offset {offset}"
+            if expected_crc is not None:
+                detail += (f", crc expected {expected_crc:#010x} "
+                           f"actual {actual_crc:#010x}"
+                           if actual_crc is not None
+                           else f", crc expected {expected_crc:#010x}")
+            detail += "]"
+        super().__init__(f"{message}{detail}")
+        self.blob = blob
+        self.offset = offset
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
+class RecoveryError(StorageError):
+    """Crash recovery cannot proceed safely.
+
+    The on-disk pieces are individually intact but mutually
+    inconsistent (a WAL whose base sequence leaves a gap after the
+    checkpoint watermark, a manifest naming a missing arena), or a
+    repair was asked for damage :meth:`repro.storage.scrub
+    .StoreScrubber.repair` cannot undo.  Proceeding would silently
+    lose or double-apply committed operations, so recovery refuses
+    loudly instead.
+    """
+
+
 class KeyNotFound(StorageError, KeyError):
     """A key lookup in a storage structure found nothing."""
 

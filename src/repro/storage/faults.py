@@ -1,0 +1,639 @@
+"""Systematic fault injection: failpoints, hostile files, bounded retry.
+
+Three pieces, one module, so every durability claim in this package can
+be machine-checked instead of test-author-imagined:
+
+* **Failpoint registry.**  Durability-critical transitions call
+  :func:`failpoint` with a stable dotted name ("``wal:commit:pre-write``",
+  "``pagestore:catalog:post-write``", ...).  Unarmed, a failpoint is a
+  dictionary lookup — nothing fires.  Tests (and the crash-storm
+  harness in :mod:`repro.testing.crashstorm`) arm a name on the
+  process-wide :data:`FAILPOINTS` registry with a *trigger policy*
+  (fire on the nth hit, every Nth hit, probabilistically under a seed)
+  and an *action*: raise :class:`SimulatedCrash`, raise an ``OSError``
+  with a chosen errno, tear the write the call site is about to issue
+  (:func:`torn_write`), or ``os._exit`` for true kill storms.  Every
+  failpoint self-declares at import time, so the harness can enumerate
+  the complete crash surface and refuse to shrink it.
+
+* **Hostile file layer.**  :class:`FaultyFile` wraps a real file object
+  and simulates what a disk under power loss does: writes that persist
+  only a prefix (torn), reads that return fewer bytes than asked,
+  ``ENOSPC``/``EINTR`` at chosen call counts, and an fsync that reports
+  success while durably dropping everything since the previous barrier
+  (:meth:`FaultyFile.power_loss` then zeroes the unsynced extents, the
+  bytes a lying disk would lose).  ``PageStore`` and ``WriteAheadLog``
+  route their fsyncs through :func:`fsync_file` so the wrapper can
+  intercept them.
+
+* **Bounded retry.**  :func:`write_with_retry` is the transient-error
+  discipline the WAL append path uses: ``EINTR``/``ENOSPC`` are retried
+  a bounded number of times with exponential backoff, partial writes
+  are resumed from where they stopped, and exhaustion surfaces as
+  :class:`~repro.errors.StorageError` so callers can degrade gracefully
+  instead of crashing on a full disk.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import os
+import random
+import threading
+import time
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import StorageError
+
+__all__ = [
+    "SimulatedCrash", "FailpointRegistry", "FAILPOINTS", "failpoint",
+    "crash", "raise_errno", "exit_process", "torn_write",
+    "FaultPolicy", "FaultyFile", "FaultyStore", "fsync_file",
+    "kill_file", "write_with_retry",
+]
+
+
+class SimulatedCrash(BaseException):
+    """An injected process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError` (nor even an
+    ``Exception``): a crash must unwind through every ``except
+    Exception`` recovery path untouched, exactly like a SIGKILL would
+    skip them.  Cleanup code that catches ``BaseException`` to close
+    files and re-raise still runs, which is the most a dying process's
+    already-issued syscalls would have done.
+    """
+
+    def __init__(self, failpoint_name: str = "?"):
+        super().__init__(f"simulated crash at failpoint {failpoint_name!r}")
+        self.failpoint_name = failpoint_name
+
+
+# ----------------------------------------------------------------------
+# actions
+# ----------------------------------------------------------------------
+def crash(name: str, ctx: dict) -> None:
+    """Default action: die here (raise :class:`SimulatedCrash`)."""
+    raise SimulatedCrash(name)
+
+
+def raise_errno(code: int) -> Callable[[str, dict], None]:
+    """Action factory: raise ``OSError(code)`` at the failpoint."""
+
+    def action(name: str, ctx: dict) -> None:
+        raise OSError(code, os.strerror(code))
+
+    return action
+
+
+def exit_process(status: int = 137) -> Callable[[str, dict], None]:
+    """Action factory: hard-kill the process (``os._exit``).
+
+    No atexit handlers, no buffered-file flushing, no ``finally``
+    blocks — the honest simulation of SIGKILL the subprocess storm
+    mode uses.
+    """
+
+    def action(name: str, ctx: dict) -> None:
+        os._exit(status)
+
+    return action
+
+
+def torn_write(fraction: float = 0.5) -> Callable[[str, dict], None]:
+    """Action factory for failpoints that offer a tearable write.
+
+    The call site passes the file object and the bytes it is *about*
+    to write as context (``failpoint(name, file=f, data=b)``).  The
+    action writes only a prefix (``fraction`` of the bytes, at least
+    one when any were requested), pushes it to the OS, severs the file
+    descriptor so no later flush can complete the write, and raises
+    :class:`SimulatedCrash` — a power loss mid-``write(2)``.
+    """
+
+    def action(name: str, ctx: dict) -> None:
+        handle = ctx["file"]
+        data = ctx["data"]
+        keep = int(len(data) * fraction)
+        if data and keep == 0:
+            keep = 1
+        if keep:
+            handle.write(data[:keep])
+        try:
+            handle.flush()
+        except (OSError, ValueError):
+            pass
+        kill_file(handle)
+        raise SimulatedCrash(name)
+
+    return action
+
+
+_NAMED_ACTIONS: dict[str, Callable[[str, dict], None]] = {
+    "crash": crash,
+    "enospc": raise_errno(_errno.ENOSPC),
+    "eintr": raise_errno(_errno.EINTR),
+    "exit": exit_process(),
+    "torn-write": torn_write(),
+}
+
+
+class _Armed:
+    """One armed failpoint: trigger policy + action + remaining budget."""
+
+    __slots__ = ("action", "nth", "every", "probability", "rng",
+                 "times", "hits")
+
+    def __init__(self, action: Callable[[str, dict], None], nth: int,
+                 every: Optional[int], probability: Optional[float],
+                 seed: Optional[int], times: Optional[int]):
+        self.action = action
+        self.nth = nth
+        self.every = every
+        self.probability = probability
+        self.rng = random.Random(seed) if probability is not None else None
+        self.times = times
+        self.hits = 0
+
+    def should_fire(self) -> bool:
+        self.hits += 1
+        if self.times is not None and self.times <= 0:
+            return False
+        if self.probability is not None:
+            fire = self.rng.random() < self.probability
+        elif self.every is not None:
+            fire = self.hits % self.every == 0
+        else:
+            fire = self.hits == self.nth
+        if fire and self.times is not None:
+            self.times -= 1
+        return fire
+
+
+class FailpointRegistry:
+    """Process-wide registry of declared and armed failpoints.
+
+    Call sites use the module-level :func:`failpoint`; tests use
+    :meth:`arm` / :meth:`disarm` / :meth:`scoped`.  All methods are
+    thread-safe; firing happens outside the lock so an action may
+    itself touch files (or re-enter the registry) without deadlocking.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._declared: dict[str, str] = {}
+        self._armed: dict[str, _Armed] = {}
+        #: lifetime hit count per name (armed or not) — the coverage
+        #: signal the crash-storm harness asserts on
+        self.hits: dict[str, int] = {}
+        #: lifetime fired count per name (armed hits whose policy chose
+        #: to fire)
+        self.fired: dict[str, int] = {}
+
+    # -- declaration ---------------------------------------------------
+    def declare(self, name: str, doc: str = "") -> str:
+        """Register ``name`` as part of the crash surface; idempotent."""
+        with self._lock:
+            self._declared.setdefault(name, doc)
+            self.hits.setdefault(name, 0)
+            self.fired.setdefault(name, 0)
+        return name
+
+    def names(self) -> list[str]:
+        """Every declared failpoint, sorted — the enumerable surface."""
+        with self._lock:
+            return sorted(self._declared)
+
+    def describe(self) -> dict[str, str]:
+        """``{name: doc}`` of the declared surface."""
+        with self._lock:
+            return dict(self._declared)
+
+    # -- arming --------------------------------------------------------
+    def arm(self, name: str,
+            action: "str | Callable[[str, dict], None]" = "crash",
+            *, nth: int = 1, every: Optional[int] = None,
+            probability: Optional[float] = None,
+            seed: Optional[int] = None,
+            times: Optional[int] = 1) -> None:
+        """Arm ``name`` with a trigger policy and an action.
+
+        ``action`` is a callable ``(name, ctx) -> None`` or one of the
+        named shorthands ``"crash"``, ``"enospc"``, ``"eintr"``,
+        ``"exit"``, ``"torn-write"``.  Exactly one trigger applies:
+        ``nth`` (fire on the nth hit after arming — the default, first
+        hit), ``every`` (fire on every Nth hit), or ``probability``
+        (fire with probability p per hit, deterministic under
+        ``seed``).  ``times`` bounds total fires (``None`` =
+        unlimited); an exhausted ``nth`` arm never fires again.
+        """
+        if isinstance(action, str):
+            try:
+                action = _NAMED_ACTIONS[action]
+            except KeyError:
+                raise StorageError(
+                    f"unknown failpoint action {action!r} (known: "
+                    f"{sorted(_NAMED_ACTIONS)})") from None
+        if every is not None and probability is not None:
+            raise StorageError(
+                "arm() takes every= or probability=, not both")
+        with self._lock:
+            # deliberately no declare(): the declared surface is the
+            # crash storm's enumeration contract and only grows through
+            # explicit import-time declare() calls — arming an ad-hoc
+            # name (tests do) must not add it to the surface
+            self._armed[name] = _Armed(action, nth, every, probability,
+                                       seed, times)
+
+    def disarm(self, name: str) -> None:
+        with self._lock:
+            self._armed.pop(name, None)
+
+    def reset(self) -> None:
+        """Disarm everything and zero the hit/fired counters."""
+        with self._lock:
+            self._armed.clear()
+            for name in self.hits:
+                self.hits[name] = 0
+            for name in self.fired:
+                self.fired[name] = 0
+
+    def armed(self) -> list[str]:
+        with self._lock:
+            return sorted(self._armed)
+
+    def scoped(self) -> "_Scope":
+        """``with FAILPOINTS.scoped(): ...`` — arms made inside the
+        block (and any pre-existing ones) are restored to the entry
+        state on exit, so a failing test cannot leak an armed crash
+        into the next one."""
+        return _Scope(self)
+
+    # -- firing --------------------------------------------------------
+    def fire(self, name: str, ctx: dict) -> None:
+        with self._lock:
+            self.hits[name] = self.hits.get(name, 0) + 1
+            armed = self._armed.get(name)
+            if armed is None:
+                return
+            if not armed.should_fire():
+                return
+            self.fired[name] = self.fired.get(name, 0) + 1
+            action = armed.action
+        # outside the lock: the action may raise, write files, or
+        # re-enter the registry
+        action(name, ctx)
+
+
+class _Scope:
+    def __init__(self, registry: FailpointRegistry):
+        self._registry = registry
+        self._saved: Optional[dict[str, _Armed]] = None
+
+    def __enter__(self) -> FailpointRegistry:
+        with self._registry._lock:
+            self._saved = dict(self._registry._armed)
+        return self._registry
+
+    def __exit__(self, *exc_info: object) -> None:
+        with self._registry._lock:
+            self._registry._armed = dict(self._saved or {})
+
+
+#: the process-wide registry every call site and test shares
+FAILPOINTS = FailpointRegistry()
+
+
+def failpoint(name: str, /, **ctx: Any) -> None:
+    """A named crash point.  Free when unarmed; see :data:`FAILPOINTS`.
+
+    Call sites that offer a tearable write pass the file and payload as
+    context (``failpoint("wal:commit:torn-write", file=f, data=b)``)
+    so a :func:`torn_write` action can cut the write at a byte
+    boundary the site itself never could.
+    """
+    FAILPOINTS.fire(name, ctx)
+
+
+def _arm_from_env() -> None:
+    """Arm one exit-at-failpoint from ``REPRO_FAILPOINT_EXIT``.
+
+    Format ``name`` or ``name:nth``.  This is how the subprocess storm
+    worker plants a true-kill failpoint before any repro module runs a
+    workload — the parent sets the variable, the child dies mid-write
+    with ``os._exit``, no Python unwinding at all.
+    """
+    spec = os.environ.get("REPRO_FAILPOINT_EXIT")
+    if not spec:
+        return
+    # failpoint names themselves contain colons; only a numeric tail
+    # is an nth ("wal:commit:pre-write:3")
+    name, _, nth = spec.rpartition(":")
+    if name and nth.isdigit():
+        FAILPOINTS.arm(name, "exit", nth=int(nth))
+    else:
+        FAILPOINTS.arm(spec, "exit")
+
+
+_arm_from_env()
+
+
+# ----------------------------------------------------------------------
+# hostile file layer
+# ----------------------------------------------------------------------
+class FaultPolicy:
+    """Mutable knobs steering one :class:`FaultyFile`.
+
+    All ``*_at`` counts are 1-based call indices ("fail the 3rd
+    write").  A knob fires once and clears itself, so a retry after a
+    transient error succeeds — arm it again for repeated failure.
+
+    Parameters
+    ----------
+    torn_write_at:
+        On that write call, persist only ``torn_keep_fraction`` of the
+        requested bytes, sever the descriptor, raise
+        :class:`SimulatedCrash`.
+    write_errno_at:
+        ``{call_index: errno}`` — raise ``OSError(errno)`` *instead* of
+        writing (nothing persisted), the shape of ``ENOSPC`` and
+        ``EINTR`` on a buffered stream.
+    short_read_at:
+        On that read call, return at most half the requested bytes.
+    fsync_errno_at:
+        ``{call_index: errno}`` for :meth:`FaultyFile.fsync`.
+    lying_fsync:
+        Fsync reports success but establishes no barrier: a later
+        :meth:`FaultyFile.power_loss` drops writes *through* it.
+    """
+
+    def __init__(self, torn_write_at: Optional[int] = None,
+                 torn_keep_fraction: float = 0.5,
+                 write_errno_at: Optional[dict[int, int]] = None,
+                 short_read_at: Optional[int] = None,
+                 fsync_errno_at: Optional[dict[int, int]] = None,
+                 lying_fsync: bool = False):
+        self.torn_write_at = torn_write_at
+        self.torn_keep_fraction = torn_keep_fraction
+        self.write_errno_at = dict(write_errno_at or {})
+        self.short_read_at = short_read_at
+        self.fsync_errno_at = dict(fsync_errno_at or {})
+        self.lying_fsync = lying_fsync
+
+
+class FaultyFile:
+    """A file object that misbehaves on command.
+
+    Wraps a real binary file and exposes the protocol ``PageStore`` and
+    ``WriteAheadLog`` use (``write``/``read``/``seek``/``tell``/
+    ``flush``/``truncate``/``fileno``/``close``), consulting a
+    :class:`FaultPolicy` before every operation.  It additionally
+    tracks the byte extents written since the last *honest* fsync;
+    :meth:`power_loss` zeroes them in place — the on-disk picture a
+    machine that lost power (or whose disk acknowledged writes it
+    dropped) would reboot to.
+
+    Tests install it by swapping a store's private handle::
+
+        store._file = FaultyFile(store._file, policy)
+    """
+
+    def __init__(self, inner: Any, policy: Optional[FaultPolicy] = None):
+        self._inner = inner
+        self.policy = policy or FaultPolicy()
+        self.writes = 0
+        self.reads = 0
+        self.fsyncs = 0
+        #: (offset, length) extents not yet covered by an honest fsync
+        self._unsynced: list[tuple[int, int]] = []
+
+    # -- the faulty core ----------------------------------------------
+    def write(self, data: bytes) -> int:
+        self.writes += 1
+        policy = self.policy
+        code = policy.write_errno_at.pop(self.writes, None)
+        if code is not None:
+            raise OSError(code, os.strerror(code))
+        if policy.torn_write_at == self.writes:
+            policy.torn_write_at = None
+            keep = int(len(data) * policy.torn_keep_fraction)
+            if data and keep == 0:
+                keep = 1
+            offset = self._inner.tell()
+            if keep:
+                self._inner.write(data[:keep])
+                self._unsynced.append((offset, keep))
+            try:
+                self._inner.flush()
+            except (OSError, ValueError):
+                pass
+            kill_file(self._inner)
+            raise SimulatedCrash(f"torn write #{self.writes}")
+        offset = self._inner.tell()
+        written = self._inner.write(data)
+        self._unsynced.append((offset, len(data)))
+        return written
+
+    def read(self, size: int = -1) -> bytes:
+        self.reads += 1
+        if self.policy.short_read_at == self.reads and size > 1:
+            self.policy.short_read_at = None
+            return self._inner.read(size // 2)
+        return self._inner.read(size)
+
+    def fsync(self) -> None:
+        self.fsyncs += 1
+        code = self.policy.fsync_errno_at.pop(self.fsyncs, None)
+        if code is not None:
+            raise OSError(code, os.strerror(code))
+        self._inner.flush()
+        os.fsync(self._inner.fileno())
+        if not self.policy.lying_fsync:
+            self._unsynced.clear()
+
+    def power_loss(self) -> int:
+        """Zero every unsynced extent in the file; returns bytes lost.
+
+        Simulates the reboot after a power cut: data the OS (or a
+        lying disk) never made durable reads back as zeroes.  The
+        wrapper is unusable afterwards — reopen the path fresh, the
+        way a restarted process would.
+        """
+        try:
+            self._inner.flush()
+        except (OSError, ValueError):
+            pass
+        lost = 0
+        with open(_file_path(self._inner), "r+b") as raw:
+            size = os.fstat(raw.fileno()).st_size
+            for offset, length in self._unsynced:
+                length = max(0, min(length, size - offset))
+                if length <= 0:
+                    continue
+                raw.seek(offset)
+                raw.write(b"\x00" * length)
+                lost += length
+        self._unsynced.clear()
+        self.close()
+        return lost
+
+    # -- passthrough ---------------------------------------------------
+    def seek(self, *args: Any) -> int:
+        return self._inner.seek(*args)
+
+    def tell(self) -> int:
+        return self._inner.tell()
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        return self._inner.truncate(size)
+
+    def fileno(self) -> int:
+        return self._inner.fileno()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._inner.closed
+
+    @property
+    def name(self) -> str:
+        return getattr(self._inner, "name", "<faulty>")
+
+
+class FaultyStore:
+    """A :class:`~repro.storage.pages.PageStore` over a hostile disk.
+
+    Context manager that opens the store at ``path`` and slides a
+    :class:`FaultyFile` under it, so every write/read/fsync the store
+    issues consults ``policy``::
+
+        with FaultyStore(path, FaultPolicy(torn_write_at=3),
+                         sync=True) as hostile:
+            hostile.store.put_blob("a", data)   # third write tears
+        ...
+        hostile.file.power_loss()               # after lying fsync
+
+    ``store`` is the live PageStore, ``file`` the wrapper (counters,
+    :meth:`FaultyFile.power_loss`).  Exit severs cleanly even when a
+    fault already killed the descriptor: mmaps are released first, so
+    a torn store never leaks maps out of the ``with`` block.
+    """
+
+    def __init__(self, path: str, policy: Optional[FaultPolicy] = None,
+                 **store_kwargs: Any):
+        self.path = path
+        self.policy = policy or FaultPolicy()
+        self._store_kwargs = store_kwargs
+        self.store: Any = None
+        self.file: Optional[FaultyFile] = None
+
+    def __enter__(self) -> "FaultyStore":
+        from repro.storage.pages import PageStore
+
+        self.store = PageStore(self.path, **self._store_kwargs)
+        self.file = FaultyFile(self.store._file, self.policy)
+        self.store._file = self.file
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        store = self.store
+        try:
+            store.close()
+        except (OSError, ValueError):
+            # the descriptor is already dead (torn write, power loss):
+            # release the maps by hand, the way close() would have
+            for mapped in store._retired_maps + \
+                    ([store._map] if store._map is not None else []):
+                try:
+                    mapped.close()
+                except BufferError:
+                    pass
+            store._retired_maps.clear()
+            store._map = None
+            try:
+                store._file.close()
+            except (OSError, ValueError):
+                pass
+        return False
+
+
+def _file_path(handle: Any) -> str:
+    path = getattr(handle, "name", None)
+    if not isinstance(path, str):
+        raise StorageError("cannot locate path of wrapped file")
+    return path
+
+
+def fsync_file(handle: Any) -> None:
+    """``os.fsync`` that honors a :class:`FaultyFile` wrapper.
+
+    The one fsync entry point ``PageStore`` and ``WriteAheadLog`` use:
+    a wrapped file's own :meth:`FaultyFile.fsync` (which may lie or
+    fail on command) when present, the real syscall otherwise.
+    """
+    method = getattr(handle, "fsync", None)
+    if method is not None:
+        method()
+    else:
+        os.fsync(handle.fileno())
+
+
+def kill_file(handle: Any) -> None:
+    """Sever a file at the descriptor level without flushing.
+
+    ``os.close`` on the raw fd mimics process death: whatever sat in
+    the Python-level buffer is gone, and any later ``flush``/``close``
+    on the object fails (ignored by callers simulating a corpse).
+    """
+    try:
+        os.close(handle.fileno())
+    except OSError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# bounded transient-error retry
+# ----------------------------------------------------------------------
+#: errnos treated as transient by :func:`write_with_retry`
+TRANSIENT_ERRNOS = (_errno.EINTR, _errno.ENOSPC, _errno.EAGAIN)
+
+
+def write_with_retry(handle: Any, data: bytes, *, retries: int = 5,
+                     backoff: float = 0.001,
+                     sleep: Callable[[float], None] = time.sleep,
+                     transient: Iterable[int] = TRANSIENT_ERRNOS) -> int:
+    """Write ``data`` whole, retrying transient errors with backoff.
+
+    ``EINTR``/``EAGAIN``/``ENOSPC`` are retried up to ``retries``
+    times, sleeping ``backoff * 2**attempt`` between tries (a full
+    disk is often a *momentarily* full disk — log rotation, a
+    concurrent vacuum); a short write resumes from where it stopped.
+    Exhaustion raises :class:`~repro.errors.StorageError` chained to
+    the last ``OSError`` — the caller decides whether that degrades or
+    aborts.  Returns the bytes written (always ``len(data)`` on
+    success).
+    """
+    transient = tuple(transient)
+    written = 0
+    attempt = 0
+    view = memoryview(data)
+    while written < len(data):
+        try:
+            n = handle.write(view[written:])
+        except OSError as exc:
+            if exc.errno not in transient:
+                raise
+            attempt += 1
+            if attempt > retries:
+                raise StorageError(
+                    f"write of {len(data)} bytes failed after "
+                    f"{retries} retries ({exc})") from exc
+            sleep(backoff * (2 ** (attempt - 1)))
+            continue
+        written += len(data) - written if n is None else n
+    return written

@@ -60,7 +60,8 @@ import zlib
 from collections import OrderedDict
 from typing import Iterable, Iterator, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
+from repro.storage.faults import FAILPOINTS, failpoint, fsync_file
 
 #: magic prefix of a page file (page 0, bytes 0..8)
 PAGE_MAGIC = b"LTPAGES\x00"
@@ -85,8 +86,65 @@ _CATALOG_HEADER = struct.Struct("<QQII")
 #: pages reserved at the front of the file (superblock + two slots)
 RESERVED_PAGES = 3
 
+
+def _serialize_catalog(catalog: dict, page_size: int) -> bytes:
+    """Serialize ``catalog`` so it fits one header page.
+
+    Spans carry a per-span CRC32 as their fourth element.  On stores
+    with tiny pages that element can push the catalog past the single
+    header page, so before giving up the CRCs are dropped (restoring
+    the pre-CRC 3-element span layout).  Integrity checking is a layer
+    on top of the format, never the reason a store refuses a write
+    that used to fit.
+    """
+    raw = json.dumps(catalog, separators=(",", ":")).encode("utf-8")
+    if _CATALOG_HEADER.size + len(raw) <= page_size:
+        return raw
+    bare = {name: list(span[:3]) for name, span in catalog.items()}
+    raw = json.dumps(bare, separators=(",", ":")).encode("utf-8")
+    if _CATALOG_HEADER.size + len(raw) <= page_size:
+        return raw
+    raise StorageError(
+        f"catalog of {len(catalog)} blobs overflows the "
+        f"{page_size}-byte header page")
+
 DEFAULT_PAGE_SIZE = 4096
 DEFAULT_POOL_PAGES = 16
+
+#: sibling temp-file suffixes this store's temp+rename recipes use; a
+#: leftover (from a crash between temp write and rename) is removed on
+#: open — the original file is always the authoritative one
+TEMP_SUFFIXES = (".vacuum", ".upgrade")
+
+# the enumerable crash surface of this module (see repro.storage.faults)
+FAILPOINTS.declare("pagestore:create:post-superblock",
+                   "superblock written, no catalog slot yet")
+FAILPOINTS.declare("pagestore:catalog:pre-write",
+                   "data flushed, shadow catalog slot not yet written")
+FAILPOINTS.declare("pagestore:catalog:torn-write",
+                   "tearable write of the shadow catalog slot")
+FAILPOINTS.declare("pagestore:catalog:post-write",
+                   "shadow slot written, sequence not yet adopted")
+FAILPOINTS.declare("pagestore:put:pre-data",
+                   "batch planned, no span bytes written")
+FAILPOINTS.declare("pagestore:put:mid-data",
+                   "between two span writes of one batch")
+FAILPOINTS.declare("pagestore:put:torn-span",
+                   "tearable write of one blob span")
+FAILPOINTS.declare("pagestore:put:post-data",
+                   "all spans written, catalog flip not yet issued")
+FAILPOINTS.declare("pagestore:delete:pre-flip",
+                   "delete decided, catalog flip not yet issued")
+FAILPOINTS.declare("pagestore:vacuum:pre-build",
+                   "live blobs read, replacement file not yet built")
+FAILPOINTS.declare("pagestore:vacuum:pre-replace",
+                   "replacement complete, rename not yet issued")
+FAILPOINTS.declare("pagestore:vacuum:post-replace",
+                   "rename done, store not yet reopened")
+FAILPOINTS.declare("pagestore:upgrade:pre-replace",
+                   "v2 rebuild complete, rename not yet issued")
+FAILPOINTS.declare("pagestore:upgrade:post-replace",
+                   "rename done, upgraded store not yet reopened")
 
 
 class PageStore:
@@ -141,6 +199,14 @@ class PageStore:
         self._map_length = 0
         #: superseded maps still pinned by exported memoryviews
         self._retired_maps: list[mmap.mmap] = []
+        for suffix in TEMP_SUFFIXES:
+            # leftover of a temp+rename recipe that crashed before its
+            # rename: this file is authoritative, the temp is garbage a
+            # retry would recreate anyway — drop it so no later scan,
+            # scrub or human trips over it
+            leftover = self.path + suffix
+            if os.path.exists(leftover):
+                os.unlink(leftover)
         exists = os.path.exists(self.path) and \
             os.path.getsize(self.path) > 0
         self._file = open(self.path, "r+b" if exists else "w+b")
@@ -168,9 +234,17 @@ class PageStore:
                     superblock +
                     b"\x00" * (RESERVED_PAGES * self.page_size -
                                len(superblock)))
+                failpoint("pagestore:create:post-superblock",
+                          store=self)
                 self._write_header()
         except BaseException:
-            self._file.close()
+            # a fault action may already have severed the descriptor
+            # (torn-write kills the raw fd); close-for-cleanup must not
+            # mask the original exception with EBADF
+            try:
+                self._file.close()
+            except OSError:
+                pass
             raise
 
     # ------------------------------------------------------------------
@@ -186,10 +260,10 @@ class PageStore:
         self._file.seek(0)
         raw = self._file.read(_SUPERBLOCK.size)
         if len(raw) < _SUPERBLOCK.size:
-            raise StorageError(f"{self.path!r}: truncated superblock")
+            raise CorruptionError(f"{self.path!r}: truncated superblock")
         magic, version, _ = _SUPERBLOCK.unpack(raw)
         if magic != PAGE_MAGIC:
-            raise StorageError(
+            raise CorruptionError(
                 f"{self.path!r}: bad magic {magic!r}; not a page file")
         if version not in (1, PAGE_FORMAT_VERSION):
             raise StorageError(
@@ -212,11 +286,11 @@ class PageStore:
         self._file.seek(0)
         raw = self._file.read(_V1_HEADER.size)
         if len(raw) < _V1_HEADER.size:
-            raise StorageError(f"{self.path!r}: truncated v1 header")
+            raise CorruptionError(f"{self.path!r}: truncated v1 header")
         _, _, page_size, _, catalog_len = _V1_HEADER.unpack(raw)
         catalog_raw = self._file.read(catalog_len)
         if len(catalog_raw) < catalog_len:
-            raise StorageError(f"{self.path!r}: truncated v1 catalog")
+            raise CorruptionError(f"{self.path!r}: truncated v1 catalog")
         catalog = json.loads(catalog_raw.decode("utf-8")) \
             if catalog_raw else {}
         live: dict[str, bytes] = {}
@@ -224,8 +298,9 @@ class PageStore:
             self._file.seek(span[0] * page_size)
             data = self._file.read(span[1])
             if len(data) < span[1]:
-                raise StorageError(
-                    f"{self.path!r}: v1 blob {name!r} truncated")
+                raise CorruptionError(
+                    f"{self.path!r}: v1 blob truncated", blob=name,
+                    offset=span[0] * page_size)
             live[name] = data
         temp_path = self.path + ".upgrade"
         if os.path.exists(temp_path):
@@ -236,24 +311,26 @@ class PageStore:
                                 pool_pages=self.pool_pages)
         try:
             replacement.put_blobs(live)
-            os.fsync(replacement._file.fileno())
+            fsync_file(replacement._file)
         except BaseException:
             replacement.close()
             os.unlink(temp_path)
             raise
         replacement.close()
         self._file.close()
+        failpoint("pagestore:upgrade:pre-replace", store=self)
         os.replace(temp_path, self.path)
+        failpoint("pagestore:upgrade:post-replace", store=self)
         self._file = open(self.path, "r+b")
 
     def _read_header(self) -> tuple[int, int, int, dict[str, list[int]]]:
         self._file.seek(0)
         raw = self._file.read(_SUPERBLOCK.size)
         if len(raw) < _SUPERBLOCK.size:
-            raise StorageError(f"{self.path!r}: truncated superblock")
+            raise CorruptionError(f"{self.path!r}: truncated superblock")
         magic, version, page_size = _SUPERBLOCK.unpack(raw)
         if magic != PAGE_MAGIC:
-            raise StorageError(
+            raise CorruptionError(
                 f"{self.path!r}: bad magic {magic!r}; not a page file")
         if version != PAGE_FORMAT_VERSION:
             raise StorageError(
@@ -265,13 +342,36 @@ class PageStore:
             if state is not None and (best is None or state[0] > best[0]):
                 best = state
         if best is None:
-            raise StorageError(
+            if self._is_crashed_create(page_size):
+                # a create that died after its superblock but before
+                # the first catalog flip: both slots still all-zero, no
+                # data pages.  There is nothing to lose — adopt the
+                # empty catalog the flip would have written
+                return page_size, RESERVED_PAGES, 0, {}
+            raise CorruptionError(
                 f"{self.path!r}: neither catalog slot validates "
                 f"(both torn or truncated)")
         seq, page_count, catalog_raw = best
         catalog = json.loads(catalog_raw.decode("utf-8")) \
             if catalog_raw else {}
         return page_size, page_count, seq, catalog
+
+    def _is_crashed_create(self, page_size: int) -> bool:
+        """Whether this file is a create() that crashed pre-first-flip.
+
+        True exactly when no byte past the superblock is nonzero and
+        the file holds no data pages — the state
+        ``pagestore:create:post-superblock`` leaves behind.  Any
+        nonzero byte in a slot means a catalog *was* written and is now
+        torn: that is corruption, not a benign half-create.
+        """
+        if os.fstat(self._file.fileno()).st_size > \
+                RESERVED_PAGES * page_size:
+            return False
+        self._file.seek(_SUPERBLOCK.size)
+        rest = self._file.read(RESERVED_PAGES * page_size -
+                               _SUPERBLOCK.size)
+        return rest.count(0) == len(rest)
 
     def _read_catalog_slot(self, slot_page: int, page_size: int
                            ) -> Optional[tuple[int, int, bytes]]:
@@ -309,11 +409,7 @@ class PageStore:
         persist the flip ahead of its data pages.
         """
         if catalog_raw is None:
-            catalog_raw = json.dumps(self._catalog).encode("utf-8")
-        if _CATALOG_HEADER.size + len(catalog_raw) > self.page_size:
-            raise StorageError(
-                f"catalog of {len(self._catalog)} blobs overflows the "
-                f"{self.page_size}-byte header page")
+            catalog_raw = _serialize_catalog(self._catalog, self.page_size)
         seq = self._seq + 1
         header = _CATALOG_HEADER.pack(self.page_count, seq,
                                       len(catalog_raw), 0)
@@ -322,12 +418,17 @@ class PageStore:
         slot_page = 1 + (seq % 2)
         self._file.flush()
         if self.sync:
-            os.fsync(self._file.fileno())   # data durable before the flip
+            fsync_file(self._file)          # data durable before the flip
+        failpoint("pagestore:catalog:pre-write", store=self)
         self._file.seek(slot_page * self.page_size)
-        self._file.write(page + b"\x00" * (self.page_size - len(page)))
+        slot_bytes = page + b"\x00" * (self.page_size - len(page))
+        failpoint("pagestore:catalog:torn-write", store=self,
+                  file=self._file, data=slot_bytes)
+        self._file.write(slot_bytes)
+        failpoint("pagestore:catalog:post-write", store=self)
         self._file.flush()
         if self.sync:
-            os.fsync(self._file.fileno())   # the flip itself durable
+            fsync_file(self._file)          # the flip itself durable
         self._seq = seq
         self._pool.pop(slot_page, None)
 
@@ -474,12 +575,14 @@ class PageStore:
                         self._span_bytes(span) == data:
                     if span[2] != needed:
                         # give back over-allocation from a fatter past
-                        candidate[name] = [span[0], len(data), needed]
+                        candidate[name] = [span[0], len(data), needed,
+                                           zlib.crc32(data)]
                     continue
                 first = self._first_fit(busy, needed)
                 busy.append((first, first + needed))
                 busy.sort()
-                candidate[name] = [first, len(data), needed]
+                candidate[name] = [first, len(data), needed,
+                                   zlib.crc32(data)]
                 writes.append((first, data, needed))
             page_count = max(
                 [RESERVED_PAGES] +
@@ -497,29 +600,35 @@ class PageStore:
                 allocated = needed if grow else span[2]
                 if grow:
                     page_count += needed
-                candidate[name] = [first, len(data), allocated]
+                candidate[name] = [first, len(data), allocated,
+                                   zlib.crc32(data)]
                 writes.append((first, data, needed))
         if candidate == self._catalog and not writes:
             return
-        catalog_raw = json.dumps(candidate).encode("utf-8")
-        if _CATALOG_HEADER.size + len(catalog_raw) > self.page_size:
-            raise StorageError(
-                f"catalog of {len(candidate)} blobs overflows the "
-                f"{self.page_size}-byte header page")
+        catalog_raw = _serialize_catalog(candidate, self.page_size)
         # data + tail padding covers each whole span, so a grown span is
         # written once, directly — no allocate_pages zero-fill first
-        for first, data, needed in writes:
+        failpoint("pagestore:put:pre-data", store=self)
+        for index, (first, data, needed) in enumerate(writes):
+            if index:
+                failpoint("pagestore:put:mid-data", store=self,
+                          index=index)
             self._file.seek(first * self.page_size)
             padding = needed * self.page_size - len(data)
-            self._file.write(data + b"\x00" * padding)
+            span_bytes = data + b"\x00" * padding
+            failpoint("pagestore:put:torn-span", store=self,
+                      file=self._file, data=span_bytes)
+            self._file.write(span_bytes)
             for page_id in range(first, first + needed):
                 self._pool.pop(page_id, None)
+        failpoint("pagestore:put:post-data", store=self)
         self.page_count = page_count
         self._catalog = candidate
         self._write_header(catalog_raw)
         self.flush()
 
-    def get_blob(self, name: str, prefer_mmap: bool = False) -> bytes:
+    def get_blob(self, name: str, prefer_mmap: bool = False,
+                 verify: bool = False) -> bytes:
         """Fetch blob ``name``.
 
         ``prefer_mmap=True`` returns a read-only ``memoryview`` over an
@@ -529,12 +638,20 @@ class PageStore:
         Consume (parse or copy) the view before writing the blob again;
         the default path returns an independent ``bytes`` assembled page
         by page through the buffer pool.
+
+        ``verify=True`` checks the bytes against the CRC the catalog
+        recorded at write time and raises
+        :class:`~repro.errors.CorruptionError` on mismatch — the
+        detector for the one non-atomic window left in the default
+        write path, an in-place span rewrite torn by a crash.  Blobs
+        written before CRCs existed in the catalog are passed through
+        unchecked.
         """
         span = self._catalog.get(name)
         if span is None:
             raise KeyError(f"no blob named {name!r} in {self.path!r}")
         first, length = span[0], span[1]
-        if prefer_mmap and length > 0:
+        if prefer_mmap and length > 0 and not verify:
             start = first * self.page_size
             return memoryview(self._mmap_file())[start:start + length]
         pieces = []
@@ -544,7 +661,16 @@ class PageStore:
             pieces.append(page[:remaining] if remaining < self.page_size
                           else page)
             remaining -= self.page_size
-        return b"".join(pieces)
+        data = b"".join(pieces)
+        if verify and len(span) > 3:
+            actual = zlib.crc32(data)
+            if actual != span[3]:
+                raise CorruptionError(
+                    f"{self.path!r}: blob bytes do not match their "
+                    f"catalog CRC", blob=name,
+                    offset=first * self.page_size,
+                    expected_crc=span[3], actual_crc=actual)
+        return data
 
     def _mmap_file(self) -> mmap.mmap:
         """The shared read-only mmap, remapped when the file has grown.
@@ -579,6 +705,7 @@ class PageStore:
         """
         if name not in self._catalog:
             raise KeyError(f"no blob named {name!r} in {self.path!r}")
+        failpoint("pagestore:delete:pre-flip", store=self, blob=name)
         del self._catalog[name]
         self._write_header()
         self.flush()
@@ -629,6 +756,7 @@ class PageStore:
         # read everything through the current layout first
         live = {name: bytes(self.get_blob(name))
                 for name in self._catalog}
+        failpoint("pagestore:vacuum:pre-build", store=self)
         temp_path = self.path + ".vacuum"
         if os.path.exists(temp_path):
             # leftover from a vacuum that crashed before its rename;
@@ -638,7 +766,7 @@ class PageStore:
                                 pool_pages=self.pool_pages)
         try:
             replacement.put_blobs(live)
-            os.fsync(replacement._file.fileno())
+            fsync_file(replacement._file)
         except BaseException:
             replacement.close()
             os.unlink(temp_path)
@@ -655,7 +783,9 @@ class PageStore:
         self._map_length = 0
         self._pool.clear()
         self._file.close()
+        failpoint("pagestore:vacuum:pre-replace", store=self)
         os.replace(temp_path, self.path)
+        failpoint("pagestore:vacuum:post-replace", store=self)
         self._file = open(self.path, "r+b")
         (self.page_size, self.page_count, self._seq,
          self._catalog) = self._read_header()

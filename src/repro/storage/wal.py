@@ -51,14 +51,36 @@ import os
 import struct
 import threading
 import zlib
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Iterator, Optional
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, RecoveryError, StorageError
+from repro.storage.faults import (FAILPOINTS, failpoint, fsync_file,
+                                  write_with_retry)
 
 #: magic prefix of a WAL file
 WAL_MAGIC = b"LTWAL\x00\x00\x00"
 #: on-disk format version (bump on layout changes)
 WAL_FORMAT_VERSION = 1
+
+# the enumerable crash surface of this module (see repro.storage.faults)
+FAILPOINTS.declare("wal:open:pre-truncate-tail",
+                   "torn tail found, physical truncate not yet issued")
+FAILPOINTS.declare("wal:commit:pre-write",
+                   "batch assembled, nothing written")
+FAILPOINTS.declare("wal:commit:torn-write",
+                   "tearable write of the whole commit batch")
+FAILPOINTS.declare("wal:commit:post-write",
+                   "batch written, not yet flushed to the OS")
+FAILPOINTS.declare("wal:commit:pre-fsync",
+                   "batch flushed, fsync barrier not yet issued")
+FAILPOINTS.declare("wal:commit:post-fsync",
+                   "batch durable, pending buffer not yet cleared")
+FAILPOINTS.declare("wal:truncate:pre-temp",
+                   "truncate decided, fresh header not yet written")
+FAILPOINTS.declare("wal:truncate:pre-replace",
+                   "fresh header complete, rename not yet issued")
+FAILPOINTS.declare("wal:truncate:post-replace",
+                   "rename done, log not yet reopened")
 
 #: file header: magic, version, base_seq, crc32 of the preceding fields
 _WAL_HEADER = struct.Struct("<8sIQI")
@@ -154,8 +176,10 @@ class WriteAheadLog:
         self.fsyncs = 0
         #: records accepted by :meth:`append` over this object's life
         self.records_appended = 0
-        #: test hook called at named crash points (see truncate)
-        self.crash_hook: Callable[[str], None] = lambda name: None
+        #: set when a failed commit left torn bytes it could not rewind;
+        #: every later commit refuses rather than appending records no
+        #: scan would ever reach (they would sit past the torn fragment)
+        self._damaged = False
         temp_path = self.path + ".truncate"
         if os.path.exists(temp_path):
             # leftover from a truncate that crashed before its rename;
@@ -190,14 +214,14 @@ class WriteAheadLog:
             raise StorageError(f"{self.path!r}: truncated WAL header")
         magic, version, base_seq, crc = _WAL_HEADER.unpack_from(raw, 0)
         if magic != WAL_MAGIC:
-            raise StorageError(
+            raise CorruptionError(
                 f"{self.path!r}: bad magic {magic!r}; not a WAL file")
         if version != WAL_FORMAT_VERSION:
             raise StorageError(
                 f"{self.path!r}: unsupported WAL version {version} "
                 f"(supported: {WAL_FORMAT_VERSION})")
         if zlib.crc32(raw[:_WAL_HEADER.size - 4]) != crc:
-            raise StorageError(
+            raise CorruptionError(
                 f"{self.path!r}: WAL header fails its checksum")
         self.base_seq = base_seq
         self.last_seq = base_seq - 1
@@ -209,6 +233,8 @@ class WriteAheadLog:
             # drop the torn tail *physically*, so no later scan can be
             # tempted to deserialize it
             self.dropped_bytes = len(raw) - good_end
+            failpoint("wal:open:pre-truncate-tail", wal=self,
+                      good_end=good_end)
             self._file.truncate(good_end)
             self._file.flush()
         self._file.seek(0, os.SEEK_END)
@@ -247,15 +273,51 @@ class WriteAheadLog:
     def _commit_locked(self) -> None:
         if not self._pending:
             return
+        if self._damaged:
+            raise RecoveryError(
+                f"{self.path!r}: a failed commit left torn bytes this "
+                f"log could not rewind; records appended now would sit "
+                f"past the tear where no scan reaches them — reopen "
+                f"the log to recover")
         batch = b"".join(self._pending)
+        start = self._file.tell()
+        failpoint("wal:commit:pre-write", wal=self)
+        failpoint("wal:commit:torn-write", wal=self, file=self._file,
+                  data=batch)
+        try:
+            # EINTR/ENOSPC are retried with bounded backoff — a full
+            # disk is often momentarily full; exhaustion (or a hard
+            # error) rewinds the file to the batch start so the
+            # *pending buffer stays intact* and a later commit retries
+            # the whole batch against a clean tail
+            write_with_retry(self._file, batch)
+            failpoint("wal:commit:post-write", wal=self)
+            self._file.flush()
+            if self.sync:
+                failpoint("wal:commit:pre-fsync", wal=self)
+                fsync_file(self._file)
+                self.fsyncs += 1
+                failpoint("wal:commit:post-fsync", wal=self)
+        except (OSError, StorageError):
+            self._rewind_to(start)
+            raise
         self._pending = []
         self._pending_records = 0
-        self._file.write(batch)
-        self._file.flush()
-        if self.sync:
-            os.fsync(self._file.fileno())
-            self.fsyncs += 1
         self.commits += 1
+
+    def _rewind_to(self, offset: int) -> None:
+        """Cut a failed commit's partial bytes back off the tail.
+
+        Leaving them would strand every later record behind an invalid
+        fragment (the scan stops at the first bad record).  If even the
+        truncate fails, the log marks itself damaged and refuses
+        further commits instead of silently losing them.
+        """
+        try:
+            self._file.truncate(offset)
+            self._file.seek(0, os.SEEK_END)
+        except (OSError, ValueError):
+            self._damaged = True
 
     @property
     def pending_records(self) -> int:
@@ -304,31 +366,41 @@ class WriteAheadLog:
                 raise StorageError(
                     f"base_seq must be >= 1, got {base_seq}")
             temp_path = self.path + ".truncate"
+            failpoint("wal:truncate:pre-temp", wal=self)
             with open(temp_path, "wb") as temp:
                 temp.write(self._header_bytes(base_seq))
                 temp.flush()
                 if self.sync:
-                    os.fsync(temp.fileno())
+                    fsync_file(temp)
                     self.fsyncs += 1
-            self.crash_hook("truncate:before-replace")
+            failpoint("wal:truncate:pre-replace", wal=self)
             self._file.close()
             os.replace(temp_path, self.path)
+            failpoint("wal:truncate:post-replace", wal=self)
             self._file = open(self.path, "r+b")
             self._file.seek(0, os.SEEK_END)
             self.base_seq = base_seq
             self.last_seq = base_seq - 1
             self.dropped_bytes = 0
+            self._damaged = False
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Commit any buffered records and release the file."""
+        """Commit any buffered records and release the file.
+
+        The file is released even when that final commit fails (a full
+        disk must not leak the descriptor); the commit's error still
+        propagates so the caller knows the tail was lost.
+        """
         if self._file.closed:
             return
-        with self._lock:
-            self._commit_locked()
-        self._file.close()
+        try:
+            with self._lock:
+                self._commit_locked()
+        finally:
+            self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -1,0 +1,19 @@
+"""Fault-injection test harnesses (crash storms, subprocess kills).
+
+Importable product code, not test code: the CI storm job, the
+benchmark ``faults`` suite and ``tests/testing/`` all drive the same
+:mod:`repro.testing.crashstorm` machinery, so the recovery invariants
+asserted in each place are literally the same functions.
+"""
+
+__all__ = ["SCENARIOS", "StormReport", "StormResult", "run_storm"]
+
+
+def __getattr__(name):
+    # lazy re-export: ``python -m repro.testing.crashstorm`` imports
+    # this package first, and an eager import here would load the
+    # submodule twice (runpy's sys.modules warning)
+    if name in __all__:
+        from repro.testing import crashstorm
+        return getattr(crashstorm, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

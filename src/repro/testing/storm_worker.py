@@ -1,0 +1,50 @@
+"""Subprocess storm worker: real process death, not an exception.
+
+``SimulatedCrash`` unwinds the Python stack; a true kill does not run
+``finally`` blocks, flush buffered file objects, or release mmaps.
+This worker closes that last fidelity gap: the parent (see
+``tests/testing/test_crashstorm.py`` or the CI storm job) sets
+``REPRO_FAILPOINT_EXIT=<failpoint-name>[:nth]`` and spawns
+
+    python -m repro.testing.storm_worker WORKDIR SCENARIO SEED
+
+The env var arms an ``os._exit(137)`` action at import time (see
+:func:`repro.storage.faults._arm_from_env`), so the child dies mid-
+syscall with no unwinding at all.  After each completed step the
+worker prints the step count on its own line and flushes — the
+parent's view of progress is the last *complete* line on stdout, the
+exact analogue of a WAL torn tail.  The parent then recovers the
+workdir in-process with the normal :mod:`~repro.testing.crashstorm`
+invariants: recovered state ∈ {oracle[completed], oracle[completed+1]}.
+
+Exit codes: ``137`` means the armed failpoint fired (the expected
+outcome), ``0`` means the workload ran to completion without reaching
+it, anything else is a worker bug.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print("usage: python -m repro.testing.storm_worker "
+              "WORKDIR SCENARIO SEED", file=sys.stderr)
+        return 2
+    workdir, scenario_name, seed = argv[0], argv[1], int(argv[2])
+
+    from repro.testing.crashstorm import make_scenario
+
+    scenario = make_scenario(scenario_name)
+
+    def report(completed: int) -> None:
+        sys.stdout.write(f"{completed}\n")
+        sys.stdout.flush()
+
+    scenario.run(workdir, scenario.build_steps(seed), on_step=report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

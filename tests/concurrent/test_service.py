@@ -19,12 +19,9 @@ from repro.core.params import LTreeParams
 from repro.core.sharded import ShardedCompactLTree
 from repro.core.stats import Counters
 from repro.errors import StorageError
+from repro.storage.faults import FAILPOINTS, SimulatedCrash
 
 PARAMS = LTreeParams(f=8, s=2)
-
-
-class SimulatedCrash(RuntimeError):
-    pass
 
 
 def _service(tmp_path, name="svc", **kwargs):
@@ -184,13 +181,10 @@ class TestCrashRecovery:
         expected = doc.labels()
         n_live = len(expected)
 
-        def crash(name):
-            if name == "checkpoint:after-save":
-                raise SimulatedCrash()
-
-        doc.crash_hook = crash
-        with pytest.raises(SimulatedCrash):
-            doc.checkpoint()
+        with FAILPOINTS.scoped():
+            FAILPOINTS.arm("service:checkpoint:post-save", "crash")
+            with pytest.raises(SimulatedCrash):
+                doc.checkpoint()
         # process dies: release the files without tidy-up
         doc.wal._file.close()
         doc.store.close()
@@ -208,13 +202,10 @@ class TestCrashRecovery:
         _grow(doc, n_ops=40)
         expected = doc.labels()
 
-        def crash(name):
-            if name == "truncate:before-replace":
-                raise SimulatedCrash()
-
-        doc.wal.crash_hook = crash
-        with pytest.raises(SimulatedCrash):
-            doc.checkpoint()
+        with FAILPOINTS.scoped():
+            FAILPOINTS.arm("wal:truncate:pre-replace", "crash")
+            with pytest.raises(SimulatedCrash):
+                doc.checkpoint()
         doc.wal._file.close()
         doc.store.close()
         assert os.path.exists(
@@ -344,13 +335,10 @@ class TestRebalanceDurability:
         expected = doc.labels()
         ids = doc.tree.shard_ids
 
-        def crash(name):
-            if name == "checkpoint:after-save":
-                raise SimulatedCrash()
-
-        doc.crash_hook = crash
-        with pytest.raises(SimulatedCrash):
-            doc.checkpoint()
+        with FAILPOINTS.scoped():
+            FAILPOINTS.arm("service:checkpoint:post-save", "crash")
+            with pytest.raises(SimulatedCrash):
+                doc.checkpoint()
         doc.wal._file.close()
         doc.store.close()
         with ConcurrentDocument.open(str(tmp_path / "svc")) as back:

@@ -201,16 +201,12 @@ class TestTruncate:
         for op in _ops(3):
             wal.append(op)
 
-        class Crash(RuntimeError):
-            pass
+        from repro.storage.faults import FAILPOINTS, SimulatedCrash
 
-        def crash(name):
-            if name == "truncate:before-replace":
-                raise Crash()
-
-        wal.crash_hook = crash
-        with pytest.raises(Crash):
-            wal.truncate()
+        with FAILPOINTS.scoped():
+            FAILPOINTS.arm("wal:truncate:pre-replace", "crash")
+            with pytest.raises(SimulatedCrash):
+                wal.truncate()
         wal._file.close()                          # simulate process death
         assert os.path.exists(path + ".truncate")
         with WriteAheadLog(path) as back:          # leftover cleaned up
