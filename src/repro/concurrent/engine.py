@@ -110,6 +110,33 @@ class LabelSnapshot:
     def shard_count(self) -> int:
         return len(self._shards)
 
+    def shard_versions(self) -> dict[int, int]:
+        """``shard id -> write version`` of the pinned membership.
+
+        The per-shard half of :attr:`epoch`, as a mapping — the key the
+        incremental :class:`~repro.query.columnar.ColumnarStore` re-pin
+        caches each extracted column segment under.
+        """
+        return dict(self.epoch[1:])
+
+    def delta_since(self, previous_epoch: tuple
+                    ) -> tuple[set[int], set[int]]:
+        """Shard-level delta export against an older pin's epoch.
+
+        Returns ``(dirty, vanished)``: ids in this snapshot whose write
+        version differs from (or is absent in) ``previous_epoch``, and
+        ids of the old pin that left the membership (rebalanced away —
+        their handles still resolve through :meth:`resolve` while the
+        forwarding chain holds).  Equal epochs yield two empty sets: the
+        caller can splice instead of re-shredding.
+        """
+        old = dict(previous_epoch[1:])
+        new = self.shard_versions()
+        dirty = {sid for sid, version in new.items()
+                 if old.get(sid) != version}
+        vanished = set(old) - set(new)
+        return dirty, vanished
+
     def resolve(self, handle: tuple[int, int]) -> tuple[int, int]:
         """The pin-time ``(shard_id, slot)`` a handle denotes.
 
@@ -197,8 +224,7 @@ class LabelSnapshot:
         if position is None:
             raise ValueError(f"no shard with id {shard_id} in this "
                              f"snapshot")
-        shard = self._shards[position]
-        return list(shard.live_slots()), shard.num_column()
+        return self._shards[position].label_columns()
 
     def precedes(self, first: tuple[int, int],
                  second: tuple[int, int]) -> bool:

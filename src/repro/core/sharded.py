@@ -126,7 +126,7 @@ class _Shard:
 
     __slots__ = ("tree", "stats", "image", "header", "live", "pending",
                  "meta_height", "meta_n_leaves", "meta_tombstones",
-                 "_num_column")
+                 "_num_column", "write_version", "_columns_cache")
 
     def __init__(self, tree: Optional[CompactLTree], stats: Counters):
         self.tree = tree
@@ -140,6 +140,16 @@ class _Shard:
         #: decoded label column of a lazy image, memoized on first use
         #: (a lazy shard is immutable, so this can never go stale)
         self._num_column: Optional[array] = None
+        #: bumped by the engine on every label-affecting mutation of
+        #: this arena (inserts, runs, tombstones) — the dirty-shard
+        #: signal incremental columnar consumers key their caches on.
+        #: Fresh arenas (bulk load, split/merge products) restart at 1.
+        self.write_version = 1
+        #: ``(write_version, live_slots, num_column)`` memo backing
+        #: :meth:`label_columns`; invalidated by the version bump, so a
+        #: repeated bulk extraction of an unchanged shard is two dict
+        #: reads instead of an O(n) live-slot walk + column decode
+        self._columns_cache: Optional[tuple] = None
         self.meta_height = 0
         self.meta_n_leaves = 0
         self.meta_tombstones = 0
@@ -226,6 +236,21 @@ class _Shard:
                 column.byteswap()
             self._num_column = column
         return column
+
+    def label_columns(self) -> tuple[list[int], Sequence[int]]:
+        """``(live_slots, num_column)`` memoized on the write version.
+
+        The bulk-extraction pair every columnar consumer wants; caching
+        both under :attr:`write_version` means an unchanged shard never
+        repeats the live-slot walk or the column decode.
+        """
+        cached = self._columns_cache
+        if cached is not None and cached[0] == self.write_version:
+            return cached[1], cached[2]
+        live = list(self.live_slots())
+        column = self.num_column()
+        self._columns_cache = (self.write_version, live, column)
+        return live, column
 
     def nums_of_live(self) -> list[int]:
         """Labels of the live leaves, bulk-decoded for lazy shards."""
@@ -720,6 +745,7 @@ class ShardedCompactLTree:
                      payload: Any) -> tuple[int, int]:
         _d, sid, shard, slot = self._locate(handle)
         leaf = shard.materialize().insert_after(slot, payload)
+        shard.write_version += 1
         self._grow_directory(shard)
         return (sid, leaf)
 
@@ -727,6 +753,7 @@ class ShardedCompactLTree:
                       payload: Any) -> tuple[int, int]:
         _d, sid, shard, slot = self._locate(handle)
         leaf = shard.materialize().insert_before(slot, payload)
+        shard.write_version += 1
         self._grow_directory(shard)
         return (sid, leaf)
 
@@ -735,6 +762,7 @@ class ShardedCompactLTree:
         sid = d.ids[-1]
         shard = d.shards[sid]
         leaf = shard.materialize().append(payload)
+        shard.write_version += 1
         self._grow_directory(shard)
         return (sid, leaf)
 
@@ -743,6 +771,7 @@ class ShardedCompactLTree:
         sid = d.ids[0]
         shard = d.shards[sid]
         leaf = shard.materialize().prepend(payload)
+        shard.write_version += 1
         self._grow_directory(shard)
         return (sid, leaf)
 
@@ -751,6 +780,7 @@ class ShardedCompactLTree:
         """§4.1 batch insert — the whole run lands in the anchor's shard."""
         _d, sid, shard, slot = self._locate(handle)
         leaves = shard.materialize().insert_run_after(slot, payloads)
+        shard.write_version += 1
         self._grow_directory(shard)
         return [(sid, leaf) for leaf in leaves]
 
@@ -758,6 +788,7 @@ class ShardedCompactLTree:
                           payloads: Sequence[Any]) -> list[tuple[int, int]]:
         _d, sid, shard, slot = self._locate(handle)
         leaves = shard.materialize().insert_run_before(slot, payloads)
+        shard.write_version += 1
         self._grow_directory(shard)
         return [(sid, leaf) for leaf in leaves]
 
@@ -765,6 +796,7 @@ class ShardedCompactLTree:
         """Tombstone a leaf (paper §2.3) — no relabeling anywhere."""
         _d, _sid, shard, slot = self._locate(handle)
         shard.materialize().mark_deleted(slot)
+        shard.write_version += 1
 
     def set_payload(self, handle: Sequence[int], payload: Any) -> None:
         """Reattach a payload; buffered (not materializing) on lazy shards."""
@@ -845,10 +877,24 @@ class ShardedCompactLTree:
         column comes off the shard's flat storage in one decode — a
         lazy shard stays lazy — and the global label of ``slot`` is
         ``shard_prefix(shard_id) + column[slot]``.  One call per shard
-        replaces one :meth:`num` round trip per node.
+        replaces one :meth:`num` round trip per node.  Both halves are
+        memoized on the shard's :meth:`shard_version`, so re-extracting
+        an unchanged arena costs two dict reads.
         """
-        shard = self._shard_by_id(shard_id)
-        return list(shard.live_slots()), shard.num_column()
+        return self._shard_by_id(shard_id).label_columns()
+
+    def shard_version(self, shard_id: int) -> int:
+        """Write version of one arena (bumps on every label-affecting
+        mutation; fresh split/merge/bulk-load products restart at 1)."""
+        return self._shard_by_id(shard_id).write_version
+
+    def shard_versions(self) -> dict[int, int]:
+        """``shard id -> write version`` for the whole directory — the
+        engine-level dirty-shard report incremental columnar consumers
+        diff between extractions (the concurrent wrapper's snapshot
+        epoch serves the same role on the lock-free path)."""
+        d = self._dir
+        return {sid: d.shards[sid].write_version for sid in d.ids}
 
     def shard_prefix(self, shard_id: int) -> int:
         """Global-label prefix of one shard: ``position * stride``."""
@@ -906,6 +952,7 @@ class ShardedCompactLTree:
         One row per shard: ``id``, ``position``, ``height``, ``leaves``
         (tombstones included), ``live``, ``tombstones``,
         ``arena_bytes`` (payload-free image size), ``materialized``,
+        ``version`` (the dirty-shard write counter),
         and — when the tree was built with ``shard_stats=True`` — that
         shard's full ``counters`` dict (relabels, count updates, …).
         Never materializes a lazy shard.  This is the input
@@ -926,6 +973,7 @@ class ShardedCompactLTree:
                 "tombstones": tombstones,
                 "arena_bytes": shard.arena_bytes(),
                 "materialized": not shard.is_lazy,
+                "version": shard.write_version,
                 "counters": shard.stats.as_dict()
                 if self._track_shards else None,
             })

@@ -55,6 +55,18 @@ class Counters:
     #: per-node label fetches issued by the document layer (the cost the
     #: cached label vector of LabeledDocument exists to avoid)
     label_lookups: int = 0
+    #: columnar re-pin: shard segments served unchanged from the cached
+    #: store (version and prefix both matched the pinned epoch)
+    shards_reused: int = 0
+    #: columnar re-pin: shards whose label columns were re-extracted
+    #: (dirty versions, or forwarding targets of rebalanced-away shards)
+    shards_reextracted: int = 0
+    #: columnar re-pin: per-shard column/index segments spliced into the
+    #: cached store's position space
+    segments_spliced: int = 0
+    #: candidate positions eliminated by predicate pushdown *before* the
+    #: containment join (vs the post-filter plan, which joins them all)
+    pushdown_pruned: int = 0
 
     #: hot paths consult this flag and skip counter maintenance entirely
     #: when it is False (see NullCounters); a plain class attribute, not

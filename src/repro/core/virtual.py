@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
-from repro.core.params import LTreeParams, spread_digits
+from repro.core import vectorized
+from repro.core.params import LTreeParams
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.errors import InvariantViolation, KeyNotFound
 from repro.storage.btree import CountedBTree
@@ -132,15 +133,17 @@ class VirtualLTree:
 
         A left-complete ``b``-ary tree places leaf ``j`` along the path
         spelled by ``j`` in base ``b``, so its label is
-        :func:`~repro.core.params.spread_digits`\\ ``(j)`` — no tree needed.
+        :func:`~repro.core.params.spread_digits`\\ ``(j)`` — no tree
+        needed.  The whole label run comes from one
+        :func:`~repro.core.vectorized.complete_leaf_offsets` expansion
+        (numpy-backed when the active backend allows), identical digit
+        for digit to the per-leaf ``spread_digits`` loop.
         """
         items = list(payloads)
         self._height = self.params.height_for(len(items))
-        labels = [
-            spread_digits(index, self.params.arity, self.params.base,
-                          self._height)
-            for index in range(len(items))
-        ]
+        labels = vectorized.complete_leaf_offsets(
+            len(items), self.params.arity, self.params.base,
+            self._height)
         self._entries.bulk_load(
             (label, _Entry(payload))
             for label, payload in zip(labels, items))
@@ -277,11 +280,13 @@ class VirtualLTree:
 
         new_label: Optional[int] = None
         chunk = params.l_min(height)  # b**height leaves per new subtree
+        # one batch expansion of a complete subtree's offsets serves all
+        # s subtrees (each holds the same chunk, shifted by whole steps)
+        offsets = vectorized.complete_leaf_offsets(
+            min(chunk, len(entries)), params.arity, params.base, height)
         for offset, entry in enumerate(entries):
             subtree, within = divmod(offset, chunk)
-            label = (node_low + subtree * step +
-                     spread_digits(within, params.arity, params.base,
-                                   height))
+            label = node_low + subtree * step + offsets[within]
             self._entries.insert(label, entry)
             self.stats.relabels += 1
             if entry is new_entry:
@@ -311,12 +316,13 @@ class VirtualLTree:
         self._height = old_height + 1
         top_step = params.child_step(old_height)
         chunk = params.l_min(old_height)
+        offsets = vectorized.complete_leaf_offsets(
+            min(chunk, len(entries)), params.arity, params.base,
+            old_height)
         new_label: Optional[int] = None
         for offset, entry in enumerate(entries):
             subtree, within = divmod(offset, chunk)
-            label = (subtree * top_step +
-                     spread_digits(within, params.arity, params.base,
-                                   old_height))
+            label = subtree * top_step + offsets[within]
             self._entries.insert(label, entry)
             self.stats.relabels += 1
             if entry is new_entry:
@@ -384,15 +390,18 @@ class VirtualLTree:
             if rebuild_height > 1 else 1
         slots = -(-len(entries) // child_capacity)  # ceil
         slot_step = params.child_step(rebuild_height - 1)
+        # slot sizes differ by at most one, and complete_leaf_offsets is
+        # prefix-closed, so the largest slot's expansion serves them all
+        offsets = vectorized.complete_leaf_offsets(
+            -(-len(entries) // slots), params.arity, params.base,
+            rebuild_height - 1) if rebuild_height > 1 else None
         new_labels: dict[int, int] = {}
         start = 0
         for slot in range(slots):
             size = (len(entries) - start) // (slots - slot)
             for offset in range(size):
                 entry = entries[start + offset]
-                label = (low + slot * slot_step +
-                         spread_digits(offset, params.arity, params.base,
-                                       rebuild_height - 1)
+                label = (low + slot * slot_step + offsets[offset]
                          if rebuild_height > 1 else low + slot)
                 self._entries.insert(label, entry)
                 self.stats.relabels += 1

@@ -72,6 +72,12 @@ class ShardedListLabeling(CompactEngineLabeling):
         """Per-shard occupancy rows — the rebalance policy's input."""
         return self.tree.shard_report()
 
+    def shard_versions(self) -> dict[int, int]:
+        """``shard id -> write version``: the dirty-shard report that
+        lets a cached :class:`~repro.query.columnar.ColumnarStore`
+        re-extract only the arenas written since it was built."""
+        return self.tree.shard_versions()
+
     def resolve_handle(self, handle: tuple[int, int]) -> tuple[int, int]:
         """Current-epoch identity of a possibly pre-rebalance handle."""
         return self.tree.resolve_handle(handle)

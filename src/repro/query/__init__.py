@@ -3,7 +3,8 @@ evaluators experiment E9 compares (DOM navigation, interval-label
 structural joins, edge-table self-joins, and the vectorized columnar
 plan — optionally lock-free against a pinned label snapshot)."""
 
-from repro.query.columnar import ColumnarStore, evaluate_columnar
+from repro.query.columnar import (ColumnarStore, QuerySession,
+                                  evaluate_batch, evaluate_columnar)
 from repro.query.engine import (evaluate_dom, evaluate_edge,
                                 evaluate_interval)
 from repro.query.xpath import (CHILD, DESCENDANT, Step, XPathQuery,
@@ -19,5 +20,7 @@ __all__ = [
     "evaluate_interval",
     "evaluate_edge",
     "evaluate_columnar",
+    "evaluate_batch",
     "ColumnarStore",
+    "QuerySession",
 ]

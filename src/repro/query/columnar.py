@@ -27,6 +27,30 @@ tuple-at-a-time over boxed Python triples; this module executes it as
   steps add the paper's level-adjacency check by running the same pass
   per candidate level against the context subset one level up.
 
+Three batching layers keep a *stream* of queries cheap, not just one:
+
+* **incremental pins** — ``from_snapshot(..., previous=store)`` (or
+  :meth:`ColumnarStore.repin`) keys every per-shard column segment on
+  the ``(shard id, write version)`` pairs the snapshot's ``epoch``
+  already carries, re-extracts only the dirty shards' segments and
+  splices them into a copy of the cached columns.  The DOM-stable
+  structures (element list, levels, the per-tag index, the predicate
+  memo) are shared outright, because engine-level writes move labels,
+  never element positions.  Shards rebalanced away since the previous
+  pin are handled forwarding-table-aware (their cached handles are
+  re-resolved through the snapshot's forwarding view); a directory
+  epoch jump that keeps the membership (compact, bulk reload — slot
+  maps may have been rewritten) falls back to a full rebuild;
+* **multi-query batching** — a :class:`QuerySession` evaluates a batch
+  against one pin, deduplicating common leading steps (a step-prefix
+  trie over the batch) and sharing each context's sorted
+  ``maximum.accumulate`` preparation across queries that branch off
+  it, on both backends;
+* **predicate pushdown** — ``[@name='value']`` filters are applied to
+  the candidate positions *before* the containment join (memoized per
+  store), instead of post-filtering joined results one row fetch at a
+  time.
+
 Backend discipline mirrors :mod:`repro.core.vectorized`: the numpy
 int64 path is used when the active backend is ``numpy`` and every
 label fits int64; otherwise a pure-Python ``array('q')``/``bisect``
@@ -38,7 +62,9 @@ whose columns no writer can touch, so queries run lock-free under live
 :class:`~repro.concurrent.service.ConcurrentDocument` writers.
 
 Differential-tested against :func:`repro.query.engine.evaluate_dom`
-over the seeded workload matrix (``tests/query``).
+over the seeded workload matrix (``tests/query``); the incremental
+path is additionally held byte-identical to a full rebuild across
+backends and rebalance epochs.
 """
 
 from __future__ import annotations
@@ -65,6 +91,35 @@ _INT64_SAFE = 2 ** 62
 def _use_numpy(max_label: int) -> bool:
     return (_np is not None and vectorized.get_backend() == "numpy"
             and max_label < _INT64_SAFE)
+
+
+class _PinState:
+    """What an incremental re-pin needs to splice instead of rebuild.
+
+    Captured by ``from_snapshot``: the pinned epoch's per-shard write
+    versions and prefixes, each element's *resolved* begin/end handles,
+    and the element positions each shard's columns feed (``begin`` and
+    ``end`` separately — an element spanning shards, like the root,
+    draws its two labels from two different arenas).  Everything here
+    is keyed by position, and positions are DOM-stable, so a re-pin
+    only ever rewrites labels in place.
+    """
+
+    __slots__ = ("versions", "prefixes", "begin_handles", "end_handles",
+                 "begin_by_sid", "end_by_sid")
+
+    def __init__(self, versions: dict[int, int],
+                 prefixes: dict[int, int],
+                 begin_handles: list[tuple[int, int]],
+                 end_handles: list[tuple[int, int]],
+                 begin_by_sid: dict[int, list[int]],
+                 end_by_sid: dict[int, list[int]]):
+        self.versions = versions
+        self.prefixes = prefixes
+        self.begin_handles = begin_handles
+        self.end_handles = end_handles
+        self.begin_by_sid = begin_by_sid
+        self.end_by_sid = end_by_sid
 
 
 class ColumnarStore:
@@ -106,6 +161,13 @@ class ColumnarStore:
         self._by_tag = {tag: self._positions(positions)
                         for tag, positions in by_tag.items()}
         self._all = self._positions(range(len(elements)))
+        #: snapshot epoch this store was pinned against (None for
+        #: from_labeled stores) — equal epochs mean identical columns
+        self.pinned_epoch: Optional[tuple] = None
+        self._pin: Optional[_PinState] = None
+        #: (test, key, value) -> pre-filtered positions; DOM-stable, so
+        #: shared unchanged across incremental re-pins
+        self._predicate_cache: dict[tuple, Any] = {}
 
     def _positions(self, values: Iterable[int]):
         if self.backend == "numpy":
@@ -145,7 +207,9 @@ class ColumnarStore:
 
     @classmethod
     def from_snapshot(cls, labeled: Any, snapshot: Any,
-                      stats: Counters = NULL_COUNTERS) -> "ColumnarStore":
+                      stats: Counters = NULL_COUNTERS,
+                      previous: Optional["ColumnarStore"] = None
+                      ) -> "ColumnarStore":
         """Shred against a pinned label snapshot (lock-free inputs).
 
         One structural DOM pass collects each element's ``(rank,
@@ -163,7 +227,20 @@ class ColumnarStore:
         stable while queries run; engine-level writers (extra tokens,
         relabels, rebalances) are fine because the pin freezes every
         label this store reads.
+
+        ``previous`` enables the **incremental** path: pass the store
+        from an earlier pin of the same document and only the shards
+        written (or rebalanced) since that pin are re-extracted — the
+        clean shards' column segments, the element list, the per-tag
+        index and the predicate memo are spliced/shared from the cache
+        (see the module docstring for the exact fallback rules; the
+        result is byte-identical to a full rebuild either way).  When
+        nothing changed at all, ``previous`` itself is returned.
         """
+        if previous is not None:
+            spliced = cls._splice_from(previous, snapshot, stats)
+            if spliced is not None:
+                return spliced
         elements: list[XMLElement] = []
         begin_handles: list[tuple[int, int]] = []
         end_handles: list[tuple[int, int]] = []
@@ -189,8 +266,200 @@ class ColumnarStore:
         ends = _compose_labels(end_handles, column,
                                snapshot.shard_prefix)
         ids = [handle[0] for handle in begin_handles]
-        return cls(elements, begins, ends, levels,
-                   _rank_slices(ids), stats)
+        store = cls(elements, begins, ends, levels,
+                    _rank_slices(ids), stats)
+        store._remember_pin(snapshot, begin_handles, end_handles)
+        stats.shards_reextracted += len(columns)
+        return store
+
+    def _remember_pin(self, snapshot: Any,
+                      begin_handles: list[tuple[int, int]],
+                      end_handles: list[tuple[int, int]]) -> None:
+        """Capture the :class:`_PinState` a future re-pin splices from
+        (skipped for snapshot-likes without a versioned epoch)."""
+        epoch = getattr(snapshot, "epoch", None)
+        if not isinstance(epoch, tuple) or not epoch:
+            return
+        begin_by_sid: dict[int, list[int]] = {}
+        end_by_sid: dict[int, list[int]] = {}
+        for position, handle in enumerate(begin_handles):
+            begin_by_sid.setdefault(handle[0], []).append(position)
+        for position, handle in enumerate(end_handles):
+            end_by_sid.setdefault(handle[0], []).append(position)
+        prefixes = {sid: snapshot.shard_prefix(sid)
+                    for sid in set(begin_by_sid) | set(end_by_sid)}
+        self.pinned_epoch = epoch
+        self._pin = _PinState(dict(epoch[1:]), prefixes,
+                              begin_handles, end_handles,
+                              begin_by_sid, end_by_sid)
+
+    @classmethod
+    def _splice_from(cls, previous: "ColumnarStore", snapshot: Any,
+                     stats: Counters) -> Optional["ColumnarStore"]:
+        """The incremental re-pin: patch only dirty shards' labels.
+
+        Returns ``None`` whenever splicing cannot be *proven* identical
+        to a full rebuild — no pin state, a backend flip, beyond-int64
+        columns, a membership-preserving directory-epoch jump (compact
+        / bulk reload may have remapped slots behind unchanged ids), a
+        broken forwarding chain, or labels leaving int64 — and the
+        caller rebuilds from scratch.
+        """
+        pin = previous._pin
+        epoch = getattr(snapshot, "epoch", None)
+        if pin is None or not isinstance(epoch, tuple) or not epoch:
+            return None
+        if epoch == previous.pinned_epoch:
+            stats.shards_reused += len(pin.versions)
+            return previous
+        new_versions = dict(epoch[1:])
+        if epoch[0] != previous.pinned_epoch[0] and \
+                set(new_versions) == set(pin.versions):
+            return None
+        backend = "numpy" if (_np is not None and
+                              vectorized.get_backend() == "numpy") \
+            else "array"
+        if previous.backend != backend or \
+                isinstance(previous._begin, list):
+            return None
+
+        touched = set(pin.begin_by_sid) | set(pin.end_by_sid)
+        dirty: list[int] = []
+        vanished: list[int] = []
+        reused = 0
+        prefixes: dict[int, int] = {}
+        for sid in sorted(touched):
+            version = new_versions.get(sid)
+            if version is None:
+                vanished.append(sid)
+                continue
+            prefix = snapshot.shard_prefix(sid)
+            prefixes[sid] = prefix
+            if version == pin.versions.get(sid) and \
+                    prefix == pin.prefixes.get(sid):
+                reused += 1
+            else:
+                dirty.append(sid)
+
+        columns: dict[int, Sequence[int]] = {}
+
+        def column(shard_id: int) -> Sequence[int]:
+            cached = columns.get(shard_id)
+            if cached is None:
+                cached = columns[shard_id] = \
+                    snapshot.label_columns(shard_id)[1]
+            return cached
+
+        if backend == "numpy":
+            begins, ends = previous._begin.copy(), previous._end.copy()
+        else:
+            begins = array("q", previous._begin)
+            ends = array("q", previous._end)
+        if vanished:
+            begin_handles = list(pin.begin_handles)
+            end_handles = list(pin.end_handles)
+            begin_by_sid = {sid: list(positions) for sid, positions
+                            in pin.begin_by_sid.items()}
+            end_by_sid = {sid: list(positions) for sid, positions
+                          in pin.end_by_sid.items()}
+        else:
+            begin_handles, end_handles = \
+                pin.begin_handles, pin.end_handles
+            begin_by_sid, end_by_sid = pin.begin_by_sid, pin.end_by_sid
+
+        spliced = 0
+        retargeted: set[int] = set()
+        try:
+            for sid in dirty:
+                prefix = prefixes[sid]
+                local = column(sid)
+                if backend == "numpy":
+                    # vectorized in-place gather; numpy would *wrap*
+                    # on int64 overflow instead of raising, so guard
+                    # the worst case explicitly and let the full
+                    # rebuild pick the exact representation
+                    if prefix + max(local, default=0) >= _INT64_SAFE:
+                        return None
+                    local_column = _np.asarray(local, dtype=_np.int64)
+                for by_sid, handles, out in (
+                        (begin_by_sid, begin_handles, begins),
+                        (end_by_sid, end_handles, ends)):
+                    positions = by_sid.get(sid)
+                    if not positions:
+                        continue
+                    if backend == "numpy":
+                        slots = _np.fromiter(
+                            (handles[position][1]
+                             for position in positions),
+                            dtype=_np.int64, count=len(positions))
+                        out[_np.asarray(positions, dtype=_np.int64)] = \
+                            local_column[slots] + prefix
+                    else:
+                        for position in positions:
+                            out[position] = \
+                                prefix + local[handles[position][1]]
+                    spliced += 1
+            for sid in vanished:
+                for by_sid, handles, out in (
+                        (begin_by_sid, begin_handles, begins),
+                        (end_by_sid, end_handles, ends)):
+                    positions = by_sid.pop(sid, None)
+                    if not positions:
+                        continue
+                    for position in positions:
+                        try:
+                            target = snapshot.resolve(handles[position])
+                        except ValueError:
+                            return None
+                        handles[position] = target
+                        tid = target[0]
+                        prefix = prefixes.get(tid)
+                        if prefix is None:
+                            prefix = prefixes[tid] = \
+                                snapshot.shard_prefix(tid)
+                        out[position] = prefix + column(tid)[target[1]]
+                        by_sid.setdefault(tid, []).append(position)
+                        retargeted.add(tid)
+                    spliced += 1
+        except OverflowError:
+            return None
+        if retargeted:
+            # forwarding may interleave a vanished shard's positions
+            # into an existing segment's list: restore position order
+            for by_sid in (begin_by_sid, end_by_sid):
+                for tid in retargeted:
+                    if tid in by_sid:
+                        by_sid[tid].sort()
+
+        store = cls.__new__(cls)
+        store.stats = stats
+        store.elements = previous.elements
+        store.backend = backend
+        store._begin = begins
+        store._end = ends
+        store._level = previous._level
+        store.shard_slices = _rank_slices(
+            [handle[0] for handle in begin_handles]) if vanished \
+            else previous.shard_slices
+        store._by_tag = previous._by_tag
+        store._all = previous._all
+        store._predicate_cache = previous._predicate_cache
+        store.pinned_epoch = epoch
+        store._pin = _PinState(new_versions, prefixes,
+                               begin_handles, end_handles,
+                               begin_by_sid, end_by_sid)
+        stats.shards_reused += reused
+        stats.shards_reextracted += len(columns)
+        stats.segments_spliced += spliced
+        return store
+
+    def repin(self, labeled: Any, snapshot: Any,
+              stats: Optional[Counters] = None) -> "ColumnarStore":
+        """``from_snapshot(labeled, snapshot, previous=self)`` sugar —
+        the per-batch refresh loop's one-liner."""
+        return ColumnarStore.from_snapshot(
+            labeled, snapshot,
+            self.stats if stats is None else stats, previous=self)
 
     # ------------------------------------------------------------------
     # column access
@@ -214,6 +483,40 @@ class ColumnarStore:
             if positions is None:
                 positions = self._positions(())
         stats.tuple_reads += len(positions)
+        return positions
+
+    def predicate_positions(self, test: str,
+                            attribute: Optional[tuple[str, str]],
+                            stats: Counters = NULL_COUNTERS):
+        """Positions matching a name test *and* attribute predicate.
+
+        The pushdown entry point: the ``[@key='value']`` filter runs
+        over the per-tag index **before** any containment join sees the
+        candidates, and the filtered list is memoized per store (the
+        DOM is stable, so it never goes stale — re-pins share it).
+        First computation charges one ``tuple_read`` per tag candidate
+        examined; memo hits charge an index scan of the filtered list.
+        ``pushdown_pruned`` counts the candidates the join never had to
+        probe, either way.
+        """
+        if attribute is None:
+            return self.tag_positions(test, stats)
+        cache_key = (test,) + attribute
+        positions = self._predicate_cache.get(cache_key)
+        if positions is None:
+            base = self.tag_positions(test, NULL_COUNTERS)
+            key, value = attribute
+            elements = self.elements
+            stats.tuple_reads += len(base)
+            positions = self._positions(
+                position for position in base
+                if elements[position].attributes.get(key) == value)
+            self._predicate_cache[cache_key] = positions
+            base_count = len(base)
+        else:
+            stats.tuple_reads += len(positions)
+            base_count = len(self.tag_positions(test, NULL_COUNTERS))
+        stats.pushdown_pruned += base_count - len(positions)
         return positions
 
     def element(self, position: int) -> XMLElement:
@@ -301,8 +604,51 @@ def _run_chunks(worker, chunks, parallel: bool):
         return list(pool.map(worker, chunks))
 
 
+def _prepare_context(store: ColumnarStore, context, child_axis: bool):
+    """Sorted-context structures of one containment pass, hoisted.
+
+    Descendant axis: the context's begin column plus the running
+    prefix-maximum over its ends.  Child axis: the same pair per
+    distinct context level (the level-adjacency predicate restricts
+    each candidate level to the context subset one level up).  Built
+    once per step — *outside* the per-chunk workers, so
+    ``parallel=True`` fans out over a single shared preparation on
+    both backends instead of re-deriving it — and cacheable by a
+    :class:`QuerySession`, which reuses it across batched queries
+    whose next step starts from the same context.
+    """
+    begin, end, level = store._begin, store._end, store._level
+    if store.backend == "numpy":
+        np = _np
+        if child_axis:
+            ctx_levels = level[context]
+            by_parent_level: dict[int, tuple] = {}
+            for parent_level in np.unique(ctx_levels).tolist():
+                anc = context[ctx_levels == parent_level]
+                by_parent_level[parent_level] = (
+                    begin[anc], np.maximum.accumulate(end[anc]))
+            return by_parent_level
+        return (begin[context], np.maximum.accumulate(end[context]))
+    if child_axis:
+        by_level: dict[int, tuple[list[int], list[int]]] = {}
+        for position in context:
+            entry = by_level.setdefault(level[position], ([], []))
+            entry[0].append(begin[position])
+            running = entry[1][-1] if entry[1] else end[position]
+            entry[1].append(max(running, end[position]))
+        return by_level
+    ctx_begin = [begin[position] for position in context]
+    ctx_maxend: list[int] = []
+    running = None
+    for position in context:
+        value = end[position]
+        running = value if running is None else max(running, value)
+        ctx_maxend.append(running)
+    return (ctx_begin, ctx_maxend)
+
+
 def _match_step(store: ColumnarStore, context, cand, child_axis: bool,
-                stats: Counters, parallel: bool):
+                stats: Counters, parallel: bool, prepared=None):
     """Candidate positions with a (suitably-leveled) context ancestor.
 
     One batch pass: context intervals sorted by begin, prefix-maximum
@@ -310,43 +656,40 @@ def _match_step(store: ColumnarStore, context, cand, child_axis: bool,
     candidate.  Laminarity makes the existence test containment (see
     module docstring); the child axis adds the level-adjacency
     predicate by restricting the context to ``level - 1`` per distinct
-    candidate level.
+    candidate level.  ``prepared`` short-circuits the context
+    preparation with a cached :func:`_prepare_context` result.
     """
     if len(context) == 0 or len(cand) == 0:
         return cand[:0]
     stats.comparisons += 2 * len(cand)
+    if prepared is None:
+        prepared = _prepare_context(store, context, child_axis)
     if store.backend == "numpy":
-        return _match_numpy(store, context, cand, child_axis, parallel)
-    return _match_python(store, context, cand, child_axis, parallel)
+        return _match_numpy(store, prepared, cand, child_axis, parallel)
+    return _match_python(store, prepared, cand, child_axis, parallel)
 
 
-def _match_numpy(store: ColumnarStore, context, cand, child_axis: bool,
+def _match_numpy(store: ColumnarStore, prepared, cand, child_axis: bool,
                  parallel: bool):
     np = _np
     begin, end, level = store._begin, store._end, store._level
     if child_axis:
-        ctx_levels = level[context]
-        by_parent_level: dict[int, tuple] = {}
-        for parent_level in np.unique(ctx_levels).tolist():
-            anc = context[ctx_levels == parent_level]
-            by_parent_level[parent_level] = (
-                begin[anc], np.maximum.accumulate(end[anc]))
+        by_parent_level = prepared
 
         def worker(chunk):
             mask = np.zeros(len(chunk), dtype=bool)
             chunk_levels = level[chunk]
             for child_level in np.unique(chunk_levels).tolist():
-                prepared = by_parent_level.get(child_level - 1)
-                if prepared is None:
+                pair = by_parent_level.get(child_level - 1)
+                if pair is None:
                     continue
                 sub = chunk_levels == child_level
                 mask[sub] = _exists_containing(
-                    prepared[0], prepared[1],
+                    pair[0], pair[1],
                     begin[chunk[sub]], end[chunk[sub]])
             return chunk[mask]
     else:
-        ctx_begin = begin[context]
-        ctx_maxend = np.maximum.accumulate(end[context])
+        ctx_begin, ctx_maxend = prepared
 
         def worker(chunk):
             mask = _exists_containing(ctx_begin, ctx_maxend,
@@ -374,31 +717,20 @@ def _exists_containing(ctx_begin, ctx_maxend, d_begin, d_end):
     return ok
 
 
-def _match_python(store: ColumnarStore, context, cand, child_axis: bool,
+def _match_python(store: ColumnarStore, prepared, cand, child_axis: bool,
                   parallel: bool):
     begin, end, level = store._begin, store._end, store._level
     if child_axis:
-        by_parent_level: dict[int, tuple[list[int], list[int]]] = {}
-        for position in context:
-            entry = by_parent_level.setdefault(level[position], ([], []))
-            entry[0].append(begin[position])
-            running = entry[1][-1] if entry[1] else end[position]
-            entry[1].append(max(running, end[position]))
+        by_parent_level = prepared
 
         def contains(position: int) -> bool:
-            prepared = by_parent_level.get(level[position] - 1)
-            if prepared is None:
+            pair = by_parent_level.get(level[position] - 1)
+            if pair is None:
                 return False
-            idx = bisect.bisect_left(prepared[0], begin[position]) - 1
-            return idx >= 0 and prepared[1][idx] > end[position]
+            idx = bisect.bisect_left(pair[0], begin[position]) - 1
+            return idx >= 0 and pair[1][idx] > end[position]
     else:
-        ctx_begin = [begin[position] for position in context]
-        ctx_maxend: list[int] = []
-        running = None
-        for position in context:
-            value = end[position]
-            running = value if running is None else max(running, value)
-            ctx_maxend.append(running)
+        ctx_begin, ctx_maxend = prepared
 
         def contains(position: int) -> bool:
             idx = bisect.bisect_left(ctx_begin, begin[position]) - 1
@@ -418,6 +750,19 @@ def _match_python(store: ColumnarStore, context, cand, child_axis: bool,
 # ---------------------------------------------------------------------------
 # the fourth evaluator
 # ---------------------------------------------------------------------------
+def _first_step_positions(store: ColumnarStore, step: Step,
+                          stats: Counters):
+    """Candidates of an absolute first step: pushdown-filtered tag
+    positions, restricted to the root level for the child axis."""
+    positions = store.predicate_positions(step.test, step.attribute,
+                                          stats)
+    if step.axis == CHILD:
+        level = store._level
+        positions = store._positions(
+            position for position in positions if level[position] == 0)
+    return positions
+
+
 def evaluate_columnar(store: Any, query: XPathQuery,
                       stats: Counters = NULL_COUNTERS,
                       parallel: bool = False) -> list[XMLElement]:
@@ -429,35 +774,110 @@ def evaluate_columnar(store: Any, query: XPathQuery,
     view is used.  Same front end and results as the other three
     evaluators (elements in document order); all index scans,
     comparisons and attribute row fetches are charged to ``stats``.
+    Attribute predicates are pushed down into candidate generation
+    (filtered before the containment join — commutative with the
+    post-filter plan, because the predicate reads only the element).
     ``parallel=True`` fans each step's candidate pass out over the
-    store's per-shard segments.
+    store's per-shard segments.  For a *batch* of queries against one
+    store, prefer a :class:`QuerySession`, which shares work between
+    them.
     """
     if not isinstance(store, ColumnarStore):
         store = store.columnar()
-    first = query.steps[0]
-    positions = store.tag_positions(first.test, stats)
-    if first.axis == CHILD:
-        level = store._level
-        positions = store._positions(
-            position for position in positions if level[position] == 0)
-    positions = _attribute_filter(store, first, positions, stats)
+    positions = _first_step_positions(store, query.steps[0], stats)
     for step in query.steps[1:]:
-        cand = store.tag_positions(step.test, stats)
+        cand = store.predicate_positions(step.test, step.attribute,
+                                         stats)
         positions = _match_step(store, positions, cand,
                                 step.axis == CHILD, stats, parallel)
-        positions = _attribute_filter(store, step, positions, stats)
     return [store.elements[position] for position in positions]
 
 
-def _attribute_filter(store: ColumnarStore, step: Step, positions,
-                      stats: Counters):
-    """Apply a step's attribute predicate (one row fetch per candidate)."""
-    if step.attribute is None:
+class QuerySession:
+    """Evaluates a batch of XPath queries against one pinned store.
+
+    Work shared across the batch, on both backends:
+
+    * **leading-step dedup** — step results are memoized under the
+      tuple of ``(axis, test, attribute)`` step keys evaluated so far,
+      so ``//a/b/c`` and ``//a/b/d`` compute ``//a/b`` once (a prefix
+      trie over the batch, flattened into a dict);
+    * **shared context preparation** — when two queries' next steps
+      branch off the same memoized context, the sorted-context
+      ``maximum.accumulate`` structures (:func:`_prepare_context`) are
+      built once and reused for every sibling step;
+    * the store-level per-tag index and pushdown predicate memos.
+
+    Counters reflect work actually performed: a step served from the
+    session cache charges nothing, which is exactly the saving the
+    session exists to make observable.  Sessions are cheap — make one
+    per (re-)pin; the caches die with it, the store's own memos
+    survive into the next pin.
+    """
+
+    def __init__(self, store: Any, stats: Counters = NULL_COUNTERS,
+                 parallel: bool = False):
+        if not isinstance(store, ColumnarStore):
+            store = store.columnar()
+        self.store = store
+        self.stats = stats
+        self.parallel = parallel
+        self._steps: dict[tuple, Any] = {}
+        self._prepared: dict[tuple[int, bool], Any] = {}
+        # cached step results keep every context object alive, so the
+        # id()-keyed prepared-context cache can never alias a recycled
+        # address; belt-and-braces for contexts cached transiently
+        self._keepalive: list[Any] = []
+
+    def positions(self, query: XPathQuery):
+        """Matching document-order positions (the element-free core)."""
+        store, stats = self.store, self.stats
+        key: tuple = ()
+        positions = None
+        for index, step in enumerate(query.steps):
+            key += ((step.axis, step.test, step.attribute),)
+            cached = self._steps.get(key)
+            if cached is not None:
+                positions = cached
+                continue
+            if index == 0:
+                positions = _first_step_positions(store, step, stats)
+            else:
+                cand = store.predicate_positions(
+                    step.test, step.attribute, stats)
+                positions = _match_step(
+                    store, positions, cand, step.axis == CHILD, stats,
+                    self.parallel,
+                    prepared=self._prepare(positions,
+                                           step.axis == CHILD))
+            self._steps[key] = positions
         return positions
-    key, value = step.attribute
-    kept = []
-    for position in positions:
-        stats.tuple_reads += 1
-        if store.elements[position].attributes.get(key) == value:
-            kept.append(position)
-    return store._positions(kept)
+
+    def _prepare(self, context, child_axis: bool):
+        if len(context) == 0:
+            return None
+        cache_key = (id(context), child_axis)
+        prepared = self._prepared.get(cache_key)
+        if prepared is None:
+            prepared = _prepare_context(self.store, context, child_axis)
+            self._prepared[cache_key] = prepared
+            self._keepalive.append(context)
+        return prepared
+
+    def evaluate(self, query: XPathQuery) -> list[XMLElement]:
+        """One query's elements, sharing the session's caches."""
+        elements = self.store.elements
+        return [elements[position] for position in self.positions(query)]
+
+    def evaluate_batch(self, queries: Sequence[XPathQuery]
+                       ) -> list[list[XMLElement]]:
+        """All queries' results, in order, with cross-query sharing."""
+        return [self.evaluate(query) for query in queries]
+
+
+def evaluate_batch(store: Any, queries: Sequence[XPathQuery],
+                   stats: Counters = NULL_COUNTERS,
+                   parallel: bool = False) -> list[list[XMLElement]]:
+    """One-shot :class:`QuerySession` over ``queries`` (result order
+    matches input order; each result list is in document order)."""
+    return QuerySession(store, stats, parallel).evaluate_batch(queries)

@@ -6,8 +6,10 @@ import hypothesis.strategies as st
 import pytest
 from hypothesis import HealthCheck, given, settings
 
+from repro.core import vectorized
 from repro.core.ltree import LTree
-from repro.core.params import FIGURE2_PARAMS, LTreeParams
+from repro.core.params import (FIGURE2_PARAMS, LTreeParams,
+                               spread_digits)
 from repro.core.stats import Counters
 from repro.core.virtual import VirtualLTree
 from repro.errors import KeyNotFound
@@ -168,3 +170,46 @@ class TestVirtualCostShape:
                 checkpoints[index] = stats.node_accesses / index
         # 4x more items should cost well under 4x accesses per op
         assert checkpoints[4096] < checkpoints[1024] * 2.0
+
+
+class TestVectorizedLabelGeneration:
+    """The batch complete_leaf_offsets expansions that now feed
+    bulk_load / _split / _split_root / insert_run_after must be digit
+    for digit what the per-leaf spread_digits loop produced."""
+
+    BACKENDS = ["array"] + \
+        (["numpy"] if vectorized.HAS_NUMPY else [])
+
+    def _drive(self, params, n_ops, seed):
+        rng = random.Random(seed)
+        tree = VirtualLTree(params)
+        tree.bulk_load(range(8))
+        for op in range(n_ops):
+            anchor = rng.choice(tree.labels())
+            roll = rng.random()
+            if roll < 0.45:
+                tree.insert_after(anchor, ("a", op))
+            elif roll < 0.8:
+                tree.insert_before(anchor, ("b", op))
+            else:
+                tree.insert_run_after(
+                    anchor, [("r", op, i) for i in range(rng.randint(2, 6))])
+        tree.validate()
+        return tree.labels()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_backends_produce_identical_labels(self, params, backend):
+        with vectorized.use_backend(backend):
+            produced = self._drive(params, 250, seed=91)
+        baseline = self._drive(params, 250, seed=91)
+        assert produced == baseline
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bulk_load_matches_spread_digits(self, params, backend):
+        with vectorized.use_backend(backend):
+            tree = VirtualLTree(params)
+            labels = tree.bulk_load(range(137))
+        expected = [spread_digits(index, params.arity, params.base,
+                                  tree.height)
+                    for index in range(137)]
+        assert labels == expected

@@ -1,0 +1,335 @@
+"""Incremental re-pins, predicate pushdown, and query sessions.
+
+The contract under test: ``from_snapshot(..., previous=store)`` must be
+*indistinguishable* from a full rebuild — byte-identical columns and
+slices across backends, engine writes, and rebalance epochs — while the
+counters prove it did less work; pushdown and session caching must be
+pure plan changes (same results, fewer probes).
+"""
+
+import pytest
+
+from repro.core import vectorized
+from repro.core.stats import Counters
+from repro.labeling.scheme import LabeledDocument
+from repro.order.registry import make_scheme
+from repro.query.columnar import (ColumnarStore, QuerySession,
+                                  evaluate_batch, evaluate_columnar)
+from repro.query.engine import evaluate_dom
+from repro.query.xpath import parse_xpath
+from repro.workloads.queries import xpath_battery
+from repro.xml.generator import xmark_like
+from repro.xml.parser import parse
+
+BACKENDS = ["array"] + (["numpy"] if vectorized.HAS_NUMPY else [])
+
+
+def _ids(elements):
+    return [id(element) for element in elements]
+
+
+def _open_concurrent(tmp_path, document):
+    labeled = LabeledDocument(document,
+                              scheme=make_scheme("ltree-sharded"))
+    labeled.save(str(tmp_path / "doc"))
+    return LabeledDocument.open(str(tmp_path / "doc"), concurrent=True)
+
+
+def _assert_identical(spliced, rebuilt):
+    """The incremental store is byte-identical to a fresh rebuild."""
+    assert list(spliced._begin) == list(rebuilt._begin)
+    assert list(spliced._end) == list(rebuilt._end)
+    assert list(spliced._level) == list(rebuilt._level)
+    assert spliced.shard_slices == rebuilt.shard_slices
+    assert spliced.pinned_epoch == rebuilt.pinned_epoch
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestIncrementalRepin:
+    def test_same_epoch_returns_previous_store(self, tmp_path, backend):
+        document = xmark_like(25, 12, 9, seed=21)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            stats = Counters()
+            again = ColumnarStore.from_snapshot(
+                reopened, tree.snapshot(), stats, previous=store)
+        assert again is store
+        assert stats.shards_reused > 0
+        assert stats.shards_reextracted == 0
+        reopened.close()
+
+    def test_splice_matches_rebuild_after_writes(self, tmp_path, backend):
+        """Dirty-shard splice == full rebuild, and only the written
+        shards are re-extracted."""
+        document = xmark_like(30, 15, 11, seed=22)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            anchors = list(tree.iter_leaves(include_deleted=False))
+            for step in range(25):
+                tree.insert_after(anchors[step], ("noise", step))
+            snapshot = tree.snapshot()
+            stats = Counters()
+            spliced = ColumnarStore.from_snapshot(
+                reopened, snapshot, stats, previous=store)
+            rebuilt = ColumnarStore.from_snapshot(reopened, snapshot)
+            _assert_identical(spliced, rebuilt)
+            # DOM-stable structures are shared, not copied
+            assert spliced.elements is store.elements
+            assert spliced._by_tag is store._by_tag
+            assert stats.shards_reextracted >= 1
+            assert stats.segments_spliced >= 1
+            assert stats.shards_reextracted + stats.shards_reused <= \
+                tree.shard_count + 1
+            for query in xpath_battery(reopened.document, 10, seed=23):
+                assert _ids(evaluate_columnar(spliced, query)) == \
+                    _ids(evaluate_dom(reopened.document, query))
+        reopened.close()
+
+    def test_chain_of_repins(self, tmp_path, backend):
+        """Repeated edit → re-pin rounds stay identical to rebuilds."""
+        document = xmark_like(20, 10, 7, seed=24)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            for round_number in range(4):
+                anchors = list(tree.iter_leaves(include_deleted=False))
+                stride = max(1, len(anchors) // 10)
+                for i in range(0, len(anchors), stride * (round_number + 1)):
+                    tree.insert_after(anchors[i], ("r", round_number, i))
+                snapshot = tree.snapshot()
+                store = ColumnarStore.from_snapshot(
+                    reopened, snapshot, previous=store)
+                rebuilt = ColumnarStore.from_snapshot(reopened, snapshot)
+                _assert_identical(store, rebuilt)
+        reopened.close()
+
+    def test_splice_across_split_and_merge(self, tmp_path, backend):
+        """Re-pin across rebalance epochs: vanished shards re-resolve
+        through the snapshot's forwarding view."""
+        document = xmark_like(30, 15, 11, seed=25)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            report = tree.shard_report()
+            fat = max(report, key=lambda row: row["live"])
+            left, right = tree.split_shard(fat["id"], fat["live"] // 2)
+            snapshot = tree.snapshot()
+            spliced = ColumnarStore.from_snapshot(
+                reopened, snapshot, previous=store)
+            _assert_identical(
+                spliced, ColumnarStore.from_snapshot(reopened, snapshot))
+            # now merge the halves back and re-pin the spliced store
+            merged = tree.merge_shards(left, right)
+            assert merged is not None
+            snapshot = tree.snapshot()
+            again = ColumnarStore.from_snapshot(
+                reopened, snapshot, previous=spliced)
+            _assert_identical(
+                again, ColumnarStore.from_snapshot(reopened, snapshot))
+            for query in xpath_battery(reopened.document, 8, seed=26):
+                assert _ids(evaluate_columnar(again, query,
+                                              parallel=True)) == \
+                    _ids(evaluate_dom(reopened.document, query))
+        reopened.close()
+
+    def test_compact_epoch_jump_forces_rebuild(self, tmp_path, backend):
+        """Compaction keeps shard ids but rewrites slot maps: the
+        membership-preserving epoch jump must fall back to a full
+        rebuild instead of splicing through stale handles."""
+        document = xmark_like(20, 10, 7, seed=27)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            anchors = list(tree.iter_leaves(include_deleted=False))
+            for step in range(10):
+                tree.insert_after(anchors[step], ("pre-compact", step))
+            tree.compact()
+            snapshot = tree.snapshot()
+            stats = Counters()
+            repinned = ColumnarStore.from_snapshot(
+                reopened, snapshot, stats, previous=store)
+            assert stats.segments_spliced == 0  # rebuilt, not spliced
+            _assert_identical(
+                repinned, ColumnarStore.from_snapshot(reopened, snapshot))
+            for query in xpath_battery(reopened.document, 8, seed=28):
+                assert _ids(evaluate_columnar(repinned, query)) == \
+                    _ids(evaluate_dom(reopened.document, query))
+        reopened.close()
+
+    def test_repin_method_is_from_snapshot_sugar(self, tmp_path, backend):
+        document = xmark_like(15, 8, 6, seed=29)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+            tree.insert_after(next(tree.iter_leaves()), ("x",))
+            snapshot = tree.snapshot()
+            _assert_identical(
+                store.repin(reopened, snapshot),
+                ColumnarStore.from_snapshot(reopened, snapshot))
+        reopened.close()
+
+
+class TestBackendFlipFallback:
+    @pytest.mark.skipif(not vectorized.HAS_NUMPY, reason="needs numpy")
+    def test_backend_flip_forces_rebuild(self, tmp_path):
+        document = xmark_like(15, 8, 6, seed=30)
+        reopened = _open_concurrent(tmp_path, document)
+        tree = reopened.scheme.tree
+        with vectorized.use_backend("numpy"):
+            store = ColumnarStore.from_snapshot(reopened, tree.snapshot())
+        tree.insert_after(next(tree.iter_leaves()), ("x",))
+        snapshot = tree.snapshot()
+        with vectorized.use_backend("array"):
+            stats = Counters()
+            repinned = ColumnarStore.from_snapshot(
+                reopened, snapshot, stats, previous=store)
+            assert repinned.backend == "array"
+            assert stats.segments_spliced == 0
+            _assert_identical(
+                repinned, ColumnarStore.from_snapshot(reopened, snapshot))
+        reopened.close()
+
+
+class TestPushdown:
+    DOCUMENT = ('<site><items>'
+                '<item featured="yes"><name>a</name></item>'
+                '<item featured="no"><name>b</name></item>'
+                '<item featured="yes"><name>c</name></item>'
+                '<item><name>d</name></item>'
+                '</items><extra featured="yes"/></site>')
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("text", [
+        "//item[@featured='yes']",
+        "//item[@featured='yes']/name",
+        "/site/items/item[@featured='no']",
+        "//items/item[@featured='yes']",
+        "//item[@featured='absent']",
+    ])
+    def test_pushdown_matches_dom(self, backend, text):
+        document = parse(self.DOCUMENT)
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_labeled(LabeledDocument(document))
+            query = parse_xpath(text)
+            assert _ids(evaluate_columnar(store, query)) == \
+                _ids(evaluate_dom(document, query)), text
+
+    def test_pruned_candidates_are_counted(self):
+        document = parse(self.DOCUMENT)
+        store = ColumnarStore.from_labeled(LabeledDocument(document))
+        stats = Counters()
+        evaluate_columnar(store, parse_xpath("//item[@featured='yes']"),
+                          stats)
+        # 4 item candidates, 2 survive the predicate
+        assert stats.pushdown_pruned == 2
+
+    def test_predicate_memo_shared_across_queries(self):
+        document = parse(self.DOCUMENT)
+        store = ColumnarStore.from_labeled(LabeledDocument(document))
+        first = Counters()
+        evaluate_columnar(store,
+                          parse_xpath("//item[@featured='yes']/name"),
+                          first)
+        second = Counters()
+        evaluate_columnar(store,
+                          parse_xpath("//item[@featured='yes']/name"),
+                          second)
+        # the memo hit scans 2 filtered positions instead of 4 candidates
+        assert second.tuple_reads < first.tuple_reads
+
+    def test_pushdown_equals_post_filter_plan(self, tmp_path):
+        """Filtering before the join returns exactly the elements the
+        unfiltered plan would keep after a manual post-filter."""
+        document = xmark_like(20, 10, 7, seed=31)
+        reopened = _open_concurrent(tmp_path, document)
+        store = ColumnarStore.from_snapshot(reopened,
+                                            reopened.scheme.tree.snapshot())
+        for text, plain in (("//item[@id='item3']", "//item"),
+                            ("//item[@id='item3']/name", None)):
+            pushed = evaluate_columnar(store, parse_xpath(text))
+            if plain is not None:
+                unfiltered = evaluate_columnar(store, parse_xpath(plain))
+                manual = [element for element in unfiltered
+                          if element.attributes.get("id") == "item3"]
+                assert _ids(pushed) == _ids(manual)
+            assert _ids(pushed) == \
+                _ids(evaluate_dom(reopened.document, parse_xpath(text)))
+        reopened.close()
+
+
+class TestQuerySession:
+    QUERIES = ["//item/name", "//item/description", "/site//increase",
+               "/site/regions//item", "//item", "//open_auction/bidder",
+               "//open_auction/bidder/increase", "//person//city"]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_matches_individual_evaluation(self, backend):
+        document = xmark_like(25, 12, 9, seed=32)
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_labeled(LabeledDocument(document))
+            queries = [parse_xpath(text) for text in self.QUERIES]
+            batched = evaluate_batch(store, queries)
+            for query, result in zip(queries, batched):
+                assert _ids(result) == \
+                    _ids(evaluate_columnar(store, query))
+                assert _ids(result) == \
+                    _ids(evaluate_dom(document, query))
+
+    def test_shared_prefix_is_computed_once(self):
+        document = xmark_like(25, 12, 9, seed=33)
+        store = ColumnarStore.from_labeled(LabeledDocument(document))
+        solo = Counters()
+        for text in ("//open_auction/bidder/increase",
+                     "//open_auction/bidder/date"):
+            evaluate_columnar(store, parse_xpath(text), solo)
+        shared = Counters()
+        session = QuerySession(store, shared)
+        for text in ("//open_auction/bidder/increase",
+                     "//open_auction/bidder/date"):
+            session.evaluate(parse_xpath(text))
+        # the //open_auction/bidder prefix ran once, not twice
+        assert shared.comparisons < solo.comparisons
+        assert shared.tuple_reads < solo.tuple_reads
+
+    def test_repeated_query_served_from_cache(self):
+        document = xmark_like(15, 8, 6, seed=34)
+        store = ColumnarStore.from_labeled(LabeledDocument(document))
+        stats = Counters()
+        session = QuerySession(store, stats)
+        first = session.evaluate(parse_xpath("//item/name"))
+        cost_once = stats.snapshot()
+        second = session.evaluate(parse_xpath("//item/name"))
+        assert _ids(first) == _ids(second)
+        assert stats.comparisons == cost_once.comparisons
+
+    def test_session_over_interval_store(self):
+        from repro.storage.interval_table import IntervalTableStore
+
+        document = xmark_like(10, 5, 4, seed=35)
+        interval = IntervalTableStore(LabeledDocument(document))
+        session = QuerySession(interval)
+        for text in self.QUERIES[:4]:
+            query = parse_xpath(text)
+            assert _ids(session.evaluate(query)) == \
+                _ids(evaluate_dom(document, query))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_session_with_attribute_queries(self, backend):
+        document = xmark_like(20, 10, 7, seed=36)
+        with vectorized.use_backend(backend):
+            store = ColumnarStore.from_labeled(LabeledDocument(document))
+            texts = ["//item[@id='item2']", "//item",
+                     "//item[@id='item2']/name", "//item/name",
+                     "//person[@id='person1']//city"]
+            queries = [parse_xpath(text) for text in texts]
+            for query, result in zip(queries,
+                                     evaluate_batch(store, queries)):
+                assert _ids(result) == _ids(evaluate_dom(document, query))
