@@ -2,10 +2,10 @@
 
 Usage::
 
-    python benchmarks/run_all.py              # writes BENCH_PR9.json
+    python benchmarks/run_all.py              # writes BENCH_PR10.json
     python benchmarks/run_all.py --out path.json --scale 0.2
 
-Runs the eleven headline suites — bulk load, random single inserts,
+Runs the twelve headline suites — bulk load, random single inserts,
 §4.1 run inserts, the query-containment plan, byte-image restore, the
 sharded-vs-flat engine head-to-head, the concurrent document
 service (writer scaling over disjoint shards, group-commit vs per-op
@@ -15,15 +15,18 @@ snapshot-query throughput under a live writer), incremental columnar
 maintenance (re-pin-vs-rebuild after an edit batch, batched
 multi-query sessions with a splice per batch under a live writer),
 online shard rebalancing (skewed-tail insert cost with the
-split/merge policy on vs off), and fault injection (crash-storm
+split/merge policy on vs off), fault injection (crash-storm
 coverage over the declared failpoint surface, worst-case WAL replay,
-scrub/repair throughput) — and writes one machine-readable record to
-``BENCH_PR9.json`` at the repo root.  That file is the tracked perf
+scrub/repair throughput), and observability (the ``repro.obs``
+enabled-vs-disabled overhead on an uninstrumented hot path and on the
+fully instrumented service write path, plus the latency histograms
+the on-run recorded) — and writes one machine-readable record to
+``BENCH_PR10.json`` at the repo root.  That file is the tracked perf
 trajectory: every future perf PR re-runs this harness and compares
 against the committed baseline instead of re-deriving numbers from
 prose.  CI regenerates the JSON, uploads it as an artifact, and runs
 ``benchmarks/compare_baselines.py`` against the previous committed
-baseline (``BENCH_PR8.json``), failing on regressions in the metrics
+baseline (``BENCH_PR9.json``), failing on regressions in the metrics
 that are comparable across machines.
 
 The suites deliberately measure through the public entry points the rest
@@ -804,6 +807,85 @@ def suite_faults(scale: float) -> dict:
     }
 
 
+def suite_observability(scale: float) -> dict:
+    """What turning on ``repro.obs`` costs, measured where it matters.
+
+    * **bulk_load leg** — the pure-engine hot path (``CompactLTree``
+      crosses no instrumented seams) run with observability off and on
+      in interleaved best-of rounds.  ``enabled_overhead_ratio`` is the
+      CI-gated number: flipping metrics+tracing on must not perturb
+      uninstrumented code at all, because every seam hoists a single
+      ``.enabled`` attribute check.
+    * **service leg** — a ``ConcurrentDocument`` write workload that
+      crosses *every* instrumented seam (WAL append/group commit, page
+      store, shard lock waits, service commit/checkpoint), again off vs
+      on, plus the commit-latency histograms the on-rounds accumulated
+      (``service.commit.seconds`` / ``wal.commit.seconds`` p50/p99) —
+      the numbers a ``metrics()`` scrape actually serves.
+    """
+    import shutil
+    import tempfile
+
+    from repro import obs
+    from repro.concurrent import ConcurrentDocument
+
+    n = max(2000, int(60_000 * scale))
+    n_ops = max(300, int(2500 * scale))
+    rounds = 4
+
+    def bulk_round():
+        CompactLTree(PARAMS).bulk_load(range(n))
+
+    def service_round():
+        directory = tempfile.mkdtemp(prefix="bench-obs-")
+        doc = ConcurrentDocument.create(f"{directory}/svc",
+                                        params=PARAMS, n_shards=4,
+                                        group_commit=64)
+        handles = doc.bulk_load(range(max(64, n_ops // 10)))
+        rng = random.Random(11)
+        for step in range(n_ops):
+            anchor = handles[rng.randrange(len(handles))]
+            handles.append(doc.insert_after(anchor, step))
+        doc.commit()
+        doc.checkpoint()
+        doc.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+    obs.disable()
+    obs.reset()
+    legs = {}
+    try:
+        for leg, body in (("bulk_load", bulk_round),
+                          ("service", service_round)):
+            off = on = float("inf")
+            # interleaved so drift (thermal, cache) hits both sides
+            for _ in range(rounds):
+                obs.disable()
+                start = time.perf_counter()
+                body()
+                off = min(off, time.perf_counter() - start)
+                obs.enable()
+                start = time.perf_counter()
+                body()
+                on = min(on, time.perf_counter() - start)
+            legs[leg] = {
+                "off_seconds": off,
+                "on_seconds": on,
+                "enabled_overhead_ratio": round(on / off, 4),
+            }
+        legs["bulk_load"]["n_leaves"] = n
+        legs["service"]["n_ops"] = n_ops
+        legs["service"]["histograms"] = {
+            name: obs.METRICS.histogram(name)
+            for name in ("service.commit.seconds", "wal.commit.seconds",
+                         "wal.commit.batch_records")}
+    finally:
+        obs.disable()
+        obs.reset()
+    legs["backend"] = vectorized.get_backend()
+    return legs
+
+
 SUITES = {
     "bulk_load": suite_bulk_load,
     "random_insert": suite_random_insert,
@@ -816,12 +898,13 @@ SUITES = {
     "query": suite_query,
     "query_incremental": suite_query_incremental,
     "faults": suite_faults,
+    "observability": suite_observability,
 }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR9.json"),
+    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR10.json"),
                         help="output JSON path (default: repo root)")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="shrink suite sizes (e.g. 0.2 for CI smoke)")
@@ -833,7 +916,7 @@ def main(argv=None) -> int:
         numpy_version = numpy.__version__
     record = {
         "schema": 1,
-        "baseline": "PR9",
+        "baseline": "PR10",
         "created_unix": round(time.time(), 3),
         "python": platform.python_version(),
         "platform": platform.platform(),

@@ -54,11 +54,14 @@ the write-ahead log in here).
 
 from __future__ import annotations
 
+import inspect
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.concurrent.locks import ShardLockTable
+from repro.obs import METRICS, TRACER
 from repro.core.params import LTreeParams
 from repro.core.sharded import (RebalancePolicy, _Shard,
                                 ShardedCompactLTree)
@@ -276,6 +279,11 @@ class ConcurrentLTree:
         engine.directory_mutex = self._directory_latch
         self._versions: dict[int, int] = {sid: 0
                                           for sid in engine.shard_ids}
+        #: shard id -> labeled writes applied; always on (one dict
+        #: increment under the shard's already-held write lock) because
+        #: workload-aware rebalancing reads it — see :meth:`write_counts`
+        self._write_counts: dict[int, int] = {sid: 0
+                                              for sid in engine.shard_ids}
         #: shard id -> (version, image, live, meta) pinned-image cache
         self._image_cache: dict[int, tuple] = {}
         #: stop-the-world stride bumps performed (mirrors the engine's
@@ -405,7 +413,15 @@ class ConcurrentLTree:
                     # retired between resolve and lookup (commit in
                     # flight); the forwarding entry is already there
                     continue
-                if write:
+                if METRICS.enabled:
+                    t0 = time.perf_counter()
+                    if write:
+                        lock.acquire_write()
+                    else:
+                        lock.acquire_read()
+                    METRICS.observe("engine.lock_wait.seconds",
+                                    time.perf_counter() - t0)
+                elif write:
                     lock.acquire_write()
                 else:
                     lock.acquire_read()
@@ -441,7 +457,13 @@ class ConcurrentLTree:
                 lock = locks.lock_for(sid)
                 if lock is None:
                     continue
-                lock.acquire_write()
+                if METRICS.enabled:
+                    t0 = time.perf_counter()
+                    lock.acquire_write()
+                    METRICS.observe("engine.lock_wait.seconds",
+                                    time.perf_counter() - t0)
+                else:
+                    lock.acquire_write()
                 ids = engine.shard_ids
                 if (ids[-1] if last else ids[0]) == sid:
                     break
@@ -455,6 +477,8 @@ class ConcurrentLTree:
         """Version bump, journaling, and the deferred stride bump — all
         while the caller still holds shard ``shard_id``'s write lock."""
         self._versions[shard_id] += 1
+        counts = self._write_counts
+        counts[shard_id] = counts.get(shard_id, 0) + 1
         if op is not None and self._journal is not None:
             self._journal(op)
         if self._engine.needs_directory_growth(shard_id):
@@ -532,6 +556,8 @@ class ConcurrentLTree:
             handles = self._engine.bulk_load(items, boundaries=boundaries)
             self._locks.set_shards(self._engine.shard_ids)
             self._versions = {sid: 1 for sid in self._engine.shard_ids}
+            self._write_counts = {sid: 0
+                                  for sid in self._engine.shard_ids}
             self._image_cache.clear()
             if self._journal is not None:
                 self._journal({
@@ -593,6 +619,7 @@ class ConcurrentLTree:
                     locks.add_shards(ids)
                     for sid in ids:
                         self._versions[sid] = 1
+                        self._write_counts[sid] = 0
                     if self._journal is not None:
                         self._journal({"op": "split", "id": shard_id,
                                        "at": at_leaf, "new": list(ids)})
@@ -609,8 +636,10 @@ class ConcurrentLTree:
                     locks.drop_shards(granted)
                     for sid in granted:
                         self._versions.pop(sid, None)
+                        self._write_counts.pop(sid, None)
                     raise
                 self._versions.pop(shard_id, None)
+                self._write_counts.pop(shard_id, None)
                 self._image_cache.pop(shard_id, None)
                 locks.drop_shards((shard_id,))
                 self._fire_hook("split:committed", shard_id, new_ids)
@@ -651,6 +680,7 @@ class ConcurrentLTree:
                         granted.append(sid)
                         locks.add_shards((sid,))
                         self._versions[sid] = 1
+                        self._write_counts[sid] = 0
                         if self._journal is not None:
                             self._journal({"op": "merge", "a": id_a,
                                            "b": id_b, "new": sid})
@@ -665,9 +695,11 @@ class ConcurrentLTree:
                         locks.drop_shards(granted)
                         for sid in granted:
                             self._versions.pop(sid, None)
+                            self._write_counts.pop(sid, None)
                         raise
                     for sid in (first, second):
                         self._versions.pop(sid, None)
+                        self._write_counts.pop(sid, None)
                         self._image_cache.pop(sid, None)
                     locks.drop_shards((first, second))
                     self._fire_hook("merge:committed", first, second,
@@ -678,6 +710,21 @@ class ConcurrentLTree:
             finally:
                 lock_a.release_write()
 
+    def write_counts(self) -> dict[int, int]:
+        """Labeled writes applied per live shard since load/creation.
+
+        The live workload signal :meth:`rebalance` hands to
+        ``RebalancePolicy.plan(report, workload=...)`` and
+        ``ConcurrentDocument.metrics()`` turns into per-shard write
+        rates.  A shard's count resets when it is created (split/merge
+        child, bulk_load) and is retired with the shard.
+        """
+        while True:
+            try:
+                return dict(self._write_counts)
+            except RuntimeError:    # resized by a racing split/merge
+                continue
+
     def rebalance(self, policy: Optional[RebalancePolicy] = None,
                   max_rounds: int = 4) -> list[dict]:
         """Plan (under a read cut) and apply rebalance actions online.
@@ -685,25 +732,42 @@ class ConcurrentLTree:
         Each action locks only its involved shards; an action that
         loses a race to a concurrent writer's rebalance (its shard id
         vanished) is simply skipped and the next round re-plans from a
-        fresh report.  Returns the actions performed.
+        fresh report.  A policy whose ``plan`` accepts a ``workload``
+        keyword is fed :meth:`write_counts`, so hot shards split on
+        write pressure before occupancy alone would trigger.  Returns
+        the actions performed.
         """
         policy = policy or RebalancePolicy()
+        takes_workload = "workload" in inspect.signature(
+            policy.plan).parameters
         performed: list[dict] = []
         for _ in range(max_rounds):
-            actions = policy.plan(self.shard_report())
+            if takes_workload:
+                actions = policy.plan(self.shard_report(),
+                                      workload=self.write_counts())
+            else:
+                actions = policy.plan(self.shard_report())
             if not actions:
                 break
             applied = 0
             for action in actions:
                 try:
                     if action[0] == "split":
-                        new_ids = self.split_shard(action[1], action[2])
+                        with TRACER.span("engine.split", shard=action[1],
+                                         at=action[2]) as span:
+                            new_ids = self.split_shard(action[1],
+                                                       action[2])
+                            span.set(new=list(new_ids))
                         performed.append({"action": "split",
                                           "shard": action[1],
                                           "at": action[2],
                                           "new": list(new_ids)})
                     else:
-                        new_id = self.merge_shards(action[1], action[2])
+                        with TRACER.span("engine.merge", a=action[1],
+                                         b=action[2]) as span:
+                            new_id = self.merge_shards(action[1],
+                                                       action[2])
+                            span.set(new=new_id)
                         performed.append({"action": "merge",
                                           "shards": [action[1],
                                                      action[2]],

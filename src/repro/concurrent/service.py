@@ -49,6 +49,7 @@ from repro.core.sharded import (DEFAULT_N_SHARDS, RebalancePolicy,
                                 ShardedCompactLTree)
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.errors import ParameterError, RecoveryError, StorageError
+from repro.obs import METRICS, TRACER
 from repro.storage.faults import FAILPOINTS, failpoint
 from repro.storage.pages import PageStore
 from repro.storage.wal import WriteAheadLog
@@ -189,6 +190,14 @@ class ConcurrentDocument:
         #: last checkpoint failure, if the most recent attempt failed
         #: (see :meth:`health`)
         self._last_checkpoint_error: Optional[dict] = None
+        #: wall-clock stamp of the last successful checkpoint — carried
+        #: in the meta blob, so it survives a reopen (see :meth:`health`)
+        self._last_checkpoint_unix: Optional[float] = \
+            meta.get("checkpoint_unix")
+        #: (monotonic stamp, per-shard write counts) at the last
+        #: :meth:`metrics` call — the write-rate baseline
+        self._rate_mark: tuple[float, dict] = (time.monotonic(),
+                                               tree.write_counts())
 
     # ------------------------------------------------------------------
     # construction and recovery
@@ -329,8 +338,19 @@ class ConcurrentDocument:
                     n_shards=meta["n_shards"],
                     shard_stats=shard_stats)
             failpoint("service:open:pre-replay", directory=directory)
-            for _seq, op in wal.replay(after_seq=checkpoint_seq):
-                apply_logged_op(engine, op)
+            replay_start = time.perf_counter()
+            replayed = 0
+            with TRACER.span("service.recovery",
+                             directory=directory) as span:
+                for _seq, op in wal.replay(after_seq=checkpoint_seq):
+                    apply_logged_op(engine, op)
+                    replayed += 1
+                span.set(replayed=replayed)
+            if METRICS.enabled:
+                METRICS.observe("service.recovery.seconds",
+                                time.perf_counter() - replay_start)
+                METRICS.inc("service.recoveries")
+                METRICS.inc("service.ops_replayed", replayed)
         except BaseException:
             wal.close()
             store.close()
@@ -424,11 +444,15 @@ class ConcurrentDocument:
         policy = policy or self.rebalance_policy
         if policy is None:
             return []
-        performed = self.tree.rebalance(policy)
+        with TRACER.span("service.rebalance") as span:
+            performed = self.tree.rebalance(policy)
+            span.set(actions=len(performed))
         if performed:
             failpoint("service:rebalance:post-actions",
                       performed=performed)
             self.wal.commit()
+            if METRICS.enabled:
+                METRICS.inc("service.rebalance_actions", len(performed))
         return performed
 
     # ------------------------------------------------------------------
@@ -436,7 +460,15 @@ class ConcurrentDocument:
     # ------------------------------------------------------------------
     def commit(self) -> None:
         """Force the buffered WAL batch out (group commit boundary)."""
+        if not METRICS.enabled:
+            self.wal.commit()
+            return
+        t0 = time.perf_counter()
         self.wal.commit()
+        METRICS.observe("service.commit.seconds",
+                        time.perf_counter() - t0)
+        METRICS.gauge("service.wal_backlog",
+                      self.wal.last_seq - self.checkpoint_seq)
 
     def checkpoint(self, include_payloads: bool = True,
                    best_effort: bool = False) -> Optional[int]:
@@ -466,27 +498,35 @@ class ConcurrentDocument:
         otherwise it re-raises after recording.
         """
         try:
-            with self.tree.exclusive():
-                self.wal.commit()
-                watermark = self.wal.last_seq
-                meta = dict(self._meta)
-                meta["checkpoint_seq"] = watermark
-                failpoint("service:checkpoint:pre-save",
-                          watermark=watermark)
-                # the raw engine: the latch is held (not reentrant)
-                self.tree.engine.save(
-                    self.store, SCHEME_BLOB,
-                    include_payloads=include_payloads,
-                    extra_blobs={
-                        SERVICE_META_BLOB:
-                            json.dumps(meta).encode("utf-8")})
-                self._meta = meta
-                self.checkpoint_seq = watermark
-                failpoint("service:checkpoint:post-save",
-                          watermark=watermark)
-                self.wal.truncate(watermark + 1)
-                failpoint("service:checkpoint:post-truncate",
-                          watermark=watermark)
+            with TRACER.span("service.checkpoint") as span:
+                # the pause is the exclusive hold: the window no writer
+                # can journal an op — the stall an operator feels
+                pause_start = time.perf_counter()
+                with self.tree.exclusive():
+                    self.wal.commit()
+                    watermark = self.wal.last_seq
+                    meta = dict(self._meta)
+                    meta["checkpoint_seq"] = watermark
+                    meta["checkpoint_unix"] = round(time.time(), 3)
+                    failpoint("service:checkpoint:pre-save",
+                              watermark=watermark)
+                    # the raw engine: the latch is held (not reentrant)
+                    self.tree.engine.save(
+                        self.store, SCHEME_BLOB,
+                        include_payloads=include_payloads,
+                        extra_blobs={
+                            SERVICE_META_BLOB:
+                                json.dumps(meta).encode("utf-8")})
+                    self._meta = meta
+                    self.checkpoint_seq = watermark
+                    failpoint("service:checkpoint:post-save",
+                              watermark=watermark)
+                    self.wal.truncate(watermark + 1)
+                    failpoint("service:checkpoint:post-truncate",
+                              watermark=watermark)
+                pause = time.perf_counter() - pause_start
+                span.set(watermark=watermark,
+                         pause_seconds=round(pause, 6))
         except (StorageError, OSError) as exc:
             self._last_checkpoint_error = {
                 "stage": "checkpoint",
@@ -499,6 +539,14 @@ class ConcurrentDocument:
                 return None
             raise
         self._last_checkpoint_error = None
+        self._last_checkpoint_unix = meta["checkpoint_unix"]
+        if METRICS.enabled:
+            METRICS.observe("service.checkpoint.seconds", pause)
+            METRICS.inc("service.checkpoints")
+            METRICS.gauge("service.checkpoint_pause_seconds",
+                          round(pause, 6))
+            METRICS.gauge("service.wal_backlog",
+                          self.wal.last_seq - self.checkpoint_seq)
         # background maintenance between checkpoints: the rebalance
         # records land in the *fresh* WAL (sequence numbers above the
         # watermark), so a crash from here on replays them against the
@@ -517,8 +565,16 @@ class ConcurrentDocument:
         recovery would need (the figure that grows until a checkpoint
         succeeds again).  ``last_error`` carries the failure's stage,
         exception type, message and time.
+
+        ``wal_backlog`` is the replay debt in records (``wal_last_seq``
+        minus the checkpoint watermark — the same figure as
+        ``wal_records_since_checkpoint``, named for operators watching
+        it as a gauge), and ``seconds_since_checkpoint`` is the age of
+        the last successful checkpoint (``None`` until one lands; the
+        stamp rides in the meta blob, so the age survives a reopen).
         """
         degraded = self._last_checkpoint_error is not None
+        last_unix = self._last_checkpoint_unix
         return {
             "status": "degraded" if degraded else "ok",
             "checkpoint_seq": self.checkpoint_seq,
@@ -526,7 +582,59 @@ class ConcurrentDocument:
             "wal_pending_records": self.wal.pending_records,
             "wal_records_since_checkpoint":
                 self.wal.last_seq - self.checkpoint_seq,
+            "wal_backlog": self.wal.last_seq - self.checkpoint_seq,
+            "last_checkpoint_unix": last_unix,
+            "seconds_since_checkpoint":
+                round(time.time() - last_unix, 3)
+                if last_unix is not None else None,
             "last_error": self._last_checkpoint_error,
+        }
+
+    def metrics(self) -> dict:
+        """Everything :meth:`health` says plus the live numbers.
+
+        Always present (no instrumentation required): the ``health``
+        dict, WAL counters off the log object, the page store's
+        :meth:`~repro.storage.pages.PageStore.cache_stats`, and
+        per-shard write counts/rates (rates are measured over the
+        interval since the previous ``metrics()`` call).  When the
+        :data:`repro.obs.METRICS` registry is enabled, its merged
+        ``counters``/``gauges``/``histograms`` ride along — that is
+        where the commit/checkpoint latency histograms (p50/p95/p99)
+        live.  See ``docs/observability.md`` for the name catalog.
+        """
+        now = time.monotonic()
+        counts = self.tree.write_counts()
+        mark_time, mark_counts = self._rate_mark
+        interval = max(now - mark_time, 1e-9)
+        rates = {sid: round((count - mark_counts.get(sid, 0)) / interval,
+                            3)
+                 for sid, count in counts.items()}
+        self._rate_mark = (now, counts)
+        if METRICS.enabled:
+            METRICS.gauge("service.wal_backlog",
+                          self.wal.last_seq - self.checkpoint_seq)
+        snapshot = METRICS.snapshot()
+        return {
+            "health": self.health(),
+            "wal": {
+                "last_seq": self.wal.last_seq,
+                "backlog": self.wal.last_seq - self.checkpoint_seq,
+                "pending_records": self.wal.pending_records,
+                "commits": self.wal.commits,
+                "fsyncs": self.wal.fsyncs,
+                "records_appended": self.wal.records_appended,
+                "dropped_bytes": self.wal.dropped_bytes,
+            },
+            "cache": self.store.cache_stats(),
+            "shards": {
+                "write_counts": counts,
+                "write_rates_per_sec": rates,
+                "interval_seconds": round(interval, 3),
+            },
+            "counters": snapshot["counters"],
+            "gauges": snapshot["gauges"],
+            "histograms": snapshot["histograms"],
         }
 
     def close(self) -> None:

@@ -338,17 +338,31 @@ class RebalancePolicy:
       adjacent small neighbor so the directory stops charging a whole
       stride of label space to a near-empty arena.
 
+    A third trigger activates only when the caller has live workload
+    stats to offer (``plan(report, workload=...)``, a shard id → write
+    count mapping such as ``ConcurrentLTree.write_counts()``):
+
+    * **write heat** — a shard absorbing more than ``hot_write_ratio``
+      × the mean write count is a lock-contention point *before* it is
+      an occupancy problem (every writer routed there serializes on one
+      RW lock).  It is split at its midpoint even though its live count
+      alone would not trigger, spreading the hot key range over two
+      locks.
+
     ``plan`` returns non-overlapping actions (each shard appears in at
     most one), so an applier can perform them all and re-plan.
-    Deterministic: equal reports yield equal plans, which is what lets
-    a WAL replay reproduce a policy-driven rebalance exactly.
+    Deterministic: equal reports (and equal workloads) yield equal
+    plans — and the applier journals the resulting split/merge records,
+    so a WAL replay reproduces a workload-driven rebalance exactly
+    without re-running the policy.
     """
 
     def __init__(self, max_ratio: float = 4.0,
                  min_split_leaves: int = 32,
                  tombstone_ratio: float = 0.5,
                  max_shards: int = 64,
-                 min_shards: int = 1):
+                 min_shards: int = 1,
+                 hot_write_ratio: float = 4.0):
         if max_ratio <= 1.0:
             raise ParameterError(
                 f"max_ratio must be > 1, got {max_ratio}")
@@ -359,13 +373,18 @@ class RebalancePolicy:
             raise ParameterError(
                 f"tombstone_ratio must be in (0, 1], got "
                 f"{tombstone_ratio}")
+        if hot_write_ratio <= 1.0:
+            raise ParameterError(
+                f"hot_write_ratio must be > 1, got {hot_write_ratio}")
         self.max_ratio = float(max_ratio)
         self.min_split_leaves = int(min_split_leaves)
         self.tombstone_ratio = float(tombstone_ratio)
         self.max_shards = int(max_shards)
         self.min_shards = max(1, int(min_shards))
+        self.hot_write_ratio = float(hot_write_ratio)
 
-    def plan(self, report: Sequence[dict]) -> list[tuple]:
+    def plan(self, report: Sequence[dict],
+             workload: Optional[dict] = None) -> list[tuple]:
         """``[("split", id, at_leaf), ("merge", id_a, id_b), ...]``."""
         if not report:
             return []
@@ -381,6 +400,22 @@ class RebalancePolicy:
             if row["live"] > self.max_ratio * max(mean_live, 1.0):
                 actions.append(("split", row["id"], row["leaves"] // 2))
                 claimed.add(row["id"])
+
+        if workload:
+            mean_writes = (sum(workload.get(row["id"], 0)
+                               for row in report) / len(report))
+            for row in report:
+                if n_shards + len(actions) >= self.max_shards:
+                    break
+                if row["id"] in claimed:
+                    continue
+                if row["leaves"] < self.min_split_leaves:
+                    continue
+                if workload.get(row["id"], 0) > \
+                        self.hot_write_ratio * max(mean_writes, 1.0):
+                    actions.append(("split", row["id"],
+                                    row["leaves"] // 2))
+                    claimed.add(row["id"])
 
         def undersized(row: dict) -> bool:
             if row["live"] < mean_live / self.max_ratio:

@@ -1,0 +1,87 @@
+"""repro.obs — engine-wide observability.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry`
+(:data:`METRICS`) and one :class:`~repro.obs.trace.Tracer`
+(:data:`TRACER`), both **disabled by default**: every instrumented
+seam in the engine hoists a single ``.enabled`` attribute check, so
+the uninstrumented hot paths pay ~zero (see the overhead guard in
+``tests/obs/`` and the CI-gated ``observability`` benchmark suite).
+
+Switch on programmatically::
+
+    from repro import obs
+    obs.enable()            # metrics + tracing
+    ...workload...
+    print(obs.METRICS.snapshot())
+    obs.TRACER.export_jsonl("trace.jsonl")
+    obs.disable()
+
+or from the environment, read once at import:
+
+* ``REPRO_OBS=1`` / ``all`` / ``on`` — enable metrics and tracing;
+  ``metrics`` or ``trace`` enables just that half.
+* ``REPRO_OBS_SLOW_MS=250`` — slow-op log threshold in milliseconds.
+
+Companion modules: :mod:`repro.obs.export` renders the registry in
+Prometheus text exposition format; ``python -m repro.obs.report``
+pretty-prints an exported JSONL trace.  The metric and span name
+catalog lives in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, read_jsonl
+
+__all__ = [
+    "METRICS", "TRACER", "MetricsRegistry", "Tracer",
+    "enable", "disable", "enabled", "reset", "read_jsonl",
+]
+
+#: the process-wide metrics registry every instrumented seam writes to
+METRICS = MetricsRegistry()
+#: the process-wide tracer every instrumented seam emits spans into
+TRACER = Tracer()
+
+
+def enable(metrics: bool = True, trace: bool = True) -> None:
+    """Turn instrumentation on (both halves by default)."""
+    if metrics:
+        METRICS.enable()
+    if trace:
+        TRACER.enable()
+
+
+def disable() -> None:
+    """Turn all instrumentation off (recorded data is kept)."""
+    METRICS.disable()
+    TRACER.disable()
+
+
+def enabled() -> bool:
+    """True when either half is collecting."""
+    return METRICS.enabled or TRACER.enabled
+
+
+def reset() -> None:
+    """Drop all recorded metrics and trace records."""
+    METRICS.reset()
+    TRACER.clear()
+
+
+_env = os.environ.get("REPRO_OBS", "").strip().lower()
+if _env in ("1", "on", "all", "true", "yes"):
+    enable()
+elif _env == "metrics":
+    enable(metrics=True, trace=False)
+elif _env == "trace":
+    enable(metrics=False, trace=True)
+
+_slow = os.environ.get("REPRO_OBS_SLOW_MS", "").strip()
+if _slow:
+    try:
+        TRACER.slow_op_seconds = float(_slow) / 1000.0
+    except ValueError:
+        pass

@@ -1,0 +1,75 @@
+"""Prometheus text exposition of a :class:`MetricsRegistry`.
+
+:func:`render_prometheus` turns the registry's merged state into the
+`text exposition format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+a scraper (or a human) expects:
+
+* counters become ``repro_<name>_total``;
+* gauges become ``repro_<name>``;
+* histograms become the ``_bucket{le="..."}`` cumulative series plus
+  ``_sum`` and ``_count``, with trailing all-empty buckets collapsed
+  into the mandatory ``le="+Inf"`` row to keep the page readable.
+
+Metric names are mangled dots-to-underscores (``wal.commit.seconds``
+→ ``repro_wal_commit_seconds``) and prefixed ``repro_`` so the engine
+namespaces cleanly next to other exporters.  The serving tier
+(ROADMAP item 1) can mount this behind a ``/metrics`` route verbatim.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry, bucket_bound
+
+_MANGLE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def mangle(name: str) -> str:
+    """``wal.commit.seconds`` → ``repro_wal_commit_seconds``."""
+    return "repro_" + _MANGLE.sub("_", name)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(registry: MetricsRegistry = None) -> str:
+    """The registry's state in Prometheus text exposition format."""
+    if registry is None:
+        from repro import obs
+        registry = obs.METRICS
+    lines = []
+
+    for name in sorted(registry.counters()):
+        value = registry.counters()[name]
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+
+    for name, value in sorted(registry.gauges().items()):
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, raw in sorted(registry.histogram_buckets().items()):
+        base, buckets, count, total, _maximum = raw
+        metric = mangle(name)
+        lines.append(f"# TYPE {metric} histogram")
+        last = -1
+        for index, bucket in enumerate(buckets):
+            if bucket:
+                last = index
+        cumulative = 0
+        for index in range(last + 1):
+            cumulative += buckets[index]
+            bound = bucket_bound(index, base)
+            lines.append(
+                f'{metric}_bucket{{le="{repr(bound)}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{metric}_sum {_format_value(total)}")
+        lines.append(f"{metric}_count {count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

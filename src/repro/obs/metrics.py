@@ -1,0 +1,266 @@
+"""Process-wide metrics registry: counters, gauges, latency histograms.
+
+The paper's §3.1 cost model (:mod:`repro.core.stats`) counts *node
+touches*; this module counts *time and traffic* — the quantities an
+operator of the grown storage engine watches: WAL commit latency,
+group-commit batch sizes, checkpoint pauses, buffer-pool hit rates,
+per-shard write rates.  Three metric kinds:
+
+* **counters** — monotonically increasing named integers
+  (``wal.fsyncs``, ``query.session.step_hits``);
+* **gauges** — last-write-wins named values
+  (``service.wal_backlog``, ``pages.pool_hit_rate``);
+* **histograms** — fixed log₂-bucket distributions with
+  p50/p95/p99/max extraction.  A name ending in ``.seconds`` buckets
+  from :data:`SECONDS_BASE` (1 µs); any other name buckets from
+  :data:`UNIT_BASE` (1), which suits counts and sizes
+  (``wal.commit.batch_records``).
+
+**Thread safety without hot-path locks.**  Counter increments and
+histogram observations land in a *per-thread shard* (a
+``threading.local``), so concurrent writers never contend; the read
+side (:meth:`MetricsRegistry.snapshot`) merges every shard under the
+registry lock.  Merged totals are exact — each observation lives in
+exactly one shard — though a snapshot taken mid-write may be one
+in-flight increment stale, like any monitoring read.
+
+**The ``enabled`` fast path.**  Mirroring
+:class:`repro.core.stats.NullCounters`, the registry starts *disabled*
+and instrumented call sites hoist one ``METRICS.enabled`` attribute
+check before doing any work — the uninstrumented engine pays a single
+boolean read per seam, nothing per record/slot.  Enable explicitly
+(``repro.obs.enable()``) or via the ``REPRO_OBS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Optional
+
+#: buckets per histogram; bucket ``k`` covers ``(base·2^(k-1), base·2^k]``
+#: (bucket 0 absorbs everything at or below ``base``), so 64 buckets
+#: span 1 µs .. ~584 000 years for ``.seconds`` histograms
+N_BUCKETS = 64
+#: bucket floor of ``*.seconds`` histograms — 1 microsecond
+SECONDS_BASE = 1e-6
+#: bucket floor of dimensionless histograms (batch sizes, counts)
+UNIT_BASE = 1.0
+
+
+def histogram_base(name: str) -> float:
+    """The log-grid floor a histogram name implies (see module doc)."""
+    return SECONDS_BASE if name.endswith(".seconds") else UNIT_BASE
+
+
+def bucket_index(value: float, base: float) -> int:
+    """Index of the log₂ bucket holding ``value``."""
+    if value <= base:
+        return 0
+    index = int(math.ceil(math.log2(value / base) - 1e-12))
+    return index if index < N_BUCKETS else N_BUCKETS - 1
+
+
+def bucket_bound(index: int, base: float) -> float:
+    """Upper (inclusive) bound of bucket ``index``."""
+    return base * (2.0 ** index)
+
+
+class _Hist:
+    """One thread's slice of one histogram (merged on read)."""
+
+    __slots__ = ("buckets", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.buckets = [0] * N_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+
+class _Shard:
+    """One thread's private counter/histogram store."""
+
+    __slots__ = ("epoch", "counters", "hists")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.counters: dict[str, int] = {}
+        self.hists: dict[str, _Hist] = {}
+
+
+def _items(mapping: dict) -> list:
+    """Snapshot a dict another thread may be growing concurrently."""
+    while True:
+        try:
+            return list(mapping.items())
+        except RuntimeError:    # resized mid-iteration; retry
+            continue
+
+
+def _quantile(buckets: list[int], count: int, maximum: float,
+              base: float, q: float) -> float:
+    """Upper bucket bound of the q-th observation, clamped to the max."""
+    target = max(1, math.ceil(q * count))
+    cumulative = 0
+    for index, bucket in enumerate(buckets):
+        cumulative += bucket
+        if cumulative >= target:
+            return min(bucket_bound(index, base), maximum)
+    return maximum
+
+
+def summarize(buckets: list[int], count: int, total: float,
+              maximum: float, base: float) -> dict:
+    """The ``{count, sum, max, p50, p95, p99}`` view of merged buckets."""
+    if count == 0:
+        return {"count": 0, "sum": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
+    return {
+        "count": count,
+        "sum": total,
+        "max": maximum,
+        "p50": _quantile(buckets, count, maximum, base, 0.50),
+        "p95": _quantile(buckets, count, maximum, base, 0.95),
+        "p99": _quantile(buckets, count, maximum, base, 0.99),
+    }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms (module docstring).
+
+    Write-side methods (:meth:`inc`, :meth:`observe`, :meth:`gauge`)
+    are unconditional — callers gate on :attr:`enabled` themselves so
+    the disabled path costs one attribute read, not a method call.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.enable()
+    >>> registry.inc("wal.commits")
+    >>> registry.observe("wal.commit.seconds", 0.004)
+    >>> registry.snapshot()["counters"]["wal.commits"]
+    1
+    """
+
+    def __init__(self) -> None:
+        #: instrumented seams skip all metrics work while this is False
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shards: list[_Shard] = []
+        self._gauges: dict[str, float] = {}
+        self._epoch = 0
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # write side (per-thread, lock-free)
+    # ------------------------------------------------------------------
+    def _shard(self) -> _Shard:
+        shard = getattr(self._local, "shard", None)
+        if shard is not None and shard.epoch == self._epoch:
+            return shard
+        with self._lock:
+            shard = _Shard(self._epoch)
+            self._shards.append(shard)
+        self._local.shard = shard
+        return shard
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        counters = self._shard().counters
+        counters[name] = counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        hists = self._shard().hists
+        hist = hists.get(name)
+        if hist is None:
+            hist = hists[name] = _Hist()
+        hist.buckets[bucket_index(value, histogram_base(name))] += 1
+        hist.count += 1
+        hist.total += value
+        if value > hist.max:
+            hist.max = value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` (last write wins, registry-global)."""
+        self._gauges[name] = value
+
+    # ------------------------------------------------------------------
+    # read side (merge per-thread shards)
+    # ------------------------------------------------------------------
+    def _merged(self) -> tuple[dict[str, int], dict[str, list]]:
+        with self._lock:
+            shards = list(self._shards)
+        counters: dict[str, int] = {}
+        hists: dict[str, list] = {}
+        for shard in shards:
+            for name, value in _items(shard.counters):
+                counters[name] = counters.get(name, 0) + value
+            for name, hist in _items(shard.hists):
+                merged = hists.get(name)
+                if merged is None:
+                    merged = hists[name] = [[0] * N_BUCKETS, 0, 0.0, 0.0]
+                buckets = merged[0]
+                for index, bucket in enumerate(hist.buckets):
+                    buckets[index] += bucket
+                merged[1] += hist.count
+                merged[2] += hist.total
+                if hist.max > merged[3]:
+                    merged[3] = hist.max
+        return counters, hists
+
+    def counters(self) -> dict[str, int]:
+        """Merged counter values across every thread."""
+        return self._merged()[0]
+
+    def gauges(self) -> dict[str, float]:
+        """Current gauge values."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def histogram(self, name: str) -> Optional[dict]:
+        """``{count, sum, max, p50, p95, p99}`` of one histogram."""
+        merged = self._merged()[1].get(name)
+        if merged is None:
+            return None
+        buckets, count, total, maximum = merged
+        return summarize(buckets, count, total, maximum,
+                         histogram_base(name))
+
+    def histogram_buckets(self) -> dict[str, tuple[float, list[int],
+                                                   int, float, float]]:
+        """``name -> (base, buckets, count, sum, max)`` raw merged data
+        (the Prometheus exposition's input; see ``repro.obs.export``)."""
+        return {name: (histogram_base(name), merged[0], merged[1],
+                       merged[2], merged[3])
+                for name, merged in self._merged()[1].items()}
+
+    def snapshot(self) -> dict:
+        """One structured view: counters, gauges, histogram summaries."""
+        counters, hists = self._merged()
+        return {
+            "counters": counters,
+            "gauges": self.gauges(),
+            "histograms": {
+                name: summarize(merged[0], merged[1], merged[2],
+                                merged[3], histogram_base(name))
+                for name, merged in hists.items()},
+        }
+
+    def reset(self) -> None:
+        """Drop every metric; live threads start fresh shards."""
+        with self._lock:
+            self._epoch += 1
+            self._shards.clear()
+            self._gauges.clear()
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(enabled={self.enabled}, "
+                f"shards={len(self._shards)})")

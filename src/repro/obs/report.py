@@ -1,0 +1,129 @@
+"""Pretty-print a captured observability trace.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl [--top N] [--events]
+
+Reads a JSONL file exported by :meth:`repro.obs.trace.Tracer.export_jsonl`
+and prints, per span name: count, total seconds, p50/p95/p99/max
+(computed exactly from the raw durations, not bucketed), then the
+``--top N`` slowest individual spans with their attributes, and — with
+``--events`` — point-event counts by name (failpoint hits land here).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import Optional
+
+from repro.obs.trace import read_jsonl
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    """Exact q-th percentile of an ascending list (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def summarize_spans(records: list) -> dict:
+    """``name -> {count, total, p50, p95, p99, max}`` from raw spans."""
+    durations: dict[str, list] = {}
+    for record in records:
+        if record.get("type") == "span":
+            durations.setdefault(record["name"], []).append(
+                record.get("dur", 0.0))
+    summary = {}
+    for name, values in durations.items():
+        values.sort()
+        summary[name] = {
+            "count": len(values),
+            "total": sum(values),
+            "p50": _percentile(values, 0.50),
+            "p95": _percentile(values, 0.95),
+            "p99": _percentile(values, 0.99),
+            "max": values[-1],
+        }
+    return summary
+
+
+def render(records: list, top: int = 5, events: bool = False) -> str:
+    """The report body as one printable string."""
+    lines = []
+    spans = [r for r in records if r.get("type") == "span"]
+    summary = summarize_spans(records)
+    lines.append(f"{len(records)} records "
+                 f"({len(spans)} spans, {len(records) - len(spans)} events)")
+    if summary:
+        lines.append("")
+        header = (f"{'span':<28} {'count':>7} {'total':>10} {'p50':>10} "
+                  f"{'p95':>10} {'p99':>10} {'max':>10}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(summary, key=lambda n: -summary[n]["total"]):
+            row = summary[name]
+            lines.append(
+                f"{name:<28} {row['count']:>7} "
+                f"{_format_seconds(row['total']):>10} "
+                f"{_format_seconds(row['p50']):>10} "
+                f"{_format_seconds(row['p95']):>10} "
+                f"{_format_seconds(row['p99']):>10} "
+                f"{_format_seconds(row['max']):>10}")
+    if top and spans:
+        lines.append("")
+        lines.append(f"slowest {min(top, len(spans))} spans:")
+        ranked = sorted(spans, key=lambda r: -r.get("dur", 0.0))[:top]
+        for record in ranked:
+            attrs = record.get("attrs", {})
+            suffix = (" " + " ".join(f"{k}={v}" for k, v in attrs.items())
+                      if attrs else "")
+            error = f" ERROR={record['error']}" if "error" in record else ""
+            lines.append(f"  {_format_seconds(record.get('dur', 0.0)):>10}"
+                         f"  {record['name']}{suffix}{error}")
+    if events:
+        counts: dict[str, int] = {}
+        for record in records:
+            if record.get("type") == "event":
+                counts[record["name"]] = counts.get(record["name"], 0) + 1
+        lines.append("")
+        lines.append("events:")
+        if counts:
+            for name in sorted(counts):
+                lines.append(f"  {name:<40} {counts[name]}")
+        else:
+            lines.append("  (none)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Pretty-print a JSONL trace captured by repro.obs.")
+    parser.add_argument("trace", help="path to an exported .jsonl trace")
+    parser.add_argument("--top", type=int, default=5,
+                        help="how many slowest spans to list (default 5)")
+    parser.add_argument("--events", action="store_true",
+                        help="also print point-event counts by name")
+    args = parser.parse_args(argv)
+    try:
+        records = read_jsonl(args.trace)
+    except OSError as exc:
+        print(f"cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(render(records, top=args.top, events=args.events))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""Structured tracing: spans, point events, ring buffer, JSONL export.
+
+A **span** brackets one operation (a checkpoint, a vacuum, a column
+re-pin) and records monotonic start/end timestamps
+(``time.perf_counter``), the duration, the emitting thread, and
+arbitrary ``key=value`` attributes.  A **point event** marks an
+instant (a failpoint hit).  Both land in one bounded ring buffer — a
+``collections.deque(maxlen=...)`` — so a tracer left enabled forever
+holds the *last* ``capacity`` records and nothing more.
+
+Like the metrics registry, the tracer starts disabled and costs one
+attribute read per seam while off: :meth:`Tracer.span` returns the
+shared :data:`NULL_SPAN` singleton (a no-op context manager) and
+:meth:`Tracer.event` returns immediately.
+
+**Slow-op log.**  Set :attr:`Tracer.slow_op_seconds` to a threshold
+and every span at or above it is copied into a small side buffer
+(:meth:`Tracer.slow_ops`) and logged through the standard ``logging``
+channel ``repro.obs.slow`` — the "why was that commit 2 s" answer
+without exporting the whole ring.
+
+Records are plain dicts, exported one-JSON-object-per-line
+(:meth:`Tracer.export_jsonl`, :func:`read_jsonl`) for the
+``python -m repro.obs.report`` pretty-printer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: default ring capacity — ~8k records is minutes of busy-engine spans
+DEFAULT_CAPACITY = 8192
+#: slow spans kept in the side buffer regardless of ring churn
+SLOW_CAPACITY = 256
+
+
+class _NullSpan:
+    """The disabled-tracer span: a reusable, attribute-eating no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+
+#: shared no-op span handed out whenever tracing is off
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span; built by :meth:`Tracer.span`, recorded on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+
+    def set(self, **attrs) -> "_Span":
+        """Attach attributes discovered mid-operation."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = time.perf_counter()
+        record = {
+            "type": "span",
+            "name": self.name,
+            "start": self.start,
+            "end": end,
+            "dur": end - self.start,
+            "thread": threading.get_ident(),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        self._tracer._record(record)
+        return None
+
+
+class Tracer:
+    """Bounded-ring structured tracer (module docstring).
+
+    Examples
+    --------
+    >>> tracer = Tracer(capacity=100)
+    >>> tracer.enabled = True
+    >>> with tracer.span("service.checkpoint", shards=4) as span:
+    ...     span.set(watermark=17)
+    >>> tracer.events()[-1]["name"]
+    'service.checkpoint'
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        #: instrumented seams emit nothing while this is False
+        self.enabled = False
+        #: spans with ``dur`` at or above this are slow-logged; None = off
+        self.slow_op_seconds: Optional[float] = None
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=capacity)
+        self._slow: deque = deque(maxlen=SLOW_CAPACITY)
+        self._logger = logging.getLogger("repro.obs.slow")
+
+    @property
+    def capacity(self) -> int:
+        return self._ring.maxlen
+
+    def set_capacity(self, capacity: int) -> None:
+        """Rebound the ring, keeping the newest records that fit."""
+        with self._lock:
+            self._ring = deque(self._ring, maxlen=capacity)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # emit
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attrs):
+        """A context manager timing one operation (no-op when disabled)."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an instantaneous point event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        record = {
+            "type": "event",
+            "name": name,
+            "start": time.perf_counter(),
+            "thread": threading.get_ident(),
+        }
+        if attrs:
+            record["attrs"] = attrs
+        with self._lock:
+            self._ring.append(record)
+
+    def _record(self, record: dict) -> None:
+        threshold = self.slow_op_seconds
+        slow = (threshold is not None
+                and record.get("dur", 0.0) >= threshold)
+        with self._lock:
+            self._ring.append(record)
+            if slow:
+                self._slow.append(record)
+        if slow:
+            self._logger.warning(
+                "slow op %s: %.6fs attrs=%s", record["name"],
+                record["dur"], record.get("attrs", {}))
+
+    # ------------------------------------------------------------------
+    # read / export
+    # ------------------------------------------------------------------
+    def events(self) -> list:
+        """Every buffered record, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def slow_ops(self) -> list:
+        """Spans that crossed :attr:`slow_op_seconds`, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self._slow.clear()
+
+    def export_jsonl(self, path) -> int:
+        """Write the ring to ``path`` as JSONL; returns records written."""
+        events = self.events()
+        with open(path, "w", encoding="utf-8") as out:
+            for record in events:
+                out.write(json.dumps(record, sort_keys=True,
+                                     separators=(",", ":"), default=repr))
+                out.write("\n")
+        return len(events)
+
+    def __repr__(self) -> str:
+        return (f"Tracer(enabled={self.enabled}, "
+                f"buffered={len(self._ring)}/{self.capacity})")
+
+
+def read_jsonl(path) -> list:
+    """Load a trace exported by :meth:`Tracer.export_jsonl`."""
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -70,11 +70,13 @@ backends and rebalance epochs.
 from __future__ import annotations
 
 import bisect
+import time
 from array import array
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.core import vectorized
+from repro.obs import METRICS, TRACER
 from repro.core.stats import NULL_COUNTERS, Counters
 from repro.query.xpath import CHILD, Step, XPathQuery
 from repro.xml.model import XMLElement
@@ -210,6 +212,28 @@ class ColumnarStore:
                       stats: Counters = NULL_COUNTERS,
                       previous: Optional["ColumnarStore"] = None
                       ) -> "ColumnarStore":
+        """Shred against a pinned label snapshot (instrumented wrapper
+        — contract and incremental semantics on the impl below)."""
+        if not (METRICS.enabled or TRACER.enabled):
+            return cls._from_snapshot_impl(labeled, snapshot, stats,
+                                           previous)
+        kind = "query.repin" if previous is not None else "query.pin"
+        t0 = time.perf_counter()
+        with TRACER.span(kind) as span:
+            store = cls._from_snapshot_impl(labeled, snapshot, stats,
+                                            previous)
+            span.set(elements=len(store.elements),
+                     unchanged=store is previous)
+        if METRICS.enabled:
+            METRICS.observe(kind + ".seconds", time.perf_counter() - t0)
+            METRICS.inc(kind + "s")
+        return store
+
+    @classmethod
+    def _from_snapshot_impl(cls, labeled: Any, snapshot: Any,
+                            stats: Counters = NULL_COUNTERS,
+                            previous: Optional["ColumnarStore"] = None
+                            ) -> "ColumnarStore":
         """Shred against a pinned label snapshot (lock-free inputs).
 
         One structural DOM pass collects each element's ``(rank,
@@ -784,12 +808,20 @@ def evaluate_columnar(store: Any, query: XPathQuery,
     """
     if not isinstance(store, ColumnarStore):
         store = store.columnar()
+    obs = METRICS.enabled
+    t0 = time.perf_counter() if obs else 0.0
     positions = _first_step_positions(store, query.steps[0], stats)
+    if obs:
+        METRICS.observe("query.step.seconds", time.perf_counter() - t0)
     for step in query.steps[1:]:
+        t0 = time.perf_counter() if obs else 0.0
         cand = store.predicate_positions(step.test, step.attribute,
                                          stats)
         positions = _match_step(store, positions, cand,
                                 step.axis == CHILD, stats, parallel)
+        if obs:
+            METRICS.observe("query.step.seconds",
+                            time.perf_counter() - t0)
     return [store.elements[position] for position in positions]
 
 
@@ -822,6 +854,10 @@ class QuerySession:
         self.store = store
         self.stats = stats
         self.parallel = parallel
+        #: session memo traffic — hits are steps served from the cache,
+        #: misses computed ones; :meth:`memo_hit_ratio` is the headline
+        self.step_hits = 0
+        self.step_misses = 0
         self._steps: dict[tuple, Any] = {}
         self._prepared: dict[tuple[int, bool], Any] = {}
         # cached step results keep every context object alive, so the
@@ -837,9 +873,17 @@ class QuerySession:
         for index, step in enumerate(query.steps):
             key += ((step.axis, step.test, step.attribute),)
             cached = self._steps.get(key)
+            obs = METRICS.enabled
             if cached is not None:
                 positions = cached
+                self.step_hits += 1
+                if obs:
+                    METRICS.inc("query.session.step_hits")
                 continue
+            self.step_misses += 1
+            if obs:
+                METRICS.inc("query.session.step_misses")
+            t0 = time.perf_counter() if obs else 0.0
             if index == 0:
                 positions = _first_step_positions(store, step, stats)
             else:
@@ -850,8 +894,16 @@ class QuerySession:
                     self.parallel,
                     prepared=self._prepare(positions,
                                            step.axis == CHILD))
+            if obs:
+                METRICS.observe("query.step.seconds",
+                                time.perf_counter() - t0)
             self._steps[key] = positions
         return positions
+
+    def memo_hit_ratio(self) -> float:
+        """Fraction of steps served from the session memo so far."""
+        total = self.step_hits + self.step_misses
+        return self.step_hits / total if total else 0.0
 
     def _prepare(self, context, child_axis: bool):
         if len(context) == 0:

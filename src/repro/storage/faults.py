@@ -44,6 +44,7 @@ import time
 from typing import Any, Callable, Iterable, Optional
 
 from repro.errors import StorageError
+from repro.obs import METRICS, TRACER
 
 __all__ = [
     "SimulatedCrash", "FailpointRegistry", "FAILPOINTS", "failpoint",
@@ -271,18 +272,21 @@ class FailpointRegistry:
 
     # -- firing --------------------------------------------------------
     def fire(self, name: str, ctx: dict) -> None:
+        action = None
         with self._lock:
             self.hits[name] = self.hits.get(name, 0) + 1
             armed = self._armed.get(name)
-            if armed is None:
-                return
-            if not armed.should_fire():
-                return
-            self.fired[name] = self.fired.get(name, 0) + 1
-            action = armed.action
-        # outside the lock: the action may raise, write files, or
-        # re-enter the registry
-        action(name, ctx)
+            if armed is not None and armed.should_fire():
+                self.fired[name] = self.fired.get(name, 0) + 1
+                action = armed.action
+        # the trace event goes out before the action so a crashing
+        # action still leaves its hit on the record
+        if TRACER.enabled:
+            TRACER.event("failpoint", point=name, fired=action is not None)
+        if action is not None:
+            # outside the lock: the action may raise, write files, or
+            # re-enter the registry
+            action(name, ctx)
 
 
 class _Scope:
@@ -629,6 +633,8 @@ def write_with_retry(handle: Any, data: bytes, *, retries: int = 5,
             if exc.errno not in transient:
                 raise
             attempt += 1
+            if METRICS.enabled:
+                METRICS.inc("storage.write_retries")
             if attempt > retries:
                 raise StorageError(
                     f"write of {len(data)} bytes failed after "

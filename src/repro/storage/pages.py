@@ -56,11 +56,13 @@ import json
 import mmap
 import os
 import struct
+import time
 import zlib
 from collections import OrderedDict
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import CorruptionError, StorageError
+from repro.obs import METRICS, TRACER
 from repro.storage.faults import FAILPOINTS, failpoint, fsync_file
 
 #: magic prefix of a page file (page 0, bytes 0..8)
@@ -463,6 +465,33 @@ class PageStore:
             self._pool.popitem(last=False)
         return data
 
+    def cache_stats(self) -> dict:
+        """Buffer-pool effectiveness, as a structured dict.
+
+        ``hit_rate`` is lifetime hits over lifetime lookups (0.0 before
+        the first read); ``cached_pages``/``pool_pages`` show how full
+        the LRU is against its cap.  This is the public face of the
+        :attr:`pool_hits`/:attr:`pool_misses` counters the pool has
+        always kept.
+        """
+        hits, misses = self.pool_hits, self.pool_misses
+        total = hits + misses
+        return {
+            "pool_hits": hits,
+            "pool_misses": misses,
+            "hit_rate": round(hits / total, 4) if total else 0.0,
+            "cached_pages": len(self._pool),
+            "pool_pages": self.pool_pages,
+        }
+
+    def _publish_pool_gauges(self) -> None:
+        """Mirror the pool counters into the metrics registry (enabled
+        callers only — blob reads/writes refresh these)."""
+        stats = self.cache_stats()
+        METRICS.gauge("pages.pool_hits", stats["pool_hits"])
+        METRICS.gauge("pages.pool_misses", stats["pool_misses"])
+        METRICS.gauge("pages.pool_hit_rate", stats["hit_rate"])
+
     def write_page(self, page_id: int, data: bytes) -> None:
         """Write one page (write-through: file and pool stay in sync)."""
         self._check_page(page_id)
@@ -525,6 +554,23 @@ class PageStore:
     def put_blobs(self, items: dict[str, bytes],
                   delete: Iterable[str] = (),
                   reclaim: bool = False) -> None:
+        """Write every blob in ``items`` and drop every name in
+        ``delete`` under a **single** catalog flip.
+
+        (Instrumented wrapper — semantics live in the impl below.)
+        """
+        if not METRICS.enabled:
+            return self._put_blobs_impl(items, delete, reclaim)
+        t0 = time.perf_counter()
+        result = self._put_blobs_impl(items, delete, reclaim)
+        METRICS.observe("pages.put_blobs.seconds", time.perf_counter() - t0)
+        METRICS.inc("pages.blob_writes", len(items))
+        self._publish_pool_gauges()
+        return result
+
+    def _put_blobs_impl(self, items: dict[str, bytes],
+                        delete: Iterable[str] = (),
+                        reclaim: bool = False) -> None:
         """Write every blob in ``items`` and drop every name in
         ``delete`` under a **single** catalog flip.
 
@@ -629,6 +675,18 @@ class PageStore:
 
     def get_blob(self, name: str, prefer_mmap: bool = False,
                  verify: bool = False) -> bytes:
+        """Fetch blob ``name`` (instrumented wrapper — see impl below)."""
+        if not METRICS.enabled:
+            return self._get_blob_impl(name, prefer_mmap, verify)
+        t0 = time.perf_counter()
+        data = self._get_blob_impl(name, prefer_mmap, verify)
+        METRICS.observe("pages.get_blob.seconds", time.perf_counter() - t0)
+        METRICS.inc("pages.blob_reads")
+        self._publish_pool_gauges()
+        return data
+
+    def _get_blob_impl(self, name: str, prefer_mmap: bool = False,
+                       verify: bool = False) -> bytes:
         """Fetch blob ``name``.
 
         ``prefer_mmap=True`` returns a read-only ``memoryview`` over an
@@ -736,6 +794,24 @@ class PageStore:
         return sum(span[2] for span in self._catalog.values())
 
     def vacuum(self) -> int:
+        """Reclaim orphaned page spans; returns the pages given back.
+
+        (Instrumented wrapper — semantics live in the impl below.)
+        """
+        if not (METRICS.enabled or TRACER.enabled):
+            return self._vacuum_impl()
+        t0 = time.perf_counter()
+        with TRACER.span("pages.vacuum", path=self.path) as span:
+            reclaimed = self._vacuum_impl()
+            span.set(reclaimed_pages=reclaimed)
+        if METRICS.enabled:
+            METRICS.observe("pages.vacuum.seconds",
+                            time.perf_counter() - t0)
+            METRICS.inc("pages.vacuums")
+            METRICS.inc("pages.reclaimed_pages", reclaimed)
+        return reclaimed
+
+    def _vacuum_impl(self) -> int:
         """Reclaim orphaned page spans; returns the pages given back.
 
         The compacted layout is written to a **sibling temp file** and

@@ -50,10 +50,12 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import Any, Iterator, Optional
 
 from repro.errors import CorruptionError, RecoveryError, StorageError
+from repro.obs import METRICS
 from repro.storage.faults import (FAILPOINTS, failpoint, fsync_file,
                                   write_with_retry)
 
@@ -249,6 +251,8 @@ class WriteAheadLog:
         (explicitly, or automatically once ``group_commit`` records have
         accumulated).
         """
+        obs = METRICS.enabled
+        t0 = time.perf_counter() if obs else 0.0
         try:
             body = json.dumps(op, separators=(",", ":")).encode("utf-8")
         except (TypeError, ValueError) as exc:
@@ -263,6 +267,13 @@ class WriteAheadLog:
             if self.group_commit is not None and \
                     self._pending_records >= self.group_commit:
                 self._commit_locked()
+            if obs:
+                # includes the group-commit fsync when this append
+                # happened to close a batch — that is the latency a
+                # caller of append() actually saw
+                METRICS.observe("wal.append.seconds",
+                                time.perf_counter() - t0)
+                METRICS.inc("wal.records_appended")
             return seq
 
     def commit(self) -> None:
@@ -279,6 +290,9 @@ class WriteAheadLog:
                 f"log could not rewind; records appended now would sit "
                 f"past the tear where no scan reaches them — reopen "
                 f"the log to recover")
+        obs = METRICS.enabled
+        t0 = time.perf_counter() if obs else 0.0
+        batch_records = self._pending_records
         batch = b"".join(self._pending)
         start = self._file.tell()
         failpoint("wal:commit:pre-write", wal=self)
@@ -304,6 +318,12 @@ class WriteAheadLog:
         self._pending = []
         self._pending_records = 0
         self.commits += 1
+        if obs:
+            METRICS.observe("wal.commit.seconds", time.perf_counter() - t0)
+            METRICS.observe("wal.commit.batch_records", batch_records)
+            METRICS.inc("wal.commits")
+            if self.sync:
+                METRICS.inc("wal.fsyncs")
 
     def _rewind_to(self, offset: int) -> None:
         """Cut a failed commit's partial bytes back off the tail.
@@ -383,6 +403,10 @@ class WriteAheadLog:
             self.last_seq = base_seq - 1
             self.dropped_bytes = 0
             self._damaged = False
+            if METRICS.enabled:
+                METRICS.inc("wal.truncates")
+                if self.sync:
+                    METRICS.inc("wal.fsyncs")
 
     # ------------------------------------------------------------------
     # lifecycle

@@ -1,0 +1,196 @@
+"""Service-level observability: metrics(), health(), workload-aware
+rebalancing, and the disabled-path overhead guard."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.concurrent.service import ConcurrentDocument
+from repro.core.sharded import RebalancePolicy
+
+
+@pytest.fixture
+def clean_obs():
+    """Enable instrumentation for one test, restore and wipe after."""
+    obs.reset()
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def test_metrics_under_threaded_workload(tmp_path, clean_obs):
+    """The acceptance scenario: N writer threads, then one scrape must
+    show commit/checkpoint histograms, WAL backlog, buffer-pool hit
+    rate, and per-shard write rates."""
+    doc = ConcurrentDocument.create(str(tmp_path / "svc"), n_shards=4,
+                                    group_commit=32)
+    handles = doc.bulk_load(range(200))
+    anchors = [handles[25], handles[75], handles[125], handles[175]]
+    n_threads, n_ops = 4, 50
+
+    def writer(anchor):
+        for index in range(n_ops):
+            doc.insert_after(anchor, f"w{index}")
+
+    threads = [threading.Thread(target=writer, args=(anchor,))
+               for anchor in anchors]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    doc.commit()
+    doc.checkpoint()
+    doc.label_map()             # drive some reads through the pool
+
+    metrics = doc.metrics()
+
+    # latency histograms with quantiles
+    commit = metrics["histograms"]["service.commit.seconds"]
+    checkpoint = metrics["histograms"]["service.checkpoint.seconds"]
+    assert commit["count"] >= 1 and checkpoint["count"] == 1
+    assert 0 < commit["p50"] <= commit["p99"] <= commit["max"]
+    assert 0 < checkpoint["p50"] <= checkpoint["p99"]
+    wal_commit = metrics["histograms"]["wal.commit.seconds"]
+    assert wal_commit["count"] >= 1
+    batch = metrics["histograms"]["wal.commit.batch_records"]
+    assert batch["max"] <= 32   # group-commit threshold bounds batches
+
+    # WAL backlog: zero right after a checkpoint, mirrored as a gauge
+    assert metrics["wal"]["backlog"] == 0
+    assert metrics["gauges"]["service.wal_backlog"] == 0
+    assert metrics["health"]["wal_backlog"] == 0
+
+    # buffer-pool hit rate from the store
+    cache = metrics["cache"]
+    assert set(cache) >= {"pool_hits", "pool_misses", "hit_rate"}
+    assert 0.0 <= cache["hit_rate"] <= 1.0
+
+    # per-shard write counts/rates: every anchor shard absorbed n_ops
+    counts = metrics["shards"]["write_counts"]
+    assert sum(counts.values()) == n_threads * n_ops
+    rates = metrics["shards"]["write_rates_per_sec"]
+    assert set(rates) == set(counts)
+    assert any(rate > 0 for rate in rates.values())
+
+    # lock-wait histogram recorded under contention instrumentation
+    assert metrics["histograms"]["engine.lock_wait.seconds"]["count"] \
+        >= n_threads * n_ops
+    doc.close()
+
+
+def test_metrics_write_rates_reset_between_scrapes(tmp_path, clean_obs):
+    doc = ConcurrentDocument.create(str(tmp_path / "svc"), n_shards=2)
+    handles = doc.bulk_load(range(10))
+    doc.metrics()                       # set the baseline mark
+    doc.insert_after(handles[0], "x")
+    first = doc.metrics()
+    assert sum(first["shards"]["write_counts"].values()) == 1
+    assert any(rate > 0
+               for rate in first["shards"]["write_rates_per_sec"]
+               .values())
+    second = doc.metrics()              # nothing written since
+    assert all(rate == 0
+               for rate in second["shards"]["write_rates_per_sec"]
+               .values())
+    doc.close()
+
+
+def test_health_reports_backlog_and_checkpoint_age(tmp_path):
+    doc = ConcurrentDocument.create(str(tmp_path / "svc"), n_shards=2)
+    handles = doc.bulk_load(range(20))
+    health = doc.health()
+    assert health["wal_backlog"] == health["wal_records_since_checkpoint"]
+    assert health["wal_backlog"] > 0
+    assert health["last_checkpoint_unix"] is None
+    assert health["seconds_since_checkpoint"] is None
+
+    doc.checkpoint()
+    doc.insert_after(handles[0], "x")
+    health = doc.health()
+    assert health["wal_backlog"] == 1
+    assert health["last_checkpoint_unix"] is not None
+    assert health["seconds_since_checkpoint"] >= 0.0
+    stamp = health["last_checkpoint_unix"]
+    doc.close()
+
+    # the stamp rides in the meta blob: a reopen still knows the age
+    doc = ConcurrentDocument.open(str(tmp_path / "svc"))
+    health = doc.health()
+    assert health["last_checkpoint_unix"] == stamp
+    assert health["seconds_since_checkpoint"] >= 0.0
+    assert health["wal_backlog"] == 1
+    doc.close()
+
+
+def test_disabled_instrumentation_records_nothing(tmp_path):
+    """The overhead guard: with obs off (the default), a full
+    bulk_load + write + checkpoint cycle must do zero metrics work."""
+    assert not obs.enabled()
+    obs.reset()
+    doc = ConcurrentDocument.create(str(tmp_path / "svc"), n_shards=4)
+    handles = doc.bulk_load(range(500))
+    for index in range(50):
+        doc.insert_after(handles[index], index)
+    doc.commit()
+    doc.checkpoint()
+    doc.metrics()
+    doc.close()
+    doc = ConcurrentDocument.open(str(tmp_path / "svc"))
+    doc.close()
+    snap = obs.METRICS.snapshot()
+    assert snap["counters"] == {}
+    assert snap["histograms"] == {}
+    assert snap["gauges"] == {}
+    assert obs.TRACER.events() == []
+
+
+def test_workload_skew_splits_hot_shard_before_occupancy(tmp_path):
+    """Satellite: a write-hot shard splits on workload stats alone —
+    occupancy is uniform, so the old policy would never trigger."""
+    policy = RebalancePolicy(max_ratio=100.0, min_split_leaves=8,
+                             hot_write_ratio=3.0, max_shards=8)
+    doc = ConcurrentDocument.create(str(tmp_path / "svc"), n_shards=4)
+    handles = doc.bulk_load(range(400))     # 100 leaves per shard
+    assert len(doc.shard_report()) == 4
+
+    # without workload: uniform occupancy, no actions
+    assert policy.plan(doc.shard_report()) == []
+
+    # hammer one shard
+    hot_anchor = handles[50]
+    for index in range(60):
+        doc.insert_after(hot_anchor, f"hot{index}")
+    performed = doc.rebalance(policy)
+    assert [action["action"] for action in performed] == ["split"]
+    assert len(doc.shard_report()) == 5
+
+    # the split children start with fresh write counts; an immediate
+    # re-plan with the same policy finds no remaining hot shard
+    assert doc.rebalance(policy) == []
+    doc.close()
+
+
+def test_checkpoint_and_recovery_spans_emitted(tmp_path):
+    obs.reset()
+    obs.enable(metrics=False, trace=True)
+    try:
+        doc = ConcurrentDocument.create(str(tmp_path / "svc"),
+                                        n_shards=2)
+        handles = doc.bulk_load(range(10))
+        doc.insert_after(handles[0], "x")
+        doc.checkpoint()
+        doc.insert_after(handles[2], "y")
+        doc.close()
+        doc = ConcurrentDocument.open(str(tmp_path / "svc"))
+        doc.close()
+        spans = {event["name"]: event for event in obs.TRACER.events()
+                 if event["type"] == "span"}
+        assert "service.checkpoint" in spans
+        assert spans["service.checkpoint"]["attrs"]["pause_seconds"] >= 0
+        assert "service.recovery" in spans
+        assert spans["service.recovery"]["attrs"]["replayed"] == 1
+    finally:
+        obs.disable()
+        obs.reset()

@@ -1,0 +1,62 @@
+"""Prometheus exposition and the trace-report CLI."""
+
+from repro.obs.export import mangle, render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import main as report_main
+from repro.obs.trace import Tracer
+
+
+def test_mangle():
+    assert mangle("wal.commit.seconds") == "repro_wal_commit_seconds"
+    assert mangle("a-b.c") == "repro_a_b_c"
+
+
+def test_render_prometheus_counters_gauges_histograms():
+    registry = MetricsRegistry()
+    registry.inc("wal.commits", 3)
+    registry.gauge("service.wal_backlog", 12)
+    for value in (0.5e-6, 1.5e-6, 3.0e-6):
+        registry.observe("op.seconds", value)
+    text = render_prometheus(registry)
+    lines = text.splitlines()
+    assert "# TYPE repro_wal_commits counter" in lines
+    assert "repro_wal_commits_total 3" in lines
+    assert "# TYPE repro_service_wal_backlog gauge" in lines
+    assert "repro_service_wal_backlog 12" in lines
+    assert "# TYPE repro_op_seconds histogram" in lines
+    # cumulative buckets: 0.5µs ≤ 1µs (bucket 0), 1.5µs ≤ 2µs, 3µs ≤ 4µs
+    assert 'repro_op_seconds_bucket{le="1e-06"} 1' in lines
+    assert 'repro_op_seconds_bucket{le="2e-06"} 2' in lines
+    assert 'repro_op_seconds_bucket{le="4e-06"} 3' in lines
+    assert 'repro_op_seconds_bucket{le="+Inf"} 3' in lines
+    assert "repro_op_seconds_count 3" in lines
+    assert any(line.startswith("repro_op_seconds_sum ")
+               for line in lines)
+
+
+def test_render_prometheus_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_report_cli_renders_span_table(tmp_path, capsys):
+    tracer = Tracer()
+    tracer.enable()
+    for _ in range(4):
+        with tracer.span("service.checkpoint", watermark=1):
+            pass
+    tracer.event("failpoint", point="wal:commit:pre-write", fired=False)
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(path)
+
+    assert report_main([str(path), "--top", "2", "--events"]) == 0
+    out = capsys.readouterr().out
+    assert "5 records (4 spans, 1 events)" in out
+    assert "service.checkpoint" in out
+    assert "slowest 2 spans:" in out
+    assert "watermark=1" in out
+    assert "failpoint" in out
+
+
+def test_report_cli_missing_file(tmp_path, capsys):
+    assert report_main([str(tmp_path / "absent.jsonl")]) == 2
+    assert "cannot read" in capsys.readouterr().err

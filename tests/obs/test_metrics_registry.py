@@ -1,0 +1,110 @@
+"""Metrics registry: threaded merge exactness, quantiles, fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import (MetricsRegistry, N_BUCKETS, SECONDS_BASE,
+                               UNIT_BASE, bucket_bound, bucket_index)
+
+
+def test_counter_and_histogram_merge_across_threads_is_exact():
+    registry = MetricsRegistry()
+    registry.enable()
+    n_threads, n_each = 8, 5000
+    # powers of two sum exactly in floats, so the merged histogram sum
+    # can be asserted with == rather than approx
+    values = [1.0, 2.0, 4.0, 8.0]
+
+    def worker():
+        for i in range(n_each):
+            registry.inc("ops")
+            registry.observe("op.seconds", values[i % len(values)])
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = n_threads * n_each
+    assert registry.counters() == {"ops": total}
+    hist = registry.histogram("op.seconds")
+    assert hist["count"] == total
+    assert hist["sum"] == sum(values) * (total // len(values))
+    assert hist["max"] == 8.0
+    assert 0 < hist["p50"] <= hist["p95"] <= hist["p99"] <= hist["max"]
+
+
+def test_quantiles_from_log_buckets():
+    registry = MetricsRegistry()
+    registry.enable()
+    for _ in range(95):
+        registry.observe("lat.seconds", 0.001)
+    for _ in range(5):
+        registry.observe("lat.seconds", 10.0)
+    hist = registry.histogram("lat.seconds")
+    # 0.001 lands in the bucket bounded above by 1e-6 * 2^10 = 0.001024
+    assert 0.001 <= hist["p50"] <= 0.0011
+    assert hist["p95"] <= 0.0011
+    # p99 crosses into the slow tail; bound clamps to the observed max
+    assert hist["p99"] == 10.0
+    assert hist["max"] == 10.0
+
+
+def test_bucket_index_grid():
+    assert bucket_index(0.0, SECONDS_BASE) == 0
+    assert bucket_index(SECONDS_BASE, SECONDS_BASE) == 0
+    assert bucket_index(2 * SECONDS_BASE, SECONDS_BASE) == 1
+    assert bucket_index(3 * SECONDS_BASE, SECONDS_BASE) == 2
+    assert bucket_index(1e30, SECONDS_BASE) == N_BUCKETS - 1
+    assert bucket_bound(0, UNIT_BASE) == 1.0
+    assert bucket_bound(6, UNIT_BASE) == 64.0
+    # a unit histogram (no .seconds suffix) buckets batch sizes sanely
+    registry = MetricsRegistry()
+    for size in (1, 64, 64, 64):
+        registry.observe("batch_records", size)
+    hist = registry.histogram("batch_records")
+    assert hist["count"] == 4 and hist["max"] == 64
+    assert hist["p50"] == 64.0
+
+
+def test_gauges_last_write_wins():
+    registry = MetricsRegistry()
+    registry.gauge("backlog", 10)
+    registry.gauge("backlog", 3)
+    assert registry.gauges() == {"backlog": 3}
+    assert registry.snapshot()["gauges"]["backlog"] == 3
+
+
+def test_empty_histogram_summary_is_zeroed():
+    registry = MetricsRegistry()
+    assert registry.histogram("nothing") is None
+    snap = registry.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_reset_drops_data_and_live_threads_restart_clean():
+    registry = MetricsRegistry()
+    registry.inc("a")
+    registry.observe("b.seconds", 0.5)
+    registry.gauge("c", 1)
+    registry.reset()
+    assert registry.snapshot() == {"counters": {}, "gauges": {},
+                                   "histograms": {}}
+    # the same thread's stale shard must not resurrect: a post-reset
+    # increment lands in a fresh epoch shard and counts exactly once
+    registry.inc("a", 5)
+    assert registry.counters() == {"a": 5}
+
+
+def test_snapshot_structure_matches_summary_contract():
+    registry = MetricsRegistry()
+    registry.inc("x", 3)
+    registry.observe("y.seconds", 0.25)
+    snap = registry.snapshot()
+    assert snap["counters"] == {"x": 3}
+    summary = snap["histograms"]["y.seconds"]
+    assert set(summary) == {"count", "sum", "max", "p50", "p95", "p99"}
+    assert summary["count"] == 1
+    assert summary["sum"] == pytest.approx(0.25)

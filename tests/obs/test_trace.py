@@ -1,0 +1,104 @@
+"""Tracer: ring bounding, spans, slow-op capture, JSONL round-trip."""
+
+import threading
+
+from repro.obs.trace import NULL_SPAN, Tracer, read_jsonl
+
+
+def test_ring_buffer_is_bounded():
+    tracer = Tracer(capacity=10)
+    tracer.enable()
+    for index in range(25):
+        tracer.event("tick", n=index)
+    events = tracer.events()
+    assert len(events) == 10
+    assert [event["attrs"]["n"] for event in events] == list(range(15, 25))
+
+
+def test_disabled_tracer_emits_nothing_and_hands_out_null_span():
+    tracer = Tracer()
+    assert tracer.span("anything") is NULL_SPAN
+    with tracer.span("anything", a=1) as span:
+        span.set(b=2)       # must be a harmless no-op
+    tracer.event("anything")
+    assert tracer.events() == []
+
+
+def test_span_records_duration_attrs_thread_and_error():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("op", shard=3) as span:
+        span.set(result="ok")
+    try:
+        with tracer.span("boom"):
+            raise ValueError("x")
+    except ValueError:
+        pass
+    ok, boom = tracer.events()
+    assert ok["type"] == "span" and ok["name"] == "op"
+    assert ok["attrs"] == {"shard": 3, "result": "ok"}
+    assert ok["end"] >= ok["start"] and ok["dur"] >= 0.0
+    assert ok["thread"] == threading.get_ident()
+    assert "error" not in ok
+    assert boom["error"] == "ValueError"
+
+
+def test_slow_op_threshold_captures_and_logs(caplog):
+    tracer = Tracer()
+    tracer.enable()
+    tracer.slow_op_seconds = 0.0     # everything is "slow"
+    with caplog.at_level("WARNING", logger="repro.obs.slow"):
+        with tracer.span("slow.op"):
+            pass
+    assert len(tracer.slow_ops()) == 1
+    assert tracer.slow_ops()[0]["name"] == "slow.op"
+    assert any("slow.op" in record.message for record in caplog.records)
+    # a high threshold captures nothing
+    tracer.clear()
+    tracer.slow_op_seconds = 3600.0
+    with tracer.span("fast.op"):
+        pass
+    assert tracer.slow_ops() == []
+    assert len(tracer.events()) == 1
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("op", k="v"):
+        pass
+    tracer.event("mark", n=7)
+    path = tmp_path / "trace.jsonl"
+    written = tracer.export_jsonl(path)
+    assert written == 2
+    assert read_jsonl(path) == tracer.events()
+
+
+def test_set_capacity_keeps_newest():
+    tracer = Tracer(capacity=100)
+    tracer.enable()
+    for index in range(10):
+        tracer.event("e", n=index)
+    tracer.set_capacity(3)
+    assert [e["attrs"]["n"] for e in tracer.events()] == [7, 8, 9]
+
+
+def test_failpoint_hits_flow_into_trace(tmp_path):
+    from repro import obs
+    from repro.storage.wal import WriteAheadLog
+    obs.TRACER.clear()
+    obs.enable(metrics=False, trace=True)
+    try:
+        wal = WriteAheadLog(str(tmp_path / "w.wal"))
+        wal.append({"op": 1})
+        wal.commit()
+        wal.close()
+        hits = [event for event in obs.TRACER.events()
+                if event["name"] == "failpoint"]
+        points = {event["attrs"]["point"] for event in hits}
+        assert "wal:commit:pre-write" in points
+        assert "wal:commit:post-write" in points
+        assert all(event["attrs"]["fired"] is False for event in hits)
+    finally:
+        obs.disable()
+        obs.reset()

@@ -761,3 +761,33 @@ class TestVacuumUnderShardedSaveCycles:
             assert store.page_count == RESERVED_PAGES + grown
             back = ShardedCompactLTree.load(store, lazy=False)
             assert back.labels() == tree.labels()
+
+
+class TestCacheStats:
+    def test_cache_stats_tracks_pool_traffic(self, path):
+        blob = os.urandom(2 * DEFAULT_PAGE_SIZE + 5)
+        with PageStore(path) as store:
+            store.put_blob("tree", blob)
+        with PageStore(path) as store:
+            stats = store.cache_stats()
+            assert stats == {"pool_hits": 0, "pool_misses": 0,
+                             "hit_rate": 0.0, "cached_pages": 0,
+                             "pool_pages": store.pool_pages}
+            store.get_blob("tree")      # cold: every page misses
+            stats = store.cache_stats()
+            assert stats["pool_misses"] == 3
+            assert stats["pool_hits"] == 0
+            assert stats["cached_pages"] == 3
+            store.get_blob("tree")      # warm: every page hits
+            stats = store.cache_stats()
+            assert stats["pool_hits"] == 3
+            assert stats["pool_misses"] == 3
+            assert stats["hit_rate"] == 0.5
+
+    def test_cache_stats_mirrors_public_counters(self, path):
+        with PageStore(path) as store:
+            store.put_blob("b", b"x")
+            store.get_blob("b")
+            stats = store.cache_stats()
+            assert stats["pool_hits"] == store.pool_hits
+            assert stats["pool_misses"] == store.pool_misses
